@@ -1,0 +1,208 @@
+//! Compositional construction of abstract behaviors.
+//!
+//! The paper's conclusion stresses that, in practice, one wants "a
+//! representation of the abstract behavior of a system *without* an
+//! exhaustive construction of the finite-state system generating the
+//! original behavior" (Ochsenschläger's compositional technique \[22\]).
+//!
+//! For systems given as a synchronous composition `C₁ ∥ … ∥ C_k` this module
+//! provides exactly that shortcut: abstract every component first, then
+//! compose the (small) abstractions:
+//!
+//! ```text
+//! h(L(C₁ ∥ … ∥ C_k)) = h₁(L(C₁)) ∥ … ∥ h_k(L(C_k))
+//! ```
+//!
+//! which is sound whenever **no hidden action is shared** between two
+//! components — hiding distributes over composition when the hidden actions
+//! are local. The precondition is checked and violations are reported with
+//! the offending action name. The monolithic `8^k`-state intermediate of the
+//! paper's server-farm style examples never gets built: only the `2^k`-ish
+//! abstract composite.
+
+use rl_automata::TransitionSystem;
+
+use crate::hom::{AbstractionError, Homomorphism};
+use crate::image::abstract_behavior;
+
+/// Computes the abstract behavior generator of `C₁ ∥ … ∥ C_k` under `h`
+/// without constructing the concrete composite, by abstracting each
+/// component and composing the abstractions.
+///
+/// `h`'s source alphabet must cover every component action (by name); its
+/// hidden actions must not be shared between components.
+///
+/// # Errors
+///
+/// * [`AbstractionError::SharedHiddenAction`] when a hidden action occurs in
+///   two components (hiding would not distribute over the synchronization),
+/// * [`AbstractionError::Automata`] when a component action is missing from
+///   `h`'s source alphabet, or `components` is empty.
+///
+/// # Example
+///
+/// ```
+/// use rl_abstraction::{abstract_behavior, compositional_abstract_behavior, Homomorphism};
+/// use rl_automata::{dfa_equivalent, Alphabet, TransitionSystem};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Two independent one-bit toggles with hidden local resets.
+/// let mk = |i: usize| -> TransitionSystem {
+///     let ab = Alphabet::new([format!("set{i}"), format!("reset{i}")]).unwrap();
+///     let set = ab.symbol(&format!("set{i}")).unwrap();
+///     let reset = ab.symbol(&format!("reset{i}")).unwrap();
+///     let mut ts = TransitionSystem::new(ab);
+///     let s0 = ts.add_state();
+///     let s1 = ts.add_state();
+///     ts.set_initial(s0);
+///     ts.add_transition(s0, set, s1);
+///     ts.add_transition(s1, reset, s0);
+///     ts
+/// };
+/// let c0 = mk(0);
+/// let c1 = mk(1);
+/// let composite = c0.compose(&c1)?;
+/// let h = Homomorphism::hiding(composite.alphabet(), ["set0", "set1"])?;
+///
+/// let monolithic = abstract_behavior(&h, &composite);
+/// let compositional = compositional_abstract_behavior(&[c0, c1], &h)?;
+/// assert!(dfa_equivalent(
+///     &monolithic.to_nfa().determinize(),
+///     &compositional.to_nfa().determinize()
+/// ));
+/// # Ok(())
+/// # }
+/// ```
+pub fn compositional_abstract_behavior(
+    components: &[TransitionSystem],
+    h: &Homomorphism,
+) -> Result<TransitionSystem, AbstractionError> {
+    if components.is_empty() {
+        return Err(AbstractionError::Automata(
+            rl_automata::AutomataError::EmptyAlphabet,
+        ));
+    }
+    // Precondition: hidden actions are local to a single component.
+    for (i, ci) in components.iter().enumerate() {
+        for (_, name) in ci.alphabet().iter() {
+            let sym = h.source().require(name)?;
+            if !h.hides(sym) {
+                continue;
+            }
+            for cj in components.iter().skip(i + 1) {
+                if cj.alphabet().symbol(name).is_some() {
+                    return Err(AbstractionError::SharedHiddenAction(name.to_owned()));
+                }
+            }
+        }
+    }
+    // Abstract each component under the restriction of h to its alphabet.
+    let mut abstracted: Vec<TransitionSystem> = Vec::with_capacity(components.len());
+    for ci in components {
+        let visible: Vec<String> = ci
+            .alphabet()
+            .iter()
+            .filter(|(_, name)| {
+                let sym = h.source().symbol(name).expect("checked above");
+                !h.hides(sym)
+            })
+            .map(|(_, name)| name.to_owned())
+            .collect();
+        if visible.is_empty() {
+            return Err(AbstractionError::Automata(
+                rl_automata::AutomataError::EmptyAlphabet,
+            ));
+        }
+        let hi = Homomorphism::hiding(ci.alphabet(), visible.iter().map(String::as_str))?;
+        abstracted.push(abstract_behavior(&hi, ci));
+    }
+    // Compose the abstractions.
+    let mut composite = abstracted[0].clone();
+    for part in &abstracted[1..] {
+        composite = composite.compose(part)?;
+    }
+    // Re-align the alphabet to h's target order (composition builds the
+    // union in discovery order) and re-minimize.
+    let realign = Homomorphism::new(composite.alphabet(), h.target(), |n| Some(n.to_owned()))?;
+    Ok(abstract_behavior(&realign, &composite))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::abstract_behavior;
+    use rl_automata::{dfa_equivalent, Alphabet};
+
+    /// A producer/consumer pair with a hidden internal step each and a
+    /// shared visible handoff.
+    fn producer() -> TransitionSystem {
+        let ab = Alphabet::new(["craft", "handoff"]).unwrap();
+        let craft = ab.symbol("craft").unwrap();
+        let handoff = ab.symbol("handoff").unwrap();
+        let mut ts = TransitionSystem::new(ab);
+        let s0 = ts.add_state();
+        let s1 = ts.add_state();
+        ts.set_initial(s0);
+        ts.add_transition(s0, craft, s1);
+        ts.add_transition(s1, handoff, s0);
+        ts
+    }
+
+    fn consumer() -> TransitionSystem {
+        let ab = Alphabet::new(["handoff", "digest", "done"]).unwrap();
+        let handoff = ab.symbol("handoff").unwrap();
+        let digest = ab.symbol("digest").unwrap();
+        let done = ab.symbol("done").unwrap();
+        let mut ts = TransitionSystem::new(ab);
+        let s0 = ts.add_state();
+        let s1 = ts.add_state();
+        let s2 = ts.add_state();
+        ts.set_initial(s0);
+        ts.add_transition(s0, handoff, s1);
+        ts.add_transition(s1, digest, s2);
+        ts.add_transition(s2, done, s0);
+        ts
+    }
+
+    #[test]
+    fn matches_monolithic_construction() {
+        let p = producer();
+        let c = consumer();
+        let composite = p.compose(&c).unwrap();
+        // Hide the internal steps craft and digest; keep handoff and done.
+        let h = Homomorphism::hiding(composite.alphabet(), ["handoff", "done"]).unwrap();
+        let mono = abstract_behavior(&h, &composite);
+        let comp = compositional_abstract_behavior(&[p, c], &h).unwrap();
+        assert_eq!(mono.alphabet(), comp.alphabet());
+        assert!(dfa_equivalent(
+            &mono.to_nfa().determinize(),
+            &comp.to_nfa().determinize()
+        ));
+    }
+
+    #[test]
+    fn shared_hidden_action_rejected() {
+        let p = producer();
+        let c = consumer();
+        let composite = p.compose(&c).unwrap();
+        // Hiding the shared `handoff` breaks distributivity: refused.
+        let h = Homomorphism::hiding(composite.alphabet(), ["craft", "digest", "done"]).unwrap();
+        let err = compositional_abstract_behavior(&[p, c], &h).unwrap_err();
+        assert_eq!(
+            err,
+            AbstractionError::SharedHiddenAction("handoff".to_owned())
+        );
+    }
+
+    #[test]
+    fn single_component_degenerates_to_plain_abstraction() {
+        let p = producer();
+        let h = Homomorphism::hiding(p.alphabet(), ["handoff"]).unwrap();
+        let mono = abstract_behavior(&h, &p);
+        let comp = compositional_abstract_behavior(&[p], &h).unwrap();
+        assert!(dfa_equivalent(
+            &mono.to_nfa().determinize(),
+            &comp.to_nfa().determinize()
+        ));
+    }
+}

@@ -1,0 +1,270 @@
+//! Alphabetic abstracting homomorphisms (Definition 6.1).
+
+use std::error::Error;
+use std::fmt;
+
+use rl_automata::{Alphabet, AutomataError, Symbol, Word};
+use rl_buchi::UpWord;
+
+/// Errors from abstraction operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AbstractionError {
+    /// Underlying automata error (alphabet mismatch, unknown symbol, …).
+    Automata(AutomataError),
+    /// The operation requires a prefix-closed language and the argument is
+    /// not prefix closed.
+    NotPrefixClosed,
+    /// Compositional abstraction requires hidden actions to be local to one
+    /// component; this shared action is hidden.
+    SharedHiddenAction(String),
+}
+
+impl fmt::Display for AbstractionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbstractionError::Automata(e) => write!(f, "{e}"),
+            AbstractionError::NotPrefixClosed => {
+                write!(f, "operation requires a prefix-closed language")
+            }
+            AbstractionError::SharedHiddenAction(name) => write!(
+                f,
+                "hidden action {name:?} is shared between components; compositional abstraction requires hidden actions to be local"
+            ),
+        }
+    }
+}
+
+impl Error for AbstractionError {}
+
+impl From<AutomataError> for AbstractionError {
+    fn from(e: AutomataError) -> AbstractionError {
+        AbstractionError::Automata(e)
+    }
+}
+
+/// An abstracting homomorphism `h : Σ → Σ' ∪ {ε}`, extended to finite and
+/// infinite words as in Definition 6.1.
+///
+/// `h` either renames a source action to a target action or hides it
+/// (maps it to the empty word `ε`).
+///
+/// # Example
+///
+/// ```
+/// use rl_automata::Alphabet;
+/// use rl_abstraction::Homomorphism;
+///
+/// # fn main() -> Result<(), rl_abstraction::AbstractionError> {
+/// let sigma = Alphabet::new(["request", "result", "reject", "lock", "free"])?;
+/// // Keep only the client-visible actions (the paper's Section 2).
+/// let h = Homomorphism::hiding(&sigma, ["request", "result", "reject"])?;
+/// let lock = sigma.symbol("lock").unwrap();
+/// let request = sigma.symbol("request").unwrap();
+/// assert_eq!(h.apply(lock), None);            // hidden
+/// assert!(h.apply(request).is_some());        // kept
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Homomorphism {
+    source: Alphabet,
+    target: Alphabet,
+    map: Vec<Option<Symbol>>,
+}
+
+impl Homomorphism {
+    /// Builds a homomorphism from an explicit mapping: `assign` returns the
+    /// target symbol *name* for each source symbol, or `None` to hide it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutomataError::UnknownSymbol`] (wrapped) when an assigned
+    /// name is not in `target`.
+    pub fn new(
+        source: &Alphabet,
+        target: &Alphabet,
+        assign: impl Fn(&str) -> Option<String>,
+    ) -> Result<Homomorphism, AbstractionError> {
+        let mut map = Vec::with_capacity(source.len());
+        for (_, name) in source.iter() {
+            match assign(name) {
+                Some(tname) => map.push(Some(target.require(&tname)?)),
+                None => map.push(None),
+            }
+        }
+        Ok(Homomorphism {
+            source: source.clone(),
+            target: target.clone(),
+            map,
+        })
+    }
+
+    /// The common case: keep the listed actions (with their names), hide all
+    /// others. The target alphabet is built from `visible` in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `visible` contains duplicates or names not in
+    /// `source`.
+    pub fn hiding<'a>(
+        source: &Alphabet,
+        visible: impl IntoIterator<Item = &'a str>,
+    ) -> Result<Homomorphism, AbstractionError> {
+        let names: Vec<&str> = visible.into_iter().collect();
+        for name in &names {
+            source.require(name)?;
+        }
+        let target = Alphabet::new(names.iter().map(|s| s.to_string()))?;
+        Homomorphism::new(source, &target, |n| {
+            if names.contains(&n) {
+                Some(n.to_owned())
+            } else {
+                None
+            }
+        })
+    }
+
+    /// The source alphabet `Σ`.
+    pub fn source(&self) -> &Alphabet {
+        &self.source
+    }
+
+    /// The target alphabet `Σ'`.
+    pub fn target(&self) -> &Alphabet {
+        &self.target
+    }
+
+    /// Applies `h` to one symbol; `None` means hidden (`ε`).
+    pub fn apply(&self, a: Symbol) -> Option<Symbol> {
+        self.map[a.index()]
+    }
+
+    /// Whether `a` is hidden.
+    pub fn hides(&self, a: Symbol) -> bool {
+        self.map[a.index()].is_none()
+    }
+
+    /// Applies `h` to a finite word.
+    pub fn apply_word(&self, w: &[Symbol]) -> Word {
+        w.iter().filter_map(|&a| self.apply(a)).collect()
+    }
+
+    /// Applies `h` to an ultimately periodic ω-word.
+    ///
+    /// Per Definition 6.1, `h(x)` is undefined when the image has no ω-limit
+    /// — for a lasso word, exactly when the period consists of hidden
+    /// letters only. In that case `None` is returned.
+    pub fn apply_upword(&self, x: &UpWord) -> Option<UpWord> {
+        let period = self.apply_word(x.period());
+        if period.is_empty() {
+            return None;
+        }
+        let prefix = self.apply_word(x.prefix());
+        Some(UpWord::new(prefix, period).expect("non-empty period"))
+    }
+
+    /// The set of source symbols mapped to each target symbol (preimages of
+    /// visible actions); index by target symbol index.
+    pub fn preimages(&self) -> Vec<Vec<Symbol>> {
+        let mut out = vec![Vec::new(); self.target.len()];
+        for (i, m) in self.map.iter().enumerate() {
+            if let Some(t) = m {
+                out[t.index()].push(Symbol::from_index(i));
+            }
+        }
+        out
+    }
+
+    /// The hidden source symbols.
+    pub fn hidden_symbols(&self) -> Vec<Symbol> {
+        self.map
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.is_none())
+            .map(|(i, _)| Symbol::from_index(i))
+            .collect()
+    }
+}
+
+impl fmt::Display for Homomorphism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self
+            .source
+            .iter()
+            .map(|(a, name)| match self.apply(a) {
+                Some(t) => format!("{name}↦{}", self.target.name(t)),
+                None => format!("{name}↦ε"),
+            })
+            .collect();
+        write!(f, "{{{}}}", parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Alphabet, Homomorphism) {
+        let sigma = Alphabet::new(["a", "b", "tau"]).unwrap();
+        let h = Homomorphism::hiding(&sigma, ["a", "b"]).unwrap();
+        (sigma, h)
+    }
+
+    #[test]
+    fn hiding_builds_expected_map() {
+        let (sigma, h) = setup();
+        assert_eq!(h.target().len(), 2);
+        assert!(h.hides(sigma.symbol("tau").unwrap()));
+        assert!(!h.hides(sigma.symbol("a").unwrap()));
+        assert_eq!(h.hidden_symbols().len(), 1);
+    }
+
+    #[test]
+    fn word_images_drop_hidden() {
+        let (sigma, h) = setup();
+        let a = sigma.symbol("a").unwrap();
+        let tau = sigma.symbol("tau").unwrap();
+        let img = h.apply_word(&[tau, a, tau, a]);
+        assert_eq!(img.len(), 2);
+        assert_eq!(h.target().name(img[0]), "a");
+    }
+
+    #[test]
+    fn upword_image_undefined_on_silent_period() {
+        let (sigma, h) = setup();
+        let a = sigma.symbol("a").unwrap();
+        let tau = sigma.symbol("tau").unwrap();
+        let silent = UpWord::new(vec![a], vec![tau]).unwrap();
+        assert_eq!(h.apply_upword(&silent), None);
+        let alive = UpWord::new(vec![tau], vec![a, tau]).unwrap();
+        let img = h.apply_upword(&alive).unwrap();
+        assert_eq!(img.prefix().len(), 0);
+        assert_eq!(img.period().len(), 1);
+    }
+
+    #[test]
+    fn renaming_homomorphism() {
+        let sigma = Alphabet::new(["yes", "no"]).unwrap();
+        let target = Alphabet::new(["answer"]).unwrap();
+        let h = Homomorphism::new(&sigma, &target, |_| Some("answer".to_owned())).unwrap();
+        let yes = sigma.symbol("yes").unwrap();
+        let no = sigma.symbol("no").unwrap();
+        assert_eq!(h.apply(yes), h.apply(no));
+        assert_eq!(h.preimages()[0].len(), 2);
+    }
+
+    #[test]
+    fn unknown_visible_name_rejected() {
+        let sigma = Alphabet::new(["a"]).unwrap();
+        assert!(Homomorphism::hiding(&sigma, ["zzz"]).is_err());
+    }
+
+    #[test]
+    fn display_shows_mapping() {
+        let (_, h) = setup();
+        let text = h.to_string();
+        assert!(text.contains("tau↦ε"));
+        assert!(text.contains("a↦a"));
+    }
+}

@@ -1,0 +1,332 @@
+//! Simplicity of abstracting homomorphisms (Definition 6.3, after
+//! Ochsenschläger).
+//!
+//! `h` is *simple* for a prefix-closed language `L` and a word `w ∈ L` iff
+//! there exists `u ∈ cont(h(w), h(L))` such that
+//!
+//! ```text
+//! cont(u, cont(h(w), h(L))) = cont(u, h(cont(w, L))),
+//! ```
+//!
+//! i.e. the abstract continuations *eventually* (after some `u`) coincide
+//! with the image of the concrete continuations. Theorem 8.2 shows this is
+//! exactly what makes relative liveness transfer from the abstraction to the
+//! concrete system.
+//!
+//! # Decision procedure
+//!
+//! For regular `L` the data of `w` is the pair `(q, s)`:
+//! `q = δ_L(q₀, w)` in a DFA for `L` determines `cont(w, L)` (and hence
+//! `h(cont(w, L))`), and `s = δ_h(s₀, h(w))` in a DFA for `h(L)` determines
+//! `cont(h(w), h(L))`. Finitely many pairs are reachable; for each we search
+//! the product of the two continuation DFAs for a point `u` where the
+//! residual languages are equivalent (Hopcroft–Karp). Both searches are
+//! complete, so the procedure decides simplicity exactly and returns a
+//! concrete witness word when `h` is *not* simple.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use rl_automata::{equivalent_states, Dfa, Nfa, StateId, Word};
+
+use crate::hom::{AbstractionError, Homomorphism};
+use crate::image::image_nfa;
+
+/// Outcome of a simplicity check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimplicityReport {
+    /// Whether `h` is simple for the language.
+    pub simple: bool,
+    /// When not simple: a word `w ∈ L` for which no `u` as in Definition 6.3
+    /// exists (e.g. `lock` for the paper's Figure 3 system).
+    pub violation: Option<Word>,
+    /// Number of `(q, s)` pairs examined (a size measure for benchmarks).
+    pub pairs_checked: usize,
+}
+
+/// Decides whether `h` is simple for the prefix-closed regular language
+/// `L(language)` (Definition 6.3).
+///
+/// # Errors
+///
+/// * [`AbstractionError::NotPrefixClosed`] when `language` is not prefix
+///   closed (the paper's systems always are — Section 6),
+/// * [`AbstractionError::Automata`] when the alphabets do not line up.
+///
+/// # Example
+///
+/// ```
+/// use rl_automata::Alphabet;
+/// use rl_abstraction::{check_simplicity, Homomorphism};
+/// use rl_petri::examples::{server_behaviors, server_err_behaviors};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let keep = ["request", "result", "reject"];
+/// // Figure 2: the abstraction is simple …
+/// let good = server_behaviors();
+/// let h = Homomorphism::hiding(good.alphabet(), keep)?;
+/// assert!(check_simplicity(&h, &good.to_nfa())?.simple);
+/// // … Figure 3: it is not (the `lock` prefix kills all results).
+/// let bad = server_err_behaviors();
+/// let h_err = Homomorphism::hiding(bad.alphabet(), keep)?;
+/// let report = check_simplicity(&h_err, &bad.to_nfa())?;
+/// assert!(!report.simple);
+/// # Ok(())
+/// # }
+/// ```
+pub fn check_simplicity(
+    h: &Homomorphism,
+    language: &Nfa,
+) -> Result<SimplicityReport, AbstractionError> {
+    h.source().check_compatible(language.alphabet())?;
+    if !language.is_prefix_closed() {
+        return Err(AbstractionError::NotPrefixClosed);
+    }
+
+    // DFA of L, restricted to live states (all of which accept: L = pre(L)).
+    let d = trim_dfa(&language.determinize());
+    if d.state_count() == 0 {
+        // Empty language: vacuously simple (no words to check).
+        return Ok(SimplicityReport {
+            simple: true,
+            violation: None,
+            pairs_checked: 0,
+        });
+    }
+    // DFA of h(L), likewise trimmed.
+    let dh = trim_dfa(&image_nfa(h, language).determinize());
+
+    // Per concrete state q: DFA of h(cont(w, L)) = h(language of d from q).
+    let mut image_cont: Vec<Option<Dfa>> = vec![None; d.state_count()];
+    let e_q = |q: StateId, cache: &mut Vec<Option<Dfa>>| -> Dfa {
+        if cache[q].is_none() {
+            let rooted = d.rooted_at(q).to_nfa();
+            cache[q] = Some(image_nfa(h, &rooted).determinize());
+        }
+        cache[q].clone().expect("just inserted")
+    };
+
+    // BFS over reachable (q, s) pairs, remembering a witness word per pair.
+    let mut seen: BTreeMap<(StateId, StateId), Word> = BTreeMap::new();
+    let mut queue: VecDeque<(StateId, StateId)> = VecDeque::new();
+    let start = (d.initial(), dh.initial());
+    seen.insert(start, Vec::new());
+    queue.push_back(start);
+    let mut pairs_checked = 0usize;
+
+    while let Some((q, s)) = queue.pop_front() {
+        pairs_checked += 1;
+        let eq = e_q(q, &mut image_cont);
+        if !pair_is_simple(&dh, s, &eq) {
+            return Ok(SimplicityReport {
+                simple: false,
+                violation: Some(seen[&(q, s)].clone()),
+                pairs_checked,
+            });
+        }
+        let witness = seen[&(q, s)].clone();
+        for a in d.alphabet().clone().symbols() {
+            let Some(q2) = d.next(q, a) else { continue };
+            let s2 = match h.apply(a) {
+                Some(b) => match dh.next(s, b) {
+                    Some(s2) => s2,
+                    None => unreachable!("h(w) ∈ h(L) must be tracked by the h(L)-DFA"),
+                },
+                None => s,
+            };
+            if !seen.contains_key(&(q2, s2)) {
+                let mut w2 = witness.clone();
+                w2.push(a);
+                seen.insert((q2, s2), w2);
+                queue.push_back((q2, s2));
+            }
+        }
+    }
+    Ok(SimplicityReport {
+        simple: true,
+        violation: None,
+        pairs_checked,
+    })
+}
+
+/// Does there exist `u ∈ L(dh from s)` with
+/// `cont(u, L(dh from s)) = cont(u, L(eq))`?
+///
+/// Walks the synchronous product of the two (partial) DFAs; at every pair of
+/// states reached by a common `u` that is in `L(dh from s)` (i.e. the `dh`
+/// state accepts — prefix-closedness makes intermediate states accepting
+/// too), tests residual-language equivalence.
+fn pair_is_simple(dh: &Dfa, s: StateId, eq: &Dfa) -> bool {
+    let mut seen: BTreeSet<(StateId, Option<StateId>)> = BTreeSet::new();
+    let mut queue: VecDeque<(StateId, Option<StateId>)> = VecDeque::new();
+    let start = (s, Some(eq.initial()));
+    seen.insert(start);
+    queue.push_back(start);
+    while let Some((t1, t2)) = queue.pop_front() {
+        if !dh.is_accepting(t1) {
+            // u has left cont(h(w), h(L)); no deeper u can re-enter
+            // (prefix-closed), so prune.
+            continue;
+        }
+        if let Some(t2) = t2 {
+            if equivalent_states(dh, t1, eq, t2) {
+                return true;
+            }
+        }
+        for b in dh.alphabet().clone().symbols() {
+            let Some(n1) = dh.next(t1, b) else { continue };
+            let n2 = t2.and_then(|t| eq.next(t, b));
+            if seen.insert((n1, n2)) {
+                queue.push_back((n1, n2));
+            }
+        }
+    }
+    false
+}
+
+/// Restricts a DFA to its live (reachable and co-reachable) states.
+fn trim_dfa(d: &Dfa) -> Dfa {
+    let nfa = d.to_nfa();
+    let reach = nfa.reachable();
+    let coreach = nfa.coreachable();
+    let keep: Vec<bool> = reach.iter().zip(&coreach).map(|(&r, &c)| r && c).collect();
+    let trimmed = nfa.restrict(&keep);
+    // Rebuild as a DFA (restriction preserves determinism).
+    let mut out = Dfa::new(d.alphabet().clone());
+    for q in 0..trimmed.state_count() {
+        out.add_state(trimmed.is_accepting(q));
+    }
+    if let Some(&q0) = trimmed.initial().iter().next() {
+        out.set_initial(q0);
+    }
+    for (p, a, q) in trimmed.transitions() {
+        out.set_transition(p, a, q);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rl_automata::{Alphabet, TransitionSystem};
+
+    /// h hiding tau over a two-action alphabet.
+    fn hom(sigma: &Alphabet) -> Homomorphism {
+        Homomorphism::hiding(sigma, ["a", "b"]).unwrap()
+    }
+
+    #[test]
+    fn identity_homomorphism_is_simple() {
+        let sigma = Alphabet::new(["a", "b"]).unwrap();
+        let h = Homomorphism::new(&sigma, &sigma, |n| Some(n.to_owned())).unwrap();
+        let mut ts = TransitionSystem::new(sigma.clone());
+        let s0 = ts.add_state();
+        let s1 = ts.add_state();
+        ts.set_initial(s0);
+        ts.add_transition(s0, sigma.symbol("a").unwrap(), s1);
+        ts.add_transition(s1, sigma.symbol("b").unwrap(), s0);
+        let report = check_simplicity(&h, &ts.to_nfa()).unwrap();
+        assert!(report.simple);
+    }
+
+    #[test]
+    fn hiding_a_neutral_loop_is_simple() {
+        // (tau* a)* — hiding tau: abstract a*, continuations always the same.
+        let sigma = Alphabet::new(["a", "b", "tau"]).unwrap();
+        let a = sigma.symbol("a").unwrap();
+        let tau = sigma.symbol("tau").unwrap();
+        let mut ts = TransitionSystem::new(sigma.clone());
+        let s0 = ts.add_state();
+        ts.set_initial(s0);
+        ts.add_transition(s0, tau, s0);
+        ts.add_transition(s0, a, s0);
+        let report = check_simplicity(&hom(&sigma), &ts.to_nfa()).unwrap();
+        assert!(report.simple);
+    }
+
+    #[test]
+    fn hidden_mode_switch_is_not_simple() {
+        // tau silently degrades (a|b)* into b*: abstractly nothing happened,
+        // but concretely the `a` capability is gone forever — the
+        // continuations never re-converge, so no witness `u` exists.
+        let sigma = Alphabet::new(["a", "b", "tau"]).unwrap();
+        let a = sigma.symbol("a").unwrap();
+        let b = sigma.symbol("b").unwrap();
+        let tau = sigma.symbol("tau").unwrap();
+        let mut ts = TransitionSystem::new(sigma.clone());
+        let s0 = ts.add_state();
+        let s1 = ts.add_state();
+        ts.set_initial(s0);
+        ts.add_transition(s0, a, s0);
+        ts.add_transition(s0, b, s0);
+        ts.add_transition(s0, tau, s1);
+        ts.add_transition(s1, b, s1);
+        let report = check_simplicity(&hom(&sigma), &ts.to_nfa()).unwrap();
+        assert!(!report.simple);
+        // The violation is the silent switch itself.
+        assert_eq!(report.violation, Some(vec![tau]));
+    }
+
+    #[test]
+    fn converging_mode_switch_is_simple() {
+        // tau switches a* into b*-only, but the abstract language a*b* also
+        // loses its `a`s after the first b: continuations converge at u = b,
+        // so Definition 6.3's ∃u is satisfied — h *is* simple here.
+        let sigma = Alphabet::new(["a", "b", "tau"]).unwrap();
+        let a = sigma.symbol("a").unwrap();
+        let b = sigma.symbol("b").unwrap();
+        let tau = sigma.symbol("tau").unwrap();
+        let mut ts = TransitionSystem::new(sigma.clone());
+        let s0 = ts.add_state();
+        let s1 = ts.add_state();
+        ts.set_initial(s0);
+        ts.add_transition(s0, a, s0);
+        ts.add_transition(s0, tau, s1);
+        ts.add_transition(s1, b, s1);
+        let report = check_simplicity(&hom(&sigma), &ts.to_nfa()).unwrap();
+        assert!(report.simple, "violation: {:?}", report.violation);
+    }
+
+    #[test]
+    fn eventual_agreement_is_enough() {
+        // After the hidden action the concrete continuations disagree with
+        // the abstract ones for one step, but coincide after u = a.
+        // L: s0 --tau--> s1 --a--> s2, s2 --(a|b)--> s2 ; also s0 --a--> s2.
+        // h(cont(tau, L)) = a (a|b)*, cont(h(tau)=ε, h(L)) = h(L) = a (a|b)*.
+        let sigma = Alphabet::new(["a", "b", "tau"]).unwrap();
+        let a = sigma.symbol("a").unwrap();
+        let b = sigma.symbol("b").unwrap();
+        let tau = sigma.symbol("tau").unwrap();
+        let mut ts = TransitionSystem::new(sigma.clone());
+        let s0 = ts.add_state();
+        let s1 = ts.add_state();
+        let s2 = ts.add_state();
+        ts.set_initial(s0);
+        ts.add_transition(s0, tau, s1);
+        ts.add_transition(s0, a, s2);
+        ts.add_transition(s1, a, s2);
+        ts.add_transition(s2, a, s2);
+        ts.add_transition(s2, b, s2);
+        let report = check_simplicity(&hom(&sigma), &ts.to_nfa()).unwrap();
+        assert!(report.simple);
+    }
+
+    #[test]
+    fn non_prefix_closed_input_rejected() {
+        let sigma = Alphabet::new(["a", "b", "tau"]).unwrap();
+        let a = sigma.symbol("a").unwrap();
+        let l = Nfa::from_parts(sigma.clone(), 2, [0], [1], [(0, a, 1)]).unwrap();
+        assert_eq!(
+            check_simplicity(&hom(&sigma), &l).unwrap_err(),
+            AbstractionError::NotPrefixClosed
+        );
+    }
+
+    #[test]
+    fn empty_language_is_simple() {
+        let sigma = Alphabet::new(["a", "b", "tau"]).unwrap();
+        let l = Nfa::new(sigma.clone());
+        let report = check_simplicity(&hom(&sigma), &l).unwrap();
+        assert!(report.simple);
+        assert_eq!(report.pairs_checked, 0);
+    }
+}

@@ -1,0 +1,227 @@
+//! Interned alphabets and symbols.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::AutomataError;
+
+/// A symbol (action letter) of an [`Alphabet`].
+///
+/// Symbols are small indices; they are only meaningful together with the
+/// alphabet that created them. All automaton transitions are labeled with
+/// `Symbol`s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// Returns the dense index of this symbol within its alphabet.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a symbol from a dense index.
+    ///
+    /// Prefer [`Alphabet::symbol`]; this is for iteration code that already
+    /// knows the index is in range.
+    pub fn from_index(idx: usize) -> Symbol {
+        Symbol(idx as u32)
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    names: Vec<String>,
+    index: BTreeMap<String, Symbol>,
+}
+
+/// A finite, named action alphabet `Σ`.
+///
+/// Alphabets are cheap to clone (internally reference counted) and compare
+/// equal when they intern the same symbol names in the same order. Automata
+/// over different alphabets refuse to be combined.
+///
+/// # Example
+///
+/// ```
+/// use rl_automata::Alphabet;
+///
+/// # fn main() -> Result<(), rl_automata::AutomataError> {
+/// let ab = Alphabet::new(["request", "result", "reject"])?;
+/// assert_eq!(ab.len(), 3);
+/// let r = ab.symbol("request").unwrap();
+/// assert_eq!(ab.name(r), "request");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Alphabet {
+    inner: Arc<Inner>,
+}
+
+impl Alphabet {
+    /// Creates an alphabet from symbol names, in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutomataError::DuplicateSymbol`] if a name repeats and
+    /// [`AutomataError::EmptyAlphabet`] if no names are given.
+    pub fn new<I, S>(names: I) -> Result<Alphabet, AutomataError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut inner = Inner {
+            names: Vec::new(),
+            index: BTreeMap::new(),
+        };
+        for name in names {
+            let name = name.into();
+            let sym = Symbol(inner.names.len() as u32);
+            if inner.index.insert(name.clone(), sym).is_some() {
+                return Err(AutomataError::DuplicateSymbol(name));
+            }
+            inner.names.push(name);
+        }
+        if inner.names.is_empty() {
+            return Err(AutomataError::EmptyAlphabet);
+        }
+        Ok(Alphabet {
+            inner: Arc::new(inner),
+        })
+    }
+
+    /// Number of symbols.
+    pub fn len(&self) -> usize {
+        self.inner.names.len()
+    }
+
+    /// Whether the alphabet has no symbols (never true for constructed ones).
+    pub fn is_empty(&self) -> bool {
+        self.inner.names.is_empty()
+    }
+
+    /// Looks up a symbol by name.
+    pub fn symbol(&self, name: &str) -> Option<Symbol> {
+        self.inner.index.get(name).copied()
+    }
+
+    /// Looks up a symbol by name, erroring when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutomataError::UnknownSymbol`] when `name` is not interned.
+    pub fn require(&self, name: &str) -> Result<Symbol, AutomataError> {
+        self.symbol(name)
+            .ok_or_else(|| AutomataError::UnknownSymbol(name.to_owned()))
+    }
+
+    /// The name of a symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` does not belong to this alphabet.
+    pub fn name(&self, sym: Symbol) -> &str {
+        &self.inner.names[sym.index()]
+    }
+
+    /// Iterates over all symbols in index order.
+    pub fn symbols(&self) -> impl Iterator<Item = Symbol> + '_ {
+        (0..self.len()).map(Symbol::from_index)
+    }
+
+    /// Iterates over `(symbol, name)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> + '_ {
+        self.inner
+            .names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Symbol::from_index(i), n.as_str()))
+    }
+
+    /// All symbol names, in index order.
+    pub fn names(&self) -> Vec<String> {
+        self.inner.names.clone()
+    }
+
+    /// Checks that two alphabets intern the same names in the same order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutomataError::AlphabetMismatch`] when they differ.
+    pub fn check_compatible(&self, other: &Alphabet) -> Result<(), AutomataError> {
+        if self == other {
+            Ok(())
+        } else {
+            Err(AutomataError::AlphabetMismatch {
+                left: self.names(),
+                right: other.names(),
+            })
+        }
+    }
+}
+
+impl PartialEq for Alphabet {
+    fn eq(&self, other: &Alphabet) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner) || self.inner.names == other.inner.names
+    }
+}
+
+impl Eq for Alphabet {}
+
+impl fmt::Display for Alphabet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{{}}}", self.inner.names.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interns_in_order() {
+        let ab = Alphabet::new(["x", "y", "z"]).unwrap();
+        assert_eq!(ab.len(), 3);
+        assert_eq!(ab.symbol("y").unwrap().index(), 1);
+        assert_eq!(ab.name(Symbol::from_index(2)), "z");
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        let err = Alphabet::new(["x", "x"]).unwrap_err();
+        assert_eq!(err, AutomataError::DuplicateSymbol("x".into()));
+    }
+
+    #[test]
+    fn rejects_empty() {
+        let err = Alphabet::new(Vec::<String>::new()).unwrap_err();
+        assert_eq!(err, AutomataError::EmptyAlphabet);
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        let a = Alphabet::new(["p", "q"]).unwrap();
+        let b = Alphabet::new(["p", "q"]).unwrap();
+        let c = Alphabet::new(["q", "p"]).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.check_compatible(&b).is_ok());
+        assert!(a.check_compatible(&c).is_err());
+    }
+
+    #[test]
+    fn require_reports_unknown() {
+        let a = Alphabet::new(["p"]).unwrap();
+        assert_eq!(
+            a.require("nope").unwrap_err(),
+            AutomataError::UnknownSymbol("nope".into())
+        );
+    }
+
+    #[test]
+    fn display_lists_names() {
+        let a = Alphabet::new(["p", "q"]).unwrap();
+        assert_eq!(a.to_string(), "{p, q}");
+    }
+}

@@ -1,0 +1,458 @@
+//! Deterministic finite automata over finite words.
+
+use std::collections::BTreeMap;
+
+use crate::alphabet::{Alphabet, Symbol};
+use crate::error::AutomataError;
+use crate::nfa::Nfa;
+use crate::word::Word;
+use crate::StateId;
+
+/// A deterministic finite automaton, possibly *partial* (missing transitions
+/// reject).
+///
+/// Produced by [`Nfa::determinize`] and consumed by the minimization and
+/// equivalence algorithms. A `Dfa` always has exactly one initial state.
+///
+/// # Example
+///
+/// ```
+/// use rl_automata::{Alphabet, Dfa};
+///
+/// # fn main() -> Result<(), rl_automata::AutomataError> {
+/// let ab = Alphabet::new(["a"])?;
+/// let a = ab.symbol("a").unwrap();
+/// let mut d = Dfa::new(ab);
+/// let q0 = d.add_state(false);
+/// let q1 = d.add_state(true);
+/// d.set_initial(q0);
+/// d.set_transition(q0, a, q1);
+/// assert!(d.accepts(&[a]));
+/// assert!(!d.accepts(&[a, a])); // partial: missing transition rejects
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dfa {
+    alphabet: Alphabet,
+    initial: StateId,
+    accepting: Vec<bool>,
+    delta: Vec<BTreeMap<Symbol, StateId>>,
+}
+
+impl Dfa {
+    /// Creates an empty automaton over `alphabet`.
+    ///
+    /// The initial state defaults to the first state added.
+    pub fn new(alphabet: Alphabet) -> Dfa {
+        Dfa {
+            alphabet,
+            initial: 0,
+            accepting: Vec::new(),
+            delta: Vec::new(),
+        }
+    }
+
+    /// Builds a DFA from raw parts, validating all indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutomataError::InvalidState`] for an out-of-range state.
+    pub fn from_parts(
+        alphabet: Alphabet,
+        state_count: usize,
+        initial: StateId,
+        accepting: impl IntoIterator<Item = StateId>,
+        transitions: impl IntoIterator<Item = (StateId, Symbol, StateId)>,
+    ) -> Result<Dfa, AutomataError> {
+        let mut dfa = Dfa::new(alphabet);
+        for _ in 0..state_count {
+            dfa.add_state(false);
+        }
+        if initial >= state_count {
+            return Err(AutomataError::InvalidState(initial));
+        }
+        dfa.initial = initial;
+        for q in accepting {
+            if q >= state_count {
+                return Err(AutomataError::InvalidState(q));
+            }
+            dfa.accepting[q] = true;
+        }
+        for (p, a, q) in transitions {
+            if p >= state_count {
+                return Err(AutomataError::InvalidState(p));
+            }
+            if q >= state_count {
+                return Err(AutomataError::InvalidState(q));
+            }
+            dfa.set_transition(p, a, q);
+        }
+        Ok(dfa)
+    }
+
+    /// Adds a state, returning its id.
+    pub fn add_state(&mut self, accepting: bool) -> StateId {
+        self.accepting.push(accepting);
+        self.delta.push(BTreeMap::new());
+        self.accepting.len() - 1
+    }
+
+    /// Sets the initial state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn set_initial(&mut self, q: StateId) {
+        assert!(q < self.state_count(), "invalid state {q}");
+        self.initial = q;
+    }
+
+    /// Sets whether `q` accepts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn set_accepting(&mut self, q: StateId, accepting: bool) {
+        assert!(q < self.state_count(), "invalid state {q}");
+        self.accepting[q] = accepting;
+    }
+
+    /// Sets (overwrites) the transition `from --symbol--> to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a state is out of range.
+    pub fn set_transition(&mut self, from: StateId, symbol: Symbol, to: StateId) {
+        assert!(from < self.state_count(), "invalid state {from}");
+        assert!(to < self.state_count(), "invalid state {to}");
+        self.delta[from].insert(symbol, to);
+    }
+
+    /// The automaton's alphabet.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.accepting.len()
+    }
+
+    /// The initial state.
+    pub fn initial(&self) -> StateId {
+        self.initial
+    }
+
+    /// Whether `q` accepts.
+    pub fn is_accepting(&self, q: StateId) -> bool {
+        self.accepting[q]
+    }
+
+    /// The successor of `q` on `symbol`, if defined.
+    pub fn next(&self, q: StateId, symbol: Symbol) -> Option<StateId> {
+        self.delta[q].get(&symbol).copied()
+    }
+
+    /// Runs the automaton on `word` from the initial state, returning the
+    /// state reached (or `None` if the run falls off the partial function).
+    pub fn run(&self, word: &[Symbol]) -> Option<StateId> {
+        self.run_from(self.initial, word)
+    }
+
+    /// Runs the automaton on `word` from `q`.
+    pub fn run_from(&self, q: StateId, word: &[Symbol]) -> Option<StateId> {
+        let mut cur = q;
+        for &a in word {
+            cur = self.next(cur, a)?;
+        }
+        Some(cur)
+    }
+
+    /// Whether the automaton accepts `word`.
+    pub fn accepts(&self, word: &[Symbol]) -> bool {
+        self.run(word).is_some_and(|q| self.accepting[q])
+    }
+
+    /// Iterates over all transitions in sorted order.
+    pub fn transitions(&self) -> impl Iterator<Item = (StateId, Symbol, StateId)> + '_ {
+        self.delta
+            .iter()
+            .enumerate()
+            .flat_map(|(p, row)| row.iter().map(move |(&a, &q)| (p, a, q)))
+    }
+
+    /// Whether the transition function is total.
+    pub fn is_complete(&self) -> bool {
+        self.delta
+            .iter()
+            .all(|row| row.len() == self.alphabet.len())
+    }
+
+    /// Completes the transition function by adding a rejecting sink if any
+    /// transition is missing. The language is unchanged.
+    pub fn complete(&self) -> Dfa {
+        if self.is_complete() {
+            return self.clone();
+        }
+        let mut out = self.clone();
+        let sink = out.add_state(false);
+        let alphabet = out.alphabet.clone();
+        for q in 0..out.state_count() {
+            for a in alphabet.symbols() {
+                if out.next(q, a).is_none() {
+                    out.set_transition(q, a, sink);
+                }
+            }
+        }
+        out
+    }
+
+    /// Complement automaton: accepts exactly the words `self` rejects.
+    pub fn complement(&self) -> Dfa {
+        let mut out = self.complete();
+        for q in 0..out.state_count() {
+            out.accepting[q] = !out.accepting[q];
+        }
+        out
+    }
+
+    /// Product automaton, combining acceptance with `combine`.
+    ///
+    /// With `|p, q| p && q` this is intersection; with `|p, q| p && !q` it is
+    /// difference; with `|p, q| p != q` symmetric difference. Both operands
+    /// are completed first so the product is total.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutomataError::AlphabetMismatch`] when the alphabets differ.
+    pub fn product(
+        &self,
+        other: &Dfa,
+        combine: impl Fn(bool, bool) -> bool,
+    ) -> Result<Dfa, AutomataError> {
+        self.alphabet.check_compatible(&other.alphabet)?;
+        let a = self.complete();
+        let b = other.complete();
+        let mut index: BTreeMap<(StateId, StateId), StateId> = BTreeMap::new();
+        let mut out = Dfa::new(self.alphabet.clone());
+        let mut work = vec![(a.initial, b.initial)];
+        let start = out.add_state(combine(a.accepting[a.initial], b.accepting[b.initial]));
+        out.set_initial(start);
+        index.insert((a.initial, b.initial), start);
+        while let Some((p, q)) = work.pop() {
+            let id = index[&(p, q)];
+            for s in self.alphabet.symbols() {
+                let (p2, q2) = (
+                    a.next(p, s).expect("complete"),
+                    b.next(q, s).expect("complete"),
+                );
+                let nid = *index.entry((p2, q2)).or_insert_with(|| {
+                    let nid = out.add_state(combine(a.accepting[p2], b.accepting[q2]));
+                    work.push((p2, q2));
+                    nid
+                });
+                out.set_transition(id, s, nid);
+            }
+        }
+        Ok(out)
+    }
+
+    /// `L(self) \ L(other)` as a DFA.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutomataError::AlphabetMismatch`] when the alphabets differ.
+    pub fn difference(&self, other: &Dfa) -> Result<Dfa, AutomataError> {
+        self.product(other, |p, q| p && !q)
+    }
+
+    /// Whether the language is empty.
+    pub fn is_empty_language(&self) -> bool {
+        self.to_nfa().is_empty_language()
+    }
+
+    /// A shortest accepted word, when the language is non-empty.
+    pub fn shortest_accepted(&self) -> Option<Word> {
+        self.to_nfa().shortest_accepted()
+    }
+
+    /// Converts to an equivalent [`Nfa`].
+    pub fn to_nfa(&self) -> Nfa {
+        let mut out = Nfa::new(self.alphabet.clone());
+        for q in 0..self.state_count() {
+            out.add_state(self.accepting[q]);
+        }
+        if self.state_count() > 0 {
+            out.set_initial(self.initial);
+        }
+        for (p, a, q) in self.transitions() {
+            out.add_transition(p, a, q);
+        }
+        out
+    }
+
+    /// Re-roots the automaton at `q`: the result accepts the left quotient
+    /// `cont(w, L)` for any `w` with `run(w) == Some(q)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn rooted_at(&self, q: StateId) -> Dfa {
+        assert!(q < self.state_count(), "invalid state {q}");
+        let mut out = self.clone();
+        out.initial = q;
+        out
+    }
+
+    /// The minimal complete DFA for the language (Hopcroft).
+    ///
+    /// The result has a canonical shape for
+    /// each language (up to state numbering determined by BFS order).
+    pub fn min_dfa(&self) -> Dfa {
+        crate::minimize::minimize(self)
+    }
+
+    /// Removes states unreachable from the initial state.
+    pub fn remove_unreachable(&self) -> Dfa {
+        let nfa = self.to_nfa();
+        let reach = nfa.reachable();
+        let mut map: Vec<Option<StateId>> = vec![None; self.state_count()];
+        let mut out = Dfa::new(self.alphabet.clone());
+        for q in 0..self.state_count() {
+            if reach[q] {
+                map[q] = Some(out.add_state(self.accepting[q]));
+            }
+        }
+        if let Some(ni) = map[self.initial] {
+            out.set_initial(ni);
+        }
+        for (p, a, q) in self.transitions() {
+            if let (Some(np), Some(nq)) = (map[p], map[q]) {
+                out.set_transition(np, a, nq);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ab2() -> (Alphabet, Symbol, Symbol) {
+        let ab = Alphabet::new(["a", "b"]).unwrap();
+        let a = ab.symbol("a").unwrap();
+        let b = ab.symbol("b").unwrap();
+        (ab, a, b)
+    }
+
+    /// D accepting words with an even number of `a`s.
+    fn even_a() -> Dfa {
+        let (ab, a, b) = ab2();
+        let mut d = Dfa::new(ab);
+        let q0 = d.add_state(true);
+        let q1 = d.add_state(false);
+        d.set_initial(q0);
+        d.set_transition(q0, a, q1);
+        d.set_transition(q1, a, q0);
+        d.set_transition(q0, b, q0);
+        d.set_transition(q1, b, q1);
+        d
+    }
+
+    #[test]
+    fn complement_flips_membership() {
+        let (_, a, b) = ab2();
+        let d = even_a();
+        let c = d.complement();
+        for w in [vec![], vec![a], vec![a, a], vec![b, a, b]] {
+            assert_eq!(d.accepts(&w), !c.accepts(&w), "word {w:?}");
+        }
+    }
+
+    #[test]
+    fn partial_dfa_rejects_missing() {
+        let (ab, a, _) = ab2();
+        let mut d = Dfa::new(ab);
+        let q0 = d.add_state(false);
+        let q1 = d.add_state(true);
+        d.set_initial(q0);
+        d.set_transition(q0, a, q1);
+        assert!(d.accepts(&[a]));
+        assert!(!d.accepts(&[a, a]));
+        assert!(!d.is_complete());
+        let c = d.complete();
+        assert!(c.is_complete());
+        assert_eq!(c.accepts(&[a, a]), false);
+        assert_eq!(c.accepts(&[a]), true);
+    }
+
+    #[test]
+    fn product_difference() {
+        let (ab, a, b) = ab2();
+        let even = even_a();
+        // All words containing at least one b.
+        let mut has_b = Dfa::new(ab);
+        let p0 = has_b.add_state(false);
+        let p1 = has_b.add_state(true);
+        has_b.set_initial(p0);
+        has_b.set_transition(p0, a, p0);
+        has_b.set_transition(p0, b, p1);
+        has_b.set_transition(p1, a, p1);
+        has_b.set_transition(p1, b, p1);
+
+        let diff = even.difference(&has_b).unwrap();
+        // even #a and no b => words in a(aa)*... i.e. (aa)*
+        assert!(diff.accepts(&[]));
+        assert!(diff.accepts(&[a, a]));
+        assert!(!diff.accepts(&[a]));
+        assert!(!diff.accepts(&[a, a, b]));
+    }
+
+    #[test]
+    fn rooted_at_gives_left_quotient() {
+        let (_, a, b) = ab2();
+        let d = even_a();
+        let q = d.run(&[a]).unwrap();
+        let rooted = d.rooted_at(q);
+        // cont(a, L) = words with odd #a.
+        assert!(rooted.accepts(&[a]));
+        assert!(!rooted.accepts(&[]));
+        assert!(rooted.accepts(&[b, a, b]));
+    }
+
+    #[test]
+    fn min_dfa_is_minimal() {
+        let (ab, a, b) = ab2();
+        // A redundant 4-state automaton for "even number of a's".
+        let mut d = Dfa::new(ab);
+        let q0 = d.add_state(true);
+        let q1 = d.add_state(false);
+        let q2 = d.add_state(true);
+        let q3 = d.add_state(false);
+        d.set_initial(q0);
+        d.set_transition(q0, a, q1);
+        d.set_transition(q1, a, q2);
+        d.set_transition(q2, a, q3);
+        d.set_transition(q3, a, q0);
+        for q in [q0, q1, q2, q3] {
+            d.set_transition(q, b, q);
+        }
+        let m = d.min_dfa();
+        assert_eq!(m.state_count(), 2);
+        assert!(crate::equiv::dfa_equivalent(&m, &even_a()));
+    }
+
+    #[test]
+    fn remove_unreachable_drops_orphans() {
+        let (ab, a, _) = ab2();
+        let mut d = Dfa::new(ab);
+        let q0 = d.add_state(true);
+        let _orphan = d.add_state(true);
+        d.set_initial(q0);
+        d.set_transition(q0, a, q0);
+        let r = d.remove_unreachable();
+        assert_eq!(r.state_count(), 1);
+    }
+}

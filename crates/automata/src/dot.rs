@@ -1,0 +1,120 @@
+//! Graphviz/DOT rendering of automata, for debugging and documentation.
+
+use std::fmt::Write as _;
+
+use crate::dfa::Dfa;
+use crate::nfa::Nfa;
+use crate::ts::TransitionSystem;
+
+fn header(out: &mut String, name: &str) {
+    let _ = writeln!(out, "digraph {name} {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=circle];");
+}
+
+impl Nfa {
+    /// Renders the automaton in Graphviz DOT syntax.
+    ///
+    /// Accepting states are doubly circled; initial states have an arrow from
+    /// an invisible source.
+    pub fn to_dot(&self, name: &str) -> String {
+        let mut out = String::new();
+        header(&mut out, name);
+        for q in 0..self.state_count() {
+            let shape = if self.is_accepting(q) {
+                "doublecircle"
+            } else {
+                "circle"
+            };
+            let _ = writeln!(out, "  q{q} [shape={shape}, label=\"{q}\"];");
+        }
+        for (i, &q) in self.initial().iter().enumerate() {
+            let _ = writeln!(out, "  init{i} [shape=none, label=\"\"];");
+            let _ = writeln!(out, "  init{i} -> q{q};");
+        }
+        for (p, a, q) in self.transitions() {
+            let _ = writeln!(
+                out,
+                "  q{p} -> q{q} [label=\"{}\"];",
+                self.alphabet().name(a)
+            );
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+impl Dfa {
+    /// Renders the automaton in Graphviz DOT syntax.
+    pub fn to_dot(&self, name: &str) -> String {
+        let mut out = String::new();
+        header(&mut out, name);
+        for q in 0..self.state_count() {
+            let shape = if self.is_accepting(q) {
+                "doublecircle"
+            } else {
+                "circle"
+            };
+            let _ = writeln!(out, "  q{q} [shape={shape}, label=\"{q}\"];");
+        }
+        let _ = writeln!(out, "  init [shape=none, label=\"\"];");
+        let _ = writeln!(out, "  init -> q{};", self.initial());
+        for (p, a, q) in self.transitions() {
+            let _ = writeln!(
+                out,
+                "  q{p} -> q{q} [label=\"{}\"];",
+                self.alphabet().name(a)
+            );
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+impl TransitionSystem {
+    /// Renders the system in Graphviz DOT syntax; the initial state is shaded
+    /// grey like in the paper's figures.
+    pub fn to_dot(&self, name: &str) -> String {
+        let mut out = String::new();
+        header(&mut out, name);
+        for q in 0..self.state_count() {
+            let style = if q == self.initial() {
+                ", style=filled, fillcolor=lightgrey"
+            } else {
+                ""
+            };
+            let label = self.state_label(q).unwrap_or_else(|| q.to_string());
+            let _ = writeln!(out, "  q{q} [label=\"{label}\"{style}];");
+        }
+        for (p, a, q) in self.transitions() {
+            let _ = writeln!(
+                out,
+                "  q{p} -> q{q} [label=\"{}\"];",
+                self.alphabet().name(a)
+            );
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Alphabet, Nfa};
+
+    #[test]
+    fn dot_contains_all_parts() {
+        let ab = Alphabet::new(["go"]).unwrap();
+        let g = ab.symbol("go").unwrap();
+        let mut n = Nfa::new(ab);
+        let q0 = n.add_state(false);
+        let q1 = n.add_state(true);
+        n.set_initial(q0);
+        n.add_transition(q0, g, q1);
+        let dot = n.to_dot("demo");
+        assert!(dot.contains("digraph demo"));
+        assert!(dot.contains("doublecircle"));
+        assert!(dot.contains("label=\"go\""));
+        assert!(dot.contains("q0 -> q1"));
+    }
+}

@@ -1,0 +1,41 @@
+//! Error type shared by the automata constructors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or combining automata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AutomataError {
+    /// Two machines were combined whose alphabets differ.
+    AlphabetMismatch {
+        /// Symbols of the left operand's alphabet.
+        left: Vec<String>,
+        /// Symbols of the right operand's alphabet.
+        right: Vec<String>,
+    },
+    /// A symbol name was declared twice in one alphabet.
+    DuplicateSymbol(String),
+    /// A symbol name is not part of the alphabet.
+    UnknownSymbol(String),
+    /// A state index is out of range for the automaton.
+    InvalidState(usize),
+    /// An empty alphabet was supplied where a non-empty one is required.
+    EmptyAlphabet,
+}
+
+impl fmt::Display for AutomataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AutomataError::AlphabetMismatch { left, right } => {
+                write!(f, "alphabet mismatch: {left:?} vs {right:?}")
+            }
+            AutomataError::DuplicateSymbol(s) => write!(f, "duplicate symbol {s:?}"),
+            AutomataError::UnknownSymbol(s) => write!(f, "unknown symbol {s:?}"),
+            AutomataError::InvalidState(q) => write!(f, "invalid state index {q}"),
+            AutomataError::EmptyAlphabet => write!(f, "alphabet must not be empty"),
+        }
+    }
+}
+
+impl Error for AutomataError {}

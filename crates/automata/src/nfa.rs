@@ -1,0 +1,758 @@
+//! Nondeterministic finite automata over finite words.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::alphabet::{Alphabet, Symbol};
+use crate::dfa::Dfa;
+use crate::error::AutomataError;
+use crate::word::Word;
+use crate::StateId;
+
+/// A nondeterministic finite automaton (NFA) over finite words.
+///
+/// States are dense indices. The transition relation is stored per state as a
+/// sorted map from symbols to sorted successor sets, so all iteration is
+/// deterministic.
+///
+/// An `Nfa` may have several initial states. A word is accepted when some run
+/// from an initial state ends in an accepting state.
+///
+/// # Example
+///
+/// ```
+/// use rl_automata::{Alphabet, Nfa};
+///
+/// # fn main() -> Result<(), rl_automata::AutomataError> {
+/// let ab = Alphabet::new(["a", "b"])?;
+/// let (a, b) = (ab.symbol("a").unwrap(), ab.symbol("b").unwrap());
+/// let mut n = Nfa::new(ab);
+/// let q0 = n.add_state(true);
+/// let q1 = n.add_state(false);
+/// n.set_initial(q0);
+/// n.add_transition(q0, a, q1);
+/// n.add_transition(q1, b, q0);
+/// assert!(n.accepts(&[]));
+/// assert!(n.accepts(&[a, b]));
+/// assert!(!n.accepts(&[a]));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Nfa {
+    alphabet: Alphabet,
+    initial: BTreeSet<StateId>,
+    accepting: Vec<bool>,
+    delta: Vec<BTreeMap<Symbol, BTreeSet<StateId>>>,
+}
+
+impl Nfa {
+    /// Creates an empty automaton (no states) over `alphabet`.
+    pub fn new(alphabet: Alphabet) -> Nfa {
+        Nfa {
+            alphabet,
+            initial: BTreeSet::new(),
+            accepting: Vec::new(),
+            delta: Vec::new(),
+        }
+    }
+
+    /// Builds an NFA from raw parts, validating all indices.
+    ///
+    /// `transitions` is a list of `(from, symbol, to)` triples. This is the
+    /// constructor of choice for randomized/property tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutomataError::InvalidState`] for an out-of-range state.
+    pub fn from_parts(
+        alphabet: Alphabet,
+        state_count: usize,
+        initial: impl IntoIterator<Item = StateId>,
+        accepting: impl IntoIterator<Item = StateId>,
+        transitions: impl IntoIterator<Item = (StateId, Symbol, StateId)>,
+    ) -> Result<Nfa, AutomataError> {
+        let mut nfa = Nfa::new(alphabet);
+        for _ in 0..state_count {
+            nfa.add_state(false);
+        }
+        for q in initial {
+            if q >= state_count {
+                return Err(AutomataError::InvalidState(q));
+            }
+            nfa.initial.insert(q);
+        }
+        for q in accepting {
+            if q >= state_count {
+                return Err(AutomataError::InvalidState(q));
+            }
+            nfa.accepting[q] = true;
+        }
+        for (p, a, q) in transitions {
+            if p >= state_count {
+                return Err(AutomataError::InvalidState(p));
+            }
+            if q >= state_count {
+                return Err(AutomataError::InvalidState(q));
+            }
+            nfa.add_transition(p, a, q);
+        }
+        Ok(nfa)
+    }
+
+    /// Builds an NFA from transitions that may be labeled `None` (the empty
+    /// word `ε`), eliminating the ε-transitions.
+    ///
+    /// This is the workhorse behind homomorphic images: relabel a machine,
+    /// mapping hidden actions to `None`, and call this to get a plain NFA for
+    /// the image language.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutomataError::InvalidState`] for an out-of-range state.
+    pub fn from_epsilon_parts(
+        alphabet: Alphabet,
+        state_count: usize,
+        initial: impl IntoIterator<Item = StateId>,
+        accepting: impl IntoIterator<Item = StateId>,
+        transitions: impl IntoIterator<Item = (StateId, Option<Symbol>, StateId)>,
+    ) -> Result<Nfa, AutomataError> {
+        let mut eps: Vec<BTreeSet<StateId>> = vec![BTreeSet::new(); state_count];
+        let mut real: Vec<Vec<(Symbol, StateId)>> = vec![Vec::new(); state_count];
+        for (p, label, q) in transitions {
+            if p >= state_count {
+                return Err(AutomataError::InvalidState(p));
+            }
+            if q >= state_count {
+                return Err(AutomataError::InvalidState(q));
+            }
+            match label {
+                Some(sym) => real[p].push((sym, q)),
+                None => {
+                    eps[p].insert(q);
+                }
+            }
+        }
+        // Transitive ε-closure per state (small machines: BFS per state).
+        let closure: Vec<BTreeSet<StateId>> = (0..state_count)
+            .map(|s| {
+                let mut seen: BTreeSet<StateId> = BTreeSet::new();
+                let mut queue = VecDeque::from([s]);
+                seen.insert(s);
+                while let Some(p) = queue.pop_front() {
+                    for &q in &eps[p] {
+                        if seen.insert(q) {
+                            queue.push_back(q);
+                        }
+                    }
+                }
+                seen
+            })
+            .collect();
+
+        let accepting: BTreeSet<StateId> = accepting.into_iter().collect();
+        for &q in &accepting {
+            if q >= state_count {
+                return Err(AutomataError::InvalidState(q));
+            }
+        }
+        let mut nfa = Nfa::new(alphabet);
+        for _ in 0..state_count {
+            nfa.add_state(false);
+        }
+        // A state accepts if its ε-closure meets the accepting set.
+        for s in 0..state_count {
+            if closure[s].iter().any(|q| accepting.contains(q)) {
+                nfa.accepting[s] = true;
+            }
+        }
+        for q in initial {
+            if q >= state_count {
+                return Err(AutomataError::InvalidState(q));
+            }
+            nfa.initial.insert(q);
+        }
+        // delta'(s, a) = ε-closure targets of real transitions leaving the
+        // ε-closure of s.
+        for s in 0..state_count {
+            for &p in &closure[s] {
+                for &(a, q) in &real[p] {
+                    for &r in &closure[q] {
+                        nfa.add_transition(s, a, r);
+                    }
+                }
+            }
+        }
+        Ok(nfa)
+    }
+
+    /// Adds a state, returning its id.
+    pub fn add_state(&mut self, accepting: bool) -> StateId {
+        self.accepting.push(accepting);
+        self.delta.push(BTreeMap::new());
+        self.accepting.len() - 1
+    }
+
+    /// Marks `q` as (the only new) initial state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn set_initial(&mut self, q: StateId) {
+        assert!(q < self.state_count(), "invalid state {q}");
+        self.initial.insert(q);
+    }
+
+    /// Sets whether `q` accepts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn set_accepting(&mut self, q: StateId, accepting: bool) {
+        assert!(q < self.state_count(), "invalid state {q}");
+        self.accepting[q] = accepting;
+    }
+
+    /// Adds the transition `from --symbol--> to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a state is out of range.
+    pub fn add_transition(&mut self, from: StateId, symbol: Symbol, to: StateId) {
+        assert!(from < self.state_count(), "invalid state {from}");
+        assert!(to < self.state_count(), "invalid state {to}");
+        self.delta[from].entry(symbol).or_default().insert(to);
+    }
+
+    /// The automaton's alphabet.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.accepting.len()
+    }
+
+    /// The set of initial states.
+    pub fn initial(&self) -> &BTreeSet<StateId> {
+        &self.initial
+    }
+
+    /// Whether `q` accepts.
+    pub fn is_accepting(&self, q: StateId) -> bool {
+        self.accepting[q]
+    }
+
+    /// Successors of `q` on `symbol`.
+    pub fn successors(&self, q: StateId, symbol: Symbol) -> impl Iterator<Item = StateId> + '_ {
+        self.delta[q]
+            .get(&symbol)
+            .into_iter()
+            .flat_map(|set| set.iter().copied())
+    }
+
+    /// Iterates over all transitions `(from, symbol, to)` in sorted order.
+    pub fn transitions(&self) -> impl Iterator<Item = (StateId, Symbol, StateId)> + '_ {
+        self.delta.iter().enumerate().flat_map(|(p, row)| {
+            row.iter()
+                .flat_map(move |(&a, tos)| tos.iter().map(move |&q| (p, a, q)))
+        })
+    }
+
+    /// Total number of transitions.
+    pub fn transition_count(&self) -> usize {
+        self.transitions().count()
+    }
+
+    /// One simultaneous step of the subset semantics.
+    pub fn step(&self, set: &BTreeSet<StateId>, symbol: Symbol) -> BTreeSet<StateId> {
+        let mut next = BTreeSet::new();
+        for &q in set {
+            next.extend(self.successors(q, symbol));
+        }
+        next
+    }
+
+    /// Whether the automaton accepts `word`.
+    pub fn accepts(&self, word: &[Symbol]) -> bool {
+        let mut set = self.initial.clone();
+        for &a in word {
+            if set.is_empty() {
+                return false;
+            }
+            set = self.step(&set, a);
+        }
+        set.iter().any(|&q| self.accepting[q])
+    }
+
+    /// States reachable from the initial states.
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.state_count()];
+        let mut queue: VecDeque<StateId> = self.initial.iter().copied().collect();
+        for &q in &self.initial {
+            seen[q] = true;
+        }
+        while let Some(p) = queue.pop_front() {
+            for (_, tos) in self.delta[p].iter() {
+                for &q in tos {
+                    if !seen[q] {
+                        seen[q] = true;
+                        queue.push_back(q);
+                    }
+                }
+            }
+        }
+        seen
+    }
+
+    /// States from which an accepting state is reachable (co-reachable).
+    pub fn coreachable(&self) -> Vec<bool> {
+        let mut rev: Vec<Vec<StateId>> = vec![Vec::new(); self.state_count()];
+        for (p, _, q) in self.transitions() {
+            rev[q].push(p);
+        }
+        let mut seen = vec![false; self.state_count()];
+        let mut queue: VecDeque<StateId> = VecDeque::new();
+        for q in 0..self.state_count() {
+            if self.accepting[q] {
+                seen[q] = true;
+                queue.push_back(q);
+            }
+        }
+        while let Some(p) = queue.pop_front() {
+            for &r in &rev[p] {
+                if !seen[r] {
+                    seen[r] = true;
+                    queue.push_back(r);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Removes states that are unreachable or cannot reach acceptance.
+    ///
+    /// The language is unchanged. Returns the trimmed automaton (possibly with
+    /// zero states, when the language is empty).
+    pub fn trim(&self) -> Nfa {
+        let reach = self.reachable();
+        let coreach = self.coreachable();
+        let keep: Vec<bool> = reach.iter().zip(&coreach).map(|(&r, &c)| r && c).collect();
+        self.restrict(&keep)
+    }
+
+    /// Keeps exactly the states with `keep[q] == true`, re-indexing.
+    pub fn restrict(&self, keep: &[bool]) -> Nfa {
+        let mut map: Vec<Option<StateId>> = vec![None; self.state_count()];
+        let mut out = Nfa::new(self.alphabet.clone());
+        for q in 0..self.state_count() {
+            if keep[q] {
+                map[q] = Some(out.add_state(self.accepting[q]));
+            }
+        }
+        for &q in &self.initial {
+            if let Some(nq) = map[q] {
+                out.initial.insert(nq);
+            }
+        }
+        for (p, a, q) in self.transitions() {
+            if let (Some(np), Some(nq)) = (map[p], map[q]) {
+                out.add_transition(np, a, nq);
+            }
+        }
+        out
+    }
+
+    /// Whether the language is empty.
+    pub fn is_empty_language(&self) -> bool {
+        let reach = self.reachable();
+        !(0..self.state_count()).any(|q| reach[q] && self.accepting[q])
+    }
+
+    /// A shortest accepted word, when the language is non-empty.
+    pub fn shortest_accepted(&self) -> Option<Word> {
+        // BFS over states, remembering the first-discovered path.
+        let mut parent: Vec<Option<(StateId, Symbol)>> = vec![None; self.state_count()];
+        let mut seen = vec![false; self.state_count()];
+        let mut queue: VecDeque<StateId> = VecDeque::new();
+        for &q in &self.initial {
+            seen[q] = true;
+            queue.push_back(q);
+        }
+        let mut hit = None;
+        'bfs: while let Some(p) = queue.pop_front() {
+            if self.accepting[p] {
+                hit = Some(p);
+                break 'bfs;
+            }
+            for (&a, tos) in self.delta[p].iter() {
+                for &q in tos {
+                    if !seen[q] {
+                        seen[q] = true;
+                        parent[q] = Some((p, a));
+                        queue.push_back(q);
+                    }
+                }
+            }
+        }
+        let mut q = hit?;
+        let mut word = Vec::new();
+        while let Some((p, a)) = parent[q] {
+            word.push(a);
+            q = p;
+        }
+        word.reverse();
+        Some(word)
+    }
+
+    /// Marks every co-reachable state accepting: the language becomes the set
+    /// of *prefixes* of the original language, `pre(L)`.
+    pub fn prefix_closure(&self) -> Nfa {
+        let coreach = self.coreachable();
+        let mut out = self.clone();
+        for q in 0..out.state_count() {
+            if coreach[q] {
+                out.accepting[q] = true;
+            }
+        }
+        out
+    }
+
+    /// Whether the language is prefix closed (`L = pre(L)`).
+    pub fn is_prefix_closed(&self) -> bool {
+        crate::equiv::dfa_equivalent(&self.determinize(), &self.prefix_closure().determinize())
+    }
+
+    /// Subset construction: an equivalent [`Dfa`].
+    ///
+    /// Only subsets reachable from the initial subset are materialized. The
+    /// empty subset is never materialized (the DFA is partial).
+    pub fn determinize(&self) -> Dfa {
+        let mut index: BTreeMap<BTreeSet<StateId>, StateId> = BTreeMap::new();
+        let mut subsets: Vec<BTreeSet<StateId>> = Vec::new();
+        let mut dfa = Dfa::new(self.alphabet.clone());
+
+        let start = self.initial.clone();
+        let q0 = dfa.add_state(start.iter().any(|&q| self.accepting[q]));
+        index.insert(start.clone(), q0);
+        subsets.push(start);
+        dfa.set_initial(q0);
+
+        let mut work = VecDeque::from([q0]);
+        while let Some(d) = work.pop_front() {
+            let subset = subsets[d].clone();
+            for a in self.alphabet.symbols() {
+                let next = self.step(&subset, a);
+                if next.is_empty() {
+                    continue;
+                }
+                let nd = *index.entry(next.clone()).or_insert_with(|| {
+                    let nd = dfa.add_state(next.iter().any(|&q| self.accepting[q]));
+                    subsets.push(next);
+                    work.push_back(nd);
+                    nd
+                });
+                dfa.set_transition(d, a, nd);
+            }
+        }
+        dfa
+    }
+
+    /// Product automaton for the intersection `L(self) ∩ L(other)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutomataError::AlphabetMismatch`] when the alphabets differ.
+    pub fn intersection(&self, other: &Nfa) -> Result<Nfa, AutomataError> {
+        self.alphabet.check_compatible(&other.alphabet)?;
+        let mut index: BTreeMap<(StateId, StateId), StateId> = BTreeMap::new();
+        let mut out = Nfa::new(self.alphabet.clone());
+        let mut work = VecDeque::new();
+        for &p in &self.initial {
+            for &q in &other.initial {
+                let id = out.add_state(self.accepting[p] && other.accepting[q]);
+                index.insert((p, q), id);
+                out.initial.insert(id);
+                work.push_back((p, q));
+            }
+        }
+        while let Some((p, q)) = work.pop_front() {
+            let id = index[&(p, q)];
+            for a in self.alphabet.symbols() {
+                for p2 in self.successors(p, a).collect::<Vec<_>>() {
+                    for q2 in other.successors(q, a).collect::<Vec<_>>() {
+                        let nid = *index.entry((p2, q2)).or_insert_with(|| {
+                            let nid = out.add_state(self.accepting[p2] && other.accepting[q2]);
+                            work.push_back((p2, q2));
+                            nid
+                        });
+                        out.add_transition(id, a, nid);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Disjoint union: `L(self) ∪ L(other)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutomataError::AlphabetMismatch`] when the alphabets differ.
+    pub fn union(&self, other: &Nfa) -> Result<Nfa, AutomataError> {
+        self.alphabet.check_compatible(&other.alphabet)?;
+        let mut out = self.clone();
+        let offset = out.state_count();
+        for q in 0..other.state_count() {
+            out.add_state(other.accepting[q]);
+        }
+        for &q in &other.initial {
+            out.initial.insert(q + offset);
+        }
+        for (p, a, q) in other.transitions() {
+            out.add_transition(p + offset, a, q + offset);
+        }
+        Ok(out)
+    }
+
+    /// The reversal automaton: accepts `w` iff `self` accepts `w` reversed.
+    pub fn reverse(&self) -> Nfa {
+        let mut out = Nfa::new(self.alphabet.clone());
+        for q in 0..self.state_count() {
+            out.add_state(self.initial.contains(&q));
+        }
+        for q in 0..self.state_count() {
+            if self.accepting[q] {
+                out.initial.insert(q);
+            }
+        }
+        for (p, a, q) in self.transitions() {
+            out.add_transition(q, a, p);
+        }
+        out
+    }
+
+    /// Enumerates all accepted words of length at most `max_len`, in
+    /// length-lexicographic order. Exponential; intended for tests.
+    pub fn words_up_to(&self, max_len: usize) -> Vec<Word> {
+        let mut out = Vec::new();
+        let mut layer: Vec<(Word, BTreeSet<StateId>)> = vec![(Vec::new(), self.initial.clone())];
+        if self.initial.iter().any(|&q| self.accepting[q]) {
+            out.push(Vec::new());
+        }
+        for _ in 0..max_len {
+            let mut next_layer = Vec::new();
+            for (w, set) in &layer {
+                for a in self.alphabet.symbols() {
+                    let next = self.step(set, a);
+                    if next.is_empty() {
+                        continue;
+                    }
+                    let mut w2 = w.clone();
+                    w2.push(a);
+                    if next.iter().any(|&q| self.accepting[q]) {
+                        out.push(w2.clone());
+                    }
+                    next_layer.push((w2, next));
+                }
+            }
+            layer = next_layer;
+            if layer.is_empty() {
+                break;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ab2() -> (Alphabet, Symbol, Symbol) {
+        let ab = Alphabet::new(["a", "b"]).unwrap();
+        let a = ab.symbol("a").unwrap();
+        let b = ab.symbol("b").unwrap();
+        (ab, a, b)
+    }
+
+    /// L = (ab)*
+    fn ab_star() -> Nfa {
+        let (ab, a, b) = ab2();
+        let mut n = Nfa::new(ab);
+        let q0 = n.add_state(true);
+        let q1 = n.add_state(false);
+        n.set_initial(q0);
+        n.add_transition(q0, a, q1);
+        n.add_transition(q1, b, q0);
+        n
+    }
+
+    #[test]
+    fn accepts_basic() {
+        let (_, a, b) = ab2();
+        let n = ab_star();
+        assert!(n.accepts(&[]));
+        assert!(n.accepts(&[a, b]));
+        assert!(n.accepts(&[a, b, a, b]));
+        assert!(!n.accepts(&[b]));
+        assert!(!n.accepts(&[a, a]));
+    }
+
+    #[test]
+    fn determinize_agrees_on_words() {
+        let n = ab_star();
+        let d = n.determinize();
+        for w in n.words_up_to(5) {
+            assert!(d.accepts(&w));
+        }
+        let (_, a, b) = ab2();
+        assert!(!d.accepts(&[b, a]));
+        assert!(!d.accepts(&[a]));
+    }
+
+    #[test]
+    fn trim_preserves_language() {
+        let (ab, a, b) = ab2();
+        let mut n = Nfa::new(ab);
+        let q0 = n.add_state(false);
+        let q1 = n.add_state(true);
+        let dead = n.add_state(false); // unreachable-from-acceptance sink
+        n.set_initial(q0);
+        n.add_transition(q0, a, q1);
+        n.add_transition(q0, b, dead);
+        n.add_transition(dead, b, dead);
+        let t = n.trim();
+        assert_eq!(t.state_count(), 2);
+        assert!(t.accepts(&[a]));
+        assert!(!t.accepts(&[b]));
+    }
+
+    #[test]
+    fn prefix_closure_yields_prefixes() {
+        let (ab, a, b) = ab2();
+        // L = { ab } exactly.
+        let mut n = Nfa::new(ab);
+        let q0 = n.add_state(false);
+        let q1 = n.add_state(false);
+        let q2 = n.add_state(true);
+        n.set_initial(q0);
+        n.add_transition(q0, a, q1);
+        n.add_transition(q1, b, q2);
+        assert!(!n.is_prefix_closed());
+        let p = n.prefix_closure();
+        assert!(p.accepts(&[]));
+        assert!(p.accepts(&[a]));
+        assert!(p.accepts(&[a, b]));
+        assert!(!p.accepts(&[b]));
+        assert!(p.is_prefix_closed());
+    }
+
+    #[test]
+    fn intersection_and_union() {
+        let (ab, a, b) = ab2();
+        let star = ab_star();
+        // M = words of even length
+        let mut even = Nfa::new(ab);
+        let e0 = even.add_state(true);
+        let e1 = even.add_state(false);
+        even.set_initial(e0);
+        for s in [a, b] {
+            even.add_transition(e0, s, e1);
+            even.add_transition(e1, s, e0);
+        }
+        let inter = star.intersection(&even).unwrap();
+        // (ab)* is all even length, so intersection == (ab)*.
+        assert!(crate::equiv::dfa_equivalent(
+            &inter.determinize(),
+            &star.determinize()
+        ));
+        let uni = star.union(&even).unwrap();
+        assert!(uni.accepts(&[b, b]));
+        assert!(uni.accepts(&[a, b]));
+        assert!(!uni.accepts(&[a]));
+    }
+
+    #[test]
+    fn reverse_reverses() {
+        let (ab, a, b) = ab2();
+        // L = a.b*
+        let mut n = Nfa::new(ab);
+        let q0 = n.add_state(false);
+        let q1 = n.add_state(true);
+        n.set_initial(q0);
+        n.add_transition(q0, a, q1);
+        n.add_transition(q1, b, q1);
+        let r = n.reverse();
+        assert!(r.accepts(&[a]));
+        assert!(r.accepts(&[b, b, a]));
+        assert!(!r.accepts(&[a, b]));
+    }
+
+    #[test]
+    fn epsilon_elimination() {
+        let (ab, a, b) = ab2();
+        // Machine: q0 --a--> q1 --ε--> q2 --b--> q3(acc), q0 --ε--> q2.
+        let n = Nfa::from_epsilon_parts(
+            ab,
+            4,
+            [0],
+            [3],
+            [(0, Some(a), 1), (1, None, 2), (2, Some(b), 3), (0, None, 2)],
+        )
+        .unwrap();
+        assert!(n.accepts(&[a, b]));
+        assert!(n.accepts(&[b]));
+        assert!(!n.accepts(&[a]));
+        assert!(!n.accepts(&[]));
+    }
+
+    #[test]
+    fn epsilon_acceptance_through_closure() {
+        let (ab, a, _) = ab2();
+        // q0 --a--> q1 --ε--> q2(acc): "a" must be accepted.
+        let n = Nfa::from_epsilon_parts(ab, 3, [0], [2], [(0, Some(a), 1), (1, None, 2)]).unwrap();
+        assert!(n.accepts(&[a]));
+        assert!(!n.accepts(&[]));
+    }
+
+    #[test]
+    fn shortest_accepted_is_shortest() {
+        let (ab, a, b) = ab2();
+        let mut n = Nfa::new(ab);
+        let q0 = n.add_state(false);
+        let q1 = n.add_state(false);
+        let q2 = n.add_state(true);
+        n.set_initial(q0);
+        n.add_transition(q0, a, q1);
+        n.add_transition(q1, a, q2);
+        n.add_transition(q0, b, q2);
+        assert_eq!(n.shortest_accepted().unwrap(), vec![b]);
+    }
+
+    #[test]
+    fn empty_language_detected() {
+        let (ab, a, _) = ab2();
+        let mut n = Nfa::new(ab);
+        let q0 = n.add_state(false);
+        n.set_initial(q0);
+        n.add_transition(q0, a, q0);
+        assert!(n.is_empty_language());
+        assert_eq!(n.shortest_accepted(), None);
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        let (ab, a, _) = ab2();
+        let err = Nfa::from_parts(ab, 2, [0], [5], [(0, a, 1)]).unwrap_err();
+        assert_eq!(err, AutomataError::InvalidState(5));
+    }
+
+    #[test]
+    fn words_up_to_enumerates_in_order() {
+        let (_, a, b) = ab2();
+        let n = ab_star();
+        let ws = n.words_up_to(4);
+        assert_eq!(ws, vec![vec![], vec![a, b], vec![a, b, a, b]]);
+    }
+}

@@ -1,0 +1,645 @@
+//! Regular expressions over action alphabets, compiled to NFAs by the
+//! Thompson construction.
+//!
+//! Used throughout the test suites and examples to state languages
+//! compactly; the ω-side (`U·V^ω` expressions) lives in `rl-buchi`.
+//!
+//! # Syntax
+//!
+//! ```text
+//! expr   := term ('+' term)*          alternation (also '|')
+//! term   := factor*                   concatenation (also explicit '.')
+//! factor := atom ('*' | '+'? …)       '*' star, '?' option
+//! atom   := symbol-name | 'ε' | '()' | '(' expr ')'
+//! ```
+//!
+//! Symbol names are identifiers; whitespace separates adjacent names (so
+//! `lock free` or `lock.free` is the concatenation of two actions). `ε`
+//! (or `eps`) is the empty word.
+
+use std::fmt;
+
+use crate::alphabet::{Alphabet, Symbol};
+use crate::error::AutomataError;
+use crate::nfa::Nfa;
+
+/// A regular expression over an [`Alphabet`].
+///
+/// # Example
+///
+/// ```
+/// use rl_automata::{Alphabet, Regex};
+///
+/// # fn main() -> Result<(), rl_automata::AutomataError> {
+/// let ab = Alphabet::new(["lock", "free", "request"])?;
+/// // (lock free)* request
+/// let re = Regex::parse(&ab, "(lock free)* request")?;
+/// let nfa = re.to_nfa();
+/// let w = rl_automata::parse_word(&ab, "lock.free.lock.free.request")?;
+/// assert!(nfa.accepts(&w));
+/// let bad = rl_automata::parse_word(&ab, "lock.request")?;
+/// assert!(!nfa.accepts(&bad));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Regex {
+    /// The empty language `∅`.
+    Empty,
+    /// The empty word `ε`.
+    Epsilon,
+    /// A single symbol.
+    Symbol(
+        /// The alphabet the symbol belongs to.
+        Alphabet,
+        /// The symbol itself.
+        Symbol,
+    ),
+    /// Concatenation.
+    Concat(Box<Regex>, Box<Regex>),
+    /// Alternation (union).
+    Alt(Box<Regex>, Box<Regex>),
+    /// Kleene star.
+    Star(Box<Regex>),
+}
+
+impl Regex {
+    /// A single-symbol expression.
+    pub fn symbol(alphabet: &Alphabet, sym: Symbol) -> Regex {
+        Regex::Symbol(alphabet.clone(), sym)
+    }
+
+    /// Concatenation `self · other`.
+    pub fn then(self, other: Regex) -> Regex {
+        Regex::Concat(Box::new(self), Box::new(other))
+    }
+
+    /// Alternation `self + other`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn or(self, other: Regex) -> Regex {
+        Regex::Alt(Box::new(self), Box::new(other))
+    }
+
+    /// Kleene star `self*`.
+    pub fn star(self) -> Regex {
+        Regex::Star(Box::new(self))
+    }
+
+    /// Option `self?` = `self + ε`.
+    pub fn opt(self) -> Regex {
+        self.or(Regex::Epsilon)
+    }
+
+    /// One-or-more `self⁺` = `self · self*`.
+    pub fn plus(self) -> Regex {
+        self.clone().then(self.star())
+    }
+
+    /// The alphabet the expression mentions, if any symbol occurs.
+    fn alphabet(&self) -> Option<&Alphabet> {
+        match self {
+            Regex::Empty | Regex::Epsilon => None,
+            Regex::Symbol(ab, _) => Some(ab),
+            Regex::Concat(x, y) | Regex::Alt(x, y) => x.alphabet().or_else(|| y.alphabet()),
+            Regex::Star(x) => x.alphabet(),
+        }
+    }
+
+    /// Parses an expression over `alphabet` (see the module docs for the
+    /// grammar).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutomataError::UnknownSymbol`] for names outside the
+    /// alphabet and [`AutomataError::InvalidState`] (with position `0`) for
+    /// syntax errors; the error message names the problem.
+    pub fn parse(alphabet: &Alphabet, text: &str) -> Result<Regex, AutomataError> {
+        let mut parser = ReParser {
+            alphabet: alphabet.clone(),
+            chars: text.chars().collect(),
+            pos: 0,
+        };
+        let re = parser.alt()?;
+        parser.skip_ws();
+        if parser.pos != parser.chars.len() {
+            return Err(AutomataError::UnknownSymbol(format!(
+                "trailing input at {}",
+                parser.pos
+            )));
+        }
+        Ok(re)
+    }
+
+    /// Compiles to an NFA (Thompson construction + ε-elimination).
+    ///
+    /// When the expression mentions no symbol at all (`ε`, `∅`) the NFA is
+    /// built over a one-symbol placeholder alphabet; use
+    /// [`Regex::to_nfa_over`] to pin the alphabet explicitly.
+    pub fn to_nfa(&self) -> Nfa {
+        let alphabet = self
+            .alphabet()
+            .cloned()
+            .unwrap_or_else(|| Alphabet::new(["⊥"]).expect("fallback alphabet"));
+        self.to_nfa_with(alphabet)
+    }
+
+    /// Compiles to an NFA over the given alphabet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutomataError::AlphabetMismatch`] when the expression
+    /// mentions symbols of a different alphabet.
+    pub fn to_nfa_over(&self, alphabet: &Alphabet) -> Result<Nfa, AutomataError> {
+        if let Some(own) = self.alphabet() {
+            own.check_compatible(alphabet)?;
+        }
+        Ok(self.to_nfa_with(alphabet.clone()))
+    }
+
+    /// Whether the expression matches the empty word.
+    pub fn nullable(&self) -> bool {
+        match self {
+            Regex::Empty | Regex::Symbol(..) => false,
+            Regex::Epsilon | Regex::Star(_) => true,
+            Regex::Concat(x, y) => x.nullable() && y.nullable(),
+            Regex::Alt(x, y) => x.nullable() || y.nullable(),
+        }
+    }
+
+    /// The Brzozowski derivative `∂_sym(self)`: the expression matching
+    /// exactly the words `w` with `sym·w` matched by `self`.
+    pub fn derivative(&self, sym: Symbol) -> Regex {
+        match self {
+            Regex::Empty | Regex::Epsilon => Regex::Empty,
+            Regex::Symbol(_, s) => {
+                if *s == sym {
+                    Regex::Epsilon
+                } else {
+                    Regex::Empty
+                }
+            }
+            Regex::Concat(x, y) => {
+                let head = x.derivative(sym).then((**y).clone());
+                if x.nullable() {
+                    head.or(y.derivative(sym))
+                } else {
+                    head
+                }
+            }
+            Regex::Alt(x, y) => x.derivative(sym).or(y.derivative(sym)),
+            Regex::Star(x) => x.derivative(sym).then(self.clone()),
+        }
+    }
+
+    /// Direct matching by Brzozowski derivatives — an implementation
+    /// independent of the Thompson construction, used to cross-validate
+    /// [`Regex::to_nfa`] in the property tests.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rl_automata::{Alphabet, Regex};
+    ///
+    /// # fn main() -> Result<(), rl_automata::AutomataError> {
+    /// let ab = Alphabet::new(["a", "b"])?;
+    /// let re = Regex::parse(&ab, "(a b)*")?;
+    /// let w = rl_automata::parse_word(&ab, "a.b.a.b")?;
+    /// assert!(re.matches(&w));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn matches(&self, word: &[Symbol]) -> bool {
+        let mut cur = self.clone();
+        for &sym in word {
+            cur = cur.derivative(sym);
+        }
+        cur.nullable()
+    }
+
+    fn to_nfa_with(&self, alphabet: Alphabet) -> Nfa {
+        // Thompson fragments over ε-transitions.
+        let mut transitions: Vec<(usize, Option<Symbol>, usize)> = Vec::new();
+        let mut next = 0usize;
+        let mut fresh = || {
+            let s = next;
+            next += 1;
+            s
+        };
+        // Build returns (start, finish).
+        fn build(
+            re: &Regex,
+            transitions: &mut Vec<(usize, Option<Symbol>, usize)>,
+            fresh: &mut dyn FnMut() -> usize,
+        ) -> (usize, usize) {
+            match re {
+                Regex::Empty => (fresh(), fresh()),
+                Regex::Epsilon => {
+                    let s = fresh();
+                    let f = fresh();
+                    transitions.push((s, None, f));
+                    (s, f)
+                }
+                Regex::Symbol(_, sym) => {
+                    let s = fresh();
+                    let f = fresh();
+                    transitions.push((s, Some(*sym), f));
+                    (s, f)
+                }
+                Regex::Concat(x, y) => {
+                    let (sx, fx) = build(x, transitions, fresh);
+                    let (sy, fy) = build(y, transitions, fresh);
+                    transitions.push((fx, None, sy));
+                    (sx, fy)
+                }
+                Regex::Alt(x, y) => {
+                    let s = fresh();
+                    let f = fresh();
+                    let (sx, fx) = build(x, transitions, fresh);
+                    let (sy, fy) = build(y, transitions, fresh);
+                    transitions.push((s, None, sx));
+                    transitions.push((s, None, sy));
+                    transitions.push((fx, None, f));
+                    transitions.push((fy, None, f));
+                    (s, f)
+                }
+                Regex::Star(x) => {
+                    let s = fresh();
+                    let f = fresh();
+                    let (sx, fx) = build(x, transitions, fresh);
+                    transitions.push((s, None, sx));
+                    transitions.push((s, None, f));
+                    transitions.push((fx, None, sx));
+                    transitions.push((fx, None, f));
+                    (s, f)
+                }
+            }
+        }
+        let (start, finish) = build(self, &mut transitions, &mut fresh);
+        Nfa::from_epsilon_parts(alphabet, next, [start], [finish], transitions)
+            .expect("thompson indices are dense")
+    }
+}
+
+impl Regex {
+    /// Converts a DFA back into an equivalent regular expression by state
+    /// elimination (Kleene's construction) — the converse of
+    /// [`Regex::to_nfa`].
+    ///
+    /// The result can be exponentially large in the automaton size; use for
+    /// presentation and round-trip testing, not as a data structure.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rl_automata::{dfa_equivalent, Alphabet, Regex};
+    ///
+    /// # fn main() -> Result<(), rl_automata::AutomataError> {
+    /// let ab = Alphabet::new(["a", "b"])?;
+    /// let d = Regex::parse(&ab, "(a b)* a?")?.to_nfa().determinize();
+    /// let back = Regex::from_dfa(&d);
+    /// assert!(dfa_equivalent(&back.to_nfa().determinize(), &d));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn from_dfa(dfa: &crate::dfa::Dfa) -> Regex {
+        let alphabet = dfa.alphabet().clone();
+        let n = dfa.state_count();
+        if n == 0 {
+            return Regex::Empty;
+        }
+        // Generalized NFA over expressions: edge[i][j] = Regex for i→j, with
+        // two virtual states: n = start, n+1 = finish.
+        let total = n + 2;
+        let (start, finish) = (n, n + 1);
+        let mut edge: Vec<Vec<Option<Regex>>> = vec![vec![None; total]; total];
+        let connect = |edges: &mut Vec<Vec<Option<Regex>>>, i: usize, j: usize, r: Regex| {
+            edges[i][j] = Some(match edges[i][j].take() {
+                None => r,
+                Some(prev) => prev.or(r),
+            });
+        };
+        for (p, a, q) in dfa.transitions() {
+            connect(&mut edge, p, q, Regex::symbol(&alphabet, a));
+        }
+        connect(&mut edge, start, dfa.initial(), Regex::Epsilon);
+        for q in 0..n {
+            if dfa.is_accepting(q) {
+                connect(&mut edge, q, finish, Regex::Epsilon);
+            }
+        }
+        // Eliminate the real states one by one.
+        for k in 0..n {
+            let self_loop = edge[k][k].take();
+            let star = self_loop.map(Regex::star);
+            let ins: Vec<(usize, Regex)> = (0..total)
+                .filter(|&i| i != k)
+                .filter_map(|i| edge[i][k].clone().map(|r| (i, r)))
+                .collect();
+            let outs: Vec<(usize, Regex)> = (0..total)
+                .filter(|&j| j != k)
+                .filter_map(|j| edge[k][j].clone().map(|r| (j, r)))
+                .collect();
+            for (i, rin) in &ins {
+                for (j, rout) in &outs {
+                    let mut path = rin.clone();
+                    if let Some(s) = &star {
+                        path = path.then(s.clone());
+                    }
+                    path = path.then(rout.clone());
+                    connect(&mut edge, *i, *j, path);
+                }
+            }
+            for x in 0..total {
+                edge[x][k] = None;
+                edge[k][x] = None;
+            }
+        }
+        edge[start][finish].take().unwrap_or(Regex::Empty)
+    }
+}
+
+impl fmt::Display for Regex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn prec(r: &Regex) -> u8 {
+            match r {
+                Regex::Alt(..) => 0,
+                Regex::Concat(..) => 1,
+                _ => 2,
+            }
+        }
+        fn child(f: &mut fmt::Formatter<'_>, parent: u8, c: &Regex) -> fmt::Result {
+            if prec(c) < parent {
+                write!(f, "({c})")
+            } else {
+                write!(f, "{c}")
+            }
+        }
+        match self {
+            Regex::Empty => write!(f, "∅"),
+            Regex::Epsilon => write!(f, "ε"),
+            Regex::Symbol(ab, s) => write!(f, "{}", ab.name(*s)),
+            Regex::Concat(x, y) => {
+                child(f, 1, x)?;
+                write!(f, " ")?;
+                child(f, 1, y)
+            }
+            Regex::Alt(x, y) => {
+                child(f, 0, x)?;
+                write!(f, " + ")?;
+                child(f, 0, y)
+            }
+            Regex::Star(x) => {
+                child(f, 2, x)?;
+                write!(f, "*")
+            }
+        }
+    }
+}
+
+struct ReParser {
+    alphabet: Alphabet,
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl ReParser {
+    fn skip_ws(&mut self) {
+        while self
+            .chars
+            .get(self.pos)
+            .is_some_and(|c| c.is_whitespace() || *c == '.')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.chars.get(self.pos).copied()
+    }
+
+    fn alt(&mut self) -> Result<Regex, AutomataError> {
+        let mut left = self.concat()?;
+        while matches!(self.peek(), Some('+') | Some('|')) {
+            self.pos += 1;
+            let right = self.concat()?;
+            left = left.or(right);
+        }
+        Ok(left)
+    }
+
+    fn concat(&mut self) -> Result<Regex, AutomataError> {
+        let mut parts: Vec<Regex> = Vec::new();
+        loop {
+            match self.peek() {
+                Some(c) if c == '(' || c.is_alphanumeric() || c == '_' || c == 'ε' => {
+                    parts.push(self.postfix()?);
+                }
+                _ => break,
+            }
+        }
+        Ok(match parts.len() {
+            0 => Regex::Epsilon,
+            _ => {
+                let mut it = parts.into_iter();
+                let first = it.next().expect("non-empty");
+                it.fold(first, Regex::then)
+            }
+        })
+    }
+
+    fn postfix(&mut self) -> Result<Regex, AutomataError> {
+        let mut base = self.atom()?;
+        loop {
+            match self.peek() {
+                Some('*') => {
+                    self.pos += 1;
+                    base = base.star();
+                }
+                Some('?') => {
+                    self.pos += 1;
+                    base = base.opt();
+                }
+                _ => break,
+            }
+        }
+        Ok(base)
+    }
+
+    fn atom(&mut self) -> Result<Regex, AutomataError> {
+        match self.peek() {
+            Some('(') => {
+                self.pos += 1;
+                if self.peek() == Some(')') {
+                    self.pos += 1;
+                    return Ok(Regex::Epsilon);
+                }
+                let inner = self.alt()?;
+                if self.peek() != Some(')') {
+                    return Err(AutomataError::UnknownSymbol("expected ')'".into()));
+                }
+                self.pos += 1;
+                Ok(inner)
+            }
+            Some('ε') => {
+                self.pos += 1;
+                Ok(Regex::Epsilon)
+            }
+            Some(c) if c.is_alphanumeric() || c == '_' => {
+                let start = self.pos;
+                while self
+                    .chars
+                    .get(self.pos)
+                    .is_some_and(|c| c.is_alphanumeric() || *c == '_')
+                {
+                    self.pos += 1;
+                }
+                let name: String = self.chars[start..self.pos].iter().collect();
+                if name == "eps" {
+                    return Ok(Regex::Epsilon);
+                }
+                let sym = self.alphabet.require(&name)?;
+                Ok(Regex::symbol(&self.alphabet, sym))
+            }
+            other => Err(AutomataError::UnknownSymbol(format!(
+                "expected an atom, found {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::word::parse_word;
+
+    fn ab() -> Alphabet {
+        Alphabet::new(["a", "b", "c"]).unwrap()
+    }
+
+    fn accepts(re: &str, word: &str) -> bool {
+        let ab = ab();
+        let r = Regex::parse(&ab, re).unwrap();
+        let w = parse_word(&ab, word).unwrap();
+        r.to_nfa().accepts(&w)
+    }
+
+    #[test]
+    fn basic_operations() {
+        assert!(accepts("a", "a"));
+        assert!(!accepts("a", "b"));
+        assert!(accepts("a b", "a.b"));
+        assert!(accepts("a + b", "b"));
+        assert!(accepts("a*", ""));
+        assert!(accepts("a*", "a.a.a"));
+        assert!(accepts("a? b", "b"));
+        assert!(accepts("a? b", "a.b"));
+        assert!(!accepts("a? b", "a.a.b"));
+    }
+
+    #[test]
+    fn grouping_and_precedence() {
+        // Concatenation binds tighter than alternation.
+        assert!(accepts("a b + c", "a.b"));
+        assert!(accepts("a b + c", "c"));
+        assert!(!accepts("a b + c", "a.c"));
+        assert!(accepts("a (b + c)", "a.c"));
+        assert!(accepts("(a b)*", "a.b.a.b"));
+        assert!(!accepts("(a b)*", "a"));
+    }
+
+    #[test]
+    fn epsilon_and_empty() {
+        assert!(accepts("ε", ""));
+        assert!(accepts("()", ""));
+        assert!(accepts("eps + a", "a"));
+        let r = Regex::Empty;
+        assert!(r.to_nfa().is_empty_language());
+    }
+
+    #[test]
+    fn plus_is_one_or_more() {
+        let ab = ab();
+        let a = ab.symbol("a").unwrap();
+        let re = Regex::symbol(&ab, a).plus();
+        let nfa = re.to_nfa();
+        assert!(!nfa.accepts(&[]));
+        assert!(nfa.accepts(&[a]));
+        assert!(nfa.accepts(&[a, a, a]));
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let ab = ab();
+        for text in ["a (b + c)* a", "a b + c", "(a + b) (a + c)", "a* b*"] {
+            let r = Regex::parse(&ab, text).unwrap();
+            let again = Regex::parse(&ab, &r.to_string()).unwrap();
+            // Compare languages (structure may re-associate).
+            assert!(crate::equiv::dfa_equivalent(
+                &r.to_nfa().determinize(),
+                &again.to_nfa().determinize()
+            ));
+        }
+    }
+
+    #[test]
+    fn unknown_symbol_rejected() {
+        let ab = ab();
+        assert!(Regex::parse(&ab, "a zz").is_err());
+        assert!(Regex::parse(&ab, "a (").is_err());
+        assert!(Regex::parse(&ab, "a )").is_err());
+    }
+
+    #[test]
+    fn matches_equivalent_hand_built_nfa() {
+        // (a+b)* c — compare against a direct NFA.
+        let ab = ab();
+        let a = ab.symbol("a").unwrap();
+        let b = ab.symbol("b").unwrap();
+        let c = ab.symbol("c").unwrap();
+        let re = Regex::parse(&ab, "(a + b)* c").unwrap();
+        let direct =
+            Nfa::from_parts(ab.clone(), 2, [0], [1], [(0, a, 0), (0, b, 0), (0, c, 1)]).unwrap();
+        assert!(crate::equiv::dfa_equivalent(
+            &re.to_nfa().determinize(),
+            &direct.determinize()
+        ));
+    }
+}
+
+#[cfg(test)]
+mod from_dfa_tests {
+    use super::*;
+    use crate::equiv::dfa_equivalent;
+
+    fn ab() -> Alphabet {
+        Alphabet::new(["a", "b"]).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_language() {
+        let ab = ab();
+        for text in ["(a b)*", "a* b a*", "(a + b)* a", "a?", "a b + b a"] {
+            let d = Regex::parse(&ab, text).unwrap().to_nfa().determinize();
+            let back = Regex::from_dfa(&d);
+            assert!(
+                dfa_equivalent(&back.to_nfa_over(&ab).unwrap().determinize(), &d),
+                "round trip changed the language of {text}: got {back}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_trivial_dfas() {
+        let ab = ab();
+        let empty = crate::nfa::Nfa::new(ab.clone()).determinize();
+        let r = Regex::from_dfa(&empty);
+        assert!(r.to_nfa_over(&ab).unwrap().is_empty_language());
+        // ε-only language.
+        let eps = Regex::Epsilon.to_nfa_over(&ab).unwrap().determinize();
+        let r2 = Regex::from_dfa(&eps);
+        let nfa = r2.to_nfa_over(&ab).unwrap();
+        assert!(nfa.accepts(&[]));
+        assert!(!nfa.accepts(&[ab.symbol("a").unwrap()]));
+    }
+}

@@ -1,0 +1,176 @@
+//! Simulation preorders between labeled transition systems.
+//!
+//! `spec` *simulates* `impl` when every step of `impl` can be matched by
+//! `spec` from related states, coinductively. Simulation is a sound (not
+//! complete) proof technique for trace inclusion: if the specification
+//! simulates the implementation, every firing sequence of the
+//! implementation is one of the specification — a cheap structural check
+//! that avoids determinization.
+
+use std::collections::BTreeSet;
+
+use crate::ts::TransitionSystem;
+use crate::StateId;
+
+/// Computes the largest simulation relation between the states of `small`
+/// and `big`: `R(q, s)` iff every `q --a--> q'` is matched by some
+/// `s --a--> s'` with `R(q', s')`.
+///
+/// Returned as a set of `(small-state, big-state)` pairs. Both systems must
+/// share an alphabet (by construction of the caller; symbols are compared
+/// by identity).
+pub fn largest_simulation(
+    small: &TransitionSystem,
+    big: &TransitionSystem,
+) -> BTreeSet<(StateId, StateId)> {
+    let n = small.state_count();
+    let m = big.state_count();
+    // Start from the full relation and refine (greatest fixpoint).
+    let mut related = vec![vec![true; m]; n];
+    loop {
+        let mut changed = false;
+        for q in 0..n {
+            for s in 0..m {
+                if !related[q][s] {
+                    continue;
+                }
+                let ok = small.enabled(q).iter().all(|&(a, q2)| {
+                    big.enabled(s)
+                        .iter()
+                        .any(|&(b, s2)| a == b && related[q2][s2])
+                });
+                if !ok {
+                    related[q][s] = false;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let mut out = BTreeSet::new();
+    for (q, row) in related.iter().enumerate() {
+        for (s, &r) in row.iter().enumerate() {
+            if r {
+                out.insert((q, s));
+            }
+        }
+    }
+    out
+}
+
+/// Whether `spec` simulates `implementation` from the initial states.
+///
+/// A `true` answer implies the implementation's firing-sequence language is
+/// contained in the specification's (the converse does not hold: simulation
+/// is finer than language inclusion).
+///
+/// # Example
+///
+/// ```
+/// use rl_automata::{simulates, Alphabet, TransitionSystem};
+///
+/// # fn main() -> Result<(), rl_automata::AutomataError> {
+/// let ab = Alphabet::new(["a", "b"])?;
+/// let a = ab.symbol("a").unwrap();
+/// let b = ab.symbol("b").unwrap();
+/// // Spec: anything goes.
+/// let mut spec = TransitionSystem::new(ab.clone());
+/// let s = spec.add_state();
+/// spec.set_initial(s);
+/// spec.add_transition(s, a, s);
+/// spec.add_transition(s, b, s);
+/// // Impl: strict alternation.
+/// let mut imp = TransitionSystem::new(ab);
+/// let i0 = imp.add_state();
+/// let i1 = imp.add_state();
+/// imp.set_initial(i0);
+/// imp.add_transition(i0, a, i1);
+/// imp.add_transition(i1, b, i0);
+/// assert!(simulates(&spec, &imp));
+/// assert!(!simulates(&imp, &spec)); // spec can do a.a, alternation cannot
+/// # Ok(())
+/// # }
+/// ```
+pub fn simulates(spec: &TransitionSystem, implementation: &TransitionSystem) -> bool {
+    if spec.alphabet() != implementation.alphabet() {
+        return false;
+    }
+    largest_simulation(implementation, spec).contains(&(implementation.initial(), spec.initial()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+
+    fn two(ab: &Alphabet, edges: &[(usize, &str, usize)], states: usize) -> TransitionSystem {
+        let mut ts = TransitionSystem::new(ab.clone());
+        for _ in 0..states {
+            ts.add_state();
+        }
+        ts.set_initial(0);
+        for &(p, name, q) in edges {
+            ts.add_transition(p, ab.symbol(name).unwrap(), q);
+        }
+        ts
+    }
+
+    #[test]
+    fn simulation_is_reflexive_on_self() {
+        let ab = Alphabet::new(["a", "b"]).unwrap();
+        let ts = two(&ab, &[(0, "a", 1), (1, "b", 0)], 2);
+        assert!(simulates(&ts, &ts));
+    }
+
+    #[test]
+    fn nondeterministic_choice_vs_early_commitment() {
+        // The classic a(b+c) vs ab+ac example: the early-committing system
+        // is simulated by the late-choosing one, not vice versa.
+        let ab = Alphabet::new(["a", "b", "c"]).unwrap();
+        // Late choice: 0 -a-> 1, 1 -b-> 2, 1 -c-> 3.
+        let late = two(&ab, &[(0, "a", 1), (1, "b", 2), (1, "c", 3)], 4);
+        // Early commitment: 0 -a-> 1 (-b-> 3) and 0 -a-> 2 (-c-> 4).
+        let early = two(
+            &ab,
+            &[(0, "a", 1), (0, "a", 2), (1, "b", 3), (2, "c", 4)],
+            5,
+        );
+        assert!(simulates(&late, &early));
+        assert!(!simulates(&early, &late));
+        // Languages are nevertheless equal: simulation is strictly finer.
+        assert!(crate::equiv::dfa_equivalent(
+            &late.to_nfa().determinize(),
+            &early.to_nfa().determinize()
+        ));
+    }
+
+    #[test]
+    fn simulation_implies_language_inclusion() {
+        let ab = Alphabet::new(["a", "b"]).unwrap();
+        let spec = two(&ab, &[(0, "a", 0), (0, "b", 0)], 1);
+        let imp = two(&ab, &[(0, "a", 1), (1, "b", 0)], 2);
+        assert!(simulates(&spec, &imp));
+        assert!(crate::equiv::dfa_included(
+            &imp.to_nfa().determinize(),
+            &spec.to_nfa().determinize()
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn alphabet_mismatch_is_false() {
+        let ab1 = Alphabet::new(["a"]).unwrap();
+        let ab2 = Alphabet::new(["b"]).unwrap();
+        let t1 = two(&ab1, &[(0, "a", 0)], 1);
+        let t2 = {
+            let mut ts = TransitionSystem::new(ab2.clone());
+            let s = ts.add_state();
+            ts.set_initial(s);
+            ts.add_transition(s, ab2.symbol("b").unwrap(), s);
+            ts
+        };
+        assert!(!simulates(&t1, &t2));
+    }
+}

@@ -1,0 +1,91 @@
+//! Finite words over an alphabet.
+
+use crate::alphabet::{Alphabet, Symbol};
+use crate::error::AutomataError;
+
+/// A finite word: a sequence of symbols.
+///
+/// This is a plain type alias — words are just symbol vectors; the helpers in
+/// this module ([`parse_word`], [`format_word`]) convert between words and
+/// whitespace- or dot-separated name strings.
+pub type Word = Vec<Symbol>;
+
+/// Parses a word from symbol names separated by whitespace or `.`.
+///
+/// The empty string denotes the empty word `ε`.
+///
+/// # Errors
+///
+/// Returns [`AutomataError::UnknownSymbol`] when a name is not in `alphabet`.
+///
+/// # Example
+///
+/// ```
+/// use rl_automata::{parse_word, Alphabet};
+///
+/// # fn main() -> Result<(), rl_automata::AutomataError> {
+/// let ab = Alphabet::new(["lock", "request", "no"])?;
+/// let w = parse_word(&ab, "lock.request.no")?;
+/// assert_eq!(w.len(), 3);
+/// assert_eq!(parse_word(&ab, "")?.len(), 0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_word(alphabet: &Alphabet, text: &str) -> Result<Word, AutomataError> {
+    text.split(|c: char| c.is_whitespace() || c == '.')
+        .filter(|part| !part.is_empty())
+        .map(|part| alphabet.require(part))
+        .collect()
+}
+
+/// Formats a word as dot-separated symbol names; the empty word prints as `ε`.
+///
+/// # Example
+///
+/// ```
+/// use rl_automata::{format_word, parse_word, Alphabet};
+///
+/// # fn main() -> Result<(), rl_automata::AutomataError> {
+/// let ab = Alphabet::new(["a", "b"])?;
+/// let w = parse_word(&ab, "a b a")?;
+/// assert_eq!(format_word(&ab, &w), "a.b.a");
+/// assert_eq!(format_word(&ab, &[]), "ε");
+/// # Ok(())
+/// # }
+/// ```
+pub fn format_word(alphabet: &Alphabet, word: &[Symbol]) -> String {
+    if word.is_empty() {
+        return "ε".to_owned();
+    }
+    word.iter()
+        .map(|&s| alphabet.name(s))
+        .collect::<Vec<_>>()
+        .join(".")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let ab = Alphabet::new(["a", "b", "c"]).unwrap();
+        let w = parse_word(&ab, "a.c.b.b").unwrap();
+        assert_eq!(format_word(&ab, &w), "a.c.b.b");
+    }
+
+    #[test]
+    fn whitespace_separators_work() {
+        let ab = Alphabet::new(["a", "b"]).unwrap();
+        assert_eq!(
+            parse_word(&ab, "a b").unwrap(),
+            parse_word(&ab, "a.b").unwrap()
+        );
+    }
+
+    #[test]
+    fn unknown_symbol_errors() {
+        let ab = Alphabet::new(["a"]).unwrap();
+        assert!(parse_word(&ab, "a.zz").is_err());
+    }
+}

@@ -1,0 +1,149 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//!
+//! * formula-negation vs rank-based complementation when deciding relative
+//!   safety for a property available both ways,
+//! * reduction before vs after the product in the relative-liveness check,
+//! * the cost of the simplicity check relative to the abstract model check
+//!   it guards.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rl_abstraction::{abstract_behavior, check_simplicity, Homomorphism};
+use rl_bench::{server_farm, token_ring};
+use rl_buchi::{behaviors_of_ts, complement, Buchi};
+use rl_core::{is_relative_liveness, is_relative_safety, Property};
+use rl_logic::{formula_to_buchi, parse, Labeling};
+
+/// Relative safety of the same property, given as a formula (negation is a
+/// formula negation) vs as an automaton (negation is rank-based Büchi
+/// complementation).
+fn bench_negation_vs_complementation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/safety_negation_route");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(2000));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    let ts = token_ring(4);
+    let behaviors = behaviors_of_ts(&ts);
+    let eta = parse("[]<>pass0").expect("parses");
+    let lam = Labeling::canonical(ts.alphabet());
+    let aut: Buchi = formula_to_buchi(&eta, &lam);
+
+    group.bench_function("formula_negation", |b| {
+        let p = Property::formula(eta.clone());
+        b.iter(|| {
+            let _ = is_relative_safety(&behaviors, &p).expect("checks");
+        })
+    });
+    group.bench_function("rank_based_complement", |b| {
+        let p = Property::automaton(aut.clone());
+        b.iter(|| {
+            let _ = is_relative_safety(&behaviors, &p).expect("checks");
+        })
+    });
+    group.finish();
+}
+
+/// The prefix-language route relies on `reduce()`; quantify its cost and
+/// the cost of skipping it (trimming inside determinization instead).
+fn bench_reduce_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/reduce");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for n in [16usize, 64] {
+        let behaviors = behaviors_of_ts(&token_ring(n));
+        let eta = parse("[]<>pass0").expect("parses");
+        let lam = Labeling::canonical(behaviors.alphabet());
+        let p = formula_to_buchi(&eta, &lam);
+        group.bench_with_input(BenchmarkId::new("with_reduce", n), &n, |b, _| {
+            b.iter(|| {
+                let both = behaviors.intersection(&p).expect("alphabets");
+                let reduced = both.reduce();
+                let _ = reduced.prefix_nfa().determinize().state_count();
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("reduce_inside_prefix", n), &n, |b, _| {
+            b.iter(|| {
+                let both = behaviors.intersection(&p).expect("alphabets");
+                // prefix_nfa() already reduces internally; measuring the
+                // single-pass variant.
+                let _ = both.prefix_nfa().determinize().state_count();
+            })
+        });
+    }
+    group.finish();
+}
+
+/// How much of the abstract route is spent on the simplicity guard?
+fn bench_simplicity_share(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/simplicity_share");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(2500));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    let ts = server_farm(2);
+    let keep: Vec<String> = rl_bench::farm_observables(2);
+    let keep_refs: Vec<&str> = keep.iter().map(String::as_str).collect();
+    let h =
+        Homomorphism::hiding(ts.alphabet(), keep_refs.iter().copied()).expect("observables exist");
+    let eta = parse("[]<>result0").expect("parses");
+
+    group.bench_function("abstract_check_only", |b| {
+        b.iter(|| {
+            let abs = abstract_behavior(&h, &ts);
+            let v = is_relative_liveness(&behaviors_of_ts(&abs), &Property::formula(eta.clone()))
+                .expect("checks");
+            assert!(v.holds);
+        })
+    });
+    group.bench_function("simplicity_only", |b| {
+        b.iter(|| {
+            let r = check_simplicity(&h, &ts.to_nfa()).expect("simplicity");
+            assert!(r.simple);
+        })
+    });
+    group.finish();
+}
+
+/// Rank-based complementation growth (the reason formula properties negate
+/// at the formula level).
+fn bench_complement_growth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/complement_growth");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(2000));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    let ab = rl_automata::Alphabet::new(["a", "b"]).expect("two symbols");
+    let lam = Labeling::canonical(&ab);
+    for text in ["[]<>a", "a U b"] {
+        let aut = formula_to_buchi(&parse(text).expect("parses"), &lam);
+        group.bench_with_input(
+            BenchmarkId::new("rank_complement", format!("{text}:{}", aut.state_count())),
+            &aut,
+            |b, aut| {
+                b.iter(|| {
+                    let comp = complement(aut);
+                    assert!(comp.state_count() >= 1);
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("formula_negation", text),
+            &text,
+            |b, text| {
+                b.iter(|| {
+                    let neg = parse(text).expect("parses").not();
+                    let aut = formula_to_buchi(&neg, &lam);
+                    assert!(aut.state_count() >= 1);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_negation_vs_complementation,
+    bench_reduce_cost,
+    bench_simplicity_share,
+    bench_complement_growth
+);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! E13 — the practical payoff of Corollary 8.4: verifying on the
+//! abstraction (+ simplicity check) versus verifying the transported
+//! property on the concrete system.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rl_abstraction::{
+    abstract_behavior, check_simplicity, compositional_abstract_behavior, Homomorphism,
+};
+use rl_bench::{farm_observables, server_farm};
+use rl_buchi::behaviors_of_ts;
+use rl_core::{check_transported_concrete, is_relative_liveness, Property};
+use rl_logic::parse;
+
+fn bench_payoff(c: &mut Criterion) {
+    let mut group = c.benchmark_group("abstraction_payoff");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(2500));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for k in [1usize, 2] {
+        let ts = server_farm(k);
+        let keep = farm_observables(k);
+        let keep_refs: Vec<&str> = keep.iter().map(String::as_str).collect();
+        let h = Homomorphism::hiding(ts.alphabet(), keep_refs.iter().copied())
+            .expect("observables exist");
+        let eta = parse("[]<>result0").expect("parses");
+
+        group.bench_with_input(
+            BenchmarkId::new("concrete", ts.state_count()),
+            &k,
+            |b, _| {
+                b.iter(|| {
+                    let v = check_transported_concrete(&ts, &h, &eta).expect("checks");
+                    assert!(v.holds);
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("abstract+simplicity", ts.state_count()),
+            &k,
+            |b, _| {
+                b.iter(|| {
+                    let abs = abstract_behavior(&h, &ts);
+                    let simple = check_simplicity(&h, &ts.to_nfa())
+                        .expect("simplicity")
+                        .simple;
+                    let verdict = is_relative_liveness(
+                        &behaviors_of_ts(&abs),
+                        &Property::formula(eta.clone()),
+                    )
+                    .expect("checks");
+                    assert!(simple && verdict.holds);
+                })
+            },
+        );
+        // The compositional route never builds the concrete composite.
+        let components: Vec<rl_automata::TransitionSystem> =
+            (0..k).map(rl_bench::indexed_server).collect();
+        let union_names: Vec<String> = components
+            .iter()
+            .flat_map(|c| c.alphabet().names())
+            .collect();
+        let union_ab = rl_automata::Alphabet::new(union_names).expect("distinct names");
+        let h_union = Homomorphism::new(&union_ab, h.target(), |n| {
+            if keep.iter().any(|v| v == n) {
+                Some(n.to_owned())
+            } else {
+                None
+            }
+        })
+        .expect("matching names");
+        group.bench_with_input(
+            BenchmarkId::new("compositional", ts.state_count()),
+            &k,
+            |b, _| {
+                b.iter(|| {
+                    let abs = compositional_abstract_behavior(&components, &h_union)
+                        .expect("hidden actions are local");
+                    let verdict = is_relative_liveness(
+                        &behaviors_of_ts(&abs),
+                        &Property::formula(eta.clone()),
+                    )
+                    .expect("checks");
+                    assert!(verdict.holds);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_payoff);
+criterion_main!(benches);

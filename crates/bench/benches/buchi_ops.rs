@@ -1,0 +1,81 @@
+//! Core ω-automata operations: product, emptiness, reduction, rank-based
+//! complementation — the building blocks of every Theorem 4.5 decision.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rl_bench::{random_system, token_ring};
+use rl_buchi::{behaviors_of_ts, complement, Buchi};
+
+fn bench_product_emptiness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("buchi/product_emptiness");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for n in [8usize, 16, 32, 64] {
+        let x = behaviors_of_ts(&random_system(1, n, 3, 0.25));
+        let y = behaviors_of_ts(&random_system(2, n, 3, 0.25));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let prod = x.intersection(&y).expect("same alphabet");
+                let _ = prod.is_empty_language();
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_reduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("buchi/reduce");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for n in [16usize, 64, 256] {
+        let ts = token_ring(n.max(2));
+        let m = behaviors_of_ts(&ts);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let r = m.reduce();
+                assert!(r.state_count() > 0);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_complement(c: &mut Criterion) {
+    // Rank-based complementation is exponential: tiny inputs only.
+    let mut group = c.benchmark_group("buchi/complement");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(2000));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    let ab = rl_automata::Alphabet::new(["a", "b"]).expect("two symbols");
+    let a = ab.symbol("a").expect("interned");
+    let b_sym = ab.symbol("b").expect("interned");
+    for n in [1usize, 2, 3] {
+        // "states 0..n in a cycle on a, accepting at 0; b resets" — a small
+        // structured family.
+        let mut m = Buchi::new(ab.clone());
+        for i in 0..n {
+            m.add_state(i == 0);
+        }
+        m.set_initial(0);
+        for i in 0..n {
+            m.add_transition(i, a, (i + 1) % n);
+            m.add_transition(i, b_sym, 0);
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| {
+                let comp = complement(&m);
+                assert!(comp.state_count() >= 1);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_product_emptiness,
+    bench_reduce,
+    bench_complement
+);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! E14 — the determinization-hardness family: the exponential worst case
+//! that the PSPACE-completeness of Theorem 4.5 predicts for the prefix
+//! analysis at the heart of the relative-liveness decision.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rl_automata::Alphabet;
+use rl_bench::nth_from_end_property;
+use rl_buchi::Buchi;
+
+fn bench_hardness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hardness/nth_from_end");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    let ab = Alphabet::new(["a", "b"]).expect("two symbols");
+    for n in [2usize, 4, 6, 8, 10] {
+        let prop = nth_from_end_property(n);
+        let system = Buchi::universal(ab.clone());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let both = system.intersection(&prop).expect("same alphabet").reduce();
+                let size = both.prefix_nfa().determinize().state_count();
+                assert!(size >= 1 << n.min(16), "expected ≥ 2^{n} subsets");
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hardness);
+criterion_main!(benches);

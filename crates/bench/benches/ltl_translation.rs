@@ -1,0 +1,85 @@
+//! GPVW translation cost as the formula grows — the formula-size dimension
+//! of the Theorem 4.5 decision procedures (which translate the property,
+//! or its negation, before any automaton work).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rl_automata::Alphabet;
+use rl_bench::{fairness_chain, nested_until};
+use rl_logic::{formula_to_buchi, r_bar_strict, Labeling};
+
+fn bench_nested_until(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ltl/nested_until");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    let ab = Alphabet::new(["a", "b"]).expect("two symbols");
+    let lam = Labeling::canonical(&ab);
+    for k in [1usize, 2, 3, 4, 5, 6] {
+        let f = nested_until(k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                let aut = formula_to_buchi(&f, &lam);
+                assert!(aut.state_count() >= 1);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fairness_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ltl/fairness_chain");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    let ab = Alphabet::new(["a", "b"]).expect("two symbols");
+    let lam = Labeling::canonical(&ab);
+    for k in [1usize, 2, 3] {
+        let f = fairness_chain(k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                let aut = formula_to_buchi(&f, &lam);
+                assert!(aut.state_count() >= 1);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_r_bar_blowup(c: &mut Criterion) {
+    // The transported R̄(η) formulas are larger; measure their translation
+    // under the homomorphism labeling (the concrete side of Corollary 8.4).
+    let mut group = c.benchmark_group("ltl/r_bar_transport");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    let sigma = Alphabet::new(["a", "b", "tau"]).expect("three symbols");
+    let sigma_prime = Alphabet::new(["a", "b"]).expect("two symbols");
+    let lam = Labeling::from_fn(&sigma, |s| {
+        let name = sigma.name(s);
+        if name == "tau" {
+            vec![rl_logic::EPSILON_PROP.to_owned()]
+        } else {
+            vec![name.to_owned()]
+        }
+    })
+    .expect("labeling");
+    for k in [1usize, 2, 3] {
+        let f = nested_until(k);
+        let transported = r_bar_strict(&f, &sigma_prime).expect("sigma-normal");
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                let aut = formula_to_buchi(&transported, &lam);
+                assert!(aut.state_count() >= 1);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_nested_until,
+    bench_fairness_chain,
+    bench_r_bar_blowup
+);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! E8 — scaling of the relative-liveness decision procedure (Theorem 4.5)
+//! across structured system families.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rl_bench::{server_farm, token_ring};
+use rl_buchi::behaviors_of_ts;
+use rl_core::{is_relative_liveness, Property};
+use rl_logic::parse;
+
+fn bench_token_ring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relative_liveness/token_ring");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for n in [4usize, 8, 16, 32, 64] {
+        let ts = token_ring(n);
+        let behaviors = behaviors_of_ts(&ts);
+        let p = Property::formula(parse("[]<>pass0").expect("parses"));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let v = is_relative_liveness(&behaviors, &p).expect("checks");
+                assert!(v.holds);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_server_farm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relative_liveness/server_farm");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(2000));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for k in [1usize, 2] {
+        let ts = server_farm(k);
+        let behaviors = behaviors_of_ts(&ts);
+        let p = Property::formula(parse("[]<>result0").expect("parses"));
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                let v = is_relative_liveness(&behaviors, &p).expect("checks");
+                assert!(v.holds);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_token_ring, bench_server_farm);
+criterion_main!(benches);

@@ -1,0 +1,550 @@
+//! Nondeterministic Büchi automata.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use rl_automata::{Alphabet, AutomataError, Nfa, StateId, Symbol};
+
+use crate::emptiness;
+use crate::upword::UpWord;
+
+/// A nondeterministic Büchi automaton over an [`Alphabet`].
+///
+/// An ω-word is accepted when some infinite run from an initial state visits
+/// an accepting state infinitely often.
+///
+/// # Example
+///
+/// ```
+/// use rl_automata::Alphabet;
+/// use rl_buchi::{Buchi, UpWord};
+///
+/// # fn main() -> Result<(), rl_automata::AutomataError> {
+/// let ab = Alphabet::new(["a", "b"])?;
+/// let a = ab.symbol("a").unwrap();
+/// let b = ab.symbol("b").unwrap();
+/// // "eventually always a"
+/// let mut m = Buchi::new(ab);
+/// let q0 = m.add_state(false);
+/// let q1 = m.add_state(true);
+/// m.set_initial(q0);
+/// m.add_transition(q0, a, q0);
+/// m.add_transition(q0, b, q0);
+/// m.add_transition(q0, a, q1);
+/// m.add_transition(q1, a, q1);
+/// assert!(m.accepts_upword(&UpWord::new(vec![b, b], vec![a])?));
+/// assert!(!m.accepts_upword(&UpWord::periodic(vec![a, b])?));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Buchi {
+    alphabet: Alphabet,
+    initial: BTreeSet<StateId>,
+    accepting: Vec<bool>,
+    delta: Vec<BTreeMap<Symbol, BTreeSet<StateId>>>,
+}
+
+impl Buchi {
+    /// Creates an empty automaton over `alphabet`.
+    pub fn new(alphabet: Alphabet) -> Buchi {
+        Buchi {
+            alphabet,
+            initial: BTreeSet::new(),
+            accepting: Vec::new(),
+            delta: Vec::new(),
+        }
+    }
+
+    /// Builds a Büchi automaton from raw parts, validating all indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutomataError::InvalidState`] for an out-of-range state.
+    pub fn from_parts(
+        alphabet: Alphabet,
+        state_count: usize,
+        initial: impl IntoIterator<Item = StateId>,
+        accepting: impl IntoIterator<Item = StateId>,
+        transitions: impl IntoIterator<Item = (StateId, Symbol, StateId)>,
+    ) -> Result<Buchi, AutomataError> {
+        let nfa = Nfa::from_parts(alphabet, state_count, initial, accepting, transitions)?;
+        Ok(Buchi::from_nfa_structure(&nfa))
+    }
+
+    /// Reinterprets an NFA's graph as a Büchi automaton (same states,
+    /// transitions, initial and accepting sets — but now read with Büchi
+    /// semantics over ω-words).
+    pub fn from_nfa_structure(nfa: &Nfa) -> Buchi {
+        let mut b = Buchi::new(nfa.alphabet().clone());
+        for q in 0..nfa.state_count() {
+            b.add_state(nfa.is_accepting(q));
+        }
+        for &q in nfa.initial() {
+            b.initial.insert(q);
+        }
+        for (p, a, q) in nfa.transitions() {
+            b.add_transition(p, a, q);
+        }
+        b
+    }
+
+    /// Reinterprets the automaton's graph as an NFA over finite words.
+    pub fn to_nfa_structure(&self) -> Nfa {
+        let mut n = Nfa::new(self.alphabet.clone());
+        for q in 0..self.state_count() {
+            n.add_state(self.accepting[q]);
+        }
+        for &q in &self.initial {
+            n.set_initial(q);
+        }
+        for (p, a, q) in self.transitions() {
+            n.add_transition(p, a, q);
+        }
+        n
+    }
+
+    /// Adds a state, returning its id.
+    pub fn add_state(&mut self, accepting: bool) -> StateId {
+        self.accepting.push(accepting);
+        self.delta.push(BTreeMap::new());
+        self.accepting.len() - 1
+    }
+
+    /// Adds `q` to the initial set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn set_initial(&mut self, q: StateId) {
+        assert!(q < self.state_count(), "invalid state {q}");
+        self.initial.insert(q);
+    }
+
+    /// Sets whether `q` is accepting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn set_accepting(&mut self, q: StateId, accepting: bool) {
+        assert!(q < self.state_count(), "invalid state {q}");
+        self.accepting[q] = accepting;
+    }
+
+    /// Adds the transition `from --symbol--> to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a state is out of range.
+    pub fn add_transition(&mut self, from: StateId, symbol: Symbol, to: StateId) {
+        assert!(from < self.state_count(), "invalid state {from}");
+        assert!(to < self.state_count(), "invalid state {to}");
+        self.delta[from].entry(symbol).or_default().insert(to);
+    }
+
+    /// The automaton's alphabet.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.accepting.len()
+    }
+
+    /// The set of initial states.
+    pub fn initial(&self) -> &BTreeSet<StateId> {
+        &self.initial
+    }
+
+    /// Whether `q` is accepting.
+    pub fn is_accepting(&self, q: StateId) -> bool {
+        self.accepting[q]
+    }
+
+    /// Successors of `q` on `symbol`.
+    pub fn successors(&self, q: StateId, symbol: Symbol) -> impl Iterator<Item = StateId> + '_ {
+        self.delta[q]
+            .get(&symbol)
+            .into_iter()
+            .flat_map(|set| set.iter().copied())
+    }
+
+    /// Iterates over all transitions in sorted order.
+    pub fn transitions(&self) -> impl Iterator<Item = (StateId, Symbol, StateId)> + '_ {
+        self.delta.iter().enumerate().flat_map(|(p, row)| {
+            row.iter()
+                .flat_map(move |(&a, tos)| tos.iter().map(move |&q| (p, a, q)))
+        })
+    }
+
+    /// Total number of transitions.
+    pub fn transition_count(&self) -> usize {
+        self.transitions().count()
+    }
+
+    /// Whether the accepted ω-language is empty.
+    pub fn is_empty_language(&self) -> bool {
+        emptiness::accepting_lasso(self).is_none()
+    }
+
+    /// An accepted ultimately periodic word, when the language is non-empty.
+    pub fn accepted_upword(&self) -> Option<UpWord> {
+        emptiness::accepting_lasso(self)
+    }
+
+    /// Whether the automaton accepts the ultimately periodic word `w`.
+    ///
+    /// Decided exactly, by intersecting with the one-word lasso automaton and
+    /// checking emptiness of the product graph.
+    pub fn accepts_upword(&self, w: &UpWord) -> bool {
+        emptiness::accepts_upword(self, w)
+    }
+
+    /// *Reduction* in the sense of Theorem 5.1: removes every state from
+    /// which no accepting run departs (and every unreachable state). The
+    /// ω-language is unchanged.
+    pub fn reduce(&self) -> Buchi {
+        let live = self.live_states();
+        let mut map: Vec<Option<StateId>> = vec![None; self.state_count()];
+        let mut out = Buchi::new(self.alphabet.clone());
+        for q in 0..self.state_count() {
+            if live[q] {
+                map[q] = Some(out.add_state(self.accepting[q]));
+            }
+        }
+        for &q in &self.initial {
+            if let Some(nq) = map[q] {
+                out.initial.insert(nq);
+            }
+        }
+        for (p, a, q) in self.transitions() {
+            if let (Some(np), Some(nq)) = (map[p], map[q]) {
+                out.add_transition(np, a, nq);
+            }
+        }
+        out
+    }
+
+    /// Marks states that are reachable from the initial set *and* from which
+    /// an accepting cycle is reachable ("live" states: some accepting run
+    /// passes through them).
+    pub fn live_states(&self) -> Vec<bool> {
+        let n = self.state_count();
+        // Forward reachability.
+        let mut reach = vec![false; n];
+        let mut queue: VecDeque<StateId> = self.initial.iter().copied().collect();
+        for &q in &self.initial {
+            reach[q] = true;
+        }
+        while let Some(p) = queue.pop_front() {
+            for (_, tos) in self.delta[p].iter() {
+                for &q in tos {
+                    if !reach[q] {
+                        reach[q] = true;
+                        queue.push_back(q);
+                    }
+                }
+            }
+        }
+        // States inside accepting cycles (within the reachable part).
+        let core = emptiness::accepting_cycle_states(self, &reach);
+        // Backward reachability from the core.
+        let mut rev: Vec<Vec<StateId>> = vec![Vec::new(); n];
+        for (p, _, q) in self.transitions() {
+            rev[q].push(p);
+        }
+        let mut live = vec![false; n];
+        let mut queue: VecDeque<StateId> = VecDeque::new();
+        for q in 0..n {
+            if core[q] {
+                live[q] = true;
+                queue.push_back(q);
+            }
+        }
+        while let Some(p) = queue.pop_front() {
+            for &r in &rev[p] {
+                if !live[r] {
+                    live[r] = true;
+                    queue.push_back(r);
+                }
+            }
+        }
+        for q in 0..n {
+            live[q] &= reach[q];
+        }
+        live
+    }
+
+    /// Intersection product: accepts `L(self) ∩ L(other)`.
+    ///
+    /// Uses the classical two-phase construction (a flag tracks whether we
+    /// are waiting for an accepting state of `self` or of `other`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutomataError::AlphabetMismatch`] when the alphabets differ.
+    pub fn intersection(&self, other: &Buchi) -> Result<Buchi, AutomataError> {
+        self.alphabet.check_compatible(&other.alphabet)?;
+        // Classical two-copy product: in copy 1 we wait for `self` to accept,
+        // in copy 2 for `other`; acceptance = copy-1 states whose left
+        // component accepts (visited infinitely often iff both sides accept
+        // infinitely often).
+        let mut index: BTreeMap<(StateId, StateId, u8), StateId> = BTreeMap::new();
+        let mut out = Buchi::new(self.alphabet.clone());
+        let mut work: VecDeque<(StateId, StateId, u8)> = VecDeque::new();
+        fn intern(
+            key: (StateId, StateId, u8),
+            left_acc: bool,
+            index: &mut BTreeMap<(StateId, StateId, u8), StateId>,
+            out: &mut Buchi,
+            work: &mut VecDeque<(StateId, StateId, u8)>,
+        ) -> StateId {
+            *index.entry(key).or_insert_with(|| {
+                let id = out.add_state(key.2 == 1 && left_acc);
+                work.push_back(key);
+                id
+            })
+        }
+        let mut initials = Vec::new();
+        for &p in &self.initial {
+            for &q in &other.initial {
+                let id = intern(
+                    (p, q, 1),
+                    self.accepting[p],
+                    &mut index,
+                    &mut out,
+                    &mut work,
+                );
+                initials.push(id);
+            }
+        }
+        for id in initials {
+            out.initial.insert(id);
+        }
+        while let Some((p, q, copy)) = work.pop_front() {
+            let id = *index.get(&(p, q, copy)).expect("interned");
+            for a in self.alphabet.symbols() {
+                for p2 in self.successors(p, a).collect::<Vec<_>>() {
+                    for q2 in other.successors(q, a).collect::<Vec<_>>() {
+                        let copy2 = match copy {
+                            1 if self.accepting[p] => 2,
+                            2 if other.accepting[q] => 1,
+                            c => c,
+                        };
+                        let nid = intern(
+                            (p2, q2, copy2),
+                            self.accepting[p2],
+                            &mut index,
+                            &mut out,
+                            &mut work,
+                        );
+                        out.add_transition(id, a, nid);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Disjoint union: accepts `L(self) ∪ L(other)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutomataError::AlphabetMismatch`] when the alphabets differ.
+    pub fn union(&self, other: &Buchi) -> Result<Buchi, AutomataError> {
+        self.alphabet.check_compatible(&other.alphabet)?;
+        let mut out = self.clone();
+        let offset = out.state_count();
+        for q in 0..other.state_count() {
+            out.add_state(other.accepting[q]);
+        }
+        for &q in &other.initial {
+            out.initial.insert(q + offset);
+        }
+        for (p, a, q) in other.transitions() {
+            out.add_transition(p + offset, a, q + offset);
+        }
+        Ok(out)
+    }
+
+    /// The NFA of finite prefixes `pre(L(self))` of accepted ω-words.
+    ///
+    /// After reduction, every remaining state lies on some accepting run, so
+    /// every finite run prefix is the prefix of an accepted ω-word: the
+    /// prefix NFA is the reduced graph with *all* states accepting.
+    pub fn prefix_nfa(&self) -> Nfa {
+        let reduced = self.reduce();
+        let mut n = Nfa::new(reduced.alphabet.clone());
+        for _ in 0..reduced.state_count() {
+            n.add_state(true);
+        }
+        for &q in &reduced.initial {
+            n.set_initial(q);
+        }
+        for (p, a, q) in reduced.transitions() {
+            n.add_transition(p, a, q);
+        }
+        // When the ω-language is empty there are no prefixes at all — not
+        // even ε — so return an automaton of the empty language.
+        if reduced.state_count() == 0 || reduced.initial.is_empty() {
+            return Nfa::new(reduced.alphabet.clone());
+        }
+        n
+    }
+
+    /// A universal Büchi automaton accepting all of `Σ^ω`.
+    pub fn universal(alphabet: Alphabet) -> Buchi {
+        let mut b = Buchi::new(alphabet.clone());
+        let q = b.add_state(true);
+        b.set_initial(q);
+        for a in alphabet.symbols() {
+            b.add_transition(q, a, q);
+        }
+        b
+    }
+
+    /// Renders the automaton in Graphviz DOT syntax.
+    pub fn to_dot(&self, name: &str) -> String {
+        self.to_nfa_structure().to_dot(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ab2() -> (Alphabet, Symbol, Symbol) {
+        let ab = Alphabet::new(["a", "b"]).unwrap();
+        (ab.clone(), ab.symbol("a").unwrap(), ab.symbol("b").unwrap())
+    }
+
+    /// "infinitely many a" over {a,b}.
+    fn inf_a() -> Buchi {
+        let (ab, a, b) = ab2();
+        Buchi::from_parts(
+            ab,
+            2,
+            [0],
+            [1],
+            [(0, b, 0), (0, a, 1), (1, a, 1), (1, b, 0)],
+        )
+        .unwrap()
+    }
+
+    /// "finitely many a" (eventually always b).
+    fn fin_a() -> Buchi {
+        let (ab, a, b) = ab2();
+        Buchi::from_parts(
+            ab,
+            2,
+            [0],
+            [1],
+            [(0, a, 0), (0, b, 0), (0, b, 1), (1, b, 1)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn membership_basic() {
+        let (_, a, b) = ab2();
+        let m = inf_a();
+        assert!(m.accepts_upword(&UpWord::periodic(vec![a]).unwrap()));
+        assert!(m.accepts_upword(&UpWord::periodic(vec![a, b, b]).unwrap()));
+        assert!(!m.accepts_upword(&UpWord::new(vec![a, a], vec![b]).unwrap()));
+    }
+
+    #[test]
+    fn emptiness_and_witness() {
+        let (ab, a, _) = ab2();
+        let m = inf_a();
+        assert!(!m.is_empty_language());
+        let w = m.accepted_upword().unwrap();
+        assert!(m.accepts_upword(&w));
+
+        // An automaton whose accepting state is not on a cycle: empty.
+        let dead = Buchi::from_parts(ab, 2, [0], [1], [(0, a, 1)]).unwrap();
+        assert!(dead.is_empty_language());
+        assert_eq!(dead.accepted_upword(), None);
+    }
+
+    #[test]
+    fn intersection_of_inf_and_fin_is_empty() {
+        let m = inf_a().intersection(&fin_a()).unwrap();
+        assert!(m.is_empty_language());
+    }
+
+    #[test]
+    fn intersection_agrees_with_memberships() {
+        let (_, a, b) = ab2();
+        // inf-a ∩ inf-b = words with infinitely many of both.
+        let (ab, _, _) = ab2();
+        let inf_b = Buchi::from_parts(
+            ab,
+            2,
+            [0],
+            [1],
+            [(0, a, 0), (0, b, 1), (1, b, 1), (1, a, 0)],
+        )
+        .unwrap();
+        let m = inf_a().intersection(&inf_b).unwrap();
+        assert!(m.accepts_upword(&UpWord::periodic(vec![a, b]).unwrap()));
+        assert!(!m.accepts_upword(&UpWord::periodic(vec![a]).unwrap()));
+        assert!(!m.accepts_upword(&UpWord::periodic(vec![b]).unwrap()));
+        assert!(m.accepts_upword(&UpWord::new(vec![b, b], vec![b, a]).unwrap()));
+    }
+
+    #[test]
+    fn union_accepts_either() {
+        let (_, a, b) = ab2();
+        let m = inf_a().union(&fin_a()).unwrap();
+        assert!(m.accepts_upword(&UpWord::periodic(vec![a]).unwrap()));
+        assert!(m.accepts_upword(&UpWord::periodic(vec![b]).unwrap()));
+        assert!(m.accepts_upword(&UpWord::periodic(vec![a, b]).unwrap()));
+    }
+
+    #[test]
+    fn reduce_removes_dead_states() {
+        let (ab, a, _) = ab2();
+        // q0 -a-> q1(acc, self-loop), q0 -a-> q2 (dead end).
+        let m = Buchi::from_parts(ab, 3, [0], [1], [(0, a, 1), (1, a, 1), (0, a, 2)]).unwrap();
+        let r = m.reduce();
+        assert_eq!(r.state_count(), 2);
+        assert!(r.accepts_upword(&UpWord::periodic(vec![a]).unwrap()));
+    }
+
+    #[test]
+    fn prefix_nfa_is_prefix_closed() {
+        let (_, a, b) = ab2();
+        let m = inf_a();
+        let pre = m.prefix_nfa();
+        assert!(pre.accepts(&[]));
+        assert!(pre.accepts(&[b, b, a]));
+        assert!(pre.is_prefix_closed());
+        // For inf_a every finite word is a prefix.
+        assert!(pre.accepts(&[a, a, b, b, a]));
+    }
+
+    #[test]
+    fn prefix_nfa_of_empty_language_is_empty() {
+        let (ab, a, _) = ab2();
+        let dead = Buchi::from_parts(ab, 2, [0], [1], [(0, a, 1)]).unwrap();
+        let pre = dead.prefix_nfa();
+        assert!(pre.is_empty_language());
+        assert!(!pre.accepts(&[]));
+    }
+
+    #[test]
+    fn universal_accepts_everything() {
+        let (ab, a, b) = ab2();
+        let u = Buchi::universal(ab);
+        assert!(u.accepts_upword(&UpWord::periodic(vec![a]).unwrap()));
+        assert!(u.accepts_upword(&UpWord::new(vec![a, b, a], vec![b, b, a]).unwrap()));
+    }
+
+    #[test]
+    fn nfa_structure_roundtrip() {
+        let m = inf_a();
+        let back = Buchi::from_nfa_structure(&m.to_nfa_structure());
+        assert_eq!(m, back);
+    }
+}

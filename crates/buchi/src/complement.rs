@@ -1,0 +1,256 @@
+//! Büchi complementation (rank-based, Kupferman–Vardi) and the ω-language
+//! inclusion/equivalence tests built on it.
+//!
+//! Complementation is inherently exponential (`2^O(n log n)`); the paper only
+//! needs it to decide relative safety for properties given as raw Büchi
+//! automata (Theorem 4.5), which in practice are small. Properties given as
+//! PLTL formulas avoid this construction entirely — `rl-logic` translates the
+//! *negated* formula instead.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use rl_automata::StateId;
+
+use crate::buchi::Buchi;
+use crate::upword::UpWord;
+
+/// A level ranking: the current subset of `A`-states, each with a rank.
+type Ranking = Vec<(StateId, u32)>;
+/// Complement state: ranking + the "owing" set of the breakpoint
+/// construction.
+type CState = (Ranking, Vec<StateId>);
+
+/// Returns a Büchi automaton accepting exactly `Σ^ω \ L(a)`.
+///
+/// Implements the Kupferman–Vardi rank-based construction: states are level
+/// rankings (subset states annotated with ranks `0..=2n`, accepting states
+/// even-ranked) plus a breakpoint set `O`; a word is in the complement iff
+/// some ranking run exists in which `O` empties infinitely often.
+///
+/// The result can be exponentially larger than `a` — use only on small
+/// automata (the deciders in `rl-core` reserve it for automaton-given
+/// properties).
+///
+/// # Example
+///
+/// ```
+/// use rl_automata::Alphabet;
+/// use rl_buchi::{complement, Buchi, UpWord};
+///
+/// # fn main() -> Result<(), rl_automata::AutomataError> {
+/// let ab = Alphabet::new(["a", "b"])?;
+/// let a = ab.symbol("a").unwrap();
+/// let b = ab.symbol("b").unwrap();
+/// // "infinitely many a"
+/// let m = Buchi::from_parts(
+///     ab, 2, [0], [1],
+///     [(0, b, 0), (0, a, 1), (1, a, 1), (1, b, 0)],
+/// )?;
+/// let c = complement(&m);
+/// // complement = "finitely many a"
+/// assert!(c.accepts_upword(&UpWord::new(vec![a, a], vec![b])?));
+/// assert!(!c.accepts_upword(&UpWord::periodic(vec![a, b])?));
+/// # Ok(())
+/// # }
+/// ```
+pub fn complement(a: &Buchi) -> Buchi {
+    // Restrict to reachable states (language-preserving, shrinks n).
+    let a = restrict_reachable(a);
+    let n = a.state_count();
+    if n == 0 || a.initial().is_empty() {
+        return Buchi::universal(a.alphabet().clone());
+    }
+    let max_rank = 2 * n as u32;
+
+    let mut out = Buchi::new(a.alphabet().clone());
+    let mut index: BTreeMap<CState, StateId> = BTreeMap::new();
+    let mut work: VecDeque<CState> = VecDeque::new();
+
+    let init: CState = (
+        a.initial().iter().map(|&q| (q, max_rank)).collect(),
+        Vec::new(),
+    );
+    // Initial ranking must respect parity for accepting states; max_rank is
+    // even, so it always does.
+    let id = out.add_state(true); // O = ∅
+    index.insert(init.clone(), id);
+    out.set_initial(id);
+    work.push_back(init);
+
+    while let Some((f, o)) = work.pop_front() {
+        let id = index[&(f.clone(), o.clone())];
+        for sym in a.alphabet().symbols() {
+            // Successor subset with per-state rank bounds.
+            let mut bound: BTreeMap<StateId, u32> = BTreeMap::new();
+            for &(q, r) in &f {
+                for q2 in a.successors(q, sym) {
+                    bound
+                        .entry(q2)
+                        .and_modify(|b| *b = (*b).min(r))
+                        .or_insert(r);
+                }
+            }
+            // δ(O, sym): successors of the owing set.
+            let mut o_succ: Vec<StateId> = Vec::new();
+            for &q in &o {
+                for q2 in a.successors(q, sym) {
+                    if !o_succ.contains(&q2) {
+                        o_succ.push(q2);
+                    }
+                }
+            }
+            o_succ.sort_unstable();
+
+            // Enumerate all rankings g within bounds (accepting ⇒ even rank).
+            let targets: Vec<(StateId, u32)> = bound.into_iter().collect();
+            let mut assignments: Vec<Ranking> = vec![Vec::new()];
+            for &(q2, b) in &targets {
+                let mut next = Vec::new();
+                for g in &assignments {
+                    for r in 0..=b {
+                        if a.is_accepting(q2) && r % 2 == 1 {
+                            continue;
+                        }
+                        let mut g2 = g.clone();
+                        g2.push((q2, r));
+                        next.push(g2);
+                    }
+                }
+                assignments = next;
+            }
+
+            for g in assignments {
+                let even: Vec<StateId> = g
+                    .iter()
+                    .filter(|&&(_, r)| r % 2 == 0)
+                    .map(|&(q, _)| q)
+                    .collect();
+                let o2: Vec<StateId> = if o.is_empty() {
+                    even
+                } else {
+                    even.into_iter()
+                        .filter(|q| o_succ.binary_search(q).is_ok())
+                        .collect()
+                };
+                let key: CState = (g, o2);
+                let nid = *index.entry(key.clone()).or_insert_with(|| {
+                    let nid = out.add_state(key.1.is_empty());
+                    work.push_back(key);
+                    nid
+                });
+                out.add_transition(id, sym, nid);
+            }
+        }
+    }
+    out
+}
+
+fn restrict_reachable(a: &Buchi) -> Buchi {
+    let nfa = a.to_nfa_structure();
+    let reach = nfa.reachable();
+    Buchi::from_nfa_structure(&nfa.restrict(&reach))
+}
+
+/// Decides ω-language inclusion `L(a) ⊆ L(b)`; on failure returns a witness
+/// ultimately periodic word in `L(a) \ L(b)`.
+///
+/// Built on [`complement`], so exponential in `b` — keep `b` small.
+///
+/// # Errors
+///
+/// Returns [`rl_automata::AutomataError::AlphabetMismatch`] when the
+/// alphabets differ.
+pub fn omega_included(a: &Buchi, b: &Buchi) -> Result<Option<UpWord>, rl_automata::AutomataError> {
+    let diff = a.intersection(&complement(b))?;
+    Ok(diff.accepted_upword())
+}
+
+/// Decides ω-language equivalence `L(a) = L(b)`.
+///
+/// # Errors
+///
+/// Returns [`rl_automata::AutomataError::AlphabetMismatch`] when the
+/// alphabets differ.
+pub fn omega_equivalent(a: &Buchi, b: &Buchi) -> Result<bool, rl_automata::AutomataError> {
+    Ok(omega_included(a, b)?.is_none() && omega_included(b, a)?.is_none())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rl_automata::Alphabet;
+
+    fn ab2() -> (Alphabet, rl_automata::Symbol, rl_automata::Symbol) {
+        let ab = Alphabet::new(["a", "b"]).unwrap();
+        (ab.clone(), ab.symbol("a").unwrap(), ab.symbol("b").unwrap())
+    }
+
+    fn inf_a() -> Buchi {
+        let (ab, a, b) = ab2();
+        Buchi::from_parts(
+            ab,
+            2,
+            [0],
+            [1],
+            [(0, b, 0), (0, a, 1), (1, a, 1), (1, b, 0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn complement_flips_membership_on_samples() {
+        let (_, a, b) = ab2();
+        let m = inf_a();
+        let c = complement(&m);
+        let words = [
+            UpWord::periodic(vec![a]).unwrap(),
+            UpWord::periodic(vec![b]).unwrap(),
+            UpWord::periodic(vec![a, b]).unwrap(),
+            UpWord::new(vec![a, a, a], vec![b]).unwrap(),
+            UpWord::new(vec![b, b], vec![a, b, b]).unwrap(),
+        ];
+        for w in &words {
+            assert_ne!(m.accepts_upword(w), c.accepts_upword(w), "word {w}");
+        }
+    }
+
+    #[test]
+    fn complement_of_empty_is_universal() {
+        let (ab, a, _) = ab2();
+        let empty = Buchi::new(ab.clone());
+        let c = complement(&empty);
+        assert!(c.accepts_upword(&UpWord::periodic(vec![a]).unwrap()));
+    }
+
+    #[test]
+    fn complement_of_universal_is_empty() {
+        let (ab, _, _) = ab2();
+        let c = complement(&Buchi::universal(ab));
+        assert!(c.is_empty_language());
+    }
+
+    #[test]
+    fn inclusion_and_equivalence() {
+        let (ab, a, b) = ab2();
+        let m = inf_a();
+        let univ = Buchi::universal(ab.clone());
+        assert_eq!(omega_included(&m, &univ).unwrap(), None);
+        let w = omega_included(&univ, &m).unwrap().expect("strict");
+        // Witness has finitely many a's.
+        assert!(!m.accepts_upword(&w));
+        assert!(omega_equivalent(&m, &m.clone()).unwrap());
+        assert!(!omega_equivalent(&m, &univ).unwrap());
+        let _ = (a, b);
+    }
+
+    #[test]
+    fn complement_handles_dying_runs() {
+        let (ab, a, b) = ab2();
+        // Accepts only a^ω and dies on b.
+        let m = Buchi::from_parts(ab, 1, [0], [0], [(0, a, 0)]).unwrap();
+        let c = complement(&m);
+        assert!(c.accepts_upword(&UpWord::new(vec![b], vec![a]).unwrap()));
+        assert!(c.accepts_upword(&UpWord::periodic(vec![b]).unwrap()));
+        assert!(!c.accepts_upword(&UpWord::periodic(vec![a]).unwrap()));
+    }
+}

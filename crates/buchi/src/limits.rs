@@ -1,0 +1,118 @@
+//! Limits of regular languages and behaviors of transition systems.
+//!
+//! The paper (Section 3) defines `lim(L) = { x ∈ Σ^ω | ∃^∞ w ∈ pre(x): w ∈ L }`
+//! and models systems as finite-state transition systems without acceptance,
+//! whose ω-behavior is the limit of their prefix-closed finite-word language.
+
+use rl_automata::{Dfa, Nfa, TransitionSystem};
+
+use crate::buchi::Buchi;
+
+/// The Büchi automaton accepting `lim(L(d))` for a *deterministic* automaton.
+///
+/// For a DFA the unique run of `x` visits accepting states at exactly the
+/// positions whose prefix is in `L`, so `x ∈ lim(L)` iff the run hits
+/// acceptance infinitely often — i.e. the same graph read with Büchi
+/// semantics. (This correspondence is false for NFAs, which is why
+/// [`limit_of_regular`] determinizes first.)
+///
+/// # Example
+///
+/// ```
+/// use rl_automata::{Alphabet, Nfa};
+/// use rl_buchi::{limit_of_dfa, UpWord};
+///
+/// # fn main() -> Result<(), rl_automata::AutomataError> {
+/// let ab = Alphabet::new(["a", "b"])?;
+/// let a = ab.symbol("a").unwrap();
+/// let b = ab.symbol("b").unwrap();
+/// // L = words ending in a  ⇒  lim(L) = "infinitely many a".
+/// let d = Nfa::from_parts(ab, 2, [0], [1], [(0, a, 1), (0, b, 0), (1, a, 1), (1, b, 0)])?
+///     .determinize();
+/// let lim = limit_of_dfa(&d);
+/// assert!(lim.accepts_upword(&UpWord::periodic(vec![a, b])?));
+/// assert!(!lim.accepts_upword(&UpWord::new(vec![a], vec![b])?));
+/// # Ok(())
+/// # }
+/// ```
+pub fn limit_of_dfa(d: &Dfa) -> Buchi {
+    let mut b = Buchi::new(d.alphabet().clone());
+    for q in 0..d.state_count() {
+        b.add_state(d.is_accepting(q));
+    }
+    if d.state_count() > 0 {
+        b.set_initial(d.initial());
+    }
+    for (p, a, q) in d.transitions() {
+        b.add_transition(p, a, q);
+    }
+    b
+}
+
+/// The Büchi automaton accepting `lim(L(nfa))`, via determinization.
+pub fn limit_of_regular(nfa: &Nfa) -> Buchi {
+    limit_of_dfa(&nfa.determinize())
+}
+
+/// The ω-behavior `lim(L)` of a transition system, where `L` is its
+/// prefix-closed finite-word language (Definition 6.2 with `h = id`).
+///
+/// Every state is accepting, so the behaviors are exactly the infinite runs;
+/// deadlocked branches contribute nothing (they admit no infinite run).
+/// Transition systems are deterministic-or-not; the limit is taken on the
+/// determinized language to stay faithful to the definition.
+pub fn behaviors_of_ts(ts: &TransitionSystem) -> Buchi {
+    limit_of_regular(&ts.to_nfa())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::upword::UpWord;
+    use rl_automata::Alphabet;
+
+    #[test]
+    fn limit_excludes_deadlocked_runs() {
+        let ab = Alphabet::new(["go", "stop"]).unwrap();
+        let go = ab.symbol("go").unwrap();
+        let stop = ab.symbol("stop").unwrap();
+        let mut ts = TransitionSystem::new(ab);
+        let s0 = ts.add_state();
+        let s1 = ts.add_state(); // deadlock after "stop"
+        ts.set_initial(s0);
+        ts.add_transition(s0, go, s0);
+        ts.add_transition(s0, stop, s1);
+        let b = behaviors_of_ts(&ts);
+        assert!(b.accepts_upword(&UpWord::periodic(vec![go]).unwrap()));
+        // "stop" leads to deadlock: no ω-word goes through it.
+        assert!(!b.accepts_upword(&UpWord::new(vec![stop], vec![go]).unwrap()));
+    }
+
+    #[test]
+    fn limit_of_prefix_closed_equals_infinite_runs() {
+        let ab = Alphabet::new(["a", "b"]).unwrap();
+        let a = ab.symbol("a").unwrap();
+        let b = ab.symbol("b").unwrap();
+        let mut ts = TransitionSystem::new(ab);
+        let s0 = ts.add_state();
+        let s1 = ts.add_state();
+        ts.set_initial(s0);
+        ts.add_transition(s0, a, s1);
+        ts.add_transition(s1, b, s0);
+        let beh = behaviors_of_ts(&ts);
+        assert!(beh.accepts_upword(&UpWord::periodic(vec![a, b]).unwrap()));
+        assert!(!beh.accepts_upword(&UpWord::periodic(vec![a]).unwrap()));
+        assert!(!beh.accepts_upword(&UpWord::periodic(vec![b, a]).unwrap()));
+    }
+
+    #[test]
+    fn limit_of_finite_language_is_empty() {
+        let ab = Alphabet::new(["a"]).unwrap();
+        let a = ab.symbol("a").unwrap();
+        // L = {ε, a}: finite, so lim(L) = ∅.
+        let d = Nfa::from_parts(ab, 2, [0], [0, 1], [(0, a, 1)])
+            .unwrap()
+            .determinize();
+        assert!(limit_of_dfa(&d).is_empty_language());
+    }
+}

@@ -1,0 +1,242 @@
+//! ω-regular expressions: finite unions of `U · V^ω` with `U`, `V` regular.
+//!
+//! Every ω-regular language has this form (Büchi's theorem); these
+//! expressions are the most convenient way to state properties and systems
+//! compactly in tests and examples.
+
+use rl_automata::{Alphabet, AutomataError, Nfa, Regex};
+
+use crate::buchi::Buchi;
+
+/// An ω-regular expression `Σᵢ Uᵢ · Vᵢ^ω`.
+///
+/// # Example
+///
+/// ```
+/// use rl_automata::{Alphabet, Regex};
+/// use rl_buchi::{OmegaRegex, UpWord};
+///
+/// # fn main() -> Result<(), rl_automata::AutomataError> {
+/// let ab = Alphabet::new(["a", "b"])?;
+/// // (a+b)* a^ω — "finitely many b".
+/// let expr = OmegaRegex::new(&ab, vec![(
+///     Regex::parse(&ab, "(a + b)*")?,
+///     Regex::parse(&ab, "a")?,
+/// )]);
+/// let m = expr.to_buchi()?;
+/// let a = ab.symbol("a").unwrap();
+/// let b = ab.symbol("b").unwrap();
+/// assert!(m.accepts_upword(&UpWord::new(vec![b, b], vec![a])?));
+/// assert!(!m.accepts_upword(&UpWord::periodic(vec![a, b])?));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OmegaRegex {
+    alphabet: Alphabet,
+    parts: Vec<(Regex, Regex)>,
+}
+
+impl OmegaRegex {
+    /// Builds an expression over `alphabet` from `(Uᵢ, Vᵢ)` pairs.
+    pub fn new(alphabet: &Alphabet, parts: Vec<(Regex, Regex)>) -> OmegaRegex {
+        OmegaRegex {
+            alphabet: alphabet.clone(),
+            parts,
+        }
+    }
+
+    /// Parses `"U ; V"` (one pair) over `alphabet` — `U` and `V` in the
+    /// [`Regex`] syntax. Multiple pairs can be joined by `"||"`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Regex::parse`] failures; a missing `;` is reported as
+    /// [`AutomataError::UnknownSymbol`].
+    pub fn parse(alphabet: &Alphabet, text: &str) -> Result<OmegaRegex, AutomataError> {
+        let mut parts = Vec::new();
+        for chunk in text.split("||") {
+            let Some((u, v)) = chunk.split_once(';') else {
+                return Err(AutomataError::UnknownSymbol(
+                    "omega-regex needs 'U ; V' with a semicolon".into(),
+                ));
+            };
+            parts.push((Regex::parse(alphabet, u)?, Regex::parse(alphabet, v)?));
+        }
+        Ok(OmegaRegex::new(alphabet, parts))
+    }
+
+    /// The component pairs.
+    pub fn parts(&self) -> &[(Regex, Regex)] {
+        &self.parts
+    }
+
+    /// Compiles to a Büchi automaton accepting `⋃ᵢ Uᵢ·Vᵢ^ω`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutomataError::InvalidState`] when some `Vᵢ` accepts the
+    /// empty word (ε^ω is not an ω-word; rewrite `V` without ε, e.g. use
+    /// `a a*` instead of `a*`).
+    pub fn to_buchi(&self) -> Result<Buchi, AutomataError> {
+        let mut acc: Option<Buchi> = None;
+        for (u, v) in &self.parts {
+            let part = omega_iteration(
+                &u.to_nfa_over(&self.alphabet)?,
+                &v.to_nfa_over(&self.alphabet)?,
+            )?;
+            acc = Some(match acc {
+                None => part,
+                Some(b) => b.union(&part)?,
+            });
+        }
+        acc.ok_or(AutomataError::EmptyAlphabet)
+    }
+}
+
+/// Büchi automaton for `L(u_nfa) · L(v_nfa)^ω`.
+fn omega_iteration(u_nfa: &Nfa, v_nfa: &Nfa) -> Result<Buchi, AutomataError> {
+    u_nfa.alphabet().check_compatible(v_nfa.alphabet())?;
+    if v_nfa.accepts(&[]) {
+        return Err(AutomataError::InvalidState(0));
+    }
+    let u = u_nfa.trim();
+    let v = v_nfa.trim();
+    let alphabet = u_nfa.alphabet().clone();
+    // Layout: [U states][V states][hub]; hub is the sole accepting state,
+    // entered at every completed V-iteration.
+    let nu = u.state_count();
+    let nv = v.state_count();
+    let hub = nu + nv;
+    let mut b = Buchi::new(alphabet);
+    for _ in 0..nu + nv {
+        b.add_state(false);
+    }
+    b.add_state(true); // hub
+    for &q in u.initial() {
+        b.set_initial(q);
+    }
+    // ε ∈ L(U): the word may start iterating V immediately.
+    if u.accepts(&[]) {
+        b.set_initial(hub);
+    }
+    // U transitions; entering a U-accepting state may also jump to hub
+    // (the U-part ends here).
+    for (p, a, q) in u.transitions() {
+        b.add_transition(p, a, q);
+        if u.is_accepting(q) {
+            b.add_transition(p, a, hub);
+        }
+    }
+    // V transitions (offset); completing a V word jumps to hub.
+    for (p, a, q) in v.transitions() {
+        b.add_transition(nu + p, a, nu + q);
+        if v.is_accepting(q) {
+            b.add_transition(nu + p, a, hub);
+        }
+    }
+    // hub behaves like V's initial states.
+    for &init in v.initial() {
+        for a in v.alphabet().clone().symbols() {
+            for q in v.successors(init, a).collect::<Vec<_>>() {
+                b.add_transition(hub, a, nu + q);
+                if v.is_accepting(q) {
+                    b.add_transition(hub, a, hub);
+                }
+            }
+        }
+    }
+    Ok(b.reduce())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complement::omega_included;
+    use crate::upword::UpWord;
+    use rl_automata::Symbol;
+
+    fn ab2() -> (Alphabet, Symbol, Symbol) {
+        let ab = Alphabet::new(["a", "b"]).unwrap();
+        (ab.clone(), ab.symbol("a").unwrap(), ab.symbol("b").unwrap())
+    }
+
+    #[test]
+    fn alternating_word() {
+        let (ab, a, b) = ab2();
+        let expr = OmegaRegex::parse(&ab, "ε ; a b").unwrap();
+        let m = expr.to_buchi().unwrap();
+        assert!(m.accepts_upword(&UpWord::periodic(vec![a, b]).unwrap()));
+        assert!(!m.accepts_upword(&UpWord::periodic(vec![b, a]).unwrap()));
+        assert!(!m.accepts_upword(&UpWord::periodic(vec![a]).unwrap()));
+    }
+
+    #[test]
+    fn finitely_many_b_matches_formula_automaton() {
+        let (ab, a, b) = ab2();
+        let expr = OmegaRegex::parse(&ab, "(a + b)* ; a").unwrap();
+        let m = expr.to_buchi().unwrap();
+        // Same language as "eventually always a". Full ω-equivalence would
+        // rank-complement `m` (exponential), so check the cheap direction
+        // exactly (complementing only the tiny 2-state reference) and the
+        // other direction on a word sample.
+        let reference = rl_logic_stub(&ab);
+        assert_eq!(omega_included(&m, &reference).unwrap(), None);
+        for w in [
+            UpWord::periodic(vec![a]).unwrap(),
+            UpWord::new(vec![b, b, a, b], vec![a]).unwrap(),
+            UpWord::new(vec![a, b], vec![a, a]).unwrap(),
+        ] {
+            assert!(reference.accepts_upword(&w));
+            assert!(m.accepts_upword(&w), "missing member {w}");
+        }
+        for w in [
+            UpWord::periodic(vec![b]).unwrap(),
+            UpWord::periodic(vec![a, b]).unwrap(),
+        ] {
+            assert!(!m.accepts_upword(&w), "spurious member {w}");
+        }
+    }
+
+    /// "eventually always a" automaton, built by hand (keeping rl-buchi free
+    /// of an rl-logic dependency).
+    fn rl_logic_stub(ab: &Alphabet) -> Buchi {
+        let a = ab.symbol("a").unwrap();
+        let b = ab.symbol("b").unwrap();
+        Buchi::from_parts(
+            ab.clone(),
+            2,
+            [0],
+            [1],
+            [(0, a, 0), (0, b, 0), (0, a, 1), (1, a, 1)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn union_of_parts() {
+        let (ab, a, b) = ab2();
+        let expr = OmegaRegex::parse(&ab, "ε ; a || ε ; b").unwrap();
+        let m = expr.to_buchi().unwrap();
+        assert!(m.accepts_upword(&UpWord::periodic(vec![a]).unwrap()));
+        assert!(m.accepts_upword(&UpWord::periodic(vec![b]).unwrap()));
+        assert!(!m.accepts_upword(&UpWord::periodic(vec![a, b]).unwrap()));
+    }
+
+    #[test]
+    fn epsilon_period_rejected() {
+        let (ab, _, _) = ab2();
+        let expr = OmegaRegex::parse(&ab, "a ; b*").unwrap();
+        assert!(expr.to_buchi().is_err());
+    }
+
+    #[test]
+    fn prefix_is_respected() {
+        let (ab, a, b) = ab2();
+        let expr = OmegaRegex::parse(&ab, "b b ; a").unwrap();
+        let m = expr.to_buchi().unwrap();
+        assert!(m.accepts_upword(&UpWord::new(vec![b, b], vec![a]).unwrap()));
+        assert!(!m.accepts_upword(&UpWord::new(vec![b], vec![a]).unwrap()));
+        assert!(!m.accepts_upword(&UpWord::periodic(vec![a]).unwrap()));
+    }
+}

@@ -1,0 +1,52 @@
+//! Serde support (behind the `serde` feature).
+//!
+//! A [`Buchi`] automaton serializes as its underlying NFA structure (same
+//! wire shape as [`rl_automata::Nfa`], with `accepting` read as the Büchi
+//! acceptance set); an [`UpWord`] as `{prefix, period}` symbol-index lists.
+
+use serde::{Deserialize, Serialize};
+
+use rl_automata::{Nfa, Symbol};
+
+use crate::buchi::Buchi;
+use crate::upword::UpWord;
+
+impl Serialize for Buchi {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.to_nfa_structure().serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for Buchi {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Buchi, D::Error> {
+        let nfa = Nfa::deserialize(deserializer)?;
+        Ok(Buchi::from_nfa_structure(&nfa))
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct UpWordParts {
+    prefix: Vec<usize>,
+    period: Vec<usize>,
+}
+
+impl Serialize for UpWord {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        UpWordParts {
+            prefix: self.prefix().iter().map(|s| s.index()).collect(),
+            period: self.period().iter().map(|s| s.index()).collect(),
+        }
+        .serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for UpWord {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<UpWord, D::Error> {
+        let parts = UpWordParts::deserialize(deserializer)?;
+        UpWord::new(
+            parts.prefix.into_iter().map(Symbol::from_index).collect(),
+            parts.period.into_iter().map(Symbol::from_index).collect(),
+        )
+        .map_err(|_| serde::de::Error::custom("ω-word period must be non-empty"))
+    }
+}

@@ -1,0 +1,234 @@
+//! The `∀□∃◇` fragment — the branching-time cousin of relative liveness.
+//!
+//! The paper's conclusion points to a related preservation result for the
+//! `∀□∃◇`-fragment of CTL* (Nitsche [18, 19]). For an action `a`, the
+//! formula `∀□∃◇⟨a⟩` reads: *from every reachable state, a state with an
+//! enabled `a`-action remains reachable*. On finite transition systems this
+//! fragment is decidable by plain graph reachability, and it is tightly
+//! related to relative liveness of the linear-time recurrence `□◇a`:
+//!
+//! * For **deterministic** systems whose states all lie on infinite runs,
+//!   `□◇a` is a relative liveness property of `lim(L)` **iff** every
+//!   reachable state can reach a *cycle containing an `a`-transition*
+//!   (`∀□∃◇`-style, strengthened from "an `a` is reachable" to "recurrently
+//!   reachable"). The equivalence is property-tested in this crate.
+//! * For nondeterministic systems the linear-time notion is weaker: a
+//!   prefix may be extendable through *one* of the states it can reach,
+//!   while another reachable state is doomed.
+
+use std::collections::VecDeque;
+
+use rl_automata::{StateId, Symbol, TransitionSystem};
+
+/// States lying on some infinite run (non-doomed states): reachable states
+/// from which an infinite path exists.
+fn live_states(ts: &TransitionSystem) -> Vec<bool> {
+    let n = ts.state_count();
+    // A state has an infinite path iff it can reach a cycle. Iteratively
+    // strip states with no outgoing edges into surviving states.
+    let mut alive = vec![true; n];
+    loop {
+        let mut changed = false;
+        for q in 0..n {
+            if alive[q] && !ts.enabled(q).iter().any(|&(_, t)| alive[t]) {
+                alive[q] = false;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Restrict to reachable.
+    let mut reach = vec![false; n];
+    let mut queue = VecDeque::from([ts.initial()]);
+    reach[ts.initial()] = true;
+    while let Some(p) = queue.pop_front() {
+        for (_, t) in ts.enabled(p) {
+            if !reach[t] {
+                reach[t] = true;
+                queue.push_back(t);
+            }
+        }
+    }
+    (0..n).map(|q| alive[q] && reach[q]).collect()
+}
+
+/// `∀□∃◇⟨action⟩`: from every reachable non-doomed state, some state with an
+/// enabled `action` (leading to a non-doomed state) is reachable.
+///
+/// Returns the verdict together with a witness state violating it, if any.
+///
+/// # Example
+///
+/// ```
+/// use rl_core::forall_always_exists_eventually;
+/// use rl_petri::examples::{server_behaviors, server_err_behaviors};
+///
+/// let result = server_behaviors().alphabet().symbol("result").unwrap();
+/// // Figure 2: a result is always still reachable …
+/// assert!(forall_always_exists_eventually(&server_behaviors(), result).is_none());
+/// // … Figure 3: after lock, it is not (a violating state is returned).
+/// let result_err = server_err_behaviors().alphabet().symbol("result").unwrap();
+/// assert!(forall_always_exists_eventually(&server_err_behaviors(), result_err).is_some());
+/// ```
+pub fn forall_always_exists_eventually(ts: &TransitionSystem, action: Symbol) -> Option<StateId> {
+    let alive = live_states(ts);
+    let n = ts.state_count();
+    // Backward reachability from states with an enabled live `action` edge.
+    let mut can = vec![false; n];
+    let mut rev: Vec<Vec<StateId>> = vec![Vec::new(); n];
+    let mut queue: VecDeque<StateId> = VecDeque::new();
+    for q in 0..n {
+        if !alive[q] {
+            continue;
+        }
+        for (a, t) in ts.enabled(q) {
+            if alive[t] {
+                rev[t].push(q);
+                if a == action && !can[q] {
+                    can[q] = true;
+                    queue.push_back(q);
+                }
+            }
+        }
+    }
+    while let Some(p) = queue.pop_front() {
+        for &r in rev[p].clone().iter() {
+            if !can[r] {
+                can[r] = true;
+                queue.push_back(r);
+            }
+        }
+    }
+    (0..n).find(|&q| alive[q] && !can[q])
+}
+
+/// The recurrence-strengthened variant: from every reachable non-doomed
+/// state, a **cycle containing an `action`-transition** is reachable. For
+/// deterministic systems this coincides with relative liveness of `□◇action`
+/// (see the property tests).
+pub fn forall_always_recurrently(ts: &TransitionSystem, action: Symbol) -> Option<StateId> {
+    let alive = live_states(ts);
+    let n = ts.state_count();
+    // A state q is "recurrently good" iff it can reach a state s that has an
+    // `action` edge to t, with q →* s, t →* s-with-action again — i.e. s
+    // lies on a cycle through its own action edge: t →* s.
+    // Compute: for each action edge (s, action, t) with alive endpoints,
+    // check t →* s; collect the sources s of such recurrent edges; then
+    // backward-close.
+    let reachable_from = |start: StateId| -> Vec<bool> {
+        let mut seen = vec![false; n];
+        let mut queue = VecDeque::from([start]);
+        seen[start] = true;
+        while let Some(p) = queue.pop_front() {
+            for (_, t2) in ts.enabled(p) {
+                if alive[t2] && !seen[t2] {
+                    seen[t2] = true;
+                    queue.push_back(t2);
+                }
+            }
+        }
+        seen
+    };
+    let mut recurrent_sources: Vec<StateId> = Vec::new();
+    for (s, a, t) in ts.transitions() {
+        if a == action && alive[s] && alive[t] {
+            let from_t = reachable_from(t);
+            if from_t[s] {
+                recurrent_sources.push(s);
+            }
+        }
+    }
+    // Backward closure.
+    let mut rev: Vec<Vec<StateId>> = vec![Vec::new(); n];
+    for (p, _, q) in ts.transitions() {
+        if alive[p] && alive[q] {
+            rev[q].push(p);
+        }
+    }
+    let mut good = vec![false; n];
+    let mut queue: VecDeque<StateId> = VecDeque::new();
+    for &s in &recurrent_sources {
+        if !good[s] {
+            good[s] = true;
+            queue.push_back(s);
+        }
+    }
+    while let Some(p) = queue.pop_front() {
+        for &r in &rev[p] {
+            if !good[r] {
+                good[r] = true;
+                queue.push_back(r);
+            }
+        }
+    }
+    (0..n).find(|&q| alive[q] && !good[q])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::property::Property;
+    use crate::relative::is_relative_liveness_of_ts;
+    use rl_automata::Alphabet;
+    use rl_logic::Formula;
+
+    #[test]
+    fn fig2_vs_fig3() {
+        use rl_petri::examples::{server_behaviors, server_err_behaviors};
+        let good = server_behaviors();
+        let result = good.alphabet().symbol("result").unwrap();
+        assert_eq!(forall_always_exists_eventually(&good, result), None);
+        assert_eq!(forall_always_recurrently(&good, result), None);
+
+        let bad = server_err_behaviors();
+        let result_b = bad.alphabet().symbol("result").unwrap();
+        assert!(forall_always_exists_eventually(&bad, result_b).is_some());
+        assert!(forall_always_recurrently(&bad, result_b).is_some());
+    }
+
+    /// On a deterministic system, the recurrence variant coincides with
+    /// relative liveness of □◇a.
+    #[test]
+    fn deterministic_equivalence_sample() {
+        let ab = Alphabet::new(["a", "b"]).unwrap();
+        let a = ab.symbol("a").unwrap();
+        let b = ab.symbol("b").unwrap();
+        let mut ts = TransitionSystem::new(ab);
+        let s0 = ts.add_state();
+        let s1 = ts.add_state();
+        let s2 = ts.add_state();
+        ts.set_initial(s0);
+        ts.add_transition(s0, a, s1);
+        ts.add_transition(s1, b, s0);
+        ts.add_transition(s1, a, s2); // deterministic per (state, action)
+        ts.add_transition(s2, b, s2); // b-only sink: a is gone
+        let rl = is_relative_liveness_of_ts(
+            &ts,
+            &Property::formula(Formula::atom("a").eventually().always()),
+        )
+        .unwrap()
+        .holds;
+        let ctl = forall_always_recurrently(&ts, a).is_none();
+        assert_eq!(rl, ctl);
+        assert!(!rl);
+    }
+
+    #[test]
+    fn doomed_states_are_ignored() {
+        // A deadlocked branch must not make ∀□∃◇ fail: the quantifier runs
+        // over states on infinite runs only.
+        let ab = Alphabet::new(["a", "stop"]).unwrap();
+        let a = ab.symbol("a").unwrap();
+        let stop = ab.symbol("stop").unwrap();
+        let mut ts = TransitionSystem::new(ab);
+        let s0 = ts.add_state();
+        let dead = ts.add_state();
+        ts.set_initial(s0);
+        ts.add_transition(s0, a, s0);
+        ts.add_transition(s0, stop, dead);
+        assert_eq!(forall_always_exists_eventually(&ts, a), None);
+        assert_eq!(forall_always_recurrently(&ts, a), None);
+    }
+}

@@ -1,0 +1,149 @@
+//! The Cantor-topology view of relative liveness and safety
+//! (Definition 4.8, Lemmas 4.9/4.10).
+//!
+//! `Σ^ω` carries the metric `d(x, y) = 1 / (|common(x, y)| + 1)`; a property
+//! is rel-live for `L_ω` iff `L_ω ∩ P` is *dense* in `L_ω`, rel-safe iff it
+//! is *closed* in `L_ω`. These functions make the topological reading
+//! executable: exact distances on lasso words and dense-approximation
+//! witnesses at any requested radius.
+
+use rl_buchi::{Buchi, UpWord};
+
+use crate::property::{CoreError, Property};
+use crate::relative::extension_witness;
+
+/// The Cantor metric `d(x, y)` of Definition 4.8, exactly, for ultimately
+/// periodic words: `1 / (|common(x,y)| + 1)`, and `0` for equal words.
+///
+/// # Example
+///
+/// ```
+/// use rl_automata::Alphabet;
+/// use rl_buchi::UpWord;
+/// use rl_core::cantor_distance;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let ab = Alphabet::new(["a", "b"])?;
+/// let a = ab.symbol("a").unwrap();
+/// let b = ab.symbol("b").unwrap();
+/// let x = UpWord::periodic(vec![a])?;
+/// let y = UpWord::new(vec![a, a], vec![b])?;     // agrees for 2 letters
+/// assert_eq!(cantor_distance(&x, &y), 1.0 / 3.0);
+/// assert_eq!(cantor_distance(&x, &x.clone()), 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn cantor_distance(x: &UpWord, y: &UpWord) -> f64 {
+    match x.common_prefix_len(y) {
+        None => 0.0,
+        Some(n) => 1.0 / (n as f64 + 1.0),
+    }
+}
+
+/// A density witness (Lemma 4.9): given `x ∈ L_ω` and a radius `1/(n+1)`,
+/// finds `y ∈ L_ω ∩ P` with `d(x, y) ≤ 1/(n+1)` — i.e. agreeing with `x`
+/// on at least `n` letters. Exists for every `x` and `n` exactly when `P`
+/// is a relative liveness property of `L_ω`.
+///
+/// # Errors
+///
+/// Propagates alphabet mismatches.
+pub fn dense_witness(
+    system: &Buchi,
+    property: &Property,
+    x: &UpWord,
+    n: usize,
+) -> Result<Option<UpWord>, CoreError> {
+    let prefix = x.unroll(n);
+    extension_witness(system, property, &prefix)
+}
+
+/// Empirically certifies density on a finite family: for each behavior in
+/// `samples` and each radius index up to `depth`, a witness in `L_ω ∩ P`
+/// within the radius must exist. Returns the first failure.
+///
+/// This is the Lemma 4.9 reading of a relative-liveness verdict; the exact
+/// decision procedure is [`crate::is_relative_liveness`].
+///
+/// # Errors
+///
+/// Propagates alphabet mismatches.
+pub fn certify_density(
+    system: &Buchi,
+    property: &Property,
+    samples: &[UpWord],
+    depth: usize,
+) -> Result<Option<(UpWord, usize)>, CoreError> {
+    for x in samples {
+        for n in 0..=depth {
+            if dense_witness(system, property, x, n)?.is_none() {
+                return Ok(Some((x.clone(), n)));
+            }
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rl_automata::Alphabet;
+    use rl_logic::parse;
+
+    fn setup() -> (Buchi, rl_automata::Symbol, rl_automata::Symbol) {
+        let ab = Alphabet::new(["a", "b"]).unwrap();
+        let a = ab.symbol("a").unwrap();
+        let b = ab.symbol("b").unwrap();
+        (Buchi::universal(ab), a, b)
+    }
+
+    #[test]
+    fn distance_is_a_metric_on_samples() {
+        let (_, a, b) = setup();
+        let words = [
+            UpWord::periodic(vec![a]).unwrap(),
+            UpWord::periodic(vec![b]).unwrap(),
+            UpWord::periodic(vec![a, b]).unwrap(),
+            UpWord::new(vec![a], vec![b]).unwrap(),
+        ];
+        for x in &words {
+            assert_eq!(cantor_distance(x, x), 0.0);
+            for y in &words {
+                assert_eq!(cantor_distance(x, y), cantor_distance(y, x));
+                for z in &words {
+                    // Ultrametric triangle inequality.
+                    let dxz = cantor_distance(x, z);
+                    let bound = cantor_distance(x, y).max(cantor_distance(y, z));
+                    assert!(dxz <= bound + 1e-12, "ultrametric violated");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn density_witnesses_for_relative_liveness() {
+        let (sys, a, b) = setup();
+        let p = Property::formula(parse("[]<>a").unwrap());
+        // b^ω violates P, but P-satisfying behaviors exist arbitrarily close.
+        let x = UpWord::periodic(vec![b]).unwrap();
+        for n in 0..6 {
+            let y = dense_witness(&sys, &p, &x, n).unwrap().unwrap();
+            assert!(cantor_distance(&x, &y) <= 1.0 / (n as f64 + 1.0));
+        }
+        let _ = a;
+    }
+
+    #[test]
+    fn density_fails_for_non_relative_liveness() {
+        let (_, a, b) = setup();
+        let ab = Alphabet::new(["a", "b"]).unwrap();
+        // System b^ω ∪ a^ω; property ◇a is not rel-live (b^ω dooms it).
+        let sys = Buchi::from_parts(ab, 2, [0, 1], [0, 1], [(0, a, 0), (1, b, 1)]).unwrap();
+        let p = Property::formula(parse("<>a").unwrap());
+        let x = UpWord::periodic(vec![b]).unwrap();
+        let fail = certify_density(&sys, &p, &[x], 4).unwrap();
+        assert!(fail.is_some());
+        // The failure happens at radius index 1 (prefix "b" is doomed).
+        assert_eq!(fail.unwrap().1, 1);
+    }
+}

@@ -1,0 +1,47 @@
+//! Execution engines for finite-state transition systems.
+//!
+//! The paper abstracts "true under fairness" into relative liveness; this
+//! crate supplies the operational side of that story: schedulers that *are*
+//! (or deliberately are not) strongly fair, and a runner with statistics to
+//! demonstrate Theorem 5.1's synthesized implementations empirically.
+//!
+//! * [`AgingScheduler`] — deterministic strongly fair (LRU over
+//!   transitions),
+//! * [`RandomScheduler`] — seeded uniform choice,
+//! * [`FixedPriorityScheduler`] — deliberately unfair (exhibits starvation),
+//! * [`run`] — bounded execution with deadlock detection,
+//! * [`min_fairness_ratio`] — empirical strong-fairness measurement,
+//! * [`estimate_satisfaction`] / [`markov`] — Monte-Carlo sampling and
+//!   exact bottom-SCC analysis of the probabilistic reading of relative
+//!   liveness that the paper's conclusion asks about.
+//!
+//! # Example
+//!
+//! ```
+//! use rl_exec::{run, AgingScheduler};
+//! use rl_petri::examples::server_behaviors;
+//!
+//! let ts = server_behaviors();
+//! let r = run(&ts, &mut AgingScheduler::new(), 1000);
+//! let result = ts.alphabet().symbol("result").unwrap();
+//! // A strongly fair execution of the Figure 2 server keeps producing
+//! // results — the operational reading of □◇result being relative-live.
+//! assert!(r.action_counts()[&result] > 50);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod markov;
+pub mod montecarlo;
+mod runner;
+mod scheduler;
+
+pub use markov::{
+    almost_surely_recurrent, probability_of_recurrence, scc_decomposition, SccDecomposition,
+};
+pub use montecarlo::{estimate_satisfaction, sample_lasso, MonteCarloEstimate};
+pub use runner::{min_fairness_ratio, run, Run};
+pub use scheduler::{
+    AgingScheduler, FixedPriorityScheduler, PriorityScheduler, RandomScheduler, Scheduler,
+};

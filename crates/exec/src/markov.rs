@@ -1,0 +1,343 @@
+//! Exact Markov-chain analysis of recurrence properties.
+//!
+//! A uniformly random scheduler turns a (deadlock-free part of a) transition
+//! system into a finite Markov chain. Classical theory: with probability 1
+//! the walk enters a **bottom strongly connected component** (BSCC) and then
+//! traverses *every* edge of that component infinitely often. Hence for a
+//! recurrence property `□◇a`:
+//!
+//! * `□◇a` holds **almost surely** iff every reachable BSCC contains an
+//!   `a`-transition (qualitative check, pure graph theory);
+//! * `Pr(□◇a)` equals the probability of absorption into the BSCCs that
+//!   contain an `a`-transition (quantitative check, a linear system solved
+//!   here by Gaussian elimination).
+//!
+//! This is the exact counterpart of the sampling estimates in
+//! [`crate::montecarlo`], and the precise tool for the paper's concluding
+//! question about the relation between relative liveness and probabilistic
+//! truth.
+
+use std::collections::VecDeque;
+
+use rl_automata::{StateId, Symbol, TransitionSystem};
+
+/// Decomposition of a system into reachable SCCs with bottom-ness marks.
+#[derive(Debug, Clone)]
+pub struct SccDecomposition {
+    /// Component id per state (usize::MAX for unreachable states).
+    pub component: Vec<usize>,
+    /// Number of components (of the reachable part).
+    pub count: usize,
+    /// Per component: does no edge leave it?
+    pub bottom: Vec<bool>,
+}
+
+/// Computes the SCCs of the reachable part of `ts` and marks the bottom
+/// ones.
+pub fn scc_decomposition(ts: &TransitionSystem) -> SccDecomposition {
+    let n = ts.state_count();
+    let mut reach = vec![false; n];
+    let mut queue = VecDeque::from([ts.initial()]);
+    reach[ts.initial()] = true;
+    while let Some(p) = queue.pop_front() {
+        for (_, t) in ts.enabled(p) {
+            if !reach[t] {
+                reach[t] = true;
+                queue.push_back(t);
+            }
+        }
+    }
+    // Iterative Tarjan.
+    const UNSET: usize = usize::MAX;
+    let mut index = vec![UNSET; n];
+    let mut low = vec![0usize; n];
+    let mut comp = vec![UNSET; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut count = 0usize;
+    let succ = |v: usize| -> Vec<usize> {
+        if !reach[v] {
+            return Vec::new();
+        }
+        let mut out: Vec<usize> = ts.enabled(v).iter().map(|&(_, t)| t).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    };
+    for root in 0..n {
+        if !reach[root] || index[root] != UNSET {
+            continue;
+        }
+        let mut call: Vec<(usize, Vec<usize>, usize)> = vec![(root, succ(root), 0)];
+        index[root] = next_index;
+        low[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+        while let Some((v, kids, mut i)) = call.pop() {
+            let mut descended = false;
+            while i < kids.len() {
+                let w = kids[i];
+                i += 1;
+                if index[w] == UNSET {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call.push((v, kids, i));
+                    call.push((w, succ(w), 0));
+                    descended = true;
+                    break;
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            }
+            if descended {
+                continue;
+            }
+            if low[v] == index[v] {
+                loop {
+                    let w = stack.pop().expect("tarjan stack");
+                    on_stack[w] = false;
+                    comp[w] = count;
+                    if w == v {
+                        break;
+                    }
+                }
+                count += 1;
+            }
+            if let Some(&mut (parent, _, _)) = call.last_mut() {
+                low[parent] = low[parent].min(low[v]);
+            }
+        }
+    }
+    let mut bottom = vec![true; count];
+    for v in 0..n {
+        if !reach[v] {
+            continue;
+        }
+        for (_, t) in ts.enabled(v) {
+            if comp[t] != comp[v] {
+                bottom[comp[v]] = false;
+            }
+        }
+        // A deadlock state forms a "bottom" component with no future; for
+        // ω-behavior purposes it is not a recurrence class — mark non-bottom
+        // so it never counts as satisfying any □◇.
+        if ts.is_deadlock(v) {
+            bottom[comp[v]] = false;
+        }
+    }
+    SccDecomposition {
+        component: comp,
+        count,
+        bottom,
+    }
+}
+
+/// Qualitative check: does `□◇action` hold with probability 1 under the
+/// uniform random scheduler? True iff every reachable BSCC contains an
+/// `action`-transition (and no deadlock is reachable).
+///
+/// # Example
+///
+/// ```
+/// use rl_exec::almost_surely_recurrent;
+/// use rl_petri::examples::{server_behaviors, server_err_behaviors};
+///
+/// let good = server_behaviors();
+/// let result = good.alphabet().symbol("result").unwrap();
+/// assert!(almost_surely_recurrent(&good, result));
+///
+/// let bad = server_err_behaviors();
+/// let result_b = bad.alphabet().symbol("result").unwrap();
+/// assert!(!almost_surely_recurrent(&bad, result_b));
+/// ```
+pub fn almost_surely_recurrent(ts: &TransitionSystem, action: Symbol) -> bool {
+    probability_of_recurrence(ts, action) >= 1.0 - 1e-9
+}
+
+/// Quantitative check: the exact probability (up to floating point) that a
+/// uniformly random run satisfies `□◇action`.
+///
+/// Computed as the absorption probability into BSCCs containing an
+/// `action`-transition, by Gaussian elimination on the chain's reachability
+/// equations. Runs that reach a deadlock are counted as *not* satisfying
+/// the property (they have no ω-behavior at all).
+pub fn probability_of_recurrence(ts: &TransitionSystem, action: Symbol) -> f64 {
+    let scc = scc_decomposition(ts);
+    let n = ts.state_count();
+    // Good components: bottom + contain an action edge inside.
+    let mut good_comp = vec![false; scc.count];
+    for (p, a, q) in ts.transitions() {
+        if a == action
+            && scc.component[p] != usize::MAX
+            && scc.component[p] == scc.component[q]
+            && scc.bottom[scc.component[p]]
+        {
+            good_comp[scc.component[p]] = true;
+        }
+    }
+    // Unknowns: probability of eventually being absorbed in a good BSCC,
+    // per reachable state. States inside good BSCCs have value 1; states in
+    // other BSCCs (bottom but bad) have value 0; transient states satisfy
+    // x_q = Σ_e (1/deg(q)) x_target(e).
+    let reachable: Vec<StateId> = (0..n).filter(|&q| scc.component[q] != usize::MAX).collect();
+    let idx_of: Vec<Option<usize>> = {
+        let mut v = vec![None; n];
+        for (i, &q) in reachable.iter().enumerate() {
+            v[q] = Some(i);
+        }
+        v
+    };
+    let m = reachable.len();
+    // Build the linear system A x = b.
+    let mut a_mat = vec![vec![0.0f64; m]; m];
+    let mut b_vec = vec![0.0f64; m];
+    for (i, &q) in reachable.iter().enumerate() {
+        let c = scc.component[q];
+        if scc.bottom[c] {
+            a_mat[i][i] = 1.0;
+            b_vec[i] = if good_comp[c] { 1.0 } else { 0.0 };
+            continue;
+        }
+        let enabled = ts.enabled(q);
+        if enabled.is_empty() {
+            // deadlock: absorbed with value 0
+            a_mat[i][i] = 1.0;
+            b_vec[i] = 0.0;
+            continue;
+        }
+        let p_each = 1.0 / enabled.len() as f64;
+        a_mat[i][i] = 1.0;
+        for (_, t) in enabled {
+            let j = idx_of[t].expect("successor of reachable state is reachable");
+            a_mat[i][j] -= p_each;
+        }
+    }
+    let x = gaussian_solve(&mut a_mat, &mut b_vec);
+    x[idx_of[ts.initial()].expect("initial is reachable")]
+}
+
+/// Solves `A x = b` in place by Gaussian elimination with partial pivoting.
+/// The systems built above are always non-singular (I - transient part of a
+/// substochastic matrix).
+fn gaussian_solve(a: &mut [Vec<f64>], b: &mut [f64]) -> Vec<f64> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+            .expect("non-empty column");
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        let diag = a[col][col];
+        assert!(diag.abs() > 1e-12, "singular absorption system");
+        for row in (col + 1)..n {
+            let factor = a[row][col] / diag;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for col in (0..n).rev() {
+        let mut sum = b[col];
+        for k in (col + 1)..n {
+            sum -= a[col][k] * x[k];
+        }
+        x[col] = sum / a[col][col];
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rl_automata::Alphabet;
+    use rl_petri::examples::{server_behaviors, server_err_behaviors};
+
+    #[test]
+    fn fig2_recurrence_is_almost_sure() {
+        let ts = server_behaviors();
+        let result = ts.alphabet().symbol("result").unwrap();
+        // Figure 2 is strongly connected: one BSCC containing result.
+        let scc = scc_decomposition(&ts);
+        assert_eq!(scc.count, 1);
+        assert!(scc.bottom[0]);
+        assert!(almost_surely_recurrent(&ts, result));
+        assert!((probability_of_recurrence(&ts, result) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig3_recurrence_has_probability_zero() {
+        let ts = server_err_behaviors();
+        let result = ts.alphabet().symbol("result").unwrap();
+        // The only BSCC is the locked trap without result: probability 0.
+        let p = probability_of_recurrence(&ts, result);
+        assert!(p.abs() < 1e-9, "p = {p}");
+        assert!(!almost_surely_recurrent(&ts, result));
+    }
+
+    #[test]
+    fn fifty_fifty_absorption() {
+        // s0 branches once into two absorbing loops; only one has `a`.
+        let ab = Alphabet::new(["a", "b"]).unwrap();
+        let a = ab.symbol("a").unwrap();
+        let b = ab.symbol("b").unwrap();
+        let mut ts = TransitionSystem::new(ab);
+        let s0 = ts.add_state();
+        let good = ts.add_state();
+        let bad = ts.add_state();
+        ts.set_initial(s0);
+        ts.add_transition(s0, a, good);
+        ts.add_transition(s0, b, bad);
+        ts.add_transition(good, a, good);
+        ts.add_transition(bad, b, bad);
+        let p = probability_of_recurrence(&ts, a);
+        assert!((p - 0.5).abs() < 1e-9, "p = {p}");
+    }
+
+    #[test]
+    fn deadlocks_count_as_failure() {
+        let ab = Alphabet::new(["a", "stop"]).unwrap();
+        let a = ab.symbol("a").unwrap();
+        let stop = ab.symbol("stop").unwrap();
+        let mut ts = TransitionSystem::new(ab);
+        let s0 = ts.add_state();
+        let dead = ts.add_state();
+        ts.set_initial(s0);
+        ts.add_transition(s0, a, s0);
+        ts.add_transition(s0, stop, dead);
+        // The walk leaves the a-loop almost surely (geometric trials).
+        let p = probability_of_recurrence(&ts, a);
+        assert!(p.abs() < 1e-9, "p = {p}");
+        assert!(!almost_surely_recurrent(&ts, a));
+    }
+
+    #[test]
+    fn relative_liveness_vs_probability_separation() {
+        // {a,b}^ω: ◇□a is relatively live; its probabilistic counterpart
+        // (eventual absorption into an a-only BSCC) is 0 because the single
+        // BSCC contains b too. This is the separation discussed in the
+        // paper's conclusion.
+        let ab = Alphabet::new(["a", "b"]).unwrap();
+        let a = ab.symbol("a").unwrap();
+        let b = ab.symbol("b").unwrap();
+        let mut ts = TransitionSystem::new(ab);
+        let s = ts.add_state();
+        ts.set_initial(s);
+        ts.add_transition(s, a, s);
+        ts.add_transition(s, b, s);
+        // □◇a is a.s. true (the single BSCC has an a-edge) …
+        assert!(almost_surely_recurrent(&ts, a));
+        // … but the b-action is also a.s. recurrent, so ◇□a is a.s. FALSE.
+        assert!(almost_surely_recurrent(&ts, b));
+    }
+}

@@ -1,0 +1,205 @@
+//! Monte-Carlo exploration of the link between relative liveness and
+//! probabilistic truth.
+//!
+//! The paper's conclusion: *"Relative liveness properties reveal a
+//! satisfaction relation … ‘almost all computations satisfy the property.’
+//! In this sense, they appear to be close to properties that are
+//! probabilistically true … an interesting topic for further study."*
+//!
+//! This module makes the comparison executable. A uniformly random
+//! scheduler induces a Markov chain on a transition system; sampling random
+//! *lassos* (long random walks closed into `u·v^ω` over their steady-state
+//! tail) gives honest system behaviors on which PLTL can be evaluated
+//! **exactly** — so the estimated satisfaction probability is a true
+//! Monte-Carlo estimate of the lasso distribution's measure.
+//!
+//! **Caveat**: the lasso distribution is a proxy for the true Markov
+//! measure, not the measure itself (the closing heuristic biases which
+//! cycles become the period). For *exact* qualitative and quantitative
+//! answers on recurrence properties use the bottom-SCC analysis in
+//! [`crate::markov`], which shows:
+//!
+//! * Figure 2 + `□◇result`: relatively live, and almost surely true —
+//!   fairness emerges from randomness;
+//! * Figure 3 + `□◇result`: not relatively live, and probability exactly 0
+//!   — the `lock` trap is sprung almost surely;
+//! * `{a,b}^ω` + `◇□a`: relatively live, yet probabilistically null —
+//!   relative liveness only needs *some* continuation, probability needs
+//!   *most*. This separates the two notions, answering the "further study"
+//!   question negatively for equivalence (while the Figure 2/3 cases show
+//!   the correlation the paper anticipated).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rl_automata::TransitionSystem;
+use rl_buchi::UpWord;
+use rl_logic::{evaluate, Formula, Labeling};
+
+/// Samples a random lasso behavior: a uniformly random walk of `max_steps`
+/// steps, closed into `u·v^ω` at the *earliest* revisit (after a burn-in of
+/// `2·|states|` steps) of the walk's final state — so the period covers the
+/// walk's steady-state tail rather than an accidental early short cycle.
+/// Returns `None` if the walk deadlocks (such a path has no ω-behavior).
+pub fn sample_lasso(ts: &TransitionSystem, rng: &mut StdRng, max_steps: usize) -> Option<UpWord> {
+    let mut states = vec![ts.initial()];
+    let mut word = Vec::new();
+    for _ in 0..max_steps {
+        let state = *states.last().expect("non-empty walk");
+        let enabled = ts.enabled(state);
+        if enabled.is_empty() {
+            return None; // deadlock: no infinite behavior down this path
+        }
+        let (a, next) = enabled[rng.gen_range(0..enabled.len())];
+        word.push(a);
+        states.push(next);
+    }
+    let burn_in = (2 * ts.state_count()).min(max_steps / 2);
+    // Close at the earliest occurrence (≥ burn-in) of some late state: scan
+    // ends t from the back so a closing pair always exists (a state must
+    // repeat among the last |states|+1 positions).
+    for t in (1..states.len()).rev() {
+        if let Some(i) = (burn_in..t).find(|&i| states[i] == states[t]) {
+            let mut prefix = word.clone();
+            let period = prefix.split_off(i);
+            prefix.truncate(i);
+            let period = period[..t - i].to_vec();
+            return Some(UpWord::new(prefix, period).expect("non-empty period"));
+        }
+        if t <= burn_in {
+            break;
+        }
+    }
+    // Fallback (very short walks): close at any repeat.
+    for t in (1..states.len()).rev() {
+        if let Some(i) = (0..t).find(|&i| states[i] == states[t]) {
+            let mut prefix = word.clone();
+            let period = prefix.split_off(i);
+            prefix.truncate(i);
+            let period = period[..t - i].to_vec();
+            return Some(UpWord::new(prefix, period).expect("non-empty period"));
+        }
+    }
+    None
+}
+
+/// Result of a Monte-Carlo satisfaction estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonteCarloEstimate {
+    /// Fraction of sampled behaviors satisfying the formula.
+    pub probability: f64,
+    /// Number of successfully sampled lassos.
+    pub samples: usize,
+    /// Walks that deadlocked or failed to close.
+    pub rejected: usize,
+}
+
+/// Estimates the probability that a uniformly random behavior of `ts`
+/// satisfies `formula` (under `labeling`), from `samples` sampled lassos.
+///
+/// # Example
+///
+/// ```
+/// use rl_exec::estimate_satisfaction;
+/// use rl_logic::{parse, Labeling};
+/// use rl_petri::examples::server_behaviors;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let ts = server_behaviors();
+/// let lam = Labeling::canonical(ts.alphabet());
+/// let est = estimate_satisfaction(&ts, &parse("[]<>result")?, &lam, 500, 7);
+/// // True probability is 1 (see `markov`); the tail-lasso estimate gets
+/// // close.
+/// assert!(est.probability > 0.8);
+/// # Ok(())
+/// # }
+/// ```
+pub fn estimate_satisfaction(
+    ts: &TransitionSystem,
+    formula: &Formula,
+    labeling: &Labeling,
+    samples: usize,
+    seed: u64,
+) -> MonteCarloEstimate {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let max_steps = ts.state_count() * 4 + 16;
+    let mut hits = 0usize;
+    let mut ok = 0usize;
+    let mut rejected = 0usize;
+    for _ in 0..samples {
+        match sample_lasso(ts, &mut rng, max_steps) {
+            Some(w) => {
+                ok += 1;
+                if evaluate(formula, &w, labeling) {
+                    hits += 1;
+                }
+            }
+            None => rejected += 1,
+        }
+    }
+    MonteCarloEstimate {
+        probability: if ok == 0 {
+            0.0
+        } else {
+            hits as f64 / ok as f64
+        },
+        samples: ok,
+        rejected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rl_automata::Alphabet;
+    use rl_logic::parse;
+    use rl_petri::examples::{server_behaviors, server_err_behaviors};
+
+    #[test]
+    fn lassos_are_behaviors() {
+        let ts = server_behaviors();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let w = sample_lasso(&ts, &mut rng, 64).expect("deadlock-free");
+            // The unrolled prefix+period+period must be a firing sequence.
+            let unrolled = w.unroll(w.lasso_len() + w.period().len());
+            assert!(ts.admits(&unrolled));
+        }
+    }
+
+    #[test]
+    fn fig2_is_almost_surely_fair() {
+        let ts = server_behaviors();
+        let lam = Labeling::canonical(ts.alphabet());
+        let est = estimate_satisfaction(&ts, &parse("[]<>result").unwrap(), &lam, 400, 11);
+        assert!(est.probability > 0.8, "estimate {}", est.probability);
+        assert_eq!(est.rejected, 0);
+    }
+
+    #[test]
+    fn fig3_is_almost_surely_broken() {
+        // In the erroneous server the random walk eventually locks the
+        // resource (or simply measures that most lassos avoid result).
+        let ts = server_err_behaviors();
+        let lam = Labeling::canonical(ts.alphabet());
+        let est = estimate_satisfaction(&ts, &parse("[]<>result").unwrap(), &lam, 400, 11);
+        assert!(est.probability < 0.05, "estimate {}", est.probability);
+    }
+
+    #[test]
+    fn relative_liveness_without_probability() {
+        // {a,b}^ω: ◇□a is relatively live but probabilistically null.
+        let ab = Alphabet::new(["a", "b"]).unwrap();
+        let a = ab.symbol("a").unwrap();
+        let b = ab.symbol("b").unwrap();
+        let mut ts = TransitionSystem::new(ab.clone());
+        let s = ts.add_state();
+        ts.set_initial(s);
+        ts.add_transition(s, a, s);
+        ts.add_transition(s, b, s);
+        let lam = Labeling::canonical(&ab);
+        let est = estimate_satisfaction(&ts, &parse("<>[]a").unwrap(), &lam, 400, 5);
+        // One-state lassos: period is one uniformly random letter; □a on a
+        // random period fails whenever the loop contains b.
+        assert!(est.probability < 0.9);
+    }
+}

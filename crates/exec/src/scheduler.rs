@@ -1,0 +1,204 @@
+//! Schedulers: resolution policies for nondeterministic choice.
+//!
+//! The paper's whole motivation is that liveness needs fairness: an unfair
+//! scheduler can starve the Figure 2 server's `result` forever, while any
+//! strongly fair scheduler yields `□◇result`. These schedulers make that
+//! executable:
+//!
+//! * [`AgingScheduler`] — deterministic, *strongly fair*: always picks the
+//!   least-recently-taken enabled transition (an LRU policy; any transition
+//!   enabled infinitely often has, from some point on, the oldest timestamp
+//!   whenever enabled, and is then taken).
+//! * [`RandomScheduler`] — probabilistically fair (every enabled choice has
+//!   positive probability each time).
+//! * [`FixedPriorityScheduler`] — deliberately unfair: always the first
+//!   enabled transition in a fixed order; used to *exhibit* starvation.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rl_automata::{StateId, Symbol};
+
+/// A policy choosing among enabled `(action, successor)` pairs.
+pub trait Scheduler {
+    /// Returns the index into `enabled` to fire.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when `enabled` is empty; the runner never
+    /// calls with an empty slice.
+    fn choose(&mut self, state: StateId, enabled: &[(Symbol, StateId)]) -> usize;
+}
+
+/// Deterministic strongly fair scheduler: least-recently-taken first.
+///
+/// # Example
+///
+/// ```
+/// use rl_exec::{AgingScheduler, Scheduler};
+/// use rl_automata::Symbol;
+///
+/// let mut s = AgingScheduler::new();
+/// let enabled = [(Symbol::from_index(0), 1), (Symbol::from_index(1), 2)];
+/// let first = s.choose(0, &enabled);
+/// let second = s.choose(0, &enabled);
+/// assert_ne!(first, second); // alternates between the two choices
+/// ```
+#[derive(Debug, Default)]
+pub struct AgingScheduler {
+    last_taken: BTreeMap<(StateId, Symbol, StateId), u64>,
+    clock: u64,
+}
+
+impl AgingScheduler {
+    /// Creates a fresh scheduler (all transitions equally old).
+    pub fn new() -> AgingScheduler {
+        AgingScheduler::default()
+    }
+}
+
+impl Scheduler for AgingScheduler {
+    fn choose(&mut self, state: StateId, enabled: &[(Symbol, StateId)]) -> usize {
+        assert!(!enabled.is_empty(), "no enabled transitions");
+        let idx = enabled
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &(a, t))| self.last_taken.get(&(state, a, t)).copied().unwrap_or(0))
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        self.clock += 1;
+        let (a, t) = enabled[idx];
+        self.last_taken.insert((state, a, t), self.clock);
+        idx
+    }
+}
+
+/// Seeded random scheduler (uniform over enabled transitions).
+#[derive(Debug)]
+pub struct RandomScheduler {
+    rng: StdRng,
+}
+
+impl RandomScheduler {
+    /// Creates a scheduler from a seed (runs are reproducible).
+    pub fn new(seed: u64) -> RandomScheduler {
+        RandomScheduler {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Scheduler for RandomScheduler {
+    fn choose(&mut self, _state: StateId, enabled: &[(Symbol, StateId)]) -> usize {
+        assert!(!enabled.is_empty(), "no enabled transitions");
+        self.rng.gen_range(0..enabled.len())
+    }
+}
+
+/// Deliberately unfair: always the first enabled transition (in the sorted
+/// order of [`rl_automata::TransitionSystem::enabled`]).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FixedPriorityScheduler;
+
+impl FixedPriorityScheduler {
+    /// Creates the scheduler.
+    pub fn new() -> FixedPriorityScheduler {
+        FixedPriorityScheduler
+    }
+}
+
+impl Scheduler for FixedPriorityScheduler {
+    fn choose(&mut self, _state: StateId, enabled: &[(Symbol, StateId)]) -> usize {
+        assert!(!enabled.is_empty(), "no enabled transitions");
+        0
+    }
+}
+
+/// Unfair scheduler with an explicit action preference: always fires the
+/// enabled action ranking earliest in `order` (unlisted actions rank last,
+/// in symbol order).
+///
+/// This is the adversary that produces the paper's starving computation
+/// `lock · (request · no · reject)^ω` on the Figure 2 server: prefer `lock`,
+/// then let the request/reject cycle run forever.
+#[derive(Debug, Clone)]
+pub struct PriorityScheduler {
+    order: Vec<Symbol>,
+}
+
+impl PriorityScheduler {
+    /// Creates a scheduler preferring actions in the given order.
+    pub fn new(order: impl IntoIterator<Item = Symbol>) -> PriorityScheduler {
+        PriorityScheduler {
+            order: order.into_iter().collect(),
+        }
+    }
+
+    fn rank(&self, a: Symbol) -> usize {
+        self.order
+            .iter()
+            .position(|&s| s == a)
+            .unwrap_or(self.order.len() + a.index())
+    }
+}
+
+impl Scheduler for PriorityScheduler {
+    fn choose(&mut self, _state: StateId, enabled: &[(Symbol, StateId)]) -> usize {
+        assert!(!enabled.is_empty(), "no enabled transitions");
+        enabled
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &(a, _))| self.rank(a))
+            .map(|(i, _)| i)
+            .expect("non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_choices() -> [(Symbol, StateId); 2] {
+        [(Symbol::from_index(0), 1), (Symbol::from_index(1), 2)]
+    }
+
+    #[test]
+    fn aging_round_robins_on_static_choices() {
+        let mut s = AgingScheduler::new();
+        let enabled = two_choices();
+        let picks: Vec<usize> = (0..6).map(|_| s.choose(0, &enabled)).collect();
+        // Each choice taken 3 times, alternating.
+        assert_eq!(picks.iter().filter(|&&i| i == 0).count(), 3);
+        assert_eq!(picks.iter().filter(|&&i| i == 1).count(), 3);
+        assert_ne!(picks[0], picks[1]);
+    }
+
+    #[test]
+    fn aging_tracks_per_state() {
+        let mut s = AgingScheduler::new();
+        let enabled = two_choices();
+        let a = s.choose(0, &enabled);
+        // A different state has independent bookkeeping.
+        let b = s.choose(1, &enabled);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_is_reproducible() {
+        let enabled = two_choices();
+        let run = |seed| -> Vec<usize> {
+            let mut s = RandomScheduler::new(seed);
+            (0..16).map(|_| s.choose(0, &enabled)).collect()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn fixed_priority_starves() {
+        let mut s = FixedPriorityScheduler::new();
+        let enabled = two_choices();
+        assert!((0..10).all(|_| s.choose(0, &enabled) == 0));
+    }
+}

@@ -1,0 +1,301 @@
+//! Direct evaluation of PLTL over ultimately periodic words.
+//!
+//! This is the reference semantics of Section 3, computed exactly on lasso
+//! words by fixpoint iteration — used to cross-check the automata-theoretic
+//! route ([`crate::formula_to_buchi`]) in tests and to explain
+//! counterexamples to users.
+
+use rl_buchi::UpWord;
+
+use crate::ast::Formula;
+use crate::labeling::Labeling;
+
+/// Evaluates `x, λ ⊨ η` for an ultimately periodic `x`.
+///
+/// Until/release (and the derived `◇`, `□`, `B`) are solved as least/greatest
+/// fixpoints on the lasso graph of `x`, so the result is exact.
+///
+/// # Example
+///
+/// ```
+/// use rl_automata::Alphabet;
+/// use rl_buchi::UpWord;
+/// use rl_logic::{evaluate, parse, Labeling};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let ab = Alphabet::new(["work", "rest"])?;
+/// let w = ab.symbol("work").unwrap();
+/// let r = ab.symbol("rest").unwrap();
+/// let lam = Labeling::canonical(&ab);
+/// let x = UpWord::new(vec![w], vec![w, r])?; // work (work rest)^ω
+/// assert!(evaluate(&parse("[]<>rest")?, &x, &lam));
+/// assert!(!evaluate(&parse("<>[]rest")?, &x, &lam));
+/// # Ok(())
+/// # }
+/// ```
+pub fn evaluate(formula: &Formula, word: &UpWord, labeling: &Labeling) -> bool {
+    truth(formula, word, labeling)[0]
+}
+
+/// Evaluates the formula at *every* lasso position (position `i` meaning the
+/// suffix `x_(i...)`); index 0 is the whole word.
+pub fn truth(formula: &Formula, word: &UpWord, labeling: &Labeling) -> Vec<bool> {
+    let len = word.lasso_len();
+    match formula {
+        Formula::True => vec![true; len],
+        Formula::False => vec![false; len],
+        Formula::Atom(p) => (0..len)
+            .map(|i| labeling.satisfies(word.at(i), p))
+            .collect(),
+        Formula::Not(x) => truth(x, word, labeling).into_iter().map(|b| !b).collect(),
+        Formula::And(x, y) => zip(
+            truth(x, word, labeling),
+            truth(y, word, labeling),
+            |a, b| a && b,
+        ),
+        Formula::Or(x, y) => zip(
+            truth(x, word, labeling),
+            truth(y, word, labeling),
+            |a, b| a || b,
+        ),
+        Formula::Implies(x, y) => zip(
+            truth(x, word, labeling),
+            truth(y, word, labeling),
+            |a, b| !a || b,
+        ),
+        Formula::Iff(x, y) => zip(
+            truth(x, word, labeling),
+            truth(y, word, labeling),
+            |a, b| a == b,
+        ),
+        Formula::Next(x) => {
+            let tx = truth(x, word, labeling);
+            (0..len).map(|i| tx[word.lasso_next(i)]).collect()
+        }
+        Formula::Until(x, y) => {
+            least_fixpoint(word, &truth(x, word, labeling), &truth(y, word, labeling))
+        }
+        Formula::Release(x, y) => {
+            greatest_fixpoint(word, &truth(x, word, labeling), &truth(y, word, labeling))
+        }
+        Formula::Before(x, y) => {
+            // ξ B ζ = ¬((¬ξ) U ζ)
+            let nx: Vec<bool> = truth(x, word, labeling).into_iter().map(|b| !b).collect();
+            let ty = truth(y, word, labeling);
+            least_fixpoint(word, &nx, &ty)
+                .into_iter()
+                .map(|b| !b)
+                .collect()
+        }
+        Formula::WeakUntil(x, y) => {
+            // x W y = y R (y ∨ x): greatest fixpoint.
+            let tx = truth(x, word, labeling);
+            let ty = truth(y, word, labeling);
+            let disj: Vec<bool> = tx.iter().zip(&ty).map(|(&a, &b)| a || b).collect();
+            greatest_fixpoint(word, &ty, &disj)
+        }
+        Formula::Eventually(x) => {
+            let tx = truth(x, word, labeling);
+            least_fixpoint(word, &vec![true; len], &tx)
+        }
+        Formula::Always(x) => {
+            let tx = truth(x, word, labeling);
+            greatest_fixpoint(word, &vec![false; len], &tx)
+        }
+    }
+}
+
+fn zip(a: Vec<bool>, b: Vec<bool>, f: impl Fn(bool, bool) -> bool) -> Vec<bool> {
+    a.into_iter().zip(b).map(|(x, y)| f(x, y)).collect()
+}
+
+/// Least fixpoint of `v[i] = ty[i] ∨ (tx[i] ∧ v[next(i)])` — until semantics.
+fn least_fixpoint(word: &UpWord, tx: &[bool], ty: &[bool]) -> Vec<bool> {
+    let len = word.lasso_len();
+    let mut v = vec![false; len];
+    loop {
+        let mut changed = false;
+        for i in (0..len).rev() {
+            let nv = ty[i] || (tx[i] && v[word.lasso_next(i)]);
+            if nv != v[i] {
+                v[i] = nv;
+                changed = true;
+            }
+        }
+        if !changed {
+            return v;
+        }
+    }
+}
+
+/// Greatest fixpoint of `v[i] = ty[i] ∧ (tx[i] ∨ v[next(i)])` — release
+/// semantics.
+fn greatest_fixpoint(word: &UpWord, tx: &[bool], ty: &[bool]) -> Vec<bool> {
+    let len = word.lasso_len();
+    let mut v = vec![true; len];
+    loop {
+        let mut changed = false;
+        for i in (0..len).rev() {
+            let nv = ty[i] && (tx[i] || v[word.lasso_next(i)]);
+            if nv != v[i] {
+                v[i] = nv;
+                changed = true;
+            }
+        }
+        if !changed {
+            return v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use rl_automata::Alphabet;
+
+    fn setup() -> (Labeling, rl_automata::Symbol, rl_automata::Symbol) {
+        let ab = Alphabet::new(["a", "b"]).unwrap();
+        let lam = Labeling::canonical(&ab);
+        let a = ab.symbol("a").unwrap();
+        let b = ab.symbol("b").unwrap();
+        (lam, a, b)
+    }
+
+    #[test]
+    fn atoms_and_booleans() {
+        let (lam, a, b) = setup();
+        let w = UpWord::new(vec![a], vec![b]).unwrap();
+        assert!(evaluate(&parse("a").unwrap(), &w, &lam));
+        assert!(!evaluate(&parse("b").unwrap(), &w, &lam));
+        assert!(evaluate(&parse("a & !b").unwrap(), &w, &lam));
+        assert!(evaluate(&parse("b | a").unwrap(), &w, &lam));
+        assert!(evaluate(&parse("b -> false").unwrap(), &w, &lam));
+        assert!(evaluate(&parse("a <-> !b").unwrap(), &w, &lam));
+    }
+
+    #[test]
+    fn next_steps_once() {
+        let (lam, a, b) = setup();
+        let w = UpWord::new(vec![a], vec![b]).unwrap();
+        assert!(evaluate(&parse("X b").unwrap(), &w, &lam));
+        assert!(evaluate(&parse("X X b").unwrap(), &w, &lam));
+        assert!(!evaluate(&parse("X a").unwrap(), &w, &lam));
+    }
+
+    #[test]
+    fn until_and_release() {
+        let (lam, a, b) = setup();
+        let w = UpWord::new(vec![a, a], vec![b]).unwrap();
+        assert!(evaluate(&parse("a U b").unwrap(), &w, &lam));
+        assert!(evaluate(&parse("b U a").unwrap(), &w, &lam)); // a holds at 0
+                                                               // ζ never holds anywhere ⇒ until is false.
+        assert!(!evaluate(&parse("a U (a & b)").unwrap(), &w, &lam));
+        // release: b R a means a holds up to and including first b∧a... here
+        // a never recurs after b's start: []b fails at 0 but (false R b) from
+        // position 2 onwards holds.
+        assert!(evaluate(&parse("X X []b").unwrap(), &w, &lam));
+        assert!(!evaluate(&parse("[]b").unwrap(), &w, &lam));
+    }
+
+    #[test]
+    fn fairness_formulas() {
+        let (lam, a, b) = setup();
+        let alt = UpWord::periodic(vec![a, b]).unwrap();
+        assert!(evaluate(&parse("[]<>a").unwrap(), &alt, &lam));
+        assert!(evaluate(&parse("[]<>b").unwrap(), &alt, &lam));
+        assert!(!evaluate(&parse("<>[]a").unwrap(), &alt, &lam));
+        let ev_a = UpWord::new(vec![b, b, b], vec![a]).unwrap();
+        assert!(evaluate(&parse("<>[]a").unwrap(), &ev_a, &lam));
+        assert!(!evaluate(&parse("[]<>b").unwrap(), &ev_a, &lam));
+    }
+
+    #[test]
+    fn before_is_negated_until() {
+        let (lam, a, b) = setup();
+        // a B b = ¬((¬a) U b): "b does not happen strictly before a".
+        let w1 = UpWord::new(vec![a, b], vec![a]).unwrap();
+        assert!(evaluate(&parse("a B b").unwrap(), &w1, &lam));
+        let w2 = UpWord::new(vec![b], vec![a]).unwrap();
+        assert!(!evaluate(&parse("a B b").unwrap(), &w2, &lam));
+        // No b at all: trivially true.
+        let w3 = UpWord::periodic(vec![a]).unwrap();
+        assert!(evaluate(&parse("a B b").unwrap(), &w3, &lam));
+    }
+
+    #[test]
+    fn until_needs_eventual_witness() {
+        let (lam, a, b) = setup();
+        // a U b on a^ω: false (b never happens).
+        let w = UpWord::periodic(vec![a]).unwrap();
+        assert!(!evaluate(&parse("a U b").unwrap(), &w, &lam));
+        // but a R b fails too (b false at 0); b R a holds (a always, release
+        // by b never needed)?  b R a: greatest fixpoint: a[i] && (b[i] ||
+        // v[next]) = true everywhere since a always true.
+        assert!(evaluate(&parse("b R a").unwrap(), &w, &lam));
+        let _ = b;
+    }
+
+    #[test]
+    fn suffix_truth_positions() {
+        let (lam, a, b) = setup();
+        let w = UpWord::new(vec![a], vec![b]).unwrap();
+        let t = truth(&parse("a").unwrap(), &w, &lam);
+        assert_eq!(t, vec![true, false]);
+        let t2 = truth(&parse("<>a").unwrap(), &w, &lam);
+        assert_eq!(t2, vec![true, false]);
+    }
+}
+
+#[cfg(test)]
+mod weak_until_tests {
+    use super::*;
+    use crate::parser::parse;
+    use rl_automata::Alphabet;
+
+    #[test]
+    fn weak_until_semantics() {
+        let ab = Alphabet::new(["a", "b"]).unwrap();
+        let lam = Labeling::canonical(&ab);
+        let a = ab.symbol("a").unwrap();
+        let b = ab.symbol("b").unwrap();
+        // a W b: holds when b eventually arrives with a until then …
+        let w1 = UpWord::new(vec![a, a, b], vec![a]).unwrap();
+        assert!(evaluate(&parse("a W b").unwrap(), &w1, &lam));
+        // … and also when a holds forever without b (unlike strong U).
+        let w2 = UpWord::periodic(vec![a]).unwrap();
+        assert!(evaluate(&parse("a W b").unwrap(), &w2, &lam));
+        assert!(!evaluate(&parse("a U b").unwrap(), &w2, &lam));
+        // Fails when a stops before b arrives.
+        let w3 = UpWord::new(vec![a, b], vec![a]).unwrap();
+        let w4 = UpWord::new(vec![b], vec![b]).unwrap();
+        assert!(evaluate(&parse("a W b").unwrap(), &w3, &lam));
+        assert!(evaluate(&parse("a W b").unwrap(), &w4, &lam)); // b now
+        let w5 = UpWord::periodic(vec![b, a]).unwrap();
+        assert!(evaluate(&parse("a W b").unwrap(), &w5, &lam));
+        // a then neither a nor b-ish: use w = a then b-free non-a? On a
+        // 2-letter alphabet "neither" is impossible; check X-shifted failure:
+        // (X a) W b on b a^ω from position 0: b holds at 0 → true.
+    }
+
+    #[test]
+    fn weak_until_equals_definition() {
+        let ab = Alphabet::new(["a", "b"]).unwrap();
+        let lam = Labeling::canonical(&ab);
+        let a = ab.symbol("a").unwrap();
+        let b = ab.symbol("b").unwrap();
+        let words = [
+            UpWord::periodic(vec![a]).unwrap(),
+            UpWord::periodic(vec![b]).unwrap(),
+            UpWord::periodic(vec![a, b]).unwrap(),
+            UpWord::new(vec![a, a], vec![b, a]).unwrap(),
+        ];
+        let w = parse("a W b").unwrap();
+        let def = parse("(a U b) | []a").unwrap();
+        let pnf = w.to_pnf();
+        for x in &words {
+            assert_eq!(evaluate(&w, x, &lam), evaluate(&def, x, &lam), "{x}");
+            assert_eq!(evaluate(&w, x, &lam), evaluate(&pnf, x, &lam), "pnf {x}");
+        }
+    }
+}

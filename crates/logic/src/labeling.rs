@@ -1,0 +1,166 @@
+//! Labeling functions `λ : Σ → 2^AP` (Section 3 and Definitions 7.2/7.3).
+//!
+//! PLTL formulas speak about atomic propositions; ω-words are sequences of
+//! alphabet symbols. A [`Labeling`] bridges the two: it assigns to every
+//! symbol the set of propositions that hold when that symbol occurs.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rl_automata::{Alphabet, AutomataError, Symbol};
+
+/// The proposition name used for hidden actions by the canonical
+/// homomorphism labeling `λ_hΣΣ'` (Definition 7.3): a concrete action `a`
+/// with `h(a) = ε` satisfies exactly this proposition.
+pub const EPSILON_PROP: &str = "ε";
+
+/// A labeling function `λ : Σ → 2^AP`.
+///
+/// # Example
+///
+/// ```
+/// use rl_automata::Alphabet;
+/// use rl_logic::Labeling;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let ab = Alphabet::new(["request", "result"])?;
+/// let lam = Labeling::canonical(&ab);
+/// let request = ab.symbol("request").unwrap();
+/// assert!(lam.satisfies(request, "request"));
+/// assert!(!lam.satisfies(request, "result"));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Labeling {
+    alphabet: Alphabet,
+    props: Vec<String>,
+    index: BTreeMap<String, usize>,
+    sat: Vec<BTreeSet<usize>>, // per symbol: indices of true propositions
+}
+
+impl Labeling {
+    /// The canonical `λ_Σ` of Definition 7.2: propositions are the symbol
+    /// names themselves and `λ_Σ(a) = {a}`.
+    pub fn canonical(alphabet: &Alphabet) -> Labeling {
+        let props: Vec<String> = alphabet.names();
+        let index = props
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.clone(), i))
+            .collect();
+        let sat = (0..alphabet.len()).map(|i| BTreeSet::from([i])).collect();
+        Labeling {
+            alphabet: alphabet.clone(),
+            props,
+            index,
+            sat,
+        }
+    }
+
+    /// A general labeling: `assign(a)` lists the proposition names true at
+    /// symbol `a`. The proposition set is the union of all assigned names.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; fallible for future validation uniformity.
+    pub fn from_fn(
+        alphabet: &Alphabet,
+        assign: impl Fn(Symbol) -> Vec<String>,
+    ) -> Result<Labeling, AutomataError> {
+        let mut props: Vec<String> = Vec::new();
+        let mut index: BTreeMap<String, usize> = BTreeMap::new();
+        let mut sat: Vec<BTreeSet<usize>> = Vec::new();
+        for a in alphabet.symbols() {
+            let mut set = BTreeSet::new();
+            for name in assign(a) {
+                let i = *index.entry(name.clone()).or_insert_with(|| {
+                    props.push(name.clone());
+                    props.len() - 1
+                });
+                set.insert(i);
+            }
+            sat.push(set);
+        }
+        Ok(Labeling {
+            alphabet: alphabet.clone(),
+            props,
+            index,
+            sat,
+        })
+    }
+
+    /// The alphabet this labeling interprets.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// All proposition names, in interning order.
+    pub fn props(&self) -> &[String] {
+        &self.props
+    }
+
+    /// Whether proposition `prop` holds at symbol `a`. Unknown proposition
+    /// names hold nowhere.
+    pub fn satisfies(&self, a: Symbol, prop: &str) -> bool {
+        match self.index.get(prop) {
+            Some(&i) => self.sat[a.index()].contains(&i),
+            None => false,
+        }
+    }
+
+    /// The proposition names true at symbol `a`.
+    pub fn props_at(&self, a: Symbol) -> Vec<&str> {
+        self.sat[a.index()]
+            .iter()
+            .map(|&i| self.props[i].as_str())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_is_identity_like() {
+        let ab = Alphabet::new(["a", "b"]).unwrap();
+        let lam = Labeling::canonical(&ab);
+        let a = ab.symbol("a").unwrap();
+        let b = ab.symbol("b").unwrap();
+        assert!(lam.satisfies(a, "a"));
+        assert!(!lam.satisfies(a, "b"));
+        assert!(lam.satisfies(b, "b"));
+        assert!(!lam.satisfies(a, "zzz"));
+        assert_eq!(lam.props_at(a), vec!["a"]);
+    }
+
+    #[test]
+    fn from_fn_builds_homomorphism_style_labelings() {
+        // h: lock ↦ ε, request ↦ request.
+        let ab = Alphabet::new(["lock", "request"]).unwrap();
+        let lam = Labeling::from_fn(&ab, |s| {
+            if ab.name(s) == "lock" {
+                vec![EPSILON_PROP.to_owned()]
+            } else {
+                vec![ab.name(s).to_owned()]
+            }
+        })
+        .unwrap();
+        let lock = ab.symbol("lock").unwrap();
+        let request = ab.symbol("request").unwrap();
+        assert!(lam.satisfies(lock, EPSILON_PROP));
+        assert!(!lam.satisfies(lock, "lock"));
+        assert!(lam.satisfies(request, "request"));
+        assert!(!lam.satisfies(request, EPSILON_PROP));
+    }
+
+    #[test]
+    fn multiple_props_per_symbol() {
+        let ab = Alphabet::new(["ra"]).unwrap();
+        let lam = Labeling::from_fn(&ab, |_| vec!["r".to_owned(), "a".to_owned()]).unwrap();
+        let ra = ab.symbol("ra").unwrap();
+        assert!(lam.satisfies(ra, "r"));
+        assert!(lam.satisfies(ra, "a"));
+        assert_eq!(lam.props().len(), 2);
+    }
+}

@@ -1,0 +1,413 @@
+//! A recursive-descent parser for the ASCII PLTL syntax.
+//!
+//! Grammar, from loosest to tightest binding (matching
+//! [`Formula`]'s `Display`):
+//!
+//! ```text
+//! iff    := imp ( "<->" imp )*                (left-assoc)
+//! imp    := or ( "->" imp )?                  (right-assoc)
+//! or     := and ( "|" and )*
+//! and    := until ( "&" until )*
+//! until  := unary ( ("U" | "R" | "B" | "W") until )?   (right-assoc)
+//! unary  := ("!" | "X" | "F" | "G" | "[]" | "<>") unary
+//!         | "true" | "false" | ident | "(" iff ")"
+//! ```
+//!
+//! `F`/`<>` are eventually, `G`/`[]` always. Identifiers are
+//! `[A-Za-z_][A-Za-z0-9_]*` except the keywords.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ast::Formula;
+
+/// Parse error with a character position and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input where the error was detected.
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.position, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    True,
+    False,
+    Not,
+    And,
+    Or,
+    Implies,
+    Iff,
+    Next,
+    Until,
+    Release,
+    Before,
+    WeakUntil,
+    Eventually,
+    Always,
+    LParen,
+    RParen,
+}
+
+fn lex(input: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
+    let bytes = input.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                toks.push((i, Tok::LParen));
+                i += 1;
+            }
+            ')' => {
+                toks.push((i, Tok::RParen));
+                i += 1;
+            }
+            '!' => {
+                toks.push((i, Tok::Not));
+                i += 1;
+            }
+            '&' => {
+                // accept both & and &&
+                toks.push((i, Tok::And));
+                i += if input[i..].starts_with("&&") { 2 } else { 1 };
+            }
+            '|' => {
+                toks.push((i, Tok::Or));
+                i += if input[i..].starts_with("||") { 2 } else { 1 };
+            }
+            '-' => {
+                if input[i..].starts_with("->") {
+                    toks.push((i, Tok::Implies));
+                    i += 2;
+                } else {
+                    return Err(ParseError {
+                        position: i,
+                        message: "expected '->'".into(),
+                    });
+                }
+            }
+            '<' => {
+                if input[i..].starts_with("<->") {
+                    toks.push((i, Tok::Iff));
+                    i += 3;
+                } else if input[i..].starts_with("<>") {
+                    toks.push((i, Tok::Eventually));
+                    i += 2;
+                } else {
+                    return Err(ParseError {
+                        position: i,
+                        message: "expected '<->' or '<>'".into(),
+                    });
+                }
+            }
+            '[' => {
+                if input[i..].starts_with("[]") {
+                    toks.push((i, Tok::Always));
+                    i += 2;
+                } else {
+                    return Err(ParseError {
+                        position: i,
+                        message: "expected '[]'".into(),
+                    });
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &input[start..i];
+                let tok = match word {
+                    "true" => Tok::True,
+                    "false" => Tok::False,
+                    "U" => Tok::Until,
+                    "R" => Tok::Release,
+                    "B" => Tok::Before,
+                    "W" => Tok::WeakUntil,
+                    "X" => Tok::Next,
+                    "F" => Tok::Eventually,
+                    "G" => Tok::Always,
+                    _ => Tok::Ident(word.to_owned()),
+                };
+                toks.push((start, tok));
+            }
+            other => {
+                return Err(ParseError {
+                    position: i,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+    end: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn here(&self) -> usize {
+        self.toks.get(self.pos).map_or(self.end, |(p, _)| *p)
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            position: self.here(),
+            message: message.into(),
+        }
+    }
+
+    fn iff(&mut self) -> Result<Formula, ParseError> {
+        let mut left = self.imp()?;
+        while self.peek() == Some(&Tok::Iff) {
+            self.bump();
+            let right = self.imp()?;
+            left = left.iff(right);
+        }
+        Ok(left)
+    }
+
+    fn imp(&mut self) -> Result<Formula, ParseError> {
+        let left = self.or()?;
+        if self.peek() == Some(&Tok::Implies) {
+            self.bump();
+            let right = self.imp()?;
+            Ok(left.implies(right))
+        } else {
+            Ok(left)
+        }
+    }
+
+    fn or(&mut self) -> Result<Formula, ParseError> {
+        let mut left = self.and()?;
+        while self.peek() == Some(&Tok::Or) {
+            self.bump();
+            let right = self.and()?;
+            left = left.or(right);
+        }
+        Ok(left)
+    }
+
+    fn and(&mut self) -> Result<Formula, ParseError> {
+        let mut left = self.until()?;
+        while self.peek() == Some(&Tok::And) {
+            self.bump();
+            let right = self.until()?;
+            left = left.and(right);
+        }
+        Ok(left)
+    }
+
+    fn until(&mut self) -> Result<Formula, ParseError> {
+        let left = self.unary()?;
+        match self.peek() {
+            Some(&Tok::Until) => {
+                self.bump();
+                let right = self.until()?;
+                Ok(left.until(right))
+            }
+            Some(&Tok::Release) => {
+                self.bump();
+                let right = self.until()?;
+                Ok(left.release(right))
+            }
+            Some(&Tok::Before) => {
+                self.bump();
+                let right = self.until()?;
+                Ok(left.before(right))
+            }
+            Some(&Tok::WeakUntil) => {
+                self.bump();
+                let right = self.until()?;
+                Ok(left.weak_until(right))
+            }
+            _ => Ok(left),
+        }
+    }
+
+    fn unary(&mut self) -> Result<Formula, ParseError> {
+        match self.peek() {
+            Some(&Tok::Not) => {
+                self.bump();
+                Ok(self.unary()?.not())
+            }
+            Some(&Tok::Next) => {
+                self.bump();
+                Ok(self.unary()?.next())
+            }
+            Some(&Tok::Eventually) => {
+                self.bump();
+                Ok(self.unary()?.eventually())
+            }
+            Some(&Tok::Always) => {
+                self.bump();
+                Ok(self.unary()?.always())
+            }
+            Some(&Tok::True) => {
+                self.bump();
+                Ok(Formula::True)
+            }
+            Some(&Tok::False) => {
+                self.bump();
+                Ok(Formula::False)
+            }
+            Some(Tok::Ident(_)) => {
+                if let Some(Tok::Ident(name)) = self.bump() {
+                    Ok(Formula::atom(name))
+                } else {
+                    unreachable!()
+                }
+            }
+            Some(&Tok::LParen) => {
+                self.bump();
+                let inner = self.iff()?;
+                if self.bump() != Some(Tok::RParen) {
+                    return Err(self.error("expected ')'"));
+                }
+                Ok(inner)
+            }
+            _ => Err(self.error("expected a formula")),
+        }
+    }
+}
+
+/// Parses a PLTL formula from ASCII syntax.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with position information on malformed input.
+///
+/// # Example
+///
+/// ```
+/// use rl_logic::{parse, Formula};
+///
+/// # fn main() -> Result<(), rl_logic::ParseError> {
+/// let f = parse("[]<>result")?;
+/// assert_eq!(f, Formula::atom("result").eventually().always());
+/// let g = parse("a U (b & !c)")?;
+/// assert_eq!(g.to_string(), "a U (b & !c)");
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse(input: &str) -> Result<Formula, ParseError> {
+    let toks = lex(input)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        end: input.len(),
+    };
+    let f = p.iff()?;
+    if p.pos != p.toks.len() {
+        return Err(p.error("trailing input"));
+    }
+    Ok(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_property() {
+        assert_eq!(
+            parse("[]<>result").unwrap(),
+            Formula::atom("result").eventually().always()
+        );
+        assert_eq!(parse("G F result").unwrap(), parse("[]<>result").unwrap());
+    }
+
+    #[test]
+    fn precedence_until_tighter_than_and() {
+        assert_eq!(
+            parse("a & b U c").unwrap(),
+            Formula::atom("a").and(Formula::atom("b").until(Formula::atom("c")))
+        );
+    }
+
+    #[test]
+    fn until_is_right_associative() {
+        assert_eq!(
+            parse("a U b U c").unwrap(),
+            Formula::atom("a").until(Formula::atom("b").until(Formula::atom("c")))
+        );
+    }
+
+    #[test]
+    fn implication_is_right_associative() {
+        assert_eq!(
+            parse("a -> b -> c").unwrap(),
+            Formula::atom("a").implies(Formula::atom("b").implies(Formula::atom("c")))
+        );
+    }
+
+    #[test]
+    fn before_operator() {
+        assert_eq!(
+            parse("a B b").unwrap(),
+            Formula::atom("a").before(Formula::atom("b"))
+        );
+    }
+
+    #[test]
+    fn errors_have_positions() {
+        let err = parse("a U").unwrap_err();
+        assert_eq!(err.position, 3);
+        let err = parse("a @ b").unwrap_err();
+        assert_eq!(err.position, 2);
+        let err = parse("(a").unwrap_err();
+        assert!(err.message.contains(")"));
+    }
+
+    #[test]
+    fn double_ampersand_accepted() {
+        assert_eq!(parse("a && b").unwrap(), parse("a & b").unwrap());
+        assert_eq!(parse("a || b").unwrap(), parse("a | b").unwrap());
+    }
+
+    #[test]
+    fn display_parse_roundtrip_samples() {
+        for text in [
+            "a U b & c",
+            "(a U b) & c",
+            "!(a | b) -> X c",
+            "[](<>a <-> b R c)",
+            "a B (b U c)",
+            "X(a & b) | false",
+        ] {
+            let f = parse(text).unwrap();
+            let again = parse(&f.to_string()).unwrap();
+            assert_eq!(f, again, "round-trip of {text} via {f}");
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Semantics-preserving formula simplification.
+//!
+//! The `R̄` transport of Definition 7.4 produces syntactically heavy
+//! formulas (`(ε U (true ∧ ¬ε)) ∨ □ε …`); this module's local rewrite
+//! rules shrink them before translation, which directly shrinks the GPVW
+//! tableau. All rules are classical PLTL equivalences; the property tests
+//! check `evaluate(f) == evaluate(simplify(f))` on random formula/word
+//! pairs.
+
+use crate::ast::Formula;
+
+/// Applies local simplification rules bottom-up until a fixpoint.
+///
+/// # Example
+///
+/// ```
+/// use rl_logic::{parse, simplify};
+///
+/// # fn main() -> Result<(), rl_logic::ParseError> {
+/// assert_eq!(simplify(&parse("a & true")?), parse("a")?);
+/// assert_eq!(simplify(&parse("!!a | false")?), parse("a")?);
+/// assert_eq!(simplify(&parse("<> <> a")?), parse("<>a")?);
+/// assert_eq!(simplify(&parse("true U a")?), parse("<>a")?);
+/// # Ok(())
+/// # }
+/// ```
+pub fn simplify(f: &Formula) -> Formula {
+    let mut cur = f.clone();
+    // Rules strictly shrink the size, so |f| iterations terminate; cap for
+    // safety anyway.
+    for _ in 0..=f.size() {
+        let next = pass(&cur);
+        if next == cur {
+            return cur;
+        }
+        cur = next;
+    }
+    cur
+}
+
+fn pass(f: &Formula) -> Formula {
+    use Formula::*;
+    // First simplify children, then the node itself.
+    let node = match f {
+        True | False | Atom(_) => f.clone(),
+        Not(x) => pass(x).not(),
+        And(x, y) => pass(x).and(pass(y)),
+        Or(x, y) => pass(x).or(pass(y)),
+        Implies(x, y) => pass(x).implies(pass(y)),
+        Iff(x, y) => pass(x).iff(pass(y)),
+        Next(x) => pass(x).next(),
+        Until(x, y) => pass(x).until(pass(y)),
+        Release(x, y) => pass(x).release(pass(y)),
+        Before(x, y) => pass(x).before(pass(y)),
+        WeakUntil(x, y) => pass(x).weak_until(pass(y)),
+        Eventually(x) => pass(x).eventually(),
+        Always(x) => pass(x).always(),
+    };
+    rewrite(node)
+}
+
+fn rewrite(f: Formula) -> Formula {
+    use Formula::*;
+    match f {
+        Not(x) => match *x {
+            True => False,
+            False => True,
+            Not(inner) => *inner,
+            other => Not(Box::new(other)),
+        },
+        And(x, y) => match (*x, *y) {
+            (True, other) | (other, True) => other,
+            (False, _) | (_, False) => False,
+            (a, b) if a == b => a,
+            (a, b) => a.and(b),
+        },
+        Or(x, y) => match (*x, *y) {
+            (False, other) | (other, False) => other,
+            (True, _) | (_, True) => True,
+            (a, b) if a == b => a,
+            (a, b) => a.or(b),
+        },
+        Implies(x, y) => match (*x, *y) {
+            (True, other) => other,
+            (False, _) => True,
+            (_, True) => True,
+            (a, False) => rewrite(a.not()),
+            (a, b) if a == b => True,
+            (a, b) => a.implies(b),
+        },
+        Iff(x, y) => match (*x, *y) {
+            (True, other) | (other, True) => other,
+            (False, other) | (other, False) => rewrite(other.not()),
+            (a, b) if a == b => True,
+            (a, b) => a.iff(b),
+        },
+        Next(x) => match *x {
+            True => True,
+            False => False,
+            other => other.next(),
+        },
+        Until(x, y) => match (*x, *y) {
+            // ξ U true ≡ true; ξ U false ≡ false.
+            (_, True) => True,
+            (_, False) => False,
+            // false U ζ ≡ ζ (the witness must be immediate).
+            (False, z) => z,
+            // true U ζ ≡ ◇ζ.
+            (True, z) => z.eventually(),
+            (a, b) if a == b => a,
+            (a, b) => a.until(b),
+        },
+        Release(x, y) => match (*x, *y) {
+            // ξ R true ≡ true; ξ R false ≡ false.
+            (_, True) => True,
+            (_, False) => False,
+            // true R ζ ≡ ζ (released immediately).
+            (True, z) => z,
+            // false R ζ ≡ □ζ.
+            (False, z) => z.always(),
+            (a, b) if a == b => a,
+            (a, b) => a.release(b),
+        },
+        WeakUntil(x, y) => match (*x, *y) {
+            // ξ W true ≡ true; true W ζ ≡ true (□true branch).
+            (_, True) | (True, _) => True,
+            // ξ W false ≡ □ξ; false W ζ ≡ ζ.
+            (a, False) => rewrite(a.always()),
+            (False, z) => z,
+            (a, b) if a == b => a,
+            (a, b) => a.weak_until(b),
+        },
+        Before(x, y) => match (*x, *y) {
+            // ξ B false ≡ true (nothing to precede).
+            (_, False) => True,
+            // ξ B true ≡ ¬(¬ξ U true) ≡ false … unless ξ holds now; keep the
+            // general rewrite only for the constant-false rhs.
+            (a, b) => a.before(b),
+        },
+        Eventually(x) => match *x {
+            True => True,
+            False => False,
+            Eventually(inner) => (*inner).eventually(),
+            other => other.eventually(),
+        },
+        Always(x) => match *x {
+            True => True,
+            False => False,
+            Always(inner) => (*inner).always(),
+            other => other.always(),
+        },
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate;
+    use crate::labeling::Labeling;
+    use crate::parser::parse;
+    use rl_automata::Alphabet;
+    use rl_buchi::UpWord;
+
+    #[test]
+    fn constant_folding() {
+        for (input, expect) in [
+            ("a & true", "a"),
+            ("false | b", "b"),
+            ("!(!a)", "a"),
+            ("!true", "false"),
+            ("X false", "false"),
+            ("true -> a", "a"),
+            ("a -> false", "!a"),
+            ("a <-> true", "a"),
+            ("<> <> a", "<>a"),
+            ("[] [] a", "[]a"),
+            ("true U a", "<>a"),
+            ("false R a", "[]a"),
+            ("true R a", "a"),
+            ("false U a", "a"),
+            ("a U true", "true"),
+            ("a R false", "false"),
+            ("a & a", "a"),
+            ("a | a", "a"),
+            ("a -> a", "true"),
+        ] {
+            assert_eq!(
+                simplify(&parse(input).unwrap()),
+                parse(expect).unwrap(),
+                "{input}"
+            );
+        }
+    }
+
+    #[test]
+    fn nested_folding_cascades() {
+        // (a & true) | false → a; X(!!b) → X b.
+        assert_eq!(
+            simplify(&parse("(a & true) | false").unwrap()),
+            parse("a").unwrap()
+        );
+        assert_eq!(simplify(&parse("X !!b").unwrap()), parse("X b").unwrap());
+        // □(true U (false | a)) → □◇a
+        assert_eq!(
+            simplify(&parse("[](true U (false | a))").unwrap()),
+            parse("[]<>a").unwrap()
+        );
+    }
+
+    #[test]
+    fn simplification_preserves_semantics_on_samples() {
+        let ab = Alphabet::new(["a", "b"]).unwrap();
+        let lam = Labeling::canonical(&ab);
+        let a = ab.symbol("a").unwrap();
+        let b = ab.symbol("b").unwrap();
+        let words = [
+            UpWord::periodic(vec![a]).unwrap(),
+            UpWord::periodic(vec![b]).unwrap(),
+            UpWord::new(vec![a, b], vec![b, a]).unwrap(),
+        ];
+        for text in [
+            "a U (b & true)",
+            "(false R a) | X true",
+            "!(a & !a)",
+            "a B false",
+            "((a | a) U (b | false)) & true",
+        ] {
+            let f = parse(text).unwrap();
+            let s = simplify(&f);
+            assert!(s.size() <= f.size(), "{text} grew");
+            for w in &words {
+                assert_eq!(
+                    evaluate(&f, w, &lam),
+                    evaluate(&s, w, &lam),
+                    "{text} on {w}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shrinks_r_bar_output() {
+        let sigma = Alphabet::new(["a", "b"]).unwrap();
+        let transported = crate::transform::r_bar(&parse("<>a").unwrap(), &sigma).unwrap();
+        let slim = simplify(&transported);
+        assert!(
+            slim.size() < transported.size(),
+            "R̄ output should shrink: {} vs {}",
+            slim.size(),
+            transported.size()
+        );
+    }
+}

@@ -1,0 +1,345 @@
+//! The property transformations of Section 7: Σ-normal form, the `T`
+//! mapping of Definition 7.4 (the paper's Figure 5) and its extension `R̄`.
+//!
+//! # Reconstruction note
+//!
+//! The PODC '97 extended abstract presents `T` as a table (Figure 5, an
+//! image in our source) and states its defining properties in prose and in
+//! the proofs of Lemma 7.5 and Theorems 8.2/8.3. We reconstruct the mapping
+//! from those requirements:
+//!
+//! 1. **Alignment** (used by Lemma 7.5): for every `x ∈ Σ^ω` with `h(x)`
+//!    defined, `x, λ_hΣΣ' ⊨ R̄(η)  ⇔  h(x), λ_Σ' ⊨ η`. Positions of `x` whose
+//!    letter is hidden (`h(a) = ε`, i.e. the proposition [`EPSILON_PROP`]
+//!    holds) must be "skipped" when interpreting `η`.
+//! 2. **Vacuity on invisible tails** (used in the proof of Theorem 8.3): on
+//!    any suffix consisting only of hidden letters, `R̄(η)` must hold for
+//!    *every* `η` — a system that has gone permanently silent can no longer
+//!    be blamed at the abstract level.
+//!
+//! The mapping below satisfies both (see the crate's tests, which verify
+//! Lemma 7.5 exhaustively on lasso words):
+//!
+//! ```text
+//! T(ξ b̂ ζ)   = T(ξ) b̂ T(ζ)          for boolean connectives b̂ ∈ {∧, ∨}
+//! T(O ξ)     = (ε U (¬ε ∧ O T(ξ))) ∨ □ε
+//! T(ξ U ζ)   = T(ξ) U T(ζ)
+//! T(ξ R ζ)   = T(ξ) R T(ζ)
+//! T(literal) = literal
+//! R̄(η)       = T(η) with every maximal purely boolean subformula ξ_b
+//!              replaced by (ε U (ξ_b ∧ ¬ε)) ∨ □ε
+//! ```
+//!
+//! The `∨ □ε` disjuncts and the `∧ ¬ε` guard are exactly what requirements
+//! (1) and (2) force; the abstract's inline text abbreviates the wrapper to
+//! `(ε)U(ξ_b)`, which is the same thing on words where `h` is defined and
+//! all atoms are positive.
+
+use rl_automata::{Alphabet, AutomataError};
+
+use crate::ast::Formula;
+use crate::labeling::EPSILON_PROP;
+
+/// Converts to *Σ-normal form* (Definition 7.2): positive normal form with
+/// all atoms drawn from the alphabet `Σ`.
+///
+/// # Errors
+///
+/// Returns [`AutomataError::UnknownSymbol`] when an atom is not a symbol
+/// name of `sigma`.
+pub fn to_sigma_normal_form(f: &Formula, sigma: &Alphabet) -> Result<Formula, AutomataError> {
+    let p = f.to_pnf();
+    for atom in p.atoms() {
+        if sigma.symbol(&atom).is_none() {
+            return Err(AutomataError::UnknownSymbol(atom));
+        }
+    }
+    Ok(p)
+}
+
+/// Whether `f` is in Σ-normal form for `sigma`.
+pub fn is_sigma_normal_form(f: &Formula, sigma: &Alphabet) -> bool {
+    f.is_pnf() && f.atoms().iter().all(|a| sigma.symbol(a).is_some())
+}
+
+/// The ε atom (`h(a) = ε`, i.e. the current action is hidden).
+fn eps() -> Formula {
+    Formula::atom(EPSILON_PROP)
+}
+
+/// `(ε U (φ ∧ ¬ε)) ∨ □ε` — "at the next visible position, φ" (or no visible
+/// position remains).
+fn skip_to_visible(phi: Formula) -> Formula {
+    eps().until(phi.and(eps().not())).or(eps().always())
+}
+
+/// The `T` transformation of Definition 7.4 (Figure 5), without the boolean
+/// wrapping of `R̄`.
+///
+/// Input must be in positive normal form (e.g. Σ'-normal form); use
+/// [`r_bar`] for the full property transport.
+///
+/// # Panics
+///
+/// Panics when `f` is not in positive normal form.
+pub fn transform_t(f: &Formula) -> Formula {
+    assert!(f.is_pnf(), "T is defined on positive normal form formulas");
+    match f {
+        Formula::True | Formula::False | Formula::Atom(_) | Formula::Not(_) => f.clone(),
+        Formula::And(x, y) => transform_t(x).and(transform_t(y)),
+        Formula::Or(x, y) => transform_t(x).or(transform_t(y)),
+        Formula::Next(x) => eps()
+            .until(eps().not().and(transform_t(x).next()))
+            .or(eps().always()),
+        Formula::Until(x, y) => transform_t(x).until(transform_t(y)),
+        Formula::Release(x, y) => transform_t(x).release(transform_t(y)),
+        _ => unreachable!("PNF excludes derived operators"),
+    }
+}
+
+/// The `R̄` mapping of Definition 7.4: transports a property `η` in
+/// Σ'-normal form (over the abstract alphabet) to a formula over the
+/// concrete alphabet's propositions `Σ' ∪ {ε}`, to be interpreted under the
+/// canonical homomorphism labeling `λ_hΣΣ'`.
+///
+/// # Errors
+///
+/// Returns [`AutomataError::UnknownSymbol`] when `eta`'s atoms are not
+/// symbols of `sigma_prime`.
+///
+/// # Example
+///
+/// ```
+/// use rl_automata::Alphabet;
+/// use rl_logic::{parse, r_bar};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let sigma_prime = Alphabet::new(["result"])?;
+/// let eta = parse("<>result")?;
+/// let transported = r_bar(&eta, &sigma_prime)?;
+/// // ◇result = true U result becomes "skip(true) U skip(result)", where
+/// // skip(φ) evaluates φ at the next visible action (or vacuously when the
+/// // suffix stays hidden forever):
+/// assert_eq!(
+///     transported.to_string(),
+///     "(ε U (true & !ε) | []ε) U (ε U (result & !ε) | []ε)"
+/// );
+/// # Ok(())
+/// # }
+/// ```
+pub fn r_bar(eta: &Formula, sigma_prime: &Alphabet) -> Result<Formula, AutomataError> {
+    let snf = to_sigma_normal_form(eta, sigma_prime)?;
+    Ok(r_bar_node(&snf))
+}
+
+/// The *strict* variant of [`r_bar`]: `R̄(η) ∧ □◇¬ε`.
+///
+/// On a word `x`, the strict transport holds iff `h(x)` is **defined**
+/// (infinitely many visible actions — the `□◇¬ε` conjunct) *and*
+/// `h(x) ⊨ η`. Under this reading both transfer theorems of Section 8 are
+/// sound:
+///
+/// * Theorem 8.2 (simple `h`): abstract rel-liveness of `η` implies
+///   concrete rel-liveness of the strict transport — the constructed
+///   witnesses always have defined images.
+/// * Theorem 8.3 (converse): a strict concrete witness has a defined image,
+///   which *is* the abstract witness.
+///
+/// With the vacuous reading ([`r_bar`] alone, which is what the extended
+/// abstract's Theorem 8.3 proof asserts), the converse direction fails on
+/// systems that can go permanently silent: `R̄(◇ false)` degenerates to
+/// "eventually always hidden", which a silently-diverging system satisfies
+/// relatively even though no abstract behavior satisfies `◇ false`. Our
+/// property-based tests exhibit exactly that counterexample; see DESIGN.md
+/// ("reconstruction notes").
+///
+/// # Errors
+///
+/// Same as [`r_bar`].
+pub fn r_bar_strict(eta: &Formula, sigma_prime: &Alphabet) -> Result<Formula, AutomataError> {
+    let vacuous = r_bar(eta, sigma_prime)?;
+    let infinitely_visible = eps().not().eventually().always();
+    Ok(vacuous.and(infinitely_visible))
+}
+
+fn r_bar_node(f: &Formula) -> Formula {
+    if f.is_boolean() {
+        // Maximal purely boolean subformula: evaluate at the next visible
+        // position (or vacuously on an invisible tail).
+        return skip_to_visible(f.clone());
+    }
+    match f {
+        Formula::And(x, y) => r_bar_node(x).and(r_bar_node(y)),
+        Formula::Or(x, y) => r_bar_node(x).or(r_bar_node(y)),
+        Formula::Next(x) => {
+            // Skip to the current abstract position's visible letter, then
+            // one concrete step lands strictly after it; the transformed
+            // argument re-aligns itself to the following visible letter.
+            eps()
+                .until(eps().not().and(r_bar_node(x).next()))
+                .or(eps().always())
+        }
+        Formula::Until(x, y) => r_bar_node(x).until(r_bar_node(y)),
+        Formula::Release(x, y) => r_bar_node(x).release(r_bar_node(y)),
+        _ => unreachable!("non-boolean PNF node"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate;
+    use crate::labeling::Labeling;
+    use crate::parser::parse;
+    use rl_buchi::UpWord;
+
+    #[test]
+    fn sigma_normal_form_checks_atoms() {
+        let sigma = Alphabet::new(["a", "b"]).unwrap();
+        let ok = to_sigma_normal_form(&parse("!(a U b)").unwrap(), &sigma).unwrap();
+        assert!(is_sigma_normal_form(&ok, &sigma));
+        assert_eq!(ok, parse("!a R !b").unwrap().to_pnf());
+        let err = to_sigma_normal_form(&parse("<>zzz").unwrap(), &sigma).unwrap_err();
+        assert_eq!(err, AutomataError::UnknownSymbol("zzz".into()));
+    }
+
+    #[test]
+    fn t_is_homomorphic_on_until() {
+        let f = parse("a U b").unwrap();
+        // booleans are left to R̄'s wrapper, so T is the identity here.
+        assert_eq!(transform_t(&f), f);
+    }
+
+    #[test]
+    fn r_bar_wraps_maximal_boolean_subformulas() {
+        let sigma = Alphabet::new(["a", "b"]).unwrap();
+        let out = r_bar(&parse("a U b").unwrap(), &sigma).unwrap();
+        let expect =
+            skip_to_visible(parse("a").unwrap()).until(skip_to_visible(parse("b").unwrap()));
+        assert_eq!(out, expect);
+        // A fully boolean formula is wrapped as a whole.
+        let out2 = r_bar(&parse("a & b").unwrap(), &sigma).unwrap();
+        assert_eq!(out2, skip_to_visible(parse("a & b").unwrap()));
+    }
+
+    /// Build the concrete alphabet {a, b, tau}, homomorphism h(tau)=ε,
+    /// h(a)=a, h(b)=b, and the labeling λ_hΣΣ'.
+    fn hom_setup() -> (
+        Alphabet,
+        Labeling,
+        rl_automata::Symbol,
+        rl_automata::Symbol,
+        rl_automata::Symbol,
+    ) {
+        let sigma = Alphabet::new(["a", "b", "tau"]).unwrap();
+        let lam = Labeling::from_fn(&sigma, |s| {
+            let name = sigma.name(s);
+            if name == "tau" {
+                vec![EPSILON_PROP.to_owned()]
+            } else {
+                vec![name.to_owned()]
+            }
+        })
+        .unwrap();
+        let a = sigma.symbol("a").unwrap();
+        let b = sigma.symbol("b").unwrap();
+        let tau = sigma.symbol("tau").unwrap();
+        (sigma, lam, a, b, tau)
+    }
+
+    /// h applied to a lasso word: drop tau letters. Returns None when the
+    /// period becomes empty (h(x) undefined).
+    fn h_apply(
+        w: &UpWord,
+        tau: rl_automata::Symbol,
+        abs: &Alphabet,
+        conc: &Alphabet,
+    ) -> Option<UpWord> {
+        let tr = |s: rl_automata::Symbol| abs.symbol(conc.name(s)).unwrap();
+        let prefix: Vec<_> = w
+            .prefix()
+            .iter()
+            .copied()
+            .filter(|&s| s != tau)
+            .map(tr)
+            .collect();
+        let period: Vec<_> = w
+            .period()
+            .iter()
+            .copied()
+            .filter(|&s| s != tau)
+            .map(tr)
+            .collect();
+        if period.is_empty() {
+            None
+        } else {
+            Some(UpWord::new(prefix, period).unwrap())
+        }
+    }
+
+    /// Lemma 7.5 alignment, checked exhaustively on a family of lasso words:
+    /// x ⊨ R̄(η) under λ_h  ⇔  h(x) ⊨ η under λ_Σ'.
+    #[test]
+    fn lemma_7_5_alignment_on_samples() {
+        let (sigma, lam_h, a, b, tau) = hom_setup();
+        let sigma_prime = Alphabet::new(["a", "b"]).unwrap();
+        let lam_abs = Labeling::canonical(&sigma_prime);
+        let formulas = [
+            "a",
+            "!a",
+            "a & !b",
+            "X b",
+            "X X a",
+            "a U b",
+            "b R a",
+            "[]<>a",
+            "<>[]b",
+            "[](a -> X b)",
+            "(a U b) | X a",
+        ];
+        let words = [
+            UpWord::periodic(vec![a]).unwrap(),
+            UpWord::periodic(vec![tau, a]).unwrap(),
+            UpWord::periodic(vec![a, tau, b]).unwrap(),
+            UpWord::new(vec![tau, tau], vec![b, a]).unwrap(),
+            UpWord::new(vec![a, tau], vec![tau, b, tau, a]).unwrap(),
+            UpWord::new(vec![b], vec![a, tau, tau]).unwrap(),
+            UpWord::new(vec![tau, a, tau, b], vec![a, b]).unwrap(),
+        ];
+        for text in formulas {
+            let eta = parse(text).unwrap();
+            let transported = r_bar(&eta, &sigma_prime).unwrap();
+            for w in &words {
+                let hx = h_apply(w, tau, &sigma_prime, &sigma).expect("h defined");
+                assert_eq!(
+                    evaluate(&transported, w, &lam_h),
+                    evaluate(&eta, &hx, &lam_abs),
+                    "formula {text}, word {w}"
+                );
+            }
+        }
+    }
+
+    /// Theorem 8.3's vacuity requirement: on a word that is eventually all
+    /// hidden, R̄(η) holds for every η.
+    #[test]
+    fn r_bar_vacuous_on_invisible_tails() {
+        let (_sigma, lam_h, a, b, tau) = hom_setup();
+        let sigma_prime = Alphabet::new(["a", "b"]).unwrap();
+        let silent = UpWord::new(vec![a, b], vec![tau]).unwrap();
+        let all_silent = UpWord::periodic(vec![tau]).unwrap();
+        for text in ["a", "!a", "<>b", "[]a", "a U b", "X X b", "false"] {
+            let eta = parse(text).unwrap();
+            let transported = r_bar(&eta, &sigma_prime).unwrap();
+            assert!(
+                evaluate(&transported, &all_silent, &lam_h),
+                "formula {text} must hold on the all-silent word"
+            );
+        }
+        // On a word with visible prefix then silence, temporal parts also
+        // become vacuous *from the silent point on*.
+        let eta = parse("[]<>a").unwrap();
+        let transported = r_bar(&eta, &sigma_prime).unwrap();
+        assert!(evaluate(&transported, &silent, &lam_h));
+    }
+}

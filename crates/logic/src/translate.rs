@@ -1,0 +1,415 @@
+//! PLTL → Büchi translation (GPVW tableau construction).
+//!
+//! Implements Gerth–Peled–Vardi–Wolper on-the-fly node expansion into a
+//! labeled generalized Büchi automaton, followed by counter-based
+//! degeneralization. This is the `L_η` of Definition 3.2: given a formula and
+//! a labeling `λ : Σ → 2^AP`, the resulting automaton accepts exactly
+//! `{ x ∈ Σ^ω | x, λ ⊨ η }`.
+//!
+//! The translation goes through positive normal form, so all of the paper's
+//! operators (including `B`) are supported; properties are *negated at the
+//! formula level* when a complement automaton is needed, which keeps the
+//! relative-liveness/safety deciders of `rl-core` out of exponential Büchi
+//! complementation for formula-given properties.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rl_automata::Symbol;
+use rl_buchi::{Buchi, GeneralizedBuchi};
+
+use crate::ast::Formula;
+use crate::labeling::Labeling;
+
+/// Sentinel "incoming" id for initial tableau nodes.
+const INIT: usize = usize::MAX;
+
+#[derive(Debug, Clone)]
+struct Tentative {
+    id: usize,
+    incoming: BTreeSet<usize>,
+    new: BTreeSet<Formula>,
+    old: BTreeSet<Formula>,
+    next: BTreeSet<Formula>,
+}
+
+#[derive(Debug, Clone)]
+struct Completed {
+    incoming: BTreeSet<usize>,
+    old: BTreeSet<Formula>,
+}
+
+/// Translates `formula` (any PLTL formula; converted to PNF internally) into
+/// a Büchi automaton over `labeling.alphabet()` accepting exactly the words
+/// satisfying it under `labeling`.
+///
+/// The returned automaton is reduced (every state lies on some accepting
+/// run).
+///
+/// # Example
+///
+/// ```
+/// use rl_automata::Alphabet;
+/// use rl_buchi::UpWord;
+/// use rl_logic::{formula_to_buchi, parse, Labeling};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let ab = Alphabet::new(["req", "ack"])?;
+/// let req = ab.symbol("req").unwrap();
+/// let ack = ab.symbol("ack").unwrap();
+/// let lam = Labeling::canonical(&ab);
+/// let aut = formula_to_buchi(&parse("[](req -> X ack)")?, &lam);
+/// assert!(aut.accepts_upword(&UpWord::periodic(vec![req, ack])?));
+/// assert!(!aut.accepts_upword(&UpWord::periodic(vec![req, req, ack])?));
+/// # Ok(())
+/// # }
+/// ```
+pub fn formula_to_buchi(formula: &Formula, labeling: &Labeling) -> Buchi {
+    let pnf = formula.to_pnf();
+    let nodes = expand_graph(&pnf);
+
+    // Acceptance sets: one per Until subformula of the PNF closure.
+    let untils = collect_untils(&pnf);
+    // Map stored node ids to dense indices.
+    let ids: Vec<usize> = nodes.keys().copied().collect();
+    let dense: BTreeMap<usize, usize> = ids.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+    let n = ids.len();
+
+    // Generalized acceptance: F_u = {r | u ∉ old(r) ∨ rhs(u) ∈ old(r)}.
+    let k = untils.len().max(1);
+    let mut fsets: Vec<Vec<bool>> = vec![vec![true; n]; k];
+    for (ui, u) in untils.iter().enumerate() {
+        let rhs = match u {
+            Formula::Until(_, y) => (**y).clone(),
+            _ => unreachable!("collect_untils only returns untils"),
+        };
+        for (&id, node) in &nodes {
+            let idx = dense[&id];
+            fsets[ui][idx] = !node.old.contains(u) || node.old.contains(&rhs);
+        }
+    }
+
+    // Edge labels: which symbols satisfy a node's literal constraints.
+    let alphabet = labeling.alphabet().clone();
+    let sat_symbols: BTreeMap<usize, Vec<Symbol>> = nodes
+        .iter()
+        .map(|(&id, node)| {
+            let syms = alphabet
+                .symbols()
+                .filter(|&a| literals_hold(&node.old, a, labeling))
+                .collect();
+            (id, syms)
+        })
+        .collect();
+
+    // Assemble the labeled generalized Büchi automaton and degeneralize.
+    let mut gba = GeneralizedBuchi::new(alphabet);
+    for _ in 0..n {
+        gba.add_state();
+    }
+    for (&rid, rnode) in &nodes {
+        if rnode.incoming.contains(&INIT) {
+            gba.set_initial(dense[&rid]);
+        }
+        for &qid in &rnode.incoming {
+            if qid == INIT {
+                continue;
+            }
+            // Transition q --a--> r for symbols a satisfying old(q).
+            for &a in &sat_symbols[&qid] {
+                gba.add_transition(dense[&qid], a, dense[&rid]);
+            }
+        }
+    }
+    for fset in &fsets {
+        gba.add_acceptance_set((0..n).filter(|&i| fset[i]))
+            .expect("dense indices are in range");
+    }
+    gba.degeneralize()
+}
+
+fn literals_hold(old: &BTreeSet<Formula>, a: Symbol, labeling: &Labeling) -> bool {
+    old.iter().all(|f| match f {
+        Formula::Atom(p) => labeling.satisfies(a, p),
+        Formula::Not(x) => match &**x {
+            Formula::Atom(p) => !labeling.satisfies(a, p),
+            _ => true,
+        },
+        _ => true,
+    })
+}
+
+fn collect_untils(f: &Formula) -> Vec<Formula> {
+    let mut set = BTreeSet::new();
+    fn walk(f: &Formula, set: &mut BTreeSet<Formula>) {
+        match f {
+            Formula::Until(x, y) => {
+                set.insert(f.clone());
+                walk(x, set);
+                walk(y, set);
+            }
+            Formula::And(x, y) | Formula::Or(x, y) | Formula::Release(x, y) => {
+                walk(x, set);
+                walk(y, set);
+            }
+            Formula::Not(x) | Formula::Next(x) => walk(x, set),
+            _ => {}
+        }
+    }
+    walk(f, &mut set);
+    set.into_iter().collect()
+}
+
+/// GPVW node expansion: returns the completed tableau nodes keyed by id.
+fn expand_graph(pnf: &Formula) -> BTreeMap<usize, Completed> {
+    let mut completed: BTreeMap<usize, Completed> = BTreeMap::new();
+    let mut by_key: BTreeMap<(BTreeSet<Formula>, BTreeSet<Formula>), usize> = BTreeMap::new();
+    let mut fresh = 0usize;
+    let mut next_id = || {
+        let id = fresh;
+        fresh += 1;
+        id
+    };
+
+    let mut stack: Vec<Tentative> = vec![Tentative {
+        id: next_id(),
+        incoming: BTreeSet::from([INIT]),
+        new: BTreeSet::from([pnf.clone()]),
+        old: BTreeSet::new(),
+        next: BTreeSet::new(),
+    }];
+
+    while let Some(mut node) = stack.pop() {
+        let Some(eta) = node.new.iter().next().cloned() else {
+            // Fully expanded: merge or store, then spawn the successor seed.
+            let key = (node.old.clone(), node.next.clone());
+            if let Some(&existing) = by_key.get(&key) {
+                let entry = completed.get_mut(&existing).expect("stored node");
+                entry.incoming.extend(node.incoming.iter().copied());
+                continue;
+            }
+            by_key.insert(key, node.id);
+            completed.insert(
+                node.id,
+                Completed {
+                    incoming: node.incoming.clone(),
+                    old: node.old.clone(),
+                },
+            );
+            stack.push(Tentative {
+                id: next_id(),
+                incoming: BTreeSet::from([node.id]),
+                new: node.next.clone(),
+                old: BTreeSet::new(),
+                next: BTreeSet::new(),
+            });
+            continue;
+        };
+        node.new.remove(&eta);
+        match &eta {
+            Formula::True => {
+                // Keep `true` in old: the acceptance sets test the rhs of a
+                // fulfilled until by membership in `old`, and `… U true`
+                // must count as fulfilled.
+                node.old.insert(eta);
+                stack.push(node);
+            }
+            Formula::False => {
+                // Contradiction: discard this node.
+            }
+            Formula::Atom(_) | Formula::Not(_) => {
+                // Literal (PNF guarantees Not wraps an atom).
+                let negation = match &eta {
+                    Formula::Atom(p) => Formula::atom(p.clone()).not(),
+                    Formula::Not(x) => (**x).clone(),
+                    _ => unreachable!(),
+                };
+                if node.old.contains(&negation) {
+                    // Inconsistent: discard.
+                } else {
+                    node.old.insert(eta);
+                    stack.push(node);
+                }
+            }
+            Formula::And(x, y) => {
+                for part in [&**x, &**y] {
+                    if !node.old.contains(part) {
+                        node.new.insert(part.clone());
+                    }
+                }
+                node.old.insert(eta);
+                stack.push(node);
+            }
+            Formula::Or(x, y) => {
+                let mut left = node.clone();
+                left.old.insert(eta.clone());
+                if !left.old.contains(&**x) {
+                    left.new.insert((**x).clone());
+                }
+                let mut right = node;
+                right.id = next_id();
+                right.old.insert(eta.clone());
+                if !right.old.contains(&**y) {
+                    right.new.insert((**y).clone());
+                }
+                stack.push(left);
+                stack.push(right);
+            }
+            Formula::Until(x, y) => {
+                // η = x U y: either y now, or x now and η next.
+                let mut wait = node.clone();
+                wait.old.insert(eta.clone());
+                if !wait.old.contains(&**x) {
+                    wait.new.insert((**x).clone());
+                }
+                wait.next.insert(eta.clone());
+                let mut done = node;
+                done.id = next_id();
+                done.old.insert(eta.clone());
+                if !done.old.contains(&**y) {
+                    done.new.insert((**y).clone());
+                }
+                stack.push(wait);
+                stack.push(done);
+            }
+            Formula::Release(x, y) => {
+                // η = x R y: y now, and (x now or η next).
+                let mut cont = node.clone();
+                cont.old.insert(eta.clone());
+                if !cont.old.contains(&**y) {
+                    cont.new.insert((**y).clone());
+                }
+                cont.next.insert(eta.clone());
+                let mut stop = node;
+                stop.id = next_id();
+                stop.old.insert(eta.clone());
+                for part in [&**x, &**y] {
+                    if !stop.old.contains(part) {
+                        stop.new.insert(part.clone());
+                    }
+                }
+                stack.push(cont);
+                stack.push(stop);
+            }
+            Formula::Next(x) => {
+                node.old.insert(eta.clone());
+                node.next.insert((**x).clone());
+                stack.push(node);
+            }
+            Formula::Implies(..)
+            | Formula::Iff(..)
+            | Formula::Before(..)
+            | Formula::WeakUntil(..)
+            | Formula::Eventually(..)
+            | Formula::Always(..) => {
+                unreachable!("expand_graph requires positive normal form input")
+            }
+        }
+    }
+    completed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate;
+    use crate::parser::parse;
+    use rl_automata::Alphabet;
+    use rl_buchi::UpWord;
+
+    fn setup() -> (Labeling, rl_automata::Symbol, rl_automata::Symbol) {
+        let ab = Alphabet::new(["a", "b"]).unwrap();
+        let lam = Labeling::canonical(&ab);
+        let a = ab.symbol("a").unwrap();
+        let b = ab.symbol("b").unwrap();
+        (lam, a, b)
+    }
+
+    fn sample_words(a: rl_automata::Symbol, b: rl_automata::Symbol) -> Vec<UpWord> {
+        vec![
+            UpWord::periodic(vec![a]).unwrap(),
+            UpWord::periodic(vec![b]).unwrap(),
+            UpWord::periodic(vec![a, b]).unwrap(),
+            UpWord::periodic(vec![b, a]).unwrap(),
+            UpWord::new(vec![a], vec![b]).unwrap(),
+            UpWord::new(vec![b], vec![a]).unwrap(),
+            UpWord::new(vec![a, a, b], vec![b, a]).unwrap(),
+            UpWord::new(vec![b, b], vec![a, a, b]).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn translation_agrees_with_direct_evaluation() {
+        let (lam, a, b) = setup();
+        let formulas = [
+            "a",
+            "!a",
+            "X b",
+            "a U b",
+            "a R b",
+            "[]<>a",
+            "<>[]b",
+            "[](a -> X b)",
+            "a B b",
+            "(a U b) & []<>a",
+            "X X a | []b",
+            "true U (a & X a)",
+            "false",
+            "true",
+            "[](a <-> !b)",
+        ];
+        for text in formulas {
+            let f = parse(text).unwrap();
+            let aut = formula_to_buchi(&f, &lam);
+            for w in sample_words(a, b) {
+                assert_eq!(
+                    aut.accepts_upword(&w),
+                    evaluate(&f, &w, &lam),
+                    "formula {text}, word {w}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn box_diamond_automaton_shape() {
+        let (lam, a, b) = setup();
+        let aut = formula_to_buchi(&parse("[]<>a").unwrap(), &lam);
+        assert!(aut.accepts_upword(&UpWord::periodic(vec![a, b, b]).unwrap()));
+        assert!(!aut.accepts_upword(&UpWord::new(vec![a, a], vec![b]).unwrap()));
+    }
+
+    #[test]
+    fn unsatisfiable_formula_yields_empty_automaton() {
+        let (lam, _, _) = setup();
+        let aut = formula_to_buchi(&parse("a & !a").unwrap(), &lam);
+        assert!(aut.is_empty_language());
+        let aut2 = formula_to_buchi(&parse("<>(a & !a)").unwrap(), &lam);
+        assert!(aut2.is_empty_language());
+    }
+
+    #[test]
+    fn valid_formula_is_universal() {
+        let (lam, a, b) = setup();
+        let aut = formula_to_buchi(&parse("a | !a").unwrap(), &lam);
+        for w in sample_words(a, b) {
+            assert!(aut.accepts_upword(&w), "word {w}");
+        }
+    }
+
+    #[test]
+    fn negation_gives_complement_on_samples() {
+        let (lam, a, b) = setup();
+        for text in ["[]<>a", "a U b", "X a", "a R (b | X a)"] {
+            let f = parse(text).unwrap();
+            let aut = formula_to_buchi(&f, &lam);
+            let neg = formula_to_buchi(&f.clone().not(), &lam);
+            for w in sample_words(a, b) {
+                assert_ne!(
+                    aut.accepts_upword(&w),
+                    neg.accepts_upword(&w),
+                    "formula {text}, word {w}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Classical Petri-net analyses on the bounded reachability graph.
+//!
+//! *Transition liveness* (a transition can always fire again from every
+//! reachable marking's future) is the net-theoretic cousin of the paper's
+//! relative liveness: `t` is live exactly when `□◇t` is a relative liveness
+//! property of the net's behaviors — compare `rl-core`'s `∀□∃◇` module.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::net::{Marking, PetriError, PetriNet, TransitionId};
+
+/// Explores the reachability set (bounded by `limit` markings).
+fn explore(net: &PetriNet, limit: usize) -> Result<Vec<Marking>, PetriError> {
+    let mut seen: BTreeMap<Marking, ()> = BTreeMap::new();
+    let m0 = net.initial_marking();
+    seen.insert(m0.clone(), ());
+    let mut order = vec![m0.clone()];
+    let mut work = VecDeque::from([m0]);
+    while let Some(m) = work.pop_front() {
+        for t in net.enabled_transitions(&m) {
+            let m2 = net.fire(&m, t).expect("enabled transition fires");
+            if !seen.contains_key(&m2) {
+                if seen.len() >= limit {
+                    return Err(PetriError::BoundExceeded { limit });
+                }
+                seen.insert(m2.clone(), ());
+                order.push(m2.clone());
+                work.push_back(m2);
+            }
+        }
+    }
+    Ok(order)
+}
+
+/// The reachable *dead* markings (no transition enabled).
+///
+/// # Errors
+///
+/// Returns [`PetriError::BoundExceeded`] for (effectively) unbounded nets.
+///
+/// # Example
+///
+/// ```
+/// use rl_petri::{deadlock_markings, PetriNet};
+///
+/// # fn main() -> Result<(), rl_petri::PetriError> {
+/// let mut net = PetriNet::new();
+/// let p = net.add_place("p", 1)?;
+/// net.add_transition("consume", [(p, 1)], [])?;
+/// let dead = deadlock_markings(&net, 100)?;
+/// assert_eq!(dead, vec![vec![0]]); // token consumed, nothing enabled
+/// # Ok(())
+/// # }
+/// ```
+pub fn deadlock_markings(net: &PetriNet, limit: usize) -> Result<Vec<Marking>, PetriError> {
+    Ok(explore(net, limit)?
+        .into_iter()
+        .filter(|m| net.enabled_transitions(m).is_empty())
+        .collect())
+}
+
+/// Per transition: is it *live* in the classical Petri sense — from every
+/// reachable marking, some firing sequence enables it again?
+///
+/// Computed on the reachability graph: `t` is live iff every reachable
+/// marking can reach a marking enabling `t`.
+///
+/// # Errors
+///
+/// Returns [`PetriError::BoundExceeded`] for (effectively) unbounded nets.
+///
+/// # Example — the paper's two servers
+///
+/// ```
+/// use rl_petri::examples::{server_net, server_net_err};
+/// use rl_petri::live_transitions;
+///
+/// # fn main() -> Result<(), rl_petri::PetriError> {
+/// // Correct server: every transition stays live.
+/// let live = live_transitions(&server_net(), 1000)?;
+/// assert!(live.iter().all(|&l| l));
+/// // Erroneous server: `result` (and others) can die.
+/// let live_err = live_transitions(&server_net_err(), 1000)?;
+/// let result = server_net_err().transition_by_name("result").unwrap();
+/// assert!(!live_err[result]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn live_transitions(net: &PetriNet, limit: usize) -> Result<Vec<bool>, PetriError> {
+    let markings = explore(net, limit)?;
+    let index: BTreeMap<&Marking, usize> =
+        markings.iter().enumerate().map(|(i, m)| (m, i)).collect();
+    let n = markings.len();
+    // Forward adjacency.
+    let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, m) in markings.iter().enumerate() {
+        for t in net.enabled_transitions(m) {
+            let m2 = net.fire(m, t).expect("enabled transition fires");
+            succ[i].push(index[&m2]);
+        }
+    }
+    let mut live = Vec::with_capacity(net.transition_count());
+    for t in 0..net.transition_count() {
+        live.push(transition_is_live(net, t, &markings, &succ));
+    }
+    Ok(live)
+}
+
+fn transition_is_live(
+    net: &PetriNet,
+    t: TransitionId,
+    markings: &[Marking],
+    succ: &[Vec<usize>],
+) -> bool {
+    // Backward closure of "enables t".
+    let n = markings.len();
+    let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, js) in succ.iter().enumerate() {
+        for &j in js {
+            rev[j].push(i);
+        }
+    }
+    let mut good = vec![false; n];
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    for (i, m) in markings.iter().enumerate() {
+        if net.is_enabled(m, t) {
+            good[i] = true;
+            queue.push_back(i);
+        }
+    }
+    while let Some(i) = queue.pop_front() {
+        for &j in &rev[i] {
+            if !good[j] {
+                good[j] = true;
+                queue.push_back(j);
+            }
+        }
+    }
+    good.iter().all(|&g| g)
+}
+
+impl PetriNet {
+    /// Renders the net in Graphviz DOT syntax: circles for places (labeled
+    /// with their initial tokens), boxes for transitions.
+    pub fn to_dot(&self, name: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph {name} {{");
+        let _ = writeln!(out, "  rankdir=LR;");
+        for (i, place) in self.place_names().iter().enumerate() {
+            let tokens = self.initial_marking()[i];
+            let label = if tokens > 0 {
+                format!("{place}\\n●{tokens}")
+            } else {
+                place.clone()
+            };
+            let _ = writeln!(out, "  p{i} [shape=circle, label=\"{label}\"];");
+        }
+        for (j, trans) in self.transitions().iter().enumerate() {
+            let _ = writeln!(out, "  t{j} [shape=box, label=\"{}\"];", trans.name);
+            for &(p, w) in &trans.pre {
+                let lbl = if w > 1 {
+                    format!(" [label=\"{w}\"]")
+                } else {
+                    String::new()
+                };
+                let _ = writeln!(out, "  p{p} -> t{j}{lbl};");
+            }
+            for &(p, w) in &trans.post {
+                let lbl = if w > 1 {
+                    format!(" [label=\"{w}\"]")
+                } else {
+                    String::new()
+                };
+                let _ = writeln!(out, "  t{j} -> p{p}{lbl};");
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::{server_net, server_net_err};
+
+    #[test]
+    fn server_has_no_deadlocks() {
+        assert!(deadlock_markings(&server_net(), 1000).unwrap().is_empty());
+        assert!(deadlock_markings(&server_net_err(), 1000)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn liveness_mirrors_relative_liveness_verdicts() {
+        let live = live_transitions(&server_net(), 1000).unwrap();
+        assert!(live.iter().all(|&l| l), "all of Figure 2 is live");
+        let net = server_net_err();
+        let live_err = live_transitions(&net, 1000).unwrap();
+        for (name, expect) in [
+            ("request", true),
+            ("no", true),
+            ("reject", true),
+            // After `lock`, these can never fire again:
+            ("yes", false),
+            ("result", false),
+            ("lock", false),
+        ] {
+            let t = net.transition_by_name(name).unwrap();
+            assert_eq!(live_err[t], expect, "transition {name}");
+        }
+    }
+
+    #[test]
+    fn deadlock_found_in_consuming_net() {
+        let mut net = PetriNet::new();
+        let p = net.add_place("p", 2).unwrap();
+        net.add_transition("burn", [(p, 1)], []).unwrap();
+        let dead = deadlock_markings(&net, 100).unwrap();
+        assert_eq!(dead, vec![vec![0]]);
+        let live = live_transitions(&net, 100).unwrap();
+        assert_eq!(live, vec![false]);
+    }
+
+    #[test]
+    fn dot_renders_weights() {
+        let mut net = PetriNet::new();
+        let p = net.add_place("pool", 3).unwrap();
+        let q = net.add_place("out", 0).unwrap();
+        net.add_transition("take2", [(p, 2)], [(q, 1)]).unwrap();
+        let dot = net.to_dot("net");
+        assert!(dot.contains("shape=circle"));
+        assert!(dot.contains("shape=box"));
+        assert!(dot.contains("label=\"2\""));
+        assert!(dot.contains("●3"));
+    }
+}

@@ -1,0 +1,224 @@
+//! The paper's running example (Figures 1–3).
+//!
+//! A server that, after having received a *request*, sends a *result* or a
+//! *rejection* to its client, depending on whether the resource it manages
+//! has been *freed* or *locked*. The internal decision is taken by the
+//! actions *yes* (resource free — grant) and *no* (resource locked —
+//! reject).
+
+use rl_automata::TransitionSystem;
+
+use crate::net::PetriNet;
+use crate::reachability::reachability_graph;
+
+/// The action names of the server system, in a fixed order.
+pub const SERVER_ACTIONS: [&str; 7] = ["request", "yes", "no", "result", "reject", "lock", "free"];
+
+/// The observable actions kept by the paper's Section 2 abstraction.
+pub const SERVER_OBSERVABLES: [&str; 3] = ["request", "result", "reject"];
+
+/// The Figure 1 server as a Petri net.
+///
+/// Places: the client/server conversation state (`idle`, `busy`, `granting`,
+/// `rejecting`) and the resource state (`free`, `locked`). Transitions:
+///
+/// * `request`: idle → busy,
+/// * `yes`: busy → granting (checks the resource is free),
+/// * `no`: busy → rejecting (checks the resource is locked),
+/// * `result`: granting → idle,
+/// * `reject`: rejecting → idle,
+/// * `lock`: free → locked, `free`: locked → free.
+///
+/// # Example
+///
+/// ```
+/// use rl_petri::examples::server_net;
+/// use rl_petri::reachability_graph;
+///
+/// # fn main() -> Result<(), rl_petri::PetriError> {
+/// let net = server_net();
+/// let ts = reachability_graph(&net, 1000)?;
+/// assert_eq!(ts.state_count(), 8); // Figure 2
+/// # Ok(())
+/// # }
+/// ```
+pub fn server_net() -> PetriNet {
+    let mut net = PetriNet::new();
+    let idle = net.add_place("idle", 1).expect("fresh net");
+    let busy = net.add_place("busy", 0).expect("fresh net");
+    let granting = net.add_place("granting", 0).expect("fresh net");
+    let rejecting = net.add_place("rejecting", 0).expect("fresh net");
+    let free = net.add_place("free", 1).expect("fresh net");
+    let locked = net.add_place("locked", 0).expect("fresh net");
+
+    net.add_transition("request", [(idle, 1)], [(busy, 1)])
+        .expect("valid places");
+    // The check transitions read the resource state (consume and reproduce).
+    net.add_transition("yes", [(busy, 1), (free, 1)], [(granting, 1), (free, 1)])
+        .expect("valid places");
+    net.add_transition(
+        "no",
+        [(busy, 1), (locked, 1)],
+        [(rejecting, 1), (locked, 1)],
+    )
+    .expect("valid places");
+    net.add_transition("result", [(granting, 1)], [(idle, 1)])
+        .expect("valid places");
+    net.add_transition("reject", [(rejecting, 1)], [(idle, 1)])
+        .expect("valid places");
+    net.add_transition("lock", [(free, 1)], [(locked, 1)])
+        .expect("valid places");
+    net.add_transition("free", [(locked, 1)], [(free, 1)])
+        .expect("valid places");
+    net
+}
+
+/// The erroneous variant of Figure 3: once the resource is locked it can
+/// never be freed again (`free` is missing), and a request can also be
+/// rejected when the resource is available (extra `no` branch on a free
+/// resource).
+pub fn server_net_err() -> PetriNet {
+    let mut net = PetriNet::new();
+    let idle = net.add_place("idle", 1).expect("fresh net");
+    let busy = net.add_place("busy", 0).expect("fresh net");
+    let granting = net.add_place("granting", 0).expect("fresh net");
+    let rejecting = net.add_place("rejecting", 0).expect("fresh net");
+    let free = net.add_place("free", 1).expect("fresh net");
+    let locked = net.add_place("locked", 0).expect("fresh net");
+
+    net.add_transition("request", [(idle, 1)], [(busy, 1)])
+        .expect("valid places");
+    net.add_transition("yes", [(busy, 1), (free, 1)], [(granting, 1), (free, 1)])
+        .expect("valid places");
+    // The error is modeled faithfully to Figure 3: `no` fires regardless of
+    // the resource (reject even when free), and `free` does not exist.
+    net.add_transition("no", [(busy, 1)], [(rejecting, 1)])
+        .expect("valid places");
+    net.add_transition("result", [(granting, 1)], [(idle, 1)])
+        .expect("valid places");
+    net.add_transition("reject", [(rejecting, 1)], [(idle, 1)])
+        .expect("valid places");
+    net.add_transition("lock", [(free, 1)], [(locked, 1)])
+        .expect("valid places");
+    net
+}
+
+/// The behaviors of the Figure 1 net — the paper's Figure 2 — as a
+/// transition system (reachability graph).
+pub fn server_behaviors() -> TransitionSystem {
+    reachability_graph(&server_net(), 1_000).expect("the server net is 1-bounded")
+}
+
+/// The behaviors of the erroneous net — the paper's Figure 3.
+pub fn server_err_behaviors() -> TransitionSystem {
+    reachability_graph(&server_net_err(), 1_000).expect("the erroneous net is 1-bounded")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reachability::place_bounds;
+    use rl_automata::parse_word;
+
+    #[test]
+    fn fig1_net_shape() {
+        let net = server_net();
+        assert_eq!(net.place_count(), 6);
+        assert_eq!(net.transition_count(), 7);
+        assert_eq!(place_bounds(&net, 1000).unwrap(), vec![1; 6]);
+    }
+
+    #[test]
+    fn fig2_reachability_graph_matches_paper() {
+        let ts = server_behaviors();
+        // 4 conversation states × 2 resource states.
+        assert_eq!(ts.state_count(), 8);
+        // Every state is deadlock-free (the paper's system never halts).
+        for q in 0..ts.state_count() {
+            assert!(!ts.is_deadlock(q), "state {q} deadlocks");
+        }
+    }
+
+    #[test]
+    fn fig2_admits_papers_unfair_computation() {
+        // lock · (request · no · reject)^ω is a computation of the system.
+        let ts = server_behaviors();
+        let ab = ts.alphabet().clone();
+        let prefix = parse_word(&ab, "lock").unwrap();
+        let cycle = parse_word(&ab, "request.no.reject").unwrap();
+        let mut word = prefix;
+        for _ in 0..5 {
+            word.extend_from_slice(&cycle);
+        }
+        assert!(ts.admits(&word));
+    }
+
+    #[test]
+    fn fig2_always_can_produce_result() {
+        // From every reachable state a `result` is still producible — the
+        // semantic heart of □◇result being a *relative* liveness property.
+        let ts = server_behaviors();
+        let ab = ts.alphabet().clone();
+        let result = ab.symbol("result").unwrap();
+        let nfa = ts.to_nfa();
+        // Mark states that can reach a `result` edge.
+        for q in 0..ts.state_count() {
+            let mut reached = vec![false; ts.state_count()];
+            let mut stack = vec![q];
+            reached[q] = true;
+            let mut ok = false;
+            while let Some(p) = stack.pop() {
+                for (a, t) in ts.enabled(p) {
+                    if a == result {
+                        ok = true;
+                    }
+                    if !reached[t] {
+                        reached[t] = true;
+                        stack.push(t);
+                    }
+                }
+            }
+            assert!(ok, "state {q} cannot produce result anymore");
+        }
+        let _ = nfa;
+    }
+
+    #[test]
+    fn fig3_lock_kills_results_forever() {
+        let ts = server_err_behaviors();
+        let ab = ts.alphabet().clone();
+        let lock = ab.symbol("lock").unwrap();
+        let result = ab.symbol("result").unwrap();
+        // After `lock`, no continuation contains `result`.
+        let after_lock = ts.run(&[lock]);
+        assert!(!after_lock.is_empty());
+        for q in after_lock {
+            let mut reached = vec![false; ts.state_count()];
+            let mut stack = vec![q];
+            reached[q] = true;
+            while let Some(p) = stack.pop() {
+                for (a, t) in ts.enabled(p) {
+                    assert_ne!(a, result, "result reachable after lock");
+                    if !reached[t] {
+                        reached[t] = true;
+                        stack.push(t);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fig3_rejects_even_when_free() {
+        let ts = server_err_behaviors();
+        let ab = ts.alphabet().clone();
+        let w = parse_word(&ab, "request.no.reject").unwrap();
+        assert!(ts.admits(&w), "free-resource rejection must be possible");
+    }
+
+    #[test]
+    fn behaviors_language_is_prefix_closed() {
+        assert!(server_behaviors().to_nfa().is_prefix_closed());
+        assert!(server_err_behaviors().to_nfa().is_prefix_closed());
+    }
+}

@@ -1,0 +1,51 @@
+//! Serde support (behind the `serde` feature): nets serialize as their
+//! place/transition declarations and rebuild through the validating
+//! constructors.
+
+use serde::{Deserialize, Serialize};
+
+use crate::net::PetriNet;
+
+#[derive(Serialize, Deserialize)]
+struct NetParts {
+    /// `(name, initial tokens)` per place, in id order.
+    places: Vec<(String, u32)>,
+    /// `(name, pre, post)` per transition, arcs as `(place, weight)`.
+    transitions: Vec<(String, Vec<(usize, u32)>, Vec<(usize, u32)>)>,
+}
+
+impl Serialize for PetriNet {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let initial = self.initial_marking();
+        NetParts {
+            places: self
+                .place_names()
+                .iter()
+                .cloned()
+                .zip(initial.iter().copied())
+                .collect(),
+            transitions: self
+                .transitions()
+                .iter()
+                .map(|t| (t.name.clone(), t.pre.clone(), t.post.clone()))
+                .collect(),
+        }
+        .serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for PetriNet {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<PetriNet, D::Error> {
+        let parts = NetParts::deserialize(deserializer)?;
+        let mut net = PetriNet::new();
+        for (name, tokens) in parts.places {
+            net.add_place(name, tokens)
+                .map_err(serde::de::Error::custom)?;
+        }
+        for (name, pre, post) in parts.transitions {
+            net.add_transition(name, pre, post)
+                .map_err(serde::de::Error::custom)?;
+        }
+        Ok(net)
+    }
+}

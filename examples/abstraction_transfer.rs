@@ -1,0 +1,93 @@
+//! Verification by behavior abstraction (Section 8, Corollary 8.4).
+//!
+//! Both the correct server (Figure 2) and the broken one (Figure 3)
+//! abstract — under the homomorphism keeping only `request`, `result`,
+//! `reject` — to the *same* two-state system (Figure 4). What separates
+//! them is *simplicity* of the homomorphism (Definition 6.3): simple for
+//! Figure 2, not simple for Figure 3. Only in the simple case may the
+//! abstract verdict be transferred down.
+//!
+//! Run with: `cargo run --example abstraction_transfer`
+
+use relative_liveness::prelude::*;
+
+fn analyze(name: &str, system: &TransitionSystem) -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== {name} ===");
+    let keep = ["request", "result", "reject"];
+    let h = Homomorphism::hiding(system.alphabet(), keep)?;
+    let eta = parse("[]<>result")?;
+
+    let analysis = verify_via_abstraction(system, &h, &eta)?;
+    println!(
+        "  abstract system (Figure 4): {} states, {} transitions",
+        analysis.abstract_system.state_count(),
+        analysis.abstract_system.transition_count()
+    );
+    println!(
+        "  abstract relative liveness of {eta}: {}",
+        if analysis.abstract_verdict.holds {
+            "holds"
+        } else {
+            "fails"
+        }
+    );
+    println!(
+        "  h(L) has maximal words: {}",
+        if analysis.maximal_words { "yes" } else { "no" }
+    );
+    match &analysis.simplicity.violation {
+        None => println!(
+            "  simplicity of h (checked over {} continuation pairs): SIMPLE",
+            analysis.simplicity.pairs_checked
+        ),
+        Some(w) => println!(
+            "  simplicity of h: NOT SIMPLE — violated at '{}'",
+            format_word(system.alphabet(), w)
+        ),
+    }
+    println!(
+        "  transported property R̄(η): {}",
+        analysis.transported_formula
+    );
+    match &analysis.conclusion {
+        TransferConclusion::ConcreteHolds => {
+            println!("  ⇒ CONCLUSION: the concrete system relatively satisfies R̄(η)");
+            println!("    (Theorem 8.2 — verified on the 2-state abstraction only!)");
+        }
+        TransferConclusion::ConcreteFails {
+            doomed_abstract_prefix,
+        } => println!(
+            "  ⇒ CONCLUSION: fails concretely too (Theorem 8.3); abstract doomed \
+             prefix '{}'",
+            format_word(h.target(), doomed_abstract_prefix)
+        ),
+        TransferConclusion::InconclusiveNotSimple { violation } => {
+            println!("  ⇒ CONCLUSION: INCONCLUSIVE — h is not simple (Definition 6.3)");
+            println!(
+                "    the abstract 'holds' may NOT be transferred; violation at '{}'",
+                format_word(system.alphabet(), violation)
+            );
+        }
+        TransferConclusion::InconclusiveMaximalWords => {
+            println!("  ⇒ CONCLUSIVE: h(L) has maximal words — apply the #-extension first")
+        }
+    }
+
+    // Ground truth, computed directly on the concrete system:
+    let truth = check_transported_concrete(system, &h, &eta)?;
+    println!(
+        "  ground truth (direct concrete check of R̄(η)): {}",
+        if truth.holds { "holds" } else { "fails" }
+    );
+    println!();
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    analyze("Correct server (Figure 2)", &server_behaviors())?;
+    analyze("Erroneous server (Figure 3)", &server_err_behaviors())?;
+
+    println!("Note how both systems share the same Figure 4 abstraction — only");
+    println!("the simplicity check tells the sound transfer from the unsound one.");
+    Ok(())
+}

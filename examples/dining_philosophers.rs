@@ -1,0 +1,144 @@
+//! Dining philosophers through the lens of relative liveness.
+//!
+//! Two philosophers share two forks. In the *polite* protocol a philosopher
+//! picks up both forks atomically (no deadlock); in the *greedy* protocol
+//! each grabs their left fork first — the classic deadlock.
+//!
+//! Relative liveness asks the paper's question: can "philosopher 1 eats
+//! infinitely often" be achieved by *some* fair implementation?
+//!
+//! The answer exposes a subtlety of the behavior semantics: `lim(L)`
+//! contains only *infinite* runs, so the greedy protocol's deadlock branch
+//! simply vanishes from the behavior set — `□◇eat1` is relatively live in
+//! **both** protocols! The deadlock shows up one level down, as a failure
+//! of `L = pre(lim(L))`: the firing sequence `grab1L·grab2L` is executable
+//! but extends to no behavior at all. (In the paper's terms: the *system
+//! language* is not machine-closed with respect to its own limit.) The
+//! example checks both.
+//!
+//! Run with: `cargo run --example dining_philosophers`
+
+use relative_liveness::prelude::*;
+
+/// Polite protocol: `take_i` acquires both forks at once, `eat_i`, then
+/// `put_i` releases both.
+fn polite() -> Result<PetriNet, Box<dyn std::error::Error>> {
+    let mut net = PetriNet::new();
+    let fork_l = net.add_place("forkL", 1)?;
+    let fork_r = net.add_place("forkR", 1)?;
+    let think1 = net.add_place("think1", 1)?;
+    let eat1p = net.add_place("eating1", 0)?;
+    let think2 = net.add_place("think2", 1)?;
+    let eat2p = net.add_place("eating2", 0)?;
+    net.add_transition(
+        "take1",
+        [(think1, 1), (fork_l, 1), (fork_r, 1)],
+        [(eat1p, 1)],
+    )?;
+    net.add_transition("eat1", [(eat1p, 1)], [(eat1p, 1)])?;
+    net.add_transition(
+        "put1",
+        [(eat1p, 1)],
+        [(think1, 1), (fork_l, 1), (fork_r, 1)],
+    )?;
+    net.add_transition(
+        "take2",
+        [(think2, 1), (fork_l, 1), (fork_r, 1)],
+        [(eat2p, 1)],
+    )?;
+    net.add_transition("eat2", [(eat2p, 1)], [(eat2p, 1)])?;
+    net.add_transition(
+        "put2",
+        [(eat2p, 1)],
+        [(think2, 1), (fork_l, 1), (fork_r, 1)],
+    )?;
+    Ok(net)
+}
+
+/// Greedy protocol: left fork first, then right fork — deadlockable.
+fn greedy() -> Result<PetriNet, Box<dyn std::error::Error>> {
+    let mut net = PetriNet::new();
+    let fork_l = net.add_place("forkL", 1)?;
+    let fork_r = net.add_place("forkR", 1)?;
+    let think1 = net.add_place("think1", 1)?;
+    let has_l1 = net.add_place("hasL1", 0)?;
+    let eat1p = net.add_place("eating1", 0)?;
+    let think2 = net.add_place("think2", 1)?;
+    let has_l2 = net.add_place("hasL2", 0)?;
+    let eat2p = net.add_place("eating2", 0)?;
+    // Philosopher 1: left = forkL, right = forkR.
+    net.add_transition("grab1L", [(think1, 1), (fork_l, 1)], [(has_l1, 1)])?;
+    net.add_transition("grab1R", [(has_l1, 1), (fork_r, 1)], [(eat1p, 1)])?;
+    net.add_transition("eat1", [(eat1p, 1)], [(eat1p, 1)])?;
+    net.add_transition(
+        "put1",
+        [(eat1p, 1)],
+        [(think1, 1), (fork_l, 1), (fork_r, 1)],
+    )?;
+    // Philosopher 2: left = forkR, right = forkL (circular order).
+    net.add_transition("grab2L", [(think2, 1), (fork_r, 1)], [(has_l2, 1)])?;
+    net.add_transition("grab2R", [(has_l2, 1), (fork_l, 1)], [(eat2p, 1)])?;
+    net.add_transition("eat2", [(eat2p, 1)], [(eat2p, 1)])?;
+    net.add_transition(
+        "put2",
+        [(eat2p, 1)],
+        [(think2, 1), (fork_l, 1), (fork_r, 1)],
+    )?;
+    Ok(net)
+}
+
+fn analyze(name: &str, net: &PetriNet) -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== {name} ===");
+    let ts = reachability_graph(net, 10_000)?;
+    let deadlocks = (0..ts.state_count()).filter(|&q| ts.is_deadlock(q)).count();
+    println!(
+        "  reachability graph: {} states, {} transitions, {} deadlock state(s)",
+        ts.state_count(),
+        ts.transition_count(),
+        deadlocks
+    );
+    let eta = parse("[]<>eat1")?;
+    let verdict = is_relative_liveness_of_ts(&ts, &Property::formula(eta.clone()))?;
+    match &verdict.doomed_prefix {
+        None => {
+            println!("  □◇eat1 is a RELATIVE LIVENESS property of lim(L).");
+            let imp = synthesize_fair_implementation(&ts, &Property::formula(eta))?;
+            let r = run(&imp.system, &mut AgingScheduler::new(), 600);
+            let eat1 = imp.system.alphabet().symbol("eat1").unwrap();
+            println!(
+                "  Theorem 5.1 implementation: {} states; fair run eats {} times in {} steps.",
+                imp.system.state_count(),
+                r.action_counts().get(&eat1).copied().unwrap_or(0),
+                r.len()
+            );
+        }
+        Some(w) => {
+            println!(
+                "  □◇eat1 FAILS relatively — doomed prefix: '{}'",
+                format_word(ts.alphabet(), w)
+            );
+            println!("  No fairness assumption can recover from this prefix.");
+        }
+    }
+    // lim(L) only contains infinite runs, so deadlocks are invisible to the
+    // relative check above. They surface as L ≠ pre(lim(L)): an executable
+    // firing sequence that is a prefix of no behavior.
+    let language = ts.to_nfa().determinize();
+    let live_prefixes = behaviors_of_ts(&ts).prefix_nfa().determinize();
+    match dfa_included(&language, &live_prefixes) {
+        None => println!("  L = pre(lim L): every firing sequence extends to a behavior."),
+        Some(w) => println!(
+            "  DEADLOCK HAZARD: firing sequence '{}' extends to no behavior \
+             (L ≠ pre(lim L)) — relative liveness over lim(L) cannot see it.",
+            format_word(ts.alphabet(), &w)
+        ),
+    }
+    println!();
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    analyze("Polite protocol (atomic fork pickup)", &polite()?)?;
+    analyze("Greedy protocol (left fork first)", &greedy()?)?;
+    Ok(())
+}

@@ -1,0 +1,163 @@
+//! Feature-interaction detection by behavior abstraction — a telephony
+//! scenario in the spirit of the intelligent-network case study the paper
+//! cites (Capellmann et al., CAV '96), rebuilt from open parts.
+//!
+//! A call handler is composed with two subscriber features, *call
+//! forwarding* (CF) and *voicemail* (VM). Feature toggles are internal
+//! (hidden by the abstraction); the observable actions are `call`,
+//! `deliver`, `forward`, `vmrec`. The question: is `□◇deliver` —
+//! "calls keep being delivered to the subscriber" — achievable under
+//! fairness, i.e. a relative liveness property?
+//!
+//! * In the correct configuration, CF can always be switched off again:
+//!   the property is relatively live, the hiding homomorphism is simple,
+//!   and the verdict is obtained on a small abstraction.
+//! * In the buggy configuration the `cfoff` capability is lost (a classic
+//!   feature-interaction defect): once CF activates, delivery is dead. The
+//!   abstraction *looks identical* — only the simplicity check exposes
+//!   that transferring the abstract verdict would be unsound.
+//!
+//! Run with: `cargo run --example feature_interaction`
+
+use relative_liveness::prelude::*;
+
+/// The call handler: delivers, forwards, or records a ringing call.
+fn handler() -> Result<TransitionSystem, Box<dyn std::error::Error>> {
+    let ab = Alphabet::new(["call", "deliver", "forward", "vmrec"])?;
+    let call = ab.symbol("call").unwrap();
+    let deliver = ab.symbol("deliver").unwrap();
+    let forward = ab.symbol("forward").unwrap();
+    let vmrec = ab.symbol("vmrec").unwrap();
+    let mut ts = TransitionSystem::new(ab);
+    let idle = ts.add_labeled_state("idle");
+    let ringing = ts.add_labeled_state("ringing");
+    ts.set_initial(idle);
+    ts.add_transition(idle, call, ringing);
+    ts.add_transition(ringing, deliver, idle);
+    ts.add_transition(ringing, forward, idle);
+    ts.add_transition(ringing, vmrec, idle);
+    Ok(ts)
+}
+
+/// Call forwarding: `forward` only when active; `deliver` only when
+/// inactive (forwarding takes the call away from the subscriber).
+/// `with_off` controls whether the feature can ever be deactivated.
+fn call_forwarding(with_off: bool) -> Result<TransitionSystem, Box<dyn std::error::Error>> {
+    let names: Vec<&str> = if with_off {
+        vec!["cfon", "cfoff", "forward", "deliver"]
+    } else {
+        vec!["cfon", "forward", "deliver"]
+    };
+    let ab = Alphabet::new(names)?;
+    let cfon = ab.symbol("cfon").unwrap();
+    let forward = ab.symbol("forward").unwrap();
+    let deliver = ab.symbol("deliver").unwrap();
+    let mut ts = TransitionSystem::new(ab.clone());
+    let off = ts.add_labeled_state("cf-off");
+    let on = ts.add_labeled_state("cf-on");
+    ts.set_initial(off);
+    ts.add_transition(off, cfon, on);
+    ts.add_transition(off, deliver, off);
+    ts.add_transition(on, forward, on);
+    if with_off {
+        let cfoff = ab.symbol("cfoff").unwrap();
+        ts.add_transition(on, cfoff, off);
+    }
+    Ok(ts)
+}
+
+/// Voicemail: `vmrec` only while enabled; always re-toggleable.
+fn voicemail() -> Result<TransitionSystem, Box<dyn std::error::Error>> {
+    let ab = Alphabet::new(["vmon", "vmoff", "vmrec"])?;
+    let vmon = ab.symbol("vmon").unwrap();
+    let vmoff = ab.symbol("vmoff").unwrap();
+    let vmrec = ab.symbol("vmrec").unwrap();
+    let mut ts = TransitionSystem::new(ab);
+    let off = ts.add_labeled_state("vm-off");
+    let on = ts.add_labeled_state("vm-on");
+    ts.set_initial(off);
+    ts.add_transition(off, vmon, on);
+    ts.add_transition(on, vmoff, off);
+    ts.add_transition(on, vmrec, on);
+    Ok(ts)
+}
+
+fn analyze(name: &str, cf_can_deactivate: bool) -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== {name} ===");
+    let system = handler()?
+        .compose(&call_forwarding(cf_can_deactivate)?)?
+        .compose(&voicemail()?)?;
+    println!(
+        "  composed system: {} states, {} transitions over {}",
+        system.state_count(),
+        system.transition_count(),
+        system.alphabet()
+    );
+
+    let observable = ["call", "deliver", "forward", "vmrec"];
+    let h = Homomorphism::hiding(system.alphabet(), observable)?;
+    let eta = parse("[]<>deliver")?;
+
+    let analysis = verify_via_abstraction(&system, &h, &eta)?;
+    println!(
+        "  abstraction: {} states (concrete had {})",
+        analysis.abstract_system.state_count(),
+        system.state_count()
+    );
+    println!(
+        "  abstract □◇deliver: {} | h simple: {}",
+        if analysis.abstract_verdict.holds {
+            "holds"
+        } else {
+            "fails"
+        },
+        analysis.simplicity.simple
+    );
+    match &analysis.conclusion {
+        TransferConclusion::ConcreteHolds => {
+            println!("  ⇒ delivery stays live under fairness — no harmful interaction")
+        }
+        TransferConclusion::InconclusiveNotSimple { violation } => {
+            println!(
+                "  ⇒ INTERACTION SUSPECT: abstraction hides a mode switch at '{}'",
+                format_word(system.alphabet(), violation)
+            );
+            // Confirm on the concrete system.
+            let direct = is_relative_liveness_of_ts(&system, &Property::formula(eta.clone()))?;
+            match &direct.doomed_prefix {
+                Some(w) => println!(
+                    "    confirmed concretely — doomed prefix '{}'",
+                    format_word(system.alphabet(), w)
+                ),
+                None => println!("    (concrete check passes — abstraction was just too coarse)"),
+            }
+        }
+        TransferConclusion::ConcreteFails {
+            doomed_abstract_prefix,
+        } => {
+            println!(
+                "  ⇒ INTERACTION FOUND on the abstraction itself: after '{}' delivery \
+                 is doomed (Theorem 8.3 transfers the failure down)",
+                format_word(h.target(), doomed_abstract_prefix)
+            );
+            let direct = is_relative_liveness_of_ts(&system, &Property::formula(eta.clone()))?;
+            if let Some(w) = &direct.doomed_prefix {
+                println!(
+                    "    confirmed concretely — doomed prefix '{}'",
+                    format_word(system.alphabet(), w)
+                );
+            }
+        }
+        TransferConclusion::InconclusiveMaximalWords => {
+            println!("  ⇒ h(L) has maximal words — apply the #-extension first")
+        }
+    }
+    println!();
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    analyze("Correct configuration (CF deactivatable)", true)?;
+    analyze("Buggy configuration (CF cannot be switched off)", false)?;
+    Ok(())
+}

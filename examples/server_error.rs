@@ -1,0 +1,60 @@
+//! The erroneous server (Figure 3): relative liveness *detects* the bug
+//! that no fairness assumption can paper over.
+//!
+//! In the broken system, once the resource is locked it can never be freed
+//! again, and requests can be rejected even when the resource is free. The
+//! decider reports the exact *doomed prefix* after which `result` is gone
+//! forever.
+//!
+//! Run with: `cargo run --example server_error`
+
+use relative_liveness::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let system = server_err_behaviors();
+    println!("Figure 3 — erroneous server:");
+    println!("  states:      {}", system.state_count());
+    println!("  transitions: {}", system.transition_count());
+
+    let behaviors = behaviors_of_ts(&system);
+    let eta = parse("[]<>result")?;
+    let property = Property::formula(eta.clone());
+
+    let verdict = is_relative_liveness(&behaviors, &property)?;
+    println!("\nRelative liveness check of {eta}:");
+    if let Some(prefix) = &verdict.doomed_prefix {
+        println!(
+            "  FAILS — doomed prefix: '{}'",
+            format_word(system.alphabet(), prefix)
+        );
+        println!("  After this prefix NO continuation inside the system can");
+        println!("  produce another result — no fairness notion can help.");
+    } else {
+        println!("  holds (unexpected!)");
+    }
+
+    // Contrast with a property the broken system still relatively satisfies:
+    // the client always gets *answers* (results or rejections).
+    let answers = parse("[]<>(result | reject)")?;
+    let ok = is_relative_liveness(&behaviors, &Property::formula(answers.clone()))?;
+    println!("\nRelative liveness check of {answers}:");
+    println!("  {}", if ok.holds { "HOLDS" } else { "fails" });
+
+    // Relative safety view (Lemma 4.4): □◇result is trivially rel-safe here?
+    let safety = is_relative_safety(&behaviors, &property)?;
+    println!("\nRelative safety check of {eta}:");
+    match &safety.escaping_behavior {
+        Some(x) => println!(
+            "  FAILS — escaping behavior: {}",
+            x.display(system.alphabet())
+        ),
+        None => println!("  holds"),
+    }
+
+    // Theorem 5.1's synthesis must refuse this system/property pair.
+    match synthesize_fair_implementation(&system, &property) {
+        Err(e) => println!("\nFair-implementation synthesis correctly refused:\n  {e}"),
+        Ok(_) => println!("\nSynthesis unexpectedly succeeded!"),
+    }
+    Ok(())
+}

@@ -1,0 +1,44 @@
+# The alternating-bit protocol over a lossy channel (22 states),
+# generated from rl_bench::alternating_bit() via render_system.
+# Try: rlcheck check examples/systems/abp.ts "[]<>deliver"
+system
+alphabet: send0 send1 ack0 ack1 deliver0 deliver1 lose deliver
+initial: s0
+s0 send0 -> s1
+s1 deliver0 -> s2
+s1 lose -> s3
+s2 send0 -> s4
+s2 deliver -> s5
+s3 send0 -> s1
+s4 lose -> s2
+s4 deliver -> s6
+s5 send0 -> s6
+s5 ack0 -> s7
+s6 ack0 -> s8
+s6 lose -> s5
+s7 send1 -> s9
+s8 deliver0 -> s10
+s8 lose -> s7
+s9 deliver1 -> s11
+s9 lose -> s12
+s10 send1 -> s13
+s11 send1 -> s14
+s11 deliver -> s15
+s12 send1 -> s9
+s13 ack0 -> s9
+s13 lose -> s16
+s14 lose -> s11
+s14 deliver -> s17
+s15 send1 -> s17
+s15 ack1 -> s0
+s16 send1 -> s13
+s16 ack0 -> s12
+s17 ack1 -> s18
+s17 lose -> s15
+s18 deliver1 -> s19
+s18 lose -> s0
+s19 send0 -> s20
+s20 ack1 -> s1
+s20 lose -> s21
+s21 send0 -> s20
+s21 ack1 -> s3

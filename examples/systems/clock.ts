@@ -1,0 +1,7 @@
+# A two-state clock in the plain transition-system format.
+system
+alphabet: tick tock chime
+initial: lo
+lo tick -> hi
+hi tock -> lo
+hi chime -> hi

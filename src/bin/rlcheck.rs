@@ -1,0 +1,231 @@
+//! `rlcheck` — command-line relative-liveness checker.
+//!
+//! ```text
+//! rlcheck check <system-file> <formula>
+//!     classical satisfaction, relative liveness and relative safety,
+//!     with counterexamples.
+//!
+//! rlcheck abstract <system-file> <formula> --keep a,b,c
+//!     the Section 8 pipeline: abstract by hiding everything but the kept
+//!     actions, check simplicity, decide on the abstraction, transfer.
+//!
+//! rlcheck simplicity <system-file> --keep a,b,c
+//!     just the Definition 6.3 simplicity check.
+//!
+//! rlcheck fair <system-file> <formula> [--steps N]
+//!     Theorem 5.1: synthesize the fair implementation and execute it with
+//!     the strongly fair aging scheduler.
+//!
+//! rlcheck dot <system-file>
+//!     Graphviz DOT output of the system.
+//! ```
+//!
+//! System files use the `system`/`petri` formats of
+//! [`relative_liveness::format`].
+
+use std::process::ExitCode;
+
+use relative_liveness::format::parse_system;
+use relative_liveness::prelude::*;
+
+fn fail(msg: impl std::fmt::Display) -> ExitCode {
+    eprintln!("rlcheck: {msg}");
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<TransitionSystem, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse_system(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn keep_list(args: &[String]) -> Option<Vec<String>> {
+    let idx = args.iter().position(|a| a == "--keep")?;
+    let raw = args.get(idx + 1)?;
+    Some(raw.split(',').map(|s| s.trim().to_owned()).collect())
+}
+
+fn cmd_check(path: &str, formula: &str) -> Result<ExitCode, String> {
+    let ts = load(path)?;
+    let eta = parse(formula).map_err(|e| e.to_string())?;
+    let behaviors = behaviors_of_ts(&ts);
+    let prop = Property::formula(eta.clone());
+
+    let sat = satisfies(&behaviors, &prop).map_err(|e| e.to_string())?;
+    println!("classical  {eta}: {}", verdict(sat.holds));
+    if let Some(x) = sat.counterexample {
+        println!("           counterexample: {}", x.display(ts.alphabet()));
+    }
+    let rl = is_relative_liveness(&behaviors, &prop).map_err(|e| e.to_string())?;
+    println!("rel-live   {eta}: {}", verdict(rl.holds));
+    if let Some(w) = &rl.doomed_prefix {
+        println!(
+            "           doomed prefix: {}",
+            format_word(ts.alphabet(), w)
+        );
+    }
+    let rs = is_relative_safety(&behaviors, &prop).map_err(|e| e.to_string())?;
+    println!("rel-safe   {eta}: {}", verdict(rs.holds));
+    if let Some(x) = rs.escaping_behavior {
+        println!("           escaping behavior: {}", x.display(ts.alphabet()));
+    }
+    Ok(if rl.holds {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn cmd_abstract(path: &str, formula: &str, keep: Vec<String>) -> Result<ExitCode, String> {
+    let ts = load(path)?;
+    let eta = parse(formula).map_err(|e| e.to_string())?;
+    let keep_refs: Vec<&str> = keep.iter().map(String::as_str).collect();
+    let h = Homomorphism::hiding(ts.alphabet(), keep_refs.iter().copied())
+        .map_err(|e| e.to_string())?;
+    let analysis = verify_via_abstraction(&ts, &h, &eta).map_err(|e| e.to_string())?;
+    println!(
+        "abstraction: {} states (concrete {})",
+        analysis.abstract_system.state_count(),
+        ts.state_count()
+    );
+    println!(
+        "abstract rel-live {eta}: {}",
+        verdict(analysis.abstract_verdict.holds)
+    );
+    println!("h simple: {}", verdict(analysis.simplicity.simple));
+    if let Some(w) = &analysis.simplicity.violation {
+        println!("  violation: {}", format_word(ts.alphabet(), w));
+    }
+    println!("maximal words in h(L): {}", analysis.maximal_words);
+    println!("transported property: {}", analysis.transported_formula);
+    let (text, code) = match &analysis.conclusion {
+        TransferConclusion::ConcreteHolds => (
+            "concrete system relatively satisfies the property (Thm 8.2)",
+            ExitCode::SUCCESS,
+        ),
+        TransferConclusion::ConcreteFails { .. } => (
+            "concrete system does NOT relatively satisfy it (Thm 8.3)",
+            ExitCode::FAILURE,
+        ),
+        TransferConclusion::InconclusiveNotSimple { .. } => (
+            "INCONCLUSIVE: homomorphism not simple — verify concretely",
+            ExitCode::from(3),
+        ),
+        TransferConclusion::InconclusiveMaximalWords => (
+            "INCONCLUSIVE: h(L) has maximal words — apply the #-extension",
+            ExitCode::from(3),
+        ),
+    };
+    println!("conclusion: {text}");
+    Ok(code)
+}
+
+fn cmd_simplicity(path: &str, keep: Vec<String>) -> Result<ExitCode, String> {
+    let ts = load(path)?;
+    let keep_refs: Vec<&str> = keep.iter().map(String::as_str).collect();
+    let h = Homomorphism::hiding(ts.alphabet(), keep_refs.iter().copied())
+        .map_err(|e| e.to_string())?;
+    let report = check_simplicity(&h, &ts.to_nfa()).map_err(|e| e.to_string())?;
+    println!("homomorphism: {h}");
+    println!(
+        "simple: {} ({} continuation pairs checked)",
+        verdict(report.simple),
+        report.pairs_checked
+    );
+    if let Some(w) = &report.violation {
+        println!("violation word: {}", format_word(ts.alphabet(), w));
+    }
+    Ok(if report.simple {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn cmd_fair(path: &str, formula: &str, steps: usize) -> Result<ExitCode, String> {
+    let ts = load(path)?;
+    let eta = parse(formula).map_err(|e| e.to_string())?;
+    let imp = synthesize_fair_implementation(&ts, &Property::formula(eta.clone()))
+        .map_err(|e| e.to_string())?;
+    println!(
+        "synthesized implementation: {} states (original {})",
+        imp.system.state_count(),
+        ts.state_count()
+    );
+    let r = run(&imp.system, &mut AgingScheduler::new(), steps);
+    println!(
+        "strongly fair run: {} steps{}",
+        r.len(),
+        if r.deadlocked { " (deadlocked)" } else { "" }
+    );
+    let mut counts: Vec<(String, usize)> = r
+        .action_counts()
+        .into_iter()
+        .map(|(a, n)| (imp.system.alphabet().name(a).to_owned(), n))
+        .collect();
+    counts.sort();
+    for (name, n) in counts {
+        println!("  {name:<16} ×{n}");
+    }
+    if let Some(gap) = r.max_gap_between_visits(&imp.recurrent) {
+        println!("max gap between recurrent visits: {gap}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn verdict(b: bool) -> &'static str {
+    if b {
+        "HOLDS"
+    } else {
+        "fails"
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = "usage: rlcheck <check|abstract|simplicity|fair|dot> <system-file> \
+                 [<formula>] [--keep a,b,c] [--steps N]";
+    let Some(cmd) = args.first() else {
+        return fail(usage);
+    };
+    let result = match cmd.as_str() {
+        "check" => match (args.get(1), args.get(2)) {
+            (Some(path), Some(f)) => cmd_check(path, f),
+            _ => return fail(usage),
+        },
+        "abstract" => match (args.get(1), args.get(2), keep_list(&args)) {
+            (Some(path), Some(f), Some(keep)) => cmd_abstract(path, f, keep),
+            _ => return fail("abstract needs <system-file> <formula> --keep a,b,c"),
+        },
+        "simplicity" => match (args.get(1), keep_list(&args)) {
+            (Some(path), Some(keep)) => cmd_simplicity(path, keep),
+            _ => return fail("simplicity needs <system-file> --keep a,b,c"),
+        },
+        "fair" => match (args.get(1), args.get(2)) {
+            (Some(path), Some(f)) => {
+                let steps = args
+                    .iter()
+                    .position(|a| a == "--steps")
+                    .and_then(|i| args.get(i + 1))
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(1_000);
+                cmd_fair(path, f, steps)
+            }
+            _ => return fail(usage),
+        },
+        "dot" => match args.get(1) {
+            Some(path) => match load(path) {
+                Ok(ts) => {
+                    println!("{}", ts.to_dot("system"));
+                    Ok(ExitCode::SUCCESS)
+                }
+                Err(e) => Err(e),
+            },
+            None => return fail(usage),
+        },
+        other => return fail(format!("unknown command {other:?}\n{usage}")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) => fail(e),
+    }
+}

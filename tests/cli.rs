@@ -1,0 +1,136 @@
+//! End-to-end tests of the `rlcheck` command-line tool against the sample
+//! system files shipped in `examples/systems/`.
+
+use std::path::Path;
+use std::process::{Command, Output};
+
+fn rlcheck(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_rlcheck"))
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("rlcheck binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn sample_files_exist() {
+    for f in [
+        "examples/systems/server.pn",
+        "examples/systems/server_err.pn",
+        "examples/systems/clock.ts",
+    ] {
+        assert!(
+            Path::new(env!("CARGO_MANIFEST_DIR")).join(f).exists(),
+            "missing sample {f}"
+        );
+    }
+}
+
+#[test]
+fn check_reports_relative_liveness() {
+    let out = rlcheck(&["check", "examples/systems/server.pn", "[]<>result"]);
+    assert_eq!(out.status.code(), Some(0), "rel-live => exit 0");
+    let text = stdout(&out);
+    assert!(text.contains("classical  []<>result: fails"));
+    assert!(text.contains("rel-live   []<>result: HOLDS"));
+    assert!(text.contains("counterexample"));
+}
+
+#[test]
+fn check_reports_doomed_prefix() {
+    let out = rlcheck(&["check", "examples/systems/server_err.pn", "[]<>result"]);
+    assert_eq!(out.status.code(), Some(1), "not rel-live => exit 1");
+    let text = stdout(&out);
+    assert!(text.contains("rel-live   []<>result: fails"));
+    assert!(text.contains("doomed prefix: lock"));
+}
+
+#[test]
+fn abstract_pipeline_flags_non_simplicity() {
+    let out = rlcheck(&[
+        "abstract",
+        "examples/systems/server_err.pn",
+        "[]<>result",
+        "--keep",
+        "request,result,reject",
+    ]);
+    assert_eq!(out.status.code(), Some(3), "inconclusive => exit 3");
+    let text = stdout(&out);
+    assert!(text.contains("h simple: fails"));
+    assert!(text.contains("violation: lock"));
+    assert!(text.contains("INCONCLUSIVE"));
+}
+
+#[test]
+fn abstract_pipeline_transfers_on_correct_server() {
+    let out = rlcheck(&[
+        "abstract",
+        "examples/systems/server.pn",
+        "[]<>result",
+        "--keep",
+        "request,result,reject",
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = stdout(&out);
+    assert!(text.contains("h simple: HOLDS"));
+    assert!(text.contains("Thm 8.2"));
+}
+
+#[test]
+fn simplicity_subcommand() {
+    let out = rlcheck(&[
+        "simplicity",
+        "examples/systems/server.pn",
+        "--keep",
+        "request,result,reject",
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(stdout(&out).contains("simple: HOLDS"));
+}
+
+#[test]
+fn fair_subcommand_runs_scheduler() {
+    let out = rlcheck(&[
+        "fair",
+        "examples/systems/clock.ts",
+        "[]<>chime",
+        "--steps",
+        "50",
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = stdout(&out);
+    assert!(text.contains("synthesized implementation"));
+    assert!(text.contains("chime"));
+}
+
+#[test]
+fn dot_subcommand_outputs_graphviz() {
+    let out = rlcheck(&["dot", "examples/systems/clock.ts"]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = stdout(&out);
+    assert!(text.starts_with("digraph"));
+    assert!(text.contains("tick"));
+}
+
+#[test]
+fn bad_usage_exits_2() {
+    let out = rlcheck(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out2 = rlcheck(&["check", "no/such/file.pn", "[]<>x"]);
+    assert_eq!(out2.status.code(), Some(2));
+    let out3 = rlcheck(&["check", "examples/systems/clock.ts", "[[[["]);
+    assert_eq!(out3.status.code(), Some(2));
+}
+
+#[test]
+fn abp_sample_file_checks() {
+    let out = rlcheck(&["check", "examples/systems/abp.ts", "[]<>deliver"]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = stdout(&out);
+    assert!(text.contains("classical  []<>deliver: fails"));
+    assert!(text.contains("rel-live   []<>deliver: HOLDS"));
+}

@@ -1,0 +1,172 @@
+//! Reproduction of every figure of the paper (experiments E1–E7 of
+//! DESIGN.md).
+
+use relative_liveness::prelude::*;
+
+/// E1 / Figure 1: the server Petri net has the paper's shape and is
+/// 1-bounded.
+#[test]
+fn e1_fig1_server_net() {
+    let net = server_net();
+    assert_eq!(net.place_count(), 6);
+    assert_eq!(net.transition_count(), 7);
+    assert_eq!(place_bounds(&net, 1_000).unwrap(), vec![1; 6]);
+    for name in ["request", "yes", "no", "result", "reject", "lock", "free"] {
+        assert!(net.transition_by_name(name).is_some(), "missing {name}");
+    }
+}
+
+/// E2 / Figure 2: the reachability graph is the 8-state behavior diagram;
+/// its language is prefix closed and deadlock-free, and it admits the
+/// paper's unfair computation lock·(request·no·reject)^ω.
+#[test]
+fn e2_fig2_reachability_graph() {
+    let ts = server_behaviors();
+    assert_eq!(ts.state_count(), 8);
+    assert_eq!(ts.transition_count(), 16);
+    assert!(ts.to_nfa().is_prefix_closed());
+    for q in 0..ts.state_count() {
+        assert!(!ts.is_deadlock(q));
+    }
+    let ab = ts.alphabet().clone();
+    let mut word = parse_word(&ab, "lock").unwrap();
+    for _ in 0..8 {
+        word.extend(parse_word(&ab, "request.no.reject").unwrap());
+    }
+    assert!(ts.admits(&word));
+    // The paper's unfair computation is a real behavior (ω-word).
+    let lock = ab.symbol("lock").unwrap();
+    let cycle = parse_word(&ab, "request.no.reject").unwrap();
+    let x = UpWord::new(vec![lock], cycle).unwrap();
+    assert!(behaviors_of_ts(&ts).accepts_upword(&x));
+}
+
+/// E3 / Figure 2 claims: `□◇result` fails classically but is a relative
+/// liveness property.
+#[test]
+fn e3_fig2_relative_liveness_of_box_diamond_result() {
+    let behaviors = behaviors_of_ts(&server_behaviors());
+    let p = Property::formula(parse("[]<>result").unwrap());
+    let classical = satisfies(&behaviors, &p).unwrap();
+    assert!(!classical.holds);
+    // The classical counterexample has finitely many results.
+    let ab = server_behaviors().alphabet().clone();
+    let result = ab.symbol("result").unwrap();
+    let cex = classical.counterexample.unwrap();
+    assert!(cex.period().iter().all(|&s| s != result));
+
+    let relative = is_relative_liveness(&behaviors, &p).unwrap();
+    assert!(relative.holds);
+    assert_eq!(relative.doomed_prefix, None);
+}
+
+/// E4 / Figure 3: in the erroneous system no fairness can rescue
+/// `□◇result`; the decider reports `lock` as the doomed prefix.
+#[test]
+fn e4_fig3_not_relative_liveness() {
+    let ts = server_err_behaviors();
+    let behaviors = behaviors_of_ts(&ts);
+    let p = Property::formula(parse("[]<>result").unwrap());
+    let verdict = is_relative_liveness(&behaviors, &p).unwrap();
+    assert!(!verdict.holds);
+    let prefix = verdict.doomed_prefix.unwrap();
+    assert_eq!(format_word(ts.alphabet(), &prefix), "lock");
+    // But "the client keeps getting answers" is still relatively live.
+    let answers = Property::formula(parse("[]<>(result | reject)").unwrap());
+    assert!(is_relative_liveness(&behaviors, &answers).unwrap().holds);
+}
+
+/// E5 / Figure 4: both systems abstract (under h keeping request, result,
+/// reject) to the same minimized 2-state system, with the request →
+/// (result | reject) shape.
+#[test]
+fn e5_fig4_abstraction_image() {
+    let keep = ["request", "result", "reject"];
+    let good = server_behaviors();
+    let bad = server_err_behaviors();
+    let h_good = Homomorphism::hiding(good.alphabet(), keep).unwrap();
+    let h_bad = Homomorphism::hiding(bad.alphabet(), keep).unwrap();
+    let abs_good = abstract_behavior(&h_good, &good);
+    let abs_bad = abstract_behavior(&h_bad, &bad);
+    assert_eq!(abs_good.state_count(), 2);
+    assert_eq!(abs_bad.state_count(), 2);
+    // Identical abstract languages.
+    assert!(dfa_equivalent(
+        &abs_good.to_nfa().determinize(),
+        &abs_bad.to_nfa().determinize()
+    ));
+    // Shape: request then (result | reject), repeating.
+    let ab = abs_good.alphabet().clone();
+    let request = ab.symbol("request").unwrap();
+    let result = ab.symbol("result").unwrap();
+    let reject = ab.symbol("reject").unwrap();
+    assert!(abs_good.admits(&[request, result, request, reject]));
+    assert!(!abs_good.admits(&[result]));
+    assert!(!abs_good.admits(&[request, request]));
+}
+
+/// E6 / Sections 2 & 8: h is simple on the Figure-2 language, not simple on
+/// the Figure-3 language (violation at `lock`).
+#[test]
+fn e6_simplicity_separates_fig2_from_fig3() {
+    let keep = ["request", "result", "reject"];
+    let good = server_behaviors();
+    let h = Homomorphism::hiding(good.alphabet(), keep).unwrap();
+    let report = check_simplicity(&h, &good.to_nfa()).unwrap();
+    assert!(report.simple);
+    assert_eq!(report.violation, None);
+
+    let bad = server_err_behaviors();
+    let h_bad = Homomorphism::hiding(bad.alphabet(), keep).unwrap();
+    let report_bad = check_simplicity(&h_bad, &bad.to_nfa()).unwrap();
+    assert!(!report_bad.simple);
+    assert_eq!(
+        format_word(bad.alphabet(), &report_bad.violation.unwrap()),
+        "lock"
+    );
+}
+
+/// E7 / Figure 5: the `T`/`R̄` transformation, row by row.
+#[test]
+fn e7_fig5_transformation_rows() {
+    let sigma = Alphabet::new(["a", "b"]).unwrap();
+
+    // Booleans are wrapped with the skip-to-visible operator.
+    let wrapped = r_bar(&parse("a").unwrap(), &sigma).unwrap();
+    assert_eq!(wrapped.to_string(), "ε U (a & !ε) | []ε");
+
+    // b̂ (binary boolean operators) commute with T at the temporal level.
+    let or = r_bar(&parse("a U a | b U b").unwrap(), &sigma).unwrap();
+    match or {
+        Formula::Or(_, _) => {}
+        other => panic!("expected disjunction, got {other}"),
+    }
+
+    // U and R are homomorphic.
+    let until = r_bar(&parse("a U b").unwrap(), &sigma).unwrap();
+    match until {
+        Formula::Until(_, _) => {}
+        other => panic!("expected until, got {other}"),
+    }
+    let release = r_bar(&parse("a R b").unwrap(), &sigma).unwrap();
+    match release {
+        Formula::Release(_, _) => {}
+        other => panic!("expected release, got {other}"),
+    }
+
+    // O gains the ε-skipping guard.
+    let next = r_bar(&parse("X a").unwrap(), &sigma).unwrap();
+    let text = next.to_string();
+    assert!(
+        text.contains("ε U"),
+        "next must skip hidden letters: {text}"
+    );
+    assert!(
+        text.contains("[]ε"),
+        "next must be vacuous on silent tails: {text}"
+    );
+
+    // T itself (documented variant): homomorphic on U.
+    let t = transform_t(&parse("a U b").unwrap());
+    assert_eq!(t, parse("a U b").unwrap());
+}

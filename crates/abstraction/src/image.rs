@@ -1,7 +1,7 @@
 //! Images and inverse images of languages and behaviors under abstracting
 //! homomorphisms (Definitions 6.1/6.2).
 
-use rl_automata::{Nfa, TransitionSystem};
+use rl_automata::{Guard, Nfa, TransitionSystem};
 use rl_buchi::Buchi;
 
 use crate::hom::{AbstractionError, Homomorphism};
@@ -53,15 +53,30 @@ pub fn image_nfa(h: &Homomorphism, nfa: &Nfa) -> Nfa {
 /// The result is the *minimized deterministic* presentation of `h(L)`
 /// (restricted to live states), which is what the paper's Figure 4 shows.
 pub fn abstract_behavior(h: &Homomorphism, ts: &TransitionSystem) -> TransitionSystem {
+    abstract_behavior_with(h, ts, &Guard::unlimited()).expect("an unlimited guard never trips")
+}
+
+/// [`abstract_behavior`] under a resource [`Guard`]: the subset construction
+/// of `h(L)` is charged against the guard's budget.
+///
+/// # Errors
+///
+/// Returns [`AbstractionError::Automata`] carrying a budget error when the
+/// guard trips.
+pub fn abstract_behavior_with(
+    h: &Homomorphism,
+    ts: &TransitionSystem,
+    guard: &Guard,
+) -> Result<TransitionSystem, AbstractionError> {
     let img = image_nfa(h, &ts.to_nfa());
-    let min = img.determinize().min_dfa();
+    let min = img.determinize_with(guard)?.min_dfa();
     // `min` is complete; drop the rejecting sink (h(L) is prefix closed, so
     // live states are exactly the accepting ones).
     let keep: Vec<bool> = (0..min.state_count())
         .map(|q| min.is_accepting(q))
         .collect();
     let live = min.to_nfa().restrict(&keep);
-    TransitionSystem::from_nfa(&live).expect("non-empty prefix-closed language")
+    Ok(TransitionSystem::from_nfa(&live).expect("non-empty prefix-closed language"))
 }
 
 /// The inverse image `h⁻¹(L'(nfa))` over the source alphabet, for finite

@@ -55,6 +55,8 @@ mod simplicity;
 
 pub use compositional::compositional_abstract_behavior;
 pub use hom::{AbstractionError, Homomorphism};
-pub use image::{abstract_behavior, image_nfa, inverse_image_buchi, inverse_image_nfa};
-pub use maximal::{extend_with_hash, has_maximal_words, HASH_ACTION};
-pub use simplicity::{check_simplicity, SimplicityReport};
+pub use image::{
+    abstract_behavior, abstract_behavior_with, image_nfa, inverse_image_buchi, inverse_image_nfa,
+};
+pub use maximal::{extend_with_hash, has_maximal_words, has_maximal_words_with, HASH_ACTION};
+pub use simplicity::{check_simplicity, check_simplicity_with, SimplicityReport};

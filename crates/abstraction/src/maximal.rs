@@ -6,7 +6,7 @@
 //! drop it. The paper's remedy (after [Nitsche–Ochsenschläger 96]) is to
 //! extend maximal words by `{#}*`, keeping them visible in the limit.
 
-use rl_automata::{Alphabet, AutomataError, Nfa};
+use rl_automata::{Alphabet, AutomataError, Guard, Nfa};
 
 /// The terminator action used by [`extend_with_hash`].
 pub const HASH_ACTION: &str = "#";
@@ -35,7 +35,18 @@ pub const HASH_ACTION: &str = "#";
 /// # }
 /// ```
 pub fn has_maximal_words(language: &Nfa) -> bool {
-    let d = language.determinize();
+    has_maximal_words_with(language, &Guard::unlimited()).expect("an unlimited guard never trips")
+}
+
+/// [`has_maximal_words`] under a resource [`Guard`] (the subset construction
+/// on the language can blow up even over small — in particular unary —
+/// alphabets).
+///
+/// # Errors
+///
+/// Returns a budget error when the guard trips during determinization.
+pub fn has_maximal_words_with(language: &Nfa, guard: &Guard) -> Result<bool, AutomataError> {
+    let d = language.determinize_with(guard)?;
     let nfa = d.to_nfa();
     let reach = nfa.reachable();
     let coreach = nfa.coreachable();
@@ -50,10 +61,10 @@ pub fn has_maximal_words(language: &Nfa) -> bool {
             .symbols()
             .any(|a| d.next(q, a).is_some_and(|t| reach[t] && coreach[t]));
         if !extendable {
-            return true;
+            return Ok(true);
         }
     }
-    false
+    Ok(false)
 }
 
 /// The `{#}*`-extension: adds a fresh terminator action `#` and lets every

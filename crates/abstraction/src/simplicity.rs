@@ -26,7 +26,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
-use rl_automata::{equivalent_states, Dfa, Nfa, StateId, Word};
+use rl_automata::{equivalent_states, AutomataError, Dfa, Guard, Nfa, StateId, Word};
 
 use crate::hom::{AbstractionError, Homomorphism};
 use crate::image::image_nfa;
@@ -77,13 +77,31 @@ pub fn check_simplicity(
     h: &Homomorphism,
     language: &Nfa,
 ) -> Result<SimplicityReport, AbstractionError> {
+    check_simplicity_with(h, language, &Guard::unlimited())
+}
+
+/// [`check_simplicity`] under a resource [`Guard`].
+///
+/// The subset constructions for `L`, `h(L)`, and each per-state continuation
+/// image are charged against the guard's budget, as is every `(q, s)` pair
+/// the BFS examines (charged as a state).
+///
+/// # Errors
+///
+/// As [`check_simplicity`], plus [`AbstractionError::Automata`] carrying a
+/// budget error when the guard trips.
+pub fn check_simplicity_with(
+    h: &Homomorphism,
+    language: &Nfa,
+    guard: &Guard,
+) -> Result<SimplicityReport, AbstractionError> {
     h.source().check_compatible(language.alphabet())?;
-    if !language.is_prefix_closed() {
+    if !language.is_prefix_closed_with(guard)? {
         return Err(AbstractionError::NotPrefixClosed);
     }
 
     // DFA of L, restricted to live states (all of which accept: L = pre(L)).
-    let d = trim_dfa(&language.determinize());
+    let d = trim_dfa(&language.determinize_with(guard)?);
     if d.state_count() == 0 {
         // Empty language: vacuously simple (no words to check).
         return Ok(SimplicityReport {
@@ -93,16 +111,16 @@ pub fn check_simplicity(
         });
     }
     // DFA of h(L), likewise trimmed.
-    let dh = trim_dfa(&image_nfa(h, language).determinize());
+    let dh = trim_dfa(&image_nfa(h, language).determinize_with(guard)?);
 
     // Per concrete state q: DFA of h(cont(w, L)) = h(language of d from q).
     let mut image_cont: Vec<Option<Dfa>> = vec![None; d.state_count()];
-    let e_q = |q: StateId, cache: &mut Vec<Option<Dfa>>| -> Dfa {
+    let e_q = |q: StateId, cache: &mut Vec<Option<Dfa>>| -> Result<Dfa, AbstractionError> {
         if cache[q].is_none() {
             let rooted = d.rooted_at(q).to_nfa();
-            cache[q] = Some(image_nfa(h, &rooted).determinize());
+            cache[q] = Some(image_nfa(h, &rooted).determinize_with(guard)?);
         }
-        cache[q].clone().expect("just inserted")
+        Ok(cache[q].clone().expect("just inserted"))
     };
 
     // BFS over reachable (q, s) pairs, remembering a witness word per pair.
@@ -114,9 +132,11 @@ pub fn check_simplicity(
     let mut pairs_checked = 0usize;
 
     while let Some((q, s)) = queue.pop_front() {
+        guard.charge_state()?;
+        guard.note_frontier(queue.len());
         pairs_checked += 1;
-        let eq = e_q(q, &mut image_cont);
-        if !pair_is_simple(&dh, s, &eq) {
+        let eq = e_q(q, &mut image_cont)?;
+        if !pair_is_simple(&dh, s, &eq, guard)? {
             return Ok(SimplicityReport {
                 simple: false,
                 violation: Some(seen[&(q, s)].clone()),
@@ -133,10 +153,10 @@ pub fn check_simplicity(
                 },
                 None => s,
             };
-            if !seen.contains_key(&(q2, s2)) {
+            if let std::collections::btree_map::Entry::Vacant(slot) = seen.entry((q2, s2)) {
                 let mut w2 = witness.clone();
                 w2.push(a);
-                seen.insert((q2, s2), w2);
+                slot.insert(w2);
                 queue.push_back((q2, s2));
             }
         }
@@ -155,32 +175,39 @@ pub fn check_simplicity(
 /// states reached by a common `u` that is in `L(dh from s)` (i.e. the `dh`
 /// state accepts — prefix-closedness makes intermediate states accepting
 /// too), tests residual-language equivalence.
-fn pair_is_simple(dh: &Dfa, s: StateId, eq: &Dfa) -> bool {
+///
+/// The product can have `|dh| · |eq|` pairs even when both DFAs stayed within
+/// budget, so every materialized pair is charged as a state.
+fn pair_is_simple(dh: &Dfa, s: StateId, eq: &Dfa, guard: &Guard) -> Result<bool, AutomataError> {
     let mut seen: BTreeSet<(StateId, Option<StateId>)> = BTreeSet::new();
     let mut queue: VecDeque<(StateId, Option<StateId>)> = VecDeque::new();
     let start = (s, Some(eq.initial()));
+    guard.charge_state()?;
     seen.insert(start);
     queue.push_back(start);
     while let Some((t1, t2)) = queue.pop_front() {
+        guard.note_frontier(queue.len());
         if !dh.is_accepting(t1) {
             // u has left cont(h(w), h(L)); no deeper u can re-enter
             // (prefix-closed), so prune.
             continue;
         }
         if let Some(t2) = t2 {
+            guard.charge_transition()?;
             if equivalent_states(dh, t1, eq, t2) {
-                return true;
+                return Ok(true);
             }
         }
         for b in dh.alphabet().clone().symbols() {
             let Some(n1) = dh.next(t1, b) else { continue };
             let n2 = t2.and_then(|t| eq.next(t, b));
             if seen.insert((n1, n2)) {
+                guard.charge_state()?;
                 queue.push_back((n1, n2));
             }
         }
     }
-    false
+    Ok(false)
 }
 
 /// Restricts a DFA to its live (reachable and co-reachable) states.

@@ -4,6 +4,7 @@ use std::collections::BTreeMap;
 
 use crate::alphabet::{Alphabet, Symbol};
 use crate::error::AutomataError;
+use crate::guard::Guard;
 use crate::nfa::Nfa;
 use crate::word::Word;
 use crate::StateId;
@@ -231,27 +232,53 @@ impl Dfa {
         other: &Dfa,
         combine: impl Fn(bool, bool) -> bool,
     ) -> Result<Dfa, AutomataError> {
+        self.product_with(other, combine, &Guard::unlimited())
+    }
+
+    /// [`Dfa::product`] under a resource [`Guard`].
+    ///
+    /// Every materialized pair state is charged against the guard's state
+    /// budget and every product transition against its transition budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutomataError::AlphabetMismatch`] when the alphabets differ,
+    /// or a budget error when the guard trips.
+    pub fn product_with(
+        &self,
+        other: &Dfa,
+        combine: impl Fn(bool, bool) -> bool,
+        guard: &Guard,
+    ) -> Result<Dfa, AutomataError> {
         self.alphabet.check_compatible(&other.alphabet)?;
         let a = self.complete();
         let b = other.complete();
         let mut index: BTreeMap<(StateId, StateId), StateId> = BTreeMap::new();
         let mut out = Dfa::new(self.alphabet.clone());
         let mut work = vec![(a.initial, b.initial)];
+        guard.charge_state()?;
         let start = out.add_state(combine(a.accepting[a.initial], b.accepting[b.initial]));
         out.set_initial(start);
         index.insert((a.initial, b.initial), start);
         while let Some((p, q)) = work.pop() {
+            guard.note_frontier(work.len());
             let id = index[&(p, q)];
             for s in self.alphabet.symbols() {
                 let (p2, q2) = (
                     a.next(p, s).expect("complete"),
                     b.next(q, s).expect("complete"),
                 );
-                let nid = *index.entry((p2, q2)).or_insert_with(|| {
-                    let nid = out.add_state(combine(a.accepting[p2], b.accepting[q2]));
-                    work.push((p2, q2));
-                    nid
-                });
+                let nid = match index.get(&(p2, q2)) {
+                    Some(&nid) => nid,
+                    None => {
+                        guard.charge_state()?;
+                        let nid = out.add_state(combine(a.accepting[p2], b.accepting[q2]));
+                        index.insert((p2, q2), nid);
+                        work.push((p2, q2));
+                        nid
+                    }
+                };
+                guard.charge_transition()?;
                 out.set_transition(id, s, nid);
             }
         }
@@ -265,6 +292,16 @@ impl Dfa {
     /// Returns [`AutomataError::AlphabetMismatch`] when the alphabets differ.
     pub fn difference(&self, other: &Dfa) -> Result<Dfa, AutomataError> {
         self.product(other, |p, q| p && !q)
+    }
+
+    /// [`Dfa::difference`] under a resource [`Guard`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutomataError::AlphabetMismatch`] when the alphabets differ,
+    /// or a budget error when the guard trips.
+    pub fn difference_with(&self, other: &Dfa, guard: &Guard) -> Result<Dfa, AutomataError> {
+        self.product_with(other, |p, q| p && !q, guard)
     }
 
     /// Whether the language is empty.

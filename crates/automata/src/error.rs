@@ -3,6 +3,8 @@
 use std::error::Error;
 use std::fmt;
 
+use crate::guard::{Progress, Resource};
+
 /// Errors produced when constructing or combining automata.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
@@ -22,6 +24,20 @@ pub enum AutomataError {
     InvalidState(usize),
     /// An empty alphabet was supplied where a non-empty one is required.
     EmptyAlphabet,
+    /// A guarded construction exhausted its resource [`crate::Budget`].
+    BudgetExceeded {
+        /// Which limit was hit.
+        resource: Resource,
+        /// Amount consumed when the limit tripped (milliseconds for
+        /// [`Resource::WallClock`], counts otherwise).
+        spent: u64,
+        /// The configured limit.
+        limit: u64,
+        /// Partial diagnostics: work done up to the interruption.
+        partial: Progress,
+    },
+    /// A guarded construction was stopped through a [`crate::CancelToken`].
+    Cancelled(Progress),
 }
 
 impl fmt::Display for AutomataError {
@@ -34,6 +50,18 @@ impl fmt::Display for AutomataError {
             AutomataError::UnknownSymbol(s) => write!(f, "unknown symbol {s:?}"),
             AutomataError::InvalidState(q) => write!(f, "invalid state index {q}"),
             AutomataError::EmptyAlphabet => write!(f, "alphabet must not be empty"),
+            AutomataError::BudgetExceeded {
+                resource,
+                spent,
+                limit,
+                partial,
+            } => write!(
+                f,
+                "budget exceeded: {spent} {resource} used, limit {limit}; partial: {partial}"
+            ),
+            AutomataError::Cancelled(partial) => {
+                write!(f, "cancelled; partial: {partial}")
+            }
         }
     }
 }

@@ -1,0 +1,436 @@
+//! Execution governance for potentially exponential constructions: resource
+//! [`Budget`]s, wall-clock deadlines, and cooperative cancellation.
+//!
+//! Every worst-case-exponential procedure in this workspace (subset
+//! construction, products, Büchi complementation, the simplicity check, …)
+//! has a `*_with(&Guard)` variant that charges each materialized state and
+//! transition against a [`Budget`] and periodically consults the wall clock
+//! and a [`CancelToken`]. When a limit is hit the construction stops with
+//! [`AutomataError::BudgetExceeded`] carrying a [`Progress`] snapshot
+//! (states explored, frontier size, elapsed time) instead of looping or
+//! exhausting memory. The un-suffixed entry points delegate to the guarded
+//! ones with [`Guard::unlimited`], so existing callers are unaffected.
+//!
+//! A single [`Guard`] is intended to be threaded through *all* phases of one
+//! logical check, so the budget covers the end-to-end run rather than each
+//! construction separately.
+//!
+//! # Example
+//!
+//! ```
+//! use std::time::Duration;
+//! use rl_automata::{Budget, Guard};
+//!
+//! let budget = Budget::unlimited()
+//!     .with_max_states(10_000)
+//!     .with_deadline(Duration::from_secs(5));
+//! let guard = Guard::new(budget);
+//! assert!(guard.charge_state().is_ok());
+//! assert_eq!(guard.progress().states, 1);
+//! ```
+
+use std::cell::Cell;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::error::AutomataError;
+
+/// The resource dimensions a [`Budget`] can cap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resource {
+    /// Materialized automaton states.
+    States,
+    /// Materialized transitions.
+    Transitions,
+    /// Wall-clock time (reported in milliseconds).
+    WallClock,
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Resource::States => write!(f, "states"),
+            Resource::Transitions => write!(f, "transitions"),
+            Resource::WallClock => write!(f, "wall-clock milliseconds"),
+        }
+    }
+}
+
+/// Declarative resource limits for a run of the decision procedures.
+///
+/// `None` in a field means "unlimited". Budgets are plain data; attach one
+/// to a [`Guard`] to enforce it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// Wall-clock limit for the whole guarded run.
+    pub deadline: Option<Duration>,
+    /// Cap on states materialized across all guarded constructions.
+    pub max_states: Option<usize>,
+    /// Cap on transitions materialized across all guarded constructions.
+    pub max_transitions: Option<usize>,
+}
+
+impl Budget {
+    /// A budget with no limits at all.
+    pub const fn unlimited() -> Budget {
+        Budget {
+            deadline: None,
+            max_states: None,
+            max_transitions: None,
+        }
+    }
+
+    /// Returns the budget with a wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Budget {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Returns the budget with a cap on materialized states.
+    pub fn with_max_states(mut self, max_states: usize) -> Budget {
+        self.max_states = Some(max_states);
+        self
+    }
+
+    /// Returns the budget with a cap on materialized transitions.
+    pub fn with_max_transitions(mut self, max_transitions: usize) -> Budget {
+        self.max_transitions = Some(max_transitions);
+        self
+    }
+
+    /// Whether no limit is set in any dimension.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.max_states.is_none() && self.max_transitions.is_none()
+    }
+}
+
+/// A shared flag for cooperative cancellation.
+///
+/// Clone the token, hand one clone to the checking thread (inside a
+/// [`Guard`]) and keep the other; calling [`CancelToken::cancel`] makes the
+/// next guard check fail with [`AutomataError::Cancelled`].
+///
+/// # Example
+///
+/// ```
+/// use rl_automata::{Budget, CancelToken, Guard};
+///
+/// let token = CancelToken::new();
+/// let guard = Guard::with_cancel(Budget::unlimited(), token.clone());
+/// assert!(guard.check_now().is_ok());
+/// token.cancel();
+/// assert!(guard.check_now().is_err());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, not-yet-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation; all guards holding this token trip at their
+    /// next check.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// Snapshot of the work a guarded run had performed when it was interrupted
+/// (or queried): the partial diagnostics carried by
+/// [`AutomataError::BudgetExceeded`] and [`AutomataError::Cancelled`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Progress {
+    /// States materialized so far.
+    pub states: usize,
+    /// Transitions materialized so far.
+    pub transitions: usize,
+    /// Size of the active worklist/frontier at the last report.
+    pub frontier: usize,
+    /// Wall-clock time since the guard was created.
+    pub elapsed: Duration,
+}
+
+impl fmt::Display for Progress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} states, {} transitions explored (frontier {}) in {:?}",
+            self.states, self.transitions, self.frontier, self.elapsed
+        )
+    }
+}
+
+/// The cheap per-iteration handle that construction loops tick.
+///
+/// State/transition counters are `Cell`s (a guard is shared by `&` within
+/// one thread of work); the wall clock and the cancel flag are consulted
+/// only every [`Guard::CHECK_INTERVAL`] charges, so guarding adds a few
+/// nanoseconds per iteration.
+#[derive(Debug)]
+pub struct Guard {
+    budget: Budget,
+    cancel: Option<CancelToken>,
+    start: Instant,
+    states: Cell<usize>,
+    transitions: Cell<usize>,
+    frontier: Cell<usize>,
+    until_clock_check: Cell<u32>,
+}
+
+impl Guard {
+    /// How many cheap checks elapse between wall-clock/cancellation polls.
+    pub const CHECK_INTERVAL: u32 = 256;
+
+    /// A guard enforcing `budget`, with the clock starting now.
+    pub fn new(budget: Budget) -> Guard {
+        Guard {
+            budget,
+            cancel: None,
+            start: Instant::now(),
+            states: Cell::new(0),
+            transitions: Cell::new(0),
+            frontier: Cell::new(0),
+            until_clock_check: Cell::new(Self::CHECK_INTERVAL),
+        }
+    }
+
+    /// A guard with no limits (never trips).
+    pub fn unlimited() -> Guard {
+        Guard::new(Budget::unlimited())
+    }
+
+    /// A guard that additionally trips when `token` is cancelled.
+    pub fn with_cancel(budget: Budget, token: CancelToken) -> Guard {
+        let mut g = Guard::new(budget);
+        g.cancel = Some(token);
+        g
+    }
+
+    /// The budget being enforced.
+    pub fn budget(&self) -> &Budget {
+        &self.budget
+    }
+
+    /// Wall-clock time since the guard was created.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Snapshot of the work charged so far.
+    pub fn progress(&self) -> Progress {
+        Progress {
+            states: self.states.get(),
+            transitions: self.transitions.get(),
+            frontier: self.frontier.get(),
+            elapsed: self.elapsed(),
+        }
+    }
+
+    /// Records the current worklist size, for partial diagnostics.
+    pub fn note_frontier(&self, len: usize) {
+        self.frontier.set(len);
+    }
+
+    /// Charges one materialized state against the budget.
+    ///
+    /// # Errors
+    ///
+    /// [`AutomataError::BudgetExceeded`] when the state cap is exceeded;
+    /// also performs the periodic deadline/cancellation check of
+    /// [`Guard::tick`].
+    pub fn charge_state(&self) -> Result<(), AutomataError> {
+        let n = self.states.get() + 1;
+        self.states.set(n);
+        if let Some(limit) = self.budget.max_states {
+            if n > limit {
+                return Err(self.exceeded(Resource::States, n as u64, limit as u64));
+            }
+        }
+        self.tick()
+    }
+
+    /// Charges one materialized transition against the budget.
+    ///
+    /// # Errors
+    ///
+    /// [`AutomataError::BudgetExceeded`] when the transition cap is
+    /// exceeded; also performs the periodic check of [`Guard::tick`].
+    pub fn charge_transition(&self) -> Result<(), AutomataError> {
+        let n = self.transitions.get() + 1;
+        self.transitions.set(n);
+        if let Some(limit) = self.budget.max_transitions {
+            if n > limit {
+                return Err(self.exceeded(Resource::Transitions, n as u64, limit as u64));
+            }
+        }
+        self.tick()
+    }
+
+    /// Cheap cooperative checkpoint for loops that allocate nothing: every
+    /// [`Guard::CHECK_INTERVAL`] calls, polls the deadline and the cancel
+    /// token.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Guard::check_now`] on the polling iterations.
+    pub fn tick(&self) -> Result<(), AutomataError> {
+        let left = self.until_clock_check.get();
+        if left > 1 {
+            self.until_clock_check.set(left - 1);
+            return Ok(());
+        }
+        self.until_clock_check.set(Self::CHECK_INTERVAL);
+        self.check_now()
+    }
+
+    /// Immediately polls the cancel token and the wall-clock deadline.
+    ///
+    /// # Errors
+    ///
+    /// [`AutomataError::Cancelled`] when the token has been cancelled,
+    /// [`AutomataError::BudgetExceeded`] when the deadline has passed.
+    pub fn check_now(&self) -> Result<(), AutomataError> {
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                return Err(AutomataError::Cancelled(self.progress()));
+            }
+        }
+        if let Some(deadline) = self.budget.deadline {
+            let elapsed = self.start.elapsed();
+            if elapsed > deadline {
+                return Err(self.exceeded(
+                    Resource::WallClock,
+                    elapsed.as_millis() as u64,
+                    deadline.as_millis() as u64,
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn exceeded(&self, resource: Resource, spent: u64, limit: u64) -> AutomataError {
+        AutomataError::BudgetExceeded {
+            resource,
+            spent,
+            limit,
+            partial: self.progress(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_guard_never_trips() {
+        let g = Guard::unlimited();
+        for _ in 0..10_000 {
+            g.charge_state().unwrap();
+            g.charge_transition().unwrap();
+        }
+        assert_eq!(g.progress().states, 10_000);
+        assert_eq!(g.progress().transitions, 10_000);
+    }
+
+    #[test]
+    fn state_cap_trips_exactly_past_the_limit() {
+        let g = Guard::new(Budget::unlimited().with_max_states(3));
+        for _ in 0..3 {
+            g.charge_state().unwrap();
+        }
+        let err = g.charge_state().unwrap_err();
+        match err {
+            AutomataError::BudgetExceeded {
+                resource,
+                spent,
+                limit,
+                partial,
+            } => {
+                assert_eq!(resource, Resource::States);
+                assert_eq!(spent, 4);
+                assert_eq!(limit, 3);
+                assert_eq!(partial.states, 4);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transition_cap_trips() {
+        let g = Guard::new(Budget::unlimited().with_max_transitions(2));
+        g.charge_transition().unwrap();
+        g.charge_transition().unwrap();
+        assert!(matches!(
+            g.charge_transition(),
+            Err(AutomataError::BudgetExceeded {
+                resource: Resource::Transitions,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn zero_deadline_trips_within_one_check_interval() {
+        let g = Guard::new(Budget::unlimited().with_deadline(Duration::ZERO));
+        let mut tripped = false;
+        for _ in 0..=Guard::CHECK_INTERVAL {
+            if g.tick().is_err() {
+                tripped = true;
+                break;
+            }
+        }
+        assert!(tripped, "deadline of zero must trip within one interval");
+        assert!(matches!(
+            g.check_now(),
+            Err(AutomataError::BudgetExceeded {
+                resource: Resource::WallClock,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn cancellation_is_observed() {
+        let token = CancelToken::new();
+        let g = Guard::with_cancel(Budget::unlimited(), token.clone());
+        assert!(g.check_now().is_ok());
+        token.cancel();
+        match g.check_now().unwrap_err() {
+            AutomataError::Cancelled(p) => assert_eq!(p.states, 0),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frontier_is_reported_in_diagnostics() {
+        let g = Guard::new(Budget::unlimited().with_max_states(0));
+        g.note_frontier(17);
+        match g.charge_state().unwrap_err() {
+            AutomataError::BudgetExceeded { partial, .. } => assert_eq!(partial.frontier, 17),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_builder_composes() {
+        let b = Budget::unlimited()
+            .with_max_states(5)
+            .with_max_transitions(6)
+            .with_deadline(Duration::from_secs(1));
+        assert_eq!(b.max_states, Some(5));
+        assert_eq!(b.max_transitions, Some(6));
+        assert_eq!(b.deadline, Some(Duration::from_secs(1)));
+        assert!(!b.is_unlimited());
+        assert!(Budget::unlimited().is_unlimited());
+    }
+}

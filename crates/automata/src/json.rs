@@ -1,0 +1,220 @@
+//! JSON persistence (via the in-tree `rl-json` crate).
+//!
+//! Machines serialize with a stable, human-readable shape — symbols by
+//! index, transitions as triples — so the encodings survive internal
+//! representation changes:
+//!
+//! ```json
+//! {
+//!   "alphabet": ["a", "b"],
+//!   "state_count": 2,
+//!   "initial": [0],
+//!   "accepting": [1],
+//!   "transitions": [[0, 0, 1], [1, 1, 0]]
+//! }
+//! ```
+//!
+//! Deserialization re-validates every index through the ordinary
+//! constructors, so a corrupted document cannot produce an inconsistent
+//! machine.
+
+use rl_json::{FromJson, Json, JsonError, ObjBuilder, ToJson};
+
+use crate::alphabet::{Alphabet, Symbol};
+use crate::dfa::Dfa;
+use crate::nfa::Nfa;
+use crate::ts::TransitionSystem;
+
+impl ToJson for Alphabet {
+    fn to_json(&self) -> Json {
+        self.names().to_json()
+    }
+}
+
+impl FromJson for Alphabet {
+    fn from_json(value: &Json) -> Result<Alphabet, JsonError> {
+        let names = Vec::<String>::from_json(value)?;
+        Alphabet::new(names).map_err(JsonError::custom)
+    }
+}
+
+impl ToJson for Symbol {
+    fn to_json(&self) -> Json {
+        self.index().to_json()
+    }
+}
+
+impl FromJson for Symbol {
+    fn from_json(value: &Json) -> Result<Symbol, JsonError> {
+        Ok(Symbol::from_index(usize::from_json(value)?))
+    }
+}
+
+fn symbol_triples(
+    transitions: impl Iterator<Item = (usize, Symbol, usize)>,
+) -> Vec<(usize, usize, usize)> {
+    transitions.map(|(p, a, q)| (p, a.index(), q)).collect()
+}
+
+impl ToJson for Nfa {
+    fn to_json(&self) -> Json {
+        ObjBuilder::new()
+            .field("alphabet", self.alphabet().names())
+            .field("state_count", self.state_count())
+            .field(
+                "initial",
+                self.initial().iter().copied().collect::<Vec<_>>(),
+            )
+            .field(
+                "accepting",
+                (0..self.state_count())
+                    .filter(|&q| self.is_accepting(q))
+                    .collect::<Vec<_>>(),
+            )
+            .field("transitions", symbol_triples(self.transitions()))
+            .build()
+    }
+}
+
+impl FromJson for Nfa {
+    fn from_json(value: &Json) -> Result<Nfa, JsonError> {
+        let alphabet = Alphabet::from_json(value.field("alphabet")?)?;
+        let state_count = usize::from_json(value.field("state_count")?)?;
+        let initial = Vec::<usize>::from_json(value.field("initial")?)?;
+        let accepting = Vec::<usize>::from_json(value.field("accepting")?)?;
+        let transitions = Vec::<(usize, usize, usize)>::from_json(value.field("transitions")?)?;
+        let k = alphabet.len();
+        for &(_, a, _) in &transitions {
+            if a >= k {
+                return Err(JsonError::custom(format!("invalid symbol {a}")));
+            }
+        }
+        Nfa::from_parts(
+            alphabet,
+            state_count,
+            initial,
+            accepting,
+            transitions
+                .into_iter()
+                .map(|(p, a, q)| (p, Symbol::from_index(a), q)),
+        )
+        .map_err(JsonError::custom)
+    }
+}
+
+impl ToJson for Dfa {
+    fn to_json(&self) -> Json {
+        ObjBuilder::new()
+            .field("alphabet", self.alphabet().names())
+            .field("state_count", self.state_count())
+            .field("initial", self.initial())
+            .field(
+                "accepting",
+                (0..self.state_count())
+                    .filter(|&q| self.is_accepting(q))
+                    .collect::<Vec<_>>(),
+            )
+            .field("transitions", symbol_triples(self.transitions()))
+            .build()
+    }
+}
+
+impl FromJson for Dfa {
+    fn from_json(value: &Json) -> Result<Dfa, JsonError> {
+        let alphabet = Alphabet::from_json(value.field("alphabet")?)?;
+        let state_count = usize::from_json(value.field("state_count")?)?;
+        let initial = usize::from_json(value.field("initial")?)?;
+        let accepting = Vec::<usize>::from_json(value.field("accepting")?)?;
+        let transitions = Vec::<(usize, usize, usize)>::from_json(value.field("transitions")?)?;
+        let k = alphabet.len();
+        // Reject duplicate transitions per (state, symbol): a DFA document
+        // with conflicting edges is corrupt, not "last one wins".
+        let mut seen = std::collections::BTreeSet::new();
+        for &(p, a, _) in &transitions {
+            if a >= k {
+                return Err(JsonError::custom(format!("invalid symbol {a}")));
+            }
+            if !seen.insert((p, a)) {
+                return Err(JsonError::custom(format!(
+                    "duplicate transition from state {p} on symbol {a}"
+                )));
+            }
+        }
+        Dfa::from_parts(
+            alphabet,
+            state_count,
+            initial,
+            accepting,
+            transitions
+                .into_iter()
+                .map(|(p, a, q)| (p, Symbol::from_index(a), q)),
+        )
+        .map_err(JsonError::custom)
+    }
+}
+
+impl ToJson for TransitionSystem {
+    fn to_json(&self) -> Json {
+        ObjBuilder::new()
+            .field("alphabet", self.alphabet().names())
+            .field("initial", self.initial())
+            .field(
+                "labels",
+                (0..self.state_count())
+                    .map(|q| self.state_label(q))
+                    .collect::<Vec<_>>(),
+            )
+            .field("transitions", symbol_triples(self.transitions()))
+            .build()
+    }
+}
+
+impl FromJson for TransitionSystem {
+    fn from_json(value: &Json) -> Result<TransitionSystem, JsonError> {
+        let alphabet = Alphabet::from_json(value.field("alphabet")?)?;
+        let initial = usize::from_json(value.field("initial")?)?;
+        let labels = Vec::<Option<String>>::from_json(value.field("labels")?)?;
+        let transitions = Vec::<(usize, usize, usize)>::from_json(value.field("transitions")?)?;
+        let n = labels.len();
+        let mut ts = TransitionSystem::new(alphabet.clone());
+        for label in &labels {
+            match label {
+                Some(text) => ts.add_labeled_state(text.clone()),
+                None => ts.add_state(),
+            };
+        }
+        if initial >= n {
+            return Err(JsonError::custom(format!(
+                "initial state {initial} out of range"
+            )));
+        }
+        ts.set_initial(initial);
+        for (p, a, q) in transitions {
+            if p >= n || q >= n || a >= alphabet.len() {
+                return Err(JsonError::custom(format!(
+                    "transition ({p}, {a}, {q}) out of range"
+                )));
+            }
+            ts.add_transition(p, Symbol::from_index(a), q);
+        }
+        Ok(ts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Round-trip tests live in the umbrella crate's tests/serde_roundtrip.rs;
+    // here we only check that the impls exist for every persistent type.
+    use super::*;
+
+    fn assert_json<T: ToJson + FromJson>() {}
+
+    #[test]
+    fn impls_exist() {
+        assert_json::<Alphabet>();
+        assert_json::<Symbol>();
+        assert_json::<Nfa>();
+        assert_json::<Dfa>();
+        assert_json::<TransitionSystem>();
+    }
+}

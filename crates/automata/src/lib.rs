@@ -9,6 +9,11 @@
 //! * the standard algorithms: subset construction, product constructions,
 //!   complement, Hopcroft minimization, Hopcroft–Karp equivalence, language
 //!   inclusion, emptiness, reversal, prefix closure,
+//! * resource governance: [`Budget`]s, [`Guard`]s and [`CancelToken`]s that
+//!   bound every worst-case-exponential construction (`determinize_with`,
+//!   `intersection_with`, `product_with`, `dfa_included_with`) by states,
+//!   transitions, and wall-clock time, with partial diagnostics on
+//!   exhaustion,
 //! * labeled transition systems ([`TransitionSystem`]) — finite-state systems
 //!   *without acceptance conditions*, whose finite-word language is prefix
 //!   closed (Section 6 of the paper),
@@ -56,19 +61,20 @@ mod dfa;
 mod dot;
 mod equiv;
 mod error;
+mod guard;
+mod json;
 mod minimize;
 mod nfa;
 mod regex;
-#[cfg(feature = "serde")]
-mod serde_impls;
 mod sim;
 mod ts;
 mod word;
 
 pub use alphabet::{Alphabet, Symbol};
 pub use dfa::Dfa;
-pub use equiv::{dfa_equivalent, dfa_included, equivalent_states};
+pub use equiv::{dfa_equivalent, dfa_included, dfa_included_with, equivalent_states};
 pub use error::AutomataError;
+pub use guard::{Budget, CancelToken, Guard, Progress, Resource};
 pub use nfa::Nfa;
 pub use regex::Regex;
 pub use sim::{largest_simulation, simulates};

@@ -104,13 +104,18 @@ pub(crate) fn minimize(dfa: &Dfa) -> Dfa {
     let mut out = Dfa::new(d.alphabet().clone());
     let mut number: Vec<Option<StateId>> = vec![None; blocks.len()];
     let b0 = block_of[d.initial()];
-    let rep = |b: usize, blocks: &Vec<BTreeSet<StateId>>| *blocks[b].iter().next().unwrap();
+    let rep = |b: usize, blocks: &Vec<BTreeSet<StateId>>| {
+        *blocks[b]
+            .iter()
+            .next()
+            .expect("refinement keeps blocks non-empty")
+    };
     let mut queue = VecDeque::from([b0]);
     let q0 = out.add_state(d.is_accepting(rep(b0, &blocks)));
     out.set_initial(q0);
     number[b0] = Some(q0);
     while let Some(b) = queue.pop_front() {
-        let id = number[b].unwrap();
+        let id = number[b].expect("every queued block was numbered first");
         let r = rep(b, &blocks);
         for a in d.alphabet().clone().symbols() {
             let t = d.next(r, a).expect("input was completed");

@@ -5,6 +5,7 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use crate::alphabet::{Alphabet, Symbol};
 use crate::dfa::Dfa;
 use crate::error::AutomataError;
+use crate::guard::Guard;
 use crate::word::Word;
 use crate::StateId;
 
@@ -160,8 +161,8 @@ impl Nfa {
             nfa.add_state(false);
         }
         // A state accepts if its ε-closure meets the accepting set.
-        for s in 0..state_count {
-            if closure[s].iter().any(|q| accepting.contains(q)) {
+        for (s, cl) in closure.iter().enumerate().take(state_count) {
+            if cl.iter().any(|q| accepting.contains(q)) {
                 nfa.accepting[s] = true;
             }
         }
@@ -313,8 +314,8 @@ impl Nfa {
         }
         let mut seen = vec![false; self.state_count()];
         let mut queue: VecDeque<StateId> = VecDeque::new();
-        for q in 0..self.state_count() {
-            if self.accepting[q] {
+        for (q, &acc) in self.accepting.iter().enumerate() {
+            if acc {
                 seen[q] = true;
                 queue.push_back(q);
             }
@@ -410,8 +411,8 @@ impl Nfa {
     pub fn prefix_closure(&self) -> Nfa {
         let coreach = self.coreachable();
         let mut out = self.clone();
-        for q in 0..out.state_count() {
-            if coreach[q] {
+        for (q, &live) in coreach.iter().enumerate() {
+            if live {
                 out.accepting[q] = true;
             }
         }
@@ -420,19 +421,52 @@ impl Nfa {
 
     /// Whether the language is prefix closed (`L = pre(L)`).
     pub fn is_prefix_closed(&self) -> bool {
-        crate::equiv::dfa_equivalent(&self.determinize(), &self.prefix_closure().determinize())
+        self.is_prefix_closed_with(&Guard::unlimited())
+            .expect("an unlimited guard never trips")
+    }
+
+    /// [`Nfa::is_prefix_closed`] under a resource [`Guard`] (the check
+    /// determinizes the language twice).
+    ///
+    /// # Errors
+    ///
+    /// Returns a budget error when the guard trips during determinization.
+    pub fn is_prefix_closed_with(&self, guard: &Guard) -> Result<bool, AutomataError> {
+        Ok(crate::equiv::dfa_equivalent(
+            &self.determinize_with(guard)?,
+            &self.prefix_closure().determinize_with(guard)?,
+        ))
     }
 
     /// Subset construction: an equivalent [`Dfa`].
     ///
     /// Only subsets reachable from the initial subset are materialized. The
     /// empty subset is never materialized (the DFA is partial).
+    ///
+    /// Worst-case exponential (`2^n` subsets); use
+    /// [`Nfa::determinize_with`] to bound the blow-up.
     pub fn determinize(&self) -> Dfa {
+        self.determinize_with(&Guard::unlimited())
+            .expect("an unlimited guard never trips")
+    }
+
+    /// Subset construction under a resource [`Guard`].
+    ///
+    /// Each materialized subset state and DFA transition is charged against
+    /// the guard's budget, and the wall clock/cancellation flag is polled
+    /// periodically.
+    ///
+    /// # Errors
+    ///
+    /// [`AutomataError::BudgetExceeded`] or [`AutomataError::Cancelled`]
+    /// when the guard trips; the error carries partial diagnostics.
+    pub fn determinize_with(&self, guard: &Guard) -> Result<Dfa, AutomataError> {
         let mut index: BTreeMap<BTreeSet<StateId>, StateId> = BTreeMap::new();
         let mut subsets: Vec<BTreeSet<StateId>> = Vec::new();
         let mut dfa = Dfa::new(self.alphabet.clone());
 
         let start = self.initial.clone();
+        guard.charge_state()?;
         let q0 = dfa.add_state(start.iter().any(|&q| self.accepting[q]));
         index.insert(start.clone(), q0);
         subsets.push(start);
@@ -440,22 +474,29 @@ impl Nfa {
 
         let mut work = VecDeque::from([q0]);
         while let Some(d) = work.pop_front() {
+            guard.note_frontier(work.len());
             let subset = subsets[d].clone();
             for a in self.alphabet.symbols() {
                 let next = self.step(&subset, a);
                 if next.is_empty() {
                     continue;
                 }
-                let nd = *index.entry(next.clone()).or_insert_with(|| {
-                    let nd = dfa.add_state(next.iter().any(|&q| self.accepting[q]));
-                    subsets.push(next);
-                    work.push_back(nd);
-                    nd
-                });
+                let nd = match index.get(&next) {
+                    Some(&nd) => nd,
+                    None => {
+                        guard.charge_state()?;
+                        let nd = dfa.add_state(next.iter().any(|&q| self.accepting[q]));
+                        index.insert(next.clone(), nd);
+                        subsets.push(next);
+                        work.push_back(nd);
+                        nd
+                    }
+                };
+                guard.charge_transition()?;
                 dfa.set_transition(d, a, nd);
             }
         }
-        dfa
+        Ok(dfa)
     }
 
     /// Product automaton for the intersection `L(self) ∩ L(other)`.
@@ -464,12 +505,24 @@ impl Nfa {
     ///
     /// Returns [`AutomataError::AlphabetMismatch`] when the alphabets differ.
     pub fn intersection(&self, other: &Nfa) -> Result<Nfa, AutomataError> {
+        self.intersection_with(other, &Guard::unlimited())
+    }
+
+    /// Intersection product under a resource [`Guard`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutomataError::AlphabetMismatch`] when the alphabets
+    /// differ, [`AutomataError::BudgetExceeded`]/[`AutomataError::Cancelled`]
+    /// when the guard trips.
+    pub fn intersection_with(&self, other: &Nfa, guard: &Guard) -> Result<Nfa, AutomataError> {
         self.alphabet.check_compatible(&other.alphabet)?;
         let mut index: BTreeMap<(StateId, StateId), StateId> = BTreeMap::new();
         let mut out = Nfa::new(self.alphabet.clone());
         let mut work = VecDeque::new();
         for &p in &self.initial {
             for &q in &other.initial {
+                guard.charge_state()?;
                 let id = out.add_state(self.accepting[p] && other.accepting[q]);
                 index.insert((p, q), id);
                 out.initial.insert(id);
@@ -477,15 +530,22 @@ impl Nfa {
             }
         }
         while let Some((p, q)) = work.pop_front() {
+            guard.note_frontier(work.len());
             let id = index[&(p, q)];
             for a in self.alphabet.symbols() {
                 for p2 in self.successors(p, a).collect::<Vec<_>>() {
                     for q2 in other.successors(q, a).collect::<Vec<_>>() {
-                        let nid = *index.entry((p2, q2)).or_insert_with(|| {
-                            let nid = out.add_state(self.accepting[p2] && other.accepting[q2]);
-                            work.push_back((p2, q2));
-                            nid
-                        });
+                        let nid = match index.get(&(p2, q2)) {
+                            Some(&nid) => nid,
+                            None => {
+                                guard.charge_state()?;
+                                let nid = out.add_state(self.accepting[p2] && other.accepting[q2]);
+                                index.insert((p2, q2), nid);
+                                work.push_back((p2, q2));
+                                nid
+                            }
+                        };
+                        guard.charge_transition()?;
                         out.add_transition(id, a, nid);
                     }
                 }
@@ -568,6 +628,7 @@ impl Nfa {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::guard::Budget;
 
     fn ab2() -> (Alphabet, Symbol, Symbol) {
         let ab = Alphabet::new(["a", "b"]).unwrap();
@@ -754,5 +815,83 @@ mod tests {
         let n = ab_star();
         let ws = n.words_up_to(4);
         assert_eq!(ws, vec![vec![], vec![a, b], vec![a, b, a, b]]);
+    }
+
+    /// The "nth symbol from the end is an a" NFA: n+1 states, 2^n subset
+    /// states after determinization.
+    fn nth_from_end(n: usize) -> Nfa {
+        let (ab, a, b) = ab2();
+        let mut nfa = Nfa::new(ab);
+        let q0 = nfa.add_state(false);
+        nfa.set_initial(q0);
+        nfa.add_transition(q0, a, q0);
+        nfa.add_transition(q0, b, q0);
+        let mut prev = q0;
+        for i in 0..n {
+            let q = nfa.add_state(i == n - 1);
+            if prev == q0 {
+                nfa.add_transition(q0, a, q);
+            } else {
+                nfa.add_transition(prev, a, q);
+                nfa.add_transition(prev, b, q);
+            }
+            prev = q;
+        }
+        nfa
+    }
+
+    #[test]
+    fn tiny_state_budget_trips_subset_construction_deterministically() {
+        let nfa = nth_from_end(12); // 2^12 = 4096 subset states
+        let guard = Guard::new(Budget::unlimited().with_max_states(100));
+        let err = nfa.determinize_with(&guard).unwrap_err();
+        match &err {
+            AutomataError::BudgetExceeded {
+                resource,
+                spent,
+                limit,
+                partial,
+            } => {
+                assert_eq!(*resource, crate::guard::Resource::States);
+                assert_eq!(*limit, 100);
+                assert_eq!(*spent, 101);
+                assert_eq!(partial.states, 101);
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+        // Deterministic: a second run trips at exactly the same point
+        // (elapsed wall-clock aside).
+        let guard2 = Guard::new(Budget::unlimited().with_max_states(100));
+        match (nfa.determinize_with(&guard2).unwrap_err(), err) {
+            (
+                AutomataError::BudgetExceeded {
+                    resource: r2,
+                    spent: s2,
+                    limit: l2,
+                    partial: p2,
+                },
+                AutomataError::BudgetExceeded {
+                    resource: r1,
+                    spent: s1,
+                    limit: l1,
+                    partial: p1,
+                },
+            ) => {
+                assert_eq!((r2, s2, l2), (r1, s1, l1));
+                assert_eq!(
+                    (p2.states, p2.transitions, p2.frontier),
+                    (p1.states, p1.transitions, p1.frontier)
+                );
+            }
+            other => panic!("expected two BudgetExceeded errors, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sufficient_budget_matches_unbudgeted_result() {
+        let nfa = nth_from_end(6);
+        let guard = Guard::new(Budget::unlimited().with_max_states(1 << 10));
+        let budgeted = nfa.determinize_with(&guard).unwrap();
+        assert!(crate::equiv::dfa_equivalent(&budgeted, &nfa.determinize()));
     }
 }

@@ -349,9 +349,11 @@ impl Regex {
                     connect(&mut edge, *i, *j, path);
                 }
             }
-            for x in 0..total {
-                edge[x][k] = None;
-                edge[k][x] = None;
+            for row in edge.iter_mut().take(total) {
+                row[k] = None;
+            }
+            for cell in edge[k].iter_mut().take(total) {
+                *cell = None;
             }
         }
         edge[start][finish].take().unwrap_or(Regex::Empty)

@@ -2,7 +2,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
-use rl_automata::{Alphabet, AutomataError, Nfa, StateId, Symbol};
+use rl_automata::{Alphabet, AutomataError, Guard, Nfa, StateId, Symbol};
 
 use crate::emptiness;
 use crate::upword::UpWord;
@@ -284,6 +284,19 @@ impl Buchi {
     ///
     /// Returns [`AutomataError::AlphabetMismatch`] when the alphabets differ.
     pub fn intersection(&self, other: &Buchi) -> Result<Buchi, AutomataError> {
+        self.intersection_with(other, &Guard::unlimited())
+    }
+
+    /// [`Buchi::intersection`] under a resource [`Guard`].
+    ///
+    /// Every interned product state is charged against the guard's state
+    /// budget and every product transition against its transition budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutomataError::AlphabetMismatch`] when the alphabets differ,
+    /// or a budget error when the guard trips.
+    pub fn intersection_with(&self, other: &Buchi, guard: &Guard) -> Result<Buchi, AutomataError> {
         self.alphabet.check_compatible(&other.alphabet)?;
         // Classical two-copy product: in copy 1 we wait for `self` to accept,
         // in copy 2 for `other`; acceptance = copy-1 states whose left
@@ -298,12 +311,18 @@ impl Buchi {
             index: &mut BTreeMap<(StateId, StateId, u8), StateId>,
             out: &mut Buchi,
             work: &mut VecDeque<(StateId, StateId, u8)>,
-        ) -> StateId {
-            *index.entry(key).or_insert_with(|| {
-                let id = out.add_state(key.2 == 1 && left_acc);
-                work.push_back(key);
-                id
-            })
+            guard: &Guard,
+        ) -> Result<StateId, AutomataError> {
+            match index.get(&key) {
+                Some(&id) => Ok(id),
+                None => {
+                    guard.charge_state()?;
+                    let id = out.add_state(key.2 == 1 && left_acc);
+                    index.insert(key, id);
+                    work.push_back(key);
+                    Ok(id)
+                }
+            }
         }
         let mut initials = Vec::new();
         for &p in &self.initial {
@@ -314,7 +333,8 @@ impl Buchi {
                     &mut index,
                     &mut out,
                     &mut work,
-                );
+                    guard,
+                )?;
                 initials.push(id);
             }
         }
@@ -322,7 +342,12 @@ impl Buchi {
             out.initial.insert(id);
         }
         while let Some((p, q, copy)) = work.pop_front() {
-            let id = *index.get(&(p, q, copy)).expect("interned");
+            guard.note_frontier(work.len());
+            let id = match index.get(&(p, q, copy)) {
+                Some(&id) => id,
+                // Unreachable: every key on the worklist was interned first.
+                None => continue,
+            };
             for a in self.alphabet.symbols() {
                 for p2 in self.successors(p, a).collect::<Vec<_>>() {
                     for q2 in other.successors(q, a).collect::<Vec<_>>() {
@@ -337,7 +362,9 @@ impl Buchi {
                             &mut index,
                             &mut out,
                             &mut work,
-                        );
+                            guard,
+                        )?;
+                        guard.charge_transition()?;
                         out.add_transition(id, a, nid);
                     }
                 }

@@ -9,7 +9,7 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
-use rl_automata::StateId;
+use rl_automata::{AutomataError, Guard, StateId};
 
 use crate::buchi::Buchi;
 use crate::upword::UpWord;
@@ -54,11 +54,24 @@ type CState = (Ranking, Vec<StateId>);
 /// # }
 /// ```
 pub fn complement(a: &Buchi) -> Buchi {
+    complement_with(a, &Guard::unlimited()).expect("an unlimited guard never trips")
+}
+
+/// [`complement`] under a resource [`Guard`].
+///
+/// Every interned ranking state is charged against the guard's state budget
+/// and every enumerated ranking candidate against its transition budget (the
+/// candidate enumeration, not the interning, is where memory blows up).
+///
+/// # Errors
+///
+/// Returns a budget error when the guard trips.
+pub fn complement_with(a: &Buchi, guard: &Guard) -> Result<Buchi, AutomataError> {
     // Restrict to reachable states (language-preserving, shrinks n).
     let a = restrict_reachable(a);
     let n = a.state_count();
     if n == 0 || a.initial().is_empty() {
-        return Buchi::universal(a.alphabet().clone());
+        return Ok(Buchi::universal(a.alphabet().clone()));
     }
     let max_rank = 2 * n as u32;
 
@@ -72,12 +85,14 @@ pub fn complement(a: &Buchi) -> Buchi {
     );
     // Initial ranking must respect parity for accepting states; max_rank is
     // even, so it always does.
+    guard.charge_state()?;
     let id = out.add_state(true); // O = ∅
     index.insert(init.clone(), id);
     out.set_initial(id);
     work.push_back(init);
 
     while let Some((f, o)) = work.pop_front() {
+        guard.note_frontier(work.len());
         let id = index[&(f.clone(), o.clone())];
         for sym in a.alphabet().symbols() {
             // Successor subset with per-state rank bounds.
@@ -111,6 +126,9 @@ pub fn complement(a: &Buchi) -> Buchi {
                         if a.is_accepting(q2) && r % 2 == 1 {
                             continue;
                         }
+                        // Each candidate becomes one complement transition;
+                        // charging here bounds the pre-interning blow-up.
+                        guard.charge_transition()?;
                         let mut g2 = g.clone();
                         g2.push((q2, r));
                         next.push(g2);
@@ -133,16 +151,21 @@ pub fn complement(a: &Buchi) -> Buchi {
                         .collect()
                 };
                 let key: CState = (g, o2);
-                let nid = *index.entry(key.clone()).or_insert_with(|| {
-                    let nid = out.add_state(key.1.is_empty());
-                    work.push_back(key);
-                    nid
-                });
+                let nid = match index.get(&key) {
+                    Some(&nid) => nid,
+                    None => {
+                        guard.charge_state()?;
+                        let nid = out.add_state(key.1.is_empty());
+                        index.insert(key.clone(), nid);
+                        work.push_back(key);
+                        nid
+                    }
+                };
                 out.add_transition(id, sym, nid);
             }
         }
     }
-    out
+    Ok(out)
 }
 
 fn restrict_reachable(a: &Buchi) -> Buchi {
@@ -161,7 +184,22 @@ fn restrict_reachable(a: &Buchi) -> Buchi {
 /// Returns [`rl_automata::AutomataError::AlphabetMismatch`] when the
 /// alphabets differ.
 pub fn omega_included(a: &Buchi, b: &Buchi) -> Result<Option<UpWord>, rl_automata::AutomataError> {
-    let diff = a.intersection(&complement(b))?;
+    omega_included_with(a, b, &Guard::unlimited())
+}
+
+/// [`omega_included`] under a resource [`Guard`]: both the complementation of
+/// `b` and the intersection product are charged against the guard's budget.
+///
+/// # Errors
+///
+/// Returns [`rl_automata::AutomataError::AlphabetMismatch`] when the
+/// alphabets differ, or a budget error when the guard trips.
+pub fn omega_included_with(
+    a: &Buchi,
+    b: &Buchi,
+    guard: &Guard,
+) -> Result<Option<UpWord>, rl_automata::AutomataError> {
+    let diff = a.intersection_with(&complement_with(b, guard)?, guard)?;
     Ok(diff.accepted_upword())
 }
 

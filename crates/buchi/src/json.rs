@@ -1,0 +1,52 @@
+//! JSON persistence (via the in-tree `rl-json` crate).
+//!
+//! A [`Buchi`] automaton serializes as its underlying NFA structure (same
+//! wire shape as [`rl_automata::Nfa`], with `accepting` read as the Büchi
+//! acceptance set); an [`UpWord`] as `{prefix, period}` symbol-index lists.
+
+use rl_json::{FromJson, Json, JsonError, ObjBuilder, ToJson};
+
+use rl_automata::{Nfa, Symbol};
+
+use crate::buchi::Buchi;
+use crate::upword::UpWord;
+
+impl ToJson for Buchi {
+    fn to_json(&self) -> Json {
+        self.to_nfa_structure().to_json()
+    }
+}
+
+impl FromJson for Buchi {
+    fn from_json(value: &Json) -> Result<Buchi, JsonError> {
+        let nfa = Nfa::from_json(value)?;
+        Ok(Buchi::from_nfa_structure(&nfa))
+    }
+}
+
+impl ToJson for UpWord {
+    fn to_json(&self) -> Json {
+        ObjBuilder::new()
+            .field(
+                "prefix",
+                self.prefix().iter().map(|s| s.index()).collect::<Vec<_>>(),
+            )
+            .field(
+                "period",
+                self.period().iter().map(|s| s.index()).collect::<Vec<_>>(),
+            )
+            .build()
+    }
+}
+
+impl FromJson for UpWord {
+    fn from_json(value: &Json) -> Result<UpWord, JsonError> {
+        let prefix = Vec::<usize>::from_json(value.field("prefix")?)?;
+        let period = Vec::<usize>::from_json(value.field("period")?)?;
+        UpWord::new(
+            prefix.into_iter().map(Symbol::from_index).collect(),
+            period.into_iter().map(Symbol::from_index).collect(),
+        )
+        .map_err(|_| JsonError::custom("ω-word period must be non-empty"))
+    }
+}

@@ -52,15 +52,18 @@ mod buchi;
 mod complement;
 mod emptiness;
 mod generalized;
+mod json;
 mod limits;
 mod omega_regex;
-#[cfg(feature = "serde")]
-mod serde_impls;
 mod upword;
 
 pub use buchi::Buchi;
-pub use complement::{complement, omega_equivalent, omega_included};
+pub use complement::{
+    complement, complement_with, omega_equivalent, omega_included, omega_included_with,
+};
 pub use generalized::GeneralizedBuchi;
-pub use limits::{behaviors_of_ts, limit_of_dfa, limit_of_regular};
+pub use limits::{
+    behaviors_of_ts, behaviors_of_ts_with, limit_of_dfa, limit_of_regular, limit_of_regular_with,
+};
 pub use omega_regex::OmegaRegex;
 pub use upword::UpWord;

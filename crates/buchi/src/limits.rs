@@ -4,7 +4,7 @@
 //! and models systems as finite-state transition systems without acceptance,
 //! whose ω-behavior is the limit of their prefix-closed finite-word language.
 
-use rl_automata::{Dfa, Nfa, TransitionSystem};
+use rl_automata::{AutomataError, Dfa, Guard, Nfa, TransitionSystem};
 
 use crate::buchi::Buchi;
 
@@ -54,6 +54,16 @@ pub fn limit_of_regular(nfa: &Nfa) -> Buchi {
     limit_of_dfa(&nfa.determinize())
 }
 
+/// [`limit_of_regular`] under a resource [`Guard`]: the subset construction
+/// is charged against the guard's budget.
+///
+/// # Errors
+///
+/// Returns a budget error when the guard trips.
+pub fn limit_of_regular_with(nfa: &Nfa, guard: &Guard) -> Result<Buchi, AutomataError> {
+    Ok(limit_of_dfa(&nfa.determinize_with(guard)?))
+}
+
 /// The ω-behavior `lim(L)` of a transition system, where `L` is its
 /// prefix-closed finite-word language (Definition 6.2 with `h = id`).
 ///
@@ -63,6 +73,17 @@ pub fn limit_of_regular(nfa: &Nfa) -> Buchi {
 /// determinized language to stay faithful to the definition.
 pub fn behaviors_of_ts(ts: &TransitionSystem) -> Buchi {
     limit_of_regular(&ts.to_nfa())
+}
+
+/// [`behaviors_of_ts`] under a resource [`Guard`]: determinizing a
+/// nondeterministic transition system can blow up exponentially, so the
+/// subset construction is charged against the guard's budget.
+///
+/// # Errors
+///
+/// Returns a budget error when the guard trips.
+pub fn behaviors_of_ts_with(ts: &TransitionSystem, guard: &Guard) -> Result<Buchi, AutomataError> {
+    limit_of_regular_with(&ts.to_nfa(), guard)
 }
 
 #[cfg(test)]

@@ -136,7 +136,7 @@ impl UpWord {
         let mut period = self.period.clone();
         // Shrink the period to its primitive root.
         'outer: for d in 1..=period.len() / 2 {
-            if period.len() % d != 0 {
+            if !period.len().is_multiple_of(d) {
                 continue;
             }
             for i in d..period.len() {
@@ -148,8 +148,8 @@ impl UpWord {
             break;
         }
         // Absorb trailing prefix letters into the rotation.
-        while let Some(&last) = prefix.last() {
-            if last == *period.last().unwrap() {
+        while let (Some(&last), Some(&period_last)) = (prefix.last(), period.last()) {
+            if last == period_last {
                 prefix.pop();
                 period.rotate_right(1);
             } else {

@@ -1,0 +1,186 @@
+//! Resource governance for the decision procedures.
+//!
+//! Every worst-case-exponential construction in the workspace (subset
+//! construction, Büchi products, rank-based complementation, the simplicity
+//! search) has a `_with` variant taking a [`Guard`], which enforces a
+//! [`Budget`] of states, transitions, and wall-clock time and observes a
+//! [`CancelToken`]. This module re-exports those primitives from
+//! `rl-automata` and adds [`CheckError`], the presentation-level error
+//! taxonomy used by front ends (the `rlcheck` CLI maps its variants onto
+//! exit codes).
+
+use std::error::Error;
+use std::fmt;
+
+use rl_abstraction::AbstractionError;
+use rl_automata::AutomataError;
+pub use rl_automata::{Budget, CancelToken, Guard, Progress, Resource};
+
+use crate::property::CoreError;
+
+/// Top-level failure taxonomy for a checking run.
+///
+/// Collapses the layered workspace errors ([`AutomataError`],
+/// [`AbstractionError`], [`CoreError`]) into the four outcomes a caller
+/// actually dispatches on: resource exhaustion, cancellation, bad input, and
+/// everything else.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CheckError {
+    /// A construction exhausted its resource [`Budget`].
+    BudgetExceeded {
+        /// Which limit was hit.
+        resource: Resource,
+        /// Amount consumed when the limit tripped (milliseconds for
+        /// [`Resource::WallClock`], counts otherwise).
+        spent: u64,
+        /// The configured limit.
+        limit: u64,
+        /// Partial diagnostics: work done up to the interruption.
+        partial: Progress,
+    },
+    /// The run was stopped through a [`CancelToken`].
+    Cancelled {
+        /// Partial diagnostics: work done up to the interruption.
+        partial: Progress,
+    },
+    /// The input could not be parsed or validated; the message says why.
+    Parse(String),
+    /// Any other failure of the decision procedures.
+    Internal(String),
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::BudgetExceeded {
+                resource,
+                spent,
+                limit,
+                partial,
+            } => write!(
+                f,
+                "BudgetExceeded: {spent} {resource} used, limit {limit}; partial: {partial}"
+            ),
+            CheckError::Cancelled { partial } => write!(f, "cancelled; partial: {partial}"),
+            CheckError::Parse(m) => write!(f, "parse error: {m}"),
+            CheckError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl Error for CheckError {}
+
+impl From<AutomataError> for CheckError {
+    fn from(e: AutomataError) -> CheckError {
+        match e {
+            AutomataError::BudgetExceeded {
+                resource,
+                spent,
+                limit,
+                partial,
+            } => CheckError::BudgetExceeded {
+                resource,
+                spent,
+                limit,
+                partial,
+            },
+            AutomataError::Cancelled(partial) => CheckError::Cancelled { partial },
+            other => CheckError::Internal(other.to_string()),
+        }
+    }
+}
+
+impl From<AbstractionError> for CheckError {
+    fn from(e: AbstractionError) -> CheckError {
+        match e {
+            AbstractionError::Automata(inner) => CheckError::from(inner),
+            other => CheckError::Internal(other.to_string()),
+        }
+    }
+}
+
+impl From<CoreError> for CheckError {
+    fn from(e: CoreError) -> CheckError {
+        match e {
+            CoreError::Automata(inner) => CheckError::from(inner),
+            CoreError::Abstraction(inner) => CheckError::from(inner),
+            other => CheckError::Internal(other.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn progress() -> Progress {
+        Progress {
+            states: 7,
+            transitions: 12,
+            frontier: 3,
+            elapsed: Duration::from_millis(5),
+        }
+    }
+
+    #[test]
+    fn budget_errors_survive_the_layer_collapse() {
+        let automata = AutomataError::BudgetExceeded {
+            resource: Resource::States,
+            spent: 11,
+            limit: 10,
+            partial: progress(),
+        };
+        let core = CoreError::Automata(automata.clone());
+        let via_core = CheckError::from(core);
+        let via_abstraction =
+            CheckError::from(CoreError::Abstraction(AbstractionError::Automata(automata)));
+        for e in [via_core, via_abstraction] {
+            match e {
+                CheckError::BudgetExceeded {
+                    resource,
+                    spent,
+                    limit,
+                    partial,
+                } => {
+                    assert_eq!(resource, Resource::States);
+                    assert_eq!((spent, limit), (11, 10));
+                    assert_eq!(partial, progress());
+                }
+                other => panic!("expected BudgetExceeded, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn cancellation_survives_the_layer_collapse() {
+        let e = CheckError::from(CoreError::Automata(AutomataError::Cancelled(progress())));
+        assert_eq!(
+            e,
+            CheckError::Cancelled {
+                partial: progress()
+            }
+        );
+    }
+
+    #[test]
+    fn other_errors_become_internal() {
+        let e = CheckError::from(CoreError::Precondition("side condition".into()));
+        assert!(matches!(e, CheckError::Internal(m) if m.contains("side condition")));
+    }
+
+    #[test]
+    fn display_names_the_budget_report() {
+        let e = CheckError::BudgetExceeded {
+            resource: Resource::States,
+            spent: 11,
+            limit: 10,
+            partial: progress(),
+        };
+        let text = e.to_string();
+        assert!(text.contains("BudgetExceeded"), "{text}");
+        assert!(text.contains("11 states"), "{text}");
+        assert!(text.contains("limit 10"), "{text}");
+    }
+}

@@ -21,6 +21,10 @@
 //! * [`verify_via_abstraction`] — the full Section 8 pipeline: abstract,
 //!   check simplicity, decide on the abstraction, transfer via `R̄`
 //!   (Theorems 8.2/8.3, Corollary 8.4),
+//! * the `_with` variants ([`is_relative_liveness_with`],
+//!   [`verify_via_abstraction_with`], …) — the same deciders under a
+//!   resource [`Guard`], returning [`CheckError`]-convertible budget errors
+//!   instead of hanging on pathological inputs,
 //! * [`forall_always_exists_eventually`] / [`forall_always_recurrently`] —
 //!   the `∀□∃◇` CTL* fragment the conclusion relates to (refs [18, 19]).
 //!
@@ -53,6 +57,7 @@
 
 mod ctl;
 mod fair;
+mod guard;
 mod pipeline;
 mod property;
 mod relative;
@@ -60,14 +65,16 @@ mod topology;
 
 pub use ctl::{forall_always_exists_eventually, forall_always_recurrently};
 pub use fair::{implementation_faithful, synthesize_fair_implementation, FairImplementation};
+pub use guard::{Budget, CancelToken, CheckError, Guard, Progress, Resource};
 pub use pipeline::{
     check_transported_concrete, labeling_for_homomorphism, verify_via_abstraction,
-    AbstractionAnalysis, TransferConclusion,
+    verify_via_abstraction_with, AbstractionAnalysis, TransferConclusion,
 };
 pub use property::{CoreError, Property};
 pub use relative::{
     extension_witness, is_liveness_property, is_machine_closed, is_relative_liveness,
-    is_relative_liveness_of_ts, is_relative_safety, is_safety_property, satisfies,
+    is_relative_liveness_of_ts, is_relative_liveness_of_ts_with, is_relative_liveness_with,
+    is_relative_safety, is_relative_safety_with, is_safety_property, satisfies, satisfies_with,
     RelativeLivenessVerdict, RelativeSafetyVerdict, SatisfactionVerdict,
 };
 pub use topology::{cantor_distance, certify_density, dense_witness};

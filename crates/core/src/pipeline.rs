@@ -16,14 +16,14 @@
 //!      Figure 3 trap: the abstraction looks fine, the system is broken).
 
 use rl_abstraction::{
-    abstract_behavior, check_simplicity, has_maximal_words, image_nfa, Homomorphism,
+    abstract_behavior_with, check_simplicity_with, has_maximal_words_with, image_nfa, Homomorphism,
 };
-use rl_automata::{TransitionSystem, Word};
-use rl_buchi::behaviors_of_ts;
+use rl_automata::{Guard, TransitionSystem, Word};
+use rl_buchi::{behaviors_of_ts, behaviors_of_ts_with};
 use rl_logic::{r_bar_strict, simplify, Formula, Labeling, EPSILON_PROP};
 
 use crate::property::{CoreError, Property};
-use crate::relative::{is_relative_liveness, RelativeLivenessVerdict};
+use crate::relative::{is_relative_liveness, is_relative_liveness_with, RelativeLivenessVerdict};
 
 /// What the abstraction run lets us conclude about the concrete system.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -114,18 +114,36 @@ pub fn verify_via_abstraction(
     h: &Homomorphism,
     eta: &Formula,
 ) -> Result<AbstractionAnalysis, CoreError> {
+    verify_via_abstraction_with(ts, h, eta, &Guard::unlimited())
+}
+
+/// [`verify_via_abstraction`] under a resource [`Guard`].
+///
+/// The abstract-system construction, the abstract relative-liveness
+/// decision, and the simplicity check are all charged against the same
+/// guard, so a single budget bounds the whole pipeline.
+///
+/// # Errors
+///
+/// As [`verify_via_abstraction`], plus a budget error when the guard trips.
+pub fn verify_via_abstraction_with(
+    ts: &TransitionSystem,
+    h: &Homomorphism,
+    eta: &Formula,
+    guard: &Guard,
+) -> Result<AbstractionAnalysis, CoreError> {
     h.source().check_compatible(ts.alphabet())?;
     let language = ts.to_nfa();
 
     let image = image_nfa(h, &language);
-    let maximal_words = has_maximal_words(&image);
+    let maximal_words = has_maximal_words_with(&image, guard)?;
 
-    let abstract_system = abstract_behavior(h, ts);
-    let abstract_behaviors = behaviors_of_ts(&abstract_system);
+    let abstract_system = abstract_behavior_with(h, ts, guard)?;
+    let abstract_behaviors = behaviors_of_ts_with(&abstract_system, guard)?;
     let abstract_verdict =
-        is_relative_liveness(&abstract_behaviors, &Property::formula(eta.clone()))?;
+        is_relative_liveness_with(&abstract_behaviors, &Property::formula(eta.clone()), guard)?;
 
-    let simplicity = check_simplicity(h, &language)?;
+    let simplicity = check_simplicity_with(h, &language, guard)?;
     // The strict transport R̄(η) ∧ □◇¬ε — the reading under which both
     // transfer theorems are sound (see rl_logic::r_bar_strict).
     let transported_formula =

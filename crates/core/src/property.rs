@@ -5,8 +5,8 @@ use std::error::Error;
 use std::fmt;
 
 use rl_abstraction::AbstractionError;
-use rl_automata::{Alphabet, AutomataError};
-use rl_buchi::{complement, Buchi};
+use rl_automata::{Alphabet, AutomataError, Guard};
+use rl_buchi::{complement_with, Buchi};
 use rl_logic::{formula_to_buchi, Formula, Labeling};
 
 /// Errors from the relative-liveness/safety deciders and pipelines.
@@ -123,6 +123,24 @@ impl Property {
     ///
     /// Same as [`Property::to_buchi`].
     pub fn negation_to_buchi(&self, alphabet: &Alphabet) -> Result<Buchi, CoreError> {
+        self.negation_to_buchi_with(alphabet, &Guard::unlimited())
+    }
+
+    /// [`Property::negation_to_buchi`] under a resource [`Guard`].
+    ///
+    /// Only automaton-given properties can trip the guard (their complement
+    /// uses the exponential rank-based construction); formula-given
+    /// properties negate the formula instead, which is linear.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Property::to_buchi`], plus a budget error when the guard
+    /// trips during complementation.
+    pub fn negation_to_buchi_with(
+        &self,
+        alphabet: &Alphabet,
+        guard: &Guard,
+    ) -> Result<Buchi, CoreError> {
         match self {
             Property::Formula(f) => {
                 let lam = Labeling::canonical(alphabet);
@@ -134,7 +152,7 @@ impl Property {
             }
             Property::Automaton(b) => {
                 b.alphabet().check_compatible(alphabet)?;
-                Ok(complement(b))
+                Ok(complement_with(b, guard)?)
             }
         }
     }

@@ -9,8 +9,8 @@
 //! below additionally extract counterexamples: a non-extendable prefix for
 //! liveness, a limit behavior escaping `P` for safety.
 
-use rl_automata::{dfa_included, Dfa, TransitionSystem, Word};
-use rl_buchi::{behaviors_of_ts, limit_of_dfa, Buchi, UpWord};
+use rl_automata::{dfa_included, dfa_included_with, Dfa, Guard, TransitionSystem, Word};
+use rl_buchi::{behaviors_of_ts, behaviors_of_ts_with, limit_of_dfa, Buchi, UpWord};
 
 use crate::property::{CoreError, Property};
 
@@ -74,17 +74,35 @@ pub fn is_relative_liveness(
     system: &Buchi,
     property: &Property,
 ) -> Result<RelativeLivenessVerdict, CoreError> {
+    is_relative_liveness_with(system, property, &Guard::unlimited())
+}
+
+/// [`is_relative_liveness`] under a resource [`Guard`].
+///
+/// The Büchi intersection, both prefix-automaton subset constructions, and
+/// the inclusion product are charged against the guard's budget; on
+/// exhaustion the decider returns a budget error with partial diagnostics
+/// instead of hanging.
+///
+/// # Errors
+///
+/// As [`is_relative_liveness`], plus a budget error when the guard trips.
+pub fn is_relative_liveness_with(
+    system: &Buchi,
+    property: &Property,
+    guard: &Guard,
+) -> Result<RelativeLivenessVerdict, CoreError> {
     let p = property.to_buchi(system.alphabet())?;
-    let both = system.intersection(&p)?;
-    let pre_l = system.prefix_nfa().determinize();
-    let pre_lp = both.prefix_nfa().determinize();
+    let both = system.intersection_with(&p, guard)?;
+    let pre_l = system.prefix_nfa().determinize_with(guard)?;
+    let pre_lp = both.prefix_nfa().determinize_with(guard)?;
     // Lemma 4.3: equality; pre(L∩P) ⊆ pre(L) always holds, so only the
     // forward inclusion can fail.
     debug_assert!(
         dfa_included(&pre_lp, &pre_l).is_none(),
         "pre(L ∩ P) ⊈ pre(L): construction bug"
     );
-    let doomed = dfa_included(&pre_l, &pre_lp);
+    let doomed = dfa_included_with(&pre_l, &pre_lp, guard)?;
     Ok(RelativeLivenessVerdict {
         holds: doomed.is_none(),
         doomed_prefix: doomed,
@@ -119,14 +137,33 @@ pub fn is_relative_safety(
     system: &Buchi,
     property: &Property,
 ) -> Result<RelativeSafetyVerdict, CoreError> {
+    is_relative_safety_with(system, property, &Guard::unlimited())
+}
+
+/// [`is_relative_safety`] under a resource [`Guard`].
+///
+/// The prefix-automaton subset construction, the property complementation
+/// (for automaton-given properties), and all intersection products are
+/// charged against the guard's budget.
+///
+/// # Errors
+///
+/// As [`is_relative_safety`], plus a budget error when the guard trips.
+pub fn is_relative_safety_with(
+    system: &Buchi,
+    property: &Property,
+    guard: &Guard,
+) -> Result<RelativeSafetyVerdict, CoreError> {
     let p = property.to_buchi(system.alphabet())?;
-    let both = system.intersection(&p)?;
+    let both = system.intersection_with(&p, guard)?;
     // lim(pre(L ∩ P)) via the determinized prefix automaton.
-    let pre_lp: Dfa = both.prefix_nfa().determinize();
+    let pre_lp: Dfa = both.prefix_nfa().determinize_with(guard)?;
     let lim = limit_of_dfa(&pre_lp);
     // Violation: x ∈ L ∩ lim(pre(L∩P)) with x ∉ P.
-    let neg = property.negation_to_buchi(system.alphabet())?;
-    let bad = system.intersection(&lim)?.intersection(&neg)?;
+    let neg = property.negation_to_buchi_with(system.alphabet(), guard)?;
+    let bad = system
+        .intersection_with(&lim, guard)?
+        .intersection_with(&neg, guard)?;
     let escape = bad.accepted_upword();
     Ok(RelativeSafetyVerdict {
         holds: escape.is_none(),
@@ -144,8 +181,24 @@ pub fn is_relative_safety(
 ///
 /// Propagates alphabet mismatches between system and property.
 pub fn satisfies(system: &Buchi, property: &Property) -> Result<SatisfactionVerdict, CoreError> {
-    let neg = property.negation_to_buchi(system.alphabet())?;
-    let bad = system.intersection(&neg)?;
+    satisfies_with(system, property, &Guard::unlimited())
+}
+
+/// [`satisfies`] under a resource [`Guard`].
+///
+/// The property complementation (for automaton-given properties) and the
+/// intersection product are charged against the guard's budget.
+///
+/// # Errors
+///
+/// As [`satisfies`], plus a budget error when the guard trips.
+pub fn satisfies_with(
+    system: &Buchi,
+    property: &Property,
+    guard: &Guard,
+) -> Result<SatisfactionVerdict, CoreError> {
+    let neg = property.negation_to_buchi_with(system.alphabet(), guard)?;
+    let bad = system.intersection_with(&neg, guard)?;
     let cex = bad.accepted_upword();
     Ok(SatisfactionVerdict {
         holds: cex.is_none(),
@@ -258,6 +311,20 @@ pub fn is_relative_liveness_of_ts(
     property: &Property,
 ) -> Result<RelativeLivenessVerdict, CoreError> {
     is_relative_liveness(&behaviors_of_ts(ts), property)
+}
+
+/// [`is_relative_liveness_of_ts`] under a resource [`Guard`].
+///
+/// # Errors
+///
+/// As [`is_relative_liveness_of_ts`], plus a budget error when the guard
+/// trips.
+pub fn is_relative_liveness_of_ts_with(
+    ts: &TransitionSystem,
+    property: &Property,
+    guard: &Guard,
+) -> Result<RelativeLivenessVerdict, CoreError> {
+    is_relative_liveness_with(&behaviors_of_ts_with(ts, guard)?, property, guard)
 }
 
 #[cfg(test)]

@@ -24,7 +24,6 @@ use std::fmt;
 /// assert_eq!(f.to_string(), "[]<>result");
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Formula {
     /// The constant `true`.
     True,

@@ -1,0 +1,131 @@
+//! JSON persistence (via the in-tree `rl-json` crate).
+//!
+//! Formulas use the externally-tagged encoding: unit variants are bare
+//! strings (`"True"`), unary operators single-field objects
+//! (`{"Not": ...}`), binary operators objects holding a two-element array
+//! (`{"Until": [..., ...]}`).
+
+use rl_json::{FromJson, Json, JsonError, ToJson};
+
+use crate::ast::Formula;
+
+fn unary(tag: &str, operand: &Formula) -> Json {
+    Json::Obj(vec![(tag.to_owned(), operand.to_json())])
+}
+
+fn binary(tag: &str, left: &Formula, right: &Formula) -> Json {
+    Json::Obj(vec![(
+        tag.to_owned(),
+        Json::Arr(vec![left.to_json(), right.to_json()]),
+    )])
+}
+
+impl ToJson for Formula {
+    fn to_json(&self) -> Json {
+        match self {
+            Formula::True => Json::Str("True".to_owned()),
+            Formula::False => Json::Str("False".to_owned()),
+            Formula::Atom(name) => Json::Obj(vec![("Atom".to_owned(), name.to_json())]),
+            Formula::Not(f) => unary("Not", f),
+            Formula::Next(f) => unary("Next", f),
+            Formula::Eventually(f) => unary("Eventually", f),
+            Formula::Always(f) => unary("Always", f),
+            Formula::And(l, r) => binary("And", l, r),
+            Formula::Or(l, r) => binary("Or", l, r),
+            Formula::Implies(l, r) => binary("Implies", l, r),
+            Formula::Iff(l, r) => binary("Iff", l, r),
+            Formula::Until(l, r) => binary("Until", l, r),
+            Formula::Release(l, r) => binary("Release", l, r),
+            Formula::Before(l, r) => binary("Before", l, r),
+            Formula::WeakUntil(l, r) => binary("WeakUntil", l, r),
+        }
+    }
+}
+
+fn unbox(operand: &Json) -> Result<Box<Formula>, JsonError> {
+    Formula::from_json(operand).map(Box::new)
+}
+
+fn unbox2(operands: &Json) -> Result<(Box<Formula>, Box<Formula>), JsonError> {
+    match operands.as_arr()? {
+        [l, r] => Ok((unbox(l)?, unbox(r)?)),
+        items => Err(JsonError::custom(format!(
+            "binary operator expects 2 operands, got {}",
+            items.len()
+        ))),
+    }
+}
+
+impl FromJson for Formula {
+    fn from_json(value: &Json) -> Result<Formula, JsonError> {
+        match value {
+            Json::Str(tag) => match tag.as_str() {
+                "True" => Ok(Formula::True),
+                "False" => Ok(Formula::False),
+                other => Err(JsonError::custom(format!("unknown formula `{other}`"))),
+            },
+            Json::Obj(fields) => {
+                let [(tag, operand)] = fields.as_slice() else {
+                    return Err(JsonError::custom(
+                        "formula object must have exactly one operator key",
+                    ));
+                };
+                match tag.as_str() {
+                    "Atom" => Ok(Formula::Atom(String::from_json(operand)?)),
+                    "Not" => Ok(Formula::Not(unbox(operand)?)),
+                    "Next" => Ok(Formula::Next(unbox(operand)?)),
+                    "Eventually" => Ok(Formula::Eventually(unbox(operand)?)),
+                    "Always" => Ok(Formula::Always(unbox(operand)?)),
+                    "And" => unbox2(operand).map(|(l, r)| Formula::And(l, r)),
+                    "Or" => unbox2(operand).map(|(l, r)| Formula::Or(l, r)),
+                    "Implies" => unbox2(operand).map(|(l, r)| Formula::Implies(l, r)),
+                    "Iff" => unbox2(operand).map(|(l, r)| Formula::Iff(l, r)),
+                    "Until" => unbox2(operand).map(|(l, r)| Formula::Until(l, r)),
+                    "Release" => unbox2(operand).map(|(l, r)| Formula::Release(l, r)),
+                    "Before" => unbox2(operand).map(|(l, r)| Formula::Before(l, r)),
+                    "WeakUntil" => unbox2(operand).map(|(l, r)| Formula::WeakUntil(l, r)),
+                    other => Err(JsonError::custom(format!("unknown operator `{other}`"))),
+                }
+            }
+            other => Err(JsonError::custom(format!(
+                "formula must be a string or single-key object, got {:?}",
+                other
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_operators_roundtrip() {
+        let a = Formula::atom("a");
+        let b = Formula::atom("b");
+        let f = Formula::True
+            .and(Formula::False)
+            .or(a.clone().not())
+            .implies(a.clone().next().eventually().always())
+            .iff(a.clone().until(b.clone()))
+            .and(a.clone().release(b.clone()))
+            .and(a.clone().before(b.clone()))
+            .and(a.weak_until(b));
+        let text = rl_json::to_string(&f).unwrap();
+        let back: Formula = rl_json::from_str(&text).unwrap();
+        assert_eq!(f, back);
+    }
+
+    #[test]
+    fn corrupt_documents_rejected() {
+        for doc in [
+            r#""Maybe""#,
+            r#"{"And":[{"Atom":"a"}]}"#,
+            r#"{"Frob":{"Atom":"a"}}"#,
+            r#"{"Atom":3}"#,
+            r#"{"And":[{"Atom":"a"},{"Atom":"b"}],"Or":[]}"#,
+        ] {
+            assert!(rl_json::from_str::<Formula>(doc).is_err(), "accepted {doc}");
+        }
+    }
+}

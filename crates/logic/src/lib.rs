@@ -50,6 +50,7 @@
 
 mod ast;
 mod eval;
+mod json;
 mod labeling;
 mod parser;
 mod simplify;

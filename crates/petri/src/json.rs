@@ -1,0 +1,50 @@
+//! JSON persistence (via the in-tree `rl-json` crate): nets serialize as
+//! their place/transition declarations and rebuild through the validating
+//! constructors.
+
+use rl_json::{FromJson, Json, JsonError, ObjBuilder, ToJson};
+
+use crate::net::PetriNet;
+
+impl ToJson for PetriNet {
+    fn to_json(&self) -> Json {
+        let initial = self.initial_marking();
+        ObjBuilder::new()
+            .field(
+                // `(name, initial tokens)` per place, in id order.
+                "places",
+                self.place_names()
+                    .iter()
+                    .cloned()
+                    .zip(initial.iter().copied())
+                    .collect::<Vec<(String, u32)>>(),
+            )
+            .field(
+                // `(name, pre, post)` per transition, arcs as `(place, weight)`.
+                "transitions",
+                self.transitions()
+                    .iter()
+                    .map(|t| (t.name.clone(), t.pre.clone(), t.post.clone()))
+                    .collect::<Vec<(String, Vec<(usize, u32)>, Vec<(usize, u32)>)>>(),
+            )
+            .build()
+    }
+}
+
+impl FromJson for PetriNet {
+    fn from_json(value: &Json) -> Result<PetriNet, JsonError> {
+        let places = Vec::<(String, u32)>::from_json(value.field("places")?)?;
+        let transitions = Vec::<(String, Vec<(usize, u32)>, Vec<(usize, u32)>)>::from_json(
+            value.field("transitions")?,
+        )?;
+        let mut net = PetriNet::new();
+        for (name, tokens) in places {
+            net.add_place(name, tokens).map_err(JsonError::custom)?;
+        }
+        for (name, pre, post) in transitions {
+            net.add_transition(name, pre, post)
+                .map_err(JsonError::custom)?;
+        }
+        Ok(net)
+    }
+}

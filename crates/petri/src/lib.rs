@@ -33,10 +33,9 @@
 
 mod analysis;
 pub mod examples;
+mod json;
 mod net;
 mod reachability;
-#[cfg(feature = "serde")]
-mod serde_impls;
 
 pub use analysis::{deadlock_markings, live_transitions};
 pub use net::{Marking, NetTransition, PetriError, PetriNet, PlaceId, TransitionId};

@@ -20,10 +20,23 @@
 //!     Graphviz DOT output of the system.
 //! ```
 //!
+//! Every subcommand additionally accepts resource limits:
+//!
+//! ```text
+//! --timeout <secs>     wall-clock deadline for the decision procedures
+//! --max-states <n>     cap on states materialized by any construction
+//! ```
+//!
+//! Exit codes: `0` property holds, `1` it fails, `2` usage or input error,
+//! `3` resource budget exhausted (or an inconclusive abstraction verdict),
+//! `101` internal panic.
+//!
 //! System files use the `system`/`petri` formats of
 //! [`relative_liveness::format`].
 
+use std::panic::{self, AssertUnwindSafe};
 use std::process::ExitCode;
+use std::time::Duration;
 
 use relative_liveness::format::parse_system;
 use relative_liveness::prelude::*;
@@ -33,9 +46,14 @@ fn fail(msg: impl std::fmt::Display) -> ExitCode {
     ExitCode::from(2)
 }
 
-fn load(path: &str) -> Result<TransitionSystem, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    parse_system(&text).map_err(|e| format!("{path}: {e}"))
+fn load(path: &str) -> Result<TransitionSystem, CheckError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| CheckError::Parse(format!("{path}: {e}")))?;
+    parse_system(&text).map_err(|e| CheckError::Parse(format!("{path}: {e}")))
+}
+
+fn parse_formula(formula: &str) -> Result<Formula, CheckError> {
+    parse(formula).map_err(|e| CheckError::Parse(e.to_string()))
 }
 
 fn keep_list(args: &[String]) -> Option<Vec<String>> {
@@ -44,18 +62,42 @@ fn keep_list(args: &[String]) -> Option<Vec<String>> {
     Some(raw.split(',').map(|s| s.trim().to_owned()).collect())
 }
 
-fn cmd_check(path: &str, formula: &str) -> Result<ExitCode, String> {
+/// Extracts `--timeout <secs>` and `--max-states <n>` from the argument list
+/// (removing them so positional parsing stays untouched) and builds the
+/// resulting [`Budget`].
+fn extract_budget(args: &mut Vec<String>) -> Result<Budget, String> {
+    let mut budget = Budget::unlimited();
+    for (flag, what) in [("--timeout", "seconds"), ("--max-states", "count")] {
+        // Consume every occurrence; the last value wins.
+        while let Some(idx) = args.iter().position(|a| a == flag) {
+            let Some(raw) = args.get(idx + 1).cloned() else {
+                return Err(format!("{flag} needs a value ({what})"));
+            };
+            let value: u64 = raw
+                .parse()
+                .map_err(|_| format!("{flag}: {raw:?} is not a valid {what}"))?;
+            args.drain(idx..idx + 2);
+            match flag {
+                "--timeout" => budget.deadline = Some(Duration::from_secs(value)),
+                _ => budget.max_states = Some(value as usize),
+            }
+        }
+    }
+    Ok(budget)
+}
+
+fn cmd_check(path: &str, formula: &str, guard: &Guard) -> Result<ExitCode, CheckError> {
     let ts = load(path)?;
-    let eta = parse(formula).map_err(|e| e.to_string())?;
-    let behaviors = behaviors_of_ts(&ts);
+    let eta = parse_formula(formula)?;
+    let behaviors = behaviors_of_ts_with(&ts, guard).map_err(CheckError::from)?;
     let prop = Property::formula(eta.clone());
 
-    let sat = satisfies(&behaviors, &prop).map_err(|e| e.to_string())?;
+    let sat = satisfies_with(&behaviors, &prop, guard)?;
     println!("classical  {eta}: {}", verdict(sat.holds));
     if let Some(x) = sat.counterexample {
         println!("           counterexample: {}", x.display(ts.alphabet()));
     }
-    let rl = is_relative_liveness(&behaviors, &prop).map_err(|e| e.to_string())?;
+    let rl = is_relative_liveness_with(&behaviors, &prop, guard)?;
     println!("rel-live   {eta}: {}", verdict(rl.holds));
     if let Some(w) = &rl.doomed_prefix {
         println!(
@@ -63,7 +105,7 @@ fn cmd_check(path: &str, formula: &str) -> Result<ExitCode, String> {
             format_word(ts.alphabet(), w)
         );
     }
-    let rs = is_relative_safety(&behaviors, &prop).map_err(|e| e.to_string())?;
+    let rs = is_relative_safety_with(&behaviors, &prop, guard)?;
     println!("rel-safe   {eta}: {}", verdict(rs.holds));
     if let Some(x) = rs.escaping_behavior {
         println!("           escaping behavior: {}", x.display(ts.alphabet()));
@@ -75,13 +117,18 @@ fn cmd_check(path: &str, formula: &str) -> Result<ExitCode, String> {
     })
 }
 
-fn cmd_abstract(path: &str, formula: &str, keep: Vec<String>) -> Result<ExitCode, String> {
+fn cmd_abstract(
+    path: &str,
+    formula: &str,
+    keep: Vec<String>,
+    guard: &Guard,
+) -> Result<ExitCode, CheckError> {
     let ts = load(path)?;
-    let eta = parse(formula).map_err(|e| e.to_string())?;
+    let eta = parse_formula(formula)?;
     let keep_refs: Vec<&str> = keep.iter().map(String::as_str).collect();
-    let h = Homomorphism::hiding(ts.alphabet(), keep_refs.iter().copied())
-        .map_err(|e| e.to_string())?;
-    let analysis = verify_via_abstraction(&ts, &h, &eta).map_err(|e| e.to_string())?;
+    let h =
+        Homomorphism::hiding(ts.alphabet(), keep_refs.iter().copied()).map_err(CheckError::from)?;
+    let analysis = verify_via_abstraction_with(&ts, &h, &eta, guard)?;
     println!(
         "abstraction: {} states (concrete {})",
         analysis.abstract_system.state_count(),
@@ -119,12 +166,12 @@ fn cmd_abstract(path: &str, formula: &str, keep: Vec<String>) -> Result<ExitCode
     Ok(code)
 }
 
-fn cmd_simplicity(path: &str, keep: Vec<String>) -> Result<ExitCode, String> {
+fn cmd_simplicity(path: &str, keep: Vec<String>, guard: &Guard) -> Result<ExitCode, CheckError> {
     let ts = load(path)?;
     let keep_refs: Vec<&str> = keep.iter().map(String::as_str).collect();
-    let h = Homomorphism::hiding(ts.alphabet(), keep_refs.iter().copied())
-        .map_err(|e| e.to_string())?;
-    let report = check_simplicity(&h, &ts.to_nfa()).map_err(|e| e.to_string())?;
+    let h =
+        Homomorphism::hiding(ts.alphabet(), keep_refs.iter().copied()).map_err(CheckError::from)?;
+    let report = check_simplicity_with(&h, &ts.to_nfa(), guard)?;
     println!("homomorphism: {h}");
     println!(
         "simple: {} ({} continuation pairs checked)",
@@ -141,11 +188,11 @@ fn cmd_simplicity(path: &str, keep: Vec<String>) -> Result<ExitCode, String> {
     })
 }
 
-fn cmd_fair(path: &str, formula: &str, steps: usize) -> Result<ExitCode, String> {
+fn cmd_fair(path: &str, formula: &str, steps: usize) -> Result<ExitCode, CheckError> {
     let ts = load(path)?;
-    let eta = parse(formula).map_err(|e| e.to_string())?;
+    let eta = parse_formula(formula)?;
     let imp = synthesize_fair_implementation(&ts, &Property::formula(eta.clone()))
-        .map_err(|e| e.to_string())?;
+        .map_err(CheckError::from)?;
     println!(
         "synthesized implementation: {} states (original {})",
         imp.system.state_count(),
@@ -180,25 +227,57 @@ fn verdict(b: bool) -> &'static str {
     }
 }
 
+/// Runs a subcommand behind panic isolation and maps [`CheckError`] onto the
+/// documented exit codes.
+fn govern(body: impl FnOnce() -> Result<ExitCode, CheckError>) -> ExitCode {
+    let outcome = panic::catch_unwind(AssertUnwindSafe(body));
+    match outcome {
+        Ok(Ok(code)) => code,
+        Ok(Err(e @ CheckError::BudgetExceeded { .. }))
+        | Ok(Err(e @ CheckError::Cancelled { .. })) => {
+            eprintln!("rlcheck: resource budget exhausted before a verdict was reached");
+            eprintln!("rlcheck: {e}");
+            eprintln!("rlcheck: raise --timeout / --max-states, or simplify the input");
+            ExitCode::from(3)
+        }
+        Ok(Err(e)) => fail(e),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic".to_owned());
+            eprintln!("rlcheck: internal panic: {msg}");
+            ExitCode::from(101)
+        }
+    }
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     let usage = "usage: rlcheck <check|abstract|simplicity|fair|dot> <system-file> \
-                 [<formula>] [--keep a,b,c] [--steps N]";
+                 [<formula>] [--keep a,b,c] [--steps N] \
+                 [--timeout <secs>] [--max-states <n>]";
+    let budget = match extract_budget(&mut args) {
+        Ok(b) => b,
+        Err(e) => return fail(format!("{e}\n{usage}")),
+    };
+    let guard = Guard::new(budget);
     let Some(cmd) = args.first() else {
         return fail(usage);
     };
-    let result = match cmd.as_str() {
+    match cmd.as_str() {
         "check" => match (args.get(1), args.get(2)) {
-            (Some(path), Some(f)) => cmd_check(path, f),
-            _ => return fail(usage),
+            (Some(path), Some(f)) => govern(|| cmd_check(path, f, &guard)),
+            _ => fail(usage),
         },
         "abstract" => match (args.get(1), args.get(2), keep_list(&args)) {
-            (Some(path), Some(f), Some(keep)) => cmd_abstract(path, f, keep),
-            _ => return fail("abstract needs <system-file> <formula> --keep a,b,c"),
+            (Some(path), Some(f), Some(keep)) => govern(|| cmd_abstract(path, f, keep, &guard)),
+            _ => fail("abstract needs <system-file> <formula> --keep a,b,c"),
         },
         "simplicity" => match (args.get(1), keep_list(&args)) {
-            (Some(path), Some(keep)) => cmd_simplicity(path, keep),
-            _ => return fail("simplicity needs <system-file> --keep a,b,c"),
+            (Some(path), Some(keep)) => govern(|| cmd_simplicity(path, keep, &guard)),
+            _ => fail("simplicity needs <system-file> --keep a,b,c"),
         },
         "fair" => match (args.get(1), args.get(2)) {
             (Some(path), Some(f)) => {
@@ -208,24 +287,18 @@ fn main() -> ExitCode {
                     .and_then(|i| args.get(i + 1))
                     .and_then(|s| s.parse().ok())
                     .unwrap_or(1_000);
-                cmd_fair(path, f, steps)
+                govern(|| cmd_fair(path, f, steps))
             }
-            _ => return fail(usage),
+            _ => fail(usage),
         },
         "dot" => match args.get(1) {
-            Some(path) => match load(path) {
-                Ok(ts) => {
-                    println!("{}", ts.to_dot("system"));
-                    Ok(ExitCode::SUCCESS)
-                }
-                Err(e) => Err(e),
-            },
-            None => return fail(usage),
+            Some(path) => govern(|| {
+                let ts = load(path)?;
+                println!("{}", ts.to_dot("system"));
+                Ok(ExitCode::SUCCESS)
+            }),
+            None => fail(usage),
         },
-        other => return fail(format!("unknown command {other:?}\n{usage}")),
-    };
-    match result {
-        Ok(code) => code,
-        Err(e) => fail(e),
+        other => fail(format!("unknown command {other:?}\n{usage}")),
     }
 }

@@ -56,30 +56,35 @@ pub use rl_automata as automata;
 pub use rl_buchi as buchi;
 pub use rl_core as core;
 pub use rl_exec as exec;
+pub use rl_json as json;
 pub use rl_logic as logic;
 pub use rl_petri as petri;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use rl_abstraction::{
-        abstract_behavior, check_simplicity, compositional_abstract_behavior, extend_with_hash,
-        has_maximal_words, image_nfa, inverse_image_buchi, inverse_image_nfa, Homomorphism,
+        abstract_behavior, abstract_behavior_with, check_simplicity, check_simplicity_with,
+        compositional_abstract_behavior, extend_with_hash, has_maximal_words,
+        has_maximal_words_with, image_nfa, inverse_image_buchi, inverse_image_nfa, Homomorphism,
     };
     pub use rl_automata::{
-        dfa_equivalent, dfa_included, format_word, largest_simulation, parse_word, simulates,
-        Alphabet, Dfa, Nfa, Regex, Symbol, TransitionSystem, Word,
+        dfa_equivalent, dfa_included, dfa_included_with, format_word, largest_simulation,
+        parse_word, simulates, Alphabet, Dfa, Nfa, Regex, Symbol, TransitionSystem, Word,
     };
     pub use rl_buchi::{
-        behaviors_of_ts, complement, limit_of_dfa, limit_of_regular, omega_equivalent,
-        omega_included, Buchi, OmegaRegex, UpWord,
+        behaviors_of_ts, behaviors_of_ts_with, complement, complement_with, limit_of_dfa,
+        limit_of_regular, limit_of_regular_with, omega_equivalent, omega_included,
+        omega_included_with, Buchi, OmegaRegex, UpWord,
     };
     pub use rl_core::{
         cantor_distance, certify_density, check_transported_concrete, dense_witness,
         extension_witness, forall_always_exists_eventually, forall_always_recurrently,
         is_liveness_property, is_machine_closed, is_relative_liveness, is_relative_liveness_of_ts,
-        is_relative_safety, is_safety_property, labeling_for_homomorphism, satisfies,
-        synthesize_fair_implementation, verify_via_abstraction, AbstractionAnalysis, CoreError,
-        FairImplementation, Property, TransferConclusion,
+        is_relative_liveness_of_ts_with, is_relative_liveness_with, is_relative_safety,
+        is_relative_safety_with, is_safety_property, labeling_for_homomorphism, satisfies,
+        satisfies_with, synthesize_fair_implementation, verify_via_abstraction,
+        verify_via_abstraction_with, AbstractionAnalysis, Budget, CancelToken, CheckError,
+        CoreError, FairImplementation, Guard, Progress, Property, Resource, TransferConclusion,
     };
     pub use rl_exec::{
         almost_surely_recurrent, estimate_satisfaction, min_fairness_ratio,

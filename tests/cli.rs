@@ -134,3 +134,81 @@ fn abp_sample_file_checks() {
     assert!(text.contains("classical  []<>deliver: fails"));
     assert!(text.contains("rel-live   []<>deliver: HOLDS"));
 }
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn max_states_budget_exhaustion_exits_3() {
+    // needle24.ts determinizes to 2^24 subset states; a 10k-state budget
+    // must trip almost immediately instead of hanging.
+    let out = rlcheck(&[
+        "check",
+        "examples/systems/needle24.ts",
+        "[]<>a",
+        "--max-states",
+        "10000",
+        "--timeout",
+        "5",
+    ]);
+    assert_eq!(out.status.code(), Some(3), "budget exhaustion => exit 3");
+    let err = stderr(&out);
+    assert!(err.contains("BudgetExceeded"), "stderr: {err}");
+    assert!(err.contains("states"), "stderr: {err}");
+    assert!(err.contains("limit 10000"), "stderr: {err}");
+}
+
+#[test]
+fn zero_timeout_exits_3_with_wall_clock_report() {
+    let out = rlcheck(&[
+        "check",
+        "examples/systems/needle24.ts",
+        "[]<>a",
+        "--timeout",
+        "0",
+    ]);
+    assert_eq!(out.status.code(), Some(3), "deadline exhaustion => exit 3");
+    let err = stderr(&out);
+    assert!(err.contains("BudgetExceeded"), "stderr: {err}");
+    assert!(err.contains("wall-clock"), "stderr: {err}");
+}
+
+#[test]
+fn budget_flags_do_not_disturb_small_inputs() {
+    // The same flags on an easy input leave the verdict (and exit 0) alone.
+    let out = rlcheck(&[
+        "check",
+        "examples/systems/abp.ts",
+        "[]<>deliver",
+        "--max-states",
+        "100000",
+        "--timeout",
+        "60",
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(stdout(&out).contains("rel-live   []<>deliver: HOLDS"));
+}
+
+#[test]
+fn malformed_budget_flags_exit_2() {
+    let out = rlcheck(&[
+        "check",
+        "examples/systems/abp.ts",
+        "[]<>deliver",
+        "--timeout",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "missing value => usage error");
+    let out2 = rlcheck(&[
+        "check",
+        "examples/systems/abp.ts",
+        "[]<>deliver",
+        "--max-states",
+        "many",
+    ]);
+    assert_eq!(
+        out2.status.code(),
+        Some(2),
+        "non-numeric value => usage error"
+    );
+}

@@ -233,6 +233,29 @@ proptest! {
         }
     }
 
+    /// Resource governance never changes answers: a budgeted check either
+    /// returns the same verdict as the unbudgeted one or fails with a budget
+    /// error — it never reports a *different* verdict.
+    #[test]
+    fn budgeted_check_never_lies(ts in ts_strategy(4), max_states in 1usize..400) {
+        let p = Property::formula(parse("[]<>a").unwrap());
+        let truth = is_relative_liveness_of_ts(&ts, &p).unwrap().holds;
+        let guard = Guard::new(Budget::unlimited().with_max_states(max_states));
+        match is_relative_liveness_of_ts_with(&ts, &p, &guard) {
+            Ok(verdict) => prop_assert_eq!(verdict.holds, truth),
+            Err(e) => {
+                let e = CheckError::from(e);
+                prop_assert!(
+                    matches!(
+                        e,
+                        CheckError::BudgetExceeded { .. } | CheckError::Cancelled { .. }
+                    ),
+                    "budgeted run failed with a non-budget error: {}", e
+                );
+            }
+        }
+    }
+
     /// The fair-implementation synthesis preserves behaviors whenever the
     /// property is relatively live (random systems × a small formula pool).
     #[test]
@@ -418,8 +441,8 @@ proptest! {
             raw.into_iter().map(|(p, s, q)| (p, Symbol::from_index(s), q)),
         )
         .unwrap();
-        let json = serde_json::to_string(&nfa).unwrap();
-        let back: Nfa = serde_json::from_str(&json).unwrap();
+        let json = relative_liveness::json::to_string(&nfa).unwrap();
+        let back: Nfa = relative_liveness::json::from_str(&json).unwrap();
         prop_assert!(dfa_equivalent(&nfa.determinize(), &back.determinize()));
     }
 }

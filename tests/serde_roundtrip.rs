@@ -1,5 +1,6 @@
-//! JSON round-trips for every serializable data structure (the umbrella
-//! crate enables the member crates' `serde` features).
+//! JSON round-trips for every serializable data structure (persistence goes
+//! through the in-tree `rl-json` crate, re-exported as
+//! `relative_liveness::json`).
 
 use relative_liveness::prelude::*;
 use rl_bench::alternating_bit;
@@ -7,12 +8,12 @@ use rl_bench::alternating_bit;
 #[test]
 fn alphabet_roundtrip() {
     let ab = Alphabet::new(["request", "result", "reject"]).unwrap();
-    let json = serde_json::to_string(&ab).unwrap();
+    let json = relative_liveness::json::to_string(&ab).unwrap();
     assert_eq!(json, r#"["request","result","reject"]"#);
-    let back: Alphabet = serde_json::from_str(&json).unwrap();
+    let back: Alphabet = relative_liveness::json::from_str(&json).unwrap();
     assert_eq!(ab, back);
     // Duplicates are rejected at deserialization time.
-    assert!(serde_json::from_str::<Alphabet>(r#"["a","a"]"#).is_err());
+    assert!(relative_liveness::json::from_str::<Alphabet>(r#"["a","a"]"#).is_err());
 }
 
 #[test]
@@ -28,8 +29,8 @@ fn nfa_roundtrip_preserves_language() {
         [(0, a, 0), (0, b, 1), (1, a, 2), (2, b, 2)],
     )
     .unwrap();
-    let json = serde_json::to_string_pretty(&nfa).unwrap();
-    let back: Nfa = serde_json::from_str(&json).unwrap();
+    let json = relative_liveness::json::to_string_pretty(&nfa).unwrap();
+    let back: Nfa = relative_liveness::json::from_str(&json).unwrap();
     assert!(dfa_equivalent(&nfa.determinize(), &back.determinize()));
     assert_eq!(nfa.state_count(), back.state_count());
 }
@@ -39,32 +40,32 @@ fn nfa_rejects_corrupt_documents() {
     // Transition to a state out of range.
     let bad = r#"{"alphabet":["a"],"state_count":1,"initial":[0],
                   "accepting":[0],"transitions":[[0,0,7]]}"#;
-    assert!(serde_json::from_str::<Nfa>(bad).is_err());
+    assert!(relative_liveness::json::from_str::<Nfa>(bad).is_err());
     // Symbol out of range.
     let bad2 = r#"{"alphabet":["a"],"state_count":1,"initial":[0],
                    "accepting":[0],"transitions":[[0,3,0]]}"#;
-    assert!(serde_json::from_str::<Nfa>(bad2).is_err());
+    assert!(relative_liveness::json::from_str::<Nfa>(bad2).is_err());
 }
 
 #[test]
 fn dfa_roundtrip_and_conflict_detection() {
     let ab = Alphabet::new(["a", "b"]).unwrap();
     let dfa = server_behaviors().to_nfa().determinize();
-    let json = serde_json::to_string(&dfa).unwrap();
-    let back: Dfa = serde_json::from_str(&json).unwrap();
+    let json = relative_liveness::json::to_string(&dfa).unwrap();
+    let back: Dfa = relative_liveness::json::from_str(&json).unwrap();
     assert!(dfa_equivalent(&dfa, &back));
     let _ = ab;
     // Conflicting edges are rejected.
     let bad = r#"{"alphabet":["a"],"state_count":2,"initial":0,
                   "accepting":[1],"transitions":[[0,0,1],[0,0,0]]}"#;
-    assert!(serde_json::from_str::<Dfa>(bad).is_err());
+    assert!(relative_liveness::json::from_str::<Dfa>(bad).is_err());
 }
 
 #[test]
 fn transition_system_roundtrip_keeps_labels() {
     let ts = server_behaviors();
-    let json = serde_json::to_string(&ts).unwrap();
-    let back: TransitionSystem = serde_json::from_str(&json).unwrap();
+    let json = relative_liveness::json::to_string(&ts).unwrap();
+    let back: TransitionSystem = relative_liveness::json::from_str(&json).unwrap();
     assert_eq!(ts.state_count(), back.state_count());
     assert_eq!(ts.transition_count(), back.transition_count());
     assert_eq!(ts.initial(), back.initial());
@@ -79,8 +80,8 @@ fn transition_system_roundtrip_keeps_labels() {
 #[test]
 fn buchi_roundtrip_preserves_omega_language() {
     let behaviors = behaviors_of_ts(&alternating_bit());
-    let json = serde_json::to_string(&behaviors).unwrap();
-    let back: Buchi = serde_json::from_str(&json).unwrap();
+    let json = relative_liveness::json::to_string(&behaviors).unwrap();
+    let back: Buchi = relative_liveness::json::from_str(&json).unwrap();
     // Spot-check on sampled lassos plus structural equality.
     assert_eq!(behaviors.state_count(), back.state_count());
     assert_eq!(behaviors.transition_count(), back.transition_count());
@@ -95,26 +96,26 @@ fn upword_roundtrip() {
     let a = ab.symbol("a").unwrap();
     let b = ab.symbol("b").unwrap();
     let w = UpWord::new(vec![a, b], vec![b, a, a]).unwrap();
-    let json = serde_json::to_string(&w).unwrap();
-    let back: UpWord = serde_json::from_str(&json).unwrap();
+    let json = relative_liveness::json::to_string(&w).unwrap();
+    let back: UpWord = relative_liveness::json::from_str(&json).unwrap();
     assert_eq!(w, back);
     // Empty period rejected.
-    assert!(serde_json::from_str::<UpWord>(r#"{"prefix":[0],"period":[]}"#).is_err());
+    assert!(relative_liveness::json::from_str::<UpWord>(r#"{"prefix":[0],"period":[]}"#).is_err());
 }
 
 #[test]
 fn formula_roundtrip() {
     let f = parse("[](request -> <>result) & !(a U b)").unwrap();
-    let json = serde_json::to_string(&f).unwrap();
-    let back: Formula = serde_json::from_str(&json).unwrap();
+    let json = relative_liveness::json::to_string(&f).unwrap();
+    let back: Formula = relative_liveness::json::from_str(&json).unwrap();
     assert_eq!(f, back);
 }
 
 #[test]
 fn petri_net_roundtrip() {
     let net = server_net();
-    let json = serde_json::to_string_pretty(&net).unwrap();
-    let back: PetriNet = serde_json::from_str(&json).unwrap();
+    let json = relative_liveness::json::to_string_pretty(&net).unwrap();
+    let back: PetriNet = relative_liveness::json::from_str(&json).unwrap();
     assert_eq!(net.place_count(), back.place_count());
     assert_eq!(net.transition_count(), back.transition_count());
     assert_eq!(net.initial_marking(), back.initial_marking());
@@ -127,7 +128,7 @@ fn petri_net_roundtrip() {
     ));
     // Duplicate place names rejected.
     let bad = r#"{"places":[["p",1],["p",0]],"transitions":[]}"#;
-    assert!(serde_json::from_str::<PetriNet>(bad).is_err());
+    assert!(relative_liveness::json::from_str::<PetriNet>(bad).is_err());
 }
 
 #[test]
@@ -137,7 +138,7 @@ fn counterexamples_are_exportable() {
     let p = Property::formula(parse("[]<>result").unwrap());
     let verdict = is_relative_liveness(&behaviors, &p).unwrap();
     let cex = verdict.doomed_prefix.unwrap();
-    let json = serde_json::to_string(&cex).unwrap();
-    let back: Vec<Symbol> = serde_json::from_str(&json).unwrap();
+    let json = relative_liveness::json::to_string(&cex).unwrap();
+    let back: Vec<Symbol> = relative_liveness::json::from_str(&json).unwrap();
     assert_eq!(cex, back);
 }

@@ -1,0 +1,282 @@
+//! In-tree stand-in for the subset of the `criterion` crate this workspace
+//! uses.
+//!
+//! The workspace builds in fully offline environments, so external registry
+//! crates are replaced by small local implementations with the same surface:
+//! [`Criterion`], [`BenchmarkGroup`] (`sample_size`, `measurement_time`,
+//! `warm_up_time`, `bench_function`, `bench_with_input`, `finish`),
+//! [`BenchmarkId`], [`Bencher::iter`], [`black_box`] and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: per benchmark, a wall-clock warm-up
+//! loop followed by `sample_size` timed samples (each sample batching enough
+//! iterations to be measurable), reported as min/median/max per iteration on
+//! stdout. When invoked by `cargo test` (cargo passes `--test`), each
+//! benchmark body runs exactly once so the target doubles as a smoke test.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver (stand-in for criterion's `Criterion`).
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Under `cargo test` the harness is invoked with `--test`; run each
+        // benchmark once and skip measurement.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let test_mode = self.test_mode;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            test_mode,
+            sample_size: 10,
+            measurement_time: Duration::from_millis(1500),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+
+    /// Benchmarks `routine` outside any group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        routine: impl FnMut(&mut Bencher),
+    ) {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, routine);
+        group.finish();
+    }
+}
+
+/// A named set of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    test_mode: bool,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the wall-clock budget for the timed samples.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the wall-clock budget for the warm-up loop.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut routine: impl FnMut(&mut Bencher),
+    ) {
+        let id = id.into();
+        let mut bencher = Bencher {
+            test_mode: self.test_mode,
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            samples: Vec::new(),
+        };
+        routine(&mut bencher);
+        bencher.report(&self.name, &id.label);
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.bench_function(id, |b| routine(b, input));
+    }
+
+    /// Ends the group (report lines are emitted per benchmark already).
+    pub fn finish(self) {}
+}
+
+/// Identifies a benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// A bare parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Times a closure under the group's settings.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Measures `routine`, batching iterations per sample so that even
+    /// sub-microsecond bodies produce meaningful timings.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+
+        // Warm-up: also estimates the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos().max(1) / u128::from(warm_iters.max(1));
+
+        // Batch size targeting measurement_time split across sample_size
+        // samples.
+        let sample_nanos =
+            (self.measurement_time.as_nanos() / self.sample_size.max(1) as u128).max(1);
+        let batch = (sample_nanos / per_iter.max(1)).clamp(1, 1_000_000) as u64;
+
+        let deadline = Instant::now() + self.measurement_time.saturating_mul(2);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / batch as u32);
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, group: &str, label: &str) {
+        let name = if group.is_empty() {
+            label.to_owned()
+        } else {
+            format!("{group}/{label}")
+        };
+        if self.test_mode {
+            println!("{name}: ok (test mode)");
+            return;
+        }
+        if self.samples.is_empty() {
+            println!("{name}: no samples");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        println!(
+            "{name}: median {:?}/iter (min {:?}, max {:?}, {} samples)",
+            median,
+            sorted[0],
+            sorted[sorted.len() - 1],
+            sorted.len()
+        );
+    }
+}
+
+/// Bundles benchmark functions into a single group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_labels() {
+        assert_eq!(BenchmarkId::new("f", 3).label, "f/3");
+        assert_eq!(BenchmarkId::from_parameter(7).label, "7");
+    }
+
+    #[test]
+    fn bench_runs_routine() {
+        let mut c = Criterion { test_mode: true };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        let mut calls = 0u32;
+        group.bench_with_input(BenchmarkId::from_parameter(1), &5u64, |b, &x| {
+            b.iter(|| {
+                calls += 1;
+                black_box(x * 2)
+            })
+        });
+        group.finish();
+        assert!(calls >= 1);
+    }
+}

@@ -1,0 +1,681 @@
+//! In-tree stand-in for the subset of the `proptest` crate this workspace
+//! uses.
+//!
+//! The workspace builds in fully offline environments, so external registry
+//! crates are replaced by small local implementations keeping the same import
+//! paths and macro surface: `proptest!`, `prop_assert!`, `prop_assert_eq!`,
+//! `prop_assume!`, `prop_oneof!`, the [`strategy::Strategy`] combinators
+//! (`prop_map`, `prop_recursive`, `boxed`), [`collection::vec`],
+//! [`option::of`] and [`sample::select`].
+//!
+//! Differences from upstream proptest, deliberate for size and determinism:
+//!
+//! * **No shrinking.** A failing case reports the failure message, the case
+//!   number and the (fixed) seed; inputs are small by construction in this
+//!   workspace, so minimization matters less.
+//! * **Deterministic seeding.** The RNG seed is derived from the test's
+//!   module path and name, so a run either always passes or always fails —
+//!   there are no flaky property tests and no persistence files.
+//! * Strategies are plain samplers (`fn sample(&mut TestRng) -> Value`);
+//!   there is no value tree.
+
+#![forbid(unsafe_code)]
+
+/// Test execution: configuration, RNG, case errors and the runner loop.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Deterministic RNG handed to strategies during sampling.
+    #[derive(Clone, Debug)]
+    pub struct TestRng(StdRng);
+
+    impl TestRng {
+        /// Builds a generator from a 64-bit seed.
+        pub fn seed_from_u64(seed: u64) -> Self {
+            TestRng(StdRng::seed_from_u64(seed))
+        }
+
+        /// Returns the next 64 uniformly distributed bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+
+        /// Draws uniformly from `[0, n)`; `n` must be positive.
+        pub fn below(&mut self, n: usize) -> usize {
+            assert!(n > 0, "below(0)");
+            (self.next_u64() % n as u64) as usize
+        }
+    }
+
+    /// Why a single test case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// The property is violated; the whole test fails.
+        Fail(String),
+        /// A `prop_assume!` precondition was not met; the case is discarded.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Builds a rejection with the given message.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+                TestCaseError::Reject(m) => write!(f, "test case rejected: {m}"),
+            }
+        }
+    }
+
+    /// Runner configuration (subset of upstream's `ProptestConfig`).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+        /// Upper bound on discarded (`prop_assume!`-rejected) cases before
+        /// the runner gives up on generating further inputs.
+        pub max_global_rejects: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` successful cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig {
+                cases,
+                max_global_rejects: cases.saturating_mul(256),
+            }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig::with_cases(256)
+        }
+    }
+
+    fn fnv1a(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Runs `case` until `config.cases` successes, panicking on the first
+    /// failure. The seed is a pure function of `name`, so results are
+    /// reproducible across runs and machines.
+    pub fn run(
+        config: &ProptestConfig,
+        name: &str,
+        case: &dyn Fn(&mut TestRng) -> Result<(), TestCaseError>,
+    ) {
+        let mut rng = TestRng::seed_from_u64(fnv1a(name));
+        let mut passed: u32 = 0;
+        let mut rejected: u32 = 0;
+        while passed < config.cases {
+            match case(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    if rejected >= config.max_global_rejects {
+                        // The assumption is too strict to reach the target
+                        // count; accept the cases exercised so far.
+                        eprintln!(
+                            "proptest {name}: gave up after {rejected} rejects \
+                             ({passed}/{} cases passed)",
+                            config.cases
+                        );
+                        return;
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest {name} failed after {passed} passing case(s) \
+                         ({rejected} rejected): {msg}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Strategies: deterministic samplers for test inputs.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+    use std::sync::Arc;
+
+    /// A source of random values of type [`Strategy::Value`].
+    pub trait Strategy {
+        /// The type of values this strategy generates.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Builds recursive values: `self` generates leaves, `recurse` builds
+        /// one extra level on top of a strategy for subtrees, applied up to
+        /// `depth` times. `_desired_size` and `_expected_branch_size` are
+        /// accepted for upstream signature compatibility and ignored.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let leaf = self.boxed();
+            let mut strat = leaf.clone();
+            for _ in 0..depth {
+                let branch = recurse(strat).boxed();
+                let leaf = leaf.clone();
+                strat = BoxedStrategy::new(move |rng| {
+                    // Bias toward branching; the chain bottoms out at `leaf`
+                    // after `depth` levels regardless.
+                    if rng.below(4) < 3 {
+                        branch.sample(rng)
+                    } else {
+                        leaf.sample(rng)
+                    }
+                });
+            }
+            strat
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy::new(move |rng| self.sample(rng))
+        }
+    }
+
+    /// A clonable, type-erased strategy.
+    pub struct BoxedStrategy<T> {
+        sampler: Arc<dyn Fn(&mut TestRng) -> T>,
+    }
+
+    impl<T> BoxedStrategy<T> {
+        /// Wraps a sampling function.
+        pub fn new(sampler: impl Fn(&mut TestRng) -> T + 'static) -> Self {
+            BoxedStrategy {
+                sampler: Arc::new(sampler),
+            }
+        }
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                sampler: Arc::clone(&self.sampler),
+            }
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (self.sampler)(rng)
+        }
+    }
+
+    /// Always generates a clone of the wrapped value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn sample(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.next_u64() % span) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(usize, u64, u32, u16, u8);
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident/$v:ident),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($s,)+) = self;
+                    $(let $v = $s.sample(rng);)+
+                    ($($v,)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A / a);
+    impl_tuple_strategy!(A / a, B / b);
+    impl_tuple_strategy!(A / a, B / b, C / c);
+    impl_tuple_strategy!(A / a, B / b, C / c, D / d);
+    impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e);
+
+    /// Uniform choice between alternatives (the `prop_oneof!` backend).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union over the (non-empty) list of alternatives.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union {
+                arms: self.arms.clone(),
+            }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.arms.len());
+            self.arms[i].sample(rng)
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Generates `Vec`s whose elements come from `element`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.lo + rng.below(self.size.hi - self.size.lo + 1);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy for vectors with lengths in `size` and elements from
+    /// `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// `Option` strategies.
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Generates `Some` (3 times in 4) or `None`.
+    #[derive(Clone, Debug)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) < 3 {
+                Some(self.inner.sample(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    /// Strategy for optional values of `inner`'s type.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+/// Sampling from fixed pools.
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Uniform choice from a static slice.
+    #[derive(Clone, Debug)]
+    pub struct Select<T: 'static> {
+        items: &'static [T],
+    }
+
+    impl<T: Clone + 'static> Strategy for Select<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.items[rng.below(self.items.len())].clone()
+        }
+    }
+
+    /// Strategy drawing uniformly from `items` (which must be non-empty).
+    pub fn select<T: Clone + 'static>(items: &'static [T]) -> Select<T> {
+        assert!(!items.is_empty(), "select from empty slice");
+        Select { items }
+    }
+}
+
+/// One-stop imports mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that samples the strategies and runs the body until
+/// the configured number of cases passes.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                $crate::test_runner::run(
+                    &config,
+                    concat!(module_path!(), "::", stringify!($name)),
+                    &|__proptest_rng: &mut $crate::test_runner::TestRng|
+                        -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $(
+                            let $arg = $crate::strategy::Strategy::sample(&($strat), __proptest_rng);
+                        )+
+                        $body
+                        ::std::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+}
+
+/// Asserts a condition inside a property test, failing the case (without
+/// panicking the sampler loop) when it does not hold.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            left
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `(left != right)`\n  both: `{:?}`: {}",
+            left,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Discards the current case unless the precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_runs() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let s = crate::collection::vec(0usize..10, 1..=4);
+        let mut r1 = TestRng::seed_from_u64(5);
+        let mut r2 = TestRng::seed_from_u64(5);
+        for _ in 0..50 {
+            assert_eq!(s.sample(&mut r1), s.sample(&mut r2));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed after")]
+    fn failing_property_panics() {
+        let config = ProptestConfig::with_cases(8);
+        crate::test_runner::run(&config, "failing_property", &|rng| {
+            let x = crate::strategy::Strategy::sample(&(0usize..100), rng);
+            prop_assert!(x < 1, "x was {x}");
+            Ok(())
+        });
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_surface_works(
+            xs in crate::collection::vec(0usize..5, 0..6),
+            flag in crate::option::of(0usize..2),
+            pick in crate::sample::select(&[10usize, 20, 30]),
+        ) {
+            prop_assert!(xs.len() < 6);
+            prop_assert!(xs.iter().all(|&x| x < 5));
+            if let Some(f) = flag {
+                prop_assert!(f < 2);
+            }
+            prop_assert!(pick % 10 == 0);
+            prop_assume!(pick != 30);
+            prop_assert_ne!(pick, 30);
+        }
+
+        #[test]
+        fn oneof_and_recursive(expr in expr_strategy()) {
+            prop_assert!(depth(&expr) <= 4, "depth {} expr {:?}", depth(&expr), expr);
+        }
+    }
+
+    #[derive(Clone, Debug)]
+    enum Expr {
+        Leaf(usize),
+        Pair(Box<Expr>, Box<Expr>),
+    }
+
+    fn depth(e: &Expr) -> usize {
+        match e {
+            Expr::Leaf(_) => 1,
+            Expr::Pair(a, b) => 1 + depth(a).max(depth(b)),
+        }
+    }
+
+    fn expr_strategy() -> BoxedStrategy<Expr> {
+        let leaf = prop_oneof![Just(Expr::Leaf(0)), (1usize..9).prop_map(Expr::Leaf)];
+        leaf.prop_recursive(3, 16, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Pair(Box::new(a), Box::new(b)))
+        })
+        .boxed()
+    }
+}

@@ -1,0 +1,830 @@
+//! Self-contained JSON support for the relative-liveness workspace.
+//!
+//! The workspace builds in fully offline environments, so serde/serde_json
+//! are replaced by this small crate: a [`Json`] value model, a strict parser
+//! ([`parse`]) with a recursion-depth guard, compact and pretty printers, and
+//! the [`ToJson`]/[`FromJson`] conversion traits the machine types implement
+//! by hand. The entry points mirror serde_json's call shape so persistence
+//! code reads the same: [`to_string`], [`to_string_pretty`], [`from_str`].
+//!
+//! Deserialization is validating: implementations rebuild values through
+//! ordinary constructors, so a corrupted document produces an error, never an
+//! inconsistent structure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Maximum nesting depth the parser accepts; deeper documents are rejected
+/// instead of risking a stack overflow on hostile input.
+const MAX_DEPTH: usize = 512;
+
+/// A JSON document fragment.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// An integer (JSON numbers without fraction/exponent).
+    Int(i64),
+    /// A non-integer number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved when printing.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Returns the required field `key` of an object, or a descriptive error.
+    pub fn field(&self, key: &str) -> Result<&Json, JsonError> {
+        self.get(key)
+            .ok_or_else(|| JsonError::custom(format!("missing field `{key}`")))
+    }
+
+    /// The elements of an array, or an error for any other shape.
+    pub fn as_arr(&self) -> Result<&[Json], JsonError> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            other => Err(JsonError::custom(format!(
+                "expected array, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Int(_) | Json::Float(_) => "number",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+}
+
+/// Error raised by parsing or by [`FromJson`] conversions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    msg: String,
+}
+
+impl JsonError {
+    /// Builds an error from any displayable value (mirrors
+    /// `serde::de::Error::custom`).
+    pub fn custom(msg: impl fmt::Display) -> JsonError {
+        JsonError {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Conversion into the JSON value model.
+pub trait ToJson {
+    /// Renders `self` as a [`Json`] value.
+    fn to_json(&self) -> Json;
+}
+
+/// Validating conversion out of the JSON value model.
+pub trait FromJson: Sized {
+    /// Rebuilds a value, re-checking every structural invariant.
+    fn from_json(value: &Json) -> Result<Self, JsonError>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive and container impls
+// ---------------------------------------------------------------------------
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl FromJson for Json {
+    fn from_json(value: &Json) -> Result<Json, JsonError> {
+        Ok(value.clone())
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(value: &Json) -> Result<bool, JsonError> {
+        match value {
+            Json::Bool(b) => Ok(*b),
+            other => Err(JsonError::custom(format!(
+                "expected bool, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(value: &Json) -> Result<String, JsonError> {
+        match value {
+            Json::Str(s) => Ok(s.clone()),
+            other => Err(JsonError::custom(format!(
+                "expected string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_owned())
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Float(*self)
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(value: &Json) -> Result<f64, JsonError> {
+        match value {
+            Json::Int(i) => Ok(*i as f64),
+            Json::Float(x) => Ok(*x),
+            other => Err(JsonError::custom(format!(
+                "expected number, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+macro_rules! impl_json_integer {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::Int(*self as i64)
+            }
+        }
+
+        impl FromJson for $t {
+            fn from_json(value: &Json) -> Result<$t, JsonError> {
+                match value {
+                    Json::Int(i) => <$t>::try_from(*i).map_err(|_| {
+                        JsonError::custom(format!(
+                            "number {i} out of range for {}",
+                            stringify!($t)
+                        ))
+                    }),
+                    other => Err(JsonError::custom(format!(
+                        "expected integer, got {}",
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_json_integer!(usize, u64, u32, u16, u8, i64, i32);
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(value: &Json) -> Result<Option<T>, JsonError> {
+        match value {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(value: &Json) -> Result<Vec<T>, JsonError> {
+        value.as_arr()?.iter().map(T::from_json).collect()
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: FromJson, B: FromJson> FromJson for (A, B) {
+    fn from_json(value: &Json) -> Result<(A, B), JsonError> {
+        match value.as_arr()? {
+            [a, b] => Ok((A::from_json(a)?, B::from_json(b)?)),
+            items => Err(JsonError::custom(format!(
+                "expected 2-element array, got {} elements",
+                items.len()
+            ))),
+        }
+    }
+}
+
+impl<A: ToJson, B: ToJson, C: ToJson> ToJson for (A, B, C) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json(), self.2.to_json()])
+    }
+}
+
+impl<A: FromJson, B: FromJson, C: FromJson> FromJson for (A, B, C) {
+    fn from_json(value: &Json) -> Result<(A, B, C), JsonError> {
+        match value.as_arr()? {
+            [a, b, c] => Ok((A::from_json(a)?, B::from_json(b)?, C::from_json(c)?)),
+            items => Err(JsonError::custom(format!(
+                "expected 3-element array, got {} elements",
+                items.len()
+            ))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Object builder (keeps hand-written impls terse and field order stable)
+// ---------------------------------------------------------------------------
+
+/// Incremental JSON object builder preserving field order.
+#[derive(Default)]
+pub struct ObjBuilder {
+    fields: Vec<(String, Json)>,
+}
+
+impl ObjBuilder {
+    /// An empty object.
+    pub fn new() -> ObjBuilder {
+        ObjBuilder::default()
+    }
+
+    /// Appends a field.
+    pub fn field(mut self, key: &str, value: impl ToJson) -> ObjBuilder {
+        self.fields.push((key.to_owned(), value.to_json()));
+        self
+    }
+
+    /// Finishes the object.
+    pub fn build(self) -> Json {
+        Json::Obj(self.fields)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+/// Serializes a value compactly (no whitespace).
+///
+/// # Errors
+///
+/// Never fails today; the `Result` mirrors serde_json's call shape so
+/// persistence code keeps its error handling.
+pub fn to_string<T: ToJson + ?Sized>(value: &T) -> Result<String, JsonError> {
+    let mut out = String::new();
+    write_compact(&value.to_json(), &mut out);
+    Ok(out)
+}
+
+/// Serializes a value with 2-space indentation.
+///
+/// # Errors
+///
+/// Never fails today; see [`to_string`].
+pub fn to_string_pretty<T: ToJson + ?Sized>(value: &T) -> Result<String, JsonError> {
+    let mut out = String::new();
+    write_pretty(&value.to_json(), &mut out, 0);
+    Ok(out)
+}
+
+/// Parses a document and converts it.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] for malformed JSON, trailing garbage, excessive
+/// nesting, or any structural invariant the target type rejects.
+pub fn from_str<T: FromJson>(text: &str) -> Result<T, JsonError> {
+    T::from_json(&parse(text)?)
+}
+
+/// Parses a document into the value model.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] for malformed JSON, trailing garbage, or nesting
+/// deeper than an internal limit.
+pub fn parse(text: &str) -> Result<Json, JsonError> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.value(0)?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.err("trailing characters after document"));
+    }
+    Ok(value)
+}
+
+// ---------------------------------------------------------------------------
+// Printer
+// ---------------------------------------------------------------------------
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_float(x: f64, out: &mut String) {
+    if x.is_finite() {
+        let text = format!("{x}");
+        // Keep the document a valid JSON number: `{}` prints integral floats
+        // without a fractional part.
+        if text.contains(['.', 'e', 'E']) {
+            out.push_str(&text);
+        } else {
+            out.push_str(&text);
+            out.push_str(".0");
+        }
+    } else {
+        // JSON has no NaN/Infinity; serde_json emits null here too.
+        out.push_str("null");
+    }
+}
+
+fn write_compact(value: &Json, out: &mut String) {
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Int(i) => out.push_str(&i.to_string()),
+        Json::Float(x) => write_float(*x, out),
+        Json::Str(s) => write_escaped(s, out),
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Json::Obj(fields) => {
+            out.push('{');
+            for (i, (k, v)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(k, out);
+                out.push(':');
+                write_compact(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_pretty(value: &Json, out: &mut String, indent: usize) {
+    match value {
+        Json::Arr(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, indent + 1);
+                write_pretty(item, out, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push(']');
+        }
+        Json::Obj(fields) if !fields.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, v)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, indent + 1);
+                write_escaped(k, out);
+                out.push_str(": ");
+                write_pretty(v, out, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push('}');
+        }
+        other => write_compact(other, out),
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: impl fmt::Display) -> JsonError {
+        JsonError::custom(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("invalid literal, expected `{text}`")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("document nested too deeply"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(format!("unexpected character `{}`", c as char))),
+            None => Err(self.err("unexpected end of document")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut fields: Vec<(String, Json)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            if fields.iter().any(|(k, _)| *k == key) {
+                return Err(self.err(format!("duplicate object key `{key}`")));
+            }
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let unit = self.hex4()?;
+                            let c = if (0xd800..0xdc00).contains(&unit) {
+                                // High surrogate: a \uXXXX low surrogate must
+                                // follow.
+                                if self.peek() != Some(b'\\') {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                self.pos += 1;
+                                self.expect(b'u')?;
+                                let low = self.hex4()?;
+                                if !(0xdc00..0xe000).contains(&low) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let code = 0x10000 + ((unit - 0xd800) << 10) + (low - 0xdc00);
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid surrogate pair"))?
+                            } else {
+                                char::from_u32(unit)
+                                    .ok_or_else(|| self.err("invalid \\u escape"))?
+                            };
+                            out.push(c);
+                            continue;
+                        }
+                        _ => return Err(self.err("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => {
+                    return Err(self.err("raw control character in string"));
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so the bytes
+                    // are valid UTF-8).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.bytes.len() && (self.bytes[self.pos] & 0xc0) == 0x80 {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| self.err("invalid UTF-8"))?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut value = 0u32;
+        for _ in 0..4 {
+            let c = self
+                .peek()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
+            let digit = (c as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("invalid hex digit in \\u escape"))?;
+            value = value * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(value)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            return Err(self.err("invalid number"));
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                return Err(self.err("digits required after decimal point"));
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                return Err(self.err("digits required in exponent"));
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if is_float {
+            text.parse::<f64>()
+                .map(Json::Float)
+                .map_err(|_| self.err("number out of range"))
+        } else {
+            text.parse::<i64>()
+                .map(Json::Int)
+                .map_err(|_| self.err("integer out of range"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrips() {
+        for doc in ["null", "true", "false", "0", "-17", "3.5", r#""hi""#] {
+            let v = parse(doc).unwrap();
+            assert_eq!(to_string(&v).unwrap(), doc);
+        }
+    }
+
+    #[test]
+    fn exact_compact_output() {
+        let v = Json::Arr(vec![
+            Json::Str("request".into()),
+            Json::Str("result".into()),
+            Json::Str("reject".into()),
+        ]);
+        assert_eq!(to_string(&v).unwrap(), r#"["request","result","reject"]"#);
+    }
+
+    #[test]
+    fn object_roundtrip_preserves_order() {
+        let v = ObjBuilder::new()
+            .field("alphabet", vec!["a".to_owned()])
+            .field("state_count", 2usize)
+            .field("initial", vec![0usize])
+            .build();
+        let text = to_string(&v).unwrap();
+        assert_eq!(text, r#"{"alphabet":["a"],"state_count":2,"initial":[0]}"#);
+        assert_eq!(parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn pretty_printer_is_reparsable() {
+        let v = parse(r#"{"a":[1,2,{"b":null}],"c":"x"}"#).unwrap();
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        assert_eq!(parse(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let original = "line\nquote\"back\\slash\ttab\u{1}unicode\u{1F600}";
+        let v = Json::Str(original.to_owned());
+        let text = to_string(&v).unwrap();
+        assert_eq!(parse(&text).unwrap(), v);
+        // \u escapes, including surrogate pairs, parse.
+        assert_eq!(
+            parse(r#""A😀""#).unwrap(),
+            Json::Str("A\u{1F600}".to_owned())
+        );
+    }
+
+    #[test]
+    fn malformed_documents_rejected() {
+        for doc in [
+            "",
+            "{",
+            "[1,",
+            r#"{"a":}"#,
+            "01x",
+            r#""unterminated"#,
+            "[1] trailing",
+            r#"{"a":1,"a":2}"#,
+            "nul",
+            "+1",
+            r#""\q""#,
+        ] {
+            assert!(parse(doc).is_err(), "parsed malformed {doc:?}");
+        }
+    }
+
+    #[test]
+    fn depth_guard_trips() {
+        let deep = "[".repeat(600) + &"]".repeat(600);
+        assert!(parse(&deep).is_err());
+        let ok = "[".repeat(100) + &"]".repeat(100);
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn typed_conversions() {
+        let v: Vec<(usize, usize, usize)> = from_str("[[0,1,2],[3,4,5]]").unwrap();
+        assert_eq!(v, vec![(0, 1, 2), (3, 4, 5)]);
+        assert!(from_str::<Vec<usize>>("[-1]").is_err());
+        assert!(from_str::<Vec<usize>>(r#"["x"]"#).is_err());
+        let opt: Vec<Option<String>> = from_str(r#"["a",null]"#).unwrap();
+        assert_eq!(opt, vec![Some("a".to_owned()), None]);
+    }
+}

@@ -68,8 +68,9 @@ pub fn abstract_behavior_with(
     ts: &TransitionSystem,
     guard: &Guard,
 ) -> Result<TransitionSystem, AbstractionError> {
+    let _span = guard.span("abstract_image");
     let img = image_nfa(h, &ts.to_nfa());
-    let min = img.determinize_with(guard)?.min_dfa();
+    let min = img.determinize_with(guard)?.min_dfa_with(guard);
     // `min` is complete; drop the rejecting sink (h(L) is prefix closed, so
     // live states are exactly the accepting ones).
     let keep: Vec<bool> = (0..min.state_count())

@@ -46,6 +46,7 @@ pub fn has_maximal_words(language: &Nfa) -> bool {
 ///
 /// Returns a budget error when the guard trips during determinization.
 pub fn has_maximal_words_with(language: &Nfa, guard: &Guard) -> Result<bool, AutomataError> {
+    let _span = guard.span("maximal_words");
     let d = language.determinize_with(guard)?;
     let nfa = d.to_nfa();
     let reach = nfa.reachable();

@@ -95,6 +95,7 @@ pub fn check_simplicity_with(
     language: &Nfa,
     guard: &Guard,
 ) -> Result<SimplicityReport, AbstractionError> {
+    let _span = guard.span("simplicity");
     h.source().check_compatible(language.alphabet())?;
     if !language.is_prefix_closed_with(guard)? {
         return Err(AbstractionError::NotPrefixClosed);
@@ -119,6 +120,8 @@ pub fn check_simplicity_with(
         if cache[q].is_none() {
             let rooted = d.rooted_at(q).to_nfa();
             cache[q] = Some(image_nfa(h, &rooted).determinize_with(guard)?);
+        } else {
+            guard.note_cache_hit();
         }
         Ok(cache[q].clone().expect("just inserted"))
     };

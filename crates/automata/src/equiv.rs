@@ -135,6 +135,7 @@ pub fn dfa_included_with(
     b: &Dfa,
     guard: &Guard,
 ) -> Result<Option<Word>, crate::AutomataError> {
+    let _span = guard.span("dfa_inclusion");
     let diff = a.difference_with(b, guard)?;
     Ok(diff.shortest_accepted())
 }

@@ -35,6 +35,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use rl_obs::{Metric, MetricsRegistry, Span};
+
 use crate::error::AutomataError;
 
 /// The resource dimensions a [`Budget`] can cap.
@@ -157,6 +159,12 @@ pub struct Progress {
     pub frontier: usize,
     /// Wall-clock time since the guard was created.
     pub elapsed: Duration,
+    /// Slash-joined path of the phase that was active when the snapshot was
+    /// taken (e.g. `check/relative_liveness/determinize`), when the guard
+    /// had a [`MetricsRegistry`] attached and a span was open — so
+    /// budget-exhaustion reports name the phase that blew the budget, not
+    /// just global counters.
+    pub phase: Option<String>,
 }
 
 impl fmt::Display for Progress {
@@ -165,7 +173,11 @@ impl fmt::Display for Progress {
             f,
             "{} states, {} transitions explored (frontier {}) in {:?}",
             self.states, self.transitions, self.frontier, self.elapsed
-        )
+        )?;
+        if let Some(phase) = &self.phase {
+            write!(f, ", in phase {phase}")?;
+        }
+        Ok(())
     }
 }
 
@@ -179,6 +191,7 @@ impl fmt::Display for Progress {
 pub struct Guard {
     budget: Budget,
     cancel: Option<CancelToken>,
+    metrics: Option<MetricsRegistry>,
     start: Instant,
     states: Cell<usize>,
     transitions: Cell<usize>,
@@ -195,6 +208,7 @@ impl Guard {
         Guard {
             budget,
             cancel: None,
+            metrics: None,
             start: Instant::now(),
             states: Cell::new(0),
             transitions: Cell::new(0),
@@ -215,6 +229,49 @@ impl Guard {
         g
     }
 
+    /// Attaches a [`MetricsRegistry`]: every subsequent charge is mirrored
+    /// into the registry's counters, [`Guard::span`] opens real phases, and
+    /// [`Progress`] snapshots carry the active span path.
+    ///
+    /// Without this call the guard's observability hooks are no-ops (a
+    /// single branch per charge — no allocation, no atomics).
+    pub fn with_metrics(mut self, metrics: MetricsRegistry) -> Guard {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// The attached metrics registry, if any.
+    pub fn metrics(&self) -> Option<&MetricsRegistry> {
+        self.metrics.as_ref()
+    }
+
+    /// Opens a named phase span on the attached registry, or the inert
+    /// [`Span::disabled`] when observability is off.
+    ///
+    /// Constructions hold the returned guard for their whole run:
+    ///
+    /// ```
+    /// # use rl_automata::Guard;
+    /// # fn construction(guard: &Guard) {
+    /// let _span = guard.span("determinize");
+    /// // ... materialize states, charging the guard ...
+    /// # }
+    /// ```
+    pub fn span(&self, name: &'static str) -> Span {
+        match &self.metrics {
+            Some(m) => m.enter(name),
+            None => Span::disabled(),
+        }
+    }
+
+    /// Records a memoization hit on the attached registry (no-op when
+    /// observability is off).
+    pub fn note_cache_hit(&self) {
+        if let Some(m) = &self.metrics {
+            m.inc(Metric::CacheHits);
+        }
+    }
+
     /// The budget being enforced.
     pub fn budget(&self) -> &Budget {
         &self.budget
@@ -232,6 +289,7 @@ impl Guard {
             transitions: self.transitions.get(),
             frontier: self.frontier.get(),
             elapsed: self.elapsed(),
+            phase: self.metrics.as_ref().and_then(|m| m.current_path()),
         }
     }
 
@@ -250,6 +308,9 @@ impl Guard {
     pub fn charge_state(&self) -> Result<(), AutomataError> {
         let n = self.states.get() + 1;
         self.states.set(n);
+        if let Some(m) = &self.metrics {
+            m.inc(Metric::States);
+        }
         if let Some(limit) = self.budget.max_states {
             if n > limit {
                 return Err(self.exceeded(Resource::States, n as u64, limit as u64));
@@ -267,6 +328,9 @@ impl Guard {
     pub fn charge_transition(&self) -> Result<(), AutomataError> {
         let n = self.transitions.get() + 1;
         self.transitions.set(n);
+        if let Some(m) = &self.metrics {
+            m.inc(Metric::Transitions);
+        }
         if let Some(limit) = self.budget.max_transitions {
             if n > limit {
                 return Err(self.exceeded(Resource::Transitions, n as u64, limit as u64));
@@ -283,6 +347,9 @@ impl Guard {
     ///
     /// Propagates [`Guard::check_now`] on the polling iterations.
     pub fn tick(&self) -> Result<(), AutomataError> {
+        if let Some(m) = &self.metrics {
+            m.inc(Metric::GuardCharges);
+        }
         let left = self.until_clock_check.get();
         if left > 1 {
             self.until_clock_check.set(left - 1);
@@ -419,6 +486,62 @@ mod tests {
             AutomataError::BudgetExceeded { partial, .. } => assert_eq!(partial.frontier, 17),
             other => panic!("unexpected error {other:?}"),
         }
+    }
+
+    #[test]
+    fn metrics_mirror_charges_and_progress_names_the_phase() {
+        use rl_obs::{Metric, MetricsRegistry};
+        let m = MetricsRegistry::new();
+        let g = Guard::new(Budget::unlimited().with_max_states(2)).with_metrics(m.clone());
+        let _outer = g.span("check");
+        let _inner = g.span("determinize");
+        g.charge_state().unwrap();
+        g.charge_state().unwrap();
+        g.charge_transition().unwrap();
+        assert_eq!(m.total(Metric::States), 2);
+        assert_eq!(m.total(Metric::Transitions), 1);
+        assert_eq!(m.total(Metric::GuardCharges), 3);
+        let err = g.charge_state().unwrap_err();
+        match err {
+            AutomataError::BudgetExceeded { partial, .. } => {
+                assert_eq!(partial.phase.as_deref(), Some("check/determinize"));
+                assert!(partial.to_string().contains("in phase check/determinize"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_op_sink_adds_zero_counter_traffic() {
+        use rl_obs::{Metric, MetricsRegistry};
+        // A registry exists in the program, but this guard runs without one
+        // attached: none of its traffic may leak into the registry, and its
+        // spans must be inert.
+        let bystander = MetricsRegistry::new();
+        let g = Guard::unlimited();
+        let span = g.span("determinize");
+        assert!(!span.is_enabled(), "detached guards hand out inert spans");
+        for _ in 0..1_000 {
+            g.charge_state().unwrap();
+            g.charge_transition().unwrap();
+            g.note_cache_hit();
+        }
+        drop(span);
+        for metric in Metric::ALL {
+            assert_eq!(bystander.total(metric), 0, "{}", metric.name());
+        }
+        assert!(bystander.records().is_empty());
+        assert_eq!(g.progress().phase, None);
+    }
+
+    #[test]
+    fn cache_hits_are_counted_when_attached() {
+        use rl_obs::{Metric, MetricsRegistry};
+        let m = MetricsRegistry::new();
+        let g = Guard::unlimited().with_metrics(m.clone());
+        g.note_cache_hit();
+        g.note_cache_hit();
+        assert_eq!(m.total(Metric::CacheHits), 2);
     }
 
     #[test]

@@ -14,6 +14,10 @@
 //!   `intersection_with`, `product_with`, `dfa_included_with`) by states,
 //!   transitions, and wall-clock time, with partial diagnostics on
 //!   exhaustion,
+//! * observability: attach a [`MetricsRegistry`] (re-exported from
+//!   `rl-obs`) to a [`Guard`] and every guarded construction reports
+//!   per-phase state/transition/time breakdowns through nested [`Span`]s,
+//!   at zero cost when detached,
 //! * labeled transition systems ([`TransitionSystem`]) — finite-state systems
 //!   *without acceptance conditions*, whose finite-word language is prefix
 //!   closed (Section 6 of the paper),
@@ -77,6 +81,7 @@ pub use error::AutomataError;
 pub use guard::{Budget, CancelToken, Guard, Progress, Resource};
 pub use nfa::Nfa;
 pub use regex::Regex;
+pub use rl_obs::{Counter, Metric, MetricsRegistry, Span, SpanRecord};
 pub use sim::{largest_simulation, simulates};
 pub use ts::TransitionSystem;
 pub use word::{format_word, parse_word, Word};

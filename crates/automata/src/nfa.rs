@@ -432,6 +432,7 @@ impl Nfa {
     ///
     /// Returns a budget error when the guard trips during determinization.
     pub fn is_prefix_closed_with(&self, guard: &Guard) -> Result<bool, AutomataError> {
+        let _span = guard.span("prefix_closed");
         Ok(crate::equiv::dfa_equivalent(
             &self.determinize_with(guard)?,
             &self.prefix_closure().determinize_with(guard)?,
@@ -461,6 +462,7 @@ impl Nfa {
     /// [`AutomataError::BudgetExceeded`] or [`AutomataError::Cancelled`]
     /// when the guard trips; the error carries partial diagnostics.
     pub fn determinize_with(&self, guard: &Guard) -> Result<Dfa, AutomataError> {
+        let _span = guard.span("determinize");
         let mut index: BTreeMap<BTreeSet<StateId>, StateId> = BTreeMap::new();
         let mut subsets: Vec<BTreeSet<StateId>> = Vec::new();
         let mut dfa = Dfa::new(self.alphabet.clone());
@@ -516,6 +518,7 @@ impl Nfa {
     /// differ, [`AutomataError::BudgetExceeded`]/[`AutomataError::Cancelled`]
     /// when the guard trips.
     pub fn intersection_with(&self, other: &Nfa, guard: &Guard) -> Result<Nfa, AutomataError> {
+        let _span = guard.span("nfa_intersection");
         self.alphabet.check_compatible(&other.alphabet)?;
         let mut index: BTreeMap<(StateId, StateId), StateId> = BTreeMap::new();
         let mut out = Nfa::new(self.alphabet.clone());

@@ -2,20 +2,27 @@
 //!
 //! Usage: `cargo run --release -p rl-bench --bin harness [-- <experiment>]`
 //! where `<experiment>` is one of `fig2 fig3 fig4 scaling payoff hardness
-//! ltl fair prob all` (default `all`).
+//! ltl fair prob trajectory all` (default `all`).
+//!
+//! `trajectory` additionally writes `BENCH_<date>.json` at the repository
+//! root: per-phase observability metrics (schema `rl-bench-trajectory/v1`)
+//! for every example system, including `needle24.ts` under a budget.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use relative_liveness::format::parse_system;
 use rl_abstraction::{abstract_behavior, check_simplicity, Homomorphism};
 use rl_bench::{
     fairness_chain, farm_observables, nested_until, nth_from_end_property, server_farm, token_ring,
 };
-use rl_buchi::{behaviors_of_ts, Buchi};
+use rl_buchi::{behaviors_of_ts, behaviors_of_ts_with, Buchi};
 use rl_core::{
-    is_relative_liveness, is_relative_safety, satisfies, synthesize_fair_implementation,
-    verify_via_abstraction, Property, TransferConclusion,
+    is_relative_liveness, is_relative_liveness_with, is_relative_safety, is_relative_safety_with,
+    satisfies, satisfies_with, synthesize_fair_implementation, verify_via_abstraction, Budget,
+    CheckError, Guard, Metric, MetricsRegistry, Property, TransferConclusion,
 };
 use rl_exec::{run, AgingScheduler};
+use rl_json::{Json, ObjBuilder, ToJson};
 use rl_logic::{formula_to_buchi, parse, Labeling};
 use rl_petri::examples::{server_behaviors, server_err_behaviors};
 
@@ -344,6 +351,119 @@ fn prob() {
     println!();
 }
 
+/// Today's civil date as `YYYY-MM-DD` (Hinnant's `civil_from_days`, so no
+/// calendar dependency is needed).
+fn today() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("clock after 1970")
+        .as_secs();
+    let z = (secs / 86_400) as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = yoe + era * 400 + i64::from(m <= 2);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// One trajectory case: the full `check` pipeline (classical, relative
+/// liveness, relative safety) on an example system under a metered guard.
+fn trajectory_case(
+    root: &str,
+    file: &str,
+    formula: &str,
+    budget: Budget,
+) -> (String, MetricsRegistry) {
+    let text = std::fs::read_to_string(format!("{root}/examples/systems/{file}"))
+        .expect("example system exists");
+    let ts = parse_system(&text).expect("example system parses");
+    let eta = parse(formula).expect("parses");
+    let prop = Property::formula(eta);
+    let registry = MetricsRegistry::new();
+    let guard = Guard::new(budget).with_metrics(registry.clone());
+    let verdict = (|| -> Result<bool, CheckError> {
+        let _span = guard.span("check");
+        let behaviors = behaviors_of_ts_with(&ts, &guard).map_err(CheckError::from)?;
+        satisfies_with(&behaviors, &prop, &guard)?;
+        let rl = is_relative_liveness_with(&behaviors, &prop, &guard)?;
+        is_relative_safety_with(&behaviors, &prop, &guard)?;
+        Ok(rl.holds)
+    })();
+    let outcome = match verdict {
+        Ok(true) => "rel-live holds".to_owned(),
+        Ok(false) => "rel-live fails".to_owned(),
+        Err(CheckError::BudgetExceeded { partial, .. }) => format!(
+            "budget exhausted in {}",
+            partial.phase.unwrap_or_else(|| "?".to_owned())
+        ),
+        Err(e) => format!("error: {e}"),
+    };
+    (outcome, registry)
+}
+
+fn trajectory() {
+    println!("== E17 — per-phase observability trajectory ==");
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let mut needle_budget = Budget::unlimited();
+    needle_budget.max_states = Some(20_000);
+    needle_budget.deadline = Some(Duration::from_secs(5));
+    let cases = [
+        ("abp.ts", "[]<>deliver", Budget::unlimited()),
+        ("clock.ts", "[]<>tick", Budget::unlimited()),
+        ("server.pn", "[]<>result", Budget::unlimited()),
+        ("server_err.pn", "[]<>result", Budget::unlimited()),
+        ("needle24.ts", "[]<>a", needle_budget),
+    ];
+    println!(
+        "{:<16} {:>10} {:>12} {:>8} {:>10}   outcome",
+        "system", "states", "transitions", "phases", "ms"
+    );
+    let mut rows = Vec::new();
+    for (file, formula, budget) in cases {
+        let (outcome, registry) = trajectory_case(root, file, formula, budget);
+        let records = registry.records();
+        println!(
+            "{:<16} {:>10} {:>12} {:>8} {:>10.2}   {}",
+            file,
+            registry.total(Metric::States),
+            registry.total(Metric::Transitions),
+            records.len(),
+            registry.elapsed().as_secs_f64() * 1_000.0,
+            outcome
+        );
+        rows.push(
+            ObjBuilder::new()
+                .field("system", file)
+                .field("formula", formula)
+                .field("outcome", outcome)
+                .field("elapsed_us", registry.elapsed().as_micros() as u64)
+                .field("states", registry.total(Metric::States))
+                .field("transitions", registry.total(Metric::Transitions))
+                .field("guard_charges", registry.total(Metric::GuardCharges))
+                .field(
+                    "phases",
+                    Json::Arr(records.iter().map(ToJson::to_json).collect()),
+                )
+                .build(),
+        );
+    }
+    let date = today();
+    let doc = ObjBuilder::new()
+        .field("schema", "rl-bench-trajectory/v1")
+        .field("date", date.as_str())
+        .field("cases", Json::Arr(rows))
+        .build();
+    let path = format!("{root}/BENCH_{date}.json");
+    let text = rl_json::to_string_pretty(&doc).expect("trajectory document serializes");
+    std::fs::write(&path, text + "\n").expect("repo root is writable");
+    println!("wrote {path}");
+    println!();
+}
+
 fn main() {
     let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
     match arg.as_str() {
@@ -356,6 +476,7 @@ fn main() {
         "ltl" => ltl(),
         "fair" => fair(),
         "prob" => prob(),
+        "trajectory" => trajectory(),
         "all" => {
             fig2();
             fig3();
@@ -366,11 +487,12 @@ fn main() {
             ltl();
             fair();
             prob();
+            trajectory();
         }
         other => {
             eprintln!(
                 "unknown experiment {other:?}; expected one of \
-                 fig2 fig3 fig4 scaling payoff hardness ltl fair prob all"
+                 fig2 fig3 fig4 scaling payoff hardness ltl fair prob trajectory all"
             );
             std::process::exit(2);
         }

@@ -197,84 +197,6 @@ pub fn nested_until(k: usize) -> Formula {
     f
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use rl_buchi::behaviors_of_ts;
-    use rl_core::{is_relative_liveness, Property};
-    use rl_logic::parse;
-
-    #[test]
-    fn farm_sizes_multiply() {
-        assert_eq!(server_farm(1).state_count(), 8);
-        assert_eq!(server_farm(2).state_count(), 64);
-    }
-
-    #[test]
-    fn farm_keeps_relative_liveness() {
-        let sys = server_farm(2);
-        let p = Property::formula(parse("[]<>result0").unwrap());
-        assert!(
-            is_relative_liveness(&behaviors_of_ts(&sys), &p)
-                .unwrap()
-                .holds
-        );
-    }
-
-    #[test]
-    fn ring_token_travels() {
-        let sys = token_ring(4);
-        let p = Property::formula(parse("[]<>pass0").unwrap());
-        assert!(
-            is_relative_liveness(&behaviors_of_ts(&sys), &p)
-                .unwrap()
-                .holds
-        );
-        // But "station 1 eventually always works" is not relatively live:
-        // work1 requires the token at 1, and passing is unavoidable to
-        // return there — []work1 is doomed from the start.
-        let q = Property::formula(parse("<>[]work1").unwrap());
-        let verdict = is_relative_liveness(&behaviors_of_ts(&sys), &q).unwrap();
-        assert!(verdict.holds == (verdict.doomed_prefix.is_none()));
-    }
-
-    #[test]
-    fn random_system_is_deadlock_free() {
-        let sys = random_system(11, 20, 3, 0.3);
-        for q in 0..sys.state_count() {
-            assert!(!sys.is_deadlock(q));
-        }
-    }
-
-    #[test]
-    fn hardness_family_grows() {
-        let p3 = nth_from_end_property(3);
-        let pre = p3.prefix_nfa().determinize();
-        assert!(pre.state_count() >= 8, "expected ≥ 2^3 subset states");
-    }
-
-    #[test]
-    fn alternating_bit_is_relatively_live() {
-        let ts = alternating_bit();
-        // Deadlock-free protocol.
-        for q in 0..ts.state_count() {
-            assert!(!ts.is_deadlock(q), "state {q} deadlocks");
-        }
-        let p = Property::formula(parse("[]<>deliver").unwrap());
-        let behaviors = behaviors_of_ts(&ts);
-        // Classically false: the channel may lose everything …
-        assert!(!rl_core::satisfies(&behaviors, &p).unwrap().holds);
-        // … relatively live: fairness delivers.
-        assert!(is_relative_liveness(&behaviors, &p).unwrap().holds);
-    }
-
-    #[test]
-    fn formula_families_sizes() {
-        assert!(fairness_chain(4).size() > fairness_chain(1).size());
-        assert_eq!(nested_until(3).size(), 7);
-    }
-}
-
 /// The alternating-bit protocol over a lossy channel, as a composition of
 /// three components (sender, channel, receiver).
 ///
@@ -383,4 +305,82 @@ pub fn alternating_bit_components() -> [TransitionSystem; 3] {
         ts
     };
     [sender, channel, receiver]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rl_buchi::behaviors_of_ts;
+    use rl_core::{is_relative_liveness, Property};
+    use rl_logic::parse;
+
+    #[test]
+    fn farm_sizes_multiply() {
+        assert_eq!(server_farm(1).state_count(), 8);
+        assert_eq!(server_farm(2).state_count(), 64);
+    }
+
+    #[test]
+    fn farm_keeps_relative_liveness() {
+        let sys = server_farm(2);
+        let p = Property::formula(parse("[]<>result0").unwrap());
+        assert!(
+            is_relative_liveness(&behaviors_of_ts(&sys), &p)
+                .unwrap()
+                .holds
+        );
+    }
+
+    #[test]
+    fn ring_token_travels() {
+        let sys = token_ring(4);
+        let p = Property::formula(parse("[]<>pass0").unwrap());
+        assert!(
+            is_relative_liveness(&behaviors_of_ts(&sys), &p)
+                .unwrap()
+                .holds
+        );
+        // But "station 1 eventually always works" is not relatively live:
+        // work1 requires the token at 1, and passing is unavoidable to
+        // return there — []work1 is doomed from the start.
+        let q = Property::formula(parse("<>[]work1").unwrap());
+        let verdict = is_relative_liveness(&behaviors_of_ts(&sys), &q).unwrap();
+        assert!(verdict.holds == (verdict.doomed_prefix.is_none()));
+    }
+
+    #[test]
+    fn random_system_is_deadlock_free() {
+        let sys = random_system(11, 20, 3, 0.3);
+        for q in 0..sys.state_count() {
+            assert!(!sys.is_deadlock(q));
+        }
+    }
+
+    #[test]
+    fn hardness_family_grows() {
+        let p3 = nth_from_end_property(3);
+        let pre = p3.prefix_nfa().determinize();
+        assert!(pre.state_count() >= 8, "expected ≥ 2^3 subset states");
+    }
+
+    #[test]
+    fn alternating_bit_is_relatively_live() {
+        let ts = alternating_bit();
+        // Deadlock-free protocol.
+        for q in 0..ts.state_count() {
+            assert!(!ts.is_deadlock(q), "state {q} deadlocks");
+        }
+        let p = Property::formula(parse("[]<>deliver").unwrap());
+        let behaviors = behaviors_of_ts(&ts);
+        // Classically false: the channel may lose everything …
+        assert!(!rl_core::satisfies(&behaviors, &p).unwrap().holds);
+        // … relatively live: fairness delivers.
+        assert!(is_relative_liveness(&behaviors, &p).unwrap().holds);
+    }
+
+    #[test]
+    fn formula_families_sizes() {
+        assert!(fairness_chain(4).size() > fairness_chain(1).size());
+        assert_eq!(nested_until(3).size(), 7);
+    }
 }

@@ -297,6 +297,7 @@ impl Buchi {
     /// Returns [`AutomataError::AlphabetMismatch`] when the alphabets differ,
     /// or a budget error when the guard trips.
     pub fn intersection_with(&self, other: &Buchi, guard: &Guard) -> Result<Buchi, AutomataError> {
+        let _span = guard.span("buchi_intersection");
         self.alphabet.check_compatible(&other.alphabet)?;
         // Classical two-copy product: in copy 1 we wait for `self` to accept,
         // in copy 2 for `other`; acceptance = copy-1 states whose left

@@ -67,6 +67,7 @@ pub fn complement(a: &Buchi) -> Buchi {
 ///
 /// Returns a budget error when the guard trips.
 pub fn complement_with(a: &Buchi, guard: &Guard) -> Result<Buchi, AutomataError> {
+    let _span = guard.span("buchi_complement");
     // Restrict to reachable states (language-preserving, shrinks n).
     let a = restrict_reachable(a);
     let n = a.state_count();
@@ -199,6 +200,7 @@ pub fn omega_included_with(
     b: &Buchi,
     guard: &Guard,
 ) -> Result<Option<UpWord>, rl_automata::AutomataError> {
+    let _span = guard.span("omega_inclusion");
     let diff = a.intersection_with(&complement_with(b, guard)?, guard)?;
     Ok(diff.accepted_upword())
 }

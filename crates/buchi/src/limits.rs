@@ -61,6 +61,7 @@ pub fn limit_of_regular(nfa: &Nfa) -> Buchi {
 ///
 /// Returns a budget error when the guard trips.
 pub fn limit_of_regular_with(nfa: &Nfa, guard: &Guard) -> Result<Buchi, AutomataError> {
+    let _span = guard.span("limit");
     Ok(limit_of_dfa(&nfa.determinize_with(guard)?))
 }
 
@@ -83,6 +84,7 @@ pub fn behaviors_of_ts(ts: &TransitionSystem) -> Buchi {
 ///
 /// Returns a budget error when the guard trips.
 pub fn behaviors_of_ts_with(ts: &TransitionSystem, guard: &Guard) -> Result<Buchi, AutomataError> {
+    let _span = guard.span("behaviors");
     limit_of_regular_with(&ts.to_nfa(), guard)
 }
 

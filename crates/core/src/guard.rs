@@ -15,6 +15,7 @@ use std::fmt;
 use rl_abstraction::AbstractionError;
 use rl_automata::AutomataError;
 pub use rl_automata::{Budget, CancelToken, Guard, Progress, Resource};
+pub use rl_automata::{Counter, Metric, MetricsRegistry, Span, SpanRecord};
 
 use crate::property::CoreError;
 
@@ -121,6 +122,7 @@ mod tests {
             transitions: 12,
             frontier: 3,
             elapsed: Duration::from_millis(5),
+            phase: None,
         }
     }
 

@@ -132,6 +132,7 @@ pub fn verify_via_abstraction_with(
     eta: &Formula,
     guard: &Guard,
 ) -> Result<AbstractionAnalysis, CoreError> {
+    let _span = guard.span("abstraction_pipeline");
     h.source().check_compatible(ts.alphabet())?;
     let language = ts.to_nfa();
 

@@ -141,6 +141,7 @@ impl Property {
         alphabet: &Alphabet,
         guard: &Guard,
     ) -> Result<Buchi, CoreError> {
+        let _span = guard.span("negation");
         match self {
             Property::Formula(f) => {
                 let lam = Labeling::canonical(alphabet);

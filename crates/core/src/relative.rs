@@ -92,6 +92,7 @@ pub fn is_relative_liveness_with(
     property: &Property,
     guard: &Guard,
 ) -> Result<RelativeLivenessVerdict, CoreError> {
+    let _span = guard.span("relative_liveness");
     let p = property.to_buchi(system.alphabet())?;
     let both = system.intersection_with(&p, guard)?;
     let pre_l = system.prefix_nfa().determinize_with(guard)?;
@@ -154,6 +155,7 @@ pub fn is_relative_safety_with(
     property: &Property,
     guard: &Guard,
 ) -> Result<RelativeSafetyVerdict, CoreError> {
+    let _span = guard.span("relative_safety");
     let p = property.to_buchi(system.alphabet())?;
     let both = system.intersection_with(&p, guard)?;
     // lim(pre(L ∩ P)) via the determinized prefix automaton.
@@ -197,6 +199,7 @@ pub fn satisfies_with(
     property: &Property,
     guard: &Guard,
 ) -> Result<SatisfactionVerdict, CoreError> {
+    let _span = guard.span("classical");
     let neg = property.negation_to_buchi_with(system.alphabet(), guard)?;
     let bad = system.intersection_with(&neg, guard)?;
     let cex = bad.accepted_upword();

@@ -240,6 +240,9 @@ fn gaussian_solve(a: &mut [Vec<f64>], b: &mut [f64]) -> Vec<f64> {
             if factor == 0.0 {
                 continue;
             }
+            // Indexed on purpose: `a[row]` and `a[col]` alias the same
+            // matrix, so an iterator over one borrow cannot express this.
+            #[allow(clippy::needless_range_loop)]
             for k in col..n {
                 a[row][k] -= factor * a[col][k];
             }

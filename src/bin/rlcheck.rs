@@ -20,12 +20,20 @@
 //!     Graphviz DOT output of the system.
 //! ```
 //!
-//! Every subcommand additionally accepts resource limits:
+//! Every subcommand additionally accepts resource limits and observability
+//! flags:
 //!
 //! ```text
 //! --timeout <secs>     wall-clock deadline for the decision procedures
 //! --max-states <n>     cap on states materialized by any construction
+//! --stats              per-phase profile (states, transitions, elapsed)
+//!                      printed to stderr after the verdict
+//! --metrics <file>     machine-readable JSONL trace (schema rl-obs/v1)
+//!                      written to <file>
 //! ```
+//!
+//! Both sinks are also flushed when a budget trips (exit 3), so the profile
+//! shows where the budget went.
 //!
 //! Exit codes: `0` property holds, `1` it fails, `2` usage or input error,
 //! `3` resource budget exhausted (or an inconclusive abstraction verdict),
@@ -86,7 +94,27 @@ fn extract_budget(args: &mut Vec<String>) -> Result<Budget, String> {
     Ok(budget)
 }
 
+/// Extracts `--stats` and `--metrics <file>` from the argument list
+/// (removing them so positional parsing stays untouched).
+fn extract_obs(args: &mut Vec<String>) -> Result<(bool, Option<String>), String> {
+    let mut stats = false;
+    while let Some(idx) = args.iter().position(|a| a == "--stats") {
+        args.remove(idx);
+        stats = true;
+    }
+    let mut metrics = None;
+    while let Some(idx) = args.iter().position(|a| a == "--metrics") {
+        let Some(raw) = args.get(idx + 1).cloned() else {
+            return Err("--metrics needs a value (output file)".to_owned());
+        };
+        args.drain(idx..idx + 2);
+        metrics = Some(raw);
+    }
+    Ok((stats, metrics))
+}
+
 fn cmd_check(path: &str, formula: &str, guard: &Guard) -> Result<ExitCode, CheckError> {
+    let _span = guard.span("check");
     let ts = load(path)?;
     let eta = parse_formula(formula)?;
     let behaviors = behaviors_of_ts_with(&ts, guard).map_err(CheckError::from)?;
@@ -123,6 +151,7 @@ fn cmd_abstract(
     keep: Vec<String>,
     guard: &Guard,
 ) -> Result<ExitCode, CheckError> {
+    let _span = guard.span("abstract");
     let ts = load(path)?;
     let eta = parse_formula(formula)?;
     let keep_refs: Vec<&str> = keep.iter().map(String::as_str).collect();
@@ -257,16 +286,27 @@ fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let usage = "usage: rlcheck <check|abstract|simplicity|fair|dot> <system-file> \
                  [<formula>] [--keep a,b,c] [--steps N] \
-                 [--timeout <secs>] [--max-states <n>]";
+                 [--timeout <secs>] [--max-states <n>] \
+                 [--stats] [--metrics <file>]";
     let budget = match extract_budget(&mut args) {
         Ok(b) => b,
         Err(e) => return fail(format!("{e}\n{usage}")),
     };
-    let guard = Guard::new(budget);
+    let (stats, metrics_path) = match extract_obs(&mut args) {
+        Ok(o) => o,
+        Err(e) => return fail(format!("{e}\n{usage}")),
+    };
+    // Only attach a registry when a sink was requested: default runs keep
+    // the guard's metrics hook at `None`, so charges stay branch-only.
+    let registry = (stats || metrics_path.is_some()).then(MetricsRegistry::new);
+    let mut guard = Guard::new(budget);
+    if let Some(reg) = &registry {
+        guard = guard.with_metrics(reg.clone());
+    }
     let Some(cmd) = args.first() else {
         return fail(usage);
     };
-    match cmd.as_str() {
+    let code = match cmd.as_str() {
         "check" => match (args.get(1), args.get(2)) {
             (Some(path), Some(f)) => govern(|| cmd_check(path, f, &guard)),
             _ => fail(usage),
@@ -300,5 +340,19 @@ fn main() -> ExitCode {
             None => fail(usage),
         },
         other => fail(format!("unknown command {other:?}\n{usage}")),
+    };
+    // Flush the observability sinks last, after every span has closed —
+    // including on the exit-3 path, where the profile shows which phase
+    // consumed the budget.
+    if let Some(reg) = &registry {
+        if stats {
+            eprint!("{}", reg.summary());
+        }
+        if let Some(path) = &metrics_path {
+            if let Err(e) = std::fs::write(path, reg.to_jsonl()) {
+                return fail(format!("--metrics {path}: {e}"));
+            }
+        }
     }
+    code
 }

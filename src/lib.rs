@@ -84,7 +84,8 @@ pub mod prelude {
         is_relative_safety_with, is_safety_property, labeling_for_homomorphism, satisfies,
         satisfies_with, synthesize_fair_implementation, verify_via_abstraction,
         verify_via_abstraction_with, AbstractionAnalysis, Budget, CancelToken, CheckError,
-        CoreError, FairImplementation, Guard, Progress, Property, Resource, TransferConclusion,
+        CoreError, Counter, FairImplementation, Guard, Metric, MetricsRegistry, Progress, Property,
+        Resource, Span, SpanRecord, TransferConclusion,
     };
     pub use rl_exec::{
         almost_surely_recurrent, estimate_satisfaction, min_fairness_ratio,

@@ -191,6 +191,121 @@ fn budget_flags_do_not_disturb_small_inputs() {
 }
 
 #[test]
+fn stats_flag_prints_phase_table_on_stderr() {
+    let out = rlcheck(&["check", "examples/systems/abp.ts", "[]<>deliver", "--stats"]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "--stats must not change the verdict"
+    );
+    // The verdict stays on stdout, the profile goes to stderr.
+    assert!(stdout(&out).contains("rel-live   []<>deliver: HOLDS"));
+    let err = stderr(&out);
+    let header = err
+        .lines()
+        .find(|l| l.starts_with("phase"))
+        .unwrap_or_else(|| panic!("no header in stderr: {err}"));
+    for col in ["states", "transitions", "cache-hits", "elapsed"] {
+        assert!(header.contains(col), "header missing {col}: {header}");
+    }
+    for phase in [
+        "check",
+        "behaviors",
+        "classical",
+        "relative_liveness",
+        "relative_safety",
+        "determinize",
+        "buchi_intersection",
+    ] {
+        assert!(err.contains(phase), "no {phase} row in stderr: {err}");
+    }
+    assert!(err.contains("total"), "no totals footer: {err}");
+}
+
+#[test]
+fn metrics_flag_writes_parseable_jsonl_covering_the_pipeline() {
+    let dir = std::env::temp_dir().join("rlcheck-cli-metrics");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("check.jsonl");
+    let out = rlcheck(&[
+        "check",
+        "examples/systems/abp.ts",
+        "[]<>deliver",
+        "--metrics",
+        path.to_str().expect("utf-8 temp path"),
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = std::fs::read_to_string(&path).expect("--metrics wrote the file");
+    fn str_field(v: &rl_json::Json, key: &str) -> String {
+        match v.get(key) {
+            Some(rl_json::Json::Str(s)) => s.clone(),
+            other => panic!("field {key} is not a string: {other:?}"),
+        }
+    }
+    let mut events = Vec::new();
+    let mut paths = Vec::new();
+    for line in text.lines() {
+        let v = rl_json::parse(line).unwrap_or_else(|e| panic!("bad JSONL line {line:?}: {e}"));
+        let event = str_field(&v, "event");
+        if event == "span" {
+            paths.push(str_field(&v, "path"));
+        }
+        events.push(event);
+    }
+    assert_eq!(events.first().map(String::as_str), Some("meta"));
+    assert_eq!(events.last().map(String::as_str), Some("totals"));
+    let meta = rl_json::parse(text.lines().next().expect("meta line")).expect("meta parses");
+    assert_eq!(str_field(&meta, "schema"), "rl-obs/v1");
+    // Every phase of the check pipeline shows up as a span path.
+    for needle in [
+        "check",
+        "check/behaviors/limit/determinize",
+        "check/classical/negation",
+        "check/relative_liveness/dfa_inclusion/dfa_product",
+        "check/relative_safety/buchi_intersection",
+    ] {
+        assert!(
+            paths.iter().any(|p| p == needle),
+            "missing span {needle}; got {paths:?}"
+        );
+    }
+}
+
+#[test]
+fn budget_report_names_the_exhausted_phase() {
+    let out = rlcheck(&[
+        "check",
+        "examples/systems/needle24.ts",
+        "[]<>a",
+        "--max-states",
+        "5000",
+        "--stats",
+    ]);
+    assert_eq!(out.status.code(), Some(3));
+    let err = stderr(&out);
+    assert!(
+        err.contains("in phase check/behaviors/limit/determinize"),
+        "budget report must name the phase: {err}"
+    );
+    // The profile is still flushed on the exit-3 path.
+    assert!(
+        err.contains("total"),
+        "no totals footer after exhaustion: {err}"
+    );
+}
+
+#[test]
+fn metrics_flag_without_value_exits_2() {
+    let out = rlcheck(&[
+        "check",
+        "examples/systems/abp.ts",
+        "[]<>deliver",
+        "--metrics",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "missing value => usage error");
+}
+
+#[test]
 fn malformed_budget_flags_exit_2() {
     let out = rlcheck(&[
         "check",

@@ -235,9 +235,9 @@ fn lemma_8_1_limit_commutes() {
     ];
     for x in &samples {
         assert!(conc.accepts_upword(x), "sample not a behavior: {x}");
-        match h.apply_upword(x) {
-            Some(y) => assert!(abs.accepts_upword(&y), "image not abstract: {x}"),
-            None => {} // silent tail: no limit image (lock.free cycle)
+        // A `None` image is a silent tail: no limit image (lock.free cycle).
+        if let Some(y) = h.apply_upword(x) {
+            assert!(abs.accepts_upword(&y), "image not abstract: {x}");
         }
     }
     // ⊇ (the König direction): every abstract behavior has a concrete
@@ -347,9 +347,11 @@ fn topology_lemmas() {
     // close P-satisfying behaviors exist.
     let lock = ab.symbol("lock").unwrap();
     let unfair = UpWord::new(vec![lock], parse_word(&ab, "request.no.reject").unwrap()).unwrap();
-    assert!(certify_density(&behaviors, &p, &[unfair.clone()], 8)
-        .unwrap()
-        .is_none());
+    assert!(
+        certify_density(&behaviors, &p, std::slice::from_ref(&unfair), 8)
+            .unwrap()
+            .is_none()
+    );
     let y = dense_witness(&behaviors, &p, &unfair, 7).unwrap().unwrap();
     assert!(cantor_distance(&unfair, &y) <= 1.0 / 8.0);
     // In the erroneous system density fails at radius index 1 (after lock).

@@ -24,7 +24,7 @@
 //! complete, so the procedure decides simplicity exactly and returns a
 //! concrete witness word when `h` is *not* simple.
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::VecDeque;
 
 use rl_automata::{equivalent_states, AutomataError, Dfa, Guard, Nfa, StateId, Word};
 
@@ -127,10 +127,14 @@ pub fn check_simplicity_with(
     };
 
     // BFS over reachable (q, s) pairs, remembering a witness word per pair.
-    let mut seen: BTreeMap<(StateId, StateId), Word> = BTreeMap::new();
+    // Pairs index a flat `q * |dh| + s` table (both DFAs are trimmed and
+    // small, so the dense table wins over a tree map).
+    let cols = dh.state_count();
+    let pair_idx = |q: StateId, s: StateId| q * cols + s;
+    let mut seen: Vec<Option<Word>> = vec![None; d.state_count() * cols];
     let mut queue: VecDeque<(StateId, StateId)> = VecDeque::new();
     let start = (d.initial(), dh.initial());
-    seen.insert(start, Vec::new());
+    seen[pair_idx(start.0, start.1)] = Some(Vec::new());
     queue.push_back(start);
     let mut pairs_checked = 0usize;
 
@@ -139,14 +143,14 @@ pub fn check_simplicity_with(
         guard.note_frontier(queue.len());
         pairs_checked += 1;
         let eq = e_q(q, &mut image_cont)?;
+        let witness = seen[pair_idx(q, s)].clone().expect("queued pairs are seen");
         if !pair_is_simple(&dh, s, &eq, guard)? {
             return Ok(SimplicityReport {
                 simple: false,
-                violation: Some(seen[&(q, s)].clone()),
+                violation: Some(witness),
                 pairs_checked,
             });
         }
-        let witness = seen[&(q, s)].clone();
         for a in d.alphabet().clone().symbols() {
             let Some(q2) = d.next(q, a) else { continue };
             let s2 = match h.apply(a) {
@@ -156,10 +160,11 @@ pub fn check_simplicity_with(
                 },
                 None => s,
             };
-            if let std::collections::btree_map::Entry::Vacant(slot) = seen.entry((q2, s2)) {
+            let slot = &mut seen[pair_idx(q2, s2)];
+            if slot.is_none() {
                 let mut w2 = witness.clone();
                 w2.push(a);
-                slot.insert(w2);
+                *slot = Some(w2);
                 queue.push_back((q2, s2));
             }
         }
@@ -182,11 +187,15 @@ pub fn check_simplicity_with(
 /// The product can have `|dh| · |eq|` pairs even when both DFAs stayed within
 /// budget, so every materialized pair is charged as a state.
 fn pair_is_simple(dh: &Dfa, s: StateId, eq: &Dfa, guard: &Guard) -> Result<bool, AutomataError> {
-    let mut seen: BTreeSet<(StateId, Option<StateId>)> = BTreeSet::new();
+    // Flat visited table over (dh state, eq state or ⊥): the ⊥ ("fallen off
+    // the partial eq DFA") column is encoded as index `eq.state_count()`.
+    let cols = eq.state_count() + 1;
+    let pair_idx = |t1: StateId, t2: Option<StateId>| t1 * cols + t2.unwrap_or(cols - 1);
+    let mut seen: Vec<bool> = vec![false; dh.state_count() * cols];
     let mut queue: VecDeque<(StateId, Option<StateId>)> = VecDeque::new();
     let start = (s, Some(eq.initial()));
     guard.charge_state()?;
-    seen.insert(start);
+    seen[pair_idx(start.0, start.1)] = true;
     queue.push_back(start);
     while let Some((t1, t2)) = queue.pop_front() {
         guard.note_frontier(queue.len());
@@ -204,7 +213,9 @@ fn pair_is_simple(dh: &Dfa, s: StateId, eq: &Dfa, guard: &Guard) -> Result<bool,
         for b in dh.alphabet().clone().symbols() {
             let Some(n1) = dh.next(t1, b) else { continue };
             let n2 = t2.and_then(|t| eq.next(t, b));
-            if seen.insert((n1, n2)) {
+            let idx = pair_idx(n1, n2);
+            if !seen[idx] {
+                seen[idx] = true;
                 guard.charge_state()?;
                 queue.push_back((n1, n2));
             }

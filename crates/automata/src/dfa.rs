@@ -1,13 +1,17 @@
 //! Deterministic finite automata over finite words.
 
-use std::collections::BTreeMap;
+use std::hash::Hasher;
 
 use crate::alphabet::{Alphabet, Symbol};
 use crate::error::AutomataError;
 use crate::guard::Guard;
 use crate::nfa::Nfa;
+use crate::stateset::{FxHasher, PairTable};
 use crate::word::Word;
 use crate::StateId;
+
+/// Sentinel marking an undefined transition in the flat delta table.
+const NO_TRANSITION: u32 = u32::MAX;
 
 /// A deterministic finite automaton, possibly *partial* (missing transitions
 /// reject).
@@ -38,7 +42,9 @@ pub struct Dfa {
     alphabet: Alphabet,
     initial: StateId,
     accepting: Vec<bool>,
-    delta: Vec<BTreeMap<Symbol, StateId>>,
+    /// `delta[q][a.index()]` = successor id, or [`NO_TRANSITION`] when
+    /// undefined. Lookup is two array probes; no tree walks.
+    delta: Vec<Vec<u32>>,
 }
 
 impl Dfa {
@@ -51,6 +57,18 @@ impl Dfa {
             initial: 0,
             accepting: Vec::new(),
             delta: Vec::new(),
+        }
+    }
+
+    /// Like [`Dfa::new`], but with state/delta storage pre-sized for
+    /// `states` states, so product-style builders do not reallocate while
+    /// growing toward a known bound.
+    pub fn with_capacity(alphabet: Alphabet, states: usize) -> Dfa {
+        Dfa {
+            alphabet,
+            initial: 0,
+            accepting: Vec::with_capacity(states),
+            delta: Vec::with_capacity(states),
         }
     }
 
@@ -95,7 +113,7 @@ impl Dfa {
     /// Adds a state, returning its id.
     pub fn add_state(&mut self, accepting: bool) -> StateId {
         self.accepting.push(accepting);
-        self.delta.push(BTreeMap::new());
+        self.delta.push(vec![NO_TRANSITION; self.alphabet.len()]);
         self.accepting.len() - 1
     }
 
@@ -127,7 +145,11 @@ impl Dfa {
     pub fn set_transition(&mut self, from: StateId, symbol: Symbol, to: StateId) {
         assert!(from < self.state_count(), "invalid state {from}");
         assert!(to < self.state_count(), "invalid state {to}");
-        self.delta[from].insert(symbol, to);
+        assert!(
+            to < NO_TRANSITION as usize,
+            "state id overflows delta table"
+        );
+        self.delta[from][symbol.index()] = to as u32;
     }
 
     /// The automaton's alphabet.
@@ -152,7 +174,8 @@ impl Dfa {
 
     /// The successor of `q` on `symbol`, if defined.
     pub fn next(&self, q: StateId, symbol: Symbol) -> Option<StateId> {
-        self.delta[q].get(&symbol).copied()
+        let t = self.delta[q][symbol.index()];
+        (t != NO_TRANSITION).then_some(t as StateId)
     }
 
     /// Runs the automaton on `word` from the initial state, returning the
@@ -177,17 +200,18 @@ impl Dfa {
 
     /// Iterates over all transitions in sorted order.
     pub fn transitions(&self) -> impl Iterator<Item = (StateId, Symbol, StateId)> + '_ {
-        self.delta
-            .iter()
-            .enumerate()
-            .flat_map(|(p, row)| row.iter().map(move |(&a, &q)| (p, a, q)))
+        self.delta.iter().enumerate().flat_map(|(p, row)| {
+            row.iter().enumerate().filter_map(move |(ai, &t)| {
+                (t != NO_TRANSITION).then_some((p, Symbol::from_index(ai), t as StateId))
+            })
+        })
     }
 
     /// Whether the transition function is total.
     pub fn is_complete(&self) -> bool {
         self.delta
             .iter()
-            .all(|row| row.len() == self.alphabet.len())
+            .all(|row| row.iter().all(|&t| t != NO_TRANSITION))
     }
 
     /// Completes the transition function by adding a rejecting sink if any
@@ -196,13 +220,15 @@ impl Dfa {
         if self.is_complete() {
             return self.clone();
         }
-        let mut out = self.clone();
+        let mut out = Dfa::with_capacity(self.alphabet.clone(), self.state_count() + 1);
+        out.accepting.extend_from_slice(&self.accepting);
+        out.delta.extend_from_slice(&self.delta);
+        out.initial = self.initial;
         let sink = out.add_state(false);
-        let alphabet = out.alphabet.clone();
-        for q in 0..out.state_count() {
-            for a in alphabet.symbols() {
-                if out.next(q, a).is_none() {
-                    out.set_transition(q, a, sink);
+        for row in &mut out.delta {
+            for t in row.iter_mut() {
+                if *t == NO_TRANSITION {
+                    *t = sink as u32;
                 }
             }
         }
@@ -212,8 +238,8 @@ impl Dfa {
     /// Complement automaton: accepts exactly the words `self` rejects.
     pub fn complement(&self) -> Dfa {
         let mut out = self.complete();
-        for q in 0..out.state_count() {
-            out.accepting[q] = !out.accepting[q];
+        for acc in &mut out.accepting {
+            *acc = !*acc;
         }
         out
     }
@@ -254,27 +280,30 @@ impl Dfa {
         self.alphabet.check_compatible(&other.alphabet)?;
         let a = self.complete();
         let b = other.complete();
-        let mut index: BTreeMap<(StateId, StateId), StateId> = BTreeMap::new();
-        let mut out = Dfa::new(self.alphabet.clone());
+        let bound = a.state_count().saturating_mul(b.state_count());
+        let mut index = PairTable::new(a.state_count(), b.state_count());
+        // Pre-size from the product bound, capped so pathological products
+        // do not commit gigabytes up front.
+        let mut out = Dfa::with_capacity(self.alphabet.clone(), bound.min(1 << 16));
         let mut work = vec![(a.initial, b.initial)];
         guard.charge_state()?;
         let start = out.add_state(combine(a.accepting[a.initial], b.accepting[b.initial]));
         out.set_initial(start);
-        index.insert((a.initial, b.initial), start);
+        index.set(a.initial, b.initial, start);
         while let Some((p, q)) = work.pop() {
             guard.note_frontier(work.len());
-            let id = index[&(p, q)];
+            let id = index.get(p, q).expect("worklist pairs are interned");
             for s in self.alphabet.symbols() {
                 let (p2, q2) = (
                     a.next(p, s).expect("complete"),
                     b.next(q, s).expect("complete"),
                 );
-                let nid = match index.get(&(p2, q2)) {
-                    Some(&nid) => nid,
+                let nid = match index.get(p2, q2) {
+                    Some(nid) => nid,
                     None => {
                         guard.charge_state()?;
                         let nid = out.add_state(combine(a.accepting[p2], b.accepting[q2]));
-                        index.insert((p2, q2), nid);
+                        index.set(p2, q2, nid);
                         work.push((p2, q2));
                         nid
                     }
@@ -297,12 +326,55 @@ impl Dfa {
 
     /// [`Dfa::difference`] under a resource [`Guard`].
     ///
+    /// When the guard carries an [`crate::OpCache`], a repeated difference of
+    /// structurally equal operands is answered from the memo table.
+    ///
     /// # Errors
     ///
     /// Returns [`AutomataError::AlphabetMismatch`] when the alphabets differ,
     /// or a budget error when the guard trips.
     pub fn difference_with(&self, other: &Dfa, guard: &Guard) -> Result<Dfa, AutomataError> {
-        self.product_with(other, |p, q| p && !q, guard)
+        if guard.op_cache().is_none() {
+            return self.product_with(other, |p, q| p && !q, guard);
+        }
+        let mut h = FxHasher::default();
+        h.write_u64(self.structural_hash());
+        h.write_u64(other.structural_hash());
+        let entry = guard.cached::<(Dfa, Dfa, Dfa), AutomataError>(
+            "dfa_difference",
+            h.finish(),
+            |e| e.0 == *self && e.1 == *other,
+            || {
+                let diff = self.product_with(other, |p, q| p && !q, guard)?;
+                Ok((self.clone(), other.clone(), diff))
+            },
+        )?;
+        Ok(entry.2.clone())
+    }
+
+    /// A deterministic structural hash of the automaton (alphabet names,
+    /// state count, initial state, accepting set, and transition table).
+    ///
+    /// Structurally equal automata hash equal; collisions are possible, so
+    /// callers must re-check equality on cache hits.
+    pub fn structural_hash(&self) -> u64 {
+        let mut h = FxHasher::default();
+        h.write_usize(self.state_count());
+        for (_, name) in self.alphabet.iter() {
+            h.write(name.as_bytes());
+        }
+        h.write_usize(self.initial);
+        for (q, &acc) in self.accepting.iter().enumerate() {
+            if acc {
+                h.write_usize(q);
+            }
+        }
+        for (p, a, q) in self.transitions() {
+            h.write_usize(p);
+            h.write_usize(a.index());
+            h.write_usize(q);
+        }
+        h.finish()
     }
 
     /// Whether the language is empty.

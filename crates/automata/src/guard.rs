@@ -31,6 +31,7 @@
 
 use std::cell::Cell;
 use std::fmt;
+use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -38,6 +39,7 @@ use std::time::{Duration, Instant};
 use rl_obs::{Metric, MetricsRegistry, Span};
 
 use crate::error::AutomataError;
+use crate::opcache::OpCache;
 
 /// The resource dimensions a [`Budget`] can cap.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -192,6 +194,7 @@ pub struct Guard {
     budget: Budget,
     cancel: Option<CancelToken>,
     metrics: Option<MetricsRegistry>,
+    op_cache: Option<OpCache>,
     start: Instant,
     states: Cell<usize>,
     transitions: Cell<usize>,
@@ -209,6 +212,7 @@ impl Guard {
             budget,
             cancel: None,
             metrics: None,
+            op_cache: None,
             start: Instant::now(),
             states: Cell::new(0),
             transitions: Cell::new(0),
@@ -243,6 +247,53 @@ impl Guard {
     /// The attached metrics registry, if any.
     pub fn metrics(&self) -> Option<&MetricsRegistry> {
         self.metrics.as_ref()
+    }
+
+    /// Attaches an [`OpCache`]: guarded constructions memoize their results
+    /// per operand (structural hash, verified by full equality), and repeated
+    /// determinizations/products within one pipeline are answered from the
+    /// table. Hits are recorded via [`Guard::note_cache_hit`].
+    ///
+    /// Without this call every construction runs afresh (the library
+    /// default), so results and charge counters are exactly those of the
+    /// uncached algorithms.
+    pub fn with_op_cache(mut self, cache: OpCache) -> Guard {
+        self.op_cache = Some(cache);
+        self
+    }
+
+    /// The attached operation cache, if any.
+    pub fn op_cache(&self) -> Option<&OpCache> {
+        self.op_cache.as_ref()
+    }
+
+    /// Memoizes `build` through the attached [`OpCache`].
+    ///
+    /// With no cache attached this just runs `build` (wrapped in an `Rc` so
+    /// both paths return the same type). On a verified hit the guard notes a
+    /// cache hit on its metrics; `matches` must check full operand equality
+    /// (see the [`OpCache`] soundness contract).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `build`'s error.
+    pub fn cached<T: 'static, E>(
+        &self,
+        op: &'static str,
+        key: u64,
+        matches: impl Fn(&T) -> bool,
+        build: impl FnOnce() -> Result<T, E>,
+    ) -> Result<Rc<T>, E> {
+        match &self.op_cache {
+            None => Ok(Rc::new(build()?)),
+            Some(cache) => {
+                let (value, hit) = cache.get_or_insert_with(op, key, matches, build)?;
+                if hit {
+                    self.note_cache_hit();
+                }
+                Ok(value)
+            }
+        }
     }
 
     /// Opens a named phase span on the attached registry, or the inert

@@ -23,8 +23,11 @@
 //!   closed (Section 6 of the paper),
 //! * Graphviz/DOT rendering for all machine types.
 //!
-//! Everything here is deterministic (iteration orders are fixed by using
-//! B-tree containers), so results are reproducible across runs.
+//! Everything here is deterministic (transition rows are flat
+//! alphabet-indexed tables with sorted successor lists, and subset states
+//! iterate as ascending-order bitsets — see [`StateSet`]), so results are
+//! reproducible across runs. Attaching an [`OpCache`] to a [`Guard`] lets
+//! one pipeline memoize repeated determinizations and products.
 //!
 //! # Example
 //!
@@ -69,8 +72,10 @@ mod guard;
 mod json;
 mod minimize;
 mod nfa;
+mod opcache;
 mod regex;
 mod sim;
+mod stateset;
 mod ts;
 mod word;
 
@@ -80,9 +85,11 @@ pub use equiv::{dfa_equivalent, dfa_included, dfa_included_with, equivalent_stat
 pub use error::AutomataError;
 pub use guard::{Budget, CancelToken, Guard, Progress, Resource};
 pub use nfa::Nfa;
+pub use opcache::OpCache;
 pub use regex::Regex;
 pub use rl_obs::{Counter, Metric, MetricsRegistry, Span, SpanRecord};
 pub use sim::{largest_simulation, simulates};
+pub use stateset::{fx_hash, FxBuildHasher, FxHashMap, FxHasher, Interner, PairTable, StateSet};
 pub use ts::TransitionSystem;
 pub use word::{format_word, parse_word, Word};
 

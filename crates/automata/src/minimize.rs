@@ -1,8 +1,9 @@
 //! DFA minimization (Hopcroft's partition-refinement algorithm).
 
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::VecDeque;
 
 use crate::dfa::Dfa;
+use crate::stateset::StateSet;
 use crate::StateId;
 
 /// Returns the minimal *complete* DFA for `dfa`'s language.
@@ -32,49 +33,55 @@ pub(crate) fn minimize(dfa: &Dfa) -> Dfa {
     }
 
     // Initial partition {F, Q \ F}, dropping empty blocks.
-    let mut blocks: Vec<BTreeSet<StateId>> = Vec::new();
+    let mut blocks: Vec<StateSet> = Vec::new();
     let mut block_of: Vec<usize> = vec![0; n];
-    let accepting: BTreeSet<StateId> = (0..n).filter(|&q| d.is_accepting(q)).collect();
-    let rejecting: BTreeSet<StateId> = (0..n).filter(|&q| !d.is_accepting(q)).collect();
+    let accepting: StateSet = (0..n).filter(|&q| d.is_accepting(q)).collect();
+    let rejecting: StateSet = (0..n).filter(|&q| !d.is_accepting(q)).collect();
     for set in [accepting, rejecting] {
         if !set.is_empty() {
             let id = blocks.len();
-            for &q in &set {
+            for q in set.iter() {
                 block_of[q] = id;
             }
             blocks.push(set);
         }
     }
 
-    // Worklist of (block, symbol) splitters. Seeding with every block is
-    // correct (the "smaller half" rule is only an optimization).
+    // Worklist of (block, symbol) splitters, membership tracked in a flat
+    // bit vector indexed `block * k + symbol` (grown as blocks split).
+    // Seeding with every block is correct (the "smaller half" rule is only
+    // an optimization).
     let mut work: VecDeque<(usize, usize)> = VecDeque::new();
-    let mut in_work: BTreeSet<(usize, usize)> = BTreeSet::new();
+    let mut in_work: Vec<bool> = vec![true; blocks.len() * k];
     for b in 0..blocks.len() {
         for a in 0..k {
             work.push_back((b, a));
-            in_work.insert((b, a));
         }
     }
 
     while let Some((bi, a)) = work.pop_front() {
-        in_work.remove(&(bi, a));
+        in_work[bi * k + a] = false;
         // X = δ⁻¹(blocks[bi], a)
-        let mut x: BTreeSet<StateId> = BTreeSet::new();
-        for &q in &blocks[bi] {
-            x.extend(inv[a][q].iter().copied());
+        let mut x = StateSet::with_universe(n);
+        for q in blocks[bi].iter() {
+            for &p in &inv[a][q] {
+                x.insert(p);
+            }
         }
         if x.is_empty() {
             continue;
         }
         // Split every block that X cuts properly.
-        let affected: BTreeSet<usize> = x.iter().map(|&p| block_of[p]).collect();
-        for yi in affected {
-            let inter: BTreeSet<StateId> = blocks[yi].intersection(&x).copied().collect();
+        let mut affected = StateSet::new();
+        for p in x.iter() {
+            affected.insert(block_of[p]);
+        }
+        for yi in affected.iter() {
+            let inter = blocks[yi].intersection(&x);
             if inter.len() == blocks[yi].len() {
                 continue; // X ⊇ Y: no split
             }
-            let diff: BTreeSet<StateId> = blocks[yi].difference(&x).copied().collect();
+            let diff = blocks[yi].difference(&x);
             let new_id = blocks.len();
             // Keep the larger part in place, move the smaller out: then every
             // future splitter derived from the moved part is cheap.
@@ -83,7 +90,7 @@ pub(crate) fn minimize(dfa: &Dfa) -> Dfa {
             } else {
                 (inter, diff)
             };
-            for &q in &moved {
+            for q in moved.iter() {
                 block_of[q] = new_id;
             }
             blocks[yi] = stay;
@@ -92,8 +99,10 @@ pub(crate) fn minimize(dfa: &Dfa) -> Dfa {
             // queueing the moved (smaller) half covers both; if it is not
             // queued, the smaller-half rule says queueing the moved half
             // alone suffices. Either way: queue (new_id, c).
+            in_work.resize(blocks.len() * k, false);
             for c in 0..k {
-                if in_work.insert((new_id, c)) {
+                if !in_work[new_id * k + c] {
+                    in_work[new_id * k + c] = true;
                     work.push_back((new_id, c));
                 }
             }
@@ -104,10 +113,9 @@ pub(crate) fn minimize(dfa: &Dfa) -> Dfa {
     let mut out = Dfa::new(d.alphabet().clone());
     let mut number: Vec<Option<StateId>> = vec![None; blocks.len()];
     let b0 = block_of[d.initial()];
-    let rep = |b: usize, blocks: &Vec<BTreeSet<StateId>>| {
-        *blocks[b]
-            .iter()
-            .next()
+    let rep = |b: usize, blocks: &Vec<StateSet>| -> StateId {
+        blocks[b]
+            .first()
             .expect("refinement keeps blocks non-empty")
     };
     let mut queue = VecDeque::from([b0]);

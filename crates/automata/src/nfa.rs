@@ -1,19 +1,22 @@
 //! Nondeterministic finite automata over finite words.
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
+use std::hash::Hasher;
 
 use crate::alphabet::{Alphabet, Symbol};
 use crate::dfa::Dfa;
 use crate::error::AutomataError;
 use crate::guard::Guard;
+use crate::stateset::{FxHasher, Interner, PairTable, StateSet};
 use crate::word::Word;
 use crate::StateId;
 
 /// A nondeterministic finite automaton (NFA) over finite words.
 ///
-/// States are dense indices. The transition relation is stored per state as a
-/// sorted map from symbols to sorted successor sets, so all iteration is
-/// deterministic.
+/// States are dense indices. The transition relation is a flat
+/// alphabet-indexed table: per state, one sorted successor list per symbol
+/// index, so lookup is two array probes and all iteration is deterministic
+/// (symbols in index order, successors ascending).
 ///
 /// An `Nfa` may have several initial states. A word is accepted when some run
 /// from an initial state ends in an accepting state.
@@ -43,7 +46,8 @@ pub struct Nfa {
     alphabet: Alphabet,
     initial: BTreeSet<StateId>,
     accepting: Vec<bool>,
-    delta: Vec<BTreeMap<Symbol, BTreeSet<StateId>>>,
+    /// `delta[q][a.index()]` = sorted, deduplicated successors of `q` on `a`.
+    delta: Vec<Vec<Vec<StateId>>>,
 }
 
 impl Nfa {
@@ -117,7 +121,7 @@ impl Nfa {
         accepting: impl IntoIterator<Item = StateId>,
         transitions: impl IntoIterator<Item = (StateId, Option<Symbol>, StateId)>,
     ) -> Result<Nfa, AutomataError> {
-        let mut eps: Vec<BTreeSet<StateId>> = vec![BTreeSet::new(); state_count];
+        let mut eps: Vec<Vec<StateId>> = vec![Vec::new(); state_count];
         let mut real: Vec<Vec<(Symbol, StateId)>> = vec![Vec::new(); state_count];
         for (p, label, q) in transitions {
             if p >= state_count {
@@ -128,15 +132,13 @@ impl Nfa {
             }
             match label {
                 Some(sym) => real[p].push((sym, q)),
-                None => {
-                    eps[p].insert(q);
-                }
+                None => eps[p].push(q),
             }
         }
         // Transitive ε-closure per state (small machines: BFS per state).
-        let closure: Vec<BTreeSet<StateId>> = (0..state_count)
+        let closure: Vec<StateSet> = (0..state_count)
             .map(|s| {
-                let mut seen: BTreeSet<StateId> = BTreeSet::new();
+                let mut seen = StateSet::with_universe(state_count);
                 let mut queue = VecDeque::from([s]);
                 seen.insert(s);
                 while let Some(p) = queue.pop_front() {
@@ -162,7 +164,7 @@ impl Nfa {
         }
         // A state accepts if its ε-closure meets the accepting set.
         for (s, cl) in closure.iter().enumerate().take(state_count) {
-            if cl.iter().any(|q| accepting.contains(q)) {
+            if cl.iter().any(|q| accepting.contains(&q)) {
                 nfa.accepting[s] = true;
             }
         }
@@ -175,9 +177,9 @@ impl Nfa {
         // delta'(s, a) = ε-closure targets of real transitions leaving the
         // ε-closure of s.
         for s in 0..state_count {
-            for &p in &closure[s] {
+            for p in closure[s].iter() {
                 for &(a, q) in &real[p] {
-                    for &r in &closure[q] {
+                    for r in closure[q].iter() {
                         nfa.add_transition(s, a, r);
                     }
                 }
@@ -189,7 +191,7 @@ impl Nfa {
     /// Adds a state, returning its id.
     pub fn add_state(&mut self, accepting: bool) -> StateId {
         self.accepting.push(accepting);
-        self.delta.push(BTreeMap::new());
+        self.delta.push(vec![Vec::new(); self.alphabet.len()]);
         self.accepting.len() - 1
     }
 
@@ -221,7 +223,10 @@ impl Nfa {
     pub fn add_transition(&mut self, from: StateId, symbol: Symbol, to: StateId) {
         assert!(from < self.state_count(), "invalid state {from}");
         assert!(to < self.state_count(), "invalid state {to}");
-        self.delta[from].entry(symbol).or_default().insert(to);
+        let row = &mut self.delta[from][symbol.index()];
+        if let Err(pos) = row.binary_search(&to) {
+            row.insert(pos, to);
+        }
     }
 
     /// The automaton's alphabet.
@@ -244,19 +249,22 @@ impl Nfa {
         self.accepting[q]
     }
 
-    /// Successors of `q` on `symbol`.
+    /// Successors of `q` on `symbol`, in ascending order.
     pub fn successors(&self, q: StateId, symbol: Symbol) -> impl Iterator<Item = StateId> + '_ {
-        self.delta[q]
-            .get(&symbol)
-            .into_iter()
-            .flat_map(|set| set.iter().copied())
+        self.delta[q][symbol.index()].iter().copied()
+    }
+
+    /// Sorted successor list of `q` on `symbol`, as a slice.
+    pub(crate) fn successor_slice(&self, q: StateId, symbol: Symbol) -> &[StateId] {
+        &self.delta[q][symbol.index()]
     }
 
     /// Iterates over all transitions `(from, symbol, to)` in sorted order.
     pub fn transitions(&self) -> impl Iterator<Item = (StateId, Symbol, StateId)> + '_ {
         self.delta.iter().enumerate().flat_map(|(p, row)| {
             row.iter()
-                .flat_map(move |(&a, tos)| tos.iter().map(move |&q| (p, a, q)))
+                .enumerate()
+                .flat_map(move |(ai, tos)| tos.iter().map(move |&q| (p, Symbol::from_index(ai), q)))
         })
     }
 
@@ -294,7 +302,7 @@ impl Nfa {
             seen[q] = true;
         }
         while let Some(p) = queue.pop_front() {
-            for (_, tos) in self.delta[p].iter() {
+            for tos in &self.delta[p] {
                 for &q in tos {
                     if !seen[q] {
                         seen[q] = true;
@@ -386,7 +394,8 @@ impl Nfa {
                 hit = Some(p);
                 break 'bfs;
             }
-            for (&a, tos) in self.delta[p].iter() {
+            for (ai, tos) in self.delta[p].iter().enumerate() {
+                let a = Symbol::from_index(ai);
                 for &q in tos {
                     if !seen[q] {
                         seen[q] = true;
@@ -455,41 +464,60 @@ impl Nfa {
     ///
     /// Each materialized subset state and DFA transition is charged against
     /// the guard's budget, and the wall clock/cancellation flag is polled
-    /// periodically.
+    /// periodically. When the guard carries an [`crate::OpCache`], a repeated
+    /// determinization of a structurally equal NFA is answered from the memo
+    /// table (and counted as a cache hit) instead of being re-run.
     ///
     /// # Errors
     ///
     /// [`AutomataError::BudgetExceeded`] or [`AutomataError::Cancelled`]
     /// when the guard trips; the error carries partial diagnostics.
     pub fn determinize_with(&self, guard: &Guard) -> Result<Dfa, AutomataError> {
+        if guard.op_cache().is_none() {
+            return self.determinize_inner(guard);
+        }
+        let entry = guard.cached::<(Nfa, Dfa), AutomataError>(
+            "nfa_determinize",
+            self.structural_hash(),
+            |e| e.0 == *self,
+            || Ok((self.clone(), self.determinize_inner(guard)?)),
+        )?;
+        Ok(entry.1.clone())
+    }
+
+    fn determinize_inner(&self, guard: &Guard) -> Result<Dfa, AutomataError> {
         let _span = guard.span("determinize");
-        let mut index: BTreeMap<BTreeSet<StateId>, StateId> = BTreeMap::new();
-        let mut subsets: Vec<BTreeSet<StateId>> = Vec::new();
+        let n = self.state_count();
+        let mut index: Interner<StateSet> = Interner::new();
         let mut dfa = Dfa::new(self.alphabet.clone());
 
-        let start = self.initial.clone();
+        let start: StateSet = self.initial.iter().copied().collect();
         guard.charge_state()?;
-        let q0 = dfa.add_state(start.iter().any(|&q| self.accepting[q]));
-        index.insert(start.clone(), q0);
-        subsets.push(start);
+        let q0 = dfa.add_state(start.iter().any(|q| self.accepting[q]));
+        index.intern(start);
         dfa.set_initial(q0);
 
+        let mut next = StateSet::with_universe(n);
         let mut work = VecDeque::from([q0]);
         while let Some(d) = work.pop_front() {
             guard.note_frontier(work.len());
-            let subset = subsets[d].clone();
+            let subset = index.key(d).clone();
             for a in self.alphabet.symbols() {
-                let next = self.step(&subset, a);
+                next.clear();
+                for q in subset.iter() {
+                    for &q2 in self.successor_slice(q, a) {
+                        next.insert(q2);
+                    }
+                }
                 if next.is_empty() {
                     continue;
                 }
                 let nd = match index.get(&next) {
-                    Some(&nd) => nd,
+                    Some(nd) => nd,
                     None => {
                         guard.charge_state()?;
-                        let nd = dfa.add_state(next.iter().any(|&q| self.accepting[q]));
-                        index.insert(next.clone(), nd);
-                        subsets.push(next);
+                        let nd = dfa.add_state(next.iter().any(|q| self.accepting[q]));
+                        index.intern(next.clone());
                         work.push_back(nd);
                         nd
                     }
@@ -499,6 +527,33 @@ impl Nfa {
             }
         }
         Ok(dfa)
+    }
+
+    /// A deterministic structural hash of the automaton (alphabet names,
+    /// state count, initial/accepting sets, and the full transition table).
+    ///
+    /// Structurally equal automata hash equal; the converse can fail, so the
+    /// hash is only ever a *key* — cache lookups re-check full equality.
+    pub fn structural_hash(&self) -> u64 {
+        let mut h = FxHasher::default();
+        h.write_usize(self.state_count());
+        for (_, name) in self.alphabet.iter() {
+            h.write(name.as_bytes());
+        }
+        for &q in &self.initial {
+            h.write_usize(q);
+        }
+        for (q, &acc) in self.accepting.iter().enumerate() {
+            if acc {
+                h.write_usize(q);
+            }
+        }
+        for (p, a, q) in self.transitions() {
+            h.write_usize(p);
+            h.write_usize(a.index());
+            h.write_usize(q);
+        }
+        h.finish()
     }
 
     /// Product automaton for the intersection `L(self) ∩ L(other)`.
@@ -520,30 +575,30 @@ impl Nfa {
     pub fn intersection_with(&self, other: &Nfa, guard: &Guard) -> Result<Nfa, AutomataError> {
         let _span = guard.span("nfa_intersection");
         self.alphabet.check_compatible(&other.alphabet)?;
-        let mut index: BTreeMap<(StateId, StateId), StateId> = BTreeMap::new();
+        let mut index = PairTable::new(self.state_count(), other.state_count());
         let mut out = Nfa::new(self.alphabet.clone());
         let mut work = VecDeque::new();
         for &p in &self.initial {
             for &q in &other.initial {
                 guard.charge_state()?;
                 let id = out.add_state(self.accepting[p] && other.accepting[q]);
-                index.insert((p, q), id);
+                index.set(p, q, id);
                 out.initial.insert(id);
                 work.push_back((p, q));
             }
         }
         while let Some((p, q)) = work.pop_front() {
             guard.note_frontier(work.len());
-            let id = index[&(p, q)];
+            let id = index.get(p, q).expect("worklist pairs are interned");
             for a in self.alphabet.symbols() {
-                for p2 in self.successors(p, a).collect::<Vec<_>>() {
-                    for q2 in other.successors(q, a).collect::<Vec<_>>() {
-                        let nid = match index.get(&(p2, q2)) {
-                            Some(&nid) => nid,
+                for &p2 in self.successor_slice(p, a) {
+                    for &q2 in other.successor_slice(q, a) {
+                        let nid = match index.get(p2, q2) {
+                            Some(nid) => nid,
                             None => {
                                 guard.charge_state()?;
                                 let nid = out.add_state(self.accepting[p2] && other.accepting[q2]);
-                                index.insert((p2, q2), nid);
+                                index.set(p2, q2, nid);
                                 work.push_back((p2, q2));
                                 nid
                             }

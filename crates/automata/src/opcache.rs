@@ -1,0 +1,247 @@
+//! Per-pipeline memoization of expensive automaton operations.
+//!
+//! One end-to-end check runs the classical, relative-liveness and
+//! relative-safety deciders in sequence, and each of them re-derives the same
+//! intermediate machines: the system/property intersection, the prefix
+//! language's subset construction, the negated property's complement. An
+//! [`OpCache`] attached to a [`crate::Guard`] lets the guarded constructions
+//! memoize those results for the lifetime of the pipeline.
+//!
+//! Keys are structural hashes ([`crate::fx_hash`] over the operand's states,
+//! transitions, and alphabet). Hashing alone would be unsound — two distinct
+//! automata may collide — so every cache entry stores a clone of its operands
+//! and a hit requires full structural equality, checked by the caller-supplied
+//! `matches` predicate. A collision therefore costs one extra comparison,
+//! never a wrong answer.
+//!
+//! The cache is reference-counted and single-threaded (like the rest of a
+//! [`crate::Guard`], whose counters are `Cell`s): clone the handle freely
+//! within one pipeline, but do not send it across threads.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::stateset::FxHashMap;
+
+/// Shared memo table for automaton-level operations.
+///
+/// Cheap to clone (the handle is reference counted); all clones share one
+/// table. See the module docs for the soundness contract.
+///
+/// # Example
+///
+/// ```
+/// use rl_automata::{Budget, Guard, Nfa, OpCache, Alphabet};
+///
+/// # fn main() -> Result<(), rl_automata::AutomataError> {
+/// let ab = Alphabet::new(["a"])?;
+/// let a = ab.symbol("a").unwrap();
+/// let nfa = Nfa::from_parts(ab, 2, [0], [1], [(0, a, 1), (1, a, 0)])?;
+/// let guard = Guard::new(Budget::unlimited()).with_op_cache(OpCache::new());
+/// let d1 = nfa.determinize_with(&guard)?;
+/// let d2 = nfa.determinize_with(&guard)?; // memo hit: no re-construction
+/// assert_eq!(d1, d2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Default)]
+pub struct OpCache {
+    inner: Rc<RefCell<Table>>,
+}
+
+#[derive(Default)]
+struct Table {
+    /// `(operation, structural hash)` → entries. A bucket holds more than
+    /// one entry only on hash collision.
+    entries: FxHashMap<(&'static str, u64), Vec<Rc<dyn Any>>>,
+    hits: usize,
+    misses: usize,
+}
+
+impl OpCache {
+    /// An empty cache.
+    pub fn new() -> OpCache {
+        OpCache::default()
+    }
+
+    /// Looks up `(op, key)`; on miss, runs `build`, stores the result, and
+    /// returns it. The boolean is `true` on a hit.
+    ///
+    /// `matches` must compare the entry's stored operands with the current
+    /// ones — returning `true` for structurally different operands breaks
+    /// the cache's soundness contract.
+    ///
+    /// The table lock is *not* held while `build` runs, so a construction may
+    /// itself consult the cache (products calling determinization, say).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `build`'s error; nothing is stored in that case.
+    pub fn get_or_insert_with<T: 'static, E>(
+        &self,
+        op: &'static str,
+        key: u64,
+        matches: impl Fn(&T) -> bool,
+        build: impl FnOnce() -> Result<T, E>,
+    ) -> Result<(Rc<T>, bool), E> {
+        let found = {
+            let table = self.inner.borrow();
+            table.entries.get(&(op, key)).and_then(|bucket| {
+                bucket
+                    .iter()
+                    .filter_map(|e| e.clone().downcast::<T>().ok())
+                    .find(|v| matches(v))
+            })
+        };
+        if let Some(hit) = found {
+            self.inner.borrow_mut().hits += 1;
+            return Ok((hit, true));
+        }
+        let value = Rc::new(build()?);
+        let mut table = self.inner.borrow_mut();
+        table.misses += 1;
+        table
+            .entries
+            .entry((op, key))
+            .or_default()
+            .push(value.clone() as Rc<dyn Any>);
+        Ok((value, false))
+    }
+
+    /// Number of lookups answered from the table so far.
+    pub fn hits(&self) -> usize {
+        self.inner.borrow().hits
+    }
+
+    /// Number of lookups that had to build (and then stored) a result.
+    pub fn misses(&self) -> usize {
+        self.inner.borrow().misses
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().entries.values().map(Vec::len).sum()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Debug for OpCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let table = self.inner.borrow();
+        f.debug_struct("OpCache")
+            .field(
+                "entries",
+                &table.entries.values().map(Vec::len).sum::<usize>(),
+            )
+            .field("hits", &table.hits)
+            .field("misses", &table.misses)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_builds_then_hit_reuses() {
+        let cache = OpCache::new();
+        let mut built = 0;
+        for round in 0..3 {
+            let (v, hit) = cache
+                .get_or_insert_with::<i64, ()>(
+                    "op",
+                    42,
+                    |&v| v == 7,
+                    || {
+                        built += 1;
+                        Ok(7)
+                    },
+                )
+                .unwrap();
+            assert_eq!(*v, 7);
+            assert_eq!(hit, round > 0);
+        }
+        assert_eq!(built, 1);
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (2, 1, 1));
+    }
+
+    #[test]
+    fn colliding_keys_are_kept_apart_by_matches() {
+        let cache = OpCache::new();
+        // Same (op, key) — as under a real hash collision — but the stored
+        // operand differs, so `matches` must reject the first entry.
+        let (a, _) = cache
+            .get_or_insert_with::<(u8, &'static str), ()>(
+                "op",
+                1,
+                |e| e.0 == 1,
+                || Ok((1, "first")),
+            )
+            .unwrap();
+        let (b, hit) = cache
+            .get_or_insert_with::<(u8, &'static str), ()>(
+                "op",
+                1,
+                |e| e.0 == 2,
+                || Ok((2, "second")),
+            )
+            .unwrap();
+        assert!(!hit);
+        assert_eq!((a.1, b.1), ("first", "second"));
+        assert_eq!(cache.len(), 2);
+        // And the first entry is still retrievable.
+        let (a2, hit2) = cache
+            .get_or_insert_with::<(u8, &'static str), ()>("op", 1, |e| e.0 == 1, || Ok((9, "no")))
+            .unwrap();
+        assert!(hit2);
+        assert_eq!(a2.1, "first");
+    }
+
+    #[test]
+    fn distinct_ops_do_not_share_entries() {
+        let cache = OpCache::new();
+        cache
+            .get_or_insert_with::<u8, ()>("left", 5, |_| true, || Ok(1))
+            .unwrap();
+        let (v, hit) = cache
+            .get_or_insert_with::<u8, ()>("right", 5, |_| true, || Ok(2))
+            .unwrap();
+        assert!(!hit);
+        assert_eq!(*v, 2);
+    }
+
+    #[test]
+    fn build_errors_are_not_cached() {
+        let cache = OpCache::new();
+        let err: Result<_, &str> =
+            cache.get_or_insert_with::<u8, _>("op", 3, |_| true, || Err("boom"));
+        assert_eq!(err.unwrap_err(), "boom");
+        assert!(cache.is_empty());
+        let (v, hit) = cache
+            .get_or_insert_with::<u8, &str>("op", 3, |_| true, || Ok(4))
+            .unwrap();
+        assert!(!hit);
+        assert_eq!(*v, 4);
+    }
+
+    #[test]
+    fn clones_share_one_table() {
+        let cache = OpCache::new();
+        let alias = cache.clone();
+        alias
+            .get_or_insert_with::<u8, ()>("op", 9, |_| true, || Ok(3))
+            .unwrap();
+        let (_, hit) = cache
+            .get_or_insert_with::<u8, ()>("op", 9, |_| true, || Ok(0))
+            .unwrap();
+        assert!(hit);
+        assert!(format!("{cache:?}").contains("hits"));
+    }
+}

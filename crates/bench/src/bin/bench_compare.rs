@@ -1,0 +1,124 @@
+//! Compares two trajectory benchmark files (schema `rl-bench-trajectory/v1`)
+//! and fails when the fresh run regresses against the committed baseline.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_compare <baseline.json> <fresh.json>
+//! ```
+//!
+//! The deterministic counters (`states`, `transitions`, `guard_charges`) are
+//! identical across machines and runs, so *any* increase over the baseline is
+//! a hard failure (exit 1) — this is what makes the check jitter-tolerant in
+//! CI. Wall-clock (`elapsed_us`) is noisy there, so a regression beyond 25%
+//! is only reported as a warning.
+//!
+//! A case present in the baseline but missing from the fresh run (matched on
+//! `system` + `formula`) is also a hard failure: silently dropping a case
+//! would make the comparison vacuous.
+
+use std::process::ExitCode;
+
+use rl_json::{parse, Json};
+
+/// Deterministic per-case totals: any increase is a real regression.
+const COUNTERS: [&str; 3] = ["states", "transitions", "guard_charges"];
+/// Tolerated wall-clock slowdown before a warning is printed.
+const ELAPSED_TOLERANCE: f64 = 1.25;
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn str_field<'j>(case: &'j Json, key: &str) -> Result<&'j str, String> {
+    match case.get(key) {
+        Some(Json::Str(s)) => Ok(s),
+        other => Err(format!("field `{key}`: expected string, got {other:?}")),
+    }
+}
+
+fn int_field(case: &Json, key: &str) -> Result<u64, String> {
+    match case.get(key) {
+        Some(Json::Int(i)) if *i >= 0 => Ok(*i as u64),
+        other => Err(format!(
+            "field `{key}`: expected non-negative int, got {other:?}"
+        )),
+    }
+}
+
+fn cases(doc: &Json, path: &str) -> Result<Vec<Json>, String> {
+    let schema = str_field(doc, "schema")?;
+    if schema != "rl-bench-trajectory/v1" {
+        return Err(format!("{path}: unexpected schema {schema:?}"));
+    }
+    Ok(doc
+        .field("cases")
+        .and_then(Json::as_arr)
+        .map_err(|e| format!("{path}: {e}"))?
+        .to_vec())
+}
+
+fn run(baseline_path: &str, fresh_path: &str) -> Result<ExitCode, String> {
+    let baseline = cases(&load(baseline_path)?, baseline_path)?;
+    let fresh = cases(&load(fresh_path)?, fresh_path)?;
+    let mut failures = 0usize;
+    let mut warnings = 0usize;
+
+    for base in &baseline {
+        let system = str_field(base, "system")?;
+        let formula = str_field(base, "formula")?;
+        let label = format!("{system} {formula}");
+        let Some(new) = fresh.iter().find(|c| {
+            str_field(c, "system") == Ok(system) && str_field(c, "formula") == Ok(formula)
+        }) else {
+            eprintln!("FAIL {label}: case missing from fresh run");
+            failures += 1;
+            continue;
+        };
+        for counter in COUNTERS {
+            let (b, n) = (int_field(base, counter)?, int_field(new, counter)?);
+            if n > b {
+                eprintln!("FAIL {label}: {counter} regressed {b} -> {n}");
+                failures += 1;
+            } else {
+                println!("ok   {label}: {counter} {b} -> {n}");
+            }
+        }
+        let (b_us, n_us) = (
+            int_field(base, "elapsed_us")?,
+            int_field(new, "elapsed_us")?,
+        );
+        if (n_us as f64) > (b_us as f64) * ELAPSED_TOLERANCE {
+            eprintln!("warn {label}: elapsed_us regressed {b_us} -> {n_us} (> {ELAPSED_TOLERANCE}x; wall-clock only, not fatal)");
+            warnings += 1;
+        } else {
+            println!("ok   {label}: elapsed_us {b_us} -> {n_us}");
+        }
+    }
+
+    println!(
+        "compared {} baseline case(s): {failures} failure(s), {warnings} warning(s)",
+        baseline.len()
+    );
+    Ok(if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (Some(baseline), Some(fresh)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: bench_compare <baseline.json> <fresh.json>");
+        return ExitCode::from(2);
+    };
+    match run(baseline, fresh) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("bench_compare: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

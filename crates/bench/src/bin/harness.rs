@@ -7,6 +7,8 @@
 //! `trajectory` additionally writes `BENCH_<date>.json` at the repository
 //! root: per-phase observability metrics (schema `rl-bench-trajectory/v1`)
 //! for every example system, including `needle24.ts` under a budget.
+//! `--out <path>` redirects that JSON (used by the `bench_compare` CI job
+//! to produce a fresh run without clobbering the committed baseline).
 
 use std::time::{Duration, Instant};
 
@@ -384,7 +386,11 @@ fn trajectory_case(
     let eta = parse(formula).expect("parses");
     let prop = Property::formula(eta);
     let registry = MetricsRegistry::new();
-    let guard = Guard::new(budget).with_metrics(registry.clone());
+    // One memo cache per case, exactly like a default `rlcheck` invocation:
+    // the three deciders share intermediate products/determinizations.
+    let guard = Guard::new(budget)
+        .with_metrics(registry.clone())
+        .with_op_cache(rl_automata::OpCache::new());
     let verdict = (|| -> Result<bool, CheckError> {
         let _span = guard.span("check");
         let behaviors = behaviors_of_ts_with(&ts, &guard).map_err(CheckError::from)?;
@@ -405,7 +411,7 @@ fn trajectory_case(
     (outcome, registry)
 }
 
-fn trajectory() {
+fn trajectory(out_override: Option<&str>) {
     println!("== E17 — per-phase observability trajectory ==");
     let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
     let mut needle_budget = Budget::unlimited();
@@ -444,6 +450,7 @@ fn trajectory() {
                 .field("states", registry.total(Metric::States))
                 .field("transitions", registry.total(Metric::Transitions))
                 .field("guard_charges", registry.total(Metric::GuardCharges))
+                .field("cache_hits", registry.total(Metric::CacheHits))
                 .field(
                     "phases",
                     Json::Arr(records.iter().map(ToJson::to_json).collect()),
@@ -457,15 +464,30 @@ fn trajectory() {
         .field("date", date.as_str())
         .field("cases", Json::Arr(rows))
         .build();
-    let path = format!("{root}/BENCH_{date}.json");
+    let path = match out_override {
+        Some(p) => p.to_owned(),
+        None => format!("{root}/BENCH_{date}.json"),
+    };
     let text = rl_json::to_string_pretty(&doc).expect("trajectory document serializes");
-    std::fs::write(&path, text + "\n").expect("repo root is writable");
+    std::fs::write(&path, text + "\n").expect("output path is writable");
     println!("wrote {path}");
     println!();
 }
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--out <path>` redirects the trajectory JSON (default:
+    // `BENCH_<date>.json` at the repo root).
+    let mut out = None;
+    while let Some(idx) = args.iter().position(|a| a == "--out") {
+        if idx + 1 >= args.len() {
+            eprintln!("--out needs a value (output file)");
+            std::process::exit(2);
+        }
+        out = Some(args.remove(idx + 1));
+        args.remove(idx);
+    }
+    let arg = args.first().cloned().unwrap_or_else(|| "all".to_owned());
     match arg.as_str() {
         "fig2" => fig2(),
         "fig3" => fig3(),
@@ -476,7 +498,7 @@ fn main() {
         "ltl" => ltl(),
         "fair" => fair(),
         "prob" => prob(),
-        "trajectory" => trajectory(),
+        "trajectory" => trajectory(out.as_deref()),
         "all" => {
             fig2();
             fig3();
@@ -487,7 +509,7 @@ fn main() {
             ltl();
             fair();
             prob();
-            trajectory();
+            trajectory(out.as_deref());
         }
         other => {
             eprintln!(

@@ -1,8 +1,9 @@
 //! Nondeterministic Büchi automata.
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
+use std::hash::Hasher;
 
-use rl_automata::{Alphabet, AutomataError, Guard, Nfa, StateId, Symbol};
+use rl_automata::{Alphabet, AutomataError, FxHasher, Guard, Interner, Nfa, StateId, Symbol};
 
 use crate::emptiness;
 use crate::upword::UpWord;
@@ -41,7 +42,8 @@ pub struct Buchi {
     alphabet: Alphabet,
     initial: BTreeSet<StateId>,
     accepting: Vec<bool>,
-    delta: Vec<BTreeMap<Symbol, BTreeSet<StateId>>>,
+    /// `delta[q][a.index()]` = sorted, deduplicated successors of `q` on `a`.
+    delta: Vec<Vec<Vec<StateId>>>,
 }
 
 impl Buchi {
@@ -106,7 +108,7 @@ impl Buchi {
     /// Adds a state, returning its id.
     pub fn add_state(&mut self, accepting: bool) -> StateId {
         self.accepting.push(accepting);
-        self.delta.push(BTreeMap::new());
+        self.delta.push(vec![Vec::new(); self.alphabet.len()]);
         self.accepting.len() - 1
     }
 
@@ -138,7 +140,10 @@ impl Buchi {
     pub fn add_transition(&mut self, from: StateId, symbol: Symbol, to: StateId) {
         assert!(from < self.state_count(), "invalid state {from}");
         assert!(to < self.state_count(), "invalid state {to}");
-        self.delta[from].entry(symbol).or_default().insert(to);
+        let row = &mut self.delta[from][symbol.index()];
+        if let Err(pos) = row.binary_search(&to) {
+            row.insert(pos, to);
+        }
     }
 
     /// The automaton's alphabet.
@@ -161,20 +166,50 @@ impl Buchi {
         self.accepting[q]
     }
 
-    /// Successors of `q` on `symbol`.
+    /// Successors of `q` on `symbol`, in ascending order.
     pub fn successors(&self, q: StateId, symbol: Symbol) -> impl Iterator<Item = StateId> + '_ {
-        self.delta[q]
-            .get(&symbol)
-            .into_iter()
-            .flat_map(|set| set.iter().copied())
+        self.delta[q][symbol.index()].iter().copied()
+    }
+
+    /// Sorted successor list of `q` on `symbol`, as a slice.
+    fn successor_slice(&self, q: StateId, symbol: Symbol) -> &[StateId] {
+        &self.delta[q][symbol.index()]
     }
 
     /// Iterates over all transitions in sorted order.
     pub fn transitions(&self) -> impl Iterator<Item = (StateId, Symbol, StateId)> + '_ {
         self.delta.iter().enumerate().flat_map(|(p, row)| {
             row.iter()
-                .flat_map(move |(&a, tos)| tos.iter().map(move |&q| (p, a, q)))
+                .enumerate()
+                .flat_map(move |(ai, tos)| tos.iter().map(move |&q| (p, Symbol::from_index(ai), q)))
         })
+    }
+
+    /// A deterministic structural hash of the automaton (alphabet names,
+    /// state count, initial/accepting sets, and the full transition table).
+    ///
+    /// Structurally equal automata hash equal; collisions are possible, so
+    /// callers must re-check equality on cache hits.
+    pub fn structural_hash(&self) -> u64 {
+        let mut h = FxHasher::default();
+        h.write_usize(self.state_count());
+        for (_, name) in self.alphabet.iter() {
+            h.write(name.as_bytes());
+        }
+        for &q in &self.initial {
+            h.write_usize(q);
+        }
+        for (q, &acc) in self.accepting.iter().enumerate() {
+            if acc {
+                h.write_usize(q);
+            }
+        }
+        for (p, a, q) in self.transitions() {
+            h.write_usize(p);
+            h.write_usize(a.index());
+            h.write_usize(q);
+        }
+        h.finish()
     }
 
     /// Total number of transitions.
@@ -237,7 +272,7 @@ impl Buchi {
             reach[q] = true;
         }
         while let Some(p) = queue.pop_front() {
-            for (_, tos) in self.delta[p].iter() {
+            for tos in &self.delta[p] {
                 for &q in tos {
                     if !reach[q] {
                         reach[q] = true;
@@ -291,35 +326,56 @@ impl Buchi {
     ///
     /// Every interned product state is charged against the guard's state
     /// budget and every product transition against its transition budget.
+    /// When the guard carries an `OpCache`, a repeated intersection of
+    /// structurally equal operands is answered from the memo table.
     ///
     /// # Errors
     ///
     /// Returns [`AutomataError::AlphabetMismatch`] when the alphabets differ,
     /// or a budget error when the guard trips.
     pub fn intersection_with(&self, other: &Buchi, guard: &Guard) -> Result<Buchi, AutomataError> {
+        if guard.op_cache().is_none() {
+            return self.intersection_inner(other, guard);
+        }
+        let mut h = FxHasher::default();
+        h.write_u64(self.structural_hash());
+        h.write_u64(other.structural_hash());
+        let entry = guard.cached::<(Buchi, Buchi, Buchi), AutomataError>(
+            "buchi_intersection",
+            h.finish(),
+            |e| e.0 == *self && e.1 == *other,
+            || {
+                let product = self.intersection_inner(other, guard)?;
+                Ok((self.clone(), other.clone(), product))
+            },
+        )?;
+        Ok(entry.2.clone())
+    }
+
+    fn intersection_inner(&self, other: &Buchi, guard: &Guard) -> Result<Buchi, AutomataError> {
         let _span = guard.span("buchi_intersection");
         self.alphabet.check_compatible(&other.alphabet)?;
         // Classical two-copy product: in copy 1 we wait for `self` to accept,
         // in copy 2 for `other`; acceptance = copy-1 states whose left
         // component accepts (visited infinitely often iff both sides accept
         // infinitely often).
-        let mut index: BTreeMap<(StateId, StateId, u8), StateId> = BTreeMap::new();
+        let mut index: Interner<(StateId, StateId, u8)> = Interner::new();
         let mut out = Buchi::new(self.alphabet.clone());
         let mut work: VecDeque<(StateId, StateId, u8)> = VecDeque::new();
         fn intern(
             key: (StateId, StateId, u8),
             left_acc: bool,
-            index: &mut BTreeMap<(StateId, StateId, u8), StateId>,
+            index: &mut Interner<(StateId, StateId, u8)>,
             out: &mut Buchi,
             work: &mut VecDeque<(StateId, StateId, u8)>,
             guard: &Guard,
         ) -> Result<StateId, AutomataError> {
             match index.get(&key) {
-                Some(&id) => Ok(id),
+                Some(id) => Ok(id),
                 None => {
                     guard.charge_state()?;
                     let id = out.add_state(key.2 == 1 && left_acc);
-                    index.insert(key, id);
+                    index.intern(key);
                     work.push_back(key);
                     Ok(id)
                 }
@@ -345,13 +401,13 @@ impl Buchi {
         while let Some((p, q, copy)) = work.pop_front() {
             guard.note_frontier(work.len());
             let id = match index.get(&(p, q, copy)) {
-                Some(&id) => id,
+                Some(id) => id,
                 // Unreachable: every key on the worklist was interned first.
                 None => continue,
             };
             for a in self.alphabet.symbols() {
-                for p2 in self.successors(p, a).collect::<Vec<_>>() {
-                    for q2 in other.successors(q, a).collect::<Vec<_>>() {
+                for &p2 in self.successor_slice(p, a) {
+                    for &q2 in other.successor_slice(q, a) {
                         let copy2 = match copy {
                             1 if self.accepting[p] => 2,
                             2 if other.accepting[q] => 1,

@@ -7,9 +7,9 @@
 //! PLTL formulas avoid this construction entirely — `rl-logic` translates the
 //! *negated* formula instead.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
-use rl_automata::{AutomataError, Guard, StateId};
+use rl_automata::{AutomataError, Guard, Interner, StateId, StateSet};
 
 use crate::buchi::Buchi;
 use crate::upword::UpWord;
@@ -62,11 +62,26 @@ pub fn complement(a: &Buchi) -> Buchi {
 /// Every interned ranking state is charged against the guard's state budget
 /// and every enumerated ranking candidate against its transition budget (the
 /// candidate enumeration, not the interning, is where memory blows up).
+/// When the guard carries an `OpCache`, a repeated complementation of a
+/// structurally equal automaton is answered from the memo table.
 ///
 /// # Errors
 ///
 /// Returns a budget error when the guard trips.
 pub fn complement_with(a: &Buchi, guard: &Guard) -> Result<Buchi, AutomataError> {
+    if guard.op_cache().is_none() {
+        return complement_inner(a, guard);
+    }
+    let entry = guard.cached::<(Buchi, Buchi), AutomataError>(
+        "buchi_complement",
+        a.structural_hash(),
+        |e| e.0 == *a,
+        || Ok((a.clone(), complement_inner(a, guard)?)),
+    )?;
+    Ok(entry.1.clone())
+}
+
+fn complement_inner(a: &Buchi, guard: &Guard) -> Result<Buchi, AutomataError> {
     let _span = guard.span("buchi_complement");
     // Restrict to reachable states (language-preserving, shrinks n).
     let a = restrict_reachable(a);
@@ -75,10 +90,14 @@ pub fn complement_with(a: &Buchi, guard: &Guard) -> Result<Buchi, AutomataError>
         return Ok(Buchi::universal(a.alphabet().clone()));
     }
     let max_rank = 2 * n as u32;
+    /// Unset entry of the per-state rank-bound table (max_rank ≤ 2n < MAX).
+    const NO_BOUND: u32 = u32::MAX;
 
     let mut out = Buchi::new(a.alphabet().clone());
-    let mut index: BTreeMap<CState, StateId> = BTreeMap::new();
-    let mut work: VecDeque<CState> = VecDeque::new();
+    // Interner ids align with `out` state ids: both are assigned
+    // sequentially, always in the same order.
+    let mut index: Interner<CState> = Interner::new();
+    let mut work: VecDeque<StateId> = VecDeque::new();
 
     let init: CState = (
         a.initial().iter().map(|&q| (q, max_rank)).collect(),
@@ -88,37 +107,36 @@ pub fn complement_with(a: &Buchi, guard: &Guard) -> Result<Buchi, AutomataError>
     // even, so it always does.
     guard.charge_state()?;
     let id = out.add_state(true); // O = ∅
-    index.insert(init.clone(), id);
+    index.intern(init);
     out.set_initial(id);
-    work.push_back(init);
+    work.push_back(id);
 
-    while let Some((f, o)) = work.pop_front() {
+    while let Some(id) = work.pop_front() {
         guard.note_frontier(work.len());
-        let id = index[&(f.clone(), o.clone())];
+        let (f, o) = index.key(id).clone();
         for sym in a.alphabet().symbols() {
             // Successor subset with per-state rank bounds.
-            let mut bound: BTreeMap<StateId, u32> = BTreeMap::new();
+            let mut bound: Vec<u32> = vec![NO_BOUND; n];
             for &(q, r) in &f {
                 for q2 in a.successors(q, sym) {
-                    bound
-                        .entry(q2)
-                        .and_modify(|b| *b = (*b).min(r))
-                        .or_insert(r);
+                    bound[q2] = bound[q2].min(r);
                 }
             }
             // δ(O, sym): successors of the owing set.
-            let mut o_succ: Vec<StateId> = Vec::new();
+            let mut o_succ = StateSet::with_universe(n);
             for &q in &o {
                 for q2 in a.successors(q, sym) {
-                    if !o_succ.contains(&q2) {
-                        o_succ.push(q2);
-                    }
+                    o_succ.insert(q2);
                 }
             }
-            o_succ.sort_unstable();
 
             // Enumerate all rankings g within bounds (accepting ⇒ even rank).
-            let targets: Vec<(StateId, u32)> = bound.into_iter().collect();
+            let targets: Vec<(StateId, u32)> = bound
+                .iter()
+                .enumerate()
+                .filter(|&(_, &b)| b != NO_BOUND)
+                .map(|(q2, &b)| (q2, b))
+                .collect();
             let mut assignments: Vec<Ranking> = vec![Vec::new()];
             for &(q2, b) in &targets {
                 let mut next = Vec::new();
@@ -147,18 +165,16 @@ pub fn complement_with(a: &Buchi, guard: &Guard) -> Result<Buchi, AutomataError>
                 let o2: Vec<StateId> = if o.is_empty() {
                     even
                 } else {
-                    even.into_iter()
-                        .filter(|q| o_succ.binary_search(q).is_ok())
-                        .collect()
+                    even.into_iter().filter(|&q| o_succ.contains(q)).collect()
                 };
                 let key: CState = (g, o2);
                 let nid = match index.get(&key) {
-                    Some(&nid) => nid,
+                    Some(nid) => nid,
                     None => {
                         guard.charge_state()?;
                         let nid = out.add_state(key.1.is_empty());
-                        index.insert(key.clone(), nid);
-                        work.push_back(key);
+                        index.intern(key);
+                        work.push_back(nid);
                         nid
                     }
                 };

@@ -30,6 +30,8 @@
 //!                      printed to stderr after the verdict
 //! --metrics <file>     machine-readable JSONL trace (schema rl-obs/v1)
 //!                      written to <file>
+//! --no-op-cache        disable the automaton-operation memo cache that the
+//!                      deciders share by default
 //! ```
 //!
 //! Both sinks are also flushed when a budget trips (exit 3), so the profile
@@ -111,6 +113,18 @@ fn extract_obs(args: &mut Vec<String>) -> Result<(bool, Option<String>), String>
         metrics = Some(raw);
     }
     Ok((stats, metrics))
+}
+
+/// Extracts `--no-op-cache` from the argument list. The automaton-operation
+/// memo cache is on by default; this flag disables it (for debugging or
+/// apples-to-apples timing of the raw constructions).
+fn extract_no_op_cache(args: &mut Vec<String>) -> bool {
+    let mut disabled = false;
+    while let Some(idx) = args.iter().position(|a| a == "--no-op-cache") {
+        args.remove(idx);
+        disabled = true;
+    }
+    disabled
 }
 
 fn cmd_check(path: &str, formula: &str, guard: &Guard) -> Result<ExitCode, CheckError> {
@@ -287,7 +301,7 @@ fn main() -> ExitCode {
     let usage = "usage: rlcheck <check|abstract|simplicity|fair|dot> <system-file> \
                  [<formula>] [--keep a,b,c] [--steps N] \
                  [--timeout <secs>] [--max-states <n>] \
-                 [--stats] [--metrics <file>]";
+                 [--stats] [--metrics <file>] [--no-op-cache]";
     let budget = match extract_budget(&mut args) {
         Ok(b) => b,
         Err(e) => return fail(format!("{e}\n{usage}")),
@@ -296,12 +310,19 @@ fn main() -> ExitCode {
         Ok(o) => o,
         Err(e) => return fail(format!("{e}\n{usage}")),
     };
+    let no_op_cache = extract_no_op_cache(&mut args);
     // Only attach a registry when a sink was requested: default runs keep
     // the guard's metrics hook at `None`, so charges stay branch-only.
     let registry = (stats || metrics_path.is_some()).then(MetricsRegistry::new);
     let mut guard = Guard::new(budget);
     if let Some(reg) = &registry {
         guard = guard.with_metrics(reg.clone());
+    }
+    if !no_op_cache {
+        // The deciders re-derive the same intermediate machines (products,
+        // subset constructions, complements); one pipeline-wide memo cache
+        // answers the repeats.
+        guard = guard.with_op_cache(OpCache::new());
     }
     let Some(cmd) = args.first() else {
         return fail(usage);

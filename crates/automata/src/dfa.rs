@@ -1,6 +1,7 @@
 //! Deterministic finite automata over finite words.
 
 use std::hash::Hasher;
+use std::sync::Arc;
 
 use crate::alphabet::{Alphabet, Symbol};
 use crate::error::AutomataError;
@@ -337,16 +338,21 @@ impl Dfa {
         if guard.op_cache().is_none() {
             return self.product_with(other, |p, q| p && !q, guard);
         }
+        let (self_hash, other_hash) = (self.structural_hash(), other.structural_hash());
         let mut h = FxHasher::default();
-        h.write_u64(self.structural_hash());
-        h.write_u64(other.structural_hash());
-        let entry = guard.cached::<(Dfa, Dfa, Dfa), AutomataError>(
+        h.write_u64(self_hash);
+        h.write_u64(other_hash);
+        let entry = guard.cached::<(Arc<Dfa>, Arc<Dfa>, Dfa), AutomataError>(
             "dfa_difference",
             h.finish(),
-            |e| e.0 == *self && e.1 == *other,
+            |e| *e.0 == *self && *e.1 == *other,
             || {
                 let diff = self.product_with(other, |p, q| p && !q, guard)?;
-                Ok((self.clone(), other.clone(), diff))
+                Ok((
+                    guard.operand(self_hash, self),
+                    guard.operand(other_hash, other),
+                    diff,
+                ))
             },
         )?;
         Ok(entry.2.clone())

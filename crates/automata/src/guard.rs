@@ -29,10 +29,8 @@
 //! assert_eq!(guard.progress().states, 1);
 //! ```
 
-use std::cell::Cell;
 use std::fmt;
-use std::rc::Rc;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -40,6 +38,7 @@ use rl_obs::{Metric, MetricsRegistry, Span};
 
 use crate::error::AutomataError;
 use crate::opcache::OpCache;
+use crate::par::Pool;
 
 /// The resource dimensions a [`Budget`] can cap.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -183,23 +182,106 @@ impl fmt::Display for Progress {
     }
 }
 
-/// The cheap per-iteration handle that construction loops tick.
+/// The budget-enforcement core shared by a [`Guard`] and its
+/// [`GuardProbe`]s: the limits, the clock, the cancel token, and atomic
+/// spend counters.
 ///
-/// State/transition counters are `Cell`s (a guard is shared by `&` within
-/// one thread of work); the wall clock and the cancel flag are consulted
-/// only every [`Guard::CHECK_INTERVAL`] charges, so guarding adds a few
-/// nanoseconds per iteration.
+/// Counters are relaxed atomics so one budget governs every worker of a
+/// parallel kernel: the merge thread charges, workers only *read* (through a
+/// probe) to decorate their deadline/cancellation errors with accurate
+/// partial diagnostics. On the sequential path the atomics are uncontended,
+/// so charging costs the same few nanoseconds as the old `Cell` fields.
 #[derive(Debug)]
-pub struct Guard {
+struct GuardCore {
     budget: Budget,
     cancel: Option<CancelToken>,
+    start: Instant,
+    states: AtomicUsize,
+    transitions: AtomicUsize,
+    frontier: AtomicUsize,
+    until_clock_check: AtomicU32,
+}
+
+impl GuardCore {
+    fn progress(&self, phase: Option<String>) -> Progress {
+        Progress {
+            states: self.states.load(Ordering::Relaxed),
+            transitions: self.transitions.load(Ordering::Relaxed),
+            frontier: self.frontier.load(Ordering::Relaxed),
+            elapsed: self.start.elapsed(),
+            phase,
+        }
+    }
+
+    /// Polls the cancel token and the wall-clock deadline; `phase` is
+    /// evaluated only when building an error's diagnostics.
+    fn check_now(&self, phase: impl FnOnce() -> Option<String>) -> Result<(), AutomataError> {
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                return Err(AutomataError::Cancelled(self.progress(phase())));
+            }
+        }
+        if let Some(deadline) = self.budget.deadline {
+            let elapsed = self.start.elapsed();
+            if elapsed > deadline {
+                return Err(AutomataError::BudgetExceeded {
+                    resource: Resource::WallClock,
+                    spent: elapsed.as_millis() as u64,
+                    limit: deadline.as_millis() as u64,
+                    partial: self.progress(phase()),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A `Send + Sync` window onto a [`Guard`]'s core, for the workers of a
+/// parallel kernel.
+///
+/// Workers hold a probe instead of the guard itself: [`GuardProbe::check`]
+/// polls the shared deadline and cancel token (like [`Guard::check_now`],
+/// without touching metrics — those stay on the owning thread), so a single
+/// `--timeout` or [`CancelToken`] observably stops every worker. Cloning is
+/// an `Arc` bump.
+#[derive(Debug, Clone)]
+pub struct GuardProbe {
+    core: Arc<GuardCore>,
+}
+
+impl GuardProbe {
+    /// Immediately polls the shared cancel token and wall-clock deadline.
+    ///
+    /// # Errors
+    ///
+    /// [`AutomataError::Cancelled`] when the token has been cancelled,
+    /// [`AutomataError::BudgetExceeded`] when the deadline has passed — both
+    /// carrying the core's current [`Progress`] (phase-less: the phase span
+    /// lives with the owning [`Guard`]).
+    pub fn check(&self) -> Result<(), AutomataError> {
+        self.core.check_now(|| None)
+    }
+
+    /// Whether polling can ever fail: probes of an undeadlined,
+    /// uncancellable guard need not be consulted at all.
+    pub fn is_armed(&self) -> bool {
+        self.core.cancel.is_some() || self.core.budget.deadline.is_some()
+    }
+}
+
+/// The cheap per-iteration handle that construction loops tick.
+///
+/// The budget/clock/counter core is `Arc`-shared (see [`GuardProbe`]); the
+/// guard itself additionally carries the thread-local observability hooks
+/// ([`MetricsRegistry`], [`OpCache`], a parallel [`Pool`]). The wall clock
+/// and the cancel flag are consulted only every [`Guard::CHECK_INTERVAL`]
+/// charges, so guarding adds a few nanoseconds per iteration.
+#[derive(Debug)]
+pub struct Guard {
+    core: Arc<GuardCore>,
     metrics: Option<MetricsRegistry>,
     op_cache: Option<OpCache>,
-    start: Instant,
-    states: Cell<usize>,
-    transitions: Cell<usize>,
-    frontier: Cell<usize>,
-    until_clock_check: Cell<u32>,
+    pool: Option<Arc<Pool>>,
 }
 
 impl Guard {
@@ -209,15 +291,18 @@ impl Guard {
     /// A guard enforcing `budget`, with the clock starting now.
     pub fn new(budget: Budget) -> Guard {
         Guard {
-            budget,
-            cancel: None,
+            core: Arc::new(GuardCore {
+                budget,
+                cancel: None,
+                start: Instant::now(),
+                states: AtomicUsize::new(0),
+                transitions: AtomicUsize::new(0),
+                frontier: AtomicUsize::new(0),
+                until_clock_check: AtomicU32::new(Self::CHECK_INTERVAL),
+            }),
             metrics: None,
             op_cache: None,
-            start: Instant::now(),
-            states: Cell::new(0),
-            transitions: Cell::new(0),
-            frontier: Cell::new(0),
-            until_clock_check: Cell::new(Self::CHECK_INTERVAL),
+            pool: None,
         }
     }
 
@@ -228,9 +313,20 @@ impl Guard {
 
     /// A guard that additionally trips when `token` is cancelled.
     pub fn with_cancel(budget: Budget, token: CancelToken) -> Guard {
-        let mut g = Guard::new(budget);
-        g.cancel = Some(token);
-        g
+        Guard {
+            core: Arc::new(GuardCore {
+                budget,
+                cancel: Some(token),
+                start: Instant::now(),
+                states: AtomicUsize::new(0),
+                transitions: AtomicUsize::new(0),
+                frontier: AtomicUsize::new(0),
+                until_clock_check: AtomicU32::new(Self::CHECK_INTERVAL),
+            }),
+            metrics: None,
+            op_cache: None,
+            pool: None,
+        }
     }
 
     /// Attaches a [`MetricsRegistry`]: every subsequent charge is mirrored
@@ -267,9 +363,40 @@ impl Guard {
         self.op_cache.as_ref()
     }
 
+    /// Attaches a worker [`Pool`]: guarded kernels above their parallel
+    /// threshold fan frontier expansion out across it (results are
+    /// bit-for-bit those of the sequential path — see `DESIGN.md` §10), and
+    /// the batch front end uses it to run whole checks concurrently.
+    ///
+    /// Without this call (or with a one-thread pool) every construction runs
+    /// on the calling thread, exactly as before.
+    pub fn with_pool(mut self, pool: Arc<Pool>) -> Guard {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// The attached worker pool, if any.
+    pub fn pool(&self) -> Option<&Arc<Pool>> {
+        self.pool.as_ref()
+    }
+
+    /// The pool to fan work out on, when one is attached with at least two
+    /// workers — the kernels' "should I parallelize?" query.
+    pub fn par_pool(&self) -> Option<&Arc<Pool>> {
+        self.pool.as_ref().filter(|p| p.threads() >= 2)
+    }
+
+    /// A `Send + Sync` probe onto this guard's deadline/cancel state, for
+    /// handing to pool workers.
+    pub fn probe(&self) -> GuardProbe {
+        GuardProbe {
+            core: self.core.clone(),
+        }
+    }
+
     /// Memoizes `build` through the attached [`OpCache`].
     ///
-    /// With no cache attached this just runs `build` (wrapped in an `Rc` so
+    /// With no cache attached this just runs `build` (wrapped in an `Arc` so
     /// both paths return the same type). On a verified hit the guard notes a
     /// cache hit on its metrics; `matches` must check full operand equality
     /// (see the [`OpCache`] soundness contract).
@@ -277,15 +404,15 @@ impl Guard {
     /// # Errors
     ///
     /// Propagates `build`'s error.
-    pub fn cached<T: 'static, E>(
+    pub fn cached<T: Send + Sync + 'static, E>(
         &self,
         op: &'static str,
         key: u64,
         matches: impl Fn(&T) -> bool,
         build: impl FnOnce() -> Result<T, E>,
-    ) -> Result<Rc<T>, E> {
+    ) -> Result<Arc<T>, E> {
         match &self.op_cache {
-            None => Ok(Rc::new(build()?)),
+            None => Ok(Arc::new(build()?)),
             Some(cache) => {
                 let (value, hit) = cache.get_or_insert_with(op, key, matches, build)?;
                 if hit {
@@ -293,6 +420,22 @@ impl Guard {
                 }
                 Ok(value)
             }
+        }
+    }
+
+    /// Interns an operand for memo entries: returns an `Arc` of `value`
+    /// deduplicated through the attached [`OpCache`] (by `hash`, verified by
+    /// equality), so every cached operation on the same operand shares one
+    /// allocation instead of each entry cloning it.
+    ///
+    /// Without a cache this is a plain `Arc::new(value.clone())`.
+    pub fn operand<T>(&self, hash: u64, value: &T) -> Arc<T>
+    where
+        T: Clone + PartialEq + Send + Sync + 'static,
+    {
+        match &self.op_cache {
+            None => Arc::new(value.clone()),
+            Some(cache) => cache.intern_operand(hash, value),
         }
     }
 
@@ -325,28 +468,23 @@ impl Guard {
 
     /// The budget being enforced.
     pub fn budget(&self) -> &Budget {
-        &self.budget
+        &self.core.budget
     }
 
     /// Wall-clock time since the guard was created.
     pub fn elapsed(&self) -> Duration {
-        self.start.elapsed()
+        self.core.start.elapsed()
     }
 
     /// Snapshot of the work charged so far.
     pub fn progress(&self) -> Progress {
-        Progress {
-            states: self.states.get(),
-            transitions: self.transitions.get(),
-            frontier: self.frontier.get(),
-            elapsed: self.elapsed(),
-            phase: self.metrics.as_ref().and_then(|m| m.current_path()),
-        }
+        self.core
+            .progress(self.metrics.as_ref().and_then(|m| m.current_path()))
     }
 
     /// Records the current worklist size, for partial diagnostics.
     pub fn note_frontier(&self, len: usize) {
-        self.frontier.set(len);
+        self.core.frontier.store(len, Ordering::Relaxed);
     }
 
     /// Charges one materialized state against the budget.
@@ -357,12 +495,11 @@ impl Guard {
     /// also performs the periodic deadline/cancellation check of
     /// [`Guard::tick`].
     pub fn charge_state(&self) -> Result<(), AutomataError> {
-        let n = self.states.get() + 1;
-        self.states.set(n);
+        let n = self.core.states.fetch_add(1, Ordering::Relaxed) + 1;
         if let Some(m) = &self.metrics {
             m.inc(Metric::States);
         }
-        if let Some(limit) = self.budget.max_states {
+        if let Some(limit) = self.core.budget.max_states {
             if n > limit {
                 return Err(self.exceeded(Resource::States, n as u64, limit as u64));
             }
@@ -377,12 +514,11 @@ impl Guard {
     /// [`AutomataError::BudgetExceeded`] when the transition cap is
     /// exceeded; also performs the periodic check of [`Guard::tick`].
     pub fn charge_transition(&self) -> Result<(), AutomataError> {
-        let n = self.transitions.get() + 1;
-        self.transitions.set(n);
+        let n = self.core.transitions.fetch_add(1, Ordering::Relaxed) + 1;
         if let Some(m) = &self.metrics {
             m.inc(Metric::Transitions);
         }
-        if let Some(limit) = self.budget.max_transitions {
+        if let Some(limit) = self.core.budget.max_transitions {
             if n > limit {
                 return Err(self.exceeded(Resource::Transitions, n as u64, limit as u64));
             }
@@ -401,12 +537,18 @@ impl Guard {
         if let Some(m) = &self.metrics {
             m.inc(Metric::GuardCharges);
         }
-        let left = self.until_clock_check.get();
+        // Charges happen on the guard-owning thread only (workers poll a
+        // probe instead), so this load/store countdown stays exact.
+        let left = self.core.until_clock_check.load(Ordering::Relaxed);
         if left > 1 {
-            self.until_clock_check.set(left - 1);
+            self.core
+                .until_clock_check
+                .store(left - 1, Ordering::Relaxed);
             return Ok(());
         }
-        self.until_clock_check.set(Self::CHECK_INTERVAL);
+        self.core
+            .until_clock_check
+            .store(Self::CHECK_INTERVAL, Ordering::Relaxed);
         self.check_now()
     }
 
@@ -417,22 +559,8 @@ impl Guard {
     /// [`AutomataError::Cancelled`] when the token has been cancelled,
     /// [`AutomataError::BudgetExceeded`] when the deadline has passed.
     pub fn check_now(&self) -> Result<(), AutomataError> {
-        if let Some(token) = &self.cancel {
-            if token.is_cancelled() {
-                return Err(AutomataError::Cancelled(self.progress()));
-            }
-        }
-        if let Some(deadline) = self.budget.deadline {
-            let elapsed = self.start.elapsed();
-            if elapsed > deadline {
-                return Err(self.exceeded(
-                    Resource::WallClock,
-                    elapsed.as_millis() as u64,
-                    deadline.as_millis() as u64,
-                ));
-            }
-        }
-        Ok(())
+        self.core
+            .check_now(|| self.metrics.as_ref().and_then(|m| m.current_path()))
     }
 
     fn exceeded(&self, resource: Resource, spent: u64, limit: u64) -> AutomataError {
@@ -593,6 +721,50 @@ mod tests {
         g.note_cache_hit();
         g.note_cache_hit();
         assert_eq!(m.total(Metric::CacheHits), 2);
+    }
+
+    #[test]
+    fn probe_observes_cancellation_from_another_thread() {
+        let token = CancelToken::new();
+        let g = Guard::with_cancel(Budget::unlimited(), token.clone());
+        g.charge_state().unwrap();
+        let probe = g.probe();
+        assert!(probe.is_armed());
+        let worker = std::thread::spawn(move || {
+            // Spin until the owner cancels; the error must carry the shared
+            // core's charge counters as partial diagnostics.
+            loop {
+                match probe.check() {
+                    Ok(()) => std::thread::yield_now(),
+                    Err(err) => return err,
+                }
+            }
+        });
+        token.cancel();
+        match worker.join().expect("worker exits cleanly") {
+            AutomataError::Cancelled(p) => assert_eq!(p.states, 1),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn probe_of_an_unarmed_guard_never_fails() {
+        let g = Guard::new(Budget::unlimited().with_max_states(1));
+        let probe = g.probe();
+        // State caps are enforced at charge time on the owning thread; the
+        // probe polls only deadline/cancellation, and this guard has neither.
+        assert!(!probe.is_armed());
+        assert!(probe.check().is_ok());
+    }
+
+    #[test]
+    fn par_pool_requires_two_workers() {
+        use crate::par::Pool;
+        let g = Guard::unlimited().with_pool(Arc::new(Pool::new(1)));
+        assert!(g.pool().is_some());
+        assert!(g.par_pool().is_none(), "one worker means sequential");
+        let g = Guard::unlimited().with_pool(Arc::new(Pool::new(2)));
+        assert_eq!(g.par_pool().map(|p| p.threads()), Some(2));
     }
 
     #[test]

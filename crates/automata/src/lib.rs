@@ -73,6 +73,7 @@ mod json;
 mod minimize;
 mod nfa;
 mod opcache;
+mod par;
 mod regex;
 mod sim;
 mod stateset;
@@ -83,11 +84,12 @@ pub use alphabet::{Alphabet, Symbol};
 pub use dfa::Dfa;
 pub use equiv::{dfa_equivalent, dfa_included, dfa_included_with, equivalent_states};
 pub use error::AutomataError;
-pub use guard::{Budget, CancelToken, Guard, Progress, Resource};
+pub use guard::{Budget, CancelToken, Guard, GuardProbe, Progress, Resource};
 pub use nfa::Nfa;
 pub use opcache::OpCache;
+pub use par::{resolve_jobs, Pool};
 pub use regex::Regex;
-pub use rl_obs::{Counter, Metric, MetricsRegistry, Span, SpanRecord};
+pub use rl_obs::{Counter, Metric, MetricsRegistry, RegistrySnapshot, Span, SpanRecord};
 pub use sim::{largest_simulation, simulates};
 pub use stateset::{fx_hash, FxBuildHasher, FxHashMap, FxHasher, Interner, PairTable, StateSet};
 pub use ts::TransitionSystem;

@@ -9,26 +9,37 @@
 //!
 //! Keys are structural hashes ([`crate::fx_hash`] over the operand's states,
 //! transitions, and alphabet). Hashing alone would be unsound — two distinct
-//! automata may collide — so every cache entry stores a clone of its operands
-//! and a hit requires full structural equality, checked by the caller-supplied
-//! `matches` predicate. A collision therefore costs one extra comparison,
-//! never a wrong answer.
+//! automata may collide — so every cache entry stores its operands (as
+//! interned `Arc`s, see [`OpCache::intern_operand`]) and a hit requires full
+//! structural equality, checked by the caller-supplied `matches` predicate.
+//! A collision therefore costs one extra comparison, never a wrong answer.
 //!
-//! The cache is reference-counted and single-threaded (like the rest of a
-//! [`crate::Guard`], whose counters are `Cell`s): clone the handle freely
-//! within one pipeline, but do not send it across threads.
+//! The cache is thread-safe and **sharded**: entries are distributed over
+//! [`SHARDS`] independently locked tables by the top bits of the key hash,
+//! so concurrent pipeline stages — the jobs of a `rlcheck --jobs` batch, or
+//! parallel kernels consulting the cache mid-construction — share memoized
+//! results without serializing on one lock. Clone the handle freely; all
+//! clones (across threads) share one logical table.
 
 use std::any::Any;
-use std::cell::RefCell;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use crate::stateset::FxHashMap;
+
+/// Number of independently locked sub-tables. A power of two well above the
+/// worker counts we deploy (pools default to the core count), so two
+/// concurrent lookups rarely contend.
+pub const SHARDS: usize = 16;
+
+/// One `Arc`-erased cache entry.
+type Entry = Arc<dyn Any + Send + Sync>;
 
 /// Shared memo table for automaton-level operations.
 ///
 /// Cheap to clone (the handle is reference counted); all clones share one
-/// table. See the module docs for the soundness contract.
+/// sharded table and may live on different threads. See the module docs for
+/// the soundness contract.
 ///
 /// # Example
 ///
@@ -48,14 +59,26 @@ use crate::stateset::FxHashMap;
 /// ```
 #[derive(Clone, Default)]
 pub struct OpCache {
-    inner: Rc<RefCell<Table>>,
+    inner: Arc<CacheInner>,
+}
+
+struct CacheInner {
+    shards: [Mutex<Table>; SHARDS],
+}
+
+impl Default for CacheInner {
+    fn default() -> CacheInner {
+        CacheInner {
+            shards: std::array::from_fn(|_| Mutex::new(Table::default())),
+        }
+    }
 }
 
 #[derive(Default)]
 struct Table {
     /// `(operation, structural hash)` → entries. A bucket holds more than
     /// one entry only on hash collision.
-    entries: FxHashMap<(&'static str, u64), Vec<Rc<dyn Any>>>,
+    entries: FxHashMap<(&'static str, u64), Vec<Entry>>,
     hits: usize,
     misses: usize,
 }
@@ -66,6 +89,26 @@ impl OpCache {
         OpCache::default()
     }
 
+    /// The shard responsible for `key`. Keys are FxHash outputs whose
+    /// entropy concentrates in the high bits, so shard selection uses the
+    /// top nibble.
+    fn shard(&self, key: u64) -> &Mutex<Table> {
+        &self.inner.shards[(key >> 60) as usize % SHARDS]
+    }
+
+    /// Looks up a matching entry in `bucket` (a poisoned shard lock is
+    /// treated as absent — the cache degrades to a passthrough rather than
+    /// propagating a sibling's panic).
+    fn find<T: Send + Sync + 'static>(
+        bucket: Option<&Vec<Entry>>,
+        matches: impl Fn(&T) -> bool,
+    ) -> Option<Arc<T>> {
+        bucket?
+            .iter()
+            .filter_map(|e| e.clone().downcast::<T>().ok())
+            .find(|v| matches(v))
+    }
+
     /// Looks up `(op, key)`; on miss, runs `build`, stores the result, and
     /// returns it. The boolean is `true` on a hit.
     ///
@@ -73,74 +116,115 @@ impl OpCache {
     /// ones — returning `true` for structurally different operands breaks
     /// the cache's soundness contract.
     ///
-    /// The table lock is *not* held while `build` runs, so a construction may
-    /// itself consult the cache (products calling determinization, say).
+    /// The shard lock is *not* held while `build` runs, so a construction
+    /// may itself consult the cache (products calling determinization, say).
+    /// Two threads missing on the same key may both build; the insert
+    /// re-checks the bucket and keeps the first finisher's entry, so both
+    /// threads still return structurally equal values.
     ///
     /// # Errors
     ///
     /// Propagates `build`'s error; nothing is stored in that case.
-    pub fn get_or_insert_with<T: 'static, E>(
+    pub fn get_or_insert_with<T: Send + Sync + 'static, E>(
         &self,
         op: &'static str,
         key: u64,
         matches: impl Fn(&T) -> bool,
         build: impl FnOnce() -> Result<T, E>,
-    ) -> Result<(Rc<T>, bool), E> {
-        let found = {
-            let table = self.inner.borrow();
-            table.entries.get(&(op, key)).and_then(|bucket| {
-                bucket
-                    .iter()
-                    .filter_map(|e| e.clone().downcast::<T>().ok())
-                    .find(|v| matches(v))
-            })
+    ) -> Result<(Arc<T>, bool), E> {
+        let shard = self.shard(key);
+        if let Ok(mut table) = shard.lock() {
+            if let Some(hit) = Self::find(table.entries.get(&(op, key)), &matches) {
+                table.hits += 1;
+                return Ok((hit, true));
+            }
+        }
+        let value = Arc::new(build()?);
+        let Ok(mut table) = shard.lock() else {
+            return Ok((value, false));
         };
-        if let Some(hit) = found {
-            self.inner.borrow_mut().hits += 1;
+        // Re-check: another thread may have finished the same build while we
+        // ran unlocked. Keeping its entry (and dropping ours) makes repeated
+        // lookups converge on one allocation.
+        if let Some(hit) = Self::find(table.entries.get(&(op, key)), &matches) {
+            table.hits += 1;
             return Ok((hit, true));
         }
-        let value = Rc::new(build()?);
-        let mut table = self.inner.borrow_mut();
         table.misses += 1;
         table
             .entries
             .entry((op, key))
             .or_default()
-            .push(value.clone() as Rc<dyn Any>);
+            .push(value.clone() as Entry);
         Ok((value, false))
+    }
+
+    /// Interns an operand by structural `hash`: returns the `Arc` already
+    /// stored for an equal value, or stores (a clone of) `value` and returns
+    /// that. Memo entries hold these shared `Arc`s instead of each cloning
+    /// the operand, so sharding doesn't multiply operand memory — and
+    /// operand equality checks between entries of one operand are pointer
+    /// comparisons on the fast path.
+    ///
+    /// Not counted in [`OpCache::hits`]/[`OpCache::misses`] (it is interning,
+    /// not memoization) but included in [`OpCache::len`].
+    pub fn intern_operand<T>(&self, hash: u64, value: &T) -> Arc<T>
+    where
+        T: Clone + PartialEq + Send + Sync + 'static,
+    {
+        const OP: &str = "__operand";
+        let shard = self.shard(hash);
+        let Ok(mut table) = shard.lock() else {
+            return Arc::new(value.clone());
+        };
+        if let Some(existing) = Self::find(table.entries.get(&(OP, hash)), |v: &T| v == value) {
+            return existing;
+        }
+        let interned = Arc::new(value.clone());
+        table
+            .entries
+            .entry((OP, hash))
+            .or_default()
+            .push(interned.clone() as Entry);
+        interned
     }
 
     /// Number of lookups answered from the table so far.
     pub fn hits(&self) -> usize {
-        self.inner.borrow().hits
+        self.fold(|t| t.hits)
     }
 
     /// Number of lookups that had to build (and then stored) a result.
     pub fn misses(&self) -> usize {
-        self.inner.borrow().misses
+        self.fold(|t| t.misses)
     }
 
-    /// Number of stored entries.
+    /// Number of stored entries (memo results and interned operands).
     pub fn len(&self) -> usize {
-        self.inner.borrow().entries.values().map(Vec::len).sum()
+        self.fold(|t| t.entries.values().map(Vec::len).sum())
     }
 
     /// Whether the table is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    fn fold(&self, per_shard: impl Fn(&Table) -> usize) -> usize {
+        self.inner
+            .shards
+            .iter()
+            .filter_map(|s| s.lock().ok())
+            .map(|t| per_shard(&t))
+            .sum()
+    }
 }
 
 impl fmt::Debug for OpCache {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let table = self.inner.borrow();
         f.debug_struct("OpCache")
-            .field(
-                "entries",
-                &table.entries.values().map(Vec::len).sum::<usize>(),
-            )
-            .field("hits", &table.hits)
-            .field("misses", &table.misses)
+            .field("entries", &self.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
             .finish()
     }
 }
@@ -243,5 +327,75 @@ mod tests {
             .unwrap();
         assert!(hit);
         assert!(format!("{cache:?}").contains("hits"));
+    }
+
+    #[test]
+    fn keys_spread_across_shards_and_totals_aggregate() {
+        let cache = OpCache::new();
+        // Keys differing in their top nibble land in different shards; the
+        // counters must still read as one logical table.
+        for i in 0..SHARDS as u64 {
+            cache
+                .get_or_insert_with::<u64, ()>("op", i << 60, |_| true, || Ok(i))
+                .unwrap();
+        }
+        assert_eq!(cache.misses(), SHARDS);
+        assert_eq!(cache.len(), SHARDS);
+        for i in 0..SHARDS as u64 {
+            let (v, hit) = cache
+                .get_or_insert_with::<u64, ()>("op", i << 60, |_| true, || Ok(999))
+                .unwrap();
+            assert!(hit);
+            assert_eq!(*v, i);
+        }
+        assert_eq!(cache.hits(), SHARDS);
+    }
+
+    #[test]
+    fn intern_operand_dedupes_equal_values() {
+        let cache = OpCache::new();
+        let a = cache.intern_operand(77, &String::from("operand"));
+        let b = cache.intern_operand(77, &String::from("operand"));
+        assert!(Arc::ptr_eq(&a, &b), "equal operands share one allocation");
+        // A colliding hash with a different value must not unify.
+        let c = cache.intern_operand(77, &String::from("other"));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(*c, "other");
+        // Interning is invisible to memo statistics but occupies entries.
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (0, 0, 2));
+    }
+
+    #[test]
+    fn concurrent_hammering_is_coherent() {
+        let cache = OpCache::new();
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let cache = cache.clone();
+                std::thread::spawn(move || {
+                    for round in 0..200u64 {
+                        let key = round % 8;
+                        let (v, _) = cache
+                            .get_or_insert_with::<u64, ()>(
+                                "stress",
+                                key << 57, // straddle shard boundaries
+                                |&v| v == key,
+                                || Ok(key),
+                            )
+                            .unwrap();
+                        assert_eq!(*v, key, "thread {t}");
+                        let op = cache.intern_operand(key, &key);
+                        assert_eq!(*op, key);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Every lookup after the first per key is a hit; racing first
+        // lookups may each build, but at most one entry per key survives
+        // observation — all values agreed above.
+        assert_eq!(cache.hits() + cache.misses(), 4 * 200);
+        assert!(cache.len() >= 16, "8 memo keys + 8 interned operands");
     }
 }

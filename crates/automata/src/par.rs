@@ -1,0 +1,371 @@
+//! A dependency-free work-stealing thread pool for the parallel kernels.
+//!
+//! The exponential frontier explorations of this workspace (subset
+//! construction, rank-based Büchi complementation) expand one BFS layer at a
+//! time; within a layer every item is independent, so the expansion is an
+//! embarrassingly parallel map. [`Pool`] provides exactly the primitives
+//! those kernels (and the `rlcheck --jobs` batch front end) need:
+//!
+//! * [`Pool::new`] spawns a fixed set of worker threads, each owning a
+//!   chunked deque. Submitted work is dealt round-robin across the deques;
+//!   an idle worker drains its own deque front-first and **steals from the
+//!   back of a sibling's deque** when it runs dry, then parks on a condvar
+//!   until new work arrives.
+//! * [`Pool::map_indexed`] — the layer-expansion primitive: run a closure
+//!   over `0..n` in parallel chunks and return the results **in index
+//!   order**, so callers can merge deterministically. Worker panics are
+//!   re-raised on the calling thread.
+//! * [`Pool::run_jobs`] — the batch primitive: run independent jobs and
+//!   return each job's result or captured panic, again in submission order.
+//!
+//! Everything here is safe Rust on `std` only (mutex-backed deques, channel
+//! joins, condvar parking — honoring the workspace's vendor-only policy);
+//! tasks are `'static`, so callers share operands via [`Arc`] clones.
+//!
+//! # Determinism contract
+//!
+//! The pool itself promises nothing about *execution* order — only
+//! [`Pool::map_indexed`]'s and [`Pool::run_jobs`]'s *result* order. The
+//! kernels layered on top keep their outputs bit-for-bit independent of the
+//! thread count by doing all state numbering in a sequential merge pass over
+//! those ordered results (see `DESIGN.md` §10).
+
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A queued unit of work.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Shared state between the pool handle and its workers.
+struct PoolInner {
+    /// One chunked deque per worker; owners pop the front, thieves the back.
+    deques: Vec<Mutex<VecDeque<Job>>>,
+    /// Lock/condvar pair for parking idle workers.
+    park: Mutex<()>,
+    bell: Condvar,
+    /// Cleared on shutdown; parked workers re-check it on every wake.
+    open: AtomicBool,
+    /// Round-robin cursor for dealing submissions across deques.
+    next_deque: AtomicUsize,
+}
+
+impl PoolInner {
+    /// Pops work for worker `home`: own deque first (front), then a sweep of
+    /// the siblings' deques (back — the stealing half of the protocol).
+    fn find_work(&self, home: usize) -> Option<Job> {
+        if let Some(job) = self.deques[home].lock().ok()?.pop_front() {
+            return Some(job);
+        }
+        let n = self.deques.len();
+        for offset in 1..n {
+            let victim = (home + offset) % n;
+            if let Some(job) = self.deques[victim].lock().ok()?.pop_back() {
+                return Some(job);
+            }
+        }
+        None
+    }
+}
+
+/// A fixed-size work-stealing thread pool (see the module docs).
+///
+/// Dropping the pool shuts it down: remaining queued work is abandoned,
+/// running jobs finish, and the worker threads are joined.
+///
+/// # Example
+///
+/// ```
+/// use rl_automata::Pool;
+///
+/// let pool = Pool::new(4);
+/// let squares = pool.map_indexed(8, std::sync::Arc::new(|i| i * i));
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// ```
+pub struct Pool {
+    inner: Arc<PoolInner>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl Pool {
+    /// Spawns a pool of `threads` workers (clamped to at least one).
+    pub fn new(threads: usize) -> Pool {
+        let threads = threads.max(1);
+        let inner = Arc::new(PoolInner {
+            deques: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            park: Mutex::new(()),
+            bell: Condvar::new(),
+            open: AtomicBool::new(true),
+            next_deque: AtomicUsize::new(0),
+        });
+        let workers = (0..threads)
+            .map(|home| {
+                let inner = inner.clone();
+                std::thread::Builder::new()
+                    .name(format!("rl-par-{home}"))
+                    .spawn(move || worker_loop(&inner, home))
+                    .expect("spawning a pool worker succeeds")
+            })
+            .collect();
+        Pool {
+            inner,
+            workers,
+            threads,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Enqueues one fire-and-forget job (dealt round-robin, stealable).
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        let slot = self.inner.next_deque.fetch_add(1, Ordering::Relaxed) % self.threads;
+        if let Ok(mut deque) = self.inner.deques[slot].lock() {
+            deque.push_back(Box::new(job));
+        }
+        self.inner.bell.notify_all();
+    }
+
+    /// Runs `f(i)` for every `i in 0..n` across the pool, in chunks, and
+    /// returns the results **in index order**. The calling thread blocks
+    /// until the map completes.
+    ///
+    /// # Panics
+    ///
+    /// A panic in `f` is captured on the worker and re-raised here once all
+    /// chunks have settled (no deadlock, no abandoned chunks).
+    pub fn map_indexed<R: Send + 'static>(
+        &self,
+        n: usize,
+        f: Arc<dyn Fn(usize) -> R + Send + Sync>,
+    ) -> Vec<R> {
+        if n == 0 {
+            return Vec::new();
+        }
+        // Chunk so each worker sees several chunks (stealing can rebalance a
+        // skewed layer) without drowning in per-chunk overhead.
+        let chunk = (n / (self.threads * 4)).clamp(1, 1024);
+        let chunks: Vec<(usize, usize)> = (0..n)
+            .step_by(chunk)
+            .map(|start| (start, (start + chunk).min(n)))
+            .collect();
+        let (tx, rx) = mpsc::channel();
+        for &(start, end) in &chunks {
+            let f = f.clone();
+            let tx = tx.clone();
+            self.execute(move || {
+                let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                    (start..end).map(|i| f(i)).collect::<Vec<R>>()
+                }));
+                // The receiver outlives all senders inside this call; a send
+                // can only fail if the caller's stack is already unwinding.
+                let _ = tx.send((start, result));
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<Vec<R>>> = (0..chunks.len()).map(|_| None).collect();
+        let mut panic_payload = None;
+        for _ in 0..chunks.len() {
+            let (start, result) = rx.recv().expect("all chunks report back");
+            match result {
+                Ok(values) => slots[start / chunk] = Some(values),
+                Err(payload) => panic_payload = Some(payload),
+            }
+        }
+        if let Some(payload) = panic_payload {
+            panic::resume_unwind(payload);
+        }
+        slots
+            .into_iter()
+            .flat_map(|s| s.expect("every chunk settled without panicking"))
+            .collect()
+    }
+
+    /// Runs independent jobs across the pool and returns each job's result —
+    /// or its captured panic payload — **in submission order**. This is the
+    /// batch-checking primitive: one panicking check must not take down its
+    /// siblings or the driver.
+    pub fn run_jobs<R: Send + 'static>(
+        &self,
+        jobs: Vec<Box<dyn FnOnce() -> R + Send>>,
+    ) -> Vec<std::thread::Result<R>> {
+        let n = jobs.len();
+        let (tx, rx) = mpsc::channel();
+        for (i, job) in jobs.into_iter().enumerate() {
+            let tx = tx.clone();
+            self.execute(move || {
+                let result = panic::catch_unwind(AssertUnwindSafe(job));
+                let _ = tx.send((i, result));
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<std::thread::Result<R>>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            let (i, result) = rx.recv().expect("all jobs report back");
+            slots[i] = Some(result);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every job settled"))
+            .collect()
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.inner.open.store(false, Ordering::Release);
+        self.inner.bell.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &PoolInner, home: usize) {
+    while inner.open.load(Ordering::Acquire) {
+        match inner.find_work(home) {
+            Some(job) => job(),
+            None => {
+                let Ok(guard) = inner.park.lock() else {
+                    return;
+                };
+                // Re-check under the park lock, then park with a timeout: the
+                // timeout makes the loop robust against any wake lost between
+                // the deque scan and the wait.
+                if !inner.open.load(Ordering::Acquire) {
+                    return;
+                }
+                let _ = inner.bell.wait_timeout(guard, Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+/// Resolves the effective worker count for a requested `--jobs` value:
+/// `Some(0)` (and the `RL_THREADS=0` form) auto-detect the machine's cores
+/// via [`std::thread::available_parallelism`], `None` falls back to the
+/// `RL_THREADS` environment variable, and everything else passes through.
+/// The final answer is always at least 1.
+pub fn resolve_jobs(requested: Option<usize>) -> usize {
+    let autodetect = || std::thread::available_parallelism().map_or(1, |n| n.get());
+    match requested {
+        Some(0) => autodetect(),
+        Some(n) => n,
+        None => match std::env::var("RL_THREADS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
+            Some(0) => autodetect(),
+            Some(n) => n,
+            None => 1,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_indexed_preserves_order_across_sizes() {
+        let pool = Pool::new(4);
+        for n in [0usize, 1, 3, 64, 257, 1000] {
+            let out = pool.map_indexed(n, Arc::new(|i| 3 * i + 1));
+            assert_eq!(out.len(), n);
+            assert!(out.iter().enumerate().all(|(i, &v)| v == 3 * i + 1), "{n}");
+        }
+    }
+
+    #[test]
+    fn map_indexed_handles_uneven_work() {
+        let pool = Pool::new(3);
+        // Skewed workloads force stealing; results must still come back in
+        // index order.
+        let out = pool.map_indexed(
+            100,
+            Arc::new(|i| {
+                if i % 10 == 0 {
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                i
+            }),
+        );
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_panic_resurfaces_on_the_caller() {
+        let pool = Pool::new(2);
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.map_indexed(
+                16,
+                Arc::new(|i| {
+                    assert!(i != 11, "boom at {i}");
+                    i
+                }),
+            )
+        }));
+        assert!(result.is_err());
+        // The pool survives a panicking map and keeps serving work.
+        assert_eq!(pool.map_indexed(4, Arc::new(|i| i)), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn run_jobs_isolates_panics_per_job() {
+        let pool = Pool::new(2);
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = vec![
+            Box::new(|| 10),
+            Box::new(|| panic!("job 1 exploded")),
+            Box::new(|| 30),
+        ];
+        let results = pool.run_jobs(jobs);
+        assert_eq!(results.len(), 3);
+        assert_eq!(*results[0].as_ref().expect("job 0 fine"), 10);
+        assert!(results[1].is_err());
+        assert_eq!(*results[2].as_ref().expect("job 2 fine"), 30);
+    }
+
+    #[test]
+    fn pool_shuts_down_cleanly_when_dropped() {
+        let pool = Pool::new(4);
+        let _ = pool.map_indexed(100, Arc::new(|i| i));
+        drop(pool); // must join all workers without hanging
+    }
+
+    #[test]
+    fn single_worker_pool_still_completes_maps() {
+        let pool = Pool::new(1);
+        assert_eq!(pool.threads(), 1);
+        assert_eq!(
+            pool.map_indexed(5, Arc::new(|i| i * 2)),
+            vec![0, 2, 4, 6, 8]
+        );
+    }
+
+    #[test]
+    fn resolve_jobs_honors_flag_env_and_autodetect() {
+        // Explicit flag wins outright.
+        assert_eq!(resolve_jobs(Some(3)), 3);
+        // 0 auto-detects: at least one core.
+        assert!(resolve_jobs(Some(0)) >= 1);
+        // No flag and no env (tests don't set RL_THREADS): sequential.
+        if std::env::var("RL_THREADS").is_err() {
+            assert_eq!(resolve_jobs(None), 1);
+        }
+    }
+}

@@ -2,13 +2,20 @@
 //!
 //! Usage: `cargo run --release -p rl-bench --bin harness [-- <experiment>]`
 //! where `<experiment>` is one of `fig2 fig3 fig4 scaling payoff hardness
-//! ltl fair prob trajectory all` (default `all`).
+//! ltl fair prob trajectory par all` (default `all`).
 //!
 //! `trajectory` additionally writes `BENCH_<date>.json` at the repository
 //! root: per-phase observability metrics (schema `rl-bench-trajectory/v1`)
 //! for every example system, including `needle24.ts` under a budget.
 //! `--out <path>` redirects that JSON (used by the `bench_compare` CI job
-//! to produce a fresh run without clobbering the committed baseline).
+//! to produce a fresh run without clobbering the committed baseline), and
+//! `--jobs N` runs every case with an `N`-worker pool attached to the guard
+//! (the counters must not change — only wall-clock may).
+//!
+//! `par` writes `BENCH_<date>-par.json` (schema `rl-bench-par/v1`): every
+//! trajectory case timed at `--jobs 1` and `--jobs 4` side by side, with a
+//! `counters_equal` witness that the parallel kernels charged bit-for-bit
+//! the sequential totals.
 
 use std::time::{Duration, Instant};
 
@@ -379,6 +386,7 @@ fn trajectory_case(
     file: &str,
     formula: &str,
     budget: Budget,
+    jobs: usize,
 ) -> (String, MetricsRegistry) {
     let text = std::fs::read_to_string(format!("{root}/examples/systems/{file}"))
         .expect("example system exists");
@@ -386,11 +394,15 @@ fn trajectory_case(
     let eta = parse(formula).expect("parses");
     let prop = Property::formula(eta);
     let registry = MetricsRegistry::new();
+    registry.note_jobs(jobs);
     // One memo cache per case, exactly like a default `rlcheck` invocation:
     // the three deciders share intermediate products/determinizations.
-    let guard = Guard::new(budget)
+    let mut guard = Guard::new(budget)
         .with_metrics(registry.clone())
         .with_op_cache(rl_automata::OpCache::new());
+    if jobs >= 2 {
+        guard = guard.with_pool(std::sync::Arc::new(rl_automata::Pool::new(jobs)));
+    }
     let verdict = (|| -> Result<bool, CheckError> {
         let _span = guard.span("check");
         let behaviors = behaviors_of_ts_with(&ts, &guard).map_err(CheckError::from)?;
@@ -411,26 +423,31 @@ fn trajectory_case(
     (outcome, registry)
 }
 
-fn trajectory(out_override: Option<&str>) {
-    println!("== E17 — per-phase observability trajectory ==");
-    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+/// The shared case list for `trajectory` and `par`.
+fn trajectory_cases() -> [(&'static str, &'static str, Budget); 5] {
     let mut needle_budget = Budget::unlimited();
     needle_budget.max_states = Some(20_000);
     needle_budget.deadline = Some(Duration::from_secs(5));
-    let cases = [
+    [
         ("abp.ts", "[]<>deliver", Budget::unlimited()),
         ("clock.ts", "[]<>tick", Budget::unlimited()),
         ("server.pn", "[]<>result", Budget::unlimited()),
         ("server_err.pn", "[]<>result", Budget::unlimited()),
         ("needle24.ts", "[]<>a", needle_budget),
-    ];
+    ]
+}
+
+fn trajectory(out_override: Option<&str>, jobs: usize) {
+    println!("== E17 — per-phase observability trajectory (jobs {jobs}) ==");
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let cases = trajectory_cases();
     println!(
         "{:<16} {:>10} {:>12} {:>8} {:>10}   outcome",
         "system", "states", "transitions", "phases", "ms"
     );
     let mut rows = Vec::new();
     for (file, formula, budget) in cases {
-        let (outcome, registry) = trajectory_case(root, file, formula, budget);
+        let (outcome, registry) = trajectory_case(root, file, formula, budget, jobs);
         let records = registry.records();
         println!(
             "{:<16} {:>10} {:>12} {:>8} {:>10.2}   {}",
@@ -462,6 +479,7 @@ fn trajectory(out_override: Option<&str>) {
     let doc = ObjBuilder::new()
         .field("schema", "rl-bench-trajectory/v1")
         .field("date", date.as_str())
+        .field("jobs", jobs as u64)
         .field("cases", Json::Arr(rows))
         .build();
     let path = match out_override {
@@ -469,6 +487,96 @@ fn trajectory(out_override: Option<&str>) {
         None => format!("{root}/BENCH_{date}.json"),
     };
     let text = rl_json::to_string_pretty(&doc).expect("trajectory document serializes");
+    std::fs::write(&path, text + "\n").expect("output path is writable");
+    println!("wrote {path}");
+    println!();
+}
+
+/// Per-jobs wall-clock comparison: every trajectory case at `--jobs 1` and
+/// `--jobs 4`, with a witness that the counters are bit-for-bit equal.
+/// Writes `BENCH_<date>-par.json` (schema `rl-bench-par/v1`).
+fn par(out_override: Option<&str>) {
+    println!("== E18 — parallel kernels: jobs 1 vs jobs 4 ==");
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    println!(
+        "{:<16} {:>12} {:>12} {:>9} {:>15}   outcome",
+        "system", "jobs1-ms", "jobs4-ms", "speedup", "counters-equal"
+    );
+    let counters = |r: &MetricsRegistry| {
+        [
+            r.total(Metric::States),
+            r.total(Metric::Transitions),
+            r.total(Metric::GuardCharges),
+            r.total(Metric::CacheHits),
+        ]
+    };
+    let mut rows = Vec::new();
+    for (file, formula, budget) in trajectory_cases() {
+        // Median-of-three wall clocks at each worker count, like `time_ms`.
+        // The registry's clock is live (now − creation), so the elapsed
+        // reading is taken the moment each case returns.
+        let timed = |jobs: usize| {
+            let mut runs: Vec<(String, MetricsRegistry, u64)> = (0..3)
+                .map(|_| {
+                    let (outcome, reg) = trajectory_case(root, file, formula, budget.clone(), jobs);
+                    let us = reg.elapsed().as_micros() as u64;
+                    (outcome, reg, us)
+                })
+                .collect();
+            runs.sort_by_key(|&(_, _, us)| us);
+            runs.swap_remove(1)
+        };
+        let (outcome1, reg1, us1) = timed(1);
+        let (outcome4, reg4, us4) = timed(4);
+        let equal = counters(&reg1) == counters(&reg4) && outcome1 == outcome4;
+        let speedup = us1 as f64 / us4.max(1) as f64;
+        println!(
+            "{:<16} {:>12.2} {:>12.2} {:>8.2}x {:>15}   {}",
+            file,
+            us1 as f64 / 1_000.0,
+            us4 as f64 / 1_000.0,
+            speedup,
+            equal,
+            outcome1
+        );
+        assert!(equal, "{file}: parallel counters diverged from sequential");
+        rows.push(
+            ObjBuilder::new()
+                .field("system", file)
+                .field("formula", formula)
+                .field("outcome", outcome1)
+                .field("jobs1_us", us1)
+                .field("jobs4_us", us4)
+                .field("speedup", speedup)
+                .field("counters_equal", equal)
+                .field("states", reg1.total(Metric::States))
+                .field("transitions", reg1.total(Metric::Transitions))
+                .field("guard_charges", reg1.total(Metric::GuardCharges))
+                .build(),
+        );
+    }
+    let date = today();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(1);
+    let note = if threads < 4 {
+        "recorded on a host with fewer than 4 CPUs; speedups below 1.0 \
+         measure coordination overhead, not the kernels' scaling"
+    } else {
+        "speedup = jobs1_us / jobs4_us (wall clock, median of three)"
+    };
+    let doc = ObjBuilder::new()
+        .field("schema", "rl-bench-par/v1")
+        .field("date", date.as_str())
+        .field("host_cpus", threads)
+        .field("note", note)
+        .field("cases", Json::Arr(rows))
+        .build();
+    let path = match out_override {
+        Some(p) => p.to_owned(),
+        None => format!("{root}/BENCH_{date}-par.json"),
+    };
+    let text = rl_json::to_string_pretty(&doc).expect("par document serializes");
     std::fs::write(&path, text + "\n").expect("output path is writable");
     println!("wrote {path}");
     println!();
@@ -487,6 +595,24 @@ fn main() {
         out = Some(args.remove(idx + 1));
         args.remove(idx);
     }
+    // `--jobs N` attaches an N-worker pool to every metered case (0 = one
+    // worker per core); counters stay sequential-identical by construction.
+    let mut jobs = 1usize;
+    while let Some(idx) = args.iter().position(|a| a == "--jobs") {
+        if idx + 1 >= args.len() {
+            eprintln!("--jobs needs a value (worker count, 0 = auto)");
+            std::process::exit(2);
+        }
+        let raw = args.remove(idx + 1);
+        args.remove(idx);
+        match raw.parse::<usize>() {
+            Ok(n) => jobs = rl_automata::resolve_jobs(Some(n)),
+            Err(_) => {
+                eprintln!("--jobs: expected a number, got {raw:?}");
+                std::process::exit(2);
+            }
+        }
+    }
     let arg = args.first().cloned().unwrap_or_else(|| "all".to_owned());
     match arg.as_str() {
         "fig2" => fig2(),
@@ -498,7 +624,8 @@ fn main() {
         "ltl" => ltl(),
         "fair" => fair(),
         "prob" => prob(),
-        "trajectory" => trajectory(out.as_deref()),
+        "trajectory" => trajectory(out.as_deref(), jobs),
+        "par" => par(out.as_deref()),
         "all" => {
             fig2();
             fig3();
@@ -509,12 +636,13 @@ fn main() {
             ltl();
             fair();
             prob();
-            trajectory(out.as_deref());
+            trajectory(out.as_deref(), jobs);
+            par(None);
         }
         other => {
             eprintln!(
                 "unknown experiment {other:?}; expected one of \
-                 fig2 fig3 fig4 scaling payoff hardness ltl fair prob trajectory all"
+                 fig2 fig3 fig4 scaling payoff hardness ltl fair prob trajectory par all"
             );
             std::process::exit(2);
         }

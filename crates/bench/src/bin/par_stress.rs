@@ -1,0 +1,242 @@
+//! Loom-free concurrency stress harness for the parallel checking stack.
+//!
+//! Hammers the shared-state pieces introduced for multicore checking —
+//! the work-stealing [`Pool`], the sharded [`OpCache`], and the atomic
+//! guard core — from many threads at once, and re-asserts the central
+//! determinism guarantee (parallel determinization is bit-for-bit the
+//! sequential result) across repeated runs. CI runs this binary directly;
+//! it exits non-zero on the first violated invariant.
+//!
+//! ```text
+//! cargo run --release -p rl-bench --bin par_stress [-- <rounds>]
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use rl_automata::{
+    Alphabet, Budget, CancelToken, Guard, Metric, MetricsRegistry, Nfa, OpCache, Pool,
+};
+
+/// One shared counter bumped by every closure the stress run schedules, so
+/// the harness can prove nothing was silently dropped.
+static EXECUTED: AtomicUsize = AtomicUsize::new(0);
+
+fn main() {
+    let rounds: usize = std::env::args()
+        .nth(1)
+        .map(|raw| raw.parse().expect("rounds must be a number"))
+        .unwrap_or(8);
+
+    // The panic-isolation stress panics on purpose; keep the expected ones
+    // out of CI logs while still reporting real failures.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let expected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .is_some_and(|m| m.contains("deliberate stress panic"));
+        if !expected {
+            default_hook(info);
+        }
+    }));
+
+    for round in 0..rounds {
+        stress_pool_map(round);
+        stress_pool_panic_isolation();
+        stress_op_cache(round);
+        stress_guard_charges();
+        stress_cancellation_under_load();
+        stress_parallel_determinize_determinism(round);
+    }
+    println!("par_stress: {rounds} rounds clean");
+}
+
+/// `map_indexed` must return every slot, in order, under heavy stealing.
+fn stress_pool_map(round: usize) {
+    let pool = Pool::new(4);
+    let n = 2048 + round; // odd sizes exercise the last ragged chunk
+    let out = pool.map_indexed(
+        n,
+        Arc::new(|i: usize| {
+            EXECUTED.fetch_add(1, Ordering::Relaxed);
+            i * 3 + 1
+        }),
+    );
+    assert_eq!(out.len(), n, "map_indexed dropped slots");
+    for (i, v) in out.iter().enumerate() {
+        assert_eq!(*v, i * 3 + 1, "slot {i} holds another index's result");
+    }
+}
+
+/// A panicking job must not poison the pool or take sibling jobs with it.
+fn stress_pool_panic_isolation() {
+    let pool = Pool::new(3);
+    let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..64usize)
+        .map(|i| {
+            Box::new(move || {
+                if i == 17 {
+                    panic!("deliberate stress panic");
+                }
+                i
+            }) as Box<dyn FnOnce() -> usize + Send>
+        })
+        .collect();
+    let results = pool.run_jobs(jobs);
+    assert_eq!(results.len(), 64);
+    for (i, r) in results.into_iter().enumerate() {
+        match r {
+            Ok(v) => assert_eq!(v, i),
+            Err(_) => assert_eq!(i, 17, "only job 17 panics"),
+        }
+    }
+    // The pool is still usable after the panic.
+    let echo = pool.map_indexed(32, Arc::new(|i: usize| i));
+    assert_eq!(echo, (0..32).collect::<Vec<_>>());
+}
+
+/// Concurrent `get_or_insert_with` on colliding keys must build each entry's
+/// value once per (key, op) from some thread and hand every caller the same
+/// `Arc`; interned operands must dedupe across threads.
+fn stress_op_cache(round: usize) {
+    let cache = OpCache::new();
+    let pool = Pool::new(4);
+    let keys = 97usize; // prime, so shard selection gets a ragged spread
+    let arcs = pool.map_indexed(
+        1024,
+        Arc::new({
+            let cache = cache.clone();
+            move |i: usize| {
+                let key = ((i % keys) as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                let built: Result<(Arc<Vec<usize>>, bool), std::convert::Infallible> = cache
+                    .get_or_insert_with(
+                        "stress",
+                        key,
+                        |v: &Vec<usize>| v[0] == i % keys,
+                        || Ok(vec![i % keys, round]),
+                    );
+                let (arc, _hit) = built.expect("infallible build");
+                assert_eq!(arc[0], i % keys, "wrong entry for key");
+                Arc::as_ptr(&arc) as usize
+            }
+        }),
+    );
+    // Every caller that hit the same key observed the same allocation.
+    let mut by_key: Vec<Option<usize>> = vec![None; keys];
+    for (i, ptr) in arcs.iter().enumerate() {
+        let slot = &mut by_key[i % keys];
+        match slot {
+            None => *slot = Some(*ptr),
+            Some(seen) => assert_eq!(seen, ptr, "two Arcs for one cache key"),
+        }
+    }
+    assert_eq!(cache.len(), keys, "one entry per distinct key");
+    assert_eq!(cache.hits() + cache.misses(), 1024);
+
+    let a = cache.intern_operand(42, &"operand".to_string());
+    let b = cache.intern_operand(42, &"operand".to_string());
+    assert!(Arc::ptr_eq(&a, &b), "operands interned to one Arc");
+}
+
+/// Probes cloned from one guard share the same atomic core: concurrent
+/// frontier notes may interleave, but deadline/cancel checks must agree.
+fn stress_guard_charges() {
+    let guard = Guard::new(Budget::default());
+    let probe = guard.probe();
+    let pool = Pool::new(4);
+    let oks = pool.map_indexed(
+        512,
+        Arc::new({
+            let probe = probe.clone();
+            move |_i: usize| probe.check().is_ok()
+        }),
+    );
+    assert!(oks.into_iter().all(|ok| ok), "unarmed probe never trips");
+}
+
+/// One cancel token stops every worker: after cancellation no probe
+/// succeeds, from any thread.
+fn stress_cancellation_under_load() {
+    let token = CancelToken::new();
+    let guard = Guard::with_cancel(Budget::default(), token.clone());
+    let probe = guard.probe();
+    token.cancel();
+    let pool = Pool::new(4);
+    let tripped = pool.map_indexed(
+        256,
+        Arc::new({
+            let probe = probe.clone();
+            move |_i: usize| probe.check().is_err()
+        }),
+    );
+    assert!(
+        tripped.into_iter().all(|t| t),
+        "cancel visible on all threads"
+    );
+    assert!(
+        guard.check_now().is_err(),
+        "owner sees the cancellation too"
+    );
+}
+
+/// The flagship guarantee, re-checked under scheduling noise: parallel
+/// determinization of the n-th-from-the-end family is structurally equal to
+/// the sequential result with identical counter totals.
+fn stress_parallel_determinize_determinism(round: usize) {
+    let n = 9 + round % 3; // 2^n subset states, enough to split into layers
+    let nfa = nth_from_end_nfa(n);
+
+    let seq_guard = Guard::new(Budget::default()).with_metrics(MetricsRegistry::new());
+    let seq = nfa
+        .determinize_with(&seq_guard)
+        .expect("sequential determinize");
+
+    let par_guard = Guard::new(Budget::default())
+        .with_metrics(MetricsRegistry::new())
+        .with_pool(Arc::new(Pool::new(4)));
+    let par = nfa
+        .determinize_with(&par_guard)
+        .expect("parallel determinize");
+
+    assert_eq!(seq, par, "parallel Dfa differs from sequential");
+    let totals = |g: &Guard| {
+        let m = g.metrics().expect("metrics attached");
+        (
+            m.total(Metric::States),
+            m.total(Metric::Transitions),
+            m.total(Metric::GuardCharges),
+        )
+    };
+    assert_eq!(
+        totals(&seq_guard),
+        totals(&par_guard),
+        "counter totals differ"
+    );
+}
+
+/// The "n-th symbol from the end is an `a`" NFA — `n + 1` states blowing up
+/// to `2^n` subset states, the canonical determinization stressor.
+fn nth_from_end_nfa(n: usize) -> Nfa {
+    let ab = Alphabet::new(["a", "b"]).expect("two symbols");
+    let a = ab.symbol("a").expect("interned");
+    let b = ab.symbol("b").expect("interned");
+    let mut nfa = Nfa::new(ab);
+    let q0 = nfa.add_state(false);
+    nfa.set_initial(q0);
+    nfa.add_transition(q0, a, q0);
+    nfa.add_transition(q0, b, q0);
+    let mut prev = q0;
+    for i in 0..n {
+        let q = nfa.add_state(i == n - 1);
+        if prev == q0 {
+            nfa.add_transition(q0, a, q);
+        } else {
+            nfa.add_transition(prev, a, q);
+            nfa.add_transition(prev, b, q);
+        }
+        prev = q;
+    }
+    nfa
+}

@@ -2,6 +2,7 @@
 
 use std::collections::{BTreeSet, VecDeque};
 use std::hash::Hasher;
+use std::sync::Arc;
 
 use rl_automata::{Alphabet, AutomataError, FxHasher, Guard, Interner, Nfa, StateId, Symbol};
 
@@ -337,16 +338,21 @@ impl Buchi {
         if guard.op_cache().is_none() {
             return self.intersection_inner(other, guard);
         }
+        let (self_hash, other_hash) = (self.structural_hash(), other.structural_hash());
         let mut h = FxHasher::default();
-        h.write_u64(self.structural_hash());
-        h.write_u64(other.structural_hash());
-        let entry = guard.cached::<(Buchi, Buchi, Buchi), AutomataError>(
+        h.write_u64(self_hash);
+        h.write_u64(other_hash);
+        let entry = guard.cached::<(Arc<Buchi>, Arc<Buchi>, Buchi), AutomataError>(
             "buchi_intersection",
             h.finish(),
-            |e| e.0 == *self && e.1 == *other,
+            |e| *e.0 == *self && *e.1 == *other,
             || {
                 let product = self.intersection_inner(other, guard)?;
-                Ok((self.clone(), other.clone(), product))
+                Ok((
+                    guard.operand(self_hash, self),
+                    guard.operand(other_hash, other),
+                    product,
+                ))
             },
         )?;
         Ok(entry.2.clone())

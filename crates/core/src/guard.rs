@@ -14,8 +14,10 @@ use std::fmt;
 
 use rl_abstraction::AbstractionError;
 use rl_automata::AutomataError;
-pub use rl_automata::{Budget, CancelToken, Guard, Progress, Resource};
-pub use rl_automata::{Counter, Metric, MetricsRegistry, Span, SpanRecord};
+pub use rl_automata::{
+    resolve_jobs, Budget, CancelToken, Guard, GuardProbe, Pool, Progress, Resource,
+};
+pub use rl_automata::{Counter, Metric, MetricsRegistry, RegistrySnapshot, Span, SpanRecord};
 
 use crate::property::CoreError;
 

@@ -65,8 +65,10 @@ mod topology;
 
 pub use ctl::{forall_always_exists_eventually, forall_always_recurrently};
 pub use fair::{implementation_faithful, synthesize_fair_implementation, FairImplementation};
-pub use guard::{Budget, CancelToken, CheckError, Guard, Progress, Resource};
-pub use guard::{Counter, Metric, MetricsRegistry, Span, SpanRecord};
+pub use guard::{
+    resolve_jobs, Budget, CancelToken, CheckError, Guard, GuardProbe, Pool, Progress, Resource,
+};
+pub use guard::{Counter, Metric, MetricsRegistry, RegistrySnapshot, Span, SpanRecord};
 pub use pipeline::{
     check_transported_concrete, labeling_for_homomorphism, verify_via_abstraction,
     verify_via_abstraction_with, AbstractionAnalysis, TransferConclusion,

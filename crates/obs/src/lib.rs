@@ -209,6 +209,34 @@ struct Inner {
     stack: RefCell<Vec<Frame>>,
     records: RefCell<Vec<SpanRecord>>,
     custom: RefCell<Vec<CustomCounter>>,
+    jobs: Cell<Option<usize>>,
+}
+
+/// A detached, immutable copy of a registry's completed output: records,
+/// metric totals, and custom counters.
+///
+/// Unlike [`MetricsRegistry`] (which is `Rc`-based and single-threaded by
+/// design), a snapshot is plain owned data and is `Send` — it is the unit
+/// that crosses threads when parallel workers or batch jobs each meter their
+/// own shard registry and the parent absorbs the shards at join
+/// ([`MetricsRegistry::absorb`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegistrySnapshot {
+    /// Completed spans, in open (`seq`) order.
+    pub records: Vec<SpanRecord>,
+    /// Built-in metric totals, indexed like [`Metric::ALL`].
+    pub totals: [u64; METRIC_COUNT],
+    /// Custom counter totals, in registration order.
+    pub counters: Vec<(String, u64)>,
+    /// Wall-clock lifetime of the source registry at snapshot time.
+    pub elapsed: Duration,
+}
+
+impl RegistrySnapshot {
+    /// The snapshotted total of a built-in metric.
+    pub fn total(&self, metric: Metric) -> u64 {
+        self.totals[metric.index()]
+    }
 }
 
 /// The collector for spans, metrics, and counters of one checking run.
@@ -238,8 +266,21 @@ impl MetricsRegistry {
                 stack: RefCell::new(Vec::new()),
                 records: RefCell::new(Vec::new()),
                 custom: RefCell::new(Vec::new()),
+                jobs: Cell::new(None),
             }),
         }
+    }
+
+    /// Records the degree of parallelism this run executed with (the resolved
+    /// `--jobs`/`RL_THREADS` choice). Shows up as the `jobs` field of the
+    /// JSONL `meta` header so traces are attributable to a thread count.
+    pub fn note_jobs(&self, jobs: usize) {
+        self.inner.jobs.set(Some(jobs));
+    }
+
+    /// The recorded parallelism degree, if one was noted.
+    pub fn jobs(&self) -> Option<usize> {
+        self.inner.jobs.get()
     }
 
     /// Opens a named span nested under the currently open one. Closing
@@ -333,6 +374,71 @@ impl MetricsRegistry {
             .collect()
     }
 
+    /// A detached, `Send`-able copy of everything recorded so far — the
+    /// shard side of the shard/merge protocol (see
+    /// [`MetricsRegistry::absorb`]).
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            records: self.records(),
+            totals: std::array::from_fn(|i| self.inner.totals[i].get()),
+            counters: self.counters(),
+            elapsed: self.elapsed(),
+        }
+    }
+
+    /// Merges a worker/job shard into this registry: every shard span is
+    /// re-recorded under `prefix/` (depth shifted by one, `seq` renumbered
+    /// after everything already recorded here) and the shard's metric and
+    /// counter totals are added to this registry's totals.
+    ///
+    /// Callers absorb shards **in submission order at join**, not in
+    /// completion order, so the merged `--stats`/`--metrics` output is
+    /// deterministic regardless of how the parallel schedule interleaved.
+    pub fn absorb(&self, prefix: &str, shard: &RegistrySnapshot) {
+        let inner = &self.inner;
+        {
+            let mut records = inner.records.borrow_mut();
+            // A synthetic root row for the shard, so summaries show the
+            // prefix (e.g. `job3`) as the parent of the re-rooted spans.
+            let seq = inner.next_seq.get();
+            inner.next_seq.set(seq + 1);
+            records.push(SpanRecord {
+                path: prefix.to_owned(),
+                name: prefix.to_owned(),
+                depth: 0,
+                seq,
+                started: shard.records.first().map_or(Duration::ZERO, |r| r.started),
+                elapsed: shard.elapsed,
+                states: shard.total(Metric::States),
+                transitions: shard.total(Metric::Transitions),
+                cache_hits: shard.total(Metric::CacheHits),
+                guard_charges: shard.total(Metric::GuardCharges),
+            });
+            for r in &shard.records {
+                let seq = inner.next_seq.get();
+                inner.next_seq.set(seq + 1);
+                records.push(SpanRecord {
+                    path: format!("{prefix}/{}", r.path),
+                    name: r.name.clone(),
+                    depth: r.depth + 1,
+                    seq,
+                    started: r.started,
+                    elapsed: r.elapsed,
+                    states: r.states,
+                    transitions: r.transitions,
+                    cache_hits: r.cache_hits,
+                    guard_charges: r.guard_charges,
+                });
+            }
+        }
+        for (i, total) in inner.totals.iter().enumerate() {
+            total.set(total.get() + shard.totals[i]);
+        }
+        for (name, value) in &shard.counters {
+            self.counter(name).add(*value);
+        }
+    }
+
     fn close_top(&self) {
         let inner = &self.inner;
         let Some(frame) = inner.stack.borrow_mut().pop() else {
@@ -397,13 +503,15 @@ impl MetricsRegistry {
     pub fn to_jsonl(&self) -> String {
         let records = self.records();
         let mut lines = Vec::with_capacity(records.len() + 2);
-        let meta = ObjBuilder::new()
+        let mut meta = ObjBuilder::new()
             .field("event", "meta")
             .field("schema", "rl-obs/v1")
             .field("spans", records.len())
-            .field("elapsed_us", self.elapsed().as_micros() as u64)
-            .build();
-        lines.push(compact(&meta));
+            .field("elapsed_us", self.elapsed().as_micros() as u64);
+        if let Some(jobs) = self.jobs() {
+            meta = meta.field("jobs", jobs);
+        }
+        lines.push(compact(&meta.build()));
         for r in &records {
             lines.push(compact(&r.to_json()));
         }
@@ -621,6 +729,65 @@ mod tests {
         assert!(summary.contains("check"));
         assert!(summary.contains("  determinize"), "nested rows indent");
         assert!(summary.contains("total"));
+    }
+
+    #[test]
+    fn snapshot_absorb_prefixes_renumbers_and_sums() {
+        let parent = MetricsRegistry::new();
+        {
+            let _own = parent.enter("batch");
+            parent.add(Metric::States, 1);
+        }
+        let shard = MetricsRegistry::new();
+        {
+            let _s = shard.enter("check");
+            let _inner = shard.enter("determinize");
+            shard.add(Metric::States, 10);
+            shard.add(Metric::Transitions, 4);
+        }
+        shard.counter("rows").add(7);
+        let snap = shard.snapshot();
+        assert_eq!(snap.total(Metric::States), 10);
+        parent.absorb("job0", &snap);
+        parent.absorb("job1", &snap);
+
+        let records = parent.records();
+        assert_eq!(records.len(), 7);
+        assert_eq!(records[0].path, "batch");
+        // Each absorb contributes a synthetic root row carrying the shard's
+        // totals, then the shard's spans re-rooted under the prefix.
+        assert_eq!(records[1].path, "job0");
+        assert_eq!(records[1].depth, 0);
+        assert_eq!(records[1].states, 10);
+        assert_eq!(records[1].transitions, 4);
+        assert_eq!(records[2].path, "job0/check");
+        assert_eq!(records[2].depth, 1);
+        assert_eq!(records[3].path, "job0/check/determinize");
+        assert_eq!(records[3].depth, 2);
+        assert_eq!(records[4].path, "job1");
+        assert_eq!(records[5].path, "job1/check");
+        // seq strictly increases across absorbs (deterministic merge order).
+        assert!(records.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert_eq!(parent.total(Metric::States), 21);
+        assert_eq!(parent.total(Metric::Transitions), 8);
+        assert_eq!(parent.counters(), vec![("rows".to_owned(), 14)]);
+    }
+
+    #[test]
+    fn jobs_choice_lands_in_the_meta_header() {
+        let m = MetricsRegistry::new();
+        assert_eq!(m.jobs(), None);
+        assert!(!m.to_jsonl().lines().next().unwrap().contains("\"jobs\""));
+        m.note_jobs(4);
+        assert_eq!(m.jobs(), Some(4));
+        let meta = rl_json::parse(m.to_jsonl().lines().next().unwrap()).unwrap();
+        assert_eq!(meta.get("jobs"), Some(&Json::Int(4)));
+    }
+
+    #[test]
+    fn snapshot_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<RegistrySnapshot>();
     }
 
     #[test]

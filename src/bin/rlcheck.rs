@@ -18,6 +18,13 @@
 //!
 //! rlcheck dot <system-file>
 //!     Graphviz DOT output of the system.
+//!
+//! rlcheck batch [--manifest <file>] [<system-file>... --formula <f>]
+//!     run many checks as one batch: manifest lines are
+//!     `<system-file> <formula>` (# comments allowed), positional files
+//!     all use --formula. Checks fan out across --jobs workers with
+//!     per-check isolation; outputs print in submission order and the
+//!     worst per-check exit code wins.
 //! ```
 //!
 //! Every subcommand additionally accepts resource limits and observability
@@ -25,13 +32,18 @@
 //!
 //! ```text
 //! --timeout <secs>     wall-clock deadline for the decision procedures
+//!                      (in batch mode: one deadline for the whole batch)
 //! --max-states <n>     cap on states materialized by any construction
+//! --jobs <n>           worker threads: parallel frontier expansion inside
+//!                      one check, whole checks in batch mode. 0 = all
+//!                      cores; overrides the RL_THREADS env var; results
+//!                      are bit-for-bit identical for every value
 //! --stats              per-phase profile (states, transitions, elapsed)
 //!                      printed to stderr after the verdict
 //! --metrics <file>     machine-readable JSONL trace (schema rl-obs/v1)
 //!                      written to <file>
 //! --no-op-cache        disable the automaton-operation memo cache that the
-//!                      deciders share by default
+//!                      deciders (and the jobs of a batch) share by default
 //! ```
 //!
 //! Both sinks are also flushed when a budget trips (exit 3), so the profile
@@ -127,7 +139,207 @@ fn extract_no_op_cache(args: &mut Vec<String>) -> bool {
     disabled
 }
 
-fn cmd_check(path: &str, formula: &str, guard: &Guard) -> Result<ExitCode, CheckError> {
+/// Extracts a `<flag> <value>` pair from the argument list (every
+/// occurrence; the last value wins).
+fn extract_value_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    let mut value = None;
+    while let Some(idx) = args.iter().position(|a| a == flag) {
+        let Some(raw) = args.get(idx + 1).cloned() else {
+            return Err(format!("{flag} needs a value"));
+        };
+        args.drain(idx..idx + 2);
+        value = Some(raw);
+    }
+    Ok(value)
+}
+
+/// Extracts `--jobs <n>` and resolves the effective worker count:
+/// the flag wins over the `RL_THREADS` env var, `0` (in either) auto-detects
+/// the machine's cores, and with neither set the run is sequential.
+fn extract_jobs(args: &mut Vec<String>) -> Result<usize, String> {
+    let flag = match extract_value_flag(args, "--jobs")? {
+        Some(raw) => Some(
+            raw.parse::<usize>()
+                .map_err(|_| format!("--jobs: {raw:?} is not a valid worker count"))?,
+        ),
+        None => None,
+    };
+    Ok(resolve_jobs(flag))
+}
+
+/// One check of a batch: a system file and a formula.
+struct BatchCheck {
+    path: String,
+    formula: String,
+}
+
+/// Parses a batch manifest: one `<system-file> <formula>` per line, where
+/// the formula is the rest of the line; blank lines and `#` comments are
+/// skipped.
+fn parse_manifest(text: &str) -> Result<Vec<BatchCheck>, String> {
+    let mut checks = Vec::new();
+    for (ln, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((path, formula)) = line.split_once(char::is_whitespace) else {
+            return Err(format!(
+                "manifest line {}: expected `<system-file> <formula>`",
+                ln + 1
+            ));
+        };
+        checks.push(BatchCheck {
+            path: path.to_owned(),
+            formula: formula.trim().to_owned(),
+        });
+    }
+    Ok(checks)
+}
+
+/// What one batch job reports back across the pool: buffered stdout/stderr,
+/// an exit code, and (when observability is on) its metrics shard.
+type JobOutcome = (String, String, u8, Option<RegistrySnapshot>);
+
+/// Severity order for aggregating batch exit codes: panic > budget >
+/// usage/input error > property failure > success.
+fn severity(code: u8) -> u8 {
+    match code {
+        101 => 4,
+        3 => 3,
+        2 => 2,
+        1 => 1,
+        _ => 0,
+    }
+}
+
+/// Runs a batch of checks across a worker pool with per-check isolation:
+/// each check gets its own guard (sharing the batch deadline's *remaining*
+/// time, one cancel token, and one op cache), its output is buffered and
+/// printed in submission order, a panicking check maps to exit 101 without
+/// taking down its siblings, and the worst per-check exit code wins.
+fn cmd_batch(
+    checks: Vec<BatchCheck>,
+    threads: usize,
+    budget: &Budget,
+    registry: Option<&MetricsRegistry>,
+    no_op_cache: bool,
+) -> ExitCode {
+    let pool = Pool::new(threads);
+    let cancel = CancelToken::new();
+    let shared_cache = (!no_op_cache).then(OpCache::new);
+    let batch_start = std::time::Instant::now();
+    let want_snapshots = registry.is_some();
+
+    let total = checks.len();
+    let jobs: Vec<Box<dyn FnOnce() -> JobOutcome + Send>> = checks
+        .into_iter()
+        .map(|check| {
+            let budget = budget.clone();
+            let cancel = cancel.clone();
+            let cache = shared_cache.clone();
+            let job = move || -> JobOutcome {
+                // Budget splitting: the whole batch shares one wall clock,
+                // so a job picked up late gets only the remaining time — a
+                // single --timeout bounds the batch end to end.
+                let mut budget = budget;
+                if let Some(deadline) = budget.deadline {
+                    budget.deadline = Some(deadline.saturating_sub(batch_start.elapsed()));
+                }
+                // The guard is assembled *inside* the job: its metrics
+                // registry is thread-local, so results cross back to the
+                // parent as a Send snapshot.
+                let reg = want_snapshots.then(MetricsRegistry::new);
+                let mut guard = Guard::with_cancel(budget, cancel);
+                if let Some(r) = &reg {
+                    guard = guard.with_metrics(r.clone());
+                }
+                if let Some(cache) = cache {
+                    guard = guard.with_op_cache(cache);
+                }
+                let mut out = String::new();
+                let mut err = String::new();
+                let code = report_check(&check, &guard, &mut out, &mut err);
+                (out, err, code, reg.as_ref().map(MetricsRegistry::snapshot))
+            };
+            Box::new(job) as Box<dyn FnOnce() -> JobOutcome + Send>
+        })
+        .collect();
+
+    let results = pool.run_jobs(jobs);
+
+    let mut worst = 0u8;
+    let mut held = 0usize;
+    for (i, result) in results.into_iter().enumerate() {
+        let (out, err, code, snapshot) = match result {
+            Ok(outcome) => outcome,
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_owned())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "unknown panic".to_owned());
+                (
+                    String::new(),
+                    format!("rlcheck: internal panic: {msg}\n"),
+                    101,
+                    None,
+                )
+            }
+        };
+        print!("{out}");
+        eprint!("{err}");
+        if code == 0 {
+            held += 1;
+        }
+        if severity(code) > severity(worst) {
+            worst = code;
+        }
+        // Merge the job's metrics shard into the parent registry, in
+        // submission order, so --stats/--metrics output is deterministic.
+        if let (Some(parent), Some(shard)) = (registry, &snapshot) {
+            parent.absorb(&format!("job{i}"), shard);
+        }
+    }
+    println!("batch: {held}/{total} checks relatively live (exit {worst})");
+    ExitCode::from(worst)
+}
+
+/// Runs one batch check against `guard`, writing the report to `out` and
+/// diagnostics to `err`; returns the job's exit code (same scheme as the
+/// process exit codes).
+fn report_check(check: &BatchCheck, guard: &Guard, out: &mut String, err: &mut String) -> u8 {
+    use std::fmt::Write;
+    let _ = writeln!(out, "=== {} {}", check.path, check.formula);
+    match run_check(&check.path, &check.formula, guard, out) {
+        Ok(true) => 0,
+        Ok(false) => 1,
+        Err(e @ CheckError::BudgetExceeded { .. }) | Err(e @ CheckError::Cancelled { .. }) => {
+            let _ = writeln!(
+                err,
+                "rlcheck: [{}] resource budget exhausted before a verdict was reached",
+                check.path
+            );
+            let _ = writeln!(err, "rlcheck: {e}");
+            3
+        }
+        Err(e) => {
+            let _ = writeln!(err, "rlcheck: [{}] {e}", check.path);
+            2
+        }
+    }
+}
+
+/// The `check` pipeline, writing its report into `out` (so the batch mode
+/// can run checks concurrently and still print them in submission order).
+/// Returns whether relative liveness holds.
+fn run_check(
+    path: &str,
+    formula: &str,
+    guard: &Guard,
+    out: &mut String,
+) -> Result<bool, CheckError> {
+    use std::fmt::Write;
     let _span = guard.span("check");
     let ts = load(path)?;
     let eta = parse_formula(formula)?;
@@ -135,24 +347,40 @@ fn cmd_check(path: &str, formula: &str, guard: &Guard) -> Result<ExitCode, Check
     let prop = Property::formula(eta.clone());
 
     let sat = satisfies_with(&behaviors, &prop, guard)?;
-    println!("classical  {eta}: {}", verdict(sat.holds));
+    let _ = writeln!(out, "classical  {eta}: {}", verdict(sat.holds));
     if let Some(x) = sat.counterexample {
-        println!("           counterexample: {}", x.display(ts.alphabet()));
+        let _ = writeln!(
+            out,
+            "           counterexample: {}",
+            x.display(ts.alphabet())
+        );
     }
     let rl = is_relative_liveness_with(&behaviors, &prop, guard)?;
-    println!("rel-live   {eta}: {}", verdict(rl.holds));
+    let _ = writeln!(out, "rel-live   {eta}: {}", verdict(rl.holds));
     if let Some(w) = &rl.doomed_prefix {
-        println!(
+        let _ = writeln!(
+            out,
             "           doomed prefix: {}",
             format_word(ts.alphabet(), w)
         );
     }
     let rs = is_relative_safety_with(&behaviors, &prop, guard)?;
-    println!("rel-safe   {eta}: {}", verdict(rs.holds));
+    let _ = writeln!(out, "rel-safe   {eta}: {}", verdict(rs.holds));
     if let Some(x) = rs.escaping_behavior {
-        println!("           escaping behavior: {}", x.display(ts.alphabet()));
+        let _ = writeln!(
+            out,
+            "           escaping behavior: {}",
+            x.display(ts.alphabet())
+        );
     }
-    Ok(if rl.holds {
+    Ok(rl.holds)
+}
+
+fn cmd_check(path: &str, formula: &str, guard: &Guard) -> Result<ExitCode, CheckError> {
+    let mut out = String::new();
+    let result = run_check(path, formula, guard, &mut out);
+    print!("{out}");
+    Ok(if result? {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
@@ -298,9 +526,10 @@ fn govern(body: impl FnOnce() -> Result<ExitCode, CheckError>) -> ExitCode {
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let usage = "usage: rlcheck <check|abstract|simplicity|fair|dot> <system-file> \
+    let usage = "usage: rlcheck <check|abstract|simplicity|fair|dot|batch> <system-file>... \
                  [<formula>] [--keep a,b,c] [--steps N] \
-                 [--timeout <secs>] [--max-states <n>] \
+                 [--timeout <secs>] [--max-states <n>] [--jobs <n>] \
+                 [--manifest <file>] [--formula <f>] \
                  [--stats] [--metrics <file>] [--no-op-cache]";
     let budget = match extract_budget(&mut args) {
         Ok(b) => b,
@@ -311,10 +540,19 @@ fn main() -> ExitCode {
         Err(e) => return fail(format!("{e}\n{usage}")),
     };
     let no_op_cache = extract_no_op_cache(&mut args);
+    let jobs = match extract_jobs(&mut args) {
+        Ok(j) => j,
+        Err(e) => return fail(format!("{e}\n{usage}")),
+    };
     // Only attach a registry when a sink was requested: default runs keep
     // the guard's metrics hook at `None`, so charges stay branch-only.
     let registry = (stats || metrics_path.is_some()).then(MetricsRegistry::new);
-    let mut guard = Guard::new(budget);
+    if let Some(reg) = &registry {
+        // The resolved worker count lands in the JSONL header, so traces
+        // record how the run was parallelized.
+        reg.note_jobs(jobs);
+    }
+    let mut guard = Guard::new(budget.clone());
     if let Some(reg) = &registry {
         guard = guard.with_metrics(reg.clone());
     }
@@ -324,10 +562,60 @@ fn main() -> ExitCode {
         // answers the repeats.
         guard = guard.with_op_cache(OpCache::new());
     }
+    if jobs >= 2 {
+        // Parallel kernels: wide BFS layers of the subset construction and
+        // the rank-based complement fan out across this pool. Results are
+        // bit-for-bit identical to --jobs 1.
+        guard = guard.with_pool(std::sync::Arc::new(Pool::new(jobs)));
+    }
     let Some(cmd) = args.first() else {
         return fail(usage);
     };
     let code = match cmd.as_str() {
+        "batch" => {
+            let manifest = match extract_value_flag(&mut args, "--manifest") {
+                Ok(m) => m,
+                Err(e) => return fail(format!("{e}\n{usage}")),
+            };
+            let formula = match extract_value_flag(&mut args, "--formula") {
+                Ok(f) => f,
+                Err(e) => return fail(format!("{e}\n{usage}")),
+            };
+            let mut checks = Vec::new();
+            if let Some(path) = &manifest {
+                let text = match std::fs::read_to_string(path) {
+                    Ok(t) => t,
+                    Err(e) => return fail(format!("--manifest {path}: {e}")),
+                };
+                match parse_manifest(&text) {
+                    Ok(mut m) => checks.append(&mut m),
+                    Err(e) => return fail(format!("--manifest {path}: {e}")),
+                }
+            }
+            let files: Vec<String> = args[1..].to_vec();
+            if !files.is_empty() {
+                let Some(formula) = formula.clone() else {
+                    return fail("batch: positional system files need --formula <f>");
+                };
+                for path in files {
+                    checks.push(BatchCheck {
+                        path,
+                        formula: formula.clone(),
+                    });
+                }
+            }
+            if checks.is_empty() {
+                return fail(
+                    "batch needs checks: --manifest <file> and/or <system-file>... --formula <f>",
+                );
+            }
+            return finish(
+                cmd_batch(checks, jobs, &budget, registry.as_ref(), no_op_cache),
+                stats,
+                &metrics_path,
+                registry.as_ref(),
+            );
+        }
         "check" => match (args.get(1), args.get(2)) {
             (Some(path), Some(f)) => govern(|| cmd_check(path, f, &guard)),
             _ => fail(usage),
@@ -362,14 +650,23 @@ fn main() -> ExitCode {
         },
         other => fail(format!("unknown command {other:?}\n{usage}")),
     };
-    // Flush the observability sinks last, after every span has closed —
-    // including on the exit-3 path, where the profile shows which phase
-    // consumed the budget.
-    if let Some(reg) = &registry {
+    finish(code, stats, &metrics_path, registry.as_ref())
+}
+
+/// Flushes the observability sinks last, after every span has closed —
+/// including on the exit-3 path, where the profile shows which phase
+/// consumed the budget.
+fn finish(
+    code: ExitCode,
+    stats: bool,
+    metrics_path: &Option<String>,
+    registry: Option<&MetricsRegistry>,
+) -> ExitCode {
+    if let Some(reg) = registry {
         if stats {
             eprint!("{}", reg.summary());
         }
-        if let Some(path) = &metrics_path {
+        if let Some(path) = metrics_path {
             if let Err(e) = std::fs::write(path, reg.to_jsonl()) {
                 return fail(format!("--metrics {path}: {e}"));
             }

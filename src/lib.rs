@@ -69,7 +69,8 @@ pub mod prelude {
     };
     pub use rl_automata::{
         dfa_equivalent, dfa_included, dfa_included_with, format_word, largest_simulation,
-        parse_word, simulates, Alphabet, Dfa, Nfa, OpCache, Regex, Symbol, TransitionSystem, Word,
+        parse_word, resolve_jobs, simulates, Alphabet, Dfa, GuardProbe, Nfa, OpCache, Pool, Regex,
+        RegistrySnapshot, Symbol, TransitionSystem, Word,
     };
     pub use rl_buchi::{
         behaviors_of_ts, behaviors_of_ts_with, complement, complement_with, limit_of_dfa,

@@ -327,3 +327,232 @@ fn malformed_budget_flags_exit_2() {
         "non-numeric value => usage error"
     );
 }
+
+#[test]
+fn jobs_flag_output_is_identical_to_sequential() {
+    // The whole point of the parallel kernels: verdicts, reports, and the
+    // deterministic diagnostics are bit-for-bit independent of --jobs.
+    let base = rlcheck(&["check", "examples/systems/abp.ts", "[]<>deliver"]);
+    for jobs in ["1", "2", "4"] {
+        let out = rlcheck(&[
+            "check",
+            "examples/systems/abp.ts",
+            "[]<>deliver",
+            "--jobs",
+            jobs,
+        ]);
+        assert_eq!(out.status.code(), base.status.code(), "--jobs {jobs}");
+        assert_eq!(stdout(&out), stdout(&base), "--jobs {jobs}");
+    }
+}
+
+#[test]
+fn jobs_budget_trip_is_identical_to_sequential() {
+    // needle24 blows a 20k-state cap inside determinize; the trip point and
+    // every deterministic diagnostic must not depend on the thread count.
+    let run = |jobs: &str| {
+        rlcheck(&[
+            "check",
+            "examples/systems/needle24.ts",
+            "[]<>deliver",
+            "--max-states",
+            "20000",
+            "--jobs",
+            jobs,
+        ])
+    };
+    let (j1, j4) = (run("1"), run("4"));
+    assert_eq!(j1.status.code(), Some(3));
+    assert_eq!(j4.status.code(), Some(3));
+    let strip_elapsed = |text: String| -> String {
+        // Drop the trailing wall-clock fragment ("... in 6.19ms"), the only
+        // nondeterministic part of the diagnostics.
+        text.lines()
+            .map(|l| match l.rfind(") in ") {
+                Some(a) => l[..=a].to_owned(),
+                None => l.to_owned(),
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(
+        strip_elapsed(stderr(&j1)),
+        strip_elapsed(stderr(&j4)),
+        "same trip point, same partial diagnostics"
+    );
+}
+
+#[test]
+fn jobs_zero_autodetects_and_rl_threads_is_overridden_by_flag() {
+    // --jobs 0 resolves to the core count; the run must still succeed and
+    // agree with sequential output.
+    let auto = rlcheck(&[
+        "check",
+        "examples/systems/clock.ts",
+        "[]<>tick",
+        "--jobs",
+        "0",
+    ]);
+    let base = rlcheck(&["check", "examples/systems/clock.ts", "[]<>tick"]);
+    assert_eq!(auto.status.code(), base.status.code());
+    assert_eq!(stdout(&auto), stdout(&base));
+    // RL_THREADS picks the count when no flag is given; an explicit flag
+    // wins. Either way the report is unchanged.
+    let env = Command::new(env!("CARGO_BIN_EXE_rlcheck"))
+        .args([
+            "check",
+            "examples/systems/clock.ts",
+            "[]<>tick",
+            "--jobs",
+            "2",
+        ])
+        .env("RL_THREADS", "broken-value-must-be-ignored")
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("rlcheck binary runs");
+    assert_eq!(env.status.code(), base.status.code());
+    assert_eq!(stdout(&env), stdout(&base));
+}
+
+#[test]
+fn jobs_choice_is_recorded_in_metrics_header() {
+    let dir = std::env::temp_dir().join("rlcheck-jobs-meta");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("metrics.jsonl");
+    let out = rlcheck(&[
+        "check",
+        "examples/systems/clock.ts",
+        "[]<>tick",
+        "--jobs",
+        "4",
+        "--metrics",
+        path.to_str().expect("utf-8 path"),
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = std::fs::read_to_string(&path).expect("metrics file written");
+    let meta = rl_json::parse(text.lines().next().expect("header line")).expect("valid json");
+    assert_eq!(
+        meta.get("jobs"),
+        Some(&rl_json::Json::Int(4)),
+        "worker count lands in the JSONL header"
+    );
+}
+
+#[test]
+fn batch_runs_files_with_shared_formula() {
+    let out = rlcheck(&[
+        "batch",
+        "examples/systems/clock.ts",
+        "examples/systems/no-such-system.ts",
+        "--formula",
+        "[]<>tick",
+        "--jobs",
+        "4",
+    ]);
+    let text = stdout(&out);
+    // Buffered per-job output prints in submission order.
+    let clock = text
+        .find("=== examples/systems/clock.ts")
+        .expect("clock header");
+    let missing = text
+        .find("=== examples/systems/no-such-system.ts")
+        .expect("missing header");
+    assert!(clock < missing, "submission order preserved:\n{text}");
+    assert!(text.contains("batch: 1/2 checks relatively live"));
+    // clock holds (0), the missing file is an error (2); worst wins.
+    assert_eq!(out.status.code(), Some(2), "worst exit code wins");
+}
+
+#[test]
+fn batch_manifest_mode_and_exit_aggregation() {
+    let dir = std::env::temp_dir().join("rlcheck-batch-manifest");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let manifest = dir.join("checks.txt");
+    std::fs::write(
+        &manifest,
+        "# two real checks and one failing one\n\
+         examples/systems/clock.ts []<>tick\n\
+         \n\
+         examples/systems/server_err.pn []<>result\n",
+    )
+    .expect("manifest written");
+    let out = rlcheck(&[
+        "batch",
+        "--manifest",
+        manifest.to_str().expect("utf-8 path"),
+        "--jobs",
+        "2",
+    ]);
+    let text = stdout(&out);
+    assert!(text.contains("=== examples/systems/clock.ts []<>tick"));
+    assert!(text.contains("rel-live   []<>result: fails"));
+    assert!(text.contains("batch: 1/2 checks relatively live"));
+    assert_eq!(out.status.code(), Some(1), "clock holds, server_err fails");
+}
+
+#[test]
+fn batch_output_is_identical_across_jobs() {
+    let dir = std::env::temp_dir().join("rlcheck-batch-determinism");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let manifest = dir.join("checks.txt");
+    std::fs::write(
+        &manifest,
+        "examples/systems/clock.ts []<>tick\n\
+         examples/systems/abp.ts []<>deliver\n\
+         examples/systems/server.pn []<>result\n",
+    )
+    .expect("manifest written");
+    let run = |jobs: &str| {
+        rlcheck(&[
+            "batch",
+            "--manifest",
+            manifest.to_str().expect("utf-8 path"),
+            "--jobs",
+            jobs,
+        ])
+    };
+    let (j1, j4) = (run("1"), run("4"));
+    assert_eq!(j1.status.code(), j4.status.code());
+    assert_eq!(
+        stdout(&j1),
+        stdout(&j4),
+        "batch output independent of --jobs"
+    );
+}
+
+#[test]
+fn batch_timeout_stops_all_jobs_with_exit_3() {
+    // One zero deadline governs the whole batch: every nontrivial job trips
+    // (exit 3 aggregates) and, with --stats, diagnostics name the phase.
+    let out = rlcheck(&[
+        "batch",
+        "examples/systems/needle24.ts",
+        "examples/systems/needle24.ts",
+        "--formula",
+        "[]<>deliver",
+        "--jobs",
+        "4",
+        "--timeout",
+        "0",
+        "--stats",
+    ]);
+    assert_eq!(out.status.code(), Some(3));
+    let err = stderr(&out);
+    assert!(
+        err.matches("resource budget exhausted").count() >= 2,
+        "every worker observes the shared deadline:\n{err}"
+    );
+    assert!(err.contains("in phase check/"), "phase-named diagnostics");
+}
+
+#[test]
+fn batch_without_checks_exits_2() {
+    let out = rlcheck(&["batch", "--jobs", "2"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out2 = rlcheck(&["batch", "examples/systems/clock.ts"]);
+    assert_eq!(
+        out2.status.code(),
+        Some(2),
+        "positional files need --formula"
+    );
+}

@@ -267,6 +267,19 @@ impl GuardProbe {
     pub fn is_armed(&self) -> bool {
         self.core.cancel.is_some() || self.core.budget.deadline.is_some()
     }
+
+    /// A phase-less snapshot of the shared counters — the live-progress
+    /// feed: heartbeat reporters sample this off-thread while the owning
+    /// guard keeps checking.
+    pub fn progress(&self) -> Progress {
+        self.core.progress(None)
+    }
+
+    /// The budget the shared core enforces, for reporting consumed
+    /// fractions against its limits.
+    pub fn budget(&self) -> &Budget {
+        &self.core.budget
+    }
 }
 
 /// The cheap per-iteration handle that construction loops tick.
@@ -463,6 +476,19 @@ impl Guard {
     pub fn note_cache_hit(&self) {
         if let Some(m) = &self.metrics {
             m.inc(Metric::CacheHits);
+        }
+    }
+
+    /// Records a kernel timeline instant (e.g. per-layer width samples of
+    /// the parallel frontier expansions) on the registry's attached tracer.
+    /// A no-op unless both a registry and a tracer are attached — in
+    /// particular, it never touches the metric counters, so tracing cannot
+    /// perturb deterministic totals.
+    pub fn trace_instant(&self, name: &'static str, arg: Option<(&'static str, u64)>) {
+        if let Some(m) = &self.metrics {
+            if let Some(t) = m.tracer() {
+                t.instant("kernel", name, arg);
+            }
         }
     }
 

@@ -87,9 +87,13 @@ pub use error::AutomataError;
 pub use guard::{Budget, CancelToken, Guard, GuardProbe, Progress, Resource};
 pub use nfa::Nfa;
 pub use opcache::OpCache;
-pub use par::{resolve_jobs, Pool};
+pub use par::{resolve_jobs, Pool, PoolCounters};
 pub use regex::Regex;
-pub use rl_obs::{Counter, Metric, MetricsRegistry, RegistrySnapshot, Span, SpanRecord};
+pub use rl_obs::{
+    chrome_trace_json, folded_stacks, render_jsonl, set_thread_track, thread_track, track_name,
+    Counter, Metric, MetricsRegistry, ObsReport, RegistrySnapshot, Span, SpanRecord, TraceEvent,
+    TracePhase, Tracer,
+};
 pub use sim::{largest_simulation, simulates};
 pub use stateset::{fx_hash, FxBuildHasher, FxHashMap, FxHasher, Interner, PairTable, StateSet};
 pub use ts::TransitionSystem;

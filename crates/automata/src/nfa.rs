@@ -572,6 +572,7 @@ impl Nfa {
         let symbols: Vec<Symbol> = self.alphabet.symbols().collect();
         let mut layer: Vec<StateId> = vec![q0];
         while !layer.is_empty() {
+            guard.trace_instant("determinize-layer", Some(("width", layer.len() as u64)));
             let subsets: Arc<Vec<StateSet>> =
                 Arc::new(layer.iter().map(|&d| index.key(d).clone()).collect());
             let expand = {

@@ -25,6 +25,8 @@ use std::any::Any;
 use std::fmt;
 use std::sync::{Arc, Mutex};
 
+use rl_obs::Tracer;
+
 use crate::stateset::FxHashMap;
 
 /// Number of independently locked sub-tables. A power of two well above the
@@ -64,12 +66,16 @@ pub struct OpCache {
 
 struct CacheInner {
     shards: [Mutex<Table>; SHARDS],
+    /// Optional timeline tracer; hit/miss/adoption instants carry the shard
+    /// index so contention concentrating on one shard is visible.
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl Default for CacheInner {
     fn default() -> CacheInner {
         CacheInner {
             shards: std::array::from_fn(|_| Mutex::new(Table::default())),
+            tracer: None,
         }
     }
 }
@@ -81,6 +87,9 @@ struct Table {
     entries: FxHashMap<(&'static str, u64), Vec<Entry>>,
     hits: usize,
     misses: usize,
+    /// Hits resolved on the insert-side re-check: this thread built the
+    /// value, lost the race, and adopted the winner's entry instead.
+    adoptions: usize,
 }
 
 impl OpCache {
@@ -89,11 +98,40 @@ impl OpCache {
         OpCache::default()
     }
 
-    /// The shard responsible for `key`. Keys are FxHash outputs whose
+    /// An empty cache whose lookups additionally record timeline instants
+    /// (`hit`/`miss`/`adopt`, tagged with the shard index) to `tracer`.
+    pub fn with_tracer(tracer: Arc<Tracer>) -> OpCache {
+        OpCache {
+            inner: Arc::new(CacheInner {
+                shards: std::array::from_fn(|_| Mutex::new(Table::default())),
+                tracer: Some(tracer),
+            }),
+        }
+    }
+
+    /// The shard index responsible for `key`. Keys are FxHash outputs whose
     /// entropy concentrates in the high bits, so shard selection uses the
     /// top nibble.
+    fn shard_index(key: u64) -> usize {
+        (key >> 60) as usize % SHARDS
+    }
+
+    /// The shard responsible for `key`.
     fn shard(&self, key: u64) -> &Mutex<Table> {
-        &self.inner.shards[(key >> 60) as usize % SHARDS]
+        &self.inner.shards[Self::shard_index(key)]
+    }
+
+    /// Records a lookup-outcome instant (no-op without a tracer). Called
+    /// after the shard lock is released so event recording never extends a
+    /// critical section.
+    fn trace(&self, outcome: &'static str, key: u64) {
+        if let Some(t) = &self.inner.tracer {
+            t.instant(
+                "opcache",
+                outcome,
+                Some(("shard", Self::shard_index(key) as u64)),
+            );
+        }
     }
 
     /// Looks up a matching entry in `bucket` (a poisoned shard lock is
@@ -136,6 +174,8 @@ impl OpCache {
         if let Ok(mut table) = shard.lock() {
             if let Some(hit) = Self::find(table.entries.get(&(op, key)), &matches) {
                 table.hits += 1;
+                drop(table);
+                self.trace("hit", key);
                 return Ok((hit, true));
             }
         }
@@ -148,6 +188,9 @@ impl OpCache {
         // lookups converge on one allocation.
         if let Some(hit) = Self::find(table.entries.get(&(op, key)), &matches) {
             table.hits += 1;
+            table.adoptions += 1;
+            drop(table);
+            self.trace("adopt", key);
             return Ok((hit, true));
         }
         table.misses += 1;
@@ -156,6 +199,8 @@ impl OpCache {
             .entry((op, key))
             .or_default()
             .push(value.clone() as Entry);
+        drop(table);
+        self.trace("miss", key);
         Ok((value, false))
     }
 
@@ -197,6 +242,13 @@ impl OpCache {
     /// Number of lookups that had to build (and then stored) a result.
     pub fn misses(&self) -> usize {
         self.fold(|t| t.misses)
+    }
+
+    /// Number of hits resolved by adopting a racing thread's entry after a
+    /// redundant build (a subset of [`OpCache::hits`]). Nonzero only when
+    /// concurrent lookups miss on the same key.
+    pub fn adoptions(&self) -> usize {
+        self.fold(|t| t.adoptions)
     }
 
     /// Number of stored entries (memo results and interned operands).
@@ -363,6 +415,33 @@ mod tests {
         assert_eq!(*c, "other");
         // Interning is invisible to memo statistics but occupies entries.
         assert_eq!((cache.hits(), cache.misses(), cache.len()), (0, 0, 2));
+    }
+
+    #[test]
+    fn racer_adoption_is_counted_and_traced() {
+        let tracer = Arc::new(Tracer::new());
+        let cache = OpCache::with_tracer(tracer.clone());
+        // Simulate losing a build race deterministically: the build runs
+        // unlocked, so a nested insert of the same key lands first and the
+        // outer insert's re-check must adopt it.
+        let (v, hit) = cache
+            .get_or_insert_with::<u64, ()>(
+                "op",
+                5,
+                |&v| v == 42,
+                || {
+                    let _ = cache.get_or_insert_with::<u64, ()>("op", 5, |&v| v == 42, || Ok(42));
+                    Ok(42)
+                },
+            )
+            .unwrap();
+        assert!(hit, "adoption reports as a hit");
+        assert_eq!(*v, 42);
+        assert_eq!((cache.hits(), cache.misses(), cache.adoptions()), (1, 1, 1));
+        let events = tracer.events();
+        let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["miss", "adopt"]);
+        assert!(events.iter().all(|e| matches!(e.arg, Some(("shard", _)))));
     }
 
     #[test]

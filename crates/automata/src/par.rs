@@ -32,14 +32,35 @@
 
 use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use rl_obs::Tracer;
+
 /// A queued unit of work.
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Scheduler telemetry totals, sampled via [`Pool::counters`].
+///
+/// These are always collected (relaxed atomic bumps next to deque locks the
+/// pool already takes, so they cost nothing measurable) and are inherently
+/// *schedule-dependent*: two runs of the same check may steal or park
+/// different amounts. Consumers surface them as named observability
+/// counters, never as deterministic metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolCounters {
+    /// Jobs submitted via [`Pool::execute`] (including map chunks).
+    pub spawns: u64,
+    /// Jobs a worker popped from a sibling's deque.
+    pub steals: u64,
+    /// Transitions of a worker from running to idle (about to park).
+    pub parks: u64,
+    /// Transitions of a worker from idle back to running.
+    pub unparks: u64,
+}
 
 /// Shared state between the pool handle and its workers.
 struct PoolInner {
@@ -52,6 +73,14 @@ struct PoolInner {
     open: AtomicBool,
     /// Round-robin cursor for dealing submissions across deques.
     next_deque: AtomicUsize,
+    /// Optional timeline tracer; fixed at construction so workers can
+    /// record without any coordination.
+    tracer: Option<Arc<Tracer>>,
+    /// Scheduler telemetry (see [`PoolCounters`]).
+    spawns: AtomicU64,
+    steals: AtomicU64,
+    parks: AtomicU64,
+    unparks: AtomicU64,
 }
 
 impl PoolInner {
@@ -65,6 +94,10 @@ impl PoolInner {
         for offset in 1..n {
             let victim = (home + offset) % n;
             if let Some(job) = self.deques[victim].lock().ok()?.pop_back() {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                if let Some(t) = &self.tracer {
+                    t.instant("pool", "steal", Some(("victim", victim as u64)));
+                }
                 return Some(job);
             }
         }
@@ -103,6 +136,15 @@ impl std::fmt::Debug for Pool {
 impl Pool {
     /// Spawns a pool of `threads` workers (clamped to at least one).
     pub fn new(threads: usize) -> Pool {
+        Pool::with_tracer(threads, None)
+    }
+
+    /// Spawns a pool whose workers additionally record timeline events
+    /// (task begin/end, steals, parks/unparks, spawn queue depths) to
+    /// `tracer`. Each worker claims its own trace track (`home + 1`; track
+    /// 0 is the submitting thread), so one lane per worker comes out of the
+    /// Chrome-trace export for free.
+    pub fn with_tracer(threads: usize, tracer: Option<Arc<Tracer>>) -> Pool {
         let threads = threads.max(1);
         let inner = Arc::new(PoolInner {
             deques: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
@@ -110,6 +152,11 @@ impl Pool {
             bell: Condvar::new(),
             open: AtomicBool::new(true),
             next_deque: AtomicUsize::new(0),
+            tracer,
+            spawns: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            parks: AtomicU64::new(0),
+            unparks: AtomicU64::new(0),
         });
         let workers = (0..threads)
             .map(|home| {
@@ -132,11 +179,28 @@ impl Pool {
         self.threads
     }
 
+    /// A snapshot of the scheduler telemetry totals so far.
+    pub fn counters(&self) -> PoolCounters {
+        PoolCounters {
+            spawns: self.inner.spawns.load(Ordering::Relaxed),
+            steals: self.inner.steals.load(Ordering::Relaxed),
+            parks: self.inner.parks.load(Ordering::Relaxed),
+            unparks: self.inner.unparks.load(Ordering::Relaxed),
+        }
+    }
+
     /// Enqueues one fire-and-forget job (dealt round-robin, stealable).
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
         let slot = self.inner.next_deque.fetch_add(1, Ordering::Relaxed) % self.threads;
+        self.inner.spawns.fetch_add(1, Ordering::Relaxed);
+        let mut depth = 0;
         if let Ok(mut deque) = self.inner.deques[slot].lock() {
             deque.push_back(Box::new(job));
+            depth = deque.len();
+        }
+        if let Some(t) = &self.inner.tracer {
+            // Queue-depth sample at submission, on the submitter's track.
+            t.instant("pool", "spawn", Some(("queue", depth as u64)));
         }
         self.inner.bell.notify_all();
     }
@@ -237,10 +301,39 @@ impl Drop for Pool {
 }
 
 fn worker_loop(inner: &PoolInner, home: usize) {
+    // Claim this worker's timeline track; all events it records from here
+    // on (pool, op-cache, registry spans) land on its own lane.
+    rl_obs::set_thread_track(home + 1);
+    // Park/unpark are counted per idle *transition*, not per condvar wake,
+    // so the 10ms timeout re-checks don't inflate the totals.
+    let mut idle = false;
     while inner.open.load(Ordering::Acquire) {
         match inner.find_work(home) {
-            Some(job) => job(),
+            Some(job) => {
+                if idle {
+                    idle = false;
+                    inner.unparks.fetch_add(1, Ordering::Relaxed);
+                    if let Some(t) = &inner.tracer {
+                        t.instant("pool", "unpark", None);
+                    }
+                }
+                match &inner.tracer {
+                    Some(t) => {
+                        t.begin("pool", "task");
+                        job();
+                        t.end("pool", "task");
+                    }
+                    None => job(),
+                }
+            }
             None => {
+                if !idle {
+                    idle = true;
+                    inner.parks.fetch_add(1, Ordering::Relaxed);
+                    if let Some(t) = &inner.tracer {
+                        t.instant("pool", "park", None);
+                    }
+                }
                 let Ok(guard) = inner.park.lock() else {
                     return;
                 };
@@ -355,6 +448,45 @@ mod tests {
             pool.map_indexed(5, Arc::new(|i| i * 2)),
             vec![0, 2, 4, 6, 8]
         );
+    }
+
+    #[test]
+    fn pool_counters_count_spawns_and_idle_transitions() {
+        let pool = Pool::new(2);
+        let _ = pool.map_indexed(64, Arc::new(|i| i));
+        let c = pool.counters();
+        assert!(c.spawns >= 1, "map chunks are spawns: {c:?}");
+        // Idle transitions are paired: a worker can only unpark after a
+        // park, so unparks never exceed parks.
+        assert!(c.unparks <= c.parks, "{c:?}");
+    }
+
+    #[test]
+    fn traced_pool_records_balanced_task_events_per_track() {
+        let tracer = Arc::new(rl_obs::Tracer::new());
+        let pool = Pool::with_tracer(2, Some(tracer.clone()));
+        let _ = pool.map_indexed(64, Arc::new(|i| i * i));
+        drop(pool);
+        let events = tracer.events();
+        // Spawn instants land on the submitting thread's track.
+        assert!(events
+            .iter()
+            .any(|e| e.name == "spawn" && e.track == rl_obs::TRACK_MAIN));
+        // Every worker track keeps task begins/ends balanced and nested.
+        for track in 1..=2usize {
+            let mut open = 0i64;
+            for e in events.iter().filter(|e| e.track == track) {
+                match (e.phase, e.name.as_str()) {
+                    (rl_obs::TracePhase::Begin, "task") => open += 1,
+                    (rl_obs::TracePhase::End, "task") => {
+                        open -= 1;
+                        assert!(open >= 0, "end without begin on track {track}");
+                    }
+                    _ => {}
+                }
+            }
+            assert_eq!(open, 0, "unbalanced task events on track {track}");
+        }
     }
 
     #[test]

@@ -85,6 +85,20 @@ fn run(baseline_path: &str, fresh_path: &str) -> Result<ExitCode, String> {
                 println!("ok   {label}: {counter} {b} -> {n}");
             }
         }
+        // The harness re-runs every case with the event tracer attached and
+        // records whether the deterministic counters came out identical.
+        // A false witness means tracing is no longer zero-cost on the
+        // counters — a hard failure. (Absent in pre-tracer baselines.)
+        match new.get("trace_counters_equal") {
+            Some(Json::Bool(true)) => {
+                println!("ok   {label}: tracer left the deterministic counters untouched");
+            }
+            Some(Json::Bool(false)) => {
+                eprintln!("FAIL {label}: tracing perturbed the deterministic counters");
+                failures += 1;
+            }
+            _ => {}
+        }
         let (b_us, n_us) = (
             int_field(base, "elapsed_us")?,
             int_field(new, "elapsed_us")?,

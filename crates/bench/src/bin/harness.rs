@@ -10,7 +10,11 @@
 //! `--out <path>` redirects that JSON (used by the `bench_compare` CI job
 //! to produce a fresh run without clobbering the committed baseline), and
 //! `--jobs N` runs every case with an `N`-worker pool attached to the guard
-//! (the counters must not change — only wall-clock may).
+//! (the counters must not change — only wall-clock may). Every case is
+//! additionally re-run with the event tracer attached; the run aborts if
+//! tracing shifts any deterministic counter, and the traced wall clock,
+//! event count, and equality witness land in the JSON
+//! (`traced_elapsed_us`, `trace_events`, `trace_counters_equal`).
 //!
 //! `par` writes `BENCH_<date>-par.json` (schema `rl-bench-par/v1`): every
 //! trajectory case timed at `--jobs 1` and `--jobs 4` side by side, with a
@@ -381,12 +385,15 @@ fn today() -> String {
 
 /// One trajectory case: the full `check` pipeline (classical, relative
 /// liveness, relative safety) on an example system under a metered guard.
+/// With a tracer the registry, pool, and op cache all record timeline
+/// events — the counters must come out bit-for-bit identical either way.
 fn trajectory_case(
     root: &str,
     file: &str,
     formula: &str,
     budget: Budget,
     jobs: usize,
+    tracer: Option<std::sync::Arc<rl_automata::Tracer>>,
 ) -> (String, MetricsRegistry) {
     let text = std::fs::read_to_string(format!("{root}/examples/systems/{file}"))
         .expect("example system exists");
@@ -395,13 +402,23 @@ fn trajectory_case(
     let prop = Property::formula(eta);
     let registry = MetricsRegistry::new();
     registry.note_jobs(jobs);
+    if let Some(t) = &tracer {
+        registry.set_tracer(std::sync::Arc::clone(t));
+    }
     // One memo cache per case, exactly like a default `rlcheck` invocation:
     // the three deciders share intermediate products/determinizations.
+    let cache = match &tracer {
+        Some(t) => rl_automata::OpCache::with_tracer(std::sync::Arc::clone(t)),
+        None => rl_automata::OpCache::new(),
+    };
     let mut guard = Guard::new(budget)
         .with_metrics(registry.clone())
-        .with_op_cache(rl_automata::OpCache::new());
+        .with_op_cache(cache);
     if jobs >= 2 {
-        guard = guard.with_pool(std::sync::Arc::new(rl_automata::Pool::new(jobs)));
+        guard = guard.with_pool(std::sync::Arc::new(rl_automata::Pool::with_tracer(
+            jobs,
+            tracer.clone(),
+        )));
     }
     let verdict = (|| -> Result<bool, CheckError> {
         let _span = guard.span("check");
@@ -445,9 +462,39 @@ fn trajectory(out_override: Option<&str>, jobs: usize) {
         "{:<16} {:>10} {:>12} {:>8} {:>10}   outcome",
         "system", "states", "transitions", "phases", "ms"
     );
+    let totals = |r: &MetricsRegistry| {
+        [
+            r.total(Metric::States),
+            r.total(Metric::Transitions),
+            r.total(Metric::GuardCharges),
+            r.total(Metric::CacheHits),
+        ]
+    };
     let mut rows = Vec::new();
     for (file, formula, budget) in cases {
-        let (outcome, registry) = trajectory_case(root, file, formula, budget, jobs);
+        let (outcome, registry) = trajectory_case(root, file, formula, budget.clone(), jobs, None);
+        // Tracer-overhead guard: the same case with the event tracer
+        // attached must charge bit-for-bit the same deterministic counters
+        // — tracing is timeline-only by construction, and this is where
+        // that invariant is enforced release after release.
+        let tracer = std::sync::Arc::new(rl_automata::Tracer::new());
+        let (traced_outcome, traced_registry) = trajectory_case(
+            root,
+            file,
+            formula,
+            budget,
+            jobs,
+            Some(std::sync::Arc::clone(&tracer)),
+        );
+        let trace_counters_equal =
+            totals(&registry) == totals(&traced_registry) && outcome == traced_outcome;
+        assert!(
+            trace_counters_equal,
+            "{file}: tracer perturbed the deterministic counters \
+             ({:?} untraced vs {:?} traced)",
+            totals(&registry),
+            totals(&traced_registry)
+        );
         let records = registry.records();
         println!(
             "{:<16} {:>10} {:>12} {:>8} {:>10.2}   {}",
@@ -468,6 +515,12 @@ fn trajectory(out_override: Option<&str>, jobs: usize) {
                 .field("transitions", registry.total(Metric::Transitions))
                 .field("guard_charges", registry.total(Metric::GuardCharges))
                 .field("cache_hits", registry.total(Metric::CacheHits))
+                .field(
+                    "traced_elapsed_us",
+                    traced_registry.elapsed().as_micros() as u64,
+                )
+                .field("trace_events", tracer.events().len() as u64)
+                .field("trace_counters_equal", trace_counters_equal)
                 .field(
                     "phases",
                     Json::Arr(records.iter().map(ToJson::to_json).collect()),
@@ -518,7 +571,8 @@ fn par(out_override: Option<&str>) {
         let timed = |jobs: usize| {
             let mut runs: Vec<(String, MetricsRegistry, u64)> = (0..3)
                 .map(|_| {
-                    let (outcome, reg) = trajectory_case(root, file, formula, budget.clone(), jobs);
+                    let (outcome, reg) =
+                        trajectory_case(root, file, formula, budget.clone(), jobs, None);
                     let us = reg.elapsed().as_micros() as u64;
                     (outcome, reg, us)
                 })

@@ -249,6 +249,7 @@ fn complement_layered(
     let symbols: Vec<Symbol> = a.alphabet().symbols().collect();
     let mut layer: Vec<StateId> = vec![first];
     while !layer.is_empty() {
+        guard.trace_instant("complement-layer", Some(("width", layer.len() as u64)));
         let items: Arc<Vec<CState>> =
             Arc::new(layer.iter().map(|&id| index.key(id).clone()).collect());
         let expand = {

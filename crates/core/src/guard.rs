@@ -15,9 +15,12 @@ use std::fmt;
 use rl_abstraction::AbstractionError;
 use rl_automata::AutomataError;
 pub use rl_automata::{
-    resolve_jobs, Budget, CancelToken, Guard, GuardProbe, Pool, Progress, Resource,
+    chrome_trace_json, folded_stacks, render_jsonl, Counter, Metric, MetricsRegistry, ObsReport,
+    RegistrySnapshot, Span, SpanRecord, TraceEvent, TracePhase, Tracer,
 };
-pub use rl_automata::{Counter, Metric, MetricsRegistry, RegistrySnapshot, Span, SpanRecord};
+pub use rl_automata::{
+    resolve_jobs, Budget, CancelToken, Guard, GuardProbe, Pool, PoolCounters, Progress, Resource,
+};
 
 use crate::property::CoreError;
 

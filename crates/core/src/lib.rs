@@ -66,9 +66,13 @@ mod topology;
 pub use ctl::{forall_always_exists_eventually, forall_always_recurrently};
 pub use fair::{implementation_faithful, synthesize_fair_implementation, FairImplementation};
 pub use guard::{
-    resolve_jobs, Budget, CancelToken, CheckError, Guard, GuardProbe, Pool, Progress, Resource,
+    chrome_trace_json, folded_stacks, render_jsonl, Counter, Metric, MetricsRegistry, ObsReport,
+    RegistrySnapshot, Span, SpanRecord, TraceEvent, TracePhase, Tracer,
 };
-pub use guard::{Counter, Metric, MetricsRegistry, RegistrySnapshot, Span, SpanRecord};
+pub use guard::{
+    resolve_jobs, Budget, CancelToken, CheckError, Guard, GuardProbe, Pool, PoolCounters, Progress,
+    Resource,
+};
 pub use pipeline::{
     check_transported_concrete, labeling_for_homomorphism, verify_via_abstraction,
     verify_via_abstraction_with, AbstractionAnalysis, TransferConclusion,

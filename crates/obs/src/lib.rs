@@ -52,12 +52,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod report;
+mod trace;
+
 use std::cell::{Cell, RefCell};
 use std::fmt::Write as _;
 use std::rc::Rc;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rl_json::{FromJson, Json, JsonError, ObjBuilder, ToJson};
+
+pub use report::ObsReport;
+pub use trace::{
+    chrome_trace_json, folded_stacks, set_thread_track, thread_track, track_name, TraceEvent,
+    TracePhase, Tracer, EVENT_SHARDS, TRACK_MAIN,
+};
 
 /// The fixed, hot-path metrics every guarded construction reports.
 ///
@@ -76,7 +86,7 @@ pub enum Metric {
 }
 
 /// Number of [`Metric`] variants (size of the per-span delta vectors).
-const METRIC_COUNT: usize = 4;
+pub const METRIC_COUNT: usize = 4;
 
 impl Metric {
     /// All metrics, in reporting order.
@@ -210,6 +220,7 @@ struct Inner {
     records: RefCell<Vec<SpanRecord>>,
     custom: RefCell<Vec<CustomCounter>>,
     jobs: Cell<Option<usize>>,
+    tracer: RefCell<Option<Arc<Tracer>>>,
 }
 
 /// A detached, immutable copy of a registry's completed output: records,
@@ -237,6 +248,100 @@ impl RegistrySnapshot {
     pub fn total(&self, metric: Metric) -> u64 {
         self.totals[metric.index()]
     }
+
+    /// Human-readable phase table (one indented row per span, in open
+    /// order) plus a totals footer — the `--stats` sink.
+    ///
+    /// Rendering from a snapshot rather than a live registry means the
+    /// table and the JSONL written from the *same* snapshot agree to the
+    /// byte, which is what lets `rlcheck report` reproduce a committed
+    /// run's `--stats` output exactly.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<44} {:>10} {:>12} {:>10} {:>12}",
+            "phase", "states", "transitions", "cache-hits", "elapsed"
+        );
+        for r in &self.records {
+            let label = format!("{}{}", "  ".repeat(r.depth), r.name);
+            let _ = writeln!(
+                out,
+                "{label:<44} {:>10} {:>12} {:>10} {:>12}",
+                r.states,
+                r.transitions,
+                r.cache_hits,
+                format_duration(r.elapsed),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:<44} {:>10} {:>12} {:>10} {:>12}",
+            "total",
+            self.total(Metric::States),
+            self.total(Metric::Transitions),
+            self.total(Metric::CacheHits),
+            format_duration(self.elapsed),
+        );
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "{name:<44} {value:>10}");
+        }
+        out
+    }
+}
+
+/// Machine-readable JSONL for a snapshot: a `meta` line, one `span` line per
+/// completed span (open order), `trace` lines when an event stream is
+/// supplied, and a closing `totals` line. `events: None` emits the
+/// `rl-obs/v1` schema; `Some` emits `rl-obs/v2` (even when the stream is
+/// empty — the schema records that tracing was on). Every line is an
+/// independent JSON object; see `docs/OBSERVABILITY.md`.
+pub fn render_jsonl(
+    snapshot: &RegistrySnapshot,
+    jobs: Option<usize>,
+    events: Option<&[TraceEvent]>,
+) -> String {
+    let records = &snapshot.records;
+    let n_events = events.map_or(0, <[TraceEvent]>::len);
+    let mut lines = Vec::with_capacity(records.len() + n_events + 2);
+    let mut meta = ObjBuilder::new()
+        .field("event", "meta")
+        .field(
+            "schema",
+            if events.is_some() {
+                "rl-obs/v2"
+            } else {
+                "rl-obs/v1"
+            },
+        )
+        .field("spans", records.len());
+    if events.is_some() {
+        meta = meta.field("events", n_events);
+    }
+    meta = meta.field("elapsed_us", snapshot.elapsed.as_micros() as u64);
+    if let Some(jobs) = jobs {
+        meta = meta.field("jobs", jobs);
+    }
+    lines.push(compact(&meta.build()));
+    for r in records {
+        lines.push(compact(&r.to_json()));
+    }
+    for e in events.unwrap_or_default() {
+        lines.push(compact(&e.to_json()));
+    }
+    let mut totals = ObjBuilder::new().field("event", "totals");
+    for m in Metric::ALL {
+        totals = totals.field(m.name(), snapshot.total(m));
+    }
+    let custom = Json::Obj(
+        snapshot
+            .counters
+            .iter()
+            .map(|(name, value)| (name.clone(), Json::Int(*value as i64)))
+            .collect(),
+    );
+    lines.push(compact(&totals.field("counters", custom).build()));
+    lines.join("\n") + "\n"
 }
 
 /// The collector for spans, metrics, and counters of one checking run.
@@ -267,8 +372,23 @@ impl MetricsRegistry {
                 records: RefCell::new(Vec::new()),
                 custom: RefCell::new(Vec::new()),
                 jobs: Cell::new(None),
+                tracer: RefCell::new(None),
             }),
         }
+    }
+
+    /// Attaches an event-level [`Tracer`]: from now on every span open/close
+    /// also records a timestamped begin/end event on the calling thread's
+    /// track, and [`MetricsRegistry::to_jsonl`] emits the `rl-obs/v2` event
+    /// stream. Tracing never touches the metric counters, so deterministic
+    /// totals are bit-for-bit identical with and without a tracer.
+    pub fn set_tracer(&self, tracer: Arc<Tracer>) {
+        *self.inner.tracer.borrow_mut() = Some(tracer);
+    }
+
+    /// The attached tracer, if any.
+    pub fn tracer(&self) -> Option<Arc<Tracer>> {
+        self.inner.tracer.borrow().clone()
     }
 
     /// Records the degree of parallelism this run executed with (the resolved
@@ -302,6 +422,10 @@ impl MetricsRegistry {
             started: inner.start.elapsed(),
             snapshot: std::array::from_fn(|i| inner.totals[i].get()),
         });
+        drop(stack);
+        if let Some(t) = &*inner.tracer.borrow() {
+            t.begin("span", name);
+        }
         Span {
             registry: Some(self.clone()),
         }
@@ -444,6 +568,9 @@ impl MetricsRegistry {
         let Some(frame) = inner.stack.borrow_mut().pop() else {
             return;
         };
+        if let Some(t) = &*inner.tracer.borrow() {
+            t.end("span", frame.name);
+        }
         let deltas: [u64; METRIC_COUNT] =
             std::array::from_fn(|i| inner.totals[i].get() - frame.snapshot[i]);
         let depth = inner.stack.borrow().len();
@@ -462,71 +589,21 @@ impl MetricsRegistry {
     }
 
     /// Human-readable phase table (one indented row per span, in open
-    /// order) plus a totals footer — the `--stats` sink.
+    /// order) plus a totals footer — the `--stats` sink. Delegates to
+    /// [`RegistrySnapshot::summary`] on a snapshot taken now.
     pub fn summary(&self) -> String {
-        let records = self.records();
-        let mut out = String::new();
-        let _ = writeln!(
-            out,
-            "{:<44} {:>10} {:>12} {:>10} {:>12}",
-            "phase", "states", "transitions", "cache-hits", "elapsed"
-        );
-        for r in &records {
-            let label = format!("{}{}", "  ".repeat(r.depth), r.name);
-            let _ = writeln!(
-                out,
-                "{label:<44} {:>10} {:>12} {:>10} {:>12}",
-                r.states,
-                r.transitions,
-                r.cache_hits,
-                format_duration(r.elapsed),
-            );
-        }
-        let _ = writeln!(
-            out,
-            "{:<44} {:>10} {:>12} {:>10} {:>12}",
-            "total",
-            self.total(Metric::States),
-            self.total(Metric::Transitions),
-            self.total(Metric::CacheHits),
-            format_duration(self.elapsed()),
-        );
-        for (name, value) in self.counters() {
-            let _ = writeln!(out, "{name:<44} {value:>10}");
-        }
-        out
+        self.snapshot().summary()
     }
 
     /// Machine-readable JSONL: a `meta` line, one `span` line per completed
-    /// span (open order), and a closing `totals` line — the `--metrics`
-    /// sink. Every line is an independent JSON object.
+    /// span (open order), `trace` lines when a tracer is attached, and a
+    /// closing `totals` line — the `--metrics` sink. Every line is an
+    /// independent JSON object. Delegates to [`render_jsonl`] on a snapshot
+    /// taken now (schema `rl-obs/v2` when a tracer is attached, `v1`
+    /// otherwise).
     pub fn to_jsonl(&self) -> String {
-        let records = self.records();
-        let mut lines = Vec::with_capacity(records.len() + 2);
-        let mut meta = ObjBuilder::new()
-            .field("event", "meta")
-            .field("schema", "rl-obs/v1")
-            .field("spans", records.len())
-            .field("elapsed_us", self.elapsed().as_micros() as u64);
-        if let Some(jobs) = self.jobs() {
-            meta = meta.field("jobs", jobs);
-        }
-        lines.push(compact(&meta.build()));
-        for r in &records {
-            lines.push(compact(&r.to_json()));
-        }
-        let mut totals = ObjBuilder::new().field("event", "totals");
-        for m in Metric::ALL {
-            totals = totals.field(m.name(), self.total(m));
-        }
-        let custom = Json::Obj(
-            self.counters()
-                .into_iter()
-                .map(|(name, value)| (name, Json::Int(value as i64)))
-                .collect(),
-        );
-        lines.push(compact(&totals.field("counters", custom).build()));
-        lines.join("\n") + "\n"
+        let events = self.tracer().map(|t| t.events());
+        render_jsonl(&self.snapshot(), self.jobs(), events.as_deref())
     }
 }
 

@@ -1,0 +1,259 @@
+//! Offline rendering of committed `rl-obs` JSONL files.
+//!
+//! A `--metrics` file outlives the run that wrote it — it lands in CI
+//! artifacts, bench directories, and bug reports. [`ObsReport`] parses both
+//! the `rl-obs/v1` span stream and the `rl-obs/v2` event stream back into
+//! structured form so `rlcheck report` can reproduce the original `--stats`
+//! table byte-for-byte and summarize the recorded timeline, long after the
+//! process that ran the check is gone.
+//!
+//! Parsing is deliberately tolerant of *truncation*: a run that panicked or
+//! was killed mid-write may be missing its closing `totals` line, in which
+//! case totals are reconstructed from the depth-0 span rows and
+//! [`ObsReport::truncated`] is set so consumers can flag the report as
+//! partial.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use rl_json::{FromJson, Json, JsonError};
+
+use crate::trace::{track_name, TraceEvent, TracePhase};
+use crate::{Metric, RegistrySnapshot, SpanRecord, METRIC_COUNT};
+
+/// A parsed `rl-obs/v1` or `rl-obs/v2` JSONL file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObsReport {
+    /// The schema tag from the `meta` line (`rl-obs/v1` or `rl-obs/v2`).
+    pub schema: String,
+    /// The resolved `--jobs` choice recorded in the `meta` line, if any.
+    pub jobs: Option<usize>,
+    /// Wall-clock lifetime of the source registry.
+    pub elapsed: Duration,
+    /// Completed spans, in the order they appear in the file (open order).
+    pub spans: Vec<SpanRecord>,
+    /// Timeline events (`rl-obs/v2` only; empty for v1 files).
+    pub events: Vec<TraceEvent>,
+    /// Built-in metric totals, indexed like [`Metric::ALL`].
+    pub totals: [u64; METRIC_COUNT],
+    /// Custom counter totals, in registration order.
+    pub counters: Vec<(String, u64)>,
+    /// Whether the closing `totals` line was missing (interrupted write).
+    /// When set, `totals` holds the sum of depth-0 span rows instead and
+    /// `counters` is empty.
+    pub truncated: bool,
+}
+
+impl ObsReport {
+    /// Parses a JSONL metrics file. The first non-empty line must be a
+    /// `meta` event with a supported schema; unknown event types on later
+    /// lines are skipped (forward compatibility).
+    pub fn parse(text: &str) -> Result<ObsReport, JsonError> {
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let first = lines
+            .next()
+            .ok_or_else(|| JsonError::custom("empty metrics file (no meta line)"))?;
+        let meta = rl_json::parse(first)?;
+        if String::from_json(meta.field("event")?)? != "meta" {
+            return Err(JsonError::custom(
+                "first line is not a meta event; not an rl-obs JSONL file",
+            ));
+        }
+        let schema = String::from_json(meta.field("schema")?)?;
+        if schema != "rl-obs/v1" && schema != "rl-obs/v2" {
+            return Err(JsonError::custom(format!(
+                "unsupported schema {schema:?} (expected rl-obs/v1 or rl-obs/v2)"
+            )));
+        }
+        let mut report = ObsReport {
+            schema,
+            jobs: match meta.get("jobs") {
+                Some(v) => Some(usize::from_json(v)?),
+                None => None,
+            },
+            elapsed: Duration::from_micros(u64::from_json(meta.field("elapsed_us")?)?),
+            spans: Vec::new(),
+            events: Vec::new(),
+            totals: [0; METRIC_COUNT],
+            counters: Vec::new(),
+            truncated: true,
+        };
+        for line in lines {
+            let value = rl_json::parse(line)?;
+            let event = match value.get("event") {
+                Some(Json::Str(s)) => s.as_str(),
+                _ => continue,
+            };
+            match event {
+                "span" => report.spans.push(SpanRecord::from_json(&value)?),
+                "trace" => report.events.push(TraceEvent::from_json(&value)?),
+                "totals" => {
+                    for (i, m) in Metric::ALL.iter().enumerate() {
+                        report.totals[i] = u64::from_json(value.field(m.name())?)?;
+                    }
+                    if let Some(Json::Obj(fields)) = value.get("counters") {
+                        report.counters = fields
+                            .iter()
+                            .map(|(name, v)| Ok((name.clone(), u64::from_json(v)?)))
+                            .collect::<Result<_, JsonError>>()?;
+                    }
+                    report.truncated = false;
+                }
+                _ => {}
+            }
+        }
+        if report.truncated {
+            // Reconstruct what we can: each depth-0 row's deltas are
+            // inclusive of its children, so root rows sum to the totals of
+            // everything that *completed*.
+            for r in report.spans.iter().filter(|r| r.depth == 0) {
+                for (i, m) in Metric::ALL.iter().enumerate() {
+                    report.totals[i] += r.metric(*m);
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// The recorded total of a built-in metric.
+    pub fn total(&self, metric: Metric) -> u64 {
+        self.totals[metric as usize]
+    }
+
+    /// The report's data as a [`RegistrySnapshot`] (the summary-rendering
+    /// currency).
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            records: self.spans.clone(),
+            totals: self.totals,
+            counters: self.counters.clone(),
+            elapsed: self.elapsed,
+        }
+    }
+
+    /// The human phase table for this report — byte-for-byte identical to
+    /// the `--stats` output of the run that wrote the file (both render the
+    /// same snapshot; durations are stored at microsecond precision, which
+    /// is exactly what the table formats).
+    pub fn summary(&self) -> String {
+        self.snapshot().summary()
+    }
+
+    /// A per-track digest of the recorded timeline (`rl-obs/v2` only):
+    /// event totals and the begin/end/instant split for each worker lane.
+    /// Empty string when the report carries no events.
+    pub fn event_summary(&self) -> String {
+        if self.events.is_empty() {
+            return String::new();
+        }
+        let mut tracks: Vec<usize> = self.events.iter().map(|e| e.track).collect();
+        tracks.sort_unstable();
+        tracks.dedup();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "trace: {} events across {} track(s)",
+            self.events.len(),
+            tracks.len()
+        );
+        for track in tracks {
+            let (mut begins, mut ends, mut instants) = (0usize, 0usize, 0usize);
+            for e in self.events.iter().filter(|e| e.track == track) {
+                match e.phase {
+                    TracePhase::Begin => begins += 1,
+                    TracePhase::End => ends += 1,
+                    TracePhase::Instant => instants += 1,
+                }
+            }
+            let _ = writeln!(
+                out,
+                "  {:<10} {:>6} begin {:>6} end {:>6} instant",
+                track_name(track),
+                begins,
+                ends,
+                instants
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{render_jsonl, MetricsRegistry, Tracer};
+    use std::sync::Arc;
+
+    fn sample_registry() -> MetricsRegistry {
+        let m = MetricsRegistry::new();
+        {
+            let _check = m.enter("check");
+            m.add(Metric::States, 7);
+            {
+                let _det = m.enter("determinize");
+                m.add(Metric::Transitions, 3);
+            }
+        }
+        m.counter("pool/steals").add(5);
+        m
+    }
+
+    #[test]
+    fn v1_round_trip_reproduces_summary_byte_for_byte() {
+        let m = sample_registry();
+        let snap = m.snapshot();
+        let jsonl = render_jsonl(&snap, Some(2), None);
+        let report = ObsReport::parse(&jsonl).unwrap();
+        assert_eq!(report.schema, "rl-obs/v1");
+        assert_eq!(report.jobs, Some(2));
+        assert!(!report.truncated);
+        assert_eq!(report.total(Metric::States), 7);
+        assert_eq!(report.counters, vec![("pool/steals".to_owned(), 5)]);
+        assert_eq!(report.summary(), snap.summary());
+        assert!(report.event_summary().is_empty());
+    }
+
+    #[test]
+    fn v2_round_trip_recovers_events() {
+        let m = sample_registry();
+        let tracer = Arc::new(Tracer::new());
+        m.set_tracer(tracer.clone());
+        {
+            let _more = m.enter("inclusion");
+            tracer.instant("pool", "steal", Some(("victim", 1)));
+        }
+        let jsonl = m.to_jsonl();
+        assert!(jsonl.starts_with("{\"event\":\"meta\",\"schema\":\"rl-obs/v2\""));
+        let report = ObsReport::parse(&jsonl).unwrap();
+        assert_eq!(report.schema, "rl-obs/v2");
+        // Two span events (begin+end for "inclusion") plus the instant.
+        assert_eq!(report.events.len(), 3);
+        assert_eq!(report.events, tracer.events());
+        let digest = report.event_summary();
+        assert!(digest.contains("3 events"));
+        assert!(digest.contains("main"));
+    }
+
+    #[test]
+    fn truncated_file_reconstructs_totals_from_root_spans() {
+        let m = sample_registry();
+        let jsonl = m.to_jsonl();
+        // Drop the closing totals line, as a mid-write kill would.
+        let cut = jsonl.trim_end().rfind('\n').unwrap();
+        let report = ObsReport::parse(&jsonl[..cut]).unwrap();
+        assert!(report.truncated);
+        assert_eq!(report.total(Metric::States), 7);
+        assert_eq!(report.total(Metric::Transitions), 3);
+        assert!(report.counters.is_empty());
+    }
+
+    #[test]
+    fn rejects_non_obs_input() {
+        assert!(ObsReport::parse("").is_err());
+        assert!(ObsReport::parse("{\"event\":\"span\"}\n").is_err());
+        assert!(ObsReport::parse(
+            "{\"event\":\"meta\",\"schema\":\"rl-obs/v99\",\"elapsed_us\":0}\n"
+        )
+        .is_err());
+    }
+}

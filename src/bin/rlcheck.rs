@@ -25,6 +25,11 @@
 //!     all use --formula. Checks fan out across --jobs workers with
 //!     per-check isolation; outputs print in submission order and the
 //!     worst per-check exit code wins.
+//!
+//! rlcheck report <metrics.jsonl>
+//!     render a committed --metrics file (rl-obs/v1 or /v2) offline: the
+//!     phase table on stdout — byte-for-byte the --stats output of the run
+//!     that wrote it — and a per-track event digest on stderr.
 //! ```
 //!
 //! Every subcommand additionally accepts resource limits and observability
@@ -40,14 +45,24 @@
 //!                      are bit-for-bit identical for every value
 //! --stats              per-phase profile (states, transitions, elapsed)
 //!                      printed to stderr after the verdict
-//! --metrics <file>     machine-readable JSONL trace (schema rl-obs/v1)
-//!                      written to <file>
+//! --metrics <file>     machine-readable JSONL trace written to <file>
+//!                      (schema rl-obs/v1; rl-obs/v2 with --trace-out)
+//! --trace-out <file>   event-level timeline: Chrome trace-event JSON
+//!                      (chrome://tracing, Perfetto), one track per worker,
+//!                      with pool/op-cache telemetry instants
+//! --flame-out <file>   folded stacks (phase;subphase self_us) for
+//!                      flamegraph tooling
+//! --progress           live heartbeats on stderr (elapsed, states/sec,
+//!                      frontier, budget fraction) while a check runs
 //! --no-op-cache        disable the automaton-operation memo cache that the
 //!                      deciders (and the jobs of a batch) share by default
 //! ```
 //!
-//! Both sinks are also flushed when a budget trips (exit 3), so the profile
-//! shows where the budget went.
+//! All sinks are also flushed when a budget trips (exit 3) *and* on the
+//! internal-panic path (exit 101), so the profile shows where the budget —
+//! or the bug — lives. Tracing never perturbs the deterministic counters:
+//! states/transitions/cache-hits/guard-charges are bit-for-bit identical
+//! with and without `--trace-out` at every `--jobs` value.
 //!
 //! Exit codes: `0` property holds, `1` it fails, `2` usage or input error,
 //! `3` resource budget exhausted (or an inconclusive abstraction verdict),
@@ -58,6 +73,7 @@
 
 use std::panic::{self, AssertUnwindSafe};
 use std::process::ExitCode;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 use relative_liveness::format::parse_system;
@@ -108,23 +124,55 @@ fn extract_budget(args: &mut Vec<String>) -> Result<Budget, String> {
     Ok(budget)
 }
 
-/// Extracts `--stats` and `--metrics <file>` from the argument list
-/// (removing them so positional parsing stays untouched).
-fn extract_obs(args: &mut Vec<String>) -> Result<(bool, Option<String>), String> {
-    let mut stats = false;
-    while let Some(idx) = args.iter().position(|a| a == "--stats") {
-        args.remove(idx);
-        stats = true;
+/// The observability sinks requested on the command line.
+#[derive(Default)]
+struct ObsFlags {
+    /// `--stats`: phase table on stderr.
+    stats: bool,
+    /// `--metrics <file>`: JSONL (rl-obs/v1, or /v2 when tracing).
+    metrics: Option<String>,
+    /// `--trace-out <file>`: Chrome trace-event JSON.
+    trace: Option<String>,
+    /// `--flame-out <file>`: folded stacks.
+    flame: Option<String>,
+    /// `--progress`: live heartbeats on stderr.
+    progress: bool,
+}
+
+impl ObsFlags {
+    /// Whether any sink needs a metrics registry attached to the guard.
+    fn wants_registry(&self) -> bool {
+        self.stats || self.metrics.is_some() || self.trace.is_some() || self.flame.is_some()
     }
-    let mut metrics = None;
-    while let Some(idx) = args.iter().position(|a| a == "--metrics") {
-        let Some(raw) = args.get(idx + 1).cloned() else {
-            return Err("--metrics needs a value (output file)".to_owned());
-        };
-        args.drain(idx..idx + 2);
-        metrics = Some(raw);
+}
+
+/// Extracts the observability flags from the argument list (removing them so
+/// positional parsing stays untouched).
+fn extract_obs(args: &mut Vec<String>) -> Result<ObsFlags, String> {
+    let mut obs = ObsFlags::default();
+    for (flag, target) in [
+        ("--stats", &mut obs.stats),
+        ("--progress", &mut obs.progress),
+    ] {
+        while let Some(idx) = args.iter().position(|a| a == flag) {
+            args.remove(idx);
+            *target = true;
+        }
     }
-    Ok((stats, metrics))
+    for (flag, target) in [
+        ("--metrics", &mut obs.metrics),
+        ("--trace-out", &mut obs.trace),
+        ("--flame-out", &mut obs.flame),
+    ] {
+        while let Some(idx) = args.iter().position(|a| a == flag) {
+            let Some(raw) = args.get(idx + 1).cloned() else {
+                return Err(format!("{flag} needs a value (output file)"));
+            };
+            args.drain(idx..idx + 2);
+            *target = Some(raw);
+        }
+    }
+    Ok(obs)
 }
 
 /// Extracts `--no-op-cache` from the argument list. The automaton-operation
@@ -224,10 +272,14 @@ fn cmd_batch(
     budget: &Budget,
     registry: Option<&MetricsRegistry>,
     no_op_cache: bool,
+    tracer: Option<&Arc<Tracer>>,
 ) -> ExitCode {
-    let pool = Pool::new(threads);
+    let pool = Pool::with_tracer(threads, tracer.cloned());
     let cancel = CancelToken::new();
-    let shared_cache = (!no_op_cache).then(OpCache::new);
+    let shared_cache = (!no_op_cache).then(|| match tracer {
+        Some(t) => OpCache::with_tracer(t.clone()),
+        None => OpCache::new(),
+    });
     let batch_start = std::time::Instant::now();
     let want_snapshots = registry.is_some();
 
@@ -238,6 +290,7 @@ fn cmd_batch(
             let budget = budget.clone();
             let cancel = cancel.clone();
             let cache = shared_cache.clone();
+            let tracer = tracer.cloned();
             let job = move || -> JobOutcome {
                 // Budget splitting: the whole batch shares one wall clock,
                 // so a job picked up late gets only the remaining time — a
@@ -248,10 +301,15 @@ fn cmd_batch(
                 }
                 // The guard is assembled *inside* the job: its metrics
                 // registry is thread-local, so results cross back to the
-                // parent as a Send snapshot.
+                // parent as a Send snapshot. The tracer is the shared
+                // sharded collector, so the job's span events land on the
+                // worker's own timeline track.
                 let reg = want_snapshots.then(MetricsRegistry::new);
                 let mut guard = Guard::with_cancel(budget, cancel);
                 if let Some(r) = &reg {
+                    if let Some(t) = tracer {
+                        r.set_tracer(t);
+                    }
                     guard = guard.with_metrics(r.clone());
                 }
                 if let Some(cache) = cache {
@@ -301,8 +359,38 @@ fn cmd_batch(
             parent.absorb(&format!("job{i}"), shard);
         }
     }
+    note_runtime_counters(registry, Some(&pool), shared_cache.as_ref());
     println!("batch: {held}/{total} checks relatively live (exit {worst})");
     ExitCode::from(worst)
+}
+
+/// Folds the pool's scheduler telemetry and the op cache's shard statistics
+/// into the registry as named counters, so they ride the `--stats` footer
+/// and the JSONL `totals` line. These are schedule-dependent (steal/park
+/// counts vary run to run), which is exactly why they are *counters* and
+/// never deterministic metrics. Pool counters only appear for real parallel
+/// runs (`--jobs > 1`).
+fn note_runtime_counters(
+    registry: Option<&MetricsRegistry>,
+    pool: Option<&Pool>,
+    cache: Option<&OpCache>,
+) {
+    let Some(reg) = registry else {
+        return;
+    };
+    if let Some(pool) = pool.filter(|p| p.threads() >= 2) {
+        let c = pool.counters();
+        reg.counter("pool/spawns").add(c.spawns);
+        reg.counter("pool/steals").add(c.steals);
+        reg.counter("pool/parks").add(c.parks);
+        reg.counter("pool/unparks").add(c.unparks);
+    }
+    if let Some(cache) = cache {
+        reg.counter("opcache/hits").add(cache.hits() as u64);
+        reg.counter("opcache/misses").add(cache.misses() as u64);
+        reg.counter("opcache/adoptions")
+            .add(cache.adoptions() as u64);
+    }
 }
 
 /// Runs one batch check against `guard`, writing the report to `out` and
@@ -344,6 +432,12 @@ fn run_check(
     let ts = load(path)?;
     let eta = parse_formula(formula)?;
     let behaviors = behaviors_of_ts_with(&ts, guard).map_err(CheckError::from)?;
+    // Test hook: lets the CLI tests exercise the exit-101 path with real
+    // partial state (some spans closed, some charges recorded) and assert
+    // the observability sinks still flush parseable output.
+    if std::env::var_os("RL_TEST_PANIC").is_some() {
+        panic!("injected panic (RL_TEST_PANIC)");
+    }
     let prop = Property::formula(eta.clone());
 
     let sat = satisfies_with(&behaviors, &prop, guard)?;
@@ -490,6 +584,118 @@ fn cmd_fair(path: &str, formula: &str, steps: usize) -> Result<ExitCode, CheckEr
     Ok(ExitCode::SUCCESS)
 }
 
+/// The `report` subcommand: renders a committed `--metrics` JSONL file
+/// (rl-obs/v1 or /v2) offline. The phase table goes to stdout —
+/// byte-for-byte the `--stats` stderr of the run that wrote the file, since
+/// both render the same snapshot at the same microsecond precision — and
+/// the per-track event digest (v2 only) goes to stderr.
+fn cmd_report(path: &str) -> Result<ExitCode, CheckError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| CheckError::Parse(format!("{path}: {e}")))?;
+    let report = ObsReport::parse(&text).map_err(|e| CheckError::Parse(format!("{path}: {e}")))?;
+    print!("{}", report.summary());
+    let digest = report.event_summary();
+    if !digest.is_empty() {
+        eprint!("{digest}");
+    }
+    if report.truncated {
+        eprintln!(
+            "rlcheck: report: {path} is truncated (no totals line); \
+             totals reconstructed from completed root spans"
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Live progress heartbeats: a sampler thread that reads the guard's shared
+/// atomics through a [`GuardProbe`] and prints one stderr line per period
+/// (default 1s; `RL_PROGRESS_MS` overrides, for tests). The probe shares
+/// only the `GuardCore` — no metrics, no locks on the hot path — so
+/// heartbeats never perturb the run they observe. In batch mode each job
+/// builds its own guard, so heartbeats report elapsed wall clock only.
+struct ProgressMonitor {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ProgressMonitor {
+    fn start(probe: GuardProbe) -> ProgressMonitor {
+        let period = std::env::var("RL_PROGRESS_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1_000u64);
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let shared = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let (lock, cv) = &*shared;
+            let mut done = lock
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            while !*done {
+                let (next, timeout) = cv
+                    .wait_timeout(done, Duration::from_millis(period))
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                done = next;
+                if *done || !timeout.timed_out() {
+                    continue;
+                }
+                eprintln!("{}", heartbeat_line(&probe));
+            }
+        });
+        ProgressMonitor {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops the sampler and joins it, so no heartbeat can interleave with
+    /// the final summary.
+    fn finish(mut self) {
+        let (lock, cv) = &*self.stop;
+        *lock
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = true;
+        cv.notify_all();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One heartbeat: elapsed, states (with rate), frontier width, and — when a
+/// budget is set — the fraction of each limit consumed.
+fn heartbeat_line(probe: &GuardProbe) -> String {
+    use std::fmt::Write;
+    let p = probe.progress();
+    let secs = p.elapsed.as_secs_f64();
+    let rate = if secs > 0.0 {
+        (p.states as f64 / secs) as u64
+    } else {
+        0
+    };
+    let mut line = format!(
+        "rlcheck: [progress] {secs:.1}s elapsed, {} states ({rate}/s), frontier {}",
+        p.states, p.frontier
+    );
+    let budget = probe.budget();
+    if let Some(max) = budget.max_states {
+        let _ = write!(
+            line,
+            ", states {:.0}% of {max}",
+            100.0 * p.states as f64 / max.max(1) as f64
+        );
+    }
+    if let Some(deadline) = budget.deadline {
+        let _ = write!(
+            line,
+            ", time {:.0}% of {:.0}s",
+            100.0 * secs / deadline.as_secs_f64().max(f64::EPSILON),
+            deadline.as_secs_f64()
+        );
+    }
+    line
+}
+
 fn verdict(b: bool) -> &'static str {
     if b {
         "HOLDS"
@@ -526,16 +732,17 @@ fn govern(body: impl FnOnce() -> Result<ExitCode, CheckError>) -> ExitCode {
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let usage = "usage: rlcheck <check|abstract|simplicity|fair|dot|batch> <system-file>... \
-                 [<formula>] [--keep a,b,c] [--steps N] \
+    let usage = "usage: rlcheck <check|abstract|simplicity|fair|dot|batch|report> \
+                 <system-file>... [<formula>] [--keep a,b,c] [--steps N] \
                  [--timeout <secs>] [--max-states <n>] [--jobs <n>] \
                  [--manifest <file>] [--formula <f>] \
-                 [--stats] [--metrics <file>] [--no-op-cache]";
+                 [--stats] [--metrics <file>] [--trace-out <file>] \
+                 [--flame-out <file>] [--progress] [--no-op-cache]";
     let budget = match extract_budget(&mut args) {
         Ok(b) => b,
         Err(e) => return fail(format!("{e}\n{usage}")),
     };
-    let (stats, metrics_path) = match extract_obs(&mut args) {
+    let obs = match extract_obs(&mut args) {
         Ok(o) => o,
         Err(e) => return fail(format!("{e}\n{usage}")),
     };
@@ -546,31 +753,51 @@ fn main() -> ExitCode {
     };
     // Only attach a registry when a sink was requested: default runs keep
     // the guard's metrics hook at `None`, so charges stay branch-only.
-    let registry = (stats || metrics_path.is_some()).then(MetricsRegistry::new);
+    let registry = obs.wants_registry().then(MetricsRegistry::new);
     if let Some(reg) = &registry {
         // The resolved worker count lands in the JSONL header, so traces
         // record how the run was parallelized.
         reg.note_jobs(jobs);
     }
+    // The event tracer exists only under --trace-out: without it the
+    // registry keeps its Rc/Cell hot path and the pool and cache skip the
+    // recording branches entirely — tracing is strictly opt-in, and the
+    // deterministic counters are bit-for-bit identical either way.
+    let tracer = obs.trace.is_some().then(|| Arc::new(Tracer::new()));
+    if let (Some(reg), Some(t)) = (&registry, &tracer) {
+        reg.set_tracer(Arc::clone(t));
+    }
+    // The cache and pool handles stay in scope so their telemetry can be
+    // folded into the registry as counters after the run.
+    let op_cache = (!no_op_cache).then(|| {
+        // The deciders re-derive the same intermediate machines (products,
+        // subset constructions, complements); one pipeline-wide memo cache
+        // answers the repeats.
+        match &tracer {
+            Some(t) => OpCache::with_tracer(Arc::clone(t)),
+            None => OpCache::new(),
+        }
+    });
+    let pool = (jobs >= 2).then(|| {
+        // Parallel kernels: wide BFS layers of the subset construction and
+        // the rank-based complement fan out across this pool. Results are
+        // bit-for-bit identical to --jobs 1.
+        Arc::new(Pool::with_tracer(jobs, tracer.clone()))
+    });
     let mut guard = Guard::new(budget.clone());
     if let Some(reg) = &registry {
         guard = guard.with_metrics(reg.clone());
     }
-    if !no_op_cache {
-        // The deciders re-derive the same intermediate machines (products,
-        // subset constructions, complements); one pipeline-wide memo cache
-        // answers the repeats.
-        guard = guard.with_op_cache(OpCache::new());
+    if let Some(cache) = &op_cache {
+        guard = guard.with_op_cache(cache.clone());
     }
-    if jobs >= 2 {
-        // Parallel kernels: wide BFS layers of the subset construction and
-        // the rank-based complement fan out across this pool. Results are
-        // bit-for-bit identical to --jobs 1.
-        guard = guard.with_pool(std::sync::Arc::new(Pool::new(jobs)));
+    if let Some(pool) = &pool {
+        guard = guard.with_pool(Arc::clone(pool));
     }
     let Some(cmd) = args.first() else {
         return fail(usage);
     };
+    let monitor = obs.progress.then(|| ProgressMonitor::start(guard.probe()));
     let code = match cmd.as_str() {
         "batch" => {
             let manifest = match extract_value_flag(&mut args, "--manifest") {
@@ -609,13 +836,19 @@ fn main() -> ExitCode {
                     "batch needs checks: --manifest <file> and/or <system-file>... --formula <f>",
                 );
             }
-            return finish(
-                cmd_batch(checks, jobs, &budget, registry.as_ref(), no_op_cache),
-                stats,
-                &metrics_path,
+            cmd_batch(
+                checks,
+                jobs,
+                &budget,
                 registry.as_ref(),
-            );
+                no_op_cache,
+                tracer.as_ref(),
+            )
         }
+        "report" => match args.get(1) {
+            Some(path) => govern(|| cmd_report(path)),
+            None => fail("report needs <metrics.jsonl>"),
+        },
         "check" => match (args.get(1), args.get(2)) {
             (Some(path), Some(f)) => govern(|| cmd_check(path, f, &guard)),
             _ => fail(usage),
@@ -650,26 +883,56 @@ fn main() -> ExitCode {
         },
         other => fail(format!("unknown command {other:?}\n{usage}")),
     };
-    finish(code, stats, &metrics_path, registry.as_ref())
+    if let Some(monitor) = monitor {
+        monitor.finish();
+    }
+    // Non-batch runs fold their pool/cache telemetry in here; batch runs
+    // already did so from their own pool and shared cache inside cmd_batch
+    // (this call then adds zero to the same counters).
+    note_runtime_counters(registry.as_ref(), pool.as_deref(), op_cache.as_ref());
+    finish(code, &obs, registry.as_ref(), tracer.as_deref())
 }
 
 /// Flushes the observability sinks last, after every span has closed —
 /// including on the exit-3 path, where the profile shows which phase
-/// consumed the budget.
+/// consumed the budget, and the exit-101 path, where `govern`'s
+/// `catch_unwind` has already run every span's drop so the partial profile
+/// is still well-formed.
+///
+/// All sinks render from ONE snapshot taken here: the `--stats` table and
+/// the `--metrics` JSONL therefore agree to the byte, which is what lets
+/// `rlcheck report` reproduce the live table exactly.
 fn finish(
     code: ExitCode,
-    stats: bool,
-    metrics_path: &Option<String>,
+    obs: &ObsFlags,
     registry: Option<&MetricsRegistry>,
+    tracer: Option<&Tracer>,
 ) -> ExitCode {
-    if let Some(reg) = registry {
-        if stats {
-            eprint!("{}", reg.summary());
+    let Some(reg) = registry else {
+        return code;
+    };
+    let snapshot = reg.snapshot();
+    let events = tracer.map(Tracer::events);
+    if obs.stats {
+        eprint!("{}", snapshot.summary());
+    }
+    if let Some(path) = &obs.metrics {
+        let jsonl = render_jsonl(&snapshot, reg.jobs(), events.as_deref());
+        if let Err(e) = std::fs::write(path, jsonl) {
+            return fail(format!("--metrics {path}: {e}"));
         }
-        if let Some(path) = metrics_path {
-            if let Err(e) = std::fs::write(path, reg.to_jsonl()) {
-                return fail(format!("--metrics {path}: {e}"));
-            }
+    }
+    if let Some(path) = &obs.trace {
+        let chrome = chrome_trace_json(events.as_deref().unwrap_or_default());
+        let text = relative_liveness::json::to_string_pretty(&chrome)
+            .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"));
+        if let Err(e) = std::fs::write(path, text) {
+            return fail(format!("--trace-out {path}: {e}"));
+        }
+    }
+    if let Some(path) = &obs.flame {
+        if let Err(e) = std::fs::write(path, folded_stacks(&snapshot.records)) {
+            return fail(format!("--flame-out {path}: {e}"));
         }
     }
     code

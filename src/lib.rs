@@ -78,15 +78,16 @@ pub mod prelude {
         omega_included_with, Buchi, OmegaRegex, UpWord,
     };
     pub use rl_core::{
-        cantor_distance, certify_density, check_transported_concrete, dense_witness,
-        extension_witness, forall_always_exists_eventually, forall_always_recurrently,
-        is_liveness_property, is_machine_closed, is_relative_liveness, is_relative_liveness_of_ts,
-        is_relative_liveness_of_ts_with, is_relative_liveness_with, is_relative_safety,
-        is_relative_safety_with, is_safety_property, labeling_for_homomorphism, satisfies,
-        satisfies_with, synthesize_fair_implementation, verify_via_abstraction,
-        verify_via_abstraction_with, AbstractionAnalysis, Budget, CancelToken, CheckError,
-        CoreError, Counter, FairImplementation, Guard, Metric, MetricsRegistry, Progress, Property,
-        Resource, Span, SpanRecord, TransferConclusion,
+        cantor_distance, certify_density, check_transported_concrete, chrome_trace_json,
+        dense_witness, extension_witness, folded_stacks, forall_always_exists_eventually,
+        forall_always_recurrently, is_liveness_property, is_machine_closed, is_relative_liveness,
+        is_relative_liveness_of_ts, is_relative_liveness_of_ts_with, is_relative_liveness_with,
+        is_relative_safety, is_relative_safety_with, is_safety_property, labeling_for_homomorphism,
+        render_jsonl, satisfies, satisfies_with, synthesize_fair_implementation,
+        verify_via_abstraction, verify_via_abstraction_with, AbstractionAnalysis, Budget,
+        CancelToken, CheckError, CoreError, Counter, FairImplementation, Guard, Metric,
+        MetricsRegistry, ObsReport, PoolCounters, Progress, Property, Resource, Span, SpanRecord,
+        TraceEvent, TracePhase, Tracer, TransferConclusion,
     };
     pub use rl_exec::{
         almost_surely_recurrent, estimate_satisfaction, min_fairness_ratio,

@@ -556,3 +556,387 @@ fn batch_without_checks_exits_2() {
         "positional files need --formula"
     );
 }
+
+/// Parses a `--trace-out` file and returns its `traceEvents` array.
+fn trace_events(path: &Path) -> Vec<rl_json::Json> {
+    let text = std::fs::read_to_string(path).expect("--trace-out wrote the file");
+    let json = rl_json::parse(&text).expect("trace file is valid JSON");
+    match json.get("traceEvents") {
+        Some(rl_json::Json::Arr(events)) => events.clone(),
+        other => panic!("no traceEvents array: {other:?}"),
+    }
+}
+
+fn int_field(v: &rl_json::Json, key: &str) -> i64 {
+    match v.get(key) {
+        Some(rl_json::Json::Int(n)) => *n,
+        other => panic!("field {key} is not an int: {other:?}"),
+    }
+}
+
+fn str_field_of(v: &rl_json::Json, key: &str) -> String {
+    match v.get(key) {
+        Some(rl_json::Json::Str(s)) => s.clone(),
+        other => panic!("field {key} is not a string: {other:?}"),
+    }
+}
+
+#[test]
+fn trace_out_records_balanced_worker_tracks_and_pool_instants() {
+    let dir = std::env::temp_dir().join("rlcheck-trace-out");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("trace.json");
+    // needle24 under a 20k-state cap runs long enough for the parallel
+    // kernels to fan real tasks out to the pool before the budget trips.
+    let out = rlcheck(&[
+        "check",
+        "examples/systems/needle24.ts",
+        "[]<>a",
+        "--jobs",
+        "4",
+        "--max-states",
+        "20000",
+        "--trace-out",
+        path.to_str().expect("utf-8 path"),
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "budget trips; sinks still flush"
+    );
+    let events = trace_events(&path);
+    let mut tids: Vec<i64> = events.iter().map(|e| int_field(e, "tid")).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    let mut worker_tracks_with_tasks = 0;
+    for tid in &tids {
+        let (mut begins, mut ends) = (0usize, 0usize);
+        for e in events.iter().filter(|e| int_field(e, "tid") == *tid) {
+            match str_field_of(e, "ph").as_str() {
+                "B" => begins += 1,
+                "E" => ends += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(begins, ends, "track {tid}: B/E events must balance");
+        if *tid > 0 && begins > 0 {
+            worker_tracks_with_tasks += 1;
+        }
+    }
+    assert!(
+        worker_tracks_with_tasks >= 2,
+        "expected >=2 worker tracks with task spans, got {worker_tracks_with_tasks}"
+    );
+    let names: Vec<String> = events
+        .iter()
+        .filter(|e| str_field_of(e, "ph") == "I")
+        .map(|e| str_field_of(e, "name"))
+        .collect();
+    assert!(
+        names.iter().any(|n| n == "spawn"),
+        "pool spawn instants recorded: {names:?}"
+    );
+    assert!(
+        names.iter().any(|n| n == "park" || n == "steal"),
+        "pool park/steal instants recorded: {names:?}"
+    );
+    // Every track carries a Chrome thread_name metadata record.
+    let meta_names: Vec<String> = events
+        .iter()
+        .filter(|e| str_field_of(e, "ph") == "M")
+        .map(|e| match e.get("args") {
+            Some(args) => str_field_of(args, "name"),
+            None => panic!("metadata without args"),
+        })
+        .collect();
+    assert!(meta_names.iter().any(|n| n == "main"), "{meta_names:?}");
+    assert!(meta_names.iter().any(|n| n == "worker-1"), "{meta_names:?}");
+}
+
+#[test]
+fn flame_out_writes_folded_stacks() {
+    let dir = std::env::temp_dir().join("rlcheck-flame-out");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("flame.folded");
+    let out = rlcheck(&[
+        "check",
+        "examples/systems/abp.ts",
+        "[]<>deliver",
+        "--flame-out",
+        path.to_str().expect("utf-8 path"),
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = std::fs::read_to_string(&path).expect("--flame-out wrote the file");
+    for line in text.lines() {
+        let (stack, weight) = line.rsplit_once(' ').expect("`stack weight` lines");
+        assert!(!stack.is_empty(), "empty stack in {line:?}");
+        weight
+            .parse::<u64>()
+            .unwrap_or_else(|_| panic!("non-numeric weight in {line:?}"));
+    }
+    assert!(
+        text.lines().any(|l| l.starts_with("check;")),
+        "nested phases fold with semicolons:\n{text}"
+    );
+}
+
+#[test]
+fn report_reproduces_stats_table_byte_for_byte() {
+    let dir = std::env::temp_dir().join("rlcheck-report-roundtrip");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("metrics.jsonl");
+    let live = rlcheck(&[
+        "check",
+        "examples/systems/abp.ts",
+        "[]<>deliver",
+        "--stats",
+        "--metrics",
+        path.to_str().expect("utf-8 path"),
+    ]);
+    assert_eq!(live.status.code(), Some(0));
+    let report = rlcheck(&["report", path.to_str().expect("utf-8 path")]);
+    assert_eq!(report.status.code(), Some(0));
+    // On a clean run the live stderr is exactly the phase table, and the
+    // report renders the identical table (same snapshot, microsecond
+    // precision end to end) on stdout.
+    assert_eq!(
+        stdout(&report),
+        stderr(&live),
+        "offline report must reproduce --stats byte-for-byte"
+    );
+}
+
+#[test]
+fn report_renders_event_digest_for_v2_files() {
+    let dir = std::env::temp_dir().join("rlcheck-report-v2");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let metrics = dir.join("metrics.jsonl");
+    let trace = dir.join("trace.json");
+    let live = rlcheck(&[
+        "check",
+        "examples/systems/abp.ts",
+        "[]<>deliver",
+        "--jobs",
+        "2",
+        "--metrics",
+        metrics.to_str().expect("utf-8 path"),
+        "--trace-out",
+        trace.to_str().expect("utf-8 path"),
+    ]);
+    assert_eq!(live.status.code(), Some(0));
+    let text = std::fs::read_to_string(&metrics).expect("metrics written");
+    assert!(
+        text.starts_with("{\"event\":\"meta\",\"schema\":\"rl-obs/v2\""),
+        "tracing upgrades the JSONL schema to v2: {}",
+        text.lines().next().unwrap_or_default()
+    );
+    let report = rlcheck(&["report", metrics.to_str().expect("utf-8 path")]);
+    assert_eq!(report.status.code(), Some(0));
+    let err = stderr(&report);
+    assert!(err.contains("trace:"), "event digest on stderr: {err}");
+    assert!(err.contains("main"), "per-track rows: {err}");
+}
+
+#[test]
+fn report_rejects_missing_or_malformed_input() {
+    let out = rlcheck(&["report"]);
+    assert_eq!(out.status.code(), Some(2), "missing path => usage error");
+    let dir = std::env::temp_dir().join("rlcheck-report-bad");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("not-metrics.jsonl");
+    std::fs::write(&path, "this is not JSONL\n").expect("file written");
+    let out2 = rlcheck(&["report", path.to_str().expect("utf-8 path")]);
+    assert_eq!(out2.status.code(), Some(2), "malformed file => input error");
+}
+
+#[test]
+fn stats_footer_surfaces_pool_and_cache_counters() {
+    let out = rlcheck(&[
+        "check",
+        "examples/systems/abp.ts",
+        "[]<>deliver",
+        "--jobs",
+        "2",
+        "--stats",
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    let err = stderr(&out);
+    for counter in [
+        "pool/spawns",
+        "pool/steals",
+        "pool/parks",
+        "pool/unparks",
+        "opcache/hits",
+        "opcache/misses",
+        "opcache/adoptions",
+    ] {
+        assert!(err.contains(counter), "missing {counter} in footer:\n{err}");
+    }
+    // Sequential runs have no pool, so its counters stay out of the table.
+    let seq = rlcheck(&["check", "examples/systems/abp.ts", "[]<>deliver", "--stats"]);
+    let seq_err = stderr(&seq);
+    assert!(
+        !seq_err.contains("pool/spawns"),
+        "no pool counters without a pool:\n{seq_err}"
+    );
+    assert!(seq_err.contains("opcache/hits"), "{seq_err}");
+}
+
+#[test]
+fn batch_absorbed_metrics_are_deterministic_across_jobs() {
+    let dir = std::env::temp_dir().join("rlcheck-batch-metrics-determinism");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let manifest = dir.join("checks.txt");
+    std::fs::write(
+        &manifest,
+        "examples/systems/clock.ts []<>tick\n\
+         examples/systems/abp.ts []<>deliver\n\
+         examples/systems/server.pn []<>result\n",
+    )
+    .expect("manifest written");
+    // With the shared op cache disabled every job rebuilds its own
+    // machines, so the absorbed span metrics are schedule-independent.
+    // (With the cache on, which job pays for a shared construction is a
+    // race — the *verdicts* stay deterministic but the per-job charge
+    // attribution does not; that is why this test passes --no-op-cache.)
+    let run = |jobs: &str, path: &Path| {
+        rlcheck(&[
+            "batch",
+            "--manifest",
+            manifest.to_str().expect("utf-8 path"),
+            "--no-op-cache",
+            "--jobs",
+            jobs,
+            "--metrics",
+            path.to_str().expect("utf-8 path"),
+        ])
+    };
+    let p1 = dir.join("jobs1.jsonl");
+    let p4 = dir.join("jobs4.jsonl");
+    let (j1, j4) = (run("1", &p1), run("4", &p4));
+    assert_eq!(j1.status.code(), Some(0));
+    assert_eq!(j4.status.code(), Some(0));
+    // Project each file onto its deterministic content: span identity
+    // (absorbed path, name, depth, renumbered seq) and the four metric
+    // columns, plus the metric fields of the totals line. Wall-clock
+    // fields and the schedule-dependent counters footer are excluded.
+    let deterministic_view = |path: &Path| -> Vec<String> {
+        let text = std::fs::read_to_string(path).expect("metrics written");
+        let mut rows = Vec::new();
+        for line in text.lines() {
+            let v = rl_json::parse(line).expect("valid JSONL");
+            match str_field_of(&v, "event").as_str() {
+                "span" => rows.push(format!(
+                    "span {} {} {} {} | {} {} {} {}",
+                    str_field_of(&v, "path"),
+                    str_field_of(&v, "name"),
+                    int_field(&v, "depth"),
+                    int_field(&v, "seq"),
+                    int_field(&v, "states"),
+                    int_field(&v, "transitions"),
+                    int_field(&v, "cache_hits"),
+                    int_field(&v, "guard_charges"),
+                )),
+                "totals" => rows.push(format!(
+                    "totals {} {} {} {}",
+                    int_field(&v, "states"),
+                    int_field(&v, "transitions"),
+                    int_field(&v, "cache_hits"),
+                    int_field(&v, "guard_charges"),
+                )),
+                _ => {}
+            }
+        }
+        rows
+    };
+    let (v1, v4) = (deterministic_view(&p1), deterministic_view(&p4));
+    assert!(
+        v1.iter().any(|r| r.contains("job0/check")),
+        "absorbed spans are re-rooted under job<i>/: {v1:?}"
+    );
+    assert!(v1.iter().any(|r| r.contains("job2/check")), "{v1:?}");
+    assert_eq!(v1, v4, "absorbed batch metrics must not depend on --jobs");
+}
+
+#[test]
+fn progress_flag_emits_heartbeats() {
+    let out = Command::new(env!("CARGO_BIN_EXE_rlcheck"))
+        .args([
+            "check",
+            "examples/systems/needle24.ts",
+            "[]<>a",
+            "--timeout",
+            "1",
+            "--progress",
+        ])
+        .env("RL_PROGRESS_MS", "25")
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("rlcheck binary runs");
+    assert_eq!(out.status.code(), Some(3), "deadline still governs the run");
+    let err = stderr(&out);
+    let beats: Vec<&str> = err
+        .lines()
+        .filter(|l| l.starts_with("rlcheck: [progress]"))
+        .collect();
+    assert!(!beats.is_empty(), "no heartbeats in stderr:\n{err}");
+    let beat = beats[beats.len() - 1];
+    for fragment in ["elapsed", "states", "frontier", "time "] {
+        assert!(
+            beat.contains(fragment),
+            "heartbeat missing {fragment}: {beat}"
+        );
+    }
+}
+
+#[test]
+fn panic_mid_check_still_flushes_parseable_sinks() {
+    let dir = std::env::temp_dir().join("rlcheck-panic-flush");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let metrics = dir.join("metrics.jsonl");
+    let trace = dir.join("trace.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_rlcheck"))
+        .args([
+            "check",
+            "examples/systems/abp.ts",
+            "[]<>deliver",
+            "--metrics",
+            metrics.to_str().expect("utf-8 path"),
+            "--trace-out",
+            trace.to_str().expect("utf-8 path"),
+        ])
+        .env("RL_TEST_PANIC", "1")
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("rlcheck binary runs");
+    assert_eq!(out.status.code(), Some(101), "injected panic => exit 101");
+    assert!(stderr(&out).contains("internal panic"), "panic is reported");
+    // The run died between phases, so the file records a *partial*
+    // profile — but every line must still parse, and the spans that
+    // completed before the panic must be present.
+    let text = std::fs::read_to_string(&metrics).expect("metrics flushed on exit 101");
+    let mut events = Vec::new();
+    let mut paths = Vec::new();
+    for line in text.lines() {
+        let v = rl_json::parse(line).unwrap_or_else(|e| panic!("bad line {line:?}: {e}"));
+        let event = str_field_of(&v, "event");
+        if event == "span" {
+            paths.push(str_field_of(&v, "path"));
+        }
+        events.push(event);
+    }
+    assert_eq!(events.first().map(String::as_str), Some("meta"));
+    assert!(
+        paths.iter().any(|p| p == "check/behaviors"),
+        "pre-panic spans survive: {paths:?}"
+    );
+    assert!(
+        !paths.iter().any(|p| p.starts_with("check/classical")),
+        "post-panic phases never ran: {paths:?}"
+    );
+    // Unwinding closed the open spans, so the root span is recorded too.
+    assert!(paths.iter().any(|p| p == "check"), "{paths:?}");
+    // The trace sink flushes on the same path and stays valid JSON.
+    let events = trace_events(&trace);
+    assert!(!events.is_empty(), "trace events flushed on exit 101");
+}

@@ -6,6 +6,7 @@ use std::sync::Arc;
 use crate::alphabet::{Alphabet, Symbol};
 use crate::error::AutomataError;
 use crate::guard::Guard;
+use crate::mem::MemFootprint;
 use crate::nfa::Nfa;
 use crate::stateset::{FxHasher, PairTable};
 use crate::word::Word;
@@ -46,6 +47,14 @@ pub struct Dfa {
     /// `delta[q][a.index()]` = successor id, or [`NO_TRANSITION`] when
     /// undefined. Lookup is two array probes; no tree walks.
     delta: Vec<Vec<u32>>,
+}
+
+impl MemFootprint for Dfa {
+    fn heap_bytes(&self) -> usize {
+        // The alphabet weighs as a pointer (interned per system, charged at
+        // its creation site).
+        self.accepting.heap_bytes() + self.delta.heap_bytes()
+    }
 }
 
 impl Dfa {

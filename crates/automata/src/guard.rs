@@ -417,7 +417,7 @@ impl Guard {
     /// # Errors
     ///
     /// Propagates `build`'s error.
-    pub fn cached<T: Send + Sync + 'static, E>(
+    pub fn cached<T: crate::mem::MemFootprint + Send + Sync + 'static, E>(
         &self,
         op: &'static str,
         key: u64,
@@ -444,7 +444,7 @@ impl Guard {
     /// Without a cache this is a plain `Arc::new(value.clone())`.
     pub fn operand<T>(&self, hash: u64, value: &T) -> Arc<T>
     where
-        T: Clone + PartialEq + Send + Sync + 'static,
+        T: Clone + PartialEq + crate::mem::MemFootprint + Send + Sync + 'static,
     {
         match &self.op_cache {
             None => Arc::new(value.clone()),

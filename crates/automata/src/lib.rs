@@ -68,8 +68,10 @@ mod dfa;
 mod dot;
 mod equiv;
 mod error;
+pub mod fault;
 mod guard;
 mod json;
+pub mod mem;
 mod minimize;
 mod nfa;
 mod opcache;
@@ -85,6 +87,7 @@ pub use dfa::Dfa;
 pub use equiv::{dfa_equivalent, dfa_included, dfa_included_with, equivalent_states};
 pub use error::AutomataError;
 pub use guard::{Budget, CancelToken, Guard, GuardProbe, Progress, Resource};
+pub use mem::MemFootprint;
 pub use nfa::Nfa;
 pub use opcache::OpCache;
 pub use par::{resolve_jobs, Pool, PoolCounters};

@@ -8,6 +8,7 @@ use crate::alphabet::{Alphabet, Symbol};
 use crate::dfa::Dfa;
 use crate::error::AutomataError;
 use crate::guard::Guard;
+use crate::mem::MemFootprint;
 use crate::stateset::{FxHasher, Interner, PairTable, StateSet};
 use crate::word::Word;
 use crate::StateId;
@@ -55,6 +56,14 @@ pub struct Nfa {
     accepting: Vec<bool>,
     /// `delta[q][a.index()]` = sorted, deduplicated successors of `q` on `a`.
     delta: Vec<Vec<Vec<StateId>>>,
+}
+
+impl MemFootprint for Nfa {
+    fn heap_bytes(&self) -> usize {
+        // The alphabet is interned per system (an `Arc` handle) and charged
+        // where it was created, so it weighs as a pointer here.
+        self.initial.heap_bytes() + self.accepting.heap_bytes() + self.delta.heap_bytes()
+    }
 }
 
 impl Nfa {

@@ -20,6 +20,26 @@
 //! parallel kernels consulting the cache mid-construction — share memoized
 //! results without serializing on one lock. Clone the handle freely; all
 //! clones (across threads) share one logical table.
+//!
+//! # Memory accounting and eviction
+//!
+//! A cache that lives for one CLI invocation can grow without limit; a cache
+//! shared by a resident `rlcheck serve` process cannot. Every stored value
+//! therefore carries a deterministic byte estimate ([`crate::MemFootprint`]),
+//! and a cache built with a byte budget ([`OpCache::with_limits`]) evicts
+//! under **cost-aware LRU**: when a shard's resident bytes exceed its slice
+//! of the budget (`budget / SHARDS`), the least-recently-touched entry goes
+//! first, and among equally old entries the largest goes first — recency is
+//! the primary signal, byte cost breaks ties toward freeing the most memory
+//! per eviction. Eviction only ever drops memoized results; correctness is
+//! untouched because every lookup that misses simply rebuilds. Accounting
+//! invariant: after every insert, each shard's tracked resident bytes are at
+//! or below its budget slice, so the whole table never exceeds the
+//! configured budget.
+//!
+//! The `opcache-evict` fault point ([`crate::fault`]) forcibly clears every
+//! shard on the n-th lookup, so tests can prove mid-job eviction changes no
+//! verdict.
 
 use std::any::Any;
 use std::fmt;
@@ -27,6 +47,8 @@ use std::sync::{Arc, Mutex};
 
 use rl_obs::Tracer;
 
+use crate::fault;
+use crate::mem::MemFootprint;
 use crate::stateset::FxHashMap;
 
 /// Number of independently locked sub-tables. A power of two well above the
@@ -34,14 +56,26 @@ use crate::stateset::FxHashMap;
 /// concurrent lookups rarely contend.
 pub const SHARDS: usize = 16;
 
-/// One `Arc`-erased cache entry.
-type Entry = Arc<dyn Any + Send + Sync>;
+/// Amortized bookkeeping bytes charged per stored entry on top of the
+/// value's own footprint: the bucket key, the `Vec` slot, and the `Arc`
+/// control block.
+const ENTRY_OVERHEAD: usize = 64;
+
+/// One stored cache entry: the `Arc`-erased value plus its accounting state.
+struct Stored {
+    value: Arc<dyn Any + Send + Sync>,
+    /// Deterministic byte estimate charged against the shard budget.
+    bytes: usize,
+    /// Last-touch stamp from the shard's logical clock (unique per shard:
+    /// every touch increments the clock, so LRU order is a total order).
+    stamp: u64,
+}
 
 /// Shared memo table for automaton-level operations.
 ///
 /// Cheap to clone (the handle is reference counted); all clones share one
 /// sharded table and may live on different threads. See the module docs for
-/// the soundness contract.
+/// the soundness contract and the eviction policy.
 ///
 /// # Example
 ///
@@ -66,9 +100,11 @@ pub struct OpCache {
 
 struct CacheInner {
     shards: [Mutex<Table>; SHARDS],
-    /// Optional timeline tracer; hit/miss/adoption instants carry the shard
-    /// index so contention concentrating on one shard is visible.
+    /// Optional timeline tracer; hit/miss/adoption/eviction instants carry
+    /// the shard index so contention concentrating on one shard is visible.
     tracer: Option<Arc<Tracer>>,
+    /// Per-shard byte ceiling (`total budget / SHARDS`); `None` = unbounded.
+    shard_budget: Option<usize>,
 }
 
 impl Default for CacheInner {
@@ -76,6 +112,7 @@ impl Default for CacheInner {
         CacheInner {
             shards: std::array::from_fn(|_| Mutex::new(Table::default())),
             tracer: None,
+            shard_budget: None,
         }
     }
 }
@@ -84,29 +121,131 @@ impl Default for CacheInner {
 struct Table {
     /// `(operation, structural hash)` → entries. A bucket holds more than
     /// one entry only on hash collision.
-    entries: FxHashMap<(&'static str, u64), Vec<Entry>>,
+    entries: FxHashMap<(&'static str, u64), Vec<Stored>>,
     hits: usize,
     misses: usize,
     /// Hits resolved on the insert-side re-check: this thread built the
     /// value, lost the race, and adopted the winner's entry instead.
     adoptions: usize,
+    /// Entries dropped to stay under the shard's byte budget (or by a forced
+    /// fault-injection clear).
+    evictions: usize,
+    /// Tracked resident bytes of all stored entries.
+    resident: usize,
+    /// Logical touch clock driving LRU stamps.
+    clock: u64,
+}
+
+impl Table {
+    /// Finds a matching entry and refreshes its LRU stamp.
+    fn touch<T: Send + Sync + 'static>(
+        &mut self,
+        bucket_key: (&'static str, u64),
+        matches: impl Fn(&T) -> bool,
+    ) -> Option<Arc<T>> {
+        let clock = &mut self.clock;
+        let entry = self
+            .entries
+            .get_mut(&bucket_key)?
+            .iter_mut()
+            .find(|e| e.value.clone().downcast::<T>().is_ok_and(|v| matches(&v)))?;
+        *clock += 1;
+        entry.stamp = *clock;
+        entry.value.clone().downcast::<T>().ok()
+    }
+
+    /// Stores `value` under `bucket_key`, charging `bytes` to the shard.
+    fn insert(
+        &mut self,
+        bucket_key: (&'static str, u64),
+        value: Arc<dyn Any + Send + Sync>,
+        bytes: usize,
+    ) {
+        self.clock += 1;
+        let stamp = self.clock;
+        self.resident += bytes;
+        self.entries.entry(bucket_key).or_default().push(Stored {
+            value,
+            bytes,
+            stamp,
+        });
+    }
+
+    /// Evicts cost-aware-LRU victims until resident bytes fit `budget`.
+    /// Returns how many entries were dropped.
+    fn evict_to(&mut self, budget: usize) -> usize {
+        let mut dropped = 0;
+        while self.resident > budget {
+            // Victim: oldest stamp; stamps are unique per shard so this is a
+            // total order. (Equal stamps cannot happen, but the byte
+            // tie-break documents the intent and guards refactors.)
+            let victim = self
+                .entries
+                .iter()
+                .flat_map(|(k, bucket)| {
+                    bucket
+                        .iter()
+                        .enumerate()
+                        .map(move |(i, e)| (e.stamp, std::cmp::Reverse(e.bytes), *k, i))
+                })
+                .min();
+            let Some((_, _, key, index)) = victim else {
+                break; // accounting drift safety valve: nothing left to drop
+            };
+            let bucket = self.entries.get_mut(&key).expect("victim bucket exists");
+            let removed = bucket.remove(index);
+            self.resident = self.resident.saturating_sub(removed.bytes);
+            if bucket.is_empty() {
+                self.entries.remove(&key);
+            }
+            self.evictions += 1;
+            dropped += 1;
+        }
+        dropped
+    }
+
+    /// Drops every entry (forced eviction), returning the count.
+    fn clear(&mut self) -> usize {
+        let n: usize = self.entries.values().map(Vec::len).sum();
+        self.entries.clear();
+        self.resident = 0;
+        self.evictions += n;
+        n
+    }
 }
 
 impl OpCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> OpCache {
-        OpCache::default()
+        OpCache::with_limits(None, None)
     }
 
-    /// An empty cache whose lookups additionally record timeline instants
-    /// (`hit`/`miss`/`adopt`, tagged with the shard index) to `tracer`.
+    /// An empty, unbounded cache whose lookups additionally record timeline
+    /// instants (`hit`/`miss`/`adopt`/`evict`, tagged with the shard index)
+    /// to `tracer`.
     pub fn with_tracer(tracer: Arc<Tracer>) -> OpCache {
+        OpCache::with_limits(Some(tracer), None)
+    }
+
+    /// The general constructor: an optional timeline tracer and an optional
+    /// resident-byte budget. With a budget, each of the [`SHARDS`] shards
+    /// caps its tracked resident bytes at `budget / SHARDS` (at least one
+    /// byte, so a tiny budget degrades to "cache nothing", never divides to
+    /// a zero-progress loop) and evicts cost-aware-LRU victims on insert.
+    pub fn with_limits(tracer: Option<Arc<Tracer>>, byte_budget: Option<usize>) -> OpCache {
         OpCache {
             inner: Arc::new(CacheInner {
                 shards: std::array::from_fn(|_| Mutex::new(Table::default())),
-                tracer: Some(tracer),
+                tracer,
+                shard_budget: byte_budget.map(|b| (b / SHARDS).max(1)),
             }),
         }
+    }
+
+    /// The configured total byte budget, if any (shard granularity rounds
+    /// down: `SHARDS * (budget / SHARDS)`).
+    pub fn byte_budget(&self) -> Option<usize> {
+        self.inner.shard_budget.map(|b| b * SHARDS)
     }
 
     /// The shard index responsible for `key`. Keys are FxHash outputs whose
@@ -134,17 +273,13 @@ impl OpCache {
         }
     }
 
-    /// Looks up a matching entry in `bucket` (a poisoned shard lock is
-    /// treated as absent — the cache degrades to a passthrough rather than
-    /// propagating a sibling's panic).
-    fn find<T: Send + Sync + 'static>(
-        bucket: Option<&Vec<Entry>>,
-        matches: impl Fn(&T) -> bool,
-    ) -> Option<Arc<T>> {
-        bucket?
-            .iter()
-            .filter_map(|e| e.clone().downcast::<T>().ok())
-            .find(|v| matches(v))
+    /// Evicts from `table` if it now exceeds the shard budget; traces the
+    /// evictions (after the caller releases the lock — this only counts).
+    fn evict_if_over(&self, table: &mut Table) -> usize {
+        match self.inner.shard_budget {
+            Some(budget) => table.evict_to(budget),
+            None => 0,
+        }
     }
 
     /// Looks up `(op, key)`; on miss, runs `build`, stores the result, and
@@ -163,16 +298,19 @@ impl OpCache {
     /// # Errors
     ///
     /// Propagates `build`'s error; nothing is stored in that case.
-    pub fn get_or_insert_with<T: Send + Sync + 'static, E>(
+    pub fn get_or_insert_with<T: MemFootprint + Send + Sync + 'static, E>(
         &self,
         op: &'static str,
         key: u64,
         matches: impl Fn(&T) -> bool,
         build: impl FnOnce() -> Result<T, E>,
     ) -> Result<(Arc<T>, bool), E> {
+        if fault::fires("opcache-evict") {
+            self.evict_all();
+        }
         let shard = self.shard(key);
         if let Ok(mut table) = shard.lock() {
-            if let Some(hit) = Self::find(table.entries.get(&(op, key)), &matches) {
+            if let Some(hit) = table.touch((op, key), &matches) {
                 table.hits += 1;
                 drop(table);
                 self.trace("hit", key);
@@ -180,13 +318,16 @@ impl OpCache {
             }
         }
         let value = Arc::new(build()?);
+        // Explicitly the *payload*'s footprint: a method call on the `Arc`
+        // would resolve to the handle impl (a pointer) instead.
+        let bytes = ENTRY_OVERHEAD + <T as MemFootprint>::mem_bytes(&value);
         let Ok(mut table) = shard.lock() else {
             return Ok((value, false));
         };
         // Re-check: another thread may have finished the same build while we
         // ran unlocked. Keeping its entry (and dropping ours) makes repeated
         // lookups converge on one allocation.
-        if let Some(hit) = Self::find(table.entries.get(&(op, key)), &matches) {
+        if let Some(hit) = table.touch((op, key), &matches) {
             table.hits += 1;
             table.adoptions += 1;
             drop(table);
@@ -194,13 +335,17 @@ impl OpCache {
             return Ok((hit, true));
         }
         table.misses += 1;
-        table
-            .entries
-            .entry((op, key))
-            .or_default()
-            .push(value.clone() as Entry);
+        table.insert(
+            (op, key),
+            value.clone() as Arc<dyn Any + Send + Sync>,
+            bytes,
+        );
+        let evicted = self.evict_if_over(&mut table);
         drop(table);
         self.trace("miss", key);
+        for _ in 0..evicted {
+            self.trace("evict", key);
+        }
         Ok((value, false))
     }
 
@@ -211,27 +356,54 @@ impl OpCache {
     /// operand equality checks between entries of one operand are pointer
     /// comparisons on the fast path.
     ///
+    /// The operand's footprint is charged here, where the shared allocation
+    /// is created; the `Arc` handles memo entries hold weigh as pointers
+    /// (see [`crate::mem`]). Evicting an interned operand only drops the
+    /// intern table's handle — entries still holding it keep it alive, and
+    /// the allocation is freed when the last of them goes.
+    ///
     /// Not counted in [`OpCache::hits`]/[`OpCache::misses`] (it is interning,
     /// not memoization) but included in [`OpCache::len`].
     pub fn intern_operand<T>(&self, hash: u64, value: &T) -> Arc<T>
     where
-        T: Clone + PartialEq + Send + Sync + 'static,
+        T: Clone + PartialEq + MemFootprint + Send + Sync + 'static,
     {
         const OP: &str = "__operand";
         let shard = self.shard(hash);
         let Ok(mut table) = shard.lock() else {
             return Arc::new(value.clone());
         };
-        if let Some(existing) = Self::find(table.entries.get(&(OP, hash)), |v: &T| v == value) {
+        if let Some(existing) = table.touch((OP, hash), |v: &T| v == value) {
             return existing;
         }
         let interned = Arc::new(value.clone());
-        table
-            .entries
-            .entry((OP, hash))
-            .or_default()
-            .push(interned.clone() as Entry);
+        let bytes = ENTRY_OVERHEAD + <T as MemFootprint>::mem_bytes(&interned);
+        table.insert(
+            (OP, hash),
+            interned.clone() as Arc<dyn Any + Send + Sync>,
+            bytes,
+        );
+        let evicted = self.evict_if_over(&mut table);
+        drop(table);
+        for _ in 0..evicted {
+            self.trace("evict", hash);
+        }
         interned
+    }
+
+    /// Forcibly evicts every entry from every shard (the `opcache-evict`
+    /// fault point, and available to resident servers that want to shed
+    /// memory between bursts). Counted in [`OpCache::evictions`].
+    pub fn evict_all(&self) {
+        let mut dropped = 0;
+        for shard in &self.inner.shards {
+            if let Ok(mut table) = shard.lock() {
+                dropped += table.clear();
+            }
+        }
+        if dropped > 0 {
+            self.trace("evict", 0);
+        }
     }
 
     /// Number of lookups answered from the table so far.
@@ -249,6 +421,18 @@ impl OpCache {
     /// concurrent lookups miss on the same key.
     pub fn adoptions(&self) -> usize {
         self.fold(|t| t.adoptions)
+    }
+
+    /// Number of entries evicted so far (budget pressure or forced clears).
+    pub fn evictions(&self) -> usize {
+        self.fold(|t| t.evictions)
+    }
+
+    /// Tracked resident bytes of all stored entries (the deterministic
+    /// [`crate::MemFootprint`] estimate plus fixed per-entry overhead).
+    /// Never exceeds [`OpCache::byte_budget`] when one is set.
+    pub fn resident_bytes(&self) -> usize {
+        self.fold(|t| t.resident)
     }
 
     /// Number of stored entries (memo results and interned operands).
@@ -277,6 +461,8 @@ impl fmt::Debug for OpCache {
             .field("entries", &self.len())
             .field("hits", &self.hits())
             .field("misses", &self.misses())
+            .field("resident_bytes", &self.resident_bytes())
+            .field("evictions", &self.evictions())
             .finish()
     }
 }
@@ -476,5 +662,156 @@ mod tests {
         // observation — all values agreed above.
         assert_eq!(cache.hits() + cache.misses(), 4 * 200);
         assert!(cache.len() >= 16, "8 memo keys + 8 interned operands");
+    }
+
+    // ------------------------------------------------------------------
+    // Byte accounting and eviction
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn resident_bytes_track_inserts() {
+        let cache = OpCache::new();
+        assert_eq!(cache.resident_bytes(), 0);
+        cache
+            .get_or_insert_with::<String, ()>(
+                "op",
+                1,
+                |_| true,
+                || Ok(String::from("x").repeat(100)),
+            )
+            .unwrap();
+        let one = cache.resident_bytes();
+        assert!(one >= 100, "payload bytes are counted: {one}");
+        cache
+            .get_or_insert_with::<String, ()>(
+                "op",
+                2,
+                |_| true,
+                || Ok(String::from("y").repeat(100)),
+            )
+            .unwrap();
+        assert!(cache.resident_bytes() > one, "second entry adds bytes");
+        // Hits never change residency.
+        let before = cache.resident_bytes();
+        cache
+            .get_or_insert_with::<String, ()>("op", 1, |_| true, || Ok(String::new()))
+            .unwrap();
+        assert_eq!(cache.resident_bytes(), before);
+    }
+
+    #[test]
+    fn budgeted_cache_never_exceeds_budget_and_evicts_lru_first() {
+        // All keys in one shard (same top nibble) so the LRU order is fully
+        // observable through one budget slice.
+        let budget = SHARDS * 4096; // 4 KiB per shard
+        let cache = OpCache::with_limits(None, Some(budget));
+        assert_eq!(cache.byte_budget(), Some(budget));
+        let big = || Ok::<_, ()>(vec![0u8; 1500]);
+        for key in 0..4u64 {
+            cache
+                .get_or_insert_with::<Vec<u8>, ()>("op", key, |_| true, big)
+                .unwrap();
+            assert!(
+                cache.resident_bytes() <= budget / SHARDS,
+                "shard stays within its slice after every insert"
+            );
+        }
+        assert!(cache.evictions() >= 1, "budget pressure evicted something");
+        // Key 0 was inserted first and never touched again: it must be gone,
+        // while the most recent key is still resident.
+        let (_, hit_old) = cache
+            .get_or_insert_with::<Vec<u8>, ()>("op", 0, |_| true, big)
+            .unwrap();
+        assert!(!hit_old, "LRU victim was evicted");
+        let (_, hit_new) = cache
+            .get_or_insert_with::<Vec<u8>, ()>("op", 3, |_| true, big)
+            .unwrap();
+        assert!(hit_new, "most recently inserted entry survives");
+    }
+
+    #[test]
+    fn hits_refresh_lru_order() {
+        let cache = OpCache::with_limits(None, Some(SHARDS * 4096));
+        let big = || Ok::<_, ()>(vec![0u8; 1500]);
+        cache
+            .get_or_insert_with::<Vec<u8>, ()>("op", 0, |_| true, big)
+            .unwrap();
+        cache
+            .get_or_insert_with::<Vec<u8>, ()>("op", 1, |_| true, big)
+            .unwrap();
+        // Touch key 0: key 1 becomes the LRU victim.
+        cache
+            .get_or_insert_with::<Vec<u8>, ()>("op", 0, |_| true, big)
+            .unwrap();
+        cache
+            .get_or_insert_with::<Vec<u8>, ()>("op", 2, |_| true, big)
+            .unwrap();
+        let (_, hit0) = cache
+            .get_or_insert_with::<Vec<u8>, ()>("op", 0, |_| true, big)
+            .unwrap();
+        assert!(hit0, "recently touched entry survives eviction");
+    }
+
+    #[test]
+    fn eviction_sequence_is_deterministic() {
+        let run = || {
+            let cache = OpCache::with_limits(None, Some(SHARDS * 2048));
+            for key in 0..16u64 {
+                cache
+                    .get_or_insert_with::<Vec<u8>, ()>("op", key, |_| true, || Ok(vec![0u8; 700]))
+                    .unwrap();
+            }
+            (cache.evictions(), cache.resident_bytes(), cache.len())
+        };
+        assert_eq!(run(), run(), "same op sequence, same eviction outcome");
+    }
+
+    #[test]
+    fn evict_all_clears_and_counts() {
+        let cache = OpCache::new();
+        for key in 0..4u64 {
+            cache
+                .get_or_insert_with::<u64, ()>("op", key, |_| true, || Ok(key))
+                .unwrap();
+        }
+        cache.evict_all();
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.resident_bytes(), 0);
+        assert_eq!(cache.evictions(), 4);
+        // The cache keeps working after a forced clear.
+        let (_, hit) = cache
+            .get_or_insert_with::<u64, ()>("op", 0, |_| true, || Ok(0))
+            .unwrap();
+        assert!(!hit);
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let cache = OpCache::new();
+        for key in 0..64u64 {
+            cache
+                .get_or_insert_with::<Vec<u8>, ()>("op", key, |_| true, || Ok(vec![0u8; 4096]))
+                .unwrap();
+        }
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.len(), 64);
+        assert_eq!(cache.byte_budget(), None);
+    }
+
+    #[test]
+    fn evictions_are_traced() {
+        let tracer = Arc::new(Tracer::new());
+        let cache = OpCache::with_limits(Some(tracer.clone()), Some(SHARDS * 2048));
+        for key in 0..4u64 {
+            cache
+                .get_or_insert_with::<Vec<u8>, ()>("op", key, |_| true, || Ok(vec![0u8; 1500]))
+                .unwrap();
+        }
+        assert!(cache.evictions() >= 1);
+        let events = tracer.events();
+        assert!(
+            events.iter().any(|e| e.name == "evict"),
+            "evictions leave timeline instants"
+        );
     }
 }

@@ -4,7 +4,9 @@ use std::collections::{BTreeSet, VecDeque};
 use std::hash::Hasher;
 use std::sync::Arc;
 
-use rl_automata::{Alphabet, AutomataError, FxHasher, Guard, Interner, Nfa, StateId, Symbol};
+use rl_automata::{
+    Alphabet, AutomataError, FxHasher, Guard, Interner, MemFootprint, Nfa, StateId, Symbol,
+};
 
 use crate::emptiness;
 use crate::upword::UpWord;
@@ -45,6 +47,14 @@ pub struct Buchi {
     accepting: Vec<bool>,
     /// `delta[q][a.index()]` = sorted, deduplicated successors of `q` on `a`.
     delta: Vec<Vec<Vec<StateId>>>,
+}
+
+impl MemFootprint for Buchi {
+    fn heap_bytes(&self) -> usize {
+        // The alphabet weighs as a pointer (interned per system, charged at
+        // its creation site).
+        self.initial.heap_bytes() + self.accepting.heap_bytes() + self.delta.heap_bytes()
+    }
 }
 
 impl Buchi {

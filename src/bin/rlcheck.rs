@@ -30,6 +30,13 @@
 //!     render a committed --metrics file (rl-obs/v1 or /v2) offline: the
 //!     phase table on stdout — byte-for-byte the --stats output of the run
 //!     that wrote it — and a per-track event digest on stderr.
+//!
+//! rlcheck serve --socket <path> [--max-inflight-states <n>] [--queue-cap <n>]
+//!     long-running checking service on a Unix domain socket with a
+//!     line-delimited JSON protocol (submit/status/wait/cancel/stats/
+//!     shutdown), per-job panic isolation, admission control, and graceful
+//!     drain on SIGINT/SIGTERM. --timeout/--max-states set the default
+//!     per-job budget; see DESIGN.md §12 and the README for the protocol.
 //! ```
 //!
 //! Every subcommand additionally accepts resource limits and observability
@@ -56,7 +63,16 @@
 //!                      frontier, budget fraction) while a check runs
 //! --no-op-cache        disable the automaton-operation memo cache that the
 //!                      deciders (and the jobs of a batch) share by default
+//! --cache-bytes <n>    byte budget for that cache: resident entries are
+//!                      size-accounted and evicted cost-aware-LRU so the
+//!                      cache never holds more than <n> bytes (verdicts and
+//!                      deterministic counters are unchanged by eviction)
 //! ```
+//!
+//! SIGINT/SIGTERM cancel the run through the guard's cancel token: the
+//! process exits 3 with partial diagnostics and every sink flushed instead
+//! of dying mid-write (in serve mode, the signals trigger a graceful
+//! drain).
 //!
 //! All sinks are also flushed when a budget trips (exit 3) *and* on the
 //! internal-panic path (exit 101), so the profile shows where the budget —
@@ -73,10 +89,14 @@
 
 use std::panic::{self, AssertUnwindSafe};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
-use relative_liveness::format::parse_system;
+use relative_liveness::check::{
+    batch_job_deadline, parse_formula, report_check, run_check, verdict, worst_exit, CheckSpec,
+    SystemSource,
+};
 use relative_liveness::prelude::*;
 
 fn fail(msg: impl std::fmt::Display) -> ExitCode {
@@ -85,13 +105,7 @@ fn fail(msg: impl std::fmt::Display) -> ExitCode {
 }
 
 fn load(path: &str) -> Result<TransitionSystem, CheckError> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| CheckError::Parse(format!("{path}: {e}")))?;
-    parse_system(&text).map_err(|e| CheckError::Parse(format!("{path}: {e}")))
-}
-
-fn parse_formula(formula: &str) -> Result<Formula, CheckError> {
-    parse(formula).map_err(|e| CheckError::Parse(e.to_string()))
+    SystemSource::Path(path.to_owned()).load()
 }
 
 fn keep_list(args: &[String]) -> Option<Vec<String>> {
@@ -215,16 +229,10 @@ fn extract_jobs(args: &mut Vec<String>) -> Result<usize, String> {
     Ok(resolve_jobs(flag))
 }
 
-/// One check of a batch: a system file and a formula.
-struct BatchCheck {
-    path: String,
-    formula: String,
-}
-
 /// Parses a batch manifest: one `<system-file> <formula>` per line, where
 /// the formula is the rest of the line; blank lines and `#` comments are
 /// skipped.
-fn parse_manifest(text: &str) -> Result<Vec<BatchCheck>, String> {
+fn parse_manifest(text: &str) -> Result<Vec<CheckSpec>, String> {
     let mut checks = Vec::new();
     for (ln, line) in text.lines().enumerate() {
         let line = line.trim();
@@ -237,10 +245,7 @@ fn parse_manifest(text: &str) -> Result<Vec<BatchCheck>, String> {
                 ln + 1
             ));
         };
-        checks.push(BatchCheck {
-            path: path.to_owned(),
-            formula: formula.trim().to_owned(),
-        });
+        checks.push(CheckSpec::from_path(path, formula.trim()));
     }
     Ok(checks)
 }
@@ -249,41 +254,27 @@ fn parse_manifest(text: &str) -> Result<Vec<BatchCheck>, String> {
 /// an exit code, and (when observability is on) its metrics shard.
 type JobOutcome = (String, String, u8, Option<RegistrySnapshot>);
 
-/// Severity order for aggregating batch exit codes: panic > budget >
-/// usage/input error > property failure > success.
-fn severity(code: u8) -> u8 {
-    match code {
-        101 => 4,
-        3 => 3,
-        2 => 2,
-        1 => 1,
-        _ => 0,
-    }
-}
-
 /// Runs a batch of checks across a worker pool with per-check isolation:
 /// each check gets its own guard (sharing the batch deadline's *remaining*
 /// time, one cancel token, and one op cache), its output is buffered and
 /// printed in submission order, a panicking check maps to exit 101 without
 /// taking down its siblings, and the worst per-check exit code wins.
 fn cmd_batch(
-    checks: Vec<BatchCheck>,
+    checks: Vec<CheckSpec>,
     threads: usize,
     budget: &Budget,
     registry: Option<&MetricsRegistry>,
-    no_op_cache: bool,
+    shared_cache: Option<OpCache>,
     tracer: Option<&Arc<Tracer>>,
+    cancel: CancelToken,
 ) -> ExitCode {
     let pool = Pool::with_tracer(threads, tracer.cloned());
-    let cancel = CancelToken::new();
-    let shared_cache = (!no_op_cache).then(|| match tracer {
-        Some(t) => OpCache::with_tracer(t.clone()),
-        None => OpCache::new(),
-    });
     let batch_start = std::time::Instant::now();
     let want_snapshots = registry.is_some();
 
     let total = checks.len();
+    // Completed-job count, for the fair deadline split below.
+    let finished = Arc::new(AtomicUsize::new(0));
     let jobs: Vec<Box<dyn FnOnce() -> JobOutcome + Send>> = checks
         .into_iter()
         .map(|check| {
@@ -291,13 +282,18 @@ fn cmd_batch(
             let cancel = cancel.clone();
             let cache = shared_cache.clone();
             let tracer = tracer.cloned();
+            let finished = Arc::clone(&finished);
             let job = move || -> JobOutcome {
-                // Budget splitting: the whole batch shares one wall clock,
-                // so a job picked up late gets only the remaining time — a
-                // single --timeout bounds the batch end to end.
+                // Budget splitting: the whole batch shares one wall clock.
+                // At each job start, the *live* remaining time is divided by
+                // the scheduling waves the still-unfinished jobs need, so a
+                // job that finishes early donates its unused slice to jobs
+                // that start later instead of stranding it.
                 let mut budget = budget;
                 if let Some(deadline) = budget.deadline {
-                    budget.deadline = Some(deadline.saturating_sub(batch_start.elapsed()));
+                    let remaining = deadline.saturating_sub(batch_start.elapsed());
+                    let unfinished = total - finished.load(Ordering::Relaxed).min(total);
+                    budget.deadline = Some(batch_job_deadline(remaining, unfinished, threads));
                 }
                 // The guard is assembled *inside* the job: its metrics
                 // registry is thread-local, so results cross back to the
@@ -318,6 +314,7 @@ fn cmd_batch(
                 let mut out = String::new();
                 let mut err = String::new();
                 let code = report_check(&check, &guard, &mut out, &mut err);
+                finished.fetch_add(1, Ordering::Relaxed);
                 (out, err, code, reg.as_ref().map(MetricsRegistry::snapshot))
             };
             Box::new(job) as Box<dyn FnOnce() -> JobOutcome + Send>
@@ -350,9 +347,7 @@ fn cmd_batch(
         if code == 0 {
             held += 1;
         }
-        if severity(code) > severity(worst) {
-            worst = code;
-        }
+        worst = worst_exit(worst, code);
         // Merge the job's metrics shard into the parent registry, in
         // submission order, so --stats/--metrics output is deterministic.
         if let (Some(parent), Some(shard)) = (registry, &snapshot) {
@@ -390,89 +385,21 @@ fn note_runtime_counters(
         reg.counter("opcache/misses").add(cache.misses() as u64);
         reg.counter("opcache/adoptions")
             .add(cache.adoptions() as u64);
+        // Memory accounting: what the cache holds now and how much it shed.
+        // Deterministic for a fixed input and --cache-bytes (eviction order
+        // is a pure function of the access sequence), unlike the pool's
+        // schedule-dependent telemetry above.
+        reg.counter("opcache/resident_bytes")
+            .add(cache.resident_bytes() as u64);
+        reg.counter("opcache/evictions")
+            .add(cache.evictions() as u64);
     }
-}
-
-/// Runs one batch check against `guard`, writing the report to `out` and
-/// diagnostics to `err`; returns the job's exit code (same scheme as the
-/// process exit codes).
-fn report_check(check: &BatchCheck, guard: &Guard, out: &mut String, err: &mut String) -> u8 {
-    use std::fmt::Write;
-    let _ = writeln!(out, "=== {} {}", check.path, check.formula);
-    match run_check(&check.path, &check.formula, guard, out) {
-        Ok(true) => 0,
-        Ok(false) => 1,
-        Err(e @ CheckError::BudgetExceeded { .. }) | Err(e @ CheckError::Cancelled { .. }) => {
-            let _ = writeln!(
-                err,
-                "rlcheck: [{}] resource budget exhausted before a verdict was reached",
-                check.path
-            );
-            let _ = writeln!(err, "rlcheck: {e}");
-            3
-        }
-        Err(e) => {
-            let _ = writeln!(err, "rlcheck: [{}] {e}", check.path);
-            2
-        }
-    }
-}
-
-/// The `check` pipeline, writing its report into `out` (so the batch mode
-/// can run checks concurrently and still print them in submission order).
-/// Returns whether relative liveness holds.
-fn run_check(
-    path: &str,
-    formula: &str,
-    guard: &Guard,
-    out: &mut String,
-) -> Result<bool, CheckError> {
-    use std::fmt::Write;
-    let _span = guard.span("check");
-    let ts = load(path)?;
-    let eta = parse_formula(formula)?;
-    let behaviors = behaviors_of_ts_with(&ts, guard).map_err(CheckError::from)?;
-    // Test hook: lets the CLI tests exercise the exit-101 path with real
-    // partial state (some spans closed, some charges recorded) and assert
-    // the observability sinks still flush parseable output.
-    if std::env::var_os("RL_TEST_PANIC").is_some() {
-        panic!("injected panic (RL_TEST_PANIC)");
-    }
-    let prop = Property::formula(eta.clone());
-
-    let sat = satisfies_with(&behaviors, &prop, guard)?;
-    let _ = writeln!(out, "classical  {eta}: {}", verdict(sat.holds));
-    if let Some(x) = sat.counterexample {
-        let _ = writeln!(
-            out,
-            "           counterexample: {}",
-            x.display(ts.alphabet())
-        );
-    }
-    let rl = is_relative_liveness_with(&behaviors, &prop, guard)?;
-    let _ = writeln!(out, "rel-live   {eta}: {}", verdict(rl.holds));
-    if let Some(w) = &rl.doomed_prefix {
-        let _ = writeln!(
-            out,
-            "           doomed prefix: {}",
-            format_word(ts.alphabet(), w)
-        );
-    }
-    let rs = is_relative_safety_with(&behaviors, &prop, guard)?;
-    let _ = writeln!(out, "rel-safe   {eta}: {}", verdict(rs.holds));
-    if let Some(x) = rs.escaping_behavior {
-        let _ = writeln!(
-            out,
-            "           escaping behavior: {}",
-            x.display(ts.alphabet())
-        );
-    }
-    Ok(rl.holds)
 }
 
 fn cmd_check(path: &str, formula: &str, guard: &Guard) -> Result<ExitCode, CheckError> {
+    let spec = CheckSpec::from_path(path, formula);
     let mut out = String::new();
-    let result = run_check(path, formula, guard, &mut out);
+    let result = run_check(&spec, guard, &mut out);
     print!("{out}");
     Ok(if result? {
         ExitCode::SUCCESS
@@ -696,12 +623,82 @@ fn heartbeat_line(probe: &GuardProbe) -> String {
     line
 }
 
-fn verdict(b: bool) -> &'static str {
-    if b {
-        "HOLDS"
-    } else {
-        "fails"
+/// Minimal SIGINT/SIGTERM handling (Unix): the handler stores one flag into
+/// a process-global `AtomicBool` — the only async-signal-safe thing it could
+/// do — and a watcher thread propagates the flag to the run's
+/// [`CancelToken`]. The deciders notice the cancelled token at their next
+/// charge poll, unwind with `CheckError::Cancelled`, and the normal exit-3
+/// path flushes every observability sink; in serve mode the same token
+/// triggers the graceful drain. This module lives in the binary because it
+/// is the workspace's only `unsafe` (every library crate
+/// `forbid(unsafe_code)`s).
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::Duration;
+
+    use relative_liveness::prelude::CancelToken;
+
+    /// Hand-declared `signal(2)` binding, honoring the vendor-only policy
+    /// (no libc crate in the tree).
+    #[allow(non_camel_case_types)]
+    type sighandler_t = usize;
+    extern "C" {
+        fn signal(signum: i32, handler: sighandler_t) -> sighandler_t;
     }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    /// `SIG_DFL`, to restore default disposition after the first signal so
+    /// a second Ctrl-C kills a stuck drain instead of being swallowed.
+    const SIG_DFL: sighandler_t = 0;
+
+    static SEEN: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_sig: i32) {
+        SEEN.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a SIGINT/SIGTERM has arrived.
+    pub fn seen() -> bool {
+        SEEN.load(Ordering::SeqCst)
+    }
+
+    /// Installs the handlers and spawns the watcher that cancels `token`
+    /// when a signal lands (poll period 25ms, well under a charge
+    /// interval), then restores the default disposition so a second signal
+    /// terminates the process outright.
+    pub fn install(token: CancelToken) {
+        unsafe {
+            signal(SIGINT, on_signal as extern "C" fn(i32) as sighandler_t);
+            signal(SIGTERM, on_signal as extern "C" fn(i32) as sighandler_t);
+        }
+        std::thread::Builder::new()
+            .name("rl-sig-watch".to_owned())
+            .spawn(move || loop {
+                if SEEN.load(Ordering::SeqCst) {
+                    token.cancel();
+                    unsafe {
+                        signal(SIGINT, SIG_DFL);
+                        signal(SIGTERM, SIG_DFL);
+                    }
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            })
+            .expect("spawning the signal watcher succeeds");
+    }
+}
+
+/// Non-Unix stub: signals are not wired, runs are stopped by the budget.
+#[cfg(not(unix))]
+mod sig {
+    use relative_liveness::prelude::CancelToken;
+
+    pub fn seen() -> bool {
+        false
+    }
+
+    pub fn install(_token: CancelToken) {}
 }
 
 /// Runs a subcommand behind panic isolation and maps [`CheckError`] onto the
@@ -732,12 +729,14 @@ fn govern(body: impl FnOnce() -> Result<ExitCode, CheckError>) -> ExitCode {
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let usage = "usage: rlcheck <check|abstract|simplicity|fair|dot|batch|report> \
+    let usage = "usage: rlcheck <check|abstract|simplicity|fair|dot|batch|report|serve> \
                  <system-file>... [<formula>] [--keep a,b,c] [--steps N] \
                  [--timeout <secs>] [--max-states <n>] [--jobs <n>] \
                  [--manifest <file>] [--formula <f>] \
+                 [--socket <path>] [--max-inflight-states <n>] [--queue-cap <n>] \
                  [--stats] [--metrics <file>] [--trace-out <file>] \
-                 [--flame-out <file>] [--progress] [--no-op-cache]";
+                 [--flame-out <file>] [--progress] [--no-op-cache] \
+                 [--cache-bytes <n>]";
     let budget = match extract_budget(&mut args) {
         Ok(b) => b,
         Err(e) => return fail(format!("{e}\n{usage}")),
@@ -747,6 +746,18 @@ fn main() -> ExitCode {
         Err(e) => return fail(format!("{e}\n{usage}")),
     };
     let no_op_cache = extract_no_op_cache(&mut args);
+    let cache_bytes = match extract_value_flag(&mut args, "--cache-bytes") {
+        Ok(None) => None,
+        Ok(Some(raw)) => match raw.parse::<usize>() {
+            Ok(n) => Some(n),
+            Err(_) => {
+                return fail(format!(
+                    "--cache-bytes: {raw:?} is not a valid byte count\n{usage}"
+                ))
+            }
+        },
+        Err(e) => return fail(format!("{e}\n{usage}")),
+    };
     let jobs = match extract_jobs(&mut args) {
         Ok(j) => j,
         Err(e) => return fail(format!("{e}\n{usage}")),
@@ -767,24 +778,31 @@ fn main() -> ExitCode {
     if let (Some(reg), Some(t)) = (&registry, &tracer) {
         reg.set_tracer(Arc::clone(t));
     }
+    let Some(cmd) = args.first().cloned() else {
+        return fail(usage);
+    };
     // The cache and pool handles stay in scope so their telemetry can be
     // folded into the registry as counters after the run.
     let op_cache = (!no_op_cache).then(|| {
         // The deciders re-derive the same intermediate machines (products,
         // subset constructions, complements); one pipeline-wide memo cache
-        // answers the repeats.
-        match &tracer {
-            Some(t) => OpCache::with_tracer(Arc::clone(t)),
-            None => OpCache::new(),
-        }
+        // answers the repeats. --cache-bytes bounds its resident footprint
+        // via cost-aware LRU eviction.
+        OpCache::with_limits(tracer.clone(), cache_bytes)
     });
-    let pool = (jobs >= 2).then(|| {
+    let pool = (jobs >= 2 && cmd != "serve").then(|| {
         // Parallel kernels: wide BFS layers of the subset construction and
         // the rank-based complement fan out across this pool. Results are
-        // bit-for-bit identical to --jobs 1.
+        // bit-for-bit identical to --jobs 1. (Serve mode builds its own
+        // pool sized by --jobs, so none is needed here.)
         Arc::new(Pool::with_tracer(jobs, tracer.clone()))
     });
-    let mut guard = Guard::new(budget.clone());
+    // One cancel token for the whole process: SIGINT/SIGTERM cancel through
+    // it, so budget-style unwinding (exit 3) replaces dying mid-write with
+    // half-flushed sinks. Serve mode reads it as the drain trigger.
+    let cancel = CancelToken::new();
+    sig::install(cancel.clone());
+    let mut guard = Guard::with_cancel(budget.clone(), cancel.clone());
     if let Some(reg) = &registry {
         guard = guard.with_metrics(reg.clone());
     }
@@ -794,9 +812,6 @@ fn main() -> ExitCode {
     if let Some(pool) = &pool {
         guard = guard.with_pool(Arc::clone(pool));
     }
-    let Some(cmd) = args.first() else {
-        return fail(usage);
-    };
     let monitor = obs.progress.then(|| ProgressMonitor::start(guard.probe()));
     let code = match cmd.as_str() {
         "batch" => {
@@ -825,10 +840,7 @@ fn main() -> ExitCode {
                     return fail("batch: positional system files need --formula <f>");
                 };
                 for path in files {
-                    checks.push(BatchCheck {
-                        path,
-                        formula: formula.clone(),
-                    });
+                    checks.push(CheckSpec::from_path(path, formula.clone()));
                 }
             }
             if checks.is_empty() {
@@ -836,14 +848,64 @@ fn main() -> ExitCode {
                     "batch needs checks: --manifest <file> and/or <system-file>... --formula <f>",
                 );
             }
+            let shared_cache =
+                (!no_op_cache).then(|| OpCache::with_limits(tracer.clone(), cache_bytes));
             cmd_batch(
                 checks,
                 jobs,
                 &budget,
                 registry.as_ref(),
-                no_op_cache,
+                shared_cache,
                 tracer.as_ref(),
+                cancel.clone(),
             )
+        }
+        "serve" => {
+            #[cfg(unix)]
+            {
+                let socket = match extract_value_flag(&mut args, "--socket") {
+                    Ok(Some(s)) => s,
+                    Ok(None) => match args.get(1) {
+                        Some(s) => s.clone(),
+                        None => return fail("serve needs --socket <path>"),
+                    },
+                    Err(e) => return fail(format!("{e}\n{usage}")),
+                };
+                let max_inflight_states =
+                    match extract_value_flag(&mut args, "--max-inflight-states") {
+                        Ok(v) => match v.map(|raw| raw.parse::<u64>()).transpose() {
+                            Ok(n) => n,
+                            Err(_) => return fail("--max-inflight-states needs a state count"),
+                        },
+                        Err(e) => return fail(format!("{e}\n{usage}")),
+                    };
+                let queue_cap = match extract_value_flag(&mut args, "--queue-cap") {
+                    Ok(v) => match v.map(|raw| raw.parse::<usize>()).transpose() {
+                        Ok(n) => n.unwrap_or(16),
+                        Err(_) => return fail("--queue-cap needs a count"),
+                    },
+                    Err(e) => return fail(format!("{e}\n{usage}")),
+                };
+                let config = relative_liveness::serve::ServeConfig {
+                    socket,
+                    threads: jobs,
+                    job_budget: budget.clone(),
+                    max_inflight_states,
+                    queue_cap,
+                    cache: op_cache.clone(),
+                    tracer: tracer.clone(),
+                };
+                let shutdown = cancel.clone();
+                let reg = registry.clone();
+                govern(move || {
+                    relative_liveness::serve::serve(config, shutdown, reg.as_ref())
+                        .map(ExitCode::from)
+                })
+            }
+            #[cfg(not(unix))]
+            {
+                fail("serve requires Unix domain sockets and is not available on this platform")
+            }
         }
         "report" => match args.get(1) {
             Some(path) => govern(|| cmd_report(path)),
@@ -890,6 +952,9 @@ fn main() -> ExitCode {
     // already did so from their own pool and shared cache inside cmd_batch
     // (this call then adds zero to the same counters).
     note_runtime_counters(registry.as_ref(), pool.as_deref(), op_cache.as_ref());
+    if sig::seen() {
+        eprintln!("rlcheck: interrupted by signal; partial diagnostics follow");
+    }
     finish(code, &obs, registry.as_ref(), tracer.as_deref())
 }
 

@@ -49,7 +49,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod check;
 pub mod format;
+#[cfg(unix)]
+pub mod serve;
 
 pub use rl_abstraction as abstraction;
 pub use rl_automata as automata;

@@ -1,0 +1,819 @@
+//! `rlcheck serve` — a fault-isolated checking service.
+//!
+//! A long-running daemon that accepts relative-liveness check jobs over a
+//! Unix domain socket, so heavy fan-in traffic shares one warm process and
+//! one warm [`OpCache`] instead of paying a fresh CLI start per check of
+//! the paper's `pre(L_ω) = pre(L_ω ∩ P)` criterion. Robustness is the
+//! design driver; DESIGN.md §12 is the architecture chapter. In brief:
+//!
+//! * **Wire protocol** — line-delimited JSON, one request object per line,
+//!   one reply object per line: `submit`, `status`, `wait`, `cancel`,
+//!   `stats`, `shutdown`. See the README for examples.
+//! * **Isolation** — every job runs on the shared work-stealing [`Pool`]
+//!   under its own [`Guard`] (deadline, max-states, cancel token) behind
+//!   `catch_unwind`: a poisoned job replies `code 101` and its siblings —
+//!   and the process — keep going.
+//! * **Admission control** — jobs are charged their declared `max_states`
+//!   against a configurable in-flight ceiling. Over the ceiling, jobs
+//!   queue (FIFO) up to a queue cap, then are rejected outright:
+//!   backpressure instead of OOM.
+//! * **Client failure** — a dropped connection cancels that client's
+//!   unfinished jobs through their [`CancelToken`]s within one heartbeat,
+//!   so abandoned work frees its budget.
+//! * **Graceful drain** — a `shutdown` request or SIGINT/SIGTERM (the CLI
+//!   wires the signal token) stops admission, cancels queued jobs, lets
+//!   running jobs finish (cancelling them after a grace period), absorbs
+//!   every job's metrics shard, and only then lets the CLI flush the
+//!   rl-obs sinks.
+//! * **Fault injection** — the deterministic `RL_FAULT` points
+//!   `job-panic:<id>` (value-matched) and `serve-drop-conn:<n>`
+//!   (occurrence-counted) let the integration tests provoke each failure
+//!   mode on demand; see [`rl_automata::fault`].
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{ErrorKind, Read, Write as IoWrite};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use rl_automata::{fault, Budget, CancelToken, Guard, OpCache, Pool};
+use rl_core::CheckError;
+use rl_json::{Json, ObjBuilder};
+use rl_obs::{MetricsRegistry, RegistrySnapshot, Tracer};
+
+use crate::check::{report_check, CheckSpec, SystemSource};
+
+/// A job with no declared `--max-states` still occupies admission budget;
+/// this is its assumed weight (states) against the in-flight ceiling.
+pub const DEFAULT_JOB_WEIGHT: u64 = 1 << 20;
+
+/// Configuration of one service instance, assembled by the CLI front end.
+pub struct ServeConfig {
+    /// Path of the Unix domain socket to listen on.
+    pub socket: String,
+    /// Worker threads of the shared checking pool.
+    pub threads: usize,
+    /// Default per-job budget (`--timeout`/`--max-states`); a `submit` may
+    /// tighten it with `timeout_ms`/`max_states` fields.
+    pub job_budget: Budget,
+    /// Admission ceiling: the sum of in-flight jobs' declared max-states
+    /// weights may not exceed this. `None` disables admission control.
+    pub max_inflight_states: Option<u64>,
+    /// Jobs allowed to wait for admission before submits are rejected.
+    pub queue_cap: usize,
+    /// The shared cross-request operation cache (byte-budgeted via
+    /// `--cache-bytes`), if enabled.
+    pub cache: Option<OpCache>,
+    /// Event-level tracer shared by the pool and the jobs (`--trace-out`).
+    pub tracer: Option<Arc<Tracer>>,
+}
+
+/// The heartbeat period: connection reads time out at this cadence (which
+/// bounds how fast drains close idle connections) and the accept loop polls
+/// at a quarter of it. `RL_HEARTBEAT_MS` overrides, for tests.
+fn heartbeat() -> Duration {
+    let ms = std::env::var("RL_HEARTBEAT_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100u64);
+    Duration::from_millis(ms.max(1))
+}
+
+/// How long a drain waits for running jobs before cancelling them.
+/// `RL_DRAIN_GRACE_MS` overrides, for tests.
+fn drain_grace() -> Duration {
+    let ms = std::env::var("RL_DRAIN_GRACE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5_000u64);
+    Duration::from_millis(ms)
+}
+
+/// Lifecycle of one submitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobState {
+    /// Waiting for admission capacity.
+    Queued,
+    /// Admitted; running (or enqueued) on the pool.
+    Running,
+    /// Finished — result recorded.
+    Done,
+}
+
+impl JobState {
+    fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+        }
+    }
+}
+
+/// The outcome of one job, recorded at completion.
+struct JobResult {
+    /// Exit-code scheme of the CLI: 0 holds, 1 fails, 2 input error,
+    /// 3 budget/cancelled, 101 panic.
+    code: u8,
+    /// The relative-liveness verdict, when one was reached.
+    holds: Option<bool>,
+    /// The buffered report.
+    out: String,
+    /// Buffered diagnostics.
+    err: String,
+    /// The job's metrics shard, absorbed into the parent registry at drain.
+    snapshot: Option<RegistrySnapshot>,
+}
+
+/// One entry of the job table.
+struct JobRecord {
+    spec: CheckSpec,
+    budget: Budget,
+    /// Admission weight (declared max-states, or [`DEFAULT_JOB_WEIGHT`]).
+    weight: u64,
+    /// Id of the submitting connection — disconnects cancel by this.
+    conn: u64,
+    cancel: CancelToken,
+    state: JobState,
+    result: Option<JobResult>,
+}
+
+/// Monotonic service counters, reported by `stats` and folded into the
+/// metrics registry at drain as `serve/*` counters.
+#[derive(Debug, Clone, Copy, Default)]
+struct ServeCounters {
+    submitted: u64,
+    admitted: u64,
+    queued: u64,
+    rejected: u64,
+    completed: u64,
+    panicked: u64,
+    cancelled: u64,
+}
+
+/// The mutable half of the server, behind one mutex.
+struct Table {
+    next_job: u64,
+    /// Sum of the weights of `Running` jobs.
+    inflight: u64,
+    /// Job ids waiting for admission, in submission order.
+    queue: VecDeque<u64>,
+    entries: HashMap<u64, JobRecord>,
+    draining: bool,
+    counters: ServeCounters,
+}
+
+/// Shared server state: the job table plus the immutable plumbing.
+struct Core {
+    jobs: Mutex<Table>,
+    /// Notified on every completion, admission, or drain transition.
+    changed: Condvar,
+    pool: Pool,
+    cache: Option<OpCache>,
+    tracer: Option<Arc<Tracer>>,
+    /// Whether jobs should meter themselves into shard registries.
+    want_snapshots: bool,
+    max_inflight: Option<u64>,
+    queue_cap: usize,
+    default_budget: Budget,
+}
+
+impl Core {
+    fn lock(&self) -> MutexGuard<'_, Table> {
+        self.jobs
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn draining(&self) -> bool {
+        self.lock().draining
+    }
+}
+
+/// What the connection loop should do after writing a reply.
+enum Action {
+    /// Keep reading requests.
+    Continue,
+    /// Close this connection (a `shutdown` acknowledgment).
+    Close,
+}
+
+/// How a submit was admitted.
+enum Admission {
+    Run,
+    Queue,
+    Reject(String),
+}
+
+fn admission_decision(t: &Table, core: &Core, weight: u64) -> Admission {
+    if t.draining {
+        return Admission::Reject("server is draining".to_owned());
+    }
+    let Some(cap) = core.max_inflight else {
+        return Admission::Run;
+    };
+    if weight > cap {
+        return Admission::Reject(format!(
+            "declared budget of {weight} states exceeds the admission ceiling of {cap}"
+        ));
+    }
+    if t.inflight + weight <= cap {
+        Admission::Run
+    } else if t.queue.len() < core.queue_cap {
+        Admission::Queue
+    } else {
+        Admission::Reject(format!(
+            "in-flight state budget exhausted ({} of {cap} states in flight, queue full)",
+            t.inflight
+        ))
+    }
+}
+
+/// Marks `id` running (charging its weight) and hands it to the pool.
+/// The table lock must NOT be held.
+fn launch(core: &Arc<Core>, id: u64) {
+    {
+        let mut t = core.lock();
+        let Some(e) = t.entries.get_mut(&id) else {
+            return;
+        };
+        let weight = e.weight;
+        e.state = JobState::Running;
+        t.inflight += weight;
+        t.counters.admitted += 1;
+    }
+    let worker_core = Arc::clone(core);
+    core.pool.execute(move || run_job(&worker_core, id));
+}
+
+/// Executes one job on a pool worker: builds the per-job guard, runs the
+/// shared check pipeline behind `catch_unwind`, and records the result.
+fn run_job(core: &Arc<Core>, id: u64) {
+    let (spec, budget, cancel) = {
+        let t = core.lock();
+        let Some(e) = t.entries.get(&id) else {
+            return;
+        };
+        (e.spec.clone(), e.budget.clone(), e.cancel.clone())
+    };
+    // The shard registry lives outside the unwind boundary so a panicking
+    // job still ships its partial spans (closed-so-far) home.
+    let reg = core.want_snapshots.then(MetricsRegistry::new);
+    let was_cancelled = cancel.clone();
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+        if fault::armed_value("job-panic") == Some(id) {
+            panic!("injected panic (RL_FAULT=job-panic:{id})");
+        }
+        let mut guard = Guard::with_cancel(budget, cancel);
+        if let Some(r) = &reg {
+            if let Some(t) = &core.tracer {
+                r.set_tracer(Arc::clone(t));
+            }
+            guard = guard.with_metrics(r.clone());
+        }
+        if let Some(c) = &core.cache {
+            guard = guard.with_op_cache(c.clone());
+        }
+        let mut out = String::new();
+        let mut err = String::new();
+        let code = report_check(&spec, &guard, &mut out, &mut err);
+        let holds = matches!(code, 0 | 1).then(|| code == 0);
+        (code, holds, out, err)
+    }));
+    let result = match outcome {
+        Ok((code, holds, out, err)) => JobResult {
+            code,
+            holds,
+            out,
+            err,
+            snapshot: reg.as_ref().map(MetricsRegistry::snapshot),
+        },
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic".to_owned());
+            JobResult {
+                code: 101,
+                holds: None,
+                out: String::new(),
+                err: format!("rlcheck: internal panic: {msg}\n"),
+                snapshot: reg.as_ref().map(MetricsRegistry::snapshot),
+            }
+        }
+    };
+    complete(core, id, result, was_cancelled.is_cancelled());
+}
+
+/// Records a finished job, releases its admission weight, and admits as
+/// many queued jobs as now fit.
+fn complete(core: &Arc<Core>, id: u64, result: JobResult, was_cancelled: bool) {
+    let mut to_launch = Vec::new();
+    {
+        let mut t = core.lock();
+        let Some(e) = t.entries.get_mut(&id) else {
+            return;
+        };
+        let weight = e.weight;
+        let code = result.code;
+        e.state = JobState::Done;
+        e.result = Some(result);
+        t.inflight = t.inflight.saturating_sub(weight);
+        t.counters.completed += 1;
+        if code == 101 {
+            t.counters.panicked += 1;
+        }
+        if code == 3 && was_cancelled {
+            t.counters.cancelled += 1;
+        }
+        // FIFO admission from the queue, head first, while capacity lasts.
+        while let Some(&head) = t.queue.front() {
+            let fits = match (core.max_inflight, t.entries.get(&head)) {
+                (_, None) => true, // stale id; drop it
+                (None, Some(_)) => true,
+                (Some(cap), Some(h)) => t.inflight + h.weight <= cap,
+            };
+            if !fits || t.draining {
+                break;
+            }
+            t.queue.pop_front();
+            if t.entries.contains_key(&head) {
+                to_launch.push(head);
+            }
+        }
+    }
+    core.changed.notify_all();
+    for id in to_launch {
+        launch(core, id);
+    }
+}
+
+/// Cancels every unfinished job submitted by connection `conn` — the
+/// disconnect path: abandoned jobs free their budget.
+fn cancel_conn_jobs(core: &Arc<Core>, conn: u64) {
+    let mut queued_now_dead = Vec::new();
+    {
+        let mut t = core.lock();
+        let ids: Vec<u64> = t
+            .entries
+            .iter()
+            .filter(|(_, e)| e.conn == conn && e.state != JobState::Done)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in ids {
+            let e = &t.entries[&id];
+            e.cancel.cancel();
+            if e.state == JobState::Queued {
+                queued_now_dead.push(id);
+            }
+        }
+        // Queued jobs never reached a worker; finish them here so waiters
+        // and the drain see them settle.
+        for id in &queued_now_dead {
+            t.queue.retain(|q| q != id);
+            if let Some(e) = t.entries.get_mut(id) {
+                e.state = JobState::Done;
+                let name = e.spec.source.display_name().to_owned();
+                e.result = Some(JobResult {
+                    code: 3,
+                    holds: None,
+                    out: String::new(),
+                    err: format!(
+                        "rlcheck: [{name}] cancelled before start (client disconnected)\n"
+                    ),
+                    snapshot: None,
+                });
+                t.counters.completed += 1;
+                t.counters.cancelled += 1;
+            }
+        }
+    }
+    core.changed.notify_all();
+}
+
+/// A `status`/`wait` reply for job `id` under the table lock.
+fn status_reply(t: &Table, id: u64) -> Json {
+    let Some(e) = t.entries.get(&id) else {
+        return error_reply(format!("no such job {id}"));
+    };
+    let mut b = ObjBuilder::new()
+        .field("ok", true)
+        .field("id", id)
+        .field("status", e.state.as_str());
+    if let Some(r) = &e.result {
+        b = b
+            .field("code", r.code)
+            .field("holds", r.holds)
+            .field("output", r.out.as_str())
+            .field("diagnostics", r.err.as_str());
+    }
+    b.build()
+}
+
+fn error_reply(msg: impl std::fmt::Display) -> Json {
+    ObjBuilder::new()
+        .field("ok", false)
+        .field("error", msg.to_string())
+        .build()
+}
+
+/// Field access helpers over the wire JSON.
+fn str_field(v: &Json, key: &str) -> Option<String> {
+    match v.get(key) {
+        Some(Json::Str(s)) => Some(s.clone()),
+        _ => None,
+    }
+}
+
+fn u64_field(v: &Json, key: &str) -> Option<u64> {
+    match v.get(key) {
+        Some(Json::Int(i)) if *i >= 0 => Some(*i as u64),
+        _ => None,
+    }
+}
+
+/// Handles one request line; returns the reply and what to do next.
+fn handle_request(core: &Arc<Core>, conn: u64, line: &str) -> (Json, Action) {
+    let v = match rl_json::parse(line) {
+        Ok(v) => v,
+        Err(e) => return (error_reply(format!("bad request: {e}")), Action::Continue),
+    };
+    let Some(cmd) = str_field(&v, "cmd") else {
+        return (error_reply("bad request: missing `cmd`"), Action::Continue);
+    };
+    match cmd.as_str() {
+        "submit" => (handle_submit(core, conn, &v), Action::Continue),
+        "status" => {
+            let Some(id) = u64_field(&v, "id") else {
+                return (error_reply("status needs `id`"), Action::Continue);
+            };
+            (status_reply(&core.lock(), id), Action::Continue)
+        }
+        "wait" => {
+            let Some(id) = u64_field(&v, "id") else {
+                return (error_reply("wait needs `id`"), Action::Continue);
+            };
+            let mut t = core.lock();
+            if !t.entries.contains_key(&id) {
+                return (error_reply(format!("no such job {id}")), Action::Continue);
+            }
+            while t.entries[&id].state != JobState::Done {
+                t = core
+                    .changed
+                    .wait_timeout(t, heartbeat())
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .0;
+            }
+            (status_reply(&t, id), Action::Continue)
+        }
+        "cancel" => {
+            let Some(id) = u64_field(&v, "id") else {
+                return (error_reply("cancel needs `id`"), Action::Continue);
+            };
+            let t = core.lock();
+            match t.entries.get(&id) {
+                Some(e) => {
+                    e.cancel.cancel();
+                    (
+                        ObjBuilder::new().field("ok", true).field("id", id).build(),
+                        Action::Continue,
+                    )
+                }
+                None => (error_reply(format!("no such job {id}")), Action::Continue),
+            }
+        }
+        "stats" => (stats_reply(core), Action::Continue),
+        "shutdown" => {
+            {
+                let mut t = core.lock();
+                t.draining = true;
+            }
+            core.changed.notify_all();
+            (
+                ObjBuilder::new()
+                    .field("ok", true)
+                    .field("status", "draining")
+                    .build(),
+                Action::Close,
+            )
+        }
+        other => (
+            error_reply(format!("unknown cmd {other:?}")),
+            Action::Continue,
+        ),
+    }
+}
+
+fn stats_reply(core: &Arc<Core>) -> Json {
+    let (c, inflight, queue_depth, draining) = {
+        let t = core.lock();
+        (t.counters, t.inflight, t.queue.len(), t.draining)
+    };
+    let mut b = ObjBuilder::new()
+        .field("ok", true)
+        .field("submitted", c.submitted)
+        .field("admitted", c.admitted)
+        .field("queued", c.queued)
+        .field("rejected", c.rejected)
+        .field("completed", c.completed)
+        .field("panicked", c.panicked)
+        .field("cancelled", c.cancelled)
+        .field("inflight_states", inflight)
+        .field("queue_depth", queue_depth)
+        .field("draining", draining);
+    if let Some(cache) = &core.cache {
+        b = b
+            .field("cache_resident_bytes", cache.resident_bytes())
+            .field("cache_evictions", cache.evictions());
+        if let Some(budget) = cache.byte_budget() {
+            b = b.field("cache_bytes_budget", budget);
+        }
+    }
+    b.build()
+}
+
+fn handle_submit(core: &Arc<Core>, conn: u64, v: &Json) -> Json {
+    let Some(formula) = str_field(v, "formula") else {
+        return error_reply("submit needs `formula`");
+    };
+    let source = match (str_field(v, "path"), str_field(v, "system")) {
+        (Some(path), None) => SystemSource::Path(path),
+        (None, Some(text)) => SystemSource::Inline {
+            name: str_field(v, "name").unwrap_or_else(|| "inline".to_owned()),
+            text,
+        },
+        _ => return error_reply("submit needs exactly one of `path` or `system`"),
+    };
+    let mut budget = core.default_budget.clone();
+    if let Some(ms) = u64_field(v, "timeout_ms") {
+        budget.deadline = Some(Duration::from_millis(ms));
+    }
+    if let Some(n) = u64_field(v, "max_states") {
+        budget.max_states = Some(n as usize);
+    }
+    let weight = budget.max_states.map_or(DEFAULT_JOB_WEIGHT, |n| n as u64);
+    let spec = CheckSpec { source, formula };
+
+    let (id, decision) = {
+        let mut t = core.lock();
+        t.counters.submitted += 1;
+        let decision = admission_decision(&t, core, weight);
+        if let Admission::Reject(reason) = &decision {
+            t.counters.rejected += 1;
+            return ObjBuilder::new()
+                .field("ok", false)
+                .field("status", "rejected")
+                .field("error", format!("rejected: {reason}"))
+                .build();
+        }
+        let id = t.next_job;
+        t.next_job += 1;
+        // Inserted as Queued either way; `launch` flips admitted jobs to
+        // Running and charges their weight under the same lock discipline.
+        t.entries.insert(
+            id,
+            JobRecord {
+                spec,
+                budget,
+                weight,
+                conn,
+                cancel: CancelToken::new(),
+                state: JobState::Queued,
+                result: None,
+            },
+        );
+        if matches!(decision, Admission::Queue) {
+            t.counters.queued += 1;
+            t.queue.push_back(id);
+        }
+        (id, decision)
+    };
+    let status = match decision {
+        Admission::Queue => "queued",
+        _ => {
+            launch(core, id);
+            "running"
+        }
+    };
+    ObjBuilder::new()
+        .field("ok", true)
+        .field("id", id)
+        .field("status", status)
+        .build()
+}
+
+/// One client connection: a heartbeat-paced read loop over line-delimited
+/// JSON. EOF or a read error is a disconnect, which cancels the
+/// connection's unfinished jobs.
+fn handle_conn(core: Arc<Core>, mut stream: UnixStream, conn: u64) {
+    let beat = heartbeat();
+    let _ = stream.set_read_timeout(Some(beat));
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    'conn: loop {
+        // Drain complete lines first.
+        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let line_bytes: Vec<u8> = buf.drain(..=pos).collect();
+            let line = String::from_utf8_lossy(&line_bytes);
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (reply, action) = handle_request(&core, conn, line);
+            let text = rl_json::to_string(&reply)
+                .unwrap_or_else(|e| format!("{{\"ok\":false,\"error\":\"render: {e}\"}}"));
+            if stream.write_all(format!("{text}\n").as_bytes()).is_err() {
+                break 'conn;
+            }
+            if fault::fires("serve-drop-conn") {
+                // Injected server-side connection drop: exercise the same
+                // cleanup path a client crash takes.
+                break 'conn;
+            }
+            if matches!(action, Action::Close) {
+                break 'conn;
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break, // EOF: client closed or died
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                // Heartbeat tick. Idle connections don't outlive a drain.
+                if core.draining() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+    cancel_conn_jobs(&core, conn);
+}
+
+/// Runs the service until a `shutdown` request or the external `shutdown`
+/// token (the CLI's signal handler) triggers a graceful drain. Returns the
+/// process exit code — 0 for a clean drain.
+///
+/// Per-job metrics shards are absorbed into `registry` (as `job<id>/`
+/// prefixes, in job-id order) and the `serve/*` counters are recorded
+/// there too; the caller flushes the sinks afterwards, so `--stats`,
+/// `--metrics`, `--trace-out`, and `--flame-out` all work for a drained
+/// service exactly as they do for a one-shot check.
+///
+/// # Errors
+///
+/// Returns [`CheckError::Parse`] when the socket cannot be bound.
+pub fn serve(
+    config: ServeConfig,
+    shutdown: CancelToken,
+    registry: Option<&MetricsRegistry>,
+) -> Result<u8, CheckError> {
+    let socket = config.socket.clone();
+    // A stale socket file from a previous run would make bind fail; take it
+    // over (live servers hold the listener, so a *bound* path errors below).
+    if std::path::Path::new(&socket).exists() {
+        let _ = std::fs::remove_file(&socket);
+    }
+    let listener = UnixListener::bind(&socket)
+        .map_err(|e| CheckError::Parse(format!("serve: {socket}: {e}")))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| CheckError::Parse(format!("serve: {socket}: {e}")))?;
+
+    let core = Arc::new(Core {
+        jobs: Mutex::new(Table {
+            next_job: 1,
+            inflight: 0,
+            queue: VecDeque::new(),
+            entries: HashMap::new(),
+            draining: false,
+            counters: ServeCounters::default(),
+        }),
+        changed: Condvar::new(),
+        pool: Pool::with_tracer(config.threads, config.tracer.clone()),
+        cache: config.cache.clone(),
+        tracer: config.tracer.clone(),
+        want_snapshots: registry.is_some(),
+        max_inflight: config.max_inflight_states,
+        queue_cap: config.queue_cap,
+        default_budget: config.job_budget.clone(),
+    });
+
+    eprintln!(
+        "rlcheck: serve: listening on {socket} ({} workers)",
+        config.threads
+    );
+    let beat = heartbeat();
+    let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    let mut next_conn = 1u64;
+    loop {
+        if shutdown.is_cancelled() || core.draining() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let core = Arc::clone(&core);
+                let id = next_conn;
+                next_conn += 1;
+                conns.push(
+                    std::thread::Builder::new()
+                        .name(format!("rl-serve-conn-{id}"))
+                        .spawn(move || handle_conn(core, stream, id))
+                        .expect("spawning a connection thread succeeds"),
+                );
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                std::thread::sleep(beat / 4);
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => {
+                eprintln!("rlcheck: serve: accept: {e}");
+                break;
+            }
+        }
+    }
+
+    // ---- graceful drain -------------------------------------------------
+    eprintln!("rlcheck: serve: draining");
+    {
+        let mut t = core.lock();
+        t.draining = true;
+        // Queued jobs never started; settle them as cancelled.
+        while let Some(id) = t.queue.pop_front() {
+            if let Some(e) = t.entries.get_mut(&id) {
+                e.cancel.cancel();
+                e.state = JobState::Done;
+                let name = e.spec.source.display_name().to_owned();
+                e.result = Some(JobResult {
+                    code: 3,
+                    holds: None,
+                    out: String::new(),
+                    err: format!("rlcheck: [{name}] cancelled before start (drain)\n"),
+                    snapshot: None,
+                });
+                t.counters.completed += 1;
+                t.counters.cancelled += 1;
+            }
+        }
+    }
+    core.changed.notify_all();
+    // Let running jobs finish; past the grace period, cancel them and keep
+    // waiting — their guards notice within one charge interval.
+    let grace_ends = Instant::now() + drain_grace();
+    let mut cancelled_late = false;
+    {
+        let mut t = core.lock();
+        while t.entries.values().any(|e| e.state != JobState::Done) {
+            if !cancelled_late && Instant::now() >= grace_ends {
+                cancelled_late = true;
+                for e in t.entries.values().filter(|e| e.state != JobState::Done) {
+                    e.cancel.cancel();
+                }
+            }
+            t = core
+                .changed
+                .wait_timeout(t, beat)
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .0;
+        }
+    }
+    core.changed.notify_all();
+    for handle in conns {
+        let _ = handle.join();
+    }
+    let _ = std::fs::remove_file(&socket);
+
+    // Fold every job's metrics shard and the service counters into the
+    // parent registry, in job-id (submission) order, so the flushed sinks
+    // are deterministic regardless of completion interleaving.
+    let t = core.lock();
+    if let Some(reg) = registry {
+        let mut ids: Vec<u64> = t.entries.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            if let Some(shard) = t.entries[&id]
+                .result
+                .as_ref()
+                .and_then(|r| r.snapshot.as_ref())
+            {
+                reg.absorb(&format!("job{id}"), shard);
+            }
+        }
+        let c = t.counters;
+        reg.counter("serve/submitted").add(c.submitted);
+        reg.counter("serve/admitted").add(c.admitted);
+        reg.counter("serve/queued").add(c.queued);
+        reg.counter("serve/rejected").add(c.rejected);
+        reg.counter("serve/completed").add(c.completed);
+        reg.counter("serve/panicked").add(c.panicked);
+        reg.counter("serve/cancelled").add(c.cancelled);
+    }
+    let c = t.counters;
+    eprintln!(
+        "rlcheck: serve: drained: {} completed ({} panicked, {} cancelled), {} rejected",
+        c.completed, c.panicked, c.cancelled, c.rejected
+    );
+    Ok(0)
+}

@@ -1,0 +1,152 @@
+//! Property test: the size-budgeted, evicting operation cache is an
+//! invisible optimization. For random systems and formulas, the verdict,
+//! the full report text, and the diagnostics must be bit-for-bit identical
+//! whether a check runs cold (no cache), against an unbounded cache, or
+//! against a tiny cache that evicts on nearly every insert — and the
+//! cache's resident size must never exceed its configured byte budget.
+
+use proptest::prelude::*;
+use relative_liveness::check::{report_check, CheckSpec, SystemSource};
+use relative_liveness::prelude::*;
+
+const SIGMA: [&str; 3] = ["a", "b", "tau"];
+const ATOMS: &[&str] = &["a", "b", "tau"];
+
+/// A random transition system over Σ = {a, b, tau} with ≤ 4 states, in the
+/// `system` text format (the same path the CLI and the service take). The
+/// fixed `s0 tau -> s0` self-loop keeps the behavior set nonempty.
+fn system_text() -> impl Strategy<Value = String> {
+    let n = 4usize;
+    proptest::collection::vec((0..n, 0..SIGMA.len(), 0..n), 1..=12).prop_map(move |trs| {
+        let mut text = String::from("system\nalphabet: a b tau\ninitial: s0\ns0 tau -> s0\n");
+        for (p, a, q) in trs {
+            text.push_str(&format!("s{p} {} -> s{q}\n", SIGMA[a]));
+        }
+        text
+    })
+}
+
+/// A random PLTL formula, generated directly as concrete syntax.
+fn formula_text() -> impl Strategy<Value = String> {
+    let atom = || proptest::sample::select(ATOMS).prop_map(str::to_owned);
+    (atom(), atom(), 0..6u8).prop_map(|(x, y, shape)| match shape {
+        0 => format!("[]<>{x}"),
+        1 => format!("<>[]{x}"),
+        2 => format!("([]<>{x}) && ([]<>{y})"),
+        3 => format!("(<>{x}) || ([]{y})"),
+        4 => format!("!(<>{x})"),
+        _ => format!("({x}) U ({y})"),
+    })
+}
+
+/// Runs the full `check` pipeline once and returns everything observable:
+/// exit code, report text, diagnostics text.
+fn run_once(system: &str, formula: &str, cache: Option<&OpCache>) -> (u8, String, String) {
+    let spec = CheckSpec {
+        source: SystemSource::Inline {
+            name: "prop".to_owned(),
+            text: system.to_owned(),
+        },
+        formula: formula.to_owned(),
+    };
+    let mut guard = Guard::unlimited();
+    if let Some(c) = cache {
+        guard = guard.with_op_cache(c.clone());
+    }
+    let mut out = String::new();
+    let mut err = String::new();
+    let code = report_check(&spec, &guard, &mut out, &mut err);
+    (code, out, err)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn eviction_never_changes_a_verdict(system in system_text(), formula in formula_text()) {
+        let cold = run_once(&system, &formula, None);
+
+        // Unbounded warm cache: second run answers from the table.
+        let unbounded = OpCache::with_limits(None, None);
+        let warm = run_once(&system, &formula, Some(&unbounded));
+        let warm_again = run_once(&system, &formula, Some(&unbounded));
+
+        // A 512-byte budget is below almost every automaton entry, so the
+        // cache is under continuous eviction pressure.
+        let tiny = OpCache::with_limits(None, Some(512));
+        let evicted = run_once(&system, &formula, Some(&tiny));
+        let evicted_again = run_once(&system, &formula, Some(&tiny));
+
+        prop_assert_eq!(&cold, &warm, "unbounded cache changed the outcome");
+        prop_assert_eq!(&cold, &warm_again, "warm hits changed the outcome");
+        prop_assert_eq!(&cold, &evicted, "evicting cache changed the outcome");
+        prop_assert_eq!(&cold, &evicted_again, "post-eviction rerun drifted");
+
+        let budget = tiny.byte_budget().expect("budget configured");
+        prop_assert!(
+            tiny.resident_bytes() <= budget,
+            "resident {} exceeds budget {}",
+            tiny.resident_bytes(),
+            budget
+        );
+        prop_assert!(unbounded.evictions() == 0, "unbounded cache must not evict");
+    }
+}
+
+/// Deterministic companion to the property: a fixed workload against a
+/// small budget must actually evict (so the property above is exercising
+/// the eviction path, not an always-empty cache), hold the budget at every
+/// step, and still replay to identical outcomes.
+#[test]
+fn fixed_workload_evicts_and_replays_identically() {
+    let systems = [
+        "system\nalphabet: a b tau\ninitial: s0\ns0 a -> s1\ns1 b -> s0\ns1 tau -> s1\n",
+        "system\nalphabet: a b tau\ninitial: s0\ns0 a -> s0\ns0 b -> s1\ns1 a -> s2\ns2 tau -> s0\n",
+        "system\nalphabet: a b tau\ninitial: s0\ns0 tau -> s0\ns0 a -> s1\ns1 b -> s1\n",
+    ];
+    let formulas = ["[]<>a", "<>[]b", "([]<>a) && ([]<>b)", "(a) U (b)"];
+    let run_all = |cache: &OpCache| -> Vec<(u8, String, String)> {
+        let mut outcomes = Vec::new();
+        let budget = cache.byte_budget().expect("budgeted cache");
+        for system in &systems {
+            for formula in &formulas {
+                outcomes.push(run_once(system, formula, Some(cache)));
+                assert!(
+                    cache.resident_bytes() <= budget,
+                    "resident {} exceeds budget {} mid-workload",
+                    cache.resident_bytes(),
+                    budget
+                );
+            }
+        }
+        outcomes
+    };
+
+    let first = OpCache::with_limits(None, Some(4096));
+    let second = OpCache::with_limits(None, Some(4096));
+    let a = run_all(&first);
+    let b = run_all(&second);
+    assert_eq!(a, b, "same workload, same budget: identical outcomes");
+    assert_eq!(
+        (first.evictions(), first.resident_bytes(), first.hits()),
+        (second.evictions(), second.resident_bytes(), second.hits()),
+        "cache counters replay deterministically"
+    );
+    assert!(
+        first.evictions() > 0,
+        "a 4 KiB budget must evict under this workload"
+    );
+
+    // The same workload cold (no cache) agrees with both cached runs.
+    let mut i = 0;
+    for system in &systems {
+        for formula in &formulas {
+            assert_eq!(
+                run_once(system, formula, None),
+                a[i],
+                "cold run {i} drifted"
+            );
+            i += 1;
+        }
+    }
+}

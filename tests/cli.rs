@@ -940,3 +940,111 @@ fn panic_mid_check_still_flushes_parseable_sinks() {
     let events = trace_events(&trace);
     assert!(!events.is_empty(), "trace events flushed on exit 101");
 }
+
+#[test]
+#[cfg(unix)]
+fn sigint_oneshot_exits_3_and_flushes_partial_metrics() {
+    let dir = std::env::temp_dir().join("rlcheck-sigint");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let metrics = dir.join("interrupted.jsonl");
+    // A check that would run for minutes: needle24 with a huge budget.
+    let child = Command::new(env!("CARGO_BIN_EXE_rlcheck"))
+        .args([
+            "check",
+            "examples/systems/needle24.ts",
+            "[]<>a",
+            "--timeout",
+            "600",
+            "--metrics",
+            metrics.to_str().expect("utf-8 path"),
+        ])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("rlcheck spawns");
+    // Let it get properly inside the subset construction, then Ctrl-C it.
+    std::thread::sleep(std::time::Duration::from_millis(400));
+    let kill = Command::new("kill")
+        .args(["-INT", &child.id().to_string()])
+        .status()
+        .expect("kill runs");
+    assert!(kill.success());
+    let out = child.wait_with_output().expect("rlcheck exits");
+    // The signal cancels the guard: budget exit, not a hard kill.
+    assert_eq!(out.status.code(), Some(3), "stderr: {}", stderr(&out));
+    let err = stderr(&out);
+    assert!(
+        err.contains("interrupted by signal; partial diagnostics follow"),
+        "{err}"
+    );
+    // The observability sinks still flushed a well-formed partial profile.
+    let text = std::fs::read_to_string(&metrics).expect("metrics flushed after SIGINT");
+    let mut events = Vec::new();
+    for line in text.lines() {
+        let v = rl_json::parse(line).expect("valid JSONL after SIGINT");
+        events.push(str_field_of(&v, "event"));
+    }
+    assert_eq!(events.first().map(String::as_str), Some("meta"));
+    assert_eq!(events.last().map(String::as_str), Some("totals"));
+}
+
+#[test]
+fn cache_bytes_bounds_the_oneshot_cache_without_changing_verdicts() {
+    let dir = std::env::temp_dir().join("rlcheck-cache-bytes");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let metrics = dir.join("bounded.jsonl");
+    let baseline = rlcheck(&["check", "examples/systems/abp.ts", "[]<>deliver"]);
+    assert_eq!(baseline.status.code(), Some(0));
+    let bounded = rlcheck(&[
+        "check",
+        "examples/systems/abp.ts",
+        "[]<>deliver",
+        "--cache-bytes",
+        "2048",
+        "--metrics",
+        metrics.to_str().expect("utf-8 path"),
+    ]);
+    assert_eq!(bounded.status.code(), Some(0));
+    assert_eq!(
+        stdout(&baseline),
+        stdout(&bounded),
+        "a byte-budgeted cache must not change the report"
+    );
+    // The totals counters expose the cache's residency and eviction work,
+    // and the resident figure respects the configured budget.
+    let text = std::fs::read_to_string(&metrics).expect("metrics written");
+    let totals = rl_json::parse(text.lines().last().expect("nonempty")).expect("totals parses");
+    assert_eq!(str_field_of(&totals, "event"), "totals");
+    let counters = totals.get("counters").expect("counters object");
+    let resident = int_field(counters, "opcache/resident_bytes");
+    let evictions = int_field(counters, "opcache/evictions");
+    assert!(
+        resident <= 2048,
+        "resident {resident} exceeds the 2048-byte budget"
+    );
+    assert!(evictions >= 0, "eviction counter is reported");
+    // The --stats footer carries the same two counters.
+    let stats = rlcheck(&[
+        "check",
+        "examples/systems/abp.ts",
+        "[]<>deliver",
+        "--cache-bytes",
+        "2048",
+        "--stats",
+    ]);
+    let footer = stderr(&stats);
+    assert!(footer.contains("opcache/resident_bytes"), "{footer}");
+    assert!(footer.contains("opcache/evictions"), "{footer}");
+}
+
+#[test]
+fn serve_without_a_socket_is_a_usage_error() {
+    let out = rlcheck(&["serve"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        stderr(&out).contains("serve needs --socket"),
+        "{}",
+        stderr(&out)
+    );
+}

@@ -1,0 +1,576 @@
+//! End-to-end tests of `rlcheck serve`: the wire protocol, per-job panic
+//! isolation, admission control, client-disconnect cancellation, graceful
+//! drain, and cache byte-budget enforcement — including the deterministic
+//! `RL_FAULT` fault-injection points.
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use rl_json::{Json, ObjBuilder};
+
+/// A socket/scratch path that is unique per test *and* short enough for
+/// `sun_path` (temp dir + a short name).
+fn scratch(name: &str, ext: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("rl-{name}-{}.{ext}", std::process::id()))
+}
+
+struct Daemon {
+    child: Child,
+    socket: PathBuf,
+    stderr_path: PathBuf,
+}
+
+fn start_daemon(name: &str, extra: &[&str], envs: &[(&str, &str)]) -> Daemon {
+    let socket = scratch(name, "sock");
+    let _ = std::fs::remove_file(&socket);
+    let stderr_path = scratch(name, "err");
+    let stderr_file = std::fs::File::create(&stderr_path).expect("stderr capture file");
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_rlcheck"));
+    cmd.arg("serve")
+        .arg("--socket")
+        .arg(&socket)
+        .args(extra)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::from(stderr_file))
+        // Fast heartbeats and a short drain grace keep the tests snappy.
+        .env("RL_HEARTBEAT_MS", "20")
+        .env("RL_DRAIN_GRACE_MS", "2000");
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let child = cmd.spawn().expect("daemon spawns");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !socket.exists() {
+        assert!(
+            Instant::now() < deadline,
+            "daemon never bound {socket:?}; stderr: {}",
+            std::fs::read_to_string(&stderr_path).unwrap_or_default()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    Daemon {
+        child,
+        socket,
+        stderr_path,
+    }
+}
+
+impl Daemon {
+    fn stderr_text(&self) -> String {
+        std::fs::read_to_string(&self.stderr_path).unwrap_or_default()
+    }
+
+    /// Waits for the process to exit (after a `shutdown` request or a
+    /// signal) and returns its exit code.
+    fn wait_exit(&mut self) -> i32 {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            if let Some(status) = self.child.try_wait().expect("try_wait") {
+                return status.code().unwrap_or(-1);
+            }
+            assert!(
+                Instant::now() < deadline,
+                "daemon did not exit; stderr: {}",
+                self.stderr_text()
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        let _ = std::fs::remove_file(&self.socket);
+    }
+}
+
+struct Client {
+    writer: UnixStream,
+    reader: BufReader<UnixStream>,
+}
+
+fn connect(d: &Daemon) -> Client {
+    let stream = UnixStream::connect(&d.socket).expect("connect to daemon");
+    let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    Client {
+        writer: stream,
+        reader,
+    }
+}
+
+impl Client {
+    fn send(&mut self, line: &str) {
+        writeln!(self.writer, "{line}").expect("request write");
+    }
+
+    /// Reads one reply line; `None` when the server closed the connection.
+    fn try_recv(&mut self) -> Option<Json> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("reply read");
+        if n == 0 {
+            return None;
+        }
+        Some(rl_json::parse(line.trim()).unwrap_or_else(|e| panic!("bad reply {line:?}: {e}")))
+    }
+
+    fn request(&mut self, line: &str) -> Json {
+        self.send(line);
+        self.try_recv()
+            .expect("server closed connection mid-request")
+    }
+
+    /// Blocks (server-side) until job `id` completes; returns the reply.
+    fn wait_job(&mut self, id: i64) -> Json {
+        self.request(&format!("{{\"cmd\":\"wait\",\"id\":{id}}}"))
+    }
+
+    fn stats(&mut self) -> Json {
+        self.request("{\"cmd\":\"stats\"}")
+    }
+
+    fn shutdown(&mut self) -> Json {
+        self.request("{\"cmd\":\"shutdown\"}")
+    }
+}
+
+fn submit_line(fields: &[(&str, Json)]) -> String {
+    let mut b = ObjBuilder::new().field("cmd", "submit");
+    for (k, v) in fields {
+        b = b.field(k, v.clone());
+    }
+    rl_json::to_string(&b.build()).expect("render request")
+}
+
+fn s(v: &str) -> Json {
+    Json::Str(v.to_owned())
+}
+
+fn i(v: i64) -> Json {
+    Json::Int(v)
+}
+
+fn int_field(v: &Json, key: &str) -> i64 {
+    match v.get(key) {
+        Some(Json::Int(n)) => *n,
+        other => panic!("field {key} not an int: {other:?} in {v:?}"),
+    }
+}
+
+fn str_field(v: &Json, key: &str) -> String {
+    match v.get(key) {
+        Some(Json::Str(t)) => t.clone(),
+        other => panic!("field {key} not a string: {other:?} in {v:?}"),
+    }
+}
+
+fn bool_field(v: &Json, key: &str) -> bool {
+    match v.get(key) {
+        Some(Json::Bool(b)) => *b,
+        other => panic!("field {key} not a bool: {other:?} in {v:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+#[test]
+fn serve_runs_jobs_and_drains_cleanly() {
+    let mut d = start_daemon("basic", &["--jobs", "2"], &[]);
+    let mut c = connect(&d);
+
+    // A file-backed job (paths resolve in the daemon's working directory).
+    let r = c.request(&submit_line(&[
+        ("path", s("examples/systems/server.pn")),
+        ("formula", s("[]<>result")),
+    ]));
+    assert!(bool_field(&r, "ok"), "{r:?}");
+    let id1 = int_field(&r, "id");
+    assert_eq!(id1, 1, "job ids are assigned in submission order");
+
+    // An inline job: the daemon needs no shared filesystem with clients.
+    let r = c.request(&submit_line(&[
+        ("system", s("system\nalphabet: go\ninitial: a\na go -> a\n")),
+        ("name", s("wire-loop")),
+        ("formula", s("[]<>go")),
+    ]));
+    assert!(bool_field(&r, "ok"), "{r:?}");
+    let id2 = int_field(&r, "id");
+    assert_eq!(id2, 2);
+
+    let done1 = c.wait_job(id1);
+    assert_eq!(str_field(&done1, "status"), "done");
+    assert_eq!(int_field(&done1, "code"), 0, "{done1:?}");
+    assert!(bool_field(&done1, "holds"));
+    let output = str_field(&done1, "output");
+    assert!(output.contains("rel-live   []<>result: HOLDS"), "{output}");
+
+    let done2 = c.wait_job(id2);
+    assert_eq!(int_field(&done2, "code"), 0, "{done2:?}");
+    assert!(str_field(&done2, "output").contains("=== wire-loop []<>go"));
+
+    // Unknown ids and malformed requests are errors, not disconnects.
+    let bad = c.request("{\"cmd\":\"status\",\"id\":99}");
+    assert!(!bool_field(&bad, "ok"));
+    let bad = c.request("this is not json");
+    assert!(!bool_field(&bad, "ok"));
+
+    let st = c.stats();
+    assert_eq!(int_field(&st, "submitted"), 2);
+    assert_eq!(int_field(&st, "completed"), 2);
+    assert_eq!(int_field(&st, "inflight_states"), 0);
+
+    let ack = c.shutdown();
+    assert_eq!(str_field(&ack, "status"), "draining");
+    assert_eq!(d.wait_exit(), 0, "clean drain exits 0");
+    let err = d.stderr_text();
+    assert!(err.contains("drained"), "stderr: {err}");
+}
+
+/// Span rows (path → states) for jobs `job<id>/...` of a metrics file.
+fn job_spans(metrics: &str) -> Vec<(String, i64)> {
+    let mut spans = Vec::new();
+    for line in metrics.lines() {
+        let v = rl_json::parse(line).unwrap_or_else(|e| panic!("bad metrics line {line:?}: {e}"));
+        if matches!(v.get("event"), Some(Json::Str(e)) if e == "span") {
+            let path = str_field(&v, "path");
+            if path.starts_with("job1/") || path.starts_with("job3/") {
+                spans.push((path, int_field(&v, "states")));
+            }
+        }
+    }
+    spans
+}
+
+#[test]
+fn panicking_job_is_contained_and_siblings_stay_deterministic() {
+    // Two identical daemons; in the second, job 2 is armed to panic on its
+    // worker (value-matched, so pool scheduling cannot change the victim).
+    let m_clean = scratch("panic-clean", "jsonl");
+    let m_fault = scratch("panic-fault", "jsonl");
+    let submit = |c: &mut Client| {
+        for (path, formula) in [
+            ("examples/systems/server.pn", "[]<>result"),
+            ("examples/systems/server_err.pn", "[]<>result"),
+            ("examples/systems/server.pn", "[]<>result"),
+        ] {
+            let r = c.request(&submit_line(&[("path", s(path)), ("formula", s(formula))]));
+            assert!(bool_field(&r, "ok"), "{r:?}");
+        }
+    };
+
+    let mut clean = start_daemon(
+        "panic-a",
+        &["--jobs", "2", "--metrics", m_clean.to_str().unwrap()],
+        &[],
+    );
+    let mut c = connect(&clean);
+    submit(&mut c);
+    let codes: Vec<i64> = (1..=3)
+        .map(|id| int_field(&c.wait_job(id), "code"))
+        .collect();
+    assert_eq!(codes, vec![0, 1, 0], "clean verdicts");
+    c.shutdown();
+    assert_eq!(clean.wait_exit(), 0);
+
+    let mut faulted = start_daemon(
+        "panic-b",
+        &["--jobs", "2", "--metrics", m_fault.to_str().unwrap()],
+        &[("RL_FAULT", "job-panic:2")],
+    );
+    let mut c = connect(&faulted);
+    submit(&mut c);
+    let r1 = c.wait_job(1);
+    let r2 = c.wait_job(2);
+    let r3 = c.wait_job(3);
+    // The poisoned job reports exit 101 with the panic message …
+    assert_eq!(int_field(&r2, "code"), 101, "{r2:?}");
+    assert!(
+        str_field(&r2, "diagnostics").contains("internal panic"),
+        "{r2:?}"
+    );
+    // … while its concurrent siblings finish with their normal verdicts.
+    assert_eq!(int_field(&r1, "code"), 0, "{r1:?}");
+    assert_eq!(int_field(&r3, "code"), 0, "{r3:?}");
+    let st = c.stats();
+    assert_eq!(int_field(&st, "panicked"), 1);
+    assert_eq!(int_field(&st, "completed"), 3);
+    c.shutdown();
+    assert_eq!(
+        faulted.wait_exit(),
+        0,
+        "a panicking job never kills the daemon"
+    );
+
+    // The surviving jobs' deterministic counters are bit-for-bit unchanged
+    // by the sibling panic: same span paths, same state counts.
+    let clean_spans = job_spans(&std::fs::read_to_string(&m_clean).expect("clean metrics"));
+    let fault_spans = job_spans(&std::fs::read_to_string(&m_fault).expect("fault metrics"));
+    assert!(!clean_spans.is_empty(), "metrics record job spans");
+    assert_eq!(clean_spans, fault_spans);
+}
+
+#[test]
+fn client_disconnect_cancels_its_job() {
+    let d = start_daemon("disco", &["--jobs", "1"], &[]);
+
+    // Client A submits a check that would run for minutes …
+    let mut a = connect(&d);
+    let r = a.request(&submit_line(&[
+        ("path", s("examples/systems/needle24.ts")),
+        ("formula", s("[]<>a")),
+        ("timeout_ms", i(120_000)),
+    ]));
+    assert!(bool_field(&r, "ok"), "{r:?}");
+    let id = int_field(&r, "id");
+    assert_eq!(str_field(&r, "status"), "running");
+    // … and vanishes without cancelling.
+    drop(a);
+
+    // The disconnect propagates to the job's cancel token within one
+    // heartbeat; the budget frees and the job settles as cancelled (3).
+    let mut b = connect(&d);
+    let done = b.wait_job(id);
+    assert_eq!(str_field(&done, "status"), "done");
+    assert_eq!(int_field(&done, "code"), 3, "{done:?}");
+    let st = b.stats();
+    assert_eq!(int_field(&st, "cancelled"), 1);
+    assert_eq!(int_field(&st, "inflight_states"), 0, "budget freed");
+}
+
+#[test]
+fn admission_queues_over_ceiling_then_admits() {
+    let d = start_daemon(
+        "queue",
+        &[
+            "--jobs",
+            "1",
+            "--max-inflight-states",
+            "300000",
+            "--queue-cap",
+            "8",
+        ],
+        &[],
+    );
+    let mut c = connect(&d);
+
+    // Job 1 occupies 200k of the 300k ceiling until its budget trips.
+    let r1 = c.request(&submit_line(&[
+        ("path", s("examples/systems/needle24.ts")),
+        ("formula", s("[]<>a")),
+        ("max_states", i(200_000)),
+        ("timeout_ms", i(2_000)),
+    ]));
+    assert_eq!(str_field(&r1, "status"), "running", "{r1:?}");
+
+    // Job 2 would overflow the ceiling: it queues instead of OOMing.
+    let r2 = c.request(&submit_line(&[
+        ("path", s("examples/systems/clock.ts")),
+        ("formula", s("[]<>tick")),
+        ("max_states", i(200_000)),
+    ]));
+    assert!(bool_field(&r2, "ok"), "{r2:?}");
+    assert_eq!(str_field(&r2, "status"), "queued", "{r2:?}");
+
+    // Once job 1 releases its weight, job 2 is admitted and completes.
+    let done1 = c.wait_job(int_field(&r1, "id"));
+    assert_eq!(int_field(&done1, "code"), 3, "needle trips its budget");
+    let done2 = c.wait_job(int_field(&r2, "id"));
+    let code2 = int_field(&done2, "code");
+    assert!(
+        code2 == 0 || code2 == 1,
+        "clock verdict, not a budget trip: {done2:?}"
+    );
+
+    let st = c.stats();
+    assert_eq!(int_field(&st, "queued"), 1);
+    assert_eq!(int_field(&st, "admitted"), 2);
+    assert_eq!(int_field(&st, "rejected"), 0);
+}
+
+#[test]
+fn admission_rejects_oversize_jobs_and_full_queues() {
+    let d = start_daemon(
+        "reject",
+        &[
+            "--jobs",
+            "1",
+            "--max-inflight-states",
+            "300000",
+            "--queue-cap",
+            "0",
+        ],
+        &[],
+    );
+    let mut c = connect(&d);
+
+    // A declared budget larger than the whole ceiling can never run.
+    let r = c.request(&submit_line(&[
+        ("path", s("examples/systems/clock.ts")),
+        ("formula", s("[]<>tick")),
+        ("max_states", i(500_000)),
+    ]));
+    assert!(!bool_field(&r, "ok"));
+    assert_eq!(str_field(&r, "status"), "rejected");
+    assert!(str_field(&r, "error").contains("ceiling"), "{r:?}");
+
+    // Occupy most of the ceiling …
+    let r1 = c.request(&submit_line(&[
+        ("path", s("examples/systems/needle24.ts")),
+        ("formula", s("[]<>a")),
+        ("max_states", i(250_000)),
+        ("timeout_ms", i(2_000)),
+    ]));
+    assert_eq!(str_field(&r1, "status"), "running", "{r1:?}");
+    // … and with a zero-length queue the next submit is bounced outright.
+    let r2 = c.request(&submit_line(&[
+        ("path", s("examples/systems/clock.ts")),
+        ("formula", s("[]<>tick")),
+        ("max_states", i(100_000)),
+    ]));
+    assert!(!bool_field(&r2, "ok"));
+    assert_eq!(str_field(&r2, "status"), "rejected");
+    assert!(str_field(&r2, "error").contains("queue full"), "{r2:?}");
+
+    let st = c.stats();
+    assert_eq!(int_field(&st, "rejected"), 2);
+}
+
+#[test]
+fn sigterm_drains_and_flushes_parseable_sinks() {
+    let metrics = scratch("sigterm", "jsonl");
+    let mut d = start_daemon(
+        "sigterm",
+        &["--jobs", "2", "--metrics", metrics.to_str().unwrap()],
+        &[],
+    );
+    let mut c = connect(&d);
+    for (path, formula) in [
+        ("examples/systems/server.pn", "[]<>result"),
+        ("examples/systems/server_err.pn", "[]<>result"),
+    ] {
+        let r = c.request(&submit_line(&[("path", s(path)), ("formula", s(formula))]));
+        assert!(bool_field(&r, "ok"), "{r:?}");
+    }
+    c.wait_job(1);
+    c.wait_job(2);
+
+    // SIGTERM → graceful drain → sinks flushed → exit 0.
+    let pid = d.child.id().to_string();
+    let killed = Command::new("kill")
+        .args(["-TERM", &pid])
+        .status()
+        .expect("kill runs");
+    assert!(killed.success());
+    assert_eq!(d.wait_exit(), 0, "stderr: {}", d.stderr_text());
+    assert!(d.stderr_text().contains("drained"), "{}", d.stderr_text());
+
+    // Every line of the metrics file parses; meta first, totals last, with
+    // per-job spans and the service counters in between.
+    let text = std::fs::read_to_string(&metrics).expect("metrics flushed");
+    let lines: Vec<Json> = text
+        .lines()
+        .map(|l| rl_json::parse(l).unwrap_or_else(|e| panic!("bad line {l:?}: {e}")))
+        .collect();
+    assert!(lines.len() >= 3, "metrics has content: {text}");
+    assert_eq!(str_field(&lines[0], "event"), "meta");
+    let totals = lines.last().expect("nonempty");
+    assert_eq!(str_field(totals, "event"), "totals");
+    let counters = totals.field("counters").expect("counters object");
+    assert_eq!(int_field(counters, "serve/submitted"), 2);
+    assert_eq!(int_field(counters, "serve/completed"), 2);
+    assert!(lines
+        .iter()
+        .any(|v| matches!(v.get("path"), Some(Json::Str(p)) if p.starts_with("job1"))));
+
+    // The offline renderer accepts the drained file.
+    let report = Command::new(env!("CARGO_BIN_EXE_rlcheck"))
+        .args(["report", metrics.to_str().unwrap()])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("report runs");
+    assert_eq!(report.status.code(), Some(0));
+}
+
+#[test]
+fn soak_cache_never_exceeds_byte_budget() {
+    const BUDGET: i64 = 16_384;
+    let d = start_daemon("soak", &["--jobs", "2", "--cache-bytes", "16384"], &[]);
+    let mut c = connect(&d);
+    let cases = [
+        ("examples/systems/server.pn", "[]<>result", 0i64),
+        ("examples/systems/server_err.pn", "[]<>result", 1),
+        ("examples/systems/clock.ts", "[]<>tick", 0),
+    ];
+    let expected_code = |id: i64| cases[(id as usize - 1) % cases.len()].2;
+
+    // 100 jobs in waves of 10; the shared evicting cache must never hold
+    // more than its byte budget, and verdicts must stay stable throughout.
+    let mut next = 1i64;
+    for _wave in 0..10 {
+        let first = next;
+        for _ in 0..10 {
+            let (path, formula, _) = cases[(next as usize - 1) % cases.len()];
+            let r = c.request(&submit_line(&[("path", s(path)), ("formula", s(formula))]));
+            assert!(bool_field(&r, "ok"), "{r:?}");
+            assert_eq!(int_field(&r, "id"), next);
+            next += 1;
+        }
+        for id in first..next {
+            let done = c.wait_job(id);
+            assert_eq!(
+                int_field(&done, "code"),
+                expected_code(id),
+                "job {id} verdict drifted under eviction: {done:?}"
+            );
+        }
+        let st = c.stats();
+        let resident = int_field(&st, "cache_resident_bytes");
+        assert!(
+            resident <= BUDGET,
+            "cache exceeded its budget mid-soak: {resident} > {BUDGET}"
+        );
+    }
+    let st = c.stats();
+    assert_eq!(int_field(&st, "completed"), 100);
+    assert!(
+        int_field(&st, "cache_evictions") > 0,
+        "a 16 KiB budget must evict during a 100-job soak: {st:?}"
+    );
+}
+
+#[test]
+fn injected_connection_drop_cancels_like_a_real_disconnect() {
+    // The server-side fault point severs the connection after the second
+    // reply; the submitted job must be cancelled exactly as if the client
+    // had crashed.
+    let d = start_daemon(
+        "dropconn",
+        &["--jobs", "1"],
+        &[("RL_FAULT", "serve-drop-conn:2")],
+    );
+    let mut a = connect(&d);
+    let r = a.request(&submit_line(&[
+        ("path", s("examples/systems/needle24.ts")),
+        ("formula", s("[]<>a")),
+        ("timeout_ms", i(120_000)),
+    ]));
+    let id = int_field(&r, "id");
+    let _ = a.request("{\"cmd\":\"stats\"}"); // second reply, then the drop
+    assert!(
+        a.try_recv().is_none(),
+        "connection should be severed after the armed reply"
+    );
+
+    let mut b = connect(&d);
+    let done = b.wait_job(id);
+    assert_eq!(int_field(&done, "code"), 3, "{done:?}");
+    let st = b.stats();
+    assert_eq!(int_field(&st, "cancelled"), 1);
+}

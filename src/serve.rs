@@ -20,6 +20,12 @@
 //! * **Client failure** — a dropped connection cancels that client's
 //!   unfinished jobs through their [`CancelToken`]s within one heartbeat,
 //!   so abandoned work frees its budget.
+//! * **Result retention** — `wait` is a consuming handoff: delivering a
+//!   result reaps the job record. Undelivered results are reaped when
+//!   their submitting connection closes, or after `RL_RESULT_TTL_MS`
+//!   (default 10 min) for orphans, so a resident service's job table
+//!   stays bounded no matter how many jobs it ever served. Metrics
+//!   shards are captured at completion and outlive the records.
 //! * **Graceful drain** — a `shutdown` request or SIGINT/SIGTERM (the CLI
 //!   wires the signal token) stops admission, cancels queued jobs, lets
 //!   running jobs finish (cancelling them after a grace period), absorbs
@@ -90,6 +96,18 @@ fn drain_grace() -> Duration {
     Duration::from_millis(ms)
 }
 
+/// How long an undelivered result is retained for `status`/`wait` pickup
+/// once its job is done. The accept loop sweeps expired records so a
+/// resident service's job table cannot grow without bound even when
+/// clients never collect. `RL_RESULT_TTL_MS` overrides, for tests.
+fn result_ttl() -> Duration {
+    let ms = std::env::var("RL_RESULT_TTL_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(600_000u64);
+    Duration::from_millis(ms.max(1))
+}
+
 /// Lifecycle of one submitted job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum JobState {
@@ -137,6 +155,8 @@ struct JobRecord {
     cancel: CancelToken,
     state: JobState,
     result: Option<JobResult>,
+    /// When the job settled — starts the undelivered-result TTL clock.
+    done_at: Option<Instant>,
 }
 
 /// Monotonic service counters, reported by `stats` and folded into the
@@ -150,6 +170,9 @@ struct ServeCounters {
     completed: u64,
     panicked: u64,
     cancelled: u64,
+    /// High-water mark of the in-flight state budget — the direct witness
+    /// that admission never overcommitted the ceiling.
+    peak_inflight: u64,
 }
 
 /// The mutable half of the server, behind one mutex.
@@ -160,6 +183,11 @@ struct Table {
     /// Job ids waiting for admission, in submission order.
     queue: VecDeque<u64>,
     entries: HashMap<u64, JobRecord>,
+    /// Metrics shards of settled jobs, in completion order. Kept apart
+    /// from `entries` because job records are reaped once their result is
+    /// delivered, while the shards must survive until the drain absorbs
+    /// them (sorted by job id) into the parent registry.
+    shards: Vec<(u64, RegistrySnapshot)>,
     draining: bool,
     counters: ServeCounters,
 }
@@ -230,21 +258,42 @@ fn admission_decision(t: &Table, core: &Core, weight: u64) -> Admission {
     }
 }
 
-/// Marks `id` running (charging its weight) and hands it to the pool.
-/// The table lock must NOT be held.
-fn launch(core: &Arc<Core>, id: u64) {
-    {
-        let mut t = core.lock();
-        let Some(e) = t.entries.get_mut(&id) else {
-            return;
-        };
-        let weight = e.weight;
+/// Flips `id` to `Running` and charges its weight against the in-flight
+/// budget. Must run in the SAME lock scope as the decision to admit:
+/// charging under a later, separate lock acquisition would let concurrent
+/// submits — or the re-admission loop itself — judge the ceiling against
+/// a stale in-flight sum and overcommit it many times over.
+fn charge_locked(t: &mut Table, id: u64) {
+    if let Some(e) = t.entries.get_mut(&id) {
         e.state = JobState::Running;
-        t.inflight += weight;
+        t.inflight += e.weight;
         t.counters.admitted += 1;
+        t.counters.peak_inflight = t.counters.peak_inflight.max(t.inflight);
     }
+}
+
+/// Hands an already-charged (`Running`) job to the pool. The table lock
+/// must NOT be held.
+fn spawn_job(core: &Arc<Core>, id: u64) {
     let worker_core = Arc::clone(core);
     core.pool.execute(move || run_job(&worker_core, id));
+}
+
+/// Marks `id` done with `result` under the table lock: moves the job's
+/// metrics shard to the drain-ordered shard list, stamps the retention
+/// clock, and counts the completion.
+fn settle_locked(t: &mut Table, id: u64, mut result: JobResult) {
+    if !t.entries.contains_key(&id) {
+        return;
+    }
+    if let Some(shard) = result.snapshot.take() {
+        t.shards.push((id, shard));
+    }
+    let e = t.entries.get_mut(&id).expect("presence checked above");
+    e.state = JobState::Done;
+    e.done_at = Some(Instant::now());
+    e.result = Some(result);
+    t.counters.completed += 1;
 }
 
 /// Executes one job on a pool worker: builds the per-job guard, runs the
@@ -310,18 +359,16 @@ fn run_job(core: &Arc<Core>, id: u64) {
 /// Records a finished job, releases its admission weight, and admits as
 /// many queued jobs as now fit.
 fn complete(core: &Arc<Core>, id: u64, result: JobResult, was_cancelled: bool) {
-    let mut to_launch = Vec::new();
+    let mut to_spawn = Vec::new();
     {
         let mut t = core.lock();
-        let Some(e) = t.entries.get_mut(&id) else {
+        let Some(e) = t.entries.get(&id) else {
             return;
         };
         let weight = e.weight;
         let code = result.code;
-        e.state = JobState::Done;
-        e.result = Some(result);
+        settle_locked(&mut t, id, result);
         t.inflight = t.inflight.saturating_sub(weight);
-        t.counters.completed += 1;
         if code == 101 {
             t.counters.panicked += 1;
         }
@@ -329,24 +376,36 @@ fn complete(core: &Arc<Core>, id: u64, result: JobResult, was_cancelled: bool) {
             t.counters.cancelled += 1;
         }
         // FIFO admission from the queue, head first, while capacity lasts.
+        // Each admitted job is charged HERE, in this lock scope, so the
+        // next head is judged against a budget that already includes the
+        // jobs admitted this round — only the pool handoff is deferred.
+        // Charging later would admit every queued job that individually
+        // fits and overcommit the ceiling by the queue depth.
         while let Some(&head) = t.queue.front() {
-            let fits = match (core.max_inflight, t.entries.get(&head)) {
-                (_, None) => true, // stale id; drop it
-                (None, Some(_)) => true,
-                (Some(cap), Some(h)) => t.inflight + h.weight <= cap,
-            };
-            if !fits || t.draining {
+            if t.draining {
                 break;
             }
-            t.queue.pop_front();
-            if t.entries.contains_key(&head) {
-                to_launch.push(head);
+            match t.entries.get(&head) {
+                None => {
+                    t.queue.pop_front(); // stale id; drop it
+                }
+                Some(h) => {
+                    let fits = core
+                        .max_inflight
+                        .is_none_or(|cap| t.inflight + h.weight <= cap);
+                    if !fits {
+                        break;
+                    }
+                    t.queue.pop_front();
+                    charge_locked(&mut t, head);
+                    to_spawn.push(head);
+                }
             }
         }
     }
     core.changed.notify_all();
-    for id in to_launch {
-        launch(core, id);
+    for id in to_spawn {
+        spawn_job(core, id);
     }
 }
 
@@ -371,12 +430,16 @@ fn cancel_conn_jobs(core: &Arc<Core>, conn: u64) {
         }
         // Queued jobs never reached a worker; finish them here so waiters
         // and the drain see them settle.
-        for id in &queued_now_dead {
-            t.queue.retain(|q| q != id);
-            if let Some(e) = t.entries.get_mut(id) {
-                e.state = JobState::Done;
-                let name = e.spec.source.display_name().to_owned();
-                e.result = Some(JobResult {
+        for id in queued_now_dead {
+            t.queue.retain(|q| *q != id);
+            let Some(e) = t.entries.get(&id) else {
+                continue;
+            };
+            let name = e.spec.source.display_name().to_owned();
+            settle_locked(
+                &mut t,
+                id,
+                JobResult {
                     code: 3,
                     holds: None,
                     out: String::new(),
@@ -384,11 +447,16 @@ fn cancel_conn_jobs(core: &Arc<Core>, conn: u64) {
                         "rlcheck: [{name}] cancelled before start (client disconnected)\n"
                     ),
                     snapshot: None,
-                });
-                t.counters.completed += 1;
-                t.counters.cancelled += 1;
-            }
+                },
+            );
+            t.counters.cancelled += 1;
         }
+        // Results this connection finished but never collected can only
+        // rot now that it is gone; reap them instead of waiting out the
+        // TTL. Jobs it leaves Running settle later and stay retrievable
+        // (another client may `wait` them) until delivery or expiry.
+        t.entries
+            .retain(|_, e| e.conn != conn || e.state != JobState::Done);
     }
     core.changed.notify_all();
 }
@@ -456,17 +524,26 @@ fn handle_request(core: &Arc<Core>, conn: u64, line: &str) -> (Json, Action) {
                 return (error_reply("wait needs `id`"), Action::Continue);
             };
             let mut t = core.lock();
-            if !t.entries.contains_key(&id) {
-                return (error_reply(format!("no such job {id}")), Action::Continue);
-            }
-            while t.entries[&id].state != JobState::Done {
+            loop {
+                match t.entries.get(&id) {
+                    // Unknown, already delivered, or reaped mid-wait.
+                    None => return (error_reply(format!("no such job {id}")), Action::Continue),
+                    Some(e) if e.state == JobState::Done => break,
+                    Some(_) => {}
+                }
                 t = core
                     .changed
                     .wait_timeout(t, heartbeat())
                     .unwrap_or_else(std::sync::PoisonError::into_inner)
                     .0;
             }
-            (status_reply(&t, id), Action::Continue)
+            // Delivery consumes the record: `wait` is the result handoff
+            // (at most one client receives it), and reaping here is what
+            // keeps a long-lived daemon's job table bounded. The metrics
+            // shard already moved to the drain list at completion.
+            let reply = status_reply(&t, id);
+            t.entries.remove(&id);
+            (reply, Action::Continue)
         }
         "cancel" => {
             let Some(id) = u64_field(&v, "id") else {
@@ -521,6 +598,7 @@ fn stats_reply(core: &Arc<Core>) -> Json {
         .field("panicked", c.panicked)
         .field("cancelled", c.cancelled)
         .field("inflight_states", inflight)
+        .field("peak_inflight_states", c.peak_inflight)
         .field("queue_depth", queue_depth)
         .field("draining", draining);
     if let Some(cache) = &core.cache {
@@ -570,8 +648,6 @@ fn handle_submit(core: &Arc<Core>, conn: u64, v: &Json) -> Json {
         }
         let id = t.next_job;
         t.next_job += 1;
-        // Inserted as Queued either way; `launch` flips admitted jobs to
-        // Running and charges their weight under the same lock discipline.
         t.entries.insert(
             id,
             JobRecord {
@@ -582,18 +658,25 @@ fn handle_submit(core: &Arc<Core>, conn: u64, v: &Json) -> Json {
                 cancel: CancelToken::new(),
                 state: JobState::Queued,
                 result: None,
+                done_at: None,
             },
         );
+        // An admitted job is charged in the SAME lock scope as the
+        // admission decision — deferring the charge to a later lock
+        // acquisition would let a concurrent submit read the stale
+        // in-flight sum and be admitted into the same capacity.
         if matches!(decision, Admission::Queue) {
             t.counters.queued += 1;
             t.queue.push_back(id);
+        } else {
+            charge_locked(&mut t, id);
         }
         (id, decision)
     };
     let status = match decision {
         Admission::Queue => "queued",
         _ => {
-            launch(core, id);
+            spawn_job(core, id);
             "running"
         }
     };
@@ -610,6 +693,11 @@ fn handle_submit(core: &Arc<Core>, conn: u64, v: &Json) -> Json {
 fn handle_conn(core: Arc<Core>, mut stream: UnixStream, conn: u64) {
     let beat = heartbeat();
     let _ = stream.set_read_timeout(Some(beat));
+    // A client that stops reading (full socket buffer) must not pin this
+    // thread in `write_all` forever — the drain joins every connection
+    // thread, so one stalled reader would hang graceful shutdown. A write
+    // that cannot make progress within the drain grace is a disconnect.
+    let _ = stream.set_write_timeout(Some(drain_grace()));
     let mut buf: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 4096];
     'conn: loop {
@@ -671,10 +759,24 @@ pub fn serve(
     registry: Option<&MetricsRegistry>,
 ) -> Result<u8, CheckError> {
     let socket = config.socket.clone();
-    // A stale socket file from a previous run would make bind fail; take it
-    // over (live servers hold the listener, so a *bound* path errors below).
+    // A leftover socket file is either stale (its server died — safe to
+    // take over) or live (unlinking it would silently orphan a running
+    // server: still up, no longer reachable). Probe it: a successful
+    // connect means a server answered, so refuse to start; ECONNREFUSED
+    // means nobody is accepting, so the file is stale and removable.
     if std::path::Path::new(&socket).exists() {
-        let _ = std::fs::remove_file(&socket);
+        match UnixStream::connect(&socket) {
+            Ok(_) => {
+                return Err(CheckError::Parse(format!(
+                    "serve: {socket}: a server is already listening on this socket"
+                )));
+            }
+            Err(e) if e.kind() == ErrorKind::ConnectionRefused => {
+                let _ = std::fs::remove_file(&socket);
+            }
+            Err(e) if e.kind() == ErrorKind::NotFound => {} // raced away
+            Err(_) => {} // leave the file; bind below reports the problem
+        }
     }
     let listener = UnixListener::bind(&socket)
         .map_err(|e| CheckError::Parse(format!("serve: {socket}: {e}")))?;
@@ -688,6 +790,7 @@ pub fn serve(
             inflight: 0,
             queue: VecDeque::new(),
             entries: HashMap::new(),
+            shards: Vec::new(),
             draining: false,
             counters: ServeCounters::default(),
         }),
@@ -706,11 +809,24 @@ pub fn serve(
         config.threads
     );
     let beat = heartbeat();
+    let ttl = result_ttl();
+    let sweep_every = beat.max(ttl / 4);
+    let mut last_sweep = Instant::now();
     let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
     let mut next_conn = 1u64;
     loop {
         if shutdown.is_cancelled() || core.draining() {
             break;
+        }
+        // Reap expired undelivered results (their metrics shards already
+        // live on the drain list), bounding the table even when clients
+        // submit and never collect.
+        if last_sweep.elapsed() >= sweep_every {
+            last_sweep = Instant::now();
+            let mut t = core.lock();
+            t.entries.retain(|_, e| {
+                e.state != JobState::Done || e.done_at.is_none_or(|at| at.elapsed() < ttl)
+            });
         }
         match listener.accept() {
             Ok((stream, _)) => {
@@ -742,20 +858,23 @@ pub fn serve(
         t.draining = true;
         // Queued jobs never started; settle them as cancelled.
         while let Some(id) = t.queue.pop_front() {
-            if let Some(e) = t.entries.get_mut(&id) {
-                e.cancel.cancel();
-                e.state = JobState::Done;
-                let name = e.spec.source.display_name().to_owned();
-                e.result = Some(JobResult {
+            let Some(e) = t.entries.get(&id) else {
+                continue;
+            };
+            e.cancel.cancel();
+            let name = e.spec.source.display_name().to_owned();
+            settle_locked(
+                &mut t,
+                id,
+                JobResult {
                     code: 3,
                     holds: None,
                     out: String::new(),
                     err: format!("rlcheck: [{name}] cancelled before start (drain)\n"),
                     snapshot: None,
-                });
-                t.counters.completed += 1;
-                t.counters.cancelled += 1;
-            }
+                },
+            );
+            t.counters.cancelled += 1;
         }
     }
     core.changed.notify_all();
@@ -787,19 +906,14 @@ pub fn serve(
 
     // Fold every job's metrics shard and the service counters into the
     // parent registry, in job-id (submission) order, so the flushed sinks
-    // are deterministic regardless of completion interleaving.
-    let t = core.lock();
+    // are deterministic regardless of completion interleaving. The shards
+    // were captured at completion time — job records themselves may be
+    // long reaped by result delivery or the TTL sweep.
+    let mut t = core.lock();
+    t.shards.sort_by_key(|&(id, _)| id);
     if let Some(reg) = registry {
-        let mut ids: Vec<u64> = t.entries.keys().copied().collect();
-        ids.sort_unstable();
-        for id in ids {
-            if let Some(shard) = t.entries[&id]
-                .result
-                .as_ref()
-                .and_then(|r| r.snapshot.as_ref())
-            {
-                reg.absorb(&format!("job{id}"), shard);
-            }
+        for (id, shard) in &t.shards {
+            reg.absorb(&format!("job{id}"), shard);
         }
         let c = t.counters;
         reg.counter("serve/submitted").add(c.submitted);
@@ -809,6 +923,8 @@ pub fn serve(
         reg.counter("serve/completed").add(c.completed);
         reg.counter("serve/panicked").add(c.panicked);
         reg.counter("serve/cancelled").add(c.cancelled);
+        reg.counter("serve/peak_inflight_states")
+            .add(c.peak_inflight);
     }
     let c = t.counters;
     eprintln!(

@@ -215,6 +215,11 @@ fn serve_runs_jobs_and_drains_cleanly() {
     assert_eq!(int_field(&done2, "code"), 0, "{done2:?}");
     assert!(str_field(&done2, "output").contains("=== wire-loop []<>go"));
 
+    // Delivery consumes the record: `wait` is a one-shot handoff, and
+    // reaping delivered jobs is what keeps the resident table bounded.
+    let gone = c.request("{\"cmd\":\"status\",\"id\":1}");
+    assert!(!bool_field(&gone, "ok"), "{gone:?}");
+
     // Unknown ids and malformed requests are errors, not disconnects.
     let bad = c.request("{\"cmd\":\"status\",\"id\":99}");
     assert!(!bool_field(&bad, "ok"));
@@ -265,9 +270,20 @@ fn panicking_job_is_contained_and_siblings_stay_deterministic() {
         }
     };
 
+    // `--no-op-cache`: jobs 1 and 3 are the same check, and span charge
+    // attribution under a shared cache depends on which of them computes
+    // an op first (the other hits the cache) — racy by design, see
+    // DESIGN.md §11. The isolation claim under test needs per-job spans
+    // that don't depend on pool scheduling.
     let mut clean = start_daemon(
         "panic-a",
-        &["--jobs", "2", "--metrics", m_clean.to_str().unwrap()],
+        &[
+            "--jobs",
+            "2",
+            "--no-op-cache",
+            "--metrics",
+            m_clean.to_str().unwrap(),
+        ],
         &[],
     );
     let mut c = connect(&clean);
@@ -281,7 +297,13 @@ fn panicking_job_is_contained_and_siblings_stay_deterministic() {
 
     let mut faulted = start_daemon(
         "panic-b",
-        &["--jobs", "2", "--metrics", m_fault.to_str().unwrap()],
+        &[
+            "--jobs",
+            "2",
+            "--no-op-cache",
+            "--metrics",
+            m_fault.to_str().unwrap(),
+        ],
         &[("RL_FAULT", "job-panic:2")],
     );
     let mut c = connect(&faulted);
@@ -392,6 +414,65 @@ fn admission_queues_over_ceiling_then_admits() {
     assert_eq!(int_field(&st, "queued"), 1);
     assert_eq!(int_field(&st, "admitted"), 2);
     assert_eq!(int_field(&st, "rejected"), 0);
+}
+
+#[test]
+fn completion_admits_queued_jobs_only_up_to_capacity() {
+    let d = start_daemon(
+        "fifo-cap",
+        &[
+            "--jobs",
+            "2",
+            "--max-inflight-states",
+            "300000",
+            "--queue-cap",
+            "8",
+        ],
+        &[],
+    );
+    let mut c = connect(&d);
+
+    // Job 1 briefly holds 200k of the 300k ceiling.
+    let r1 = c.request(&submit_line(&[
+        ("path", s("examples/systems/needle24.ts")),
+        ("formula", s("[]<>a")),
+        ("max_states", i(200_000)),
+        ("timeout_ms", i(1_000)),
+    ]));
+    assert_eq!(str_field(&r1, "status"), "running", "{r1:?}");
+
+    // Jobs 2 and 3 declare 200k each and queue behind it. When job 1
+    // releases its weight, only ONE of them fits: admitting every queued
+    // job that individually fits would put 400k — 133% of the ceiling —
+    // in flight at once.
+    let mut ids = Vec::new();
+    for _ in 0..2 {
+        let r = c.request(&submit_line(&[
+            ("path", s("examples/systems/needle24.ts")),
+            ("formula", s("[]<>a")),
+            ("max_states", i(200_000)),
+            ("timeout_ms", i(120_000)),
+        ]));
+        assert_eq!(str_field(&r, "status"), "queued", "{r:?}");
+        ids.push(int_field(&r, "id"));
+    }
+
+    c.wait_job(int_field(&r1, "id"));
+    // Settle the stragglers one at a time; each completion admits the
+    // next queued job, never more than capacity allows.
+    for id in ids {
+        let r = c.request(&format!("{{\"cmd\":\"cancel\",\"id\":{id}}}"));
+        assert!(bool_field(&r, "ok"), "{r:?}");
+        let done = c.wait_job(id);
+        assert_eq!(int_field(&done, "code"), 3, "{done:?}");
+    }
+
+    let st = c.stats();
+    assert_eq!(int_field(&st, "admitted"), 3);
+    assert_eq!(int_field(&st, "queued"), 2);
+    // The high-water mark proves the ceiling was never overcommitted:
+    // the three 200k jobs ran strictly one at a time.
+    assert_eq!(int_field(&st, "peak_inflight_states"), 200_000, "{st:?}");
 }
 
 #[test]
@@ -543,6 +624,90 @@ fn soak_cache_never_exceeds_byte_budget() {
         int_field(&st, "cache_evictions") > 0,
         "a 16 KiB budget must evict during a 100-job soak: {st:?}"
     );
+}
+
+/// Polls `status` until the predicate holds or the deadline passes.
+fn poll_status(c: &mut Client, id: i64, what: &str, pred: impl Fn(&Json) -> bool) -> Json {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let r = c.request(&format!("{{\"cmd\":\"status\",\"id\":{id}}}"));
+        if pred(&r) {
+            return r;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "job {id} never became {what}: {r:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn undelivered_results_are_reaped_after_ttl() {
+    let d = start_daemon("ttl", &["--jobs", "1"], &[("RL_RESULT_TTL_MS", "50")]);
+    let mut c = connect(&d);
+    let r = c.request(&submit_line(&[
+        ("path", s("examples/systems/server.pn")),
+        ("formula", s("[]<>result")),
+    ]));
+    let id = int_field(&r, "id");
+
+    // `status` is a non-consuming poll: the record survives it …
+    poll_status(&mut c, id, "done", |r| {
+        bool_field(r, "ok") && r.get("code").is_some()
+    });
+    // … but an uncollected result outlives its TTL by at most one sweep,
+    // so a daemon whose clients never `wait` cannot leak job records.
+    poll_status(&mut c, id, "reaped", |r| !bool_field(r, "ok"));
+    let st = c.stats();
+    assert_eq!(int_field(&st, "completed"), 1, "counters survive the reap");
+}
+
+#[test]
+fn disconnect_reaps_the_clients_undelivered_results() {
+    let d = start_daemon("reap", &["--jobs", "1"], &[]);
+    let mut a = connect(&d);
+    let r = a.request(&submit_line(&[
+        ("path", s("examples/systems/server.pn")),
+        ("formula", s("[]<>result")),
+    ]));
+    let id = int_field(&r, "id");
+    // The job finishes while A is connected, but A never waits …
+    poll_status(&mut a, id, "done", |r| {
+        bool_field(r, "ok") && r.get("code").is_some()
+    });
+    drop(a);
+
+    // … so the result can never be delivered to it; the disconnect reaps
+    // the record (within one heartbeat) instead of waiting out the TTL.
+    let mut b = connect(&d);
+    poll_status(&mut b, id, "reaped", |r| !bool_field(r, "ok"));
+    let st = b.stats();
+    assert_eq!(int_field(&st, "completed"), 1);
+    assert_eq!(int_field(&st, "cancelled"), 0, "the job finished normally");
+}
+
+#[test]
+fn second_server_on_a_live_socket_is_refused() {
+    let mut d = start_daemon("busy", &[], &[]);
+
+    // A second server on the same socket must refuse to start — silently
+    // unlinking a live socket would orphan the first server (running but
+    // unreachable) — and must leave the incumbent untouched.
+    let out = Command::new(env!("CARGO_BIN_EXE_rlcheck"))
+        .args(["serve", "--socket", d.socket.to_str().unwrap()])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("second server runs");
+    assert!(!out.status.success(), "second bind must fail");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("already listening"), "stderr: {err}");
+
+    let mut c = connect(&d);
+    let st = c.stats();
+    assert!(bool_field(&st, "ok"), "incumbent still answers: {st:?}");
+    c.shutdown();
+    assert_eq!(d.wait_exit(), 0);
 }
 
 #[test]

@@ -31,6 +31,7 @@
 //! | `check-panic`     | counted    | the n-th guarded check panics mid-pipeline      |
 //! | `job-panic`       | value      | the serve job with id `n` panics on its worker  |
 //! | `serve-drop-conn` | counted    | the server drops the n-th request's connection  |
+//! | `serve-drop-sub`  | counted    | the n-th subscriber stream flush severs the conn|
 //! | `opcache-evict`   | counted    | the n-th cache lookup first evicts every entry  |
 
 use std::collections::HashMap;

@@ -280,6 +280,28 @@ impl GuardProbe {
     pub fn budget(&self) -> &Budget {
         &self.core.budget
     }
+
+    /// One heartbeat sample of the shared atomics: progress plus the
+    /// budget limits that are set, in the serialization shared by
+    /// `--progress` and the serve wire stream. Cache residency and the
+    /// job id are the caller's to fill in — the probe knows neither.
+    pub fn heartbeat(&self) -> rl_obs::Heartbeat {
+        let p = self.progress();
+        let b = self.budget();
+        rl_obs::Heartbeat {
+            job: None,
+            elapsed_us: p.elapsed.as_micros() as u64,
+            states: p.states as u64,
+            transitions: p.transitions as u64,
+            frontier: p.frontier as u64,
+            states_limit: b.max_states.map(|n| n as u64),
+            deadline_us: b.deadline.map(|d| d.as_micros() as u64),
+            cache_resident_bytes: None,
+            cache_evictions: None,
+            cache_hits: None,
+            cache_misses: None,
+        }
+    }
 }
 
 /// The cheap per-iteration handle that construction loops tick.

@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 
 mod report;
+mod stream;
 mod trace;
 
 use std::cell::{Cell, RefCell};
@@ -64,6 +65,7 @@ use std::time::{Duration, Instant};
 use rl_json::{FromJson, Json, JsonError, ObjBuilder, ToJson};
 
 pub use report::ObsReport;
+pub use stream::{EventRing, Heartbeat, StreamBus, StreamSubscription};
 pub use trace::{
     chrome_trace_json, folded_stacks, set_thread_track, thread_track, track_name, TraceEvent,
     TracePhase, Tracer, EVENT_SHARDS, TRACK_MAIN,

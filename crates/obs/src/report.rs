@@ -18,13 +18,20 @@ use std::time::Duration;
 
 use rl_json::{FromJson, Json, JsonError};
 
+use crate::stream::Heartbeat;
 use crate::trace::{track_name, TraceEvent, TracePhase};
 use crate::{Metric, RegistrySnapshot, SpanRecord, METRIC_COUNT};
 
-/// A parsed `rl-obs/v1` or `rl-obs/v2` JSONL file.
+/// The synthetic schema tag assigned to captured subscribe streams, which
+/// carry no `meta` header of their own.
+pub const SCHEMA_STREAM: &str = "rl-obs/stream";
+
+/// A parsed `rl-obs/v1` or `rl-obs/v2` JSONL file, or a captured
+/// `rlcheck serve` subscribe stream ([`SCHEMA_STREAM`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ObsReport {
-    /// The schema tag from the `meta` line (`rl-obs/v1` or `rl-obs/v2`).
+    /// The schema tag from the `meta` line (`rl-obs/v1` or `rl-obs/v2`),
+    /// or [`SCHEMA_STREAM`] for a headerless captured subscribe stream.
     pub schema: String,
     /// The resolved `--jobs` choice recorded in the `meta` line, if any.
     pub jobs: Option<usize>,
@@ -38,6 +45,19 @@ pub struct ObsReport {
     pub totals: [u64; METRIC_COUNT],
     /// Custom counter totals, in registration order.
     pub counters: Vec<(String, u64)>,
+    /// Heartbeat samples, in file order (captured streams; empty for
+    /// ordinary v1/v2 files unless a future writer interleaves them).
+    pub heartbeats: Vec<Heartbeat>,
+    /// `done` records from a captured stream: `(job, exit code)` in
+    /// completion order.
+    pub done: Vec<(u64, u64)>,
+    /// Total events a captured stream reported dropping to backpressure
+    /// (the sum of its `dropped` notices).
+    pub dropped_events: u64,
+    /// Unknown `"event"` kinds encountered, with occurrence counts, in
+    /// first-seen order. Unknown kinds are counted rather than rejected so
+    /// files written by a newer `rlcheck` still render.
+    pub unknown_events: Vec<(String, u64)>,
     /// Whether the closing `totals` line was missing (interrupted write).
     /// When set, `totals` holds the sum of depth-0 span rows instead and
     /// `counters` is empty.
@@ -45,62 +65,91 @@ pub struct ObsReport {
 }
 
 impl ObsReport {
-    /// Parses a JSONL metrics file. The first non-empty line must be a
-    /// `meta` event with a supported schema; unknown event types on later
-    /// lines are skipped (forward compatibility).
+    /// Parses a JSONL metrics file or captured subscribe stream.
+    ///
+    /// For metrics files the first non-empty line must be a `meta` event
+    /// with a supported schema. A first line that is instead one of the
+    /// serve wire stream kinds (`heartbeat`, `trace`, `done`, `dropped`,
+    /// or an `{"ok":...}` reply ack) selects stream mode under the
+    /// synthetic schema [`SCHEMA_STREAM`]. In both modes, later lines with
+    /// an unknown `"event"` kind are counted in
+    /// [`ObsReport::unknown_events`] rather than rejected (forward
+    /// compatibility).
     pub fn parse(text: &str) -> Result<ObsReport, JsonError> {
         let mut lines = text.lines().filter(|l| !l.trim().is_empty());
         let first = lines
             .next()
             .ok_or_else(|| JsonError::custom("empty metrics file (no meta line)"))?;
-        let meta = rl_json::parse(first)?;
-        if String::from_json(meta.field("event")?)? != "meta" {
-            return Err(JsonError::custom(
-                "first line is not a meta event; not an rl-obs JSONL file",
-            ));
-        }
-        let schema = String::from_json(meta.field("schema")?)?;
-        if schema != "rl-obs/v1" && schema != "rl-obs/v2" {
-            return Err(JsonError::custom(format!(
-                "unsupported schema {schema:?} (expected rl-obs/v1 or rl-obs/v2)"
-            )));
-        }
+        let head = rl_json::parse(first)?;
+        let head_event = match head.get("event") {
+            Some(Json::Str(s)) => s.clone(),
+            _ => String::new(),
+        };
         let mut report = ObsReport {
-            schema,
-            jobs: match meta.get("jobs") {
-                Some(v) => Some(usize::from_json(v)?),
-                None => None,
-            },
-            elapsed: Duration::from_micros(u64::from_json(meta.field("elapsed_us")?)?),
+            schema: String::new(),
+            jobs: None,
+            elapsed: Duration::ZERO,
             spans: Vec::new(),
             events: Vec::new(),
             totals: [0; METRIC_COUNT],
             counters: Vec::new(),
+            heartbeats: Vec::new(),
+            done: Vec::new(),
+            dropped_events: 0,
+            unknown_events: Vec::new(),
             truncated: true,
         };
-        for line in lines {
-            let value = rl_json::parse(line)?;
-            let event = match value.get("event") {
-                Some(Json::Str(s)) => s.as_str(),
-                _ => continue,
-            };
-            match event {
-                "span" => report.spans.push(SpanRecord::from_json(&value)?),
-                "trace" => report.events.push(TraceEvent::from_json(&value)?),
-                "totals" => {
-                    for (i, m) in Metric::ALL.iter().enumerate() {
-                        report.totals[i] = u64::from_json(value.field(m.name())?)?;
-                    }
-                    if let Some(Json::Obj(fields)) = value.get("counters") {
-                        report.counters = fields
-                            .iter()
-                            .map(|(name, v)| Ok((name.clone(), u64::from_json(v)?)))
-                            .collect::<Result<_, JsonError>>()?;
-                    }
-                    report.truncated = false;
-                }
-                _ => {}
+        if head_event == "meta" {
+            let schema = String::from_json(head.field("schema")?)?;
+            if schema != "rl-obs/v1" && schema != "rl-obs/v2" {
+                return Err(JsonError::custom(format!(
+                    "unsupported schema {schema:?} (expected rl-obs/v1 or rl-obs/v2)"
+                )));
             }
+            report.schema = schema;
+            report.jobs = match head.get("jobs") {
+                Some(v) => Some(usize::from_json(v)?),
+                None => None,
+            };
+            report.elapsed = Duration::from_micros(u64::from_json(head.field("elapsed_us")?)?);
+            for line in lines {
+                report.absorb_line(&rl_json::parse(line)?)?;
+            }
+        } else if matches!(
+            head_event.as_str(),
+            "heartbeat" | "trace" | "done" | "dropped"
+        ) || head.get("ok").is_some()
+        {
+            // A captured subscribe stream: no meta header, possibly
+            // starting with the subscribe reply ack itself.
+            report.schema = SCHEMA_STREAM.to_owned();
+            report.truncated = false;
+            report.absorb_line(&head)?;
+            for line in lines {
+                // A capture cut mid-line (the subscriber was killed) is
+                // expected; flag it rather than rejecting the whole file.
+                let value = match rl_json::parse(line) {
+                    Ok(v) => v,
+                    Err(_) => {
+                        report.truncated = true;
+                        break;
+                    }
+                };
+                report.absorb_line(&value)?;
+            }
+            report.elapsed = Duration::from_micros(
+                report
+                    .heartbeats
+                    .iter()
+                    .map(|h| h.elapsed_us)
+                    .max()
+                    .unwrap_or(0),
+            );
+            return Ok(report);
+        } else {
+            return Err(JsonError::custom(
+                "first line is not a meta event; not an rl-obs JSONL file",
+            ));
         }
         if report.truncated {
             // Reconstruct what we can: each depth-0 row's deltas are
@@ -113,6 +162,50 @@ impl ObsReport {
             }
         }
         Ok(report)
+    }
+
+    fn absorb_line(&mut self, value: &Json) -> Result<(), JsonError> {
+        let event = match value.get("event") {
+            Some(Json::Str(s)) => s.as_str(),
+            // Wire reply acks ({"ok":...}) and other non-event lines.
+            _ => return Ok(()),
+        };
+        match event {
+            "span" => self.spans.push(SpanRecord::from_json(value)?),
+            "trace" => self.events.push(TraceEvent::from_json(value)?),
+            "heartbeat" => self.heartbeats.push(Heartbeat::from_json(value)?),
+            "done" => {
+                let job = u64::from_json(value.field("job")?)?;
+                let code = match value.get("code") {
+                    Some(v) => u64::from_json(v)?,
+                    None => 0,
+                };
+                self.done.push((job, code));
+            }
+            "dropped" => {
+                if let Some(v) = value.get("count") {
+                    self.dropped_events += u64::from_json(v)?;
+                }
+            }
+            "meta" => {}
+            "totals" => {
+                for (i, m) in Metric::ALL.iter().enumerate() {
+                    self.totals[i] = u64::from_json(value.field(m.name())?)?;
+                }
+                if let Some(Json::Obj(fields)) = value.get("counters") {
+                    self.counters = fields
+                        .iter()
+                        .map(|(name, v)| Ok((name.clone(), u64::from_json(v)?)))
+                        .collect::<Result<_, JsonError>>()?;
+                }
+                self.truncated = false;
+            }
+            other => match self.unknown_events.iter_mut().find(|(k, _)| k == other) {
+                Some((_, n)) => *n += 1,
+                None => self.unknown_events.push((other.to_owned(), 1)),
+            },
+        }
+        Ok(())
     }
 
     /// The recorded total of a built-in metric.
@@ -175,6 +268,79 @@ impl ObsReport {
             );
         }
         out
+    }
+
+    /// Whether this report was parsed from a captured subscribe stream
+    /// (no `meta` header; schema [`SCHEMA_STREAM`]).
+    pub fn is_stream(&self) -> bool {
+        self.schema == SCHEMA_STREAM
+    }
+
+    /// A per-job digest of a captured subscribe stream: heartbeat counts,
+    /// the last observed progress sample, and the recorded exit code for
+    /// each job the stream touched.
+    pub fn stream_summary(&self) -> String {
+        let mut jobs: Vec<u64> = self
+            .heartbeats
+            .iter()
+            .filter_map(|h| h.job)
+            .chain(self.done.iter().map(|&(job, _)| job))
+            .collect();
+        jobs.sort_unstable();
+        jobs.dedup();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "stream: {} job(s), {} heartbeat(s), {} trace event(s), {} dropped",
+            jobs.len(),
+            self.heartbeats.len(),
+            self.events.len(),
+            self.dropped_events
+        );
+        for job in jobs {
+            let beats: Vec<&Heartbeat> = self
+                .heartbeats
+                .iter()
+                .filter(|h| h.job == Some(job))
+                .collect();
+            let last = beats.last();
+            let status = match self.done.iter().find(|&&(j, _)| j == job) {
+                Some(&(_, code)) => format!("done code {code}"),
+                None => "still running".to_owned(),
+            };
+            let _ = writeln!(
+                out,
+                "  job {:<5} {:>5} heartbeat(s)   {:>12} states   {:>8.1}s   {}",
+                job,
+                beats.len(),
+                last.map_or(0, |h| h.states),
+                last.map_or(0.0, |h| h.elapsed_us as f64 / 1e6),
+                status
+            );
+        }
+        if self.truncated {
+            let _ = writeln!(out, "  (capture truncated mid-line)");
+        }
+        out
+    }
+
+    /// A one-line notice about unknown event kinds, or the empty string
+    /// when every line parsed as a known kind.
+    pub fn unknown_note(&self) -> String {
+        if self.unknown_events.is_empty() {
+            return String::new();
+        }
+        let total: u64 = self.unknown_events.iter().map(|(_, n)| n).sum();
+        let kinds: Vec<String> = self
+            .unknown_events
+            .iter()
+            .map(|(k, n)| format!("{k} ({n})"))
+            .collect();
+        format!(
+            "note: {} line(s) with unknown event kind skipped: {}",
+            total,
+            kinds.join(", ")
+        )
     }
 }
 
@@ -245,6 +411,73 @@ mod tests {
         assert_eq!(report.total(Metric::States), 7);
         assert_eq!(report.total(Metric::Transitions), 3);
         assert!(report.counters.is_empty());
+    }
+
+    #[test]
+    fn unknown_event_kinds_are_counted_not_fatal() {
+        let m = sample_registry();
+        let snap = m.snapshot();
+        let jsonl = render_jsonl(&snap, None, None);
+        // Splice two future-schema lines ahead of the totals line.
+        let cut = jsonl.trim_end().rfind('\n').unwrap() + 1;
+        let spliced = format!(
+            "{}{}\n{}\n{}",
+            &jsonl[..cut],
+            "{\"event\":\"frob\",\"x\":1}",
+            "{\"event\":\"frob\",\"x\":2}",
+            &jsonl[cut..]
+        );
+        let report = ObsReport::parse(&spliced).unwrap();
+        assert!(!report.truncated);
+        assert_eq!(report.unknown_events, vec![("frob".to_owned(), 2)]);
+        assert!(report.unknown_note().contains("frob (2)"));
+        assert_eq!(
+            report.summary(),
+            snap.summary(),
+            "unknown lines must not perturb the byte-for-byte table"
+        );
+        let clean = ObsReport::parse(&jsonl).unwrap();
+        assert!(clean.unknown_note().is_empty());
+    }
+
+    #[test]
+    fn parses_captured_subscribe_stream() {
+        let text = concat!(
+            "{\"ok\":true,\"subscribed\":\"*\"}\n",
+            "{\"event\":\"heartbeat\",\"job\":1,\"elapsed_us\":500000,",
+            "\"states\":1000,\"transitions\":2000,\"states_per_sec\":2000,",
+            "\"frontier\":10}\n",
+            "{\"event\":\"trace\",\"job\":1,\"ph\":\"I\",\"track\":0,",
+            "\"cat\":\"kernel\",\"name\":\"determinize-layer\",\"ts_us\":42}\n",
+            "{\"event\":\"dropped\",\"count\":3,\"total\":3}\n",
+            "{\"event\":\"done\",\"job\":1,\"code\":0}\n",
+        );
+        let report = ObsReport::parse(text).unwrap();
+        assert!(report.is_stream());
+        assert_eq!(report.schema, SCHEMA_STREAM);
+        assert!(!report.truncated);
+        assert_eq!(report.heartbeats.len(), 1);
+        assert_eq!(report.heartbeats[0].job, Some(1));
+        assert_eq!(report.events.len(), 1);
+        assert_eq!(report.done, vec![(1, 0)]);
+        assert_eq!(report.dropped_events, 3);
+        let digest = report.stream_summary();
+        assert!(digest.contains("1 job(s)"), "{digest}");
+        assert!(digest.contains("done code 0"), "{digest}");
+        assert!(!report.event_summary().is_empty());
+    }
+
+    #[test]
+    fn stream_capture_cut_mid_line_is_flagged_truncated() {
+        let text = concat!(
+            "{\"event\":\"heartbeat\",\"job\":2,\"elapsed_us\":100,\"states\":5}\n",
+            "{\"event\":\"heartbeat\",\"job\":2,\"elapsed_",
+        );
+        let report = ObsReport::parse(text).unwrap();
+        assert!(report.is_stream());
+        assert!(report.truncated);
+        assert_eq!(report.heartbeats.len(), 1);
+        assert!(report.stream_summary().contains("truncated"));
     }
 
     #[test]

@@ -194,7 +194,17 @@ fn int(value: u64) -> Json {
 #[derive(Debug)]
 pub struct Tracer {
     start: Instant,
-    shards: [Mutex<Vec<TraceEvent>>; EVENT_SHARDS],
+    shards: [Mutex<TraceShard>; EVENT_SHARDS],
+}
+
+/// One shard's storage plus the streaming cursor: `taken` marks how many of
+/// this shard's events [`Tracer::drain_new`] has already handed out, so
+/// live streaming never re-delivers an event while the full [`Tracer::events`]
+/// flush at the end of the run still sees everything.
+#[derive(Debug, Default)]
+struct TraceShard {
+    events: Vec<TraceEvent>,
+    taken: usize,
 }
 
 impl Default for Tracer {
@@ -208,7 +218,7 @@ impl Tracer {
     pub fn new() -> Tracer {
         Tracer {
             start: Instant::now(),
-            shards: std::array::from_fn(|_| Mutex::new(Vec::new())),
+            shards: std::array::from_fn(|_| Mutex::new(TraceShard::default())),
         }
     }
 
@@ -219,8 +229,8 @@ impl Tracer {
 
     fn record(&self, event: TraceEvent) {
         let shard = &self.shards[event.track % EVENT_SHARDS];
-        if let Ok(mut events) = shard.lock() {
-            events.push(event);
+        if let Ok(mut s) = shard.lock() {
+            s.events.push(event);
         }
     }
 
@@ -268,7 +278,7 @@ impl Tracer {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().map_or(0, |v| v.len()))
+            .map(|s| s.lock().map_or(0, |v| v.events.len()))
             .sum()
     }
 
@@ -284,13 +294,48 @@ impl Tracer {
     pub fn events(&self) -> Vec<TraceEvent> {
         let mut all: Vec<TraceEvent> = Vec::with_capacity(self.len());
         for shard in &self.shards {
-            if let Ok(events) = shard.lock() {
-                all.extend(events.iter().cloned());
+            if let Ok(s) = shard.lock() {
+                all.extend(s.events.iter().cloned());
             }
         }
         // Stable: ties (same track, from the same shard) keep push order.
         all.sort_by_key(|e| e.track);
         all
+    }
+
+    /// Takes every event recorded since the previous `drain_new` call,
+    /// sorted by timestamp (ties keep per-track record order, so B/E
+    /// nesting within a track is preserved). The events stay in the tracer
+    /// — a later [`Tracer::events`] flush still returns the full stream —
+    /// only the streaming cursor advances. This is what lets `rlcheck
+    /// serve` forward a live tracer incrementally to subscribers without
+    /// disturbing the end-of-run sinks.
+    pub fn drain_new(&self) -> Vec<TraceEvent> {
+        let mut fresh: Vec<TraceEvent> = Vec::new();
+        for shard in &self.shards {
+            if let Ok(mut s) = shard.lock() {
+                let from = s.taken;
+                fresh.extend(s.events[from..].iter().cloned());
+                s.taken = s.events.len();
+            }
+        }
+        fresh.sort_by(|a, b| a.ts_us.cmp(&b.ts_us).then(a.track.cmp(&b.track)));
+        fresh
+    }
+
+    /// Replays an already-recorded event stream into this tracer with every
+    /// timestamp shifted by `offset_us` (the moment, on this tracer's
+    /// clock, that the source tracer was created). Events keep their
+    /// original tracks, so a per-job tracer merged at job completion lands
+    /// on the same lanes its events were recorded on. Call from the thread
+    /// that ran the job (inside its pool-task bracket) so per-track B/E
+    /// nesting stays valid.
+    pub fn absorb_events(&self, offset_us: u64, events: &[TraceEvent]) {
+        for e in events {
+            let mut shifted = e.clone();
+            shifted.ts_us = shifted.ts_us.saturating_add(offset_us);
+            self.record(shifted);
+        }
     }
 
     /// The Chrome trace-event JSON object: `{"traceEvents": [...]}` with a
@@ -453,6 +498,38 @@ mod tests {
             events.iter().find(|e| e.name == "steal").unwrap().arg,
             Some(("victim", 1))
         );
+    }
+
+    #[test]
+    fn drain_new_advances_cursor_without_consuming_events() {
+        let t = Tracer::new();
+        t.begin("span", "a");
+        t.end("span", "a");
+        let first = t.drain_new();
+        assert_eq!(first.len(), 2);
+        assert!(t.drain_new().is_empty(), "cursor advanced");
+        t.instant("kernel", "determinize-layer", Some(("width", 9)));
+        let second = t.drain_new();
+        assert_eq!(second.len(), 1);
+        assert_eq!(second[0].name, "determinize-layer");
+        assert_eq!(t.events().len(), 3, "full flush still sees everything");
+    }
+
+    #[test]
+    fn absorb_events_shifts_timestamps_onto_this_clock() {
+        let src = Tracer::new();
+        src.begin("span", "job");
+        src.end("span", "job");
+        let dst = Tracer::new();
+        dst.absorb_events(1_000_000, &src.events());
+        let events = dst.events();
+        assert_eq!(events.len(), 2);
+        assert!(
+            events.iter().all(|e| e.ts_us >= 1_000_000),
+            "timestamps shifted by the offset: {events:?}"
+        );
+        assert_eq!(events[0].phase, TracePhase::Begin);
+        assert_eq!(events[1].phase, TracePhase::End);
     }
 
     #[test]

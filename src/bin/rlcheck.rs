@@ -29,14 +29,23 @@
 //! rlcheck report <metrics.jsonl>
 //!     render a committed --metrics file (rl-obs/v1 or /v2) offline: the
 //!     phase table on stdout — byte-for-byte the --stats output of the run
-//!     that wrote it — and a per-track event digest on stderr.
+//!     that wrote it — and a per-track event digest on stderr. Also
+//!     accepts a captured `subscribe` stream (rlcheck top 2> file) and
+//!     renders its per-job heartbeat/completion digest.
 //!
 //! rlcheck serve --socket <path> [--max-inflight-states <n>] [--queue-cap <n>]
 //!     long-running checking service on a Unix domain socket with a
 //!     line-delimited JSON protocol (submit/status/wait/cancel/stats/
-//!     shutdown), per-job panic isolation, admission control, and graceful
-//!     drain on SIGINT/SIGTERM. --timeout/--max-states set the default
-//!     per-job budget; see DESIGN.md §12 and the README for the protocol.
+//!     subscribe/unsubscribe/shutdown), per-job panic isolation, admission
+//!     control, live telemetry streaming, and graceful drain on
+//!     SIGINT/SIGTERM. --timeout/--max-states set the default per-job
+//!     budget; see DESIGN.md §12 and the README for the protocol.
+//!
+//! rlcheck top <socket> [--job <id>]
+//!     live per-job view of a running serve daemon: subscribes to the
+//!     telemetry stream and renders states/sec, phase, budget and cache
+//!     hit rate per job — a refreshing table when stderr is a TTY, plain
+//!     lines otherwise (so `2> capture.log` records a replayable stream).
 //! ```
 //!
 //! Every subcommand additionally accepts resource limits and observability
@@ -515,21 +524,33 @@ fn cmd_fair(path: &str, formula: &str, steps: usize) -> Result<ExitCode, CheckEr
 /// (rl-obs/v1 or /v2) offline. The phase table goes to stdout —
 /// byte-for-byte the `--stats` stderr of the run that wrote the file, since
 /// both render the same snapshot at the same microsecond precision — and
-/// the per-track event digest (v2 only) goes to stderr.
+/// the per-track event digest (v2 only) goes to stderr. A captured
+/// `subscribe` stream (no meta header, `"event"` lines only) renders as a
+/// per-job heartbeat/completion digest instead. Unknown event kinds are
+/// skipped and tallied, never fatal, so newer captures stay readable.
 fn cmd_report(path: &str) -> Result<ExitCode, CheckError> {
     let text =
         std::fs::read_to_string(path).map_err(|e| CheckError::Parse(format!("{path}: {e}")))?;
     let report = ObsReport::parse(&text).map_err(|e| CheckError::Parse(format!("{path}: {e}")))?;
-    print!("{}", report.summary());
-    let digest = report.event_summary();
-    if !digest.is_empty() {
-        eprint!("{digest}");
+    if report.is_stream() {
+        // Truncation is flagged inline by the summary itself.
+        print!("{}", report.stream_summary());
+    } else {
+        print!("{}", report.summary());
+        let digest = report.event_summary();
+        if !digest.is_empty() {
+            eprint!("{digest}");
+        }
+        if report.truncated {
+            eprintln!(
+                "rlcheck: report: {path} is truncated (no totals line); \
+                 totals reconstructed from completed root spans"
+            );
+        }
     }
-    if report.truncated {
-        eprintln!(
-            "rlcheck: report: {path} is truncated (no totals line); \
-             totals reconstructed from completed root spans"
-        );
+    let note = report.unknown_note();
+    if !note.is_empty() {
+        eprintln!("rlcheck: report: {note}");
     }
     Ok(ExitCode::SUCCESS)
 }
@@ -543,6 +564,7 @@ fn cmd_report(path: &str) -> Result<ExitCode, CheckError> {
 struct ProgressMonitor {
     stop: Arc<(Mutex<bool>, Condvar)>,
     handle: Option<std::thread::JoinHandle<()>>,
+    probe: GuardProbe,
 }
 
 impl ProgressMonitor {
@@ -553,6 +575,7 @@ impl ProgressMonitor {
             .unwrap_or(1_000u64);
         let stop = Arc::new((Mutex::new(false), Condvar::new()));
         let shared = Arc::clone(&stop);
+        let sampler_probe = probe.clone();
         let handle = std::thread::spawn(move || {
             let (lock, cv) = &*shared;
             let mut done = lock
@@ -566,17 +589,19 @@ impl ProgressMonitor {
                 if *done || !timeout.timed_out() {
                     continue;
                 }
-                eprintln!("{}", heartbeat_line(&probe));
+                eprintln!("{}", heartbeat_line(&sampler_probe));
             }
         });
         ProgressMonitor {
             stop,
             handle: Some(handle),
+            probe,
         }
     }
 
     /// Stops the sampler and joins it, so no heartbeat can interleave with
-    /// the final summary.
+    /// the final summary — then flushes one last heartbeat, so even a run
+    /// shorter than the sampling period leaves a progress record.
     fn finish(mut self) {
         let (lock, cv) = &*self.stop;
         *lock
@@ -586,41 +611,16 @@ impl ProgressMonitor {
         if let Some(handle) = self.handle.take() {
             let _ = handle.join();
         }
+        eprintln!("{}", heartbeat_line(&self.probe));
     }
 }
 
 /// One heartbeat: elapsed, states (with rate), frontier width, and — when a
-/// budget is set — the fraction of each limit consumed.
+/// budget is set — the fraction of each limit consumed. The serialization
+/// lives in `rl_obs::Heartbeat::render_line`, shared byte-for-byte with the
+/// lines that `serve` streams to subscribers.
 fn heartbeat_line(probe: &GuardProbe) -> String {
-    use std::fmt::Write;
-    let p = probe.progress();
-    let secs = p.elapsed.as_secs_f64();
-    let rate = if secs > 0.0 {
-        (p.states as f64 / secs) as u64
-    } else {
-        0
-    };
-    let mut line = format!(
-        "rlcheck: [progress] {secs:.1}s elapsed, {} states ({rate}/s), frontier {}",
-        p.states, p.frontier
-    );
-    let budget = probe.budget();
-    if let Some(max) = budget.max_states {
-        let _ = write!(
-            line,
-            ", states {:.0}% of {max}",
-            100.0 * p.states as f64 / max.max(1) as f64
-        );
-    }
-    if let Some(deadline) = budget.deadline {
-        let _ = write!(
-            line,
-            ", time {:.0}% of {:.0}s",
-            100.0 * secs / deadline.as_secs_f64().max(f64::EPSILON),
-            deadline.as_secs_f64()
-        );
-    }
-    line
+    format!("rlcheck: [progress] {}", probe.heartbeat().render_line())
 }
 
 /// Minimal SIGINT/SIGTERM handling (Unix): the handler stores one flag into
@@ -729,11 +729,12 @@ fn govern(body: impl FnOnce() -> Result<ExitCode, CheckError>) -> ExitCode {
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let usage = "usage: rlcheck <check|abstract|simplicity|fair|dot|batch|report|serve> \
+    let usage = "usage: rlcheck <check|abstract|simplicity|fair|dot|batch|report|serve|top> \
                  <system-file>... [<formula>] [--keep a,b,c] [--steps N] \
                  [--timeout <secs>] [--max-states <n>] [--jobs <n>] \
                  [--manifest <file>] [--formula <f>] \
                  [--socket <path>] [--max-inflight-states <n>] [--queue-cap <n>] \
+                 [--job <id>] \
                  [--stats] [--metrics <file>] [--trace-out <file>] \
                  [--flame-out <file>] [--progress] [--no-op-cache] \
                  [--cache-bytes <n>]";
@@ -905,6 +906,28 @@ fn main() -> ExitCode {
             #[cfg(not(unix))]
             {
                 fail("serve requires Unix domain sockets and is not available on this platform")
+            }
+        }
+        "top" => {
+            #[cfg(unix)]
+            {
+                let job = match extract_value_flag(&mut args, "--job") {
+                    Ok(v) => match v.map(|raw| raw.parse::<u64>()).transpose() {
+                        Ok(n) => n,
+                        Err(_) => return fail("--job needs a job id"),
+                    },
+                    Err(e) => return fail(format!("{e}\n{usage}")),
+                };
+                match args.get(1) {
+                    Some(socket) => govern(|| {
+                        relative_liveness::top::run_top(socket, job, &cancel).map(ExitCode::from)
+                    }),
+                    None => fail("top needs <socket>"),
+                }
+            }
+            #[cfg(not(unix))]
+            {
+                fail("top requires Unix domain sockets and is not available on this platform")
             }
         }
         "report" => match args.get(1) {

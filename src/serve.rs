@@ -8,7 +8,16 @@
 //!
 //! * **Wire protocol** — line-delimited JSON, one request object per line,
 //!   one reply object per line: `submit`, `status`, `wait`, `cancel`,
-//!   `stats`, `shutdown`. See the README for examples.
+//!   `stats`, `subscribe`, `unsubscribe`, `shutdown`. See the README for
+//!   examples.
+//! * **Live streaming** — `subscribe` attaches this connection to the
+//!   telemetry plane: heartbeat events sampled from each running job's
+//!   [`GuardProbe`] atomics plus the job's tracer events, fanned out
+//!   through a per-subscriber bounded ring with drop-oldest backpressure
+//!   (`RL_SUBSCRIBER_RING` lines), so a slow subscriber can never stall a
+//!   job, a sibling, or drain. Deterministic counters are bit-for-bit
+//!   unaffected by subscribers: jobs meter themselves identically whether
+//!   or not anyone is watching.
 //! * **Isolation** — every job runs on the shared work-stealing [`Pool`]
 //!   under its own [`Guard`] (deadline, max-states, cancel token) behind
 //!   `catch_unwind`: a poisoned job replies `code 101` and its siblings —
@@ -32,21 +41,22 @@
 //!   every job's metrics shard, and only then lets the CLI flush the
 //!   rl-obs sinks.
 //! * **Fault injection** — the deterministic `RL_FAULT` points
-//!   `job-panic:<id>` (value-matched) and `serve-drop-conn:<n>`
-//!   (occurrence-counted) let the integration tests provoke each failure
-//!   mode on demand; see [`rl_automata::fault`].
+//!   `job-panic:<id>` (value-matched), `serve-drop-conn:<n>`, and
+//!   `serve-drop-sub:<n>` (occurrence-counted) let the integration tests
+//!   provoke each failure mode on demand; see [`rl_automata::fault`].
 
 use std::collections::{HashMap, VecDeque};
 use std::io::{ErrorKind, Read, Write as IoWrite};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
-use rl_automata::{fault, Budget, CancelToken, Guard, OpCache, Pool};
+use rl_automata::{fault, Budget, CancelToken, Guard, GuardProbe, OpCache, Pool};
 use rl_core::CheckError;
-use rl_json::{Json, ObjBuilder};
-use rl_obs::{MetricsRegistry, RegistrySnapshot, Tracer};
+use rl_json::{Json, ObjBuilder, ToJson};
+use rl_obs::{MetricsRegistry, RegistrySnapshot, StreamBus, StreamSubscription, Tracer};
 
 use crate::check::{report_check, CheckSpec, SystemSource};
 
@@ -108,6 +118,30 @@ fn result_ttl() -> Duration {
     Duration::from_millis(ms.max(1))
 }
 
+/// How often the fan-out sampler publishes a heartbeat for each running
+/// job. Shares `RL_PROGRESS_MS` with the one-shot `--progress` sampler
+/// (default one second) since both are the same "how fast do humans need
+/// progress" knob.
+fn progress_period() -> Duration {
+    let ms = std::env::var("RL_PROGRESS_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000u64);
+    Duration::from_millis(ms.max(1))
+}
+
+/// Per-subscriber ring capacity (buffered event lines). Overflow drops the
+/// oldest line and counts it — the knob trades replay completeness for
+/// bounded memory per subscriber. `RL_SUBSCRIBER_RING` overrides, for
+/// tests (which shrink it to force drops deterministically).
+fn ring_capacity() -> usize {
+    std::env::var("RL_SUBSCRIBER_RING")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_024usize)
+        .max(1)
+}
+
 /// Lifecycle of one submitted job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum JobState {
@@ -157,6 +191,25 @@ struct JobRecord {
     result: Option<JobResult>,
     /// When the job settled — starts the undelivered-result TTL clock.
     done_at: Option<Instant>,
+    /// The job's telemetry taps, registered when it starts on a worker.
+    stream: Option<Arc<JobStream>>,
+}
+
+/// The read-only telemetry taps of one running job: the guard probe the
+/// sampler reads heartbeats from and the per-job tracer it forwards
+/// incrementally. Both are sampling windows — publishing through them
+/// never touches the job's execution path, which is what keeps
+/// deterministic counters independent of subscribers.
+struct JobStream {
+    probe: GuardProbe,
+    tracer: Arc<Tracer>,
+    /// Serializes sampler ticks against the completion flush so the final
+    /// heartbeat and trace tail always precede the `done` record.
+    publish: Mutex<()>,
+    /// Set by the completion flush (under `publish`): a sampler tick that
+    /// sampled the job as running but lost the race stops short instead of
+    /// publishing a heartbeat after `done` — per job, `done` is last.
+    finished: AtomicBool,
 }
 
 /// Monotonic service counters, reported by `stats` and folded into the
@@ -173,6 +226,23 @@ struct ServeCounters {
     /// High-water mark of the in-flight state budget — the direct witness
     /// that admission never overcommitted the ceiling.
     peak_inflight: u64,
+    /// Requests handled, by verb — the `stats` reply's `requests` object.
+    verbs: VerbCounters,
+}
+
+/// Per-verb request counters (every parsed request with a `cmd` counts,
+/// including ones that then fail validation).
+#[derive(Debug, Clone, Copy, Default)]
+struct VerbCounters {
+    submit: u64,
+    status: u64,
+    wait: u64,
+    cancel: u64,
+    stats: u64,
+    subscribe: u64,
+    unsubscribe: u64,
+    shutdown: u64,
+    unknown: u64,
 }
 
 /// The mutable half of the server, behind one mutex.
@@ -200,11 +270,17 @@ struct Core {
     pool: Pool,
     cache: Option<OpCache>,
     tracer: Option<Arc<Tracer>>,
-    /// Whether jobs should meter themselves into shard registries.
+    /// Whether jobs should ship their metrics shards home for the drain
+    /// (jobs always meter themselves — see [`run_job`] — so subscriber
+    /// presence can never change what gets counted).
     want_snapshots: bool,
     max_inflight: Option<u64>,
     queue_cap: usize,
     default_budget: Budget,
+    /// The subscriber fan-out plane.
+    bus: StreamBus,
+    /// When the service started — the `stats` reply's `uptime_ms`.
+    started: Instant,
 }
 
 impl Core {
@@ -307,22 +383,34 @@ fn run_job(core: &Arc<Core>, id: u64) {
         (e.spec.clone(), e.budget.clone(), e.cancel.clone())
     };
     // The shard registry lives outside the unwind boundary so a panicking
-    // job still ships its partial spans (closed-so-far) home.
-    let reg = core.want_snapshots.then(MetricsRegistry::new);
+    // job still ships its partial spans (closed-so-far) home. Every job
+    // meters itself into a per-job registry and tracer unconditionally:
+    // subscribers only *read* the resulting probe/tracer, so whether
+    // anyone is watching cannot change what the job executes or counts.
+    let reg = MetricsRegistry::new();
+    let job_tracer = Arc::new(Tracer::new());
+    let global_offset = core.tracer.as_ref().map(|t| t.now_us());
+    reg.set_tracer(Arc::clone(&job_tracer));
     let was_cancelled = cancel.clone();
+    let mut guard = Guard::with_cancel(budget, cancel).with_metrics(reg.clone());
+    if let Some(c) = &core.cache {
+        guard = guard.with_op_cache(c.clone());
+    }
+    let stream = Arc::new(JobStream {
+        probe: guard.probe(),
+        tracer: Arc::clone(&job_tracer),
+        publish: Mutex::new(()),
+        finished: AtomicBool::new(false),
+    });
+    {
+        let mut t = core.lock();
+        if let Some(e) = t.entries.get_mut(&id) {
+            e.stream = Some(Arc::clone(&stream));
+        }
+    }
     let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
         if fault::armed_value("job-panic") == Some(id) {
             panic!("injected panic (RL_FAULT=job-panic:{id})");
-        }
-        let mut guard = Guard::with_cancel(budget, cancel);
-        if let Some(r) = &reg {
-            if let Some(t) = &core.tracer {
-                r.set_tracer(Arc::clone(t));
-            }
-            guard = guard.with_metrics(r.clone());
-        }
-        if let Some(c) = &core.cache {
-            guard = guard.with_op_cache(c.clone());
         }
         let mut out = String::new();
         let mut err = String::new();
@@ -336,7 +424,7 @@ fn run_job(core: &Arc<Core>, id: u64) {
             holds,
             out,
             err,
-            snapshot: reg.as_ref().map(MetricsRegistry::snapshot),
+            snapshot: core.want_snapshots.then(|| reg.snapshot()),
         },
         Err(payload) => {
             let msg = payload
@@ -349,11 +437,92 @@ fn run_job(core: &Arc<Core>, id: u64) {
                 holds: None,
                 out: String::new(),
                 err: format!("rlcheck: internal panic: {msg}\n"),
-                snapshot: reg.as_ref().map(MetricsRegistry::snapshot),
+                snapshot: core.want_snapshots.then(|| reg.snapshot()),
             }
         }
     };
+    // Final stream flush — last heartbeat, trace tail, `done` — before the
+    // result settles, so a subscriber always sees telemetry precede the
+    // job's completion.
+    publish_job_final(core, id, &stream, result.code);
+    // Merge the job's timeline into the global tracer (`--trace-out`),
+    // still on this worker thread — inside the pool's task bracket — so
+    // per-track B/E nesting stays valid in the merged stream.
+    if let Some((global, offset)) = core.tracer.as_ref().zip(global_offset) {
+        global.absorb_events(offset, &job_tracer.events());
+    }
     complete(core, id, result, was_cancelled.is_cancelled());
+}
+
+/// Serializes `value` and fans it out to subscribers following `job`.
+fn publish_json(core: &Core, job: u64, value: &Json) {
+    if let Ok(text) = rl_json::to_string(value) {
+        core.bus.publish(job, &text);
+    }
+}
+
+/// The `{"event":"done",...}` record closing a job's stream.
+fn done_json(id: u64, code: u8) -> Json {
+    ObjBuilder::new()
+        .field("event", "done")
+        .field("job", id)
+        .field("code", code)
+        .build()
+}
+
+/// One heartbeat sample for `id`: the probe's atomics plus live cache
+/// residency, tagged with the job id.
+fn job_heartbeat_json(core: &Core, id: u64, stream: &JobStream) -> Json {
+    let mut hb = stream.probe.heartbeat();
+    hb.job = Some(id);
+    if let Some(cache) = &core.cache {
+        hb.cache_resident_bytes = Some(cache.resident_bytes() as u64);
+        hb.cache_evictions = Some(cache.evictions() as u64);
+        hb.cache_hits = Some(cache.hits() as u64);
+        hb.cache_misses = Some(cache.misses() as u64);
+    }
+    hb.to_json()
+}
+
+/// Forwards every tracer event recorded since the last tick, tagged with
+/// the job id (the wire addition `rlcheck report` tolerates and `top`
+/// keys on).
+fn publish_job_trace(core: &Core, id: u64, stream: &JobStream) {
+    for e in stream.tracer.drain_new() {
+        let mut obj = e.to_json();
+        if let Json::Obj(fields) = &mut obj {
+            fields.push(("job".to_owned(), Json::Int(id as i64)));
+        }
+        publish_json(core, id, &obj);
+    }
+}
+
+/// One sampler tick for a running job: a heartbeat, then the fresh trace
+/// events.
+fn publish_job_tick(core: &Core, id: u64, stream: &JobStream) {
+    let _order = stream
+        .publish
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if stream.finished.load(Ordering::Acquire) {
+        return;
+    }
+    publish_json(core, id, &job_heartbeat_json(core, id, stream));
+    publish_job_trace(core, id, stream);
+}
+
+/// The completion flush: guarantees at least one heartbeat and the whole
+/// trace tail are published before the `done` record, even for jobs
+/// shorter than one sampler period.
+fn publish_job_final(core: &Core, id: u64, stream: &JobStream, code: u8) {
+    let _order = stream
+        .publish
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    publish_json(core, id, &job_heartbeat_json(core, id, stream));
+    publish_job_trace(core, id, stream);
+    publish_json(core, id, &done_json(id, code));
+    stream.finished.store(true, Ordering::Release);
 }
 
 /// Records a finished job, releases its admission weight, and admits as
@@ -413,6 +582,7 @@ fn complete(core: &Arc<Core>, id: u64, result: JobResult, was_cancelled: bool) {
 /// disconnect path: abandoned jobs free their budget.
 fn cancel_conn_jobs(core: &Arc<Core>, conn: u64) {
     let mut queued_now_dead = Vec::new();
+    let mut settled: Vec<u64> = Vec::new();
     {
         let mut t = core.lock();
         let ids: Vec<u64> = t
@@ -450,6 +620,7 @@ fn cancel_conn_jobs(core: &Arc<Core>, conn: u64) {
                 },
             );
             t.counters.cancelled += 1;
+            settled.push(id);
         }
         // Results this connection finished but never collected can only
         // rot now that it is gone; reap them instead of waiting out the
@@ -457,6 +628,10 @@ fn cancel_conn_jobs(core: &Arc<Core>, conn: u64) {
         // (another client may `wait` them) until delivery or expiry.
         t.entries
             .retain(|_, e| e.conn != conn || e.state != JobState::Done);
+    }
+    // Jobs that settled without ever starting still close their streams.
+    for id in settled {
+        publish_json(core, id, &done_json(id, 3));
     }
     core.changed.notify_all();
 }
@@ -502,8 +677,22 @@ fn u64_field(v: &Json, key: &str) -> Option<u64> {
     }
 }
 
+/// Per-connection subscription state, owned by the connection thread and
+/// reaped (via [`StreamBus::unsubscribe`]) when the connection closes.
+#[derive(Default)]
+struct ConnState {
+    sub: Option<Arc<StreamSubscription>>,
+    /// Drop count already reported to this client via `dropped` notices.
+    dropped_seen: u64,
+}
+
 /// Handles one request line; returns the reply and what to do next.
-fn handle_request(core: &Arc<Core>, conn: u64, line: &str) -> (Json, Action) {
+fn handle_request(
+    core: &Arc<Core>,
+    conn: u64,
+    state: &mut ConnState,
+    line: &str,
+) -> (Json, Action) {
     let v = match rl_json::parse(line) {
         Ok(v) => v,
         Err(e) => return (error_reply(format!("bad request: {e}")), Action::Continue),
@@ -511,6 +700,21 @@ fn handle_request(core: &Arc<Core>, conn: u64, line: &str) -> (Json, Action) {
     let Some(cmd) = str_field(&v, "cmd") else {
         return (error_reply("bad request: missing `cmd`"), Action::Continue);
     };
+    {
+        let mut t = core.lock();
+        let verbs = &mut t.counters.verbs;
+        match cmd.as_str() {
+            "submit" => verbs.submit += 1,
+            "status" => verbs.status += 1,
+            "wait" => verbs.wait += 1,
+            "cancel" => verbs.cancel += 1,
+            "stats" => verbs.stats += 1,
+            "subscribe" => verbs.subscribe += 1,
+            "unsubscribe" => verbs.unsubscribe += 1,
+            "shutdown" => verbs.shutdown += 1,
+            _ => verbs.unknown += 1,
+        }
+    }
     match cmd.as_str() {
         "submit" => (handle_submit(core, conn, &v), Action::Continue),
         "status" => {
@@ -562,6 +766,52 @@ fn handle_request(core: &Arc<Core>, conn: u64, line: &str) -> (Json, Action) {
             }
         }
         "stats" => (stats_reply(core), Action::Continue),
+        "subscribe" => {
+            let filter = match v.get("id") {
+                None => None,
+                Some(Json::Str(s)) if s == "*" => None,
+                Some(Json::Int(i)) if *i >= 0 => Some(*i as u64),
+                _ => {
+                    return (
+                        error_reply("subscribe `id` must be a job id or \"*\""),
+                        Action::Continue,
+                    )
+                }
+            };
+            // One subscription per connection; re-subscribing replaces it
+            // (and re-arms the drop accounting from zero).
+            if let Some(old) = state.sub.take() {
+                core.bus.unsubscribe(old.id());
+            }
+            let sub = core.bus.subscribe(filter, ring_capacity());
+            let reply = ObjBuilder::new()
+                .field("ok", true)
+                .field(
+                    "subscribed",
+                    match filter {
+                        Some(id) => Json::Int(id as i64),
+                        None => Json::Str("*".to_owned()),
+                    },
+                )
+                .field("ring_capacity", sub.capacity())
+                .build();
+            state.sub = Some(sub);
+            state.dropped_seen = 0;
+            (reply, Action::Continue)
+        }
+        "unsubscribe" => {
+            let had = state.sub.take();
+            if let Some(sub) = &had {
+                core.bus.unsubscribe(sub.id());
+            }
+            (
+                ObjBuilder::new()
+                    .field("ok", true)
+                    .field("unsubscribed", had.is_some())
+                    .build(),
+                Action::Continue,
+            )
+        }
         "shutdown" => {
             {
                 let mut t = core.lock();
@@ -588,8 +838,23 @@ fn stats_reply(core: &Arc<Core>) -> Json {
         let t = core.lock();
         (t.counters, t.inflight, t.queue.len(), t.draining)
     };
+    let requests = ObjBuilder::new()
+        .field("submit", c.verbs.submit)
+        .field("status", c.verbs.status)
+        .field("wait", c.verbs.wait)
+        .field("cancel", c.verbs.cancel)
+        .field("stats", c.verbs.stats)
+        .field("subscribe", c.verbs.subscribe)
+        .field("unsubscribe", c.verbs.unsubscribe)
+        .field("shutdown", c.verbs.shutdown)
+        .field("unknown", c.verbs.unknown)
+        .build();
     let mut b = ObjBuilder::new()
         .field("ok", true)
+        .field("uptime_ms", core.started.elapsed().as_millis() as u64)
+        .field("requests", requests)
+        .field("subscribers", core.bus.subscriber_count())
+        .field("events_dropped", core.bus.dropped_events())
         .field("submitted", c.submitted)
         .field("admitted", c.admitted)
         .field("queued", c.queued)
@@ -659,6 +924,7 @@ fn handle_submit(core: &Arc<Core>, conn: u64, v: &Json) -> Json {
                 state: JobState::Queued,
                 result: None,
                 done_at: None,
+                stream: None,
             },
         );
         // An admitted job is charged in the SAME lock scope as the
@@ -698,6 +964,7 @@ fn handle_conn(core: Arc<Core>, mut stream: UnixStream, conn: u64) {
     // thread, so one stalled reader would hang graceful shutdown. A write
     // that cannot make progress within the drain grace is a disconnect.
     let _ = stream.set_write_timeout(Some(drain_grace()));
+    let mut state = ConnState::default();
     let mut buf: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 4096];
     'conn: loop {
@@ -709,7 +976,7 @@ fn handle_conn(core: Arc<Core>, mut stream: UnixStream, conn: u64) {
             if line.is_empty() {
                 continue;
             }
-            let (reply, action) = handle_request(&core, conn, line);
+            let (reply, action) = handle_request(&core, conn, &mut state, line);
             let text = rl_json::to_string(&reply)
                 .unwrap_or_else(|e| format!("{{\"ok\":false,\"error\":\"render: {e}\"}}"));
             if stream.write_all(format!("{text}\n").as_bytes()).is_err() {
@@ -724,12 +991,29 @@ fn handle_conn(core: Arc<Core>, mut stream: UnixStream, conn: u64) {
                 break 'conn;
             }
         }
+        if !flush_subscription(&mut stream, &mut state) {
+            break 'conn;
+        }
         match stream.read(&mut chunk) {
             Ok(0) => break, // EOF: client closed or died
             Ok(n) => buf.extend_from_slice(&chunk[..n]),
             Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                // Heartbeat tick. Idle connections don't outlive a drain.
-                if core.draining() {
+                // Heartbeat tick. Idle connections don't outlive a drain —
+                // except a draining subscriber, which keeps receiving until
+                // its followed jobs have settled (the drain severs it by
+                // joining this thread only after every job is done).
+                if core.draining() && state.sub.is_none() {
+                    break;
+                }
+                if core.draining()
+                    && core
+                        .lock()
+                        .entries
+                        .values()
+                        .all(|e| e.state == JobState::Done)
+                {
+                    // Flush whatever the settled jobs left, then close.
+                    let _ = flush_subscription(&mut stream, &mut state);
                     break;
                 }
             }
@@ -737,7 +1021,45 @@ fn handle_conn(core: Arc<Core>, mut stream: UnixStream, conn: u64) {
             Err(_) => break,
         }
     }
+    // Reap this connection's subscription so the fan-out stops buffering
+    // for a reader that is gone.
+    if let Some(sub) = state.sub.take() {
+        core.bus.unsubscribe(sub.id());
+    }
     cancel_conn_jobs(&core, conn);
+}
+
+/// Writes everything the connection's subscription has buffered: event
+/// lines oldest-first, then a `dropped` notice when backpressure discarded
+/// lines since the last report. Returns `false` when the connection should
+/// be severed (write failure, or the injected `serve-drop-sub` fault).
+fn flush_subscription(stream: &mut UnixStream, state: &mut ConnState) -> bool {
+    let Some(sub) = &state.sub else {
+        return true;
+    };
+    let lines = sub.drain();
+    let dropped = sub.dropped();
+    let mut payload = String::new();
+    for line in &lines {
+        payload.push_str(line);
+        payload.push('\n');
+    }
+    if dropped > state.dropped_seen {
+        let delta = dropped - state.dropped_seen;
+        state.dropped_seen = dropped;
+        payload.push_str(&format!(
+            "{{\"event\":\"dropped\",\"count\":{delta},\"total\":{dropped}}}\n"
+        ));
+    }
+    if payload.is_empty() {
+        return true;
+    }
+    if fault::fires("serve-drop-sub") {
+        // Injected mid-stream subscriber drop: exercise the reap path a
+        // subscriber crash takes.
+        return false;
+    }
+    stream.write_all(payload.as_bytes()).is_ok()
 }
 
 /// Runs the service until a `shutdown` request or the external `shutdown`
@@ -802,12 +1124,53 @@ pub fn serve(
         max_inflight: config.max_inflight_states,
         queue_cap: config.queue_cap,
         default_budget: config.job_budget.clone(),
+        bus: StreamBus::new(),
+        started: Instant::now(),
     });
 
     eprintln!(
         "rlcheck: serve: listening on {socket} ({} workers)",
         config.threads
     );
+    // The fan-out sampler: every progress period, publish one heartbeat
+    // (and any fresh trace events) per running job. It only *reads* probe
+    // atomics and the per-job tracer, and [`StreamBus::publish`] is
+    // drop-oldest, so this thread can never slow a job down.
+    let sampler_stop = Arc::new((Mutex::new(false), Condvar::new()));
+    let sampler = {
+        let core = Arc::clone(&core);
+        let shared = Arc::clone(&sampler_stop);
+        let period = progress_period();
+        std::thread::Builder::new()
+            .name("rl-serve-sampler".to_owned())
+            .spawn(move || {
+                let (lock, cv) = &*shared;
+                let mut stop = lock
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                while !*stop {
+                    let (next, timeout) = cv
+                        .wait_timeout(stop, period)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    stop = next;
+                    if *stop || !timeout.timed_out() {
+                        continue;
+                    }
+                    let running: Vec<(u64, Arc<JobStream>)> = {
+                        let t = core.lock();
+                        t.entries
+                            .iter()
+                            .filter(|(_, e)| e.state == JobState::Running)
+                            .filter_map(|(&id, e)| e.stream.as_ref().map(|s| (id, Arc::clone(s))))
+                            .collect()
+                    };
+                    for (id, stream) in running {
+                        publish_job_tick(&core, id, &stream);
+                    }
+                }
+            })
+            .expect("spawning the sampler thread succeeds")
+    };
     let beat = heartbeat();
     let ttl = result_ttl();
     let sweep_every = beat.max(ttl / 4);
@@ -853,6 +1216,7 @@ pub fn serve(
 
     // ---- graceful drain -------------------------------------------------
     eprintln!("rlcheck: serve: draining");
+    let mut drain_settled: Vec<u64> = Vec::new();
     {
         let mut t = core.lock();
         t.draining = true;
@@ -875,7 +1239,11 @@ pub fn serve(
                 },
             );
             t.counters.cancelled += 1;
+            drain_settled.push(id);
         }
+    }
+    for id in drain_settled {
+        publish_json(&core, id, &done_json(id, 3));
     }
     core.changed.notify_all();
     // Let running jobs finish; past the grace period, cancel them and keep
@@ -899,6 +1267,17 @@ pub fn serve(
         }
     }
     core.changed.notify_all();
+    // Stop the sampler before joining connections: every job is settled,
+    // so its final heartbeats/trace tails are already in the rings and the
+    // connection threads' last flushes deliver them.
+    {
+        let (lock, cv) = &*sampler_stop;
+        *lock
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = true;
+        cv.notify_all();
+    }
+    let _ = sampler.join();
     for handle in conns {
         let _ = handle.join();
     }

@@ -1048,3 +1048,102 @@ fn serve_without_a_socket_is_a_usage_error() {
         stderr(&out)
     );
 }
+
+#[test]
+fn progress_flushes_a_final_heartbeat_even_on_short_runs() {
+    // The default sampling period (1s) is far longer than this check, so
+    // every line below comes from the completion flush — without it the
+    // run would end silent.
+    let out = rlcheck(&[
+        "check",
+        "examples/systems/server.pn",
+        "[]<>result",
+        "--progress",
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    let err = stderr(&out);
+    let beats: Vec<&str> = err
+        .lines()
+        .filter(|l| l.starts_with("rlcheck: [progress]"))
+        .collect();
+    assert!(
+        !beats.is_empty(),
+        "a run shorter than the period must still flush one heartbeat:\n{err}"
+    );
+    let beat = beats[beats.len() - 1];
+    for fragment in ["elapsed", "states", "frontier"] {
+        assert!(
+            beat.contains(fragment),
+            "final heartbeat missing {fragment}: {beat}"
+        );
+    }
+}
+
+#[test]
+fn report_counts_unknown_event_kinds_instead_of_failing() {
+    let dir = std::env::temp_dir().join("rlcheck-report-unknown");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let clean = dir.join("clean.jsonl");
+    let live = rlcheck(&[
+        "check",
+        "examples/systems/abp.ts",
+        "[]<>deliver",
+        "--metrics",
+        clean.to_str().expect("utf-8 path"),
+    ]);
+    assert_eq!(live.status.code(), Some(0));
+
+    // Splice two lines of a future event kind into the middle of the file,
+    // as a newer writer (or a mixed capture) would.
+    let text = std::fs::read_to_string(&clean).expect("metrics written");
+    let mut lines: Vec<&str> = text.lines().collect();
+    lines.insert(1, "{\"event\":\"frob\",\"x\":1}");
+    lines.insert(2, "{\"event\":\"frob\",\"x\":2}");
+    let spliced = dir.join("spliced.jsonl");
+    std::fs::write(&spliced, lines.join("\n") + "\n").expect("spliced written");
+
+    let base = rlcheck(&["report", clean.to_str().expect("utf-8 path")]);
+    let report = rlcheck(&["report", spliced.to_str().expect("utf-8 path")]);
+    assert_eq!(report.status.code(), Some(0), "unknown kinds are not fatal");
+    assert_eq!(
+        stdout(&report),
+        stdout(&base),
+        "unknown events must not perturb the rendered table"
+    );
+    let err = stderr(&report);
+    assert!(
+        err.contains("unknown event kind") && err.contains("frob (2)"),
+        "the skip is tallied on stderr: {err}"
+    );
+}
+
+#[test]
+fn report_renders_captured_subscribe_streams() {
+    let dir = std::env::temp_dir().join("rlcheck-report-stream");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let capture = dir.join("capture.jsonl");
+    // A headerless subscribe capture, as written by `rlcheck top 2> file`
+    // or a raw socket client.
+    std::fs::write(
+        &capture,
+        concat!(
+            "{\"event\":\"heartbeat\",\"job\":1,\"elapsed_us\":2000000,",
+            "\"states\":100,\"transitions\":10,\"frontier\":5}\n",
+            "{\"event\":\"trace\",\"ph\":\"B\",\"track\":0,\"cat\":\"span\",",
+            "\"name\":\"check\",\"ts_us\":1,\"job\":1}\n",
+            "{\"event\":\"trace\",\"ph\":\"E\",\"track\":0,\"cat\":\"span\",",
+            "\"name\":\"check\",\"ts_us\":900,\"job\":1}\n",
+            "{\"event\":\"done\",\"job\":1,\"code\":0}\n",
+            "{\"event\":\"dropped\",\"count\":3,\"total\":3}\n",
+        ),
+    )
+    .expect("capture written");
+    let report = rlcheck(&["report", capture.to_str().expect("utf-8 path")]);
+    assert_eq!(report.status.code(), Some(0));
+    let out = stdout(&report);
+    assert!(
+        out.contains("stream: 1 job(s), 1 heartbeat(s), 2 trace event(s), 3 dropped"),
+        "{out}"
+    );
+    assert!(out.contains("done code 0"), "{out}");
+}

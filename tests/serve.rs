@@ -230,6 +230,16 @@ fn serve_runs_jobs_and_drains_cleanly() {
     assert_eq!(int_field(&st, "submitted"), 2);
     assert_eq!(int_field(&st, "completed"), 2);
     assert_eq!(int_field(&st, "inflight_states"), 0);
+    // Uptime, per-verb request counters, and the telemetry-plane gauges
+    // ride along in the same reply.
+    assert!(int_field(&st, "uptime_ms") >= 0);
+    let req = st.field("requests").expect("requests object");
+    assert_eq!(int_field(req, "submit"), 2);
+    assert_eq!(int_field(req, "wait"), 2);
+    assert!(int_field(req, "status") >= 2);
+    assert!(int_field(req, "stats") >= 1, "the stats call counts itself");
+    assert_eq!(int_field(&st, "subscribers"), 0);
+    assert_eq!(int_field(&st, "events_dropped"), 0);
 
     let ack = c.shutdown();
     assert_eq!(str_field(&ack, "status"), "draining");
@@ -708,6 +718,246 @@ fn second_server_on_a_live_socket_is_refused() {
     assert!(bool_field(&st, "ok"), "incumbent still answers: {st:?}");
     c.shutdown();
     assert_eq!(d.wait_exit(), 0);
+}
+
+/// Polls `stats` until the predicate holds or the deadline passes.
+fn poll_stats(c: &mut Client, what: &str, pred: impl Fn(&Json) -> bool) -> Json {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let st = c.stats();
+        if pred(&st) {
+            return st;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "stats never became {what}: {st:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn subscribe_streams_heartbeats_and_traces_before_done() {
+    let d = start_daemon("sub", &["--jobs", "2"], &[("RL_PROGRESS_MS", "5")]);
+
+    // One connection subscribes to every job before any is submitted.
+    let mut sub = connect(&d);
+    let ack = sub.request("{\"cmd\":\"subscribe\",\"id\":\"*\"}");
+    assert!(bool_field(&ack, "ok"), "{ack:?}");
+    assert_eq!(int_field(&ack, "ring_capacity"), 1024, "default ring size");
+
+    // Another submits and collects the verdict through the normal verbs.
+    let mut c = connect(&d);
+    let r = c.request(&submit_line(&[
+        ("path", s("examples/systems/server.pn")),
+        ("formula", s("[]<>result")),
+    ]));
+    assert!(bool_field(&r, "ok"), "{r:?}");
+    let id = int_field(&r, "id");
+    let done = c.wait_job(id);
+    assert_eq!(int_field(&done, "code"), 0, "{done:?}");
+
+    let st = c.stats();
+    assert_eq!(int_field(&st, "subscribers"), 1, "{st:?}");
+
+    // The stream must carry at least one heartbeat and one trace event for
+    // the job strictly before its `done` record — guaranteed even for runs
+    // shorter than the sampling period, because completion publishes a
+    // final heartbeat and the trace tail under the same lock as `done`.
+    let (mut beats, mut traces) = (0u64, 0u64);
+    loop {
+        let v = sub.try_recv().expect("stream ended before the done record");
+        match str_field(&v, "event").as_str() {
+            "heartbeat" if int_field(&v, "job") == id => beats += 1,
+            "trace" if int_field(&v, "job") == id => traces += 1,
+            "done" if int_field(&v, "job") == id => break,
+            _ => {}
+        }
+    }
+    assert!(beats >= 1, "no heartbeat before done");
+    assert!(traces >= 1, "no trace event before done");
+
+    // `unsubscribe` detaches cleanly and the connection stays usable.
+    let off = sub.request("{\"cmd\":\"unsubscribe\"}");
+    assert!(bool_field(&off, "ok"), "{off:?}");
+    assert!(bool_field(&off, "unsubscribed"), "{off:?}");
+    let st = sub.stats();
+    assert_eq!(int_field(&st, "subscribers"), 0, "{st:?}");
+    let req = st.field("requests").expect("requests object");
+    assert_eq!(int_field(req, "subscribe"), 1);
+    assert_eq!(int_field(req, "unsubscribe"), 1);
+}
+
+#[test]
+fn slow_subscriber_drops_events_but_never_stalls_the_job_or_drain() {
+    // A tiny ring and a fast sampler guarantee overflow: far more events
+    // are published per flush window than the ring can hold.
+    let mut d = start_daemon(
+        "slowsub",
+        &["--jobs", "1"],
+        &[("RL_PROGRESS_MS", "2"), ("RL_SUBSCRIBER_RING", "4")],
+    );
+    let mut sub = connect(&d);
+    let ack = sub.request("{\"cmd\":\"subscribe\",\"id\":\"*\"}");
+    assert!(bool_field(&ack, "ok"), "{ack:?}");
+    assert_eq!(int_field(&ack, "ring_capacity"), 4);
+    // The subscriber now goes silent: it never reads another byte.
+
+    let mut c = connect(&d);
+    let started = Instant::now();
+    let r = c.request(&submit_line(&[
+        ("path", s("examples/systems/needle24.ts")),
+        ("formula", s("[]<>a")),
+        ("timeout_ms", i(2_000)),
+    ]));
+    assert!(bool_field(&r, "ok"), "{r:?}");
+    let done = c.wait_job(int_field(&r, "id"));
+    // The job settles on its own 2s budget: publishing to a wedged
+    // subscriber is drop-oldest into the ring, never a blocking write from
+    // the worker, so the stall adds no meaningful delay.
+    assert_eq!(int_field(&done, "code"), 3, "{done:?}");
+    assert!(
+        started.elapsed() < Duration::from_secs(15),
+        "slow subscriber delayed the job: {:?}",
+        started.elapsed()
+    );
+
+    let st = c.stats();
+    assert!(
+        int_field(&st, "events_dropped") > 0,
+        "a 4-slot ring must overflow under a 2ms sampler: {st:?}"
+    );
+
+    // Drain completes within the grace window even though the subscriber
+    // never read its stream.
+    let ack = c.shutdown();
+    assert_eq!(str_field(&ack, "status"), "draining");
+    assert_eq!(d.wait_exit(), 0, "stderr: {}", d.stderr_text());
+    assert!(d.stderr_text().contains("drained"), "{}", d.stderr_text());
+    drop(sub);
+}
+
+#[test]
+fn active_subscriber_leaves_deterministic_counters_unchanged() {
+    let m_quiet = scratch("sub-quiet", "jsonl");
+    let m_watched = scratch("sub-watched", "jsonl");
+    let submit = |c: &mut Client| {
+        for path in [
+            "examples/systems/server.pn",
+            "examples/systems/server_err.pn",
+            "examples/systems/server.pn",
+        ] {
+            let r = c.request(&submit_line(&[
+                ("path", s(path)),
+                ("formula", s("[]<>result")),
+            ]));
+            assert!(bool_field(&r, "ok"), "{r:?}");
+        }
+    };
+
+    // Daemon A: no subscriber. (--no-op-cache for scheduling-independent
+    // span attribution, as in the panic-isolation test.)
+    let mut quiet = start_daemon(
+        "sub-quiet",
+        &[
+            "--jobs",
+            "2",
+            "--no-op-cache",
+            "--metrics",
+            m_quiet.to_str().unwrap(),
+        ],
+        &[],
+    );
+    let mut c = connect(&quiet);
+    submit(&mut c);
+    let codes: Vec<i64> = (1..=3)
+        .map(|id| int_field(&c.wait_job(id), "code"))
+        .collect();
+    assert_eq!(codes, vec![0, 1, 0]);
+    c.shutdown();
+    assert_eq!(quiet.wait_exit(), 0);
+
+    // Daemon B: identical jobs under an aggressive sampler and a live
+    // subscriber reading the whole stream.
+    let mut watched = start_daemon(
+        "sub-watched",
+        &[
+            "--jobs",
+            "2",
+            "--no-op-cache",
+            "--metrics",
+            m_watched.to_str().unwrap(),
+        ],
+        &[("RL_PROGRESS_MS", "2")],
+    );
+    let sub = connect(&watched);
+    let mut sub_writer = sub.writer.try_clone().expect("clone");
+    let mut sub_reader = sub.reader;
+    writeln!(sub_writer, "{{\"cmd\":\"subscribe\",\"id\":\"*\"}}").expect("subscribe");
+    let reader = std::thread::spawn(move || {
+        // Reads the whole stream until the daemon drains (EOF), counting
+        // heartbeats; errors end the stream like EOF.
+        let mut beats = 0u64;
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match sub_reader.read_line(&mut line) {
+                Ok(0) | Err(_) => return beats,
+                Ok(_) => {
+                    if line.contains("\"event\":\"heartbeat\"") {
+                        beats += 1;
+                    }
+                }
+            }
+        }
+    });
+    let mut c = connect(&watched);
+    submit(&mut c);
+    let codes: Vec<i64> = (1..=3)
+        .map(|id| int_field(&c.wait_job(id), "code"))
+        .collect();
+    assert_eq!(codes, vec![0, 1, 0], "verdicts unchanged under observation");
+    c.shutdown();
+    assert_eq!(watched.wait_exit(), 0);
+    let beats = reader.join().expect("reader thread");
+    assert!(beats >= 1, "the subscriber observed the jobs");
+
+    // The observed daemon's deterministic per-job counters are bit-for-bit
+    // those of the unobserved one: same span paths, same state counts.
+    let quiet_spans = job_spans(&std::fs::read_to_string(&m_quiet).expect("quiet metrics"));
+    let watched_spans = job_spans(&std::fs::read_to_string(&m_watched).expect("watched metrics"));
+    assert!(!quiet_spans.is_empty(), "metrics record job spans");
+    assert_eq!(quiet_spans, watched_spans);
+}
+
+#[test]
+fn injected_subscriber_drop_severs_the_stream_but_not_the_job() {
+    // The fault point arms the first non-empty subscriber flush: the
+    // stream is severed mid-job, exactly like a crashed `top`.
+    let d = start_daemon(
+        "dropsub",
+        &["--jobs", "1"],
+        &[("RL_FAULT", "serve-drop-sub:1"), ("RL_PROGRESS_MS", "5")],
+    );
+    let mut sub = connect(&d);
+    let ack = sub.request("{\"cmd\":\"subscribe\",\"id\":\"*\"}");
+    assert!(bool_field(&ack, "ok"), "{ack:?}");
+
+    let mut c = connect(&d);
+    let r = c.request(&submit_line(&[
+        ("path", s("examples/systems/server.pn")),
+        ("formula", s("[]<>result")),
+    ]));
+    let done = c.wait_job(int_field(&r, "id"));
+    assert_eq!(int_field(&done, "code"), 0, "job unaffected: {done:?}");
+
+    // The severed subscriber sees EOF, and the daemon reaps its
+    // subscription within a heartbeat.
+    assert!(sub.try_recv().is_none(), "stream should be severed");
+    let st = poll_stats(&mut c, "subscriber-free", |st| {
+        int_field(st, "subscribers") == 0
+    });
+    assert_eq!(int_field(&st, "completed"), 1, "{st:?}");
 }
 
 #[test]

@@ -317,6 +317,7 @@ pub struct Guard {
     metrics: Option<MetricsRegistry>,
     op_cache: Option<OpCache>,
     pool: Option<Arc<Pool>>,
+    lazy: bool,
 }
 
 impl Guard {
@@ -338,6 +339,7 @@ impl Guard {
             metrics: None,
             op_cache: None,
             pool: None,
+            lazy: true,
         }
     }
 
@@ -361,7 +363,28 @@ impl Guard {
             metrics: None,
             op_cache: None,
             pool: None,
+            lazy: true,
         }
+    }
+
+    /// Selects between the lazy fused decision pipeline (the default) and
+    /// the fully materializing one.
+    ///
+    /// With `lazy` on, the relative-liveness and relative-safety deciders
+    /// skip the subset constructions entirely: behaviors are taken as the
+    /// transition system's graph read with Büchi semantics, the Lemma 4.3
+    /// prefix inclusion runs as an antichain-pruned on-the-fly search (see
+    /// [`crate::lazy`]), and the Lemma 4.4 limit reuses the prefix NFA
+    /// verbatim. `with_lazy(false)` (the CLI's `--no-lazy`) restores the
+    /// materializing determinize → difference → emptiness pipeline.
+    pub fn with_lazy(mut self, lazy: bool) -> Guard {
+        self.lazy = lazy;
+        self
+    }
+
+    /// Whether the lazy fused pipeline is selected (see [`Guard::with_lazy`]).
+    pub fn lazy_enabled(&self) -> bool {
+        self.lazy
     }
 
     /// Attaches a [`MetricsRegistry`]: every subsequent charge is mirrored

@@ -1,0 +1,382 @@
+//! On-the-fly language inclusion with antichain subsumption.
+//!
+//! The materializing pipeline decides `L(A) ⊆ L(B)` by determinizing both
+//! automata, building the difference product, and searching it for an
+//! accepted word — paying for every macro-state of `B`'s subset
+//! construction whether or not a counterexample search would ever visit it.
+//! This module fuses the three stages into one breadth-first search over
+//! *(state of `A`, macro-state of `B`)* pairs generated on demand:
+//!
+//! * **On-the-fly product** — a node `(q, S)` means some run of `A` on the
+//!   current word `w` ends in `q` while `S = δ_B(initials, w)` is the full
+//!   set of `B` states reachable on `w`. Successors are computed from the
+//!   transition tables directly; no automaton is ever constructed.
+//! * **Counterexample check** — `w ∈ L(A) \ L(B)` exactly when `q` is
+//!   accepting and `S` contains no accepting state, so each node is tested
+//!   as it is generated and the search stops at the *first* hit (BFS layer
+//!   order makes it a shortest one). The word is reconstructed from parent
+//!   pointers into the existing witness format.
+//! * **Antichain subsumption** — counterexamples reachable from `(q, S′)`
+//!   are a subset of those reachable from `(q, S)` whenever `S ⊆ S′`
+//!   (smaller macro-states accept fewer words), so a candidate whose
+//!   macro-state is a superset of one already admitted on the same `A`
+//!   state is dropped. Per `A` state only the minimal macro-states are kept
+//!   ([`StateSet::is_subset`] tests); on hard inputs this collapses an
+//!   exponential frontier to a handful of nodes.
+//!
+//! Layers above the parallel threshold fan the macro-state successor rows
+//! out across the guard's [`Pool`](crate::Pool) with the same
+//! sequential-merge discipline as the layered subset construction
+//! (DESIGN.md §10): workers compute pure rows, and every effect — guard
+//! charges, dominance checks, counters, witness bookkeeping — happens in a
+//! sequential merge that walks the rows in exactly the order the
+//! single-threaded loop would. Verdicts, charge sequences, and the
+//! `lazy/*` counters are bit-for-bit identical at any thread count.
+
+use std::sync::Arc;
+
+use crate::error::AutomataError;
+use crate::guard::Guard;
+use crate::nfa::{Nfa, PAR_LAYER_THRESHOLD};
+use crate::stateset::{FxHashMap, StateSet};
+use crate::word::Word;
+use crate::{StateId, Symbol};
+
+/// One frontier node: a single `A` state paired with the `B` macro-state
+/// reached on the same word, plus the edge that discovered it (for witness
+/// reconstruction).
+struct Node {
+    left: StateId,
+    right: StateSet,
+    parent: Option<(usize, Symbol)>,
+    /// Set when a later-admitted node dominated this one while it was still
+    /// waiting in the next layer; dead nodes are dropped before expansion.
+    dead: bool,
+}
+
+/// The per-symbol successor row of one node's macro-state: `Some(S′)` for
+/// symbols on which the node's `A` state has at least one successor (the
+/// only ones that generate candidates), `None` otherwise.
+type Row = Vec<Option<StateSet>>;
+
+struct Search<'x> {
+    a: &'x Nfa,
+    b: &'x Nfa,
+    guard: &'x Guard,
+    nodes: Vec<Node>,
+    /// Per `A` state, the minimal (antichain) macro-states admitted so far,
+    /// each tagged with the node that owns it (so displacing an entry can
+    /// mark the owner dead).
+    antichain: FxHashMap<StateId, Vec<(StateSet, usize)>>,
+}
+
+impl Search<'_> {
+    fn count(&self, name: &'static str) {
+        if let Some(m) = self.guard.metrics() {
+            m.counter(name).inc();
+        }
+    }
+
+    /// The word spelled by the parent chain ending at `parent`.
+    fn witness(&self, mut parent: Option<(usize, Symbol)>) -> Word {
+        let mut w = Vec::new();
+        while let Some((pi, sym)) = parent {
+            w.push(sym);
+            parent = self.nodes[pi].parent;
+        }
+        w.reverse();
+        w
+    }
+
+    /// Tests a candidate node and either reports it as a counterexample,
+    /// drops it as subsumed, or admits it into `next_layer`.
+    fn admit(
+        &mut self,
+        left: StateId,
+        right: &StateSet,
+        parent: Option<(usize, Symbol)>,
+        next_layer: &mut Vec<usize>,
+    ) -> Result<Option<Word>, AutomataError> {
+        if self.a.is_accepting(left) && !right.iter().any(|q| self.b.is_accepting(q)) {
+            self.count("lazy/early_exit");
+            return Ok(Some(self.witness(parent)));
+        }
+        let chain = self.antichain.entry(left).or_default();
+        if chain.iter().any(|(t, _)| t.is_subset(right)) {
+            self.count("lazy/subsumed");
+            return Ok(None);
+        }
+        // Keep the antichain minimal, and *retro-prune*: a displaced entry's
+        // owner node is marked dead, so if it is still waiting in the next
+        // layer it is dropped before expansion. This matters when admission
+        // order works against the search (symbol order can deliver every
+        // superset before the minimal macro-state that dominates them);
+        // without it the frontier degenerates to the full subset
+        // construction. The mark-and-filter happens entirely inside the
+        // sequential merge, so it is deterministic at any thread count.
+        let id = self.nodes.len();
+        let mut displaced = Vec::new();
+        chain.retain(|(t, owner)| {
+            let drop = right.is_subset(t);
+            if drop {
+                displaced.push(*owner);
+            }
+            !drop
+        });
+        chain.push((right.clone(), id));
+        for owner in displaced {
+            self.nodes[owner].dead = true;
+        }
+        self.guard.charge_state()?;
+        self.nodes.push(Node {
+            left,
+            right: right.clone(),
+            parent,
+            dead: false,
+        });
+        next_layer.push(id);
+        Ok(None)
+    }
+}
+
+/// Decides `L(a) ⊆ L(b)` by lazy antichain search; on failure returns a
+/// shortest witness word in `L(a) \ L(b)`.
+///
+/// Semantically equivalent to determinizing both automata and running
+/// [`crate::dfa_included_with`], but only ever expands (state, macro-state)
+/// pairs the counterexample search actually reaches, prunes
+/// subset-dominated frontier nodes, and exits on the first hit. Expanded
+/// pairs are charged as states and generated candidates as transitions
+/// against the guard; with a metrics registry attached the search reports
+/// `lazy/expanded`, `lazy/subsumed`, and `lazy/early_exit` counters plus
+/// per-layer `lazy-layer`/`lazy-prune` trace instants.
+///
+/// Note the witness is a shortest word of `L(a) \ L(b)`, like the eager
+/// path's, but among equal-length witnesses the tie-break may differ from
+/// the difference-product search.
+///
+/// # Errors
+///
+/// [`AutomataError::BudgetExceeded`] or [`AutomataError::Cancelled`] when
+/// the guard trips.
+pub fn nfa_included_lazy(a: &Nfa, b: &Nfa, guard: &Guard) -> Result<Option<Word>, AutomataError> {
+    let _span = guard.span("lazy_inclusion");
+    let symbols: Vec<Symbol> = a.alphabet().symbols().collect();
+    let mut search = Search {
+        a,
+        b,
+        guard,
+        nodes: Vec::new(),
+        antichain: FxHashMap::default(),
+    };
+
+    let s0: StateSet = b.initial().iter().copied().collect();
+    let mut layer: Vec<usize> = Vec::new();
+    for &q in a.initial() {
+        if let Some(w) = search.admit(q, &s0, None, &mut layer)? {
+            return Ok(Some(w));
+        }
+    }
+
+    let shared_a = Arc::new(a.clone());
+    let shared_b = Arc::new(b.clone());
+    let probe = guard.probe();
+    let mut subsumed_before = 0u64;
+    loop {
+        // Retro-prune: drop nodes that a later admission dominated while
+        // they waited in this layer. They were never expanded, so skipping
+        // them loses no counterexamples — any word escaping from a dominated
+        // node also escapes from its (same-or-earlier-layer) dominator.
+        let admitted = layer.len();
+        layer.retain(|&ni| !search.nodes[ni].dead);
+        for _ in layer.len()..admitted {
+            search.count("lazy/subsumed");
+        }
+        if layer.is_empty() {
+            break;
+        }
+        guard.trace_instant("lazy-layer", Some(("width", layer.len() as u64)));
+        let items: Arc<Vec<(StateId, StateSet)>> = Arc::new(
+            layer
+                .iter()
+                .map(|&ni| (search.nodes[ni].left, search.nodes[ni].right.clone()))
+                .collect(),
+        );
+        let expand = {
+            let a = Arc::clone(&shared_a);
+            let b = Arc::clone(&shared_b);
+            let probe = probe.clone();
+            let symbols = symbols.clone();
+            move |i: usize| -> Result<Row, AutomataError> {
+                probe.check()?;
+                let (left, right) = &items[i];
+                let mut row = Vec::with_capacity(symbols.len());
+                for &sym in &symbols {
+                    if a.successor_slice(*left, sym).is_empty() {
+                        row.push(None);
+                        continue;
+                    }
+                    let mut next = StateSet::with_universe(b.state_count());
+                    for q in right.iter() {
+                        for &q2 in b.successor_slice(q, sym) {
+                            next.insert(q2);
+                        }
+                    }
+                    row.push(Some(next));
+                }
+                Ok(row)
+            }
+        };
+        let rows: Vec<Result<Row, AutomataError>> = match guard.par_pool() {
+            Some(pool) if layer.len() >= PAR_LAYER_THRESHOLD => {
+                pool.map_indexed(layer.len(), Arc::new(expand))
+            }
+            _ => (0..layer.len()).map(expand).collect(),
+        };
+
+        // Sequential merge, in FIFO order: every effect — charges,
+        // dominance tests, counters, node numbering — happens here, so the
+        // parallel path is bit-for-bit the sequential one.
+        let m = layer.len();
+        let mut next_layer: Vec<usize> = Vec::new();
+        for (li, (&ni, row)) in layer.iter().zip(rows).enumerate() {
+            guard.note_frontier((m - 1 - li) + next_layer.len());
+            search.count("lazy/expanded");
+            let left = search.nodes[ni].left;
+            for (&sym, cell) in symbols.iter().zip(row?) {
+                let Some(next) = cell else { continue };
+                for &q2 in a.successor_slice(left, sym) {
+                    guard.charge_transition()?;
+                    if let Some(w) = search.admit(q2, &next, Some((ni, sym)), &mut next_layer)? {
+                        return Ok(Some(w));
+                    }
+                }
+            }
+        }
+        let subsumed_now = search
+            .guard
+            .metrics()
+            .map_or(0, |m| m.counter("lazy/subsumed").get());
+        if subsumed_now > subsumed_before {
+            guard.trace_instant(
+                "lazy-prune",
+                Some(("count", subsumed_now - subsumed_before)),
+            );
+            subsumed_before = subsumed_now;
+        }
+        layer = next_layer;
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Alphabet, Nfa};
+
+    fn ab2() -> (Alphabet, Symbol, Symbol) {
+        let ab = Alphabet::new(["a", "b"]).unwrap();
+        (ab.clone(), ab.symbol("a").unwrap(), ab.symbol("b").unwrap())
+    }
+
+    /// The eager reference: determinize both sides and difference them.
+    fn eager(a: &Nfa, b: &Nfa) -> Option<Word> {
+        crate::dfa_included(&a.determinize(), &b.determinize())
+    }
+
+    #[test]
+    fn agrees_with_eager_on_small_machines() {
+        let (ab, a, b) = ab2();
+        let univ = Nfa::from_parts(ab.clone(), 1, [0], [0], [(0, a, 0), (0, b, 0)]).unwrap();
+        let no_bb = Nfa::from_parts(
+            ab.clone(),
+            2,
+            [0],
+            [0, 1],
+            [(0, a, 0), (0, b, 1), (1, a, 0)],
+        )
+        .unwrap();
+        let g = Guard::unlimited();
+        assert_eq!(nfa_included_lazy(&no_bb, &univ, &g).unwrap(), None);
+        // Both searches find a shortest witness; `bb` is the unique one.
+        assert_eq!(
+            nfa_included_lazy(&univ, &no_bb, &g).unwrap(),
+            Some(vec![b, b])
+        );
+        assert_eq!(eager(&univ, &no_bb), Some(vec![b, b]));
+    }
+
+    #[test]
+    fn empty_left_language_is_always_included() {
+        let (ab, a, _) = ab2();
+        let empty = Nfa::new(ab.clone());
+        let l1 = Nfa::from_parts(ab, 2, [0], [1], [(0, a, 1)]).unwrap();
+        let g = Guard::unlimited();
+        assert_eq!(nfa_included_lazy(&empty, &l1, &g).unwrap(), None);
+        // The reverse fails on the shortest word of L1.
+        assert_eq!(nfa_included_lazy(&l1, &empty, &g).unwrap(), Some(vec![a]));
+    }
+
+    #[test]
+    fn epsilon_witness_when_right_is_empty() {
+        let (ab, a, _) = ab2();
+        // L(a*) with all states accepting vs the empty language: ε escapes.
+        let l = Nfa::from_parts(ab.clone(), 1, [0], [0], [(0, a, 0)]).unwrap();
+        let none = Nfa::new(ab);
+        let g = Guard::unlimited();
+        assert_eq!(nfa_included_lazy(&l, &none, &g).unwrap(), Some(vec![]));
+    }
+
+    #[test]
+    fn budget_trips_deterministically() {
+        let (ab, a, b) = ab2();
+        // Included languages, so the search must explore (no early exit).
+        let l = Nfa::from_parts(
+            ab.clone(),
+            3,
+            [0],
+            [0, 1, 2],
+            [(0, a, 1), (1, b, 2), (2, a, 0), (0, b, 0)],
+        )
+        .unwrap();
+        let univ = Nfa::from_parts(ab, 1, [0], [0], [(0, a, 0), (0, b, 0)]).unwrap();
+        let budget = crate::Budget::unlimited().with_max_states(1);
+        let g1 = Guard::new(budget.clone());
+        let g2 = Guard::new(budget);
+        let e1 = format!("{}", nfa_included_lazy(&l, &univ, &g1).unwrap_err());
+        let e2 = format!("{}", nfa_included_lazy(&l, &univ, &g2).unwrap_err());
+        // Identical trip points up to the (wall-clock) elapsed suffix.
+        assert_eq!(e1.split(" in ").next(), e2.split(" in ").next());
+    }
+
+    #[test]
+    fn subsumption_prunes_dominated_macrostates() {
+        let (ab, a, b) = ab2();
+        // A: universal over {a,b} (one all-accepting state). B: after any
+        // `a` the macro-state grows; the all-b macro-state stays minimal and
+        // subsumes every superset on the shared A state.
+        let univ = Nfa::from_parts(ab.clone(), 1, [0], [0], [(0, a, 0), (0, b, 0)]).unwrap();
+        let big = Nfa::from_parts(
+            ab,
+            3,
+            [0],
+            [0, 1, 2],
+            [
+                (0, a, 0),
+                (0, b, 0),
+                (0, a, 1),
+                (1, a, 2),
+                (1, b, 2),
+                (2, a, 2),
+                (2, b, 2),
+            ],
+        )
+        .unwrap();
+        let reg = rl_obs::MetricsRegistry::new();
+        let g = Guard::unlimited().with_metrics(reg.clone());
+        assert_eq!(nfa_included_lazy(&univ, &big, &g).unwrap(), None);
+        assert!(reg.counter("lazy/subsumed").get() > 0);
+        assert!(reg.counter("lazy/expanded").get() > 0);
+        assert_eq!(reg.counter("lazy/early_exit").get(), 0);
+    }
+}

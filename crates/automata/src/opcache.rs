@@ -228,7 +228,7 @@ impl OpCache {
     }
 
     /// The general constructor: an optional timeline tracer and an optional
-    /// resident-byte budget. With a budget, each of the [`SHARDS`] shards
+    /// resident-byte budget. With a budget, each of the `SHARDS` shards
     /// caps its tracked resident bytes at `budget / SHARDS` (at least one
     /// byte, so a tiny budget degrades to "cache nothing", never divides to
     /// a zero-progress loop) and evicts cost-aware-LRU victims on insert.

@@ -1,5 +1,5 @@
-//! Compares two trajectory benchmark files (schema `rl-bench-trajectory/v1`)
-//! and fails when the fresh run regresses against the committed baseline.
+//! Compares two benchmark files of the same schema and fails when the fresh
+//! run regresses against the committed baseline.
 //!
 //! Usage:
 //!
@@ -7,11 +7,26 @@
 //! bench_compare <baseline.json> <fresh.json>
 //! ```
 //!
-//! The deterministic counters (`states`, `transitions`, `guard_charges`) are
-//! identical across machines and runs, so *any* increase over the baseline is
-//! a hard failure (exit 1) — this is what makes the check jitter-tolerant in
-//! CI. Wall-clock (`elapsed_us`) is noisy there, so a regression beyond 25%
-//! is only reported as a warning.
+//! Three schemas are understood, matched on the documents' `schema` field
+//! (baseline and fresh must agree):
+//!
+//! - `rl-bench-trajectory/v1` — per-phase pipeline totals. Deterministic
+//!   counters: `states`, `transitions`, `guard_charges`; wall clock:
+//!   `elapsed_us`; witness: `trace_counters_equal` (tracing must not move
+//!   the counters).
+//! - `rl-bench-par/v1` — jobs 1 vs jobs 4 wall clocks. Same deterministic
+//!   counters; wall clock: `jobs1_us`; witness: `counters_equal`. When
+//!   either document's `host_cpus` meta is below 4 a warning notes that
+//!   the recorded speedups measure coordination overhead, not scaling.
+//! - `rl-bench-lazy/v1` — fused-lazy vs materializing pipeline.
+//!   Deterministic counters: `lazy_states`, `eager_states`,
+//!   `lazy_expanded`, `lazy_subsumed`; wall clock: `lazy_jobs1_us`;
+//!   witness: `lazy_counters_equal` (thread-count independence).
+//!
+//! The deterministic counters are identical across machines and runs, so
+//! *any* increase over the baseline is a hard failure (exit 1) — this is
+//! what makes the check jitter-tolerant in CI. Wall-clock is noisy there,
+//! so a regression beyond 25% is only reported as a warning.
 //!
 //! A case present in the baseline but missing from the fresh run (matched on
 //! `system` + `formula`) is also a hard failure: silently dropping a case
@@ -21,10 +36,48 @@ use std::process::ExitCode;
 
 use rl_json::{parse, Json};
 
-/// Deterministic per-case totals: any increase is a real regression.
-const COUNTERS: [&str; 3] = ["states", "transitions", "guard_charges"];
 /// Tolerated wall-clock slowdown before a warning is printed.
 const ELAPSED_TOLERANCE: f64 = 1.25;
+
+/// Per-schema comparison profile: which per-case fields are deterministic
+/// (any increase fails), which field is the noisy wall clock (warn only),
+/// and which boolean field witnesses an in-run invariant (false fails;
+/// absent is tolerated for pre-witness baselines).
+struct Profile {
+    counters: &'static [&'static str],
+    elapsed: &'static str,
+    witness: &'static str,
+    witness_label: &'static str,
+}
+
+fn profile(schema: &str) -> Option<Profile> {
+    match schema {
+        "rl-bench-trajectory/v1" => Some(Profile {
+            counters: &["states", "transitions", "guard_charges"],
+            elapsed: "elapsed_us",
+            witness: "trace_counters_equal",
+            witness_label: "tracer left the deterministic counters untouched",
+        }),
+        "rl-bench-par/v1" => Some(Profile {
+            counters: &["states", "transitions", "guard_charges"],
+            elapsed: "jobs1_us",
+            witness: "counters_equal",
+            witness_label: "parallel counters matched sequential",
+        }),
+        "rl-bench-lazy/v1" => Some(Profile {
+            counters: &[
+                "lazy_states",
+                "eager_states",
+                "lazy_expanded",
+                "lazy_subsumed",
+            ],
+            elapsed: "lazy_jobs1_us",
+            witness: "lazy_counters_equal",
+            witness_label: "lazy counters thread-count independent",
+        }),
+        _ => None,
+    }
+}
 
 fn load(path: &str) -> Result<Json, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -47,10 +100,12 @@ fn int_field(case: &Json, key: &str) -> Result<u64, String> {
     }
 }
 
-fn cases(doc: &Json, path: &str) -> Result<Vec<Json>, String> {
-    let schema = str_field(doc, "schema")?;
-    if schema != "rl-bench-trajectory/v1" {
-        return Err(format!("{path}: unexpected schema {schema:?}"));
+fn cases(doc: &Json, path: &str, schema: &str) -> Result<Vec<Json>, String> {
+    let found = str_field(doc, "schema")?;
+    if found != schema {
+        return Err(format!(
+            "{path}: schema {found:?} does not match {schema:?}"
+        ));
     }
     Ok(doc
         .field("cases")
@@ -59,11 +114,36 @@ fn cases(doc: &Json, path: &str) -> Result<Vec<Json>, String> {
         .to_vec())
 }
 
+/// `rl-bench-par/v1` meta: a document recorded on a starved host measures
+/// coordination overhead, not the kernels' scaling — worth a warning so a
+/// "speedup 0.6x" baseline is not mistaken for a real regression target.
+fn warn_on_starved_host(doc: &Json, path: &str, warnings: &mut usize) {
+    if let Some(Json::Int(n)) = doc.get("host_cpus") {
+        if *n < 4 {
+            eprintln!(
+                "warn {path}: recorded with host_cpus {n} (< 4); its speedups \
+                 measure coordination overhead, not the kernels' scaling"
+            );
+            *warnings += 1;
+        }
+    }
+}
+
 fn run(baseline_path: &str, fresh_path: &str) -> Result<ExitCode, String> {
-    let baseline = cases(&load(baseline_path)?, baseline_path)?;
-    let fresh = cases(&load(fresh_path)?, fresh_path)?;
+    let baseline_doc = load(baseline_path)?;
+    let fresh_doc = load(fresh_path)?;
+    let schema = str_field(&baseline_doc, "schema")?.to_owned();
+    let Some(profile) = profile(&schema) else {
+        return Err(format!("{baseline_path}: unexpected schema {schema:?}"));
+    };
+    let baseline = cases(&baseline_doc, baseline_path, &schema)?;
+    let fresh = cases(&fresh_doc, fresh_path, &schema)?;
     let mut failures = 0usize;
     let mut warnings = 0usize;
+    if schema == "rl-bench-par/v1" {
+        warn_on_starved_host(&baseline_doc, baseline_path, &mut warnings);
+        warn_on_starved_host(&fresh_doc, fresh_path, &mut warnings);
+    }
 
     for base in &baseline {
         let system = str_field(base, "system")?;
@@ -76,7 +156,7 @@ fn run(baseline_path: &str, fresh_path: &str) -> Result<ExitCode, String> {
             failures += 1;
             continue;
         };
-        for counter in COUNTERS {
+        for counter in profile.counters {
             let (b, n) = (int_field(base, counter)?, int_field(new, counter)?);
             if n > b {
                 eprintln!("FAIL {label}: {counter} regressed {b} -> {n}");
@@ -85,34 +165,37 @@ fn run(baseline_path: &str, fresh_path: &str) -> Result<ExitCode, String> {
                 println!("ok   {label}: {counter} {b} -> {n}");
             }
         }
-        // The harness re-runs every case with the event tracer attached and
-        // records whether the deterministic counters came out identical.
-        // A false witness means tracing is no longer zero-cost on the
-        // counters — a hard failure. (Absent in pre-tracer baselines.)
-        match new.get("trace_counters_equal") {
+        // The harness records whether the run's internal invariant held
+        // (tracing zero-cost, parallel/lazy counters bit-for-bit). A false
+        // witness is a hard failure. (Absent in pre-witness baselines.)
+        match new.get(profile.witness) {
             Some(Json::Bool(true)) => {
-                println!("ok   {label}: tracer left the deterministic counters untouched");
+                println!("ok   {label}: {}", profile.witness_label);
             }
             Some(Json::Bool(false)) => {
-                eprintln!("FAIL {label}: tracing perturbed the deterministic counters");
+                eprintln!("FAIL {label}: witness `{}` is false", profile.witness);
                 failures += 1;
             }
             _ => {}
         }
         let (b_us, n_us) = (
-            int_field(base, "elapsed_us")?,
-            int_field(new, "elapsed_us")?,
+            int_field(base, profile.elapsed)?,
+            int_field(new, profile.elapsed)?,
         );
         if (n_us as f64) > (b_us as f64) * ELAPSED_TOLERANCE {
-            eprintln!("warn {label}: elapsed_us regressed {b_us} -> {n_us} (> {ELAPSED_TOLERANCE}x; wall-clock only, not fatal)");
+            eprintln!(
+                "warn {label}: {} regressed {b_us} -> {n_us} (> {ELAPSED_TOLERANCE}x; \
+                 wall-clock only, not fatal)",
+                profile.elapsed
+            );
             warnings += 1;
         } else {
-            println!("ok   {label}: elapsed_us {b_us} -> {n_us}");
+            println!("ok   {label}: {} {b_us} -> {n_us}", profile.elapsed);
         }
     }
 
     println!(
-        "compared {} baseline case(s): {failures} failure(s), {warnings} warning(s)",
+        "compared {} baseline case(s) [{schema}]: {failures} failure(s), {warnings} warning(s)",
         baseline.len()
     );
     Ok(if failures == 0 {

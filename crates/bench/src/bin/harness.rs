@@ -2,7 +2,7 @@
 //!
 //! Usage: `cargo run --release -p rl-bench --bin harness [-- <experiment>]`
 //! where `<experiment>` is one of `fig2 fig3 fig4 scaling payoff hardness
-//! ltl fair prob trajectory par all` (default `all`).
+//! ltl fair prob trajectory par lazy all` (default `all`).
 //!
 //! `trajectory` additionally writes `BENCH_<date>.json` at the repository
 //! root: per-phase observability metrics (schema `rl-bench-trajectory/v1`)
@@ -20,6 +20,11 @@
 //! trajectory case timed at `--jobs 1` and `--jobs 4` side by side, with a
 //! `counters_equal` witness that the parallel kernels charged bit-for-bit
 //! the sequential totals.
+//!
+//! `lazy` writes `BENCH_<date>-lazy.json` (schema `rl-bench-lazy/v1`):
+//! every trajectory case checked with the lazy fused pipeline (the default)
+//! and with `--no-lazy` materialization side by side — expanded-state and
+//! wall-clock deltas, with needle24 as the headline case.
 
 use std::time::{Duration, Instant};
 
@@ -393,6 +398,7 @@ fn trajectory_case(
     formula: &str,
     budget: Budget,
     jobs: usize,
+    lazy: bool,
     tracer: Option<std::sync::Arc<rl_automata::Tracer>>,
 ) -> (String, MetricsRegistry) {
     let text = std::fs::read_to_string(format!("{root}/examples/systems/{file}"))
@@ -412,6 +418,7 @@ fn trajectory_case(
         None => rl_automata::OpCache::new(),
     };
     let mut guard = Guard::new(budget)
+        .with_lazy(lazy)
         .with_metrics(registry.clone())
         .with_op_cache(cache);
     if jobs >= 2 {
@@ -472,7 +479,8 @@ fn trajectory(out_override: Option<&str>, jobs: usize) {
     };
     let mut rows = Vec::new();
     for (file, formula, budget) in cases {
-        let (outcome, registry) = trajectory_case(root, file, formula, budget.clone(), jobs, None);
+        let (outcome, registry) =
+            trajectory_case(root, file, formula, budget.clone(), jobs, true, None);
         // Tracer-overhead guard: the same case with the event tracer
         // attached must charge bit-for-bit the same deterministic counters
         // — tracing is timeline-only by construction, and this is where
@@ -484,6 +492,7 @@ fn trajectory(out_override: Option<&str>, jobs: usize) {
             formula,
             budget,
             jobs,
+            true,
             Some(std::sync::Arc::clone(&tracer)),
         );
         let trace_counters_equal =
@@ -572,7 +581,7 @@ fn par(out_override: Option<&str>) {
             let mut runs: Vec<(String, MetricsRegistry, u64)> = (0..3)
                 .map(|_| {
                     let (outcome, reg) =
-                        trajectory_case(root, file, formula, budget.clone(), jobs, None);
+                        trajectory_case(root, file, formula, budget.clone(), jobs, true, None);
                     let us = reg.elapsed().as_micros() as u64;
                     (outcome, reg, us)
                 })
@@ -636,6 +645,118 @@ fn par(out_override: Option<&str>) {
     println!();
 }
 
+/// Lazy fused pipeline vs the materializing one: every trajectory case run
+/// with `Guard::with_lazy(true)` (jobs 1 and 4) and `with_lazy(false)`
+/// (jobs 1) side by side. Writes `BENCH_<date>-lazy.json` (schema
+/// `rl-bench-lazy/v1`): the deterministic expanded-state delta
+/// (`eager_states` vs `lazy_expanded`) and the elapsed delta, with the
+/// needle24 case as the headline — eager exhausts its budget in the subset
+/// construction, the fused antichain search decides it in a few dozen
+/// expansions.
+fn lazy_experiment(out_override: Option<&str>) {
+    println!("== E19 — lazy fused pipeline vs materializing ==");
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    println!(
+        "{:<16} {:>12} {:>12} {:>10} {:>10} {:>10}   outcome (lazy | eager)",
+        "system", "lazy-ms", "eager-ms", "expanded", "subsumed", "eager-st"
+    );
+    let counters = |r: &MetricsRegistry| {
+        [
+            r.total(Metric::States),
+            r.total(Metric::Transitions),
+            r.total(Metric::GuardCharges),
+            r.counter("lazy/expanded").get(),
+            r.counter("lazy/subsumed").get(),
+        ]
+    };
+    let mut rows = Vec::new();
+    for (file, formula, budget) in trajectory_cases() {
+        let (lazy_outcome, lazy_reg) =
+            trajectory_case(root, file, formula, budget.clone(), 1, true, None);
+        let lazy_us = lazy_reg.elapsed().as_micros() as u64;
+        let (lazy4_outcome, lazy4_reg) =
+            trajectory_case(root, file, formula, budget.clone(), 4, true, None);
+        let lazy4_us = lazy4_reg.elapsed().as_micros() as u64;
+        let (eager_outcome, eager_reg) =
+            trajectory_case(root, file, formula, budget, 1, false, None);
+        let eager_us = eager_reg.elapsed().as_micros() as u64;
+        // PR-4 discipline carried into the fused search: the lazy counters
+        // (including `lazy/expanded` and `lazy/subsumed`) are bit-for-bit
+        // identical at any thread count.
+        let lazy_counters_equal =
+            counters(&lazy_reg) == counters(&lazy4_reg) && lazy_outcome == lazy4_outcome;
+        assert!(
+            lazy_counters_equal,
+            "{file}: lazy counters diverged between jobs 1 and 4 \
+             ({:?} vs {:?})",
+            counters(&lazy_reg),
+            counters(&lazy4_reg)
+        );
+        let [lazy_states, _, _, expanded, subsumed] = counters(&lazy_reg);
+        let eager_states = eager_reg.total(Metric::States);
+        // Expanded-state delta: nodes the fused search admitted vs states
+        // the materializing pipeline charged before finishing (or before
+        // its budget tripped, for needle24).
+        let expanded_ratio = eager_states as f64 / expanded.max(1) as f64;
+        println!(
+            "{:<16} {:>12.2} {:>12.2} {:>10} {:>10} {:>10}   {} | {}",
+            file,
+            lazy_us as f64 / 1_000.0,
+            eager_us as f64 / 1_000.0,
+            expanded,
+            subsumed,
+            eager_states,
+            lazy_outcome,
+            eager_outcome
+        );
+        if file == "needle24.ts" {
+            // The acceptance headline: the antichain search must beat the
+            // subset construction's state count by at least 5x.
+            assert!(
+                eager_states >= 5 * expanded.max(1),
+                "needle24: expanded-state drop below 5x \
+                 (eager {eager_states}, lazy expanded {expanded})"
+            );
+        }
+        rows.push(
+            ObjBuilder::new()
+                .field("system", file)
+                .field("formula", formula)
+                .field("lazy_outcome", lazy_outcome)
+                .field("eager_outcome", eager_outcome)
+                .field("lazy_expanded", expanded)
+                .field("lazy_subsumed", subsumed)
+                .field("lazy_states", lazy_states)
+                .field("eager_states", eager_states)
+                .field("expanded_ratio", expanded_ratio)
+                .field("lazy_jobs1_us", lazy_us)
+                .field("lazy_jobs4_us", lazy4_us)
+                .field("eager_us", eager_us)
+                .field("lazy_counters_equal", lazy_counters_equal)
+                .build(),
+        );
+    }
+    let date = today();
+    let doc = ObjBuilder::new()
+        .field("schema", "rl-bench-lazy/v1")
+        .field("date", date.as_str())
+        .field(
+            "note",
+            "expanded_ratio = eager_states / lazy_expanded; needle24 is the \
+             headline (eager exhausts its budget in the subset construction)",
+        )
+        .field("cases", Json::Arr(rows))
+        .build();
+    let path = match out_override {
+        Some(p) => p.to_owned(),
+        None => format!("{root}/BENCH_{date}-lazy.json"),
+    };
+    let text = rl_json::to_string_pretty(&doc).expect("lazy document serializes");
+    std::fs::write(&path, text + "\n").expect("output path is writable");
+    println!("wrote {path}");
+    println!();
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     // `--out <path>` redirects the trajectory JSON (default:
@@ -680,6 +801,7 @@ fn main() {
         "prob" => prob(),
         "trajectory" => trajectory(out.as_deref(), jobs),
         "par" => par(out.as_deref()),
+        "lazy" => lazy_experiment(out.as_deref()),
         "all" => {
             fig2();
             fig3();
@@ -692,11 +814,12 @@ fn main() {
             prob();
             trajectory(out.as_deref(), jobs);
             par(None);
+            lazy_experiment(None);
         }
         other => {
             eprintln!(
                 "unknown experiment {other:?}; expected one of \
-                 fig2 fig3 fig4 scaling payoff hardness ltl fair prob trajectory par all"
+                 fig2 fig3 fig4 scaling payoff hardness ltl fair prob trajectory par lazy all"
             );
             std::process::exit(2);
         }

@@ -1,0 +1,257 @@
+//! Differential tests pinning the lazy fused pipeline to the materializing
+//! one: on the shipped trajectory fixtures and on random machines, the
+//! verdicts of `satisfies`/`is_relative_liveness`/`is_relative_safety`
+//! must be identical with `Guard::with_lazy(true)` (the default) and
+//! `with_lazy(false)` (the CLI's `--no-lazy`), at jobs 1 and 4, with and
+//! without the op cache — and every witness either path produces must be
+//! *semantically valid* (witnesses may differ in tie-break between the
+//! search orders, so validity, not equality, is what is pinned).
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use relative_liveness::format::parse_system;
+use rl_automata::{
+    dfa_included, nfa_included_lazy, Alphabet, Guard, Metric, MetricsRegistry, Nfa, OpCache, Pool,
+    Symbol, TransitionSystem, Word,
+};
+use rl_bench::random_system;
+use rl_buchi::{behaviors_of_ts_with, UpWord};
+use rl_core::{is_relative_liveness_with, is_relative_safety_with, satisfies_with, Property};
+use rl_logic::parse;
+
+const SIGMA2: [&str; 2] = ["a", "b"];
+
+fn alphabet2() -> Alphabet {
+    Alphabet::new(SIGMA2).expect("valid alphabet")
+}
+
+/// Random NFA over {a, b} with exactly `n` states (the `bitset_equiv`
+/// generator).
+fn nfa_strategy(n: usize) -> impl Strategy<Value = Nfa> {
+    let transitions = proptest::collection::vec((0..n, 0..2usize, 0..n), 0..=(3 * n));
+    let accepting = proptest::collection::vec(0..n, 0..=n);
+    let initial = proptest::collection::vec(0..n, 1..=2);
+    (transitions, accepting, initial).prop_map(move |(ts, acc, init)| {
+        Nfa::from_parts(
+            alphabet2(),
+            n,
+            init,
+            acc,
+            ts.into_iter()
+                .map(|(p, s, q)| (p, Symbol::from_index(s), q)),
+        )
+        .expect("indices in range")
+    })
+}
+
+proptest! {
+    /// The fused antichain search decides exactly the inclusion the
+    /// materializing path (determinize both, difference, shortest accepted
+    /// word) decides, and its witnesses are shortest words of the
+    /// difference language.
+    #[test]
+    fn lazy_inclusion_agrees_with_eager(a in nfa_strategy(5), b in nfa_strategy(5)) {
+        let guard = Guard::unlimited();
+        let lazy = nfa_included_lazy(&a, &b, &guard).expect("unlimited guard");
+        let eager = dfa_included(&a.determinize(), &b.determinize());
+        match (&lazy, &eager) {
+            (None, None) => {}
+            (Some(lw), Some(ew)) => {
+                // Same verdict; witnesses are both shortest, so same length.
+                prop_assert_eq!(lw.len(), ew.len());
+                prop_assert!(a.accepts(lw), "lazy witness not in L(a): {:?}", lw);
+                prop_assert!(!b.accepts(lw), "lazy witness in L(b): {:?}", lw);
+            }
+            _ => prop_assert!(false, "verdicts differ: lazy {:?}, eager {:?}", lazy, eager),
+        }
+    }
+}
+
+/// One full check (behaviors → classical → rel-live → rel-safe) of a
+/// formula against a transition system under a configured guard.
+struct Run {
+    sat: bool,
+    live: bool,
+    safe: bool,
+    counterexample: Option<UpWord>,
+    doomed: Option<Word>,
+    escape: Option<UpWord>,
+    /// Deterministic totals: (states, transitions, guard charges,
+    /// lazy/expanded, lazy/subsumed).
+    counters: (u64, u64, u64, u64, u64),
+}
+
+fn run_check(ts: &TransitionSystem, formula: &str, lazy: bool, jobs: usize, cache: bool) -> Run {
+    let prop = Property::formula(parse(formula).expect("formula parses"));
+    let reg = MetricsRegistry::new();
+    let mut guard = Guard::unlimited().with_lazy(lazy).with_metrics(reg.clone());
+    if cache {
+        guard = guard.with_op_cache(OpCache::new());
+    }
+    if jobs >= 2 {
+        guard = guard.with_pool(Arc::new(Pool::new(jobs)));
+    }
+    let behaviors = behaviors_of_ts_with(ts, &guard).expect("behaviors");
+    let sat = satisfies_with(&behaviors, &prop, &guard).expect("satisfies");
+    let live = is_relative_liveness_with(&behaviors, &prop, &guard).expect("rel-live");
+    let safe = is_relative_safety_with(&behaviors, &prop, &guard).expect("rel-safe");
+    Run {
+        sat: sat.holds,
+        live: live.holds,
+        safe: safe.holds,
+        counterexample: sat.counterexample,
+        doomed: live.doomed_prefix,
+        escape: safe.escaping_behavior,
+        counters: (
+            reg.total(Metric::States),
+            reg.total(Metric::Transitions),
+            reg.total(Metric::GuardCharges),
+            reg.counter("lazy/expanded").get(),
+            reg.counter("lazy/subsumed").get(),
+        ),
+    }
+}
+
+/// Semantic validity of the witnesses a run produced, against the system's
+/// behaviors and the property — independent of which pipeline found them.
+fn assert_witnesses_valid(ts: &TransitionSystem, formula: &str, run: &Run) {
+    let prop = Property::formula(parse(formula).expect("formula parses"));
+    let guard = Guard::unlimited();
+    let behaviors = behaviors_of_ts_with(ts, &guard).expect("behaviors");
+    let p = prop
+        .to_buchi(behaviors.alphabet())
+        .expect("property to Büchi");
+    if let Some(x) = &run.counterexample {
+        assert!(behaviors.accepts_upword(x), "counterexample not a behavior");
+        assert!(!p.accepts_upword(x), "counterexample satisfies P");
+    }
+    if let Some(w) = &run.doomed {
+        // Lemma 4.3: w ∈ pre(L_ω) but w ∉ pre(L_ω ∩ P).
+        let both = behaviors.intersection(&p).expect("intersection");
+        assert!(
+            behaviors.prefix_nfa().accepts(w),
+            "doomed prefix not a prefix of any behavior: {w:?}"
+        );
+        assert!(
+            !both.prefix_nfa().accepts(w),
+            "doomed prefix extends into P: {w:?}"
+        );
+    }
+    if let Some(x) = &run.escape {
+        assert!(behaviors.accepts_upword(x), "escape not a behavior");
+        assert!(!p.accepts_upword(x), "escape satisfies P");
+    }
+}
+
+/// Compares a lazy run against the eager reference: the three verdict bits
+/// must agree, and both runs' witnesses must be valid.
+fn assert_equivalent(ts: &TransitionSystem, formula: &str, lazy: &Run, eager: &Run) {
+    assert_eq!(lazy.sat, eager.sat, "classical verdict differs ({formula})");
+    assert_eq!(
+        lazy.live, eager.live,
+        "rel-live verdict differs ({formula})"
+    );
+    assert_eq!(
+        lazy.safe, eager.safe,
+        "rel-safe verdict differs ({formula})"
+    );
+    assert_witnesses_valid(ts, formula, lazy);
+    assert_witnesses_valid(ts, formula, eager);
+}
+
+fn fixture(file: &str) -> TransitionSystem {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let text =
+        std::fs::read_to_string(format!("{root}/examples/systems/{file}")).expect("fixture reads");
+    parse_system(&text).expect("fixture parses")
+}
+
+/// The shipped trajectory fixtures (minus needle24, whose eager run is the
+/// point of the lazy pipeline — it gets its own test below).
+const FIXTURES: [(&str, &str); 4] = [
+    ("abp.ts", "[]<>deliver"),
+    ("clock.ts", "[]<>tick"),
+    ("server.pn", "[]<>result"),
+    ("server_err.pn", "[]<>result"),
+];
+
+#[test]
+fn trajectory_fixtures_agree_across_pipelines() {
+    for (file, formula) in FIXTURES {
+        let ts = fixture(file);
+        let eager = run_check(&ts, formula, false, 1, true);
+        for jobs in [1, 4] {
+            for cache in [true, false] {
+                let lazy = run_check(&ts, formula, true, jobs, cache);
+                assert_equivalent(&ts, formula, &lazy, &eager);
+            }
+        }
+    }
+}
+
+#[test]
+fn lazy_counters_are_thread_count_independent() {
+    // PR-4 discipline, extended to the fused search: states, transitions,
+    // guard charges, and the lazy/* counters are bit-for-bit identical at
+    // any thread count (the needle fixture drives frontier widths past the
+    // parallel threshold).
+    for (file, formula) in [("abp.ts", "[]<>deliver"), ("needle24.ts", "[]<>a")] {
+        let ts = fixture(file);
+        let j1 = run_check(&ts, formula, true, 1, true);
+        let j4 = run_check(&ts, formula, true, 4, true);
+        assert_eq!(j1.counters, j4.counters, "{file}");
+        assert_eq!(j1.sat, j4.sat);
+        assert_eq!(j1.live, j4.live);
+        assert_eq!(j1.safe, j4.safe);
+        assert_eq!(j1.doomed, j4.doomed, "lazy witness must be deterministic");
+        assert_eq!(j1.escape, j4.escape);
+    }
+}
+
+#[test]
+fn needle24_is_feasible_only_lazily() {
+    // The subset construction the eager path cannot avoid needs 2^24
+    // states on this fixture; the fused search with retro-pruned antichain
+    // subsumption decides it in a few dozen expansions.
+    let ts = fixture("needle24.ts");
+    let lazy = run_check(&ts, "[]<>a", true, 1, true);
+    assert!(lazy.live, "needle24 is relative-live for []<>a");
+    assert!(!lazy.sat && !lazy.safe);
+    assert_witnesses_valid(&ts, "[]<>a", &lazy);
+    let (_, _, _, expanded, subsumed) = lazy.counters;
+    assert!(
+        expanded < 1000,
+        "antichain search must stay tiny, expanded {expanded}"
+    );
+    assert!(subsumed > 0, "subsumption must fire, subsumed {subsumed}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random systems: the full three-decider pipeline agrees between the
+    /// lazy and materializing paths, and witnesses stay valid.
+    #[test]
+    fn random_systems_agree_across_pipelines(
+        seed in 0u64..10_000,
+        n in 2usize..7,
+        density in proptest::sample::select(&[0.2f64, 0.4, 0.7][..]),
+        formula in proptest::sample::select(&["[]<>t0", "<>t1", "[]t0", "[]<>t1"][..]),
+    ) {
+        let ts = random_system(seed, n, 2, density);
+        let lazy = run_check(&ts, formula, true, 1, true);
+        let eager = run_check(&ts, formula, false, 1, false);
+        assert_equivalent(&ts, formula, &lazy, &eager);
+        // The pool changes nothing at all; dropping the op cache changes
+        // neither verdicts nor witnesses (only the cache-hit accounting).
+        let lazy4 = run_check(&ts, formula, true, 4, true);
+        prop_assert_eq!(lazy.live, lazy4.live);
+        prop_assert_eq!(&lazy.doomed, &lazy4.doomed);
+        prop_assert_eq!(lazy.counters, lazy4.counters);
+        let uncached = run_check(&ts, formula, true, 1, false);
+        prop_assert_eq!(lazy.live, uncached.live);
+        prop_assert_eq!(&lazy.doomed, &uncached.doomed);
+        prop_assert_eq!(&lazy.escape, &uncached.escape);
+    }
+}

@@ -63,7 +63,8 @@ pub use complement::{
 };
 pub use generalized::GeneralizedBuchi;
 pub use limits::{
-    behaviors_of_ts, behaviors_of_ts_with, limit_of_dfa, limit_of_regular, limit_of_regular_with,
+    behaviors_of_ts, behaviors_of_ts_with, limit_of_dfa, limit_of_prefix_closed, limit_of_regular,
+    limit_of_regular_with,
 };
 pub use omega_regex::OmegaRegex;
 pub use upword::UpWord;

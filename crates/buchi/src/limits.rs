@@ -65,6 +65,31 @@ pub fn limit_of_regular_with(nfa: &Nfa, guard: &Guard) -> Result<Buchi, Automata
     Ok(limit_of_dfa(&nfa.determinize_with(guard)?))
 }
 
+/// The Büchi automaton accepting `lim(L(nfa))` for a prefix-closed NFA
+/// with *every state accepting* — no determinization.
+///
+/// For such an automaton König's lemma closes the gap that makes
+/// [`limit_of_regular`] determinize in general: the run tree of an ω-word
+/// `x` has a node at depth `n` exactly when `x`'s length-`n` prefix is in
+/// `L`, every node's parent is a node (prefixes of prefixes are reachable
+/// through the same run), and branching is finite — so *all* prefixes of
+/// `x` being in `L` yields an infinite path, i.e. an infinite run. With
+/// all states accepting, that run is Büchi-accepting verbatim. Hence
+/// `lim(L)` is the same graph read with Büchi semantics, and the
+/// exponential subset construction is skipped entirely.
+///
+/// This is the limit constructor of the lazy fused pipeline
+/// ([`Guard::lazy_enabled`]); callers must uphold the all-states-accepting
+/// precondition (transition-system NFAs and [`Buchi::prefix_nfa`] outputs
+/// do by construction).
+pub fn limit_of_prefix_closed(nfa: &Nfa) -> Buchi {
+    debug_assert!(
+        (0..nfa.state_count()).all(|q| nfa.is_accepting(q)),
+        "limit_of_prefix_closed needs an all-accepting (prefix-closed) NFA"
+    );
+    Buchi::from_nfa_structure(nfa)
+}
+
 /// The ω-behavior `lim(L)` of a transition system, where `L` is its
 /// prefix-closed finite-word language (Definition 6.2 with `h = id`).
 ///
@@ -85,7 +110,23 @@ pub fn behaviors_of_ts(ts: &TransitionSystem) -> Buchi {
 /// Returns a budget error when the guard trips.
 pub fn behaviors_of_ts_with(ts: &TransitionSystem, guard: &Guard) -> Result<Buchi, AutomataError> {
     let _span = guard.span("behaviors");
-    limit_of_regular_with(&ts.to_nfa(), guard)
+    let nfa = ts.to_nfa();
+    if guard.lazy_enabled() {
+        // Lazy pipeline: a transition system's NFA is all-accepting and
+        // prefix-closed, so `lim` is the graph itself under Büchi semantics
+        // (see `limit_of_prefix_closed`) — the subset construction that
+        // dominates worst cases like needle24.ts is skipped. The copied
+        // graph is still charged so budgets and counters stay honest.
+        let _lim = guard.span("limit");
+        for _ in 0..nfa.state_count() {
+            guard.charge_state()?;
+        }
+        for _ in 0..nfa.transition_count() {
+            guard.charge_transition()?;
+        }
+        return Ok(limit_of_prefix_closed(&nfa));
+    }
+    limit_of_regular_with(&nfa, guard)
 }
 
 #[cfg(test)]

@@ -64,7 +64,7 @@ use std::time::{Duration, Instant};
 
 use rl_json::{FromJson, Json, JsonError, ObjBuilder, ToJson};
 
-pub use report::ObsReport;
+pub use report::{ObsReport, SCHEMA_STREAM};
 pub use stream::{EventRing, Heartbeat, StreamBus, StreamSubscription};
 pub use trace::{
     chrome_trace_json, folded_stacks, set_thread_track, thread_track, track_name, TraceEvent,

@@ -72,6 +72,10 @@
 //!                      frontier, budget fraction) while a check runs
 //! --no-op-cache        disable the automaton-operation memo cache that the
 //!                      deciders (and the jobs of a batch) share by default
+//! --no-lazy            opt out of the lazy fused pipeline: materialize the
+//!                      subset constructions and differences eagerly instead
+//!                      of exploring the on-the-fly product with antichain
+//!                      subsumption (verdicts are identical either way)
 //! --cache-bytes <n>    byte budget for that cache: resident entries are
 //!                      size-accounted and evicted cost-aware-LRU so the
 //!                      cache never holds more than <n> bytes (verdicts and
@@ -210,6 +214,19 @@ fn extract_no_op_cache(args: &mut Vec<String>) -> bool {
     disabled
 }
 
+/// Extracts `--no-lazy` from the argument list. The lazy fused pipeline
+/// (on-the-fly inclusion search with antichain subsumption) is on by
+/// default; this flag opts back into the eager materializing constructions
+/// (for debugging, differential testing, and apples-to-apples benchmarks).
+fn extract_no_lazy(args: &mut Vec<String>) -> bool {
+    let mut disabled = false;
+    while let Some(idx) = args.iter().position(|a| a == "--no-lazy") {
+        args.remove(idx);
+        disabled = true;
+    }
+    disabled
+}
+
 /// Extracts a `<flag> <value>` pair from the argument list (every
 /// occurrence; the last value wins).
 fn extract_value_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
@@ -263,6 +280,14 @@ fn parse_manifest(text: &str) -> Result<Vec<CheckSpec>, String> {
 /// an exit code, and (when observability is on) its metrics shard.
 type JobOutcome = (String, String, u8, Option<RegistrySnapshot>);
 
+/// The guard-shaping state every batch job starts from: the shared budget,
+/// the one cancel token, and the pipeline selection (`--no-lazy`).
+struct GuardSeed {
+    budget: Budget,
+    cancel: CancelToken,
+    lazy: bool,
+}
+
 /// Runs a batch of checks across a worker pool with per-check isolation:
 /// each check gets its own guard (sharing the batch deadline's *remaining*
 /// time, one cancel token, and one op cache), its output is buffered and
@@ -271,11 +296,10 @@ type JobOutcome = (String, String, u8, Option<RegistrySnapshot>);
 fn cmd_batch(
     checks: Vec<CheckSpec>,
     threads: usize,
-    budget: &Budget,
+    seed: GuardSeed,
     registry: Option<&MetricsRegistry>,
     shared_cache: Option<OpCache>,
     tracer: Option<&Arc<Tracer>>,
-    cancel: CancelToken,
 ) -> ExitCode {
     let pool = Pool::with_tracer(threads, tracer.cloned());
     let batch_start = std::time::Instant::now();
@@ -287,8 +311,9 @@ fn cmd_batch(
     let jobs: Vec<Box<dyn FnOnce() -> JobOutcome + Send>> = checks
         .into_iter()
         .map(|check| {
-            let budget = budget.clone();
-            let cancel = cancel.clone();
+            let budget = seed.budget.clone();
+            let cancel = seed.cancel.clone();
+            let lazy = seed.lazy;
             let cache = shared_cache.clone();
             let tracer = tracer.cloned();
             let finished = Arc::clone(&finished);
@@ -310,7 +335,7 @@ fn cmd_batch(
                 // sharded collector, so the job's span events land on the
                 // worker's own timeline track.
                 let reg = want_snapshots.then(MetricsRegistry::new);
-                let mut guard = Guard::with_cancel(budget, cancel);
+                let mut guard = Guard::with_cancel(budget, cancel).with_lazy(lazy);
                 if let Some(r) = &reg {
                     if let Some(t) = tracer {
                         r.set_tracer(t);
@@ -737,7 +762,7 @@ fn main() -> ExitCode {
                  [--job <id>] \
                  [--stats] [--metrics <file>] [--trace-out <file>] \
                  [--flame-out <file>] [--progress] [--no-op-cache] \
-                 [--cache-bytes <n>]";
+                 [--no-lazy] [--cache-bytes <n>]";
     let budget = match extract_budget(&mut args) {
         Ok(b) => b,
         Err(e) => return fail(format!("{e}\n{usage}")),
@@ -747,6 +772,7 @@ fn main() -> ExitCode {
         Err(e) => return fail(format!("{e}\n{usage}")),
     };
     let no_op_cache = extract_no_op_cache(&mut args);
+    let no_lazy = extract_no_lazy(&mut args);
     let cache_bytes = match extract_value_flag(&mut args, "--cache-bytes") {
         Ok(None) => None,
         Ok(Some(raw)) => match raw.parse::<usize>() {
@@ -803,7 +829,7 @@ fn main() -> ExitCode {
     // half-flushed sinks. Serve mode reads it as the drain trigger.
     let cancel = CancelToken::new();
     sig::install(cancel.clone());
-    let mut guard = Guard::with_cancel(budget.clone(), cancel.clone());
+    let mut guard = Guard::with_cancel(budget.clone(), cancel.clone()).with_lazy(!no_lazy);
     if let Some(reg) = &registry {
         guard = guard.with_metrics(reg.clone());
     }
@@ -854,11 +880,14 @@ fn main() -> ExitCode {
             cmd_batch(
                 checks,
                 jobs,
-                &budget,
+                GuardSeed {
+                    budget: budget.clone(),
+                    cancel: cancel.clone(),
+                    lazy: !no_lazy,
+                },
                 registry.as_ref(),
                 shared_cache,
                 tracer.as_ref(),
-                cancel.clone(),
             )
         }
         "serve" => {
@@ -895,6 +924,7 @@ fn main() -> ExitCode {
                     queue_cap,
                     cache: op_cache.clone(),
                     tracer: tracer.clone(),
+                    no_lazy,
                 };
                 let shutdown = cancel.clone();
                 let reg = registry.clone();

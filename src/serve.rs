@@ -83,6 +83,10 @@ pub struct ServeConfig {
     pub cache: Option<OpCache>,
     /// Event-level tracer shared by the pool and the jobs (`--trace-out`).
     pub tracer: Option<Arc<Tracer>>,
+    /// Service-wide `--no-lazy`: jobs run the eager materializing pipeline
+    /// instead of the lazy fused one. A `submit` may also opt out per job
+    /// with a `no_lazy` field.
+    pub no_lazy: bool,
 }
 
 /// The heartbeat period: connection reads time out at this cadence (which
@@ -182,6 +186,9 @@ struct JobResult {
 struct JobRecord {
     spec: CheckSpec,
     budget: Budget,
+    /// Whether this job runs the lazy fused pipeline (service default,
+    /// overridable per submit via `no_lazy`).
+    lazy: bool,
     /// Admission weight (declared max-states, or [`DEFAULT_JOB_WEIGHT`]).
     weight: u64,
     /// Id of the submitting connection — disconnects cancel by this.
@@ -277,6 +284,9 @@ struct Core {
     max_inflight: Option<u64>,
     queue_cap: usize,
     default_budget: Budget,
+    /// Service-wide lazy opt-out (`--no-lazy`), the default for submits
+    /// that carry no `no_lazy` field.
+    no_lazy: bool,
     /// The subscriber fan-out plane.
     bus: StreamBus,
     /// When the service started — the `stats` reply's `uptime_ms`.
@@ -375,12 +385,12 @@ fn settle_locked(t: &mut Table, id: u64, mut result: JobResult) {
 /// Executes one job on a pool worker: builds the per-job guard, runs the
 /// shared check pipeline behind `catch_unwind`, and records the result.
 fn run_job(core: &Arc<Core>, id: u64) {
-    let (spec, budget, cancel) = {
+    let (spec, budget, cancel, lazy) = {
         let t = core.lock();
         let Some(e) = t.entries.get(&id) else {
             return;
         };
-        (e.spec.clone(), e.budget.clone(), e.cancel.clone())
+        (e.spec.clone(), e.budget.clone(), e.cancel.clone(), e.lazy)
     };
     // The shard registry lives outside the unwind boundary so a panicking
     // job still ships its partial spans (closed-so-far) home. Every job
@@ -392,7 +402,9 @@ fn run_job(core: &Arc<Core>, id: u64) {
     let global_offset = core.tracer.as_ref().map(|t| t.now_us());
     reg.set_tracer(Arc::clone(&job_tracer));
     let was_cancelled = cancel.clone();
-    let mut guard = Guard::with_cancel(budget, cancel).with_metrics(reg.clone());
+    let mut guard = Guard::with_cancel(budget, cancel)
+        .with_lazy(lazy)
+        .with_metrics(reg.clone());
     if let Some(c) = &core.cache {
         guard = guard.with_op_cache(c.clone());
     }
@@ -677,6 +689,13 @@ fn u64_field(v: &Json, key: &str) -> Option<u64> {
     }
 }
 
+fn bool_field(v: &Json, key: &str) -> Option<bool> {
+    match v.get(key) {
+        Some(Json::Bool(b)) => Some(*b),
+        _ => None,
+    }
+}
+
 /// Per-connection subscription state, owned by the connection thread and
 /// reaped (via [`StreamBus::unsubscribe`]) when the connection closes.
 #[derive(Default)]
@@ -897,6 +916,7 @@ fn handle_submit(core: &Arc<Core>, conn: u64, v: &Json) -> Json {
         budget.max_states = Some(n as usize);
     }
     let weight = budget.max_states.map_or(DEFAULT_JOB_WEIGHT, |n| n as u64);
+    let lazy = !bool_field(v, "no_lazy").unwrap_or(core.no_lazy);
     let spec = CheckSpec { source, formula };
 
     let (id, decision) = {
@@ -918,6 +938,7 @@ fn handle_submit(core: &Arc<Core>, conn: u64, v: &Json) -> Json {
             JobRecord {
                 spec,
                 budget,
+                lazy,
                 weight,
                 conn,
                 cancel: CancelToken::new(),
@@ -1124,6 +1145,7 @@ pub fn serve(
         max_inflight: config.max_inflight_states,
         queue_cap: config.queue_cap,
         default_budget: config.job_budget.clone(),
+        no_lazy: config.no_lazy,
         bus: StreamBus::new(),
         started: Instant::now(),
     });

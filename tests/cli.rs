@@ -214,12 +214,36 @@ fn stats_flag_prints_phase_table_on_stderr() {
         "classical",
         "relative_liveness",
         "relative_safety",
-        "determinize",
+        "lazy_inclusion",
         "buchi_intersection",
     ] {
         assert!(err.contains(phase), "no {phase} row in stderr: {err}");
     }
+    // The lazy-pipeline counters are headline rows of the profile.
+    for counter in ["lazy/expanded", "lazy/subsumed"] {
+        assert!(err.contains(counter), "no {counter} row in stderr: {err}");
+    }
     assert!(err.contains("total"), "no totals footer: {err}");
+    // --no-lazy swaps the fused search for the materializing pipeline.
+    let eager = rlcheck(&[
+        "check",
+        "examples/systems/abp.ts",
+        "[]<>deliver",
+        "--stats",
+        "--no-lazy",
+    ]);
+    assert_eq!(eager.status.code(), Some(0));
+    assert_eq!(
+        stdout(&eager),
+        stdout(&out),
+        "--no-lazy must not change verdicts"
+    );
+    let eerr = stderr(&eager);
+    assert!(eerr.contains("determinize"), "no determinize row: {eerr}");
+    assert!(
+        !eerr.contains("lazy_inclusion"),
+        "eager run ran lazily: {eerr}"
+    );
 }
 
 #[test]
@@ -256,12 +280,13 @@ fn metrics_flag_writes_parseable_jsonl_covering_the_pipeline() {
     assert_eq!(events.last().map(String::as_str), Some("totals"));
     let meta = rl_json::parse(text.lines().next().expect("meta line")).expect("meta parses");
     assert_eq!(str_field(&meta, "schema"), "rl-obs/v1");
-    // Every phase of the check pipeline shows up as a span path.
+    // Every phase of the (lazy, default) check pipeline shows up as a
+    // span path.
     for needle in [
         "check",
-        "check/behaviors/limit/determinize",
+        "check/behaviors/limit",
         "check/classical/negation",
-        "check/relative_liveness/dfa_inclusion/dfa_product",
+        "check/relative_liveness/lazy_inclusion",
         "check/relative_safety/buchi_intersection",
     ] {
         assert!(
@@ -269,16 +294,30 @@ fn metrics_flag_writes_parseable_jsonl_covering_the_pipeline() {
             "missing span {needle}; got {paths:?}"
         );
     }
+    // The lazy counters ride along in the totals record.
+    let totals = rl_json::parse(text.lines().last().expect("totals line")).expect("totals parses");
+    match totals.get("counters") {
+        Some(rl_json::Json::Obj(counters)) => {
+            assert!(
+                counters.iter().any(|(k, _)| k == "lazy/expanded"),
+                "no lazy/expanded in totals: {counters:?}"
+            );
+        }
+        other => panic!("totals has no counters object: {other:?}"),
+    }
 }
 
 #[test]
 fn budget_report_names_the_exhausted_phase() {
+    // Eager pipeline: needle24 exhausts a 5k-state cap inside the subset
+    // construction of the behaviors limit.
     let out = rlcheck(&[
         "check",
         "examples/systems/needle24.ts",
         "[]<>a",
         "--max-states",
         "5000",
+        "--no-lazy",
         "--stats",
     ]);
     assert_eq!(out.status.code(), Some(3));
@@ -291,6 +330,23 @@ fn budget_report_names_the_exhausted_phase() {
     assert!(
         err.contains("total"),
         "no totals footer after exhaustion: {err}"
+    );
+    // Lazy pipeline: the same input sails past that cap (the subset
+    // construction never runs); a much tighter one trips inside the fused
+    // inclusion search, and the report names *that* phase.
+    let lazy = rlcheck(&[
+        "check",
+        "examples/systems/needle24.ts",
+        "[]<>a",
+        "--max-states",
+        "250",
+        "--stats",
+    ]);
+    assert_eq!(lazy.status.code(), Some(3));
+    let lerr = stderr(&lazy);
+    assert!(
+        lerr.contains("in phase check/relative_liveness/lazy_inclusion"),
+        "budget report must name the lazy phase: {lerr}"
     );
 }
 
@@ -348,8 +404,9 @@ fn jobs_flag_output_is_identical_to_sequential() {
 
 #[test]
 fn jobs_budget_trip_is_identical_to_sequential() {
-    // needle24 blows a 20k-state cap inside determinize; the trip point and
-    // every deterministic diagnostic must not depend on the thread count.
+    // Eagerly, needle24 blows a 20k-state cap inside determinize; the trip
+    // point and every deterministic diagnostic must not depend on the
+    // thread count.
     let run = |jobs: &str| {
         rlcheck(&[
             "check",
@@ -357,6 +414,7 @@ fn jobs_budget_trip_is_identical_to_sequential() {
             "[]<>deliver",
             "--max-states",
             "20000",
+            "--no-lazy",
             "--jobs",
             jobs,
         ])
@@ -380,6 +438,29 @@ fn jobs_budget_trip_is_identical_to_sequential() {
         strip_elapsed(stderr(&j4)),
         "same trip point, same partial diagnostics"
     );
+    // The lazy fused search honors the same discipline: its frontier fans
+    // out across the pool, but charges merge sequentially, so a trip inside
+    // lazy_inclusion lands on the same state at any thread count.
+    let lazy = |jobs: &str| {
+        rlcheck(&[
+            "check",
+            "examples/systems/needle24.ts",
+            "[]<>a",
+            "--max-states",
+            "250",
+            "--jobs",
+            jobs,
+        ])
+    };
+    let (l1, l4) = (lazy("1"), lazy("4"));
+    assert_eq!(l1.status.code(), Some(3));
+    assert_eq!(l4.status.code(), Some(3));
+    assert_eq!(
+        strip_elapsed(stderr(&l1)),
+        strip_elapsed(stderr(&l4)),
+        "same lazy trip point at any thread count"
+    );
+    assert_eq!(stdout(&l1), stdout(&l4));
 }
 
 #[test]
@@ -587,11 +668,13 @@ fn trace_out_records_balanced_worker_tracks_and_pool_instants() {
     std::fs::create_dir_all(&dir).expect("temp dir");
     let path = dir.join("trace.json");
     // needle24 under a 20k-state cap runs long enough for the parallel
-    // kernels to fan real tasks out to the pool before the budget trips.
+    // kernels to fan real tasks out to the pool before the budget trips
+    // (eagerly — the lazy pipeline finishes it in milliseconds).
     let out = rlcheck(&[
         "check",
         "examples/systems/needle24.ts",
         "[]<>a",
+        "--no-lazy",
         "--jobs",
         "4",
         "--max-states",
@@ -865,6 +948,7 @@ fn progress_flag_emits_heartbeats() {
             "check",
             "examples/systems/needle24.ts",
             "[]<>a",
+            "--no-lazy",
             "--timeout",
             "1",
             "--progress",
@@ -947,12 +1031,14 @@ fn sigint_oneshot_exits_3_and_flushes_partial_metrics() {
     let dir = std::env::temp_dir().join("rlcheck-sigint");
     std::fs::create_dir_all(&dir).expect("temp dir");
     let metrics = dir.join("interrupted.jsonl");
-    // A check that would run for minutes: needle24 with a huge budget.
+    // A check that would run for minutes: needle24, eagerly, with a huge
+    // budget (the lazy default would finish before the signal lands).
     let child = Command::new(env!("CARGO_BIN_EXE_rlcheck"))
         .args([
             "check",
             "examples/systems/needle24.ts",
             "[]<>a",
+            "--no-lazy",
             "--timeout",
             "600",
             "--metrics",

@@ -356,6 +356,7 @@ fn client_disconnect_cancels_its_job() {
     let mut a = connect(&d);
     let r = a.request(&submit_line(&[
         ("path", s("examples/systems/needle24.ts")),
+        ("no_lazy", Json::Bool(true)),
         ("formula", s("[]<>a")),
         ("timeout_ms", i(120_000)),
     ]));
@@ -395,6 +396,7 @@ fn admission_queues_over_ceiling_then_admits() {
     // Job 1 occupies 200k of the 300k ceiling until its budget trips.
     let r1 = c.request(&submit_line(&[
         ("path", s("examples/systems/needle24.ts")),
+        ("no_lazy", Json::Bool(true)),
         ("formula", s("[]<>a")),
         ("max_states", i(200_000)),
         ("timeout_ms", i(2_000)),
@@ -445,6 +447,7 @@ fn completion_admits_queued_jobs_only_up_to_capacity() {
     // Job 1 briefly holds 200k of the 300k ceiling.
     let r1 = c.request(&submit_line(&[
         ("path", s("examples/systems/needle24.ts")),
+        ("no_lazy", Json::Bool(true)),
         ("formula", s("[]<>a")),
         ("max_states", i(200_000)),
         ("timeout_ms", i(1_000)),
@@ -459,6 +462,7 @@ fn completion_admits_queued_jobs_only_up_to_capacity() {
     for _ in 0..2 {
         let r = c.request(&submit_line(&[
             ("path", s("examples/systems/needle24.ts")),
+            ("no_lazy", Json::Bool(true)),
             ("formula", s("[]<>a")),
             ("max_states", i(200_000)),
             ("timeout_ms", i(120_000)),
@@ -514,6 +518,7 @@ fn admission_rejects_oversize_jobs_and_full_queues() {
     // Occupy most of the ceiling …
     let r1 = c.request(&submit_line(&[
         ("path", s("examples/systems/needle24.ts")),
+        ("no_lazy", Json::Bool(true)),
         ("formula", s("[]<>a")),
         ("max_states", i(250_000)),
         ("timeout_ms", i(2_000)),
@@ -807,6 +812,7 @@ fn slow_subscriber_drops_events_but_never_stalls_the_job_or_drain() {
     let started = Instant::now();
     let r = c.request(&submit_line(&[
         ("path", s("examples/systems/needle24.ts")),
+        ("no_lazy", Json::Bool(true)),
         ("formula", s("[]<>a")),
         ("timeout_ms", i(2_000)),
     ]));
@@ -973,6 +979,7 @@ fn injected_connection_drop_cancels_like_a_real_disconnect() {
     let mut a = connect(&d);
     let r = a.request(&submit_line(&[
         ("path", s("examples/systems/needle24.ts")),
+        ("no_lazy", Json::Bool(true)),
         ("formula", s("[]<>a")),
         ("timeout_ms", i(120_000)),
     ]));

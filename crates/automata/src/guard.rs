@@ -318,6 +318,7 @@ pub struct Guard {
     op_cache: Option<OpCache>,
     pool: Option<Arc<Pool>>,
     lazy: bool,
+    filters: bool,
 }
 
 impl Guard {
@@ -340,6 +341,7 @@ impl Guard {
             op_cache: None,
             pool: None,
             lazy: true,
+            filters: true,
         }
     }
 
@@ -364,6 +366,7 @@ impl Guard {
             op_cache: None,
             pool: None,
             lazy: true,
+            filters: true,
         }
     }
 
@@ -385,6 +388,25 @@ impl Guard {
     /// Whether the lazy fused pipeline is selected (see [`Guard::with_lazy`]).
     pub fn lazy_enabled(&self) -> bool {
         self.lazy
+    }
+
+    /// Selects whether the semidecision pre-filter ladder (the default) runs
+    /// before the exact inclusion deciders.
+    ///
+    /// With filters on, the Lemma 4.3 prefix inclusion first passes through
+    /// near-linear sound abstractions — letter-count (Parikh) refutation,
+    /// counts-mod-k refutation, and a simulation fast-accept — and only falls
+    /// back to the exact (lazy or eager) decider when every stage returns
+    /// `Unknown`. `with_filters(false)` (the CLI's `--no-filters`) disables
+    /// the ladder entirely.
+    pub fn with_filters(mut self, filters: bool) -> Guard {
+        self.filters = filters;
+        self
+    }
+
+    /// Whether the pre-filter ladder is selected (see [`Guard::with_filters`]).
+    pub fn filters_enabled(&self) -> bool {
+        self.filters
     }
 
     /// Attaches a [`MetricsRegistry`]: every subsequent charge is mirrored

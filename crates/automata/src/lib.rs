@@ -77,6 +77,7 @@ mod minimize;
 mod nfa;
 mod opcache;
 mod par;
+mod prefilter;
 mod regex;
 mod sim;
 mod stateset;
@@ -93,6 +94,7 @@ pub use mem::MemFootprint;
 pub use nfa::Nfa;
 pub use opcache::OpCache;
 pub use par::{resolve_jobs, Pool, PoolCounters};
+pub use prefilter::{modk_refute, nfa_simulates, parikh_refute};
 pub use regex::Regex;
 pub use rl_obs::{
     chrome_trace_json, folded_stacks, render_jsonl, set_thread_track, thread_track, track_name,

@@ -22,6 +22,11 @@
 //!   Deterministic counters: `lazy_states`, `eager_states`,
 //!   `lazy_expanded`, `lazy_subsumed`; wall clock: `lazy_jobs1_us`;
 //!   witness: `lazy_counters_equal` (thread-count independence).
+//! - `rl-bench-filters/v1` — the semidecision pre-filter ladder.
+//!   Deterministic counters: `filtered_states`, `filtered_transitions`,
+//!   `lazy_expanded` (a ladder hit must keep this at zero); wall clock:
+//!   `filtered_us`; witness: `filters_agree` (verdicts match
+//!   `--no-filters`; fall-through counters bit-for-bit identical).
 //!
 //! The deterministic counters are identical across machines and runs, so
 //! *any* increase over the baseline is a hard failure (exit 1) — this is
@@ -74,6 +79,12 @@ fn profile(schema: &str) -> Option<Profile> {
             elapsed: "lazy_jobs1_us",
             witness: "lazy_counters_equal",
             witness_label: "lazy counters thread-count independent",
+        }),
+        "rl-bench-filters/v1" => Some(Profile {
+            counters: &["filtered_states", "filtered_transitions", "lazy_expanded"],
+            elapsed: "filtered_us",
+            witness: "filters_agree",
+            witness_label: "ladder verdicts and fall-through counters agree with --no-filters",
         }),
         _ => None,
     }

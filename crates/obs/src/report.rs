@@ -267,6 +267,25 @@ impl ObsReport {
                 instants
             );
         }
+        // Algorithm-level instants — the lazy pipeline's layer/prune marks
+        // and the pre-filter ladder's hit/fallthrough marks — rolled up by
+        // name, so a committed trace answers "how often did the antichain
+        // prune?" and "which checks did the ladder settle?" at a glance.
+        let mut named: Vec<(&str, usize)> = Vec::new();
+        for e in &self.events {
+            if e.phase != TracePhase::Instant
+                || !(e.name.starts_with("lazy-") || e.name.starts_with("filter-"))
+            {
+                continue;
+            }
+            match named.iter_mut().find(|(name, _)| *name == e.name) {
+                Some((_, n)) => *n += 1,
+                None => named.push((e.name.as_str(), 1)),
+            }
+        }
+        for (name, n) in named {
+            let _ = writeln!(out, "  {name:<24} {n:>6} instant(s)");
+        }
         out
     }
 

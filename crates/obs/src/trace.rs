@@ -176,6 +176,8 @@ fn leak_static(s: &str) -> &'static str {
         "victim" => "victim",
         "shard" => "shard",
         "width" => "width",
+        "count" => "count",
+        "stage" => "stage",
         other => Box::leak(other.to_owned().into_boxed_str()),
     }
 }

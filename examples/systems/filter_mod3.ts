@@ -1,0 +1,53 @@
+# Mod-k-refutable instance: in the live component, `a` and `b` strictly
+# alternate (#a − #b stays in {0, 1} on every prefix), while `x` and `y`
+# are free bookkeeping moves; an early `b` wedges into the b-only sink
+# `d1` and kills the recurrence of `a`. Letter supports and boundedness
+# agree between pre(L) and pre(L ∩ []<>a) — every letter is unbounded on
+# both sides — and counting mod 2 cannot see the alternation (both
+# parities of #a − #b occur). Counting mod 3 can: the live component
+# never reaches the residue class #a ≡ 0, #b ≡ 1, yet the word "b" does —
+# a doomed prefix found without touching the PSPACE core. The history
+# window on {x, y} (entered by guessing at an `x`) costs the
+# materializing core a 2^14 subset construction for the same answer.
+# Try: rlcheck check examples/systems/filter_mod3.ts "[]<>a" --stats
+system
+alphabet: a b x y
+initial: s0
+s0 a -> s1
+s1 b -> s0
+s0 x -> s0
+s0 y -> s0
+s1 x -> s1
+s1 y -> s1
+s0 b -> d1    # the wedge: one early b, then silence on a
+d1 b -> d1
+s0 x -> w1    # guess: this x opens the history window
+w1 x -> w2
+w1 y -> w2
+w2 x -> w3
+w2 y -> w3
+w3 x -> w4
+w3 y -> w4
+w4 x -> w5
+w4 y -> w5
+w5 x -> w6
+w5 y -> w6
+w6 x -> w7
+w6 y -> w7
+w7 x -> w8
+w7 y -> w8
+w8 x -> w9
+w8 y -> w9
+w9 x -> w10
+w9 y -> w10
+w10 x -> w11
+w10 y -> w11
+w11 x -> w12
+w11 y -> w12
+w12 x -> w13
+w12 y -> w13
+w13 x -> w14
+w13 y -> w14
+w14 x -> s0
+w14 y -> s0
+w14 x -> w1

@@ -76,6 +76,11 @@
 //!                      subset constructions and differences eagerly instead
 //!                      of exploring the on-the-fly product with antichain
 //!                      subsumption (verdicts are identical either way)
+//! --no-filters         opt out of the semidecision pre-filter ladder
+//!                      (Parikh letter counts, counts mod k, simulation
+//!                      fast-accept) that short-circuits the exact inclusion
+//!                      decider when an abstraction already settles the
+//!                      verdict (verdicts are identical either way)
 //! --cache-bytes <n>    byte budget for that cache: resident entries are
 //!                      size-accounted and evicted cost-aware-LRU so the
 //!                      cache never holds more than <n> bytes (verdicts and
@@ -227,6 +232,20 @@ fn extract_no_lazy(args: &mut Vec<String>) -> bool {
     disabled
 }
 
+/// Extracts `--no-filters` from the argument list. The semidecision
+/// pre-filter ladder (Parikh, counts-mod-k, simulation fast-accept) runs in
+/// front of the exact inclusion decider by default; this flag disables it so
+/// every check exercises the exact (lazy or eager) core — for debugging,
+/// differential testing, and apples-to-apples benchmarks.
+fn extract_no_filters(args: &mut Vec<String>) -> bool {
+    let mut disabled = false;
+    while let Some(idx) = args.iter().position(|a| a == "--no-filters") {
+        args.remove(idx);
+        disabled = true;
+    }
+    disabled
+}
+
 /// Extracts a `<flag> <value>` pair from the argument list (every
 /// occurrence; the last value wins).
 fn extract_value_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
@@ -286,6 +305,7 @@ struct GuardSeed {
     budget: Budget,
     cancel: CancelToken,
     lazy: bool,
+    filters: bool,
 }
 
 /// Runs a batch of checks across a worker pool with per-check isolation:
@@ -314,6 +334,7 @@ fn cmd_batch(
             let budget = seed.budget.clone();
             let cancel = seed.cancel.clone();
             let lazy = seed.lazy;
+            let filters = seed.filters;
             let cache = shared_cache.clone();
             let tracer = tracer.cloned();
             let finished = Arc::clone(&finished);
@@ -335,7 +356,9 @@ fn cmd_batch(
                 // sharded collector, so the job's span events land on the
                 // worker's own timeline track.
                 let reg = want_snapshots.then(MetricsRegistry::new);
-                let mut guard = Guard::with_cancel(budget, cancel).with_lazy(lazy);
+                let mut guard = Guard::with_cancel(budget, cancel)
+                    .with_lazy(lazy)
+                    .with_filters(filters);
                 if let Some(r) = &reg {
                     if let Some(t) = tracer {
                         r.set_tracer(t);
@@ -762,7 +785,7 @@ fn main() -> ExitCode {
                  [--job <id>] \
                  [--stats] [--metrics <file>] [--trace-out <file>] \
                  [--flame-out <file>] [--progress] [--no-op-cache] \
-                 [--no-lazy] [--cache-bytes <n>]";
+                 [--no-lazy] [--no-filters] [--cache-bytes <n>]";
     let budget = match extract_budget(&mut args) {
         Ok(b) => b,
         Err(e) => return fail(format!("{e}\n{usage}")),
@@ -773,6 +796,7 @@ fn main() -> ExitCode {
     };
     let no_op_cache = extract_no_op_cache(&mut args);
     let no_lazy = extract_no_lazy(&mut args);
+    let no_filters = extract_no_filters(&mut args);
     let cache_bytes = match extract_value_flag(&mut args, "--cache-bytes") {
         Ok(None) => None,
         Ok(Some(raw)) => match raw.parse::<usize>() {
@@ -829,7 +853,9 @@ fn main() -> ExitCode {
     // half-flushed sinks. Serve mode reads it as the drain trigger.
     let cancel = CancelToken::new();
     sig::install(cancel.clone());
-    let mut guard = Guard::with_cancel(budget.clone(), cancel.clone()).with_lazy(!no_lazy);
+    let mut guard = Guard::with_cancel(budget.clone(), cancel.clone())
+        .with_lazy(!no_lazy)
+        .with_filters(!no_filters);
     if let Some(reg) = &registry {
         guard = guard.with_metrics(reg.clone());
     }
@@ -884,6 +910,7 @@ fn main() -> ExitCode {
                     budget: budget.clone(),
                     cancel: cancel.clone(),
                     lazy: !no_lazy,
+                    filters: !no_filters,
                 },
                 registry.as_ref(),
                 shared_cache,
@@ -925,6 +952,7 @@ fn main() -> ExitCode {
                     cache: op_cache.clone(),
                     tracer: tracer.clone(),
                     no_lazy,
+                    no_filters,
                 };
                 let shutdown = cancel.clone();
                 let reg = registry.clone();

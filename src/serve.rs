@@ -87,6 +87,10 @@ pub struct ServeConfig {
     /// instead of the lazy fused one. A `submit` may also opt out per job
     /// with a `no_lazy` field.
     pub no_lazy: bool,
+    /// Service-wide `--no-filters`: jobs skip the semidecision pre-filter
+    /// ladder and always run the exact inclusion decider. A `submit` may
+    /// also opt out per job with a `no_filters` field.
+    pub no_filters: bool,
 }
 
 /// The heartbeat period: connection reads time out at this cadence (which
@@ -189,6 +193,9 @@ struct JobRecord {
     /// Whether this job runs the lazy fused pipeline (service default,
     /// overridable per submit via `no_lazy`).
     lazy: bool,
+    /// Whether this job runs the pre-filter ladder (service default,
+    /// overridable per submit via `no_filters`).
+    filters: bool,
     /// Admission weight (declared max-states, or [`DEFAULT_JOB_WEIGHT`]).
     weight: u64,
     /// Id of the submitting connection — disconnects cancel by this.
@@ -287,6 +294,9 @@ struct Core {
     /// Service-wide lazy opt-out (`--no-lazy`), the default for submits
     /// that carry no `no_lazy` field.
     no_lazy: bool,
+    /// Service-wide filter opt-out (`--no-filters`), the default for
+    /// submits that carry no `no_filters` field.
+    no_filters: bool,
     /// The subscriber fan-out plane.
     bus: StreamBus,
     /// When the service started — the `stats` reply's `uptime_ms`.
@@ -385,12 +395,18 @@ fn settle_locked(t: &mut Table, id: u64, mut result: JobResult) {
 /// Executes one job on a pool worker: builds the per-job guard, runs the
 /// shared check pipeline behind `catch_unwind`, and records the result.
 fn run_job(core: &Arc<Core>, id: u64) {
-    let (spec, budget, cancel, lazy) = {
+    let (spec, budget, cancel, lazy, filters) = {
         let t = core.lock();
         let Some(e) = t.entries.get(&id) else {
             return;
         };
-        (e.spec.clone(), e.budget.clone(), e.cancel.clone(), e.lazy)
+        (
+            e.spec.clone(),
+            e.budget.clone(),
+            e.cancel.clone(),
+            e.lazy,
+            e.filters,
+        )
     };
     // The shard registry lives outside the unwind boundary so a panicking
     // job still ships its partial spans (closed-so-far) home. Every job
@@ -404,6 +420,7 @@ fn run_job(core: &Arc<Core>, id: u64) {
     let was_cancelled = cancel.clone();
     let mut guard = Guard::with_cancel(budget, cancel)
         .with_lazy(lazy)
+        .with_filters(filters)
         .with_metrics(reg.clone());
     if let Some(c) = &core.cache {
         guard = guard.with_op_cache(c.clone());
@@ -917,6 +934,7 @@ fn handle_submit(core: &Arc<Core>, conn: u64, v: &Json) -> Json {
     }
     let weight = budget.max_states.map_or(DEFAULT_JOB_WEIGHT, |n| n as u64);
     let lazy = !bool_field(v, "no_lazy").unwrap_or(core.no_lazy);
+    let filters = !bool_field(v, "no_filters").unwrap_or(core.no_filters);
     let spec = CheckSpec { source, formula };
 
     let (id, decision) = {
@@ -939,6 +957,7 @@ fn handle_submit(core: &Arc<Core>, conn: u64, v: &Json) -> Json {
                 spec,
                 budget,
                 lazy,
+                filters,
                 weight,
                 conn,
                 cancel: CancelToken::new(),
@@ -1146,6 +1165,7 @@ pub fn serve(
         queue_cap: config.queue_cap,
         default_budget: config.job_budget.clone(),
         no_lazy: config.no_lazy,
+        no_filters: config.no_filters,
         bus: StreamBus::new(),
         started: Instant::now(),
     });

@@ -37,6 +37,9 @@ struct JobRow {
     stacks: BTreeMap<u64, Vec<String>>,
     /// The currently displayed phase name.
     phase: String,
+    /// The most recent algorithm instant (`lazy-*` / `filter-*`), shown
+    /// beside the phase — "what the kernel just did" at one glance.
+    note: String,
     /// The exit code from the job's `done` record, once it settles.
     done: Option<u64>,
 }
@@ -118,6 +121,14 @@ impl TopView {
                         TracePhase::Instant => {}
                     }
                     self.dirty = true;
+                } else if e.phase == TracePhase::Instant
+                    && (e.name.starts_with("lazy-") || e.name.starts_with("filter-"))
+                {
+                    // The fused search and the pre-filter ladder narrate
+                    // themselves through kernel instants; surface the latest
+                    // one beside the phase.
+                    row.note = e.name;
+                    self.dirty = true;
                 }
                 None
             }
@@ -170,7 +181,11 @@ impl TopView {
                     .map_or_else(|| "-".to_owned(), |p| p.to_string()),
                 row.cache_pct()
                     .map_or_else(|| "-".to_owned(), |p| p.to_string()),
-                row.phase
+                if row.note.is_empty() {
+                    row.phase.clone()
+                } else {
+                    format!("{} [{}]", row.phase, row.note)
+                }
             );
         }
         out
@@ -296,6 +311,37 @@ mod tests {
         let table = view.render("/tmp/x.sock");
         assert!(table.contains("done(0)"), "{table}");
         assert!(table.contains("determinize"), "{table}");
+    }
+
+    #[test]
+    fn view_surfaces_algorithm_instants_beside_the_phase() {
+        let mut view = TopView::default();
+        view.take_line(
+            "{\"event\":\"trace\",\"job\":3,\"ph\":\"B\",\"track\":0,\
+             \"cat\":\"span\",\"name\":\"prefilter\",\"ts_us\":1}",
+        );
+        view.take_line(
+            "{\"event\":\"trace\",\"job\":3,\"ph\":\"I\",\"track\":0,\
+             \"cat\":\"kernel\",\"name\":\"filter-hit\",\"ts_us\":2,\
+             \"arg\":{\"stage\":2}}",
+        );
+        let table = view.render("/tmp/x.sock");
+        assert!(table.contains("prefilter [filter-hit]"), "{table}");
+        // Lazy pipeline instants surface the same way.
+        view.take_line(
+            "{\"event\":\"trace\",\"job\":3,\"ph\":\"I\",\"track\":0,\
+             \"cat\":\"kernel\",\"name\":\"lazy-prune\",\"ts_us\":3,\
+             \"arg\":{\"count\":7}}",
+        );
+        assert!(view.render("s").contains("prefilter [lazy-prune]"));
+        // Other kernel instants (layer widths of eager constructions) are
+        // not phase narration and stay out of the column.
+        view.jobs.get_mut(&3).expect("row").note.clear();
+        view.take_line(
+            "{\"event\":\"trace\",\"job\":3,\"ph\":\"I\",\"track\":0,\
+             \"cat\":\"kernel\",\"name\":\"determinize-layer\",\"ts_us\":4}",
+        );
+        assert!(!view.render("s").contains("[determinize-layer]"));
     }
 
     #[test]

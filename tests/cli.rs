@@ -192,7 +192,15 @@ fn budget_flags_do_not_disturb_small_inputs() {
 
 #[test]
 fn stats_flag_prints_phase_table_on_stderr() {
-    let out = rlcheck(&["check", "examples/systems/abp.ts", "[]<>deliver", "--stats"]);
+    // --no-filters: this test pins the lazy pipeline's instrumentation,
+    // which the pre-filter ladder would legitimately bypass on abp.
+    let out = rlcheck(&[
+        "check",
+        "examples/systems/abp.ts",
+        "[]<>deliver",
+        "--stats",
+        "--no-filters",
+    ]);
     assert_eq!(
         out.status.code(),
         Some(0),
@@ -231,6 +239,7 @@ fn stats_flag_prints_phase_table_on_stderr() {
         "[]<>deliver",
         "--stats",
         "--no-lazy",
+        "--no-filters",
     ]);
     assert_eq!(eager.status.code(), Some(0));
     assert_eq!(
@@ -247,6 +256,42 @@ fn stats_flag_prints_phase_table_on_stderr() {
 }
 
 #[test]
+fn filter_ladder_short_circuits_and_preserves_the_verdict() {
+    // With filters on (the default) the abp inclusion is settled by the
+    // simulation fast-accept before the exact core runs at all.
+    let filtered = rlcheck(&["check", "examples/systems/abp.ts", "[]<>deliver", "--stats"]);
+    assert_eq!(filtered.status.code(), Some(0));
+    let err = stderr(&filtered);
+    assert!(err.contains("prefilter"), "no prefilter span row: {err}");
+    for counter in ["filter/hit", "filter/sim/hit"] {
+        assert!(err.contains(counter), "no {counter} row in stderr: {err}");
+    }
+    assert!(
+        err.contains("filter hit-rate"),
+        "no hit-rate headline: {err}"
+    );
+    assert!(
+        !err.contains("lazy_inclusion"),
+        "ladder hit must bypass the exact search: {err}"
+    );
+    // The verdict (and everything else on stdout) is byte-identical with
+    // the ladder disabled.
+    let unfiltered = rlcheck(&[
+        "check",
+        "examples/systems/abp.ts",
+        "[]<>deliver",
+        "--no-filters",
+    ]);
+    assert_eq!(unfiltered.status.code(), Some(0));
+    let plain = rlcheck(&["check", "examples/systems/abp.ts", "[]<>deliver"]);
+    assert_eq!(
+        stdout(&plain),
+        stdout(&unfiltered),
+        "--no-filters must not change the report"
+    );
+}
+
+#[test]
 fn metrics_flag_writes_parseable_jsonl_covering_the_pipeline() {
     let dir = std::env::temp_dir().join("rlcheck-cli-metrics");
     std::fs::create_dir_all(&dir).expect("temp dir");
@@ -255,6 +300,7 @@ fn metrics_flag_writes_parseable_jsonl_covering_the_pipeline() {
         "check",
         "examples/systems/abp.ts",
         "[]<>deliver",
+        "--no-filters",
         "--metrics",
         path.to_str().expect("utf-8 temp path"),
     ]);
@@ -341,6 +387,7 @@ fn budget_report_names_the_exhausted_phase() {
         "--max-states",
         "250",
         "--stats",
+        "--no-filters",
     ]);
     assert_eq!(lazy.status.code(), Some(3));
     let lerr = stderr(&lazy);

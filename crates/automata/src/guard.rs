@@ -34,7 +34,7 @@ use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use rl_obs::{Metric, MetricsRegistry, Span};
+use rl_obs::{HistogramRegistry, Metric, MetricsRegistry, Span};
 
 use crate::error::AutomataError;
 use crate::opcache::OpCache;
@@ -315,6 +315,7 @@ impl GuardProbe {
 pub struct Guard {
     core: Arc<GuardCore>,
     metrics: Option<MetricsRegistry>,
+    hists: Option<HistogramRegistry>,
     op_cache: Option<OpCache>,
     pool: Option<Arc<Pool>>,
     lazy: bool,
@@ -338,6 +339,7 @@ impl Guard {
                 until_clock_check: AtomicU32::new(Self::CHECK_INTERVAL),
             }),
             metrics: None,
+            hists: None,
             op_cache: None,
             pool: None,
             lazy: true,
@@ -363,6 +365,7 @@ impl Guard {
                 until_clock_check: AtomicU32::new(Self::CHECK_INTERVAL),
             }),
             metrics: None,
+            hists: None,
             op_cache: None,
             pool: None,
             lazy: true,
@@ -423,6 +426,23 @@ impl Guard {
     /// The attached metrics registry, if any.
     pub fn metrics(&self) -> Option<&MetricsRegistry> {
         self.metrics.as_ref()
+    }
+
+    /// Attaches a [`HistogramRegistry`]: latency-instrumented call sites
+    /// (the pre-filter ladder's per-stage elapsed, and whatever else the
+    /// embedding service wires in) record percentile samples into it.
+    ///
+    /// Histograms are pure telemetry on a separate registry: they never
+    /// touch the metric counters, so the deterministic totals are
+    /// bit-for-bit identical with and without one attached.
+    pub fn with_histograms(mut self, hists: HistogramRegistry) -> Guard {
+        self.hists = Some(hists);
+        self
+    }
+
+    /// The attached histogram registry, if any.
+    pub fn histograms(&self) -> Option<&HistogramRegistry> {
+        self.hists.as_ref()
     }
 
     /// Attaches an [`OpCache`]: guarded constructions memoize their results

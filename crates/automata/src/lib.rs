@@ -96,10 +96,11 @@ pub use opcache::OpCache;
 pub use par::{resolve_jobs, Pool, PoolCounters};
 pub use prefilter::{modk_refute, nfa_simulates, parikh_refute};
 pub use regex::Regex;
+pub use rl_obs::knobs;
 pub use rl_obs::{
     chrome_trace_json, folded_stacks, render_jsonl, set_thread_track, thread_track, track_name,
-    Counter, Metric, MetricsRegistry, ObsReport, RegistrySnapshot, Span, SpanRecord, TraceEvent,
-    TracePhase, Tracer,
+    Counter, Histogram, HistogramRegistry, HistogramSnapshot, Metric, MetricsRegistry, ObsReport,
+    RegistrySnapshot, Span, SpanRecord, TraceEvent, TracePhase, Tracer,
 };
 pub use sim::{largest_simulation, simulates};
 pub use stateset::{fx_hash, FxBuildHasher, FxHashMap, FxHasher, Interner, PairTable, StateSet};

@@ -43,9 +43,10 @@
 
 use std::any::Any;
 use std::fmt;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 
-use rl_obs::Tracer;
+use rl_obs::{HistogramRegistry, Tracer};
 
 use crate::fault;
 use crate::mem::MemFootprint;
@@ -105,6 +106,10 @@ struct CacheInner {
     tracer: Option<Arc<Tracer>>,
     /// Per-shard byte ceiling (`total budget / SHARDS`); `None` = unbounded.
     shard_budget: Option<usize>,
+    /// Optional percentile plane: when set, lookups record
+    /// `opcache/probe_us` and `opcache/lock_wait_us` samples. A `OnceLock`
+    /// so the hot path pays one lock-free load when detached.
+    hists: OnceLock<HistogramRegistry>,
 }
 
 impl Default for CacheInner {
@@ -113,6 +118,7 @@ impl Default for CacheInner {
             shards: std::array::from_fn(|_| Mutex::new(Table::default())),
             tracer: None,
             shard_budget: None,
+            hists: OnceLock::new(),
         }
     }
 }
@@ -238,8 +244,18 @@ impl OpCache {
                 shards: std::array::from_fn(|_| Mutex::new(Table::default())),
                 tracer,
                 shard_budget: byte_budget.map(|b| (b / SHARDS).max(1)),
+                hists: OnceLock::new(),
             }),
         }
+    }
+
+    /// Attaches a [`HistogramRegistry`]: subsequent lookups record
+    /// `opcache/probe_us` (time to resolve a lookup, excluding builds) and
+    /// `opcache/lock_wait_us` (shard-lock acquisition wait). First call
+    /// wins; later calls on the same logical table are no-ops. Detached
+    /// caches pay one lock-free load per lookup and take no timestamps.
+    pub fn set_histograms(&self, hists: HistogramRegistry) {
+        let _ = self.inner.hists.set(hists);
     }
 
     /// The configured total byte budget, if any (shard granularity rounds
@@ -308,22 +324,42 @@ impl OpCache {
         if fault::fires("opcache-evict") {
             self.evict_all();
         }
+        let hists = self.inner.hists.get();
+        let probe_started = hists.map(|_| Instant::now());
         let shard = self.shard(key);
-        if let Ok(mut table) = shard.lock() {
-            if let Some(hit) = table.touch((op, key), &matches) {
-                table.hits += 1;
-                drop(table);
-                self.trace("hit", key);
-                return Ok((hit, true));
+        {
+            let lock_started = hists.map(|_| Instant::now());
+            if let Ok(mut table) = shard.lock() {
+                if let (Some(h), Some(t0)) = (hists, lock_started) {
+                    h.hist("opcache/lock_wait_us").record_elapsed_us(t0);
+                }
+                if let Some(hit) = table.touch((op, key), &matches) {
+                    table.hits += 1;
+                    drop(table);
+                    if let (Some(h), Some(t0)) = (hists, probe_started) {
+                        h.hist("opcache/probe_us").record_elapsed_us(t0);
+                    }
+                    self.trace("hit", key);
+                    return Ok((hit, true));
+                }
             }
+        }
+        // The probe is over once we know we must build; the build itself is
+        // accounted by the construction's own spans, not the cache.
+        if let (Some(h), Some(t0)) = (hists, probe_started) {
+            h.hist("opcache/probe_us").record_elapsed_us(t0);
         }
         let value = Arc::new(build()?);
         // Explicitly the *payload*'s footprint: a method call on the `Arc`
         // would resolve to the handle impl (a pointer) instead.
         let bytes = ENTRY_OVERHEAD + <T as MemFootprint>::mem_bytes(&value);
+        let lock_started = hists.map(|_| Instant::now());
         let Ok(mut table) = shard.lock() else {
             return Ok((value, false));
         };
+        if let (Some(h), Some(t0)) = (hists, lock_started) {
+            h.hist("opcache/lock_wait_us").record_elapsed_us(t0);
+        }
         // Re-check: another thread may have finished the same build while we
         // ran unlocked. Keeping its entry (and dropping ours) makes repeated
         // lookups converge on one allocation.
@@ -796,6 +832,29 @@ mod tests {
         assert_eq!(cache.evictions(), 0);
         assert_eq!(cache.len(), 64);
         assert_eq!(cache.byte_budget(), None);
+    }
+
+    #[test]
+    fn attached_histograms_record_probe_and_lock_wait() {
+        let cache = OpCache::new();
+        let hists = HistogramRegistry::new();
+        cache.set_histograms(hists.clone());
+        for round in 0..3u64 {
+            cache
+                .get_or_insert_with::<u64, ()>("op", 11, |&v| v == 1, || Ok(1))
+                .unwrap();
+            let _ = round;
+        }
+        let snaps: std::collections::BTreeMap<String, _> = hists.snapshot().into_iter().collect();
+        // One probe per lookup; at least one lock wait per lookup (misses
+        // take the shard lock twice: probe then insert).
+        assert_eq!(snaps["opcache/probe_us"].count, 3);
+        assert!(snaps["opcache/lock_wait_us"].count >= 3);
+        // Detached caches keep working and record nothing.
+        let plain = OpCache::new();
+        plain
+            .get_or_insert_with::<u64, ()>("op", 1, |_| true, || Ok(1))
+            .unwrap();
     }
 
     #[test]

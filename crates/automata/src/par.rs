@@ -34,11 +34,11 @@ use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use rl_obs::Tracer;
+use rl_obs::{HistogramRegistry, Tracer};
 
 /// A queued unit of work.
 type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -81,6 +81,11 @@ struct PoolInner {
     steals: AtomicU64,
     parks: AtomicU64,
     unparks: AtomicU64,
+    /// Optional percentile plane: when set, workers record `pool/steal_us`
+    /// (sibling-sweep latency of a successful steal) and `pool/park_us`
+    /// (idle-period duration). A `OnceLock` so detached pools pay one
+    /// lock-free load per event site.
+    hists: OnceLock<HistogramRegistry>,
 }
 
 impl PoolInner {
@@ -90,11 +95,16 @@ impl PoolInner {
         if let Some(job) = self.deques[home].lock().ok()?.pop_front() {
             return Some(job);
         }
+        let hists = self.hists.get();
+        let sweep_started = hists.map(|_| Instant::now());
         let n = self.deques.len();
         for offset in 1..n {
             let victim = (home + offset) % n;
             if let Some(job) = self.deques[victim].lock().ok()?.pop_back() {
                 self.steals.fetch_add(1, Ordering::Relaxed);
+                if let (Some(h), Some(t0)) = (hists, sweep_started) {
+                    h.hist("pool/steal_us").record_elapsed_us(t0);
+                }
                 if let Some(t) = &self.tracer {
                     t.instant("pool", "steal", Some(("victim", victim as u64)));
                 }
@@ -157,6 +167,7 @@ impl Pool {
             steals: AtomicU64::new(0),
             parks: AtomicU64::new(0),
             unparks: AtomicU64::new(0),
+            hists: OnceLock::new(),
         });
         let workers = (0..threads)
             .map(|home| {
@@ -177,6 +188,14 @@ impl Pool {
     /// Number of worker threads.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Attaches a [`HistogramRegistry`]: workers record `pool/steal_us`
+    /// (latency of the sibling sweep on a successful steal) and
+    /// `pool/park_us` (duration of each idle period). First call wins;
+    /// later calls are no-ops. Detached pools take no timestamps.
+    pub fn set_histograms(&self, hists: HistogramRegistry) {
+        let _ = self.inner.hists.set(hists);
     }
 
     /// A snapshot of the scheduler telemetry totals so far.
@@ -305,14 +324,19 @@ fn worker_loop(inner: &PoolInner, home: usize) {
     // on (pool, op-cache, registry spans) land on its own lane.
     rl_obs::set_thread_track(home + 1);
     // Park/unpark are counted per idle *transition*, not per condvar wake,
-    // so the 10ms timeout re-checks don't inflate the totals.
+    // so the 10ms timeout re-checks don't inflate the totals. `idle_since`
+    // spans the whole idle period for the `pool/park_us` histogram.
     let mut idle = false;
+    let mut idle_since: Option<Instant> = None;
     while inner.open.load(Ordering::Acquire) {
         match inner.find_work(home) {
             Some(job) => {
                 if idle {
                     idle = false;
                     inner.unparks.fetch_add(1, Ordering::Relaxed);
+                    if let (Some(h), Some(t0)) = (inner.hists.get(), idle_since.take()) {
+                        h.hist("pool/park_us").record_elapsed_us(t0);
+                    }
                     if let Some(t) = &inner.tracer {
                         t.instant("pool", "unpark", None);
                     }
@@ -329,6 +353,7 @@ fn worker_loop(inner: &PoolInner, home: usize) {
             None => {
                 if !idle {
                     idle = true;
+                    idle_since = inner.hists.get().map(|_| Instant::now());
                     inner.parks.fetch_add(1, Ordering::Relaxed);
                     if let Some(t) = &inner.tracer {
                         t.instant("pool", "park", None);
@@ -486,6 +511,27 @@ mod tests {
                 }
             }
             assert_eq!(open, 0, "unbalanced task events on track {track}");
+        }
+    }
+
+    #[test]
+    fn attached_histograms_record_parks_and_match_counters() {
+        let pool = Pool::new(2);
+        let hists = HistogramRegistry::new();
+        pool.set_histograms(hists.clone());
+        // Force idle periods: run a map, then let workers drain and park.
+        let _ = pool.map_indexed(64, Arc::new(|i| i));
+        std::thread::sleep(Duration::from_millis(30));
+        let _ = pool.map_indexed(64, Arc::new(|i| i));
+        let c = pool.counters();
+        drop(pool);
+        let snaps: std::collections::BTreeMap<String, _> = hists.snapshot().into_iter().collect();
+        let parks = snaps.get("pool/park_us").map_or(0, |s| s.count);
+        assert!(parks >= 1, "workers parked at least once: {c:?}");
+        // Every histogram sample corresponds to a counted transition.
+        assert!(parks <= c.unparks + 2, "park samples bounded by unparks");
+        if let Some(steals) = snaps.get("pool/steal_us") {
+            assert!(steals.count <= c.steals, "steal samples bounded");
         }
     }
 

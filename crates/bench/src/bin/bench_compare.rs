@@ -27,6 +27,12 @@
 //!   `lazy_expanded` (a ladder hit must keep this at zero); wall clock:
 //!   `filtered_us`; witness: `filters_agree` (verdicts match
 //!   `--no-filters`; fall-through counters bit-for-bit identical).
+//! - `rl-bench-hist/v1` — percentile histograms attached vs detached.
+//!   Deterministic counters: `states`, `transitions`, `guard_charges`;
+//!   wall clock: `elapsed_us`; witness: `hist_counters_equal` (recording
+//!   latency samples moves no counter). Additionally gates each recorded
+//!   family's p50/p99 against the baseline with a generous tolerance
+//!   (beyond it fails hard); baselines without `families` are skipped.
 //!
 //! The deterministic counters are identical across machines and runs, so
 //! *any* increase over the baseline is a hard failure (exit 1) — this is
@@ -43,6 +49,15 @@ use rl_json::{parse, Json};
 
 /// Tolerated wall-clock slowdown before a warning is printed.
 const ELAPSED_TOLERANCE: f64 = 1.25;
+
+/// Percentile gate for `rl-bench-hist/v1` families: a fresh percentile
+/// beyond `baseline × HIST_TOLERANCE + HIST_SLACK_US` is a hard failure.
+/// The factor is generous because latency percentiles on shared CI runners
+/// are noisy, and the absolute slack keeps single-digit-µs baselines from
+/// failing on scheduler jitter — a real regression (an accidental O(n²), a
+/// lock on the hot path) blows through both.
+const HIST_TOLERANCE: f64 = 4.0;
+const HIST_SLACK_US: u64 = 100;
 
 /// Per-schema comparison profile: which per-case fields are deterministic
 /// (any increase fails), which field is the noisy wall clock (warn only),
@@ -85,6 +100,12 @@ fn profile(schema: &str) -> Option<Profile> {
             elapsed: "filtered_us",
             witness: "filters_agree",
             witness_label: "ladder verdicts and fall-through counters agree with --no-filters",
+        }),
+        "rl-bench-hist/v1" => Some(Profile {
+            counters: &["states", "transitions", "guard_charges"],
+            elapsed: "elapsed_us",
+            witness: "hist_counters_equal",
+            witness_label: "histogram recording left the deterministic counters untouched",
         }),
         _ => None,
     }
@@ -136,6 +157,56 @@ fn warn_on_starved_host(doc: &Json, path: &str, warnings: &mut usize) {
                  measure coordination overhead, not the kernels' scaling"
             );
             *warnings += 1;
+        }
+    }
+}
+
+/// `rl-bench-hist/v1`: the per-family percentile gate. A baseline case
+/// without a `families` array is skipped outright — pre-histogram baselines
+/// stay valid without regeneration. A family present in the baseline but
+/// missing from the fresh run is only a warning (which families record is
+/// pipeline-dependent), while a percentile beyond the tolerance fails hard.
+fn compare_hist_families(
+    base: &Json,
+    new: &Json,
+    label: &str,
+    failures: &mut usize,
+    warnings: &mut usize,
+) {
+    let Some(Json::Arr(base_families)) = base.get("families") else {
+        return;
+    };
+    let empty = Vec::new();
+    let fresh_families = match new.get("families") {
+        Some(Json::Arr(a)) => a,
+        _ => &empty,
+    };
+    for family in base_families {
+        let Ok(name) = str_field(family, "name") else {
+            continue;
+        };
+        let Some(fresh) = fresh_families
+            .iter()
+            .find(|f| str_field(f, "name") == Ok(name))
+        else {
+            eprintln!("warn {label}: histogram family {name} missing from fresh run");
+            *warnings += 1;
+            continue;
+        };
+        for pct in ["p50", "p99"] {
+            let (Ok(b), Ok(n)) = (int_field(family, pct), int_field(fresh, pct)) else {
+                continue;
+            };
+            let allowed = (b as f64 * HIST_TOLERANCE) as u64 + HIST_SLACK_US;
+            if n > allowed {
+                eprintln!(
+                    "FAIL {label}: {name} {pct} regressed {b}µs -> {n}µs \
+                     (allowed {allowed}µs)"
+                );
+                *failures += 1;
+            } else {
+                println!("ok   {label}: {name} {pct} {b}µs -> {n}µs");
+            }
         }
     }
 }
@@ -202,6 +273,9 @@ fn run(baseline_path: &str, fresh_path: &str) -> Result<ExitCode, String> {
             warnings += 1;
         } else {
             println!("ok   {label}: {} {b_us} -> {n_us}", profile.elapsed);
+        }
+        if schema == "rl-bench-hist/v1" {
+            compare_hist_families(base, new, &label, &mut failures, &mut warnings);
         }
     }
 

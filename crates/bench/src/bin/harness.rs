@@ -2,7 +2,7 @@
 //!
 //! Usage: `cargo run --release -p rl-bench --bin harness [-- <experiment>]`
 //! where `<experiment>` is one of `fig2 fig3 fig4 scaling payoff hardness
-//! ltl fair prob trajectory par lazy filters all` (default `all`).
+//! ltl fair prob trajectory par lazy filters hist all` (default `all`).
 //!
 //! `trajectory` additionally writes `BENCH_<date>.json` at the repository
 //! root: per-phase observability metrics (schema `rl-bench-trajectory/v1`)
@@ -31,6 +31,12 @@
 //! `filter_*.ts` instances run with the semidecision pre-filter ladder on
 //! and off — which stage settled each case, the zero-exact-work invariant
 //! on hits, and the bit-for-bit fall-through counter identity.
+//!
+//! `hist` writes `BENCH_<date>-hist.json` (schema `rl-bench-hist/v1`):
+//! every trajectory case run with the percentile histogram registry
+//! attached next to a detached control — per-family p50/p90/p99/max plus a
+//! `hist_counters_equal` witness that recording latency samples moved no
+//! deterministic counter.
 
 use std::time::{Duration, Instant};
 
@@ -963,6 +969,160 @@ fn filters_experiment(out_override: Option<&str>) {
     println!();
 }
 
+/// One percentile-instrumented case: the same pipeline as
+/// [`trajectory_case`] with a [`rl_automata::HistogramRegistry`] attached
+/// to the guard, the op cache, and (at `jobs >= 2`) the pool, so filter
+/// stage latencies, cache probe/lock waits, and steal/park durations all
+/// record. Returns the registry totals plus the histogram snapshot.
+fn hist_case(
+    root: &str,
+    file: &str,
+    formula: &str,
+    budget: Budget,
+    jobs: usize,
+) -> (
+    String,
+    MetricsRegistry,
+    Vec<(String, rl_automata::HistogramSnapshot)>,
+) {
+    let text = std::fs::read_to_string(format!("{root}/examples/systems/{file}"))
+        .expect("example system exists");
+    let ts = parse_system(&text).expect("example system parses");
+    let eta = parse(formula).expect("parses");
+    let prop = Property::formula(eta);
+    let registry = MetricsRegistry::new();
+    registry.note_jobs(jobs);
+    let hists = rl_automata::HistogramRegistry::new();
+    let cache = rl_automata::OpCache::new();
+    cache.set_histograms(hists.clone());
+    let mut guard = Guard::new(budget)
+        .with_lazy(true)
+        .with_filters(true)
+        .with_metrics(registry.clone())
+        .with_histograms(hists.clone())
+        .with_op_cache(cache);
+    if jobs >= 2 {
+        let pool = std::sync::Arc::new(rl_automata::Pool::with_tracer(jobs, None));
+        pool.set_histograms(hists.clone());
+        guard = guard.with_pool(pool);
+    }
+    let verdict = (|| -> Result<bool, CheckError> {
+        let _span = guard.span("check");
+        let behaviors = behaviors_of_ts_with(&ts, &guard).map_err(CheckError::from)?;
+        satisfies_with(&behaviors, &prop, &guard)?;
+        let rl = is_relative_liveness_with(&behaviors, &prop, &guard)?;
+        is_relative_safety_with(&behaviors, &prop, &guard)?;
+        Ok(rl.holds)
+    })();
+    let outcome = match verdict {
+        Ok(true) => "rel-live holds".to_owned(),
+        Ok(false) => "rel-live fails".to_owned(),
+        Err(CheckError::BudgetExceeded { partial, .. }) => format!(
+            "budget exhausted in {}",
+            partial.phase.unwrap_or_else(|| "?".to_owned())
+        ),
+        Err(e) => format!("error: {e}"),
+    };
+    (outcome, registry, hists.snapshot())
+}
+
+/// Writes `BENCH_<date>-hist.json` (schema `rl-bench-hist/v1`): every
+/// trajectory case run with the percentile histogram registry attached,
+/// next to a detached control run. Witness `hist_counters_equal`: recording
+/// latency samples must not move any deterministic counter — histograms
+/// observe the pipeline, never steer it. Per-family `count`/`p50`/`p90`/
+/// `p99`/`max` land in the JSON so `bench_compare` can gate percentile
+/// regressions against the committed baseline.
+fn hist_experiment(out_override: Option<&str>) {
+    println!("== E21 — percentile histograms: attached vs detached ==");
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let totals = |r: &MetricsRegistry| {
+        [
+            r.total(Metric::States),
+            r.total(Metric::Transitions),
+            r.total(Metric::GuardCharges),
+        ]
+    };
+    println!(
+        "{:<16} {:>9} {:>9} {:>10}   busiest family",
+        "system", "families", "samples", "ms"
+    );
+    let mut rows = Vec::new();
+    for (file, formula, budget) in trajectory_cases() {
+        let (plain_outcome, plain_reg) = trajectory_case(
+            root,
+            file,
+            formula,
+            budget.clone(),
+            Pipeline::with_jobs(1),
+            None,
+        );
+        let (outcome, reg, hists) = hist_case(root, file, formula, budget, 1);
+        let hist_counters_equal = totals(&plain_reg) == totals(&reg) && plain_outcome == outcome;
+        assert!(
+            hist_counters_equal,
+            "{file}: histogram recording perturbed the deterministic counters \
+             ({:?} detached vs {:?} attached)",
+            totals(&plain_reg),
+            totals(&reg)
+        );
+        let recorded: Vec<_> = hists.iter().filter(|(_, s)| s.count > 0).collect();
+        let samples: u64 = recorded.iter().map(|(_, s)| s.count).sum();
+        let busiest = recorded.iter().max_by_key(|(_, s)| s.count).map_or_else(
+            || "-".to_owned(),
+            |(n, s)| format!("{n} (p99 {}µs)", s.p99()),
+        );
+        println!(
+            "{:<16} {:>9} {:>9} {:>10.2}   {}",
+            file,
+            recorded.len(),
+            samples,
+            reg.elapsed().as_secs_f64() * 1_000.0,
+            busiest
+        );
+        let families: Vec<Json> = recorded
+            .iter()
+            .map(|(name, snap)| {
+                ObjBuilder::new()
+                    .field("name", name.as_str())
+                    .field("count", snap.count)
+                    .field("p50", snap.p50())
+                    .field("p90", snap.p90())
+                    .field("p99", snap.p99())
+                    .field("max", snap.max)
+                    .build()
+            })
+            .collect();
+        rows.push(
+            ObjBuilder::new()
+                .field("system", file)
+                .field("formula", formula)
+                .field("outcome", outcome)
+                .field("elapsed_us", reg.elapsed().as_micros() as u64)
+                .field("states", reg.total(Metric::States))
+                .field("transitions", reg.total(Metric::Transitions))
+                .field("guard_charges", reg.total(Metric::GuardCharges))
+                .field("hist_counters_equal", hist_counters_equal)
+                .field("families", Json::Arr(families))
+                .build(),
+        );
+    }
+    let date = today();
+    let doc = ObjBuilder::new()
+        .field("schema", "rl-bench-hist/v1")
+        .field("date", date.as_str())
+        .field("cases", Json::Arr(rows))
+        .build();
+    let path = match out_override {
+        Some(p) => p.to_owned(),
+        None => format!("{root}/BENCH_{date}-hist.json"),
+    };
+    let text = rl_json::to_string_pretty(&doc).expect("hist document serializes");
+    std::fs::write(&path, text + "\n").expect("output path is writable");
+    println!("wrote {path}");
+    println!();
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     // `--out <path>` redirects the trajectory JSON (default:
@@ -1009,6 +1169,7 @@ fn main() {
         "par" => par(out.as_deref()),
         "lazy" => lazy_experiment(out.as_deref()),
         "filters" => filters_experiment(out.as_deref()),
+        "hist" => hist_experiment(out.as_deref()),
         "all" => {
             fig2();
             fig3();
@@ -1023,12 +1184,13 @@ fn main() {
             par(None);
             lazy_experiment(None);
             filters_experiment(None);
+            hist_experiment(None);
         }
         other => {
             eprintln!(
                 "unknown experiment {other:?}; expected one of \
                  fig2 fig3 fig4 scaling payoff hardness ltl fair prob trajectory par lazy \
-                 filters all"
+                 filters hist all"
             );
             std::process::exit(2);
         }

@@ -25,9 +25,10 @@
 //! states or transitions: with the ladder falling through, the
 //! deterministic metric totals are bit-for-bit those of a `--no-filters`
 //! run. Effectiveness is measured instead through dedicated
-//! `filter/<stage>/{hit,miss,elapsed_us}` counters, ladder-level
-//! `filter/hit` / `filter/fallthrough` totals (the `--stats` hit-rate
-//! row), and `filter-hit` / `filter-fallthrough` trace instants.
+//! `filter/<stage>/{hit,miss}` counters, per-stage `filter/<stage>_us`
+//! latency histograms (when the guard carries a `HistogramRegistry`),
+//! ladder-level `filter/hit` / `filter/fallthrough` totals (the `--stats`
+//! hit-rate row), and `filter-hit` / `filter-fallthrough` trace instants.
 
 use std::time::Instant;
 
@@ -51,36 +52,72 @@ pub enum FilterOutcome {
     Unknown,
 }
 
+/// Pure parse of an `RL_FILTER_MODK` value: the accepted moduli and, when
+/// anything was rejected (unparsable tokens, values below 2, or a list
+/// that came up empty), the warning text to emit. Side-effect free so the
+/// parallel test suite can cover the knob without mutating the process
+/// environment.
+pub fn parse_moduli(raw: &str) -> (Vec<usize>, Option<String>) {
+    let mut ks: Vec<usize> = Vec::new();
+    let mut rejected: Vec<&str> = Vec::new();
+    for tok in raw
+        .split(|c: char| c == ',' || c.is_whitespace())
+        .filter(|s| !s.is_empty())
+    {
+        match tok.parse::<usize>() {
+            Ok(k) if k >= 2 => ks.push(k),
+            _ => rejected.push(tok),
+        }
+    }
+    if ks.is_empty() && (!rejected.is_empty() || !raw.is_empty()) {
+        let warning = format!(
+            "warning: RL_FILTER_MODK={raw:?} has no valid moduli (integers >= 2); \
+             using default {DEFAULT_MODULI:?}"
+        );
+        return (DEFAULT_MODULI.to_vec(), Some(warning));
+    }
+    let warning = (!rejected.is_empty()).then(|| {
+        format!(
+            "warning: RL_FILTER_MODK: ignoring invalid moduli {rejected:?} \
+             (integers >= 2); using {ks:?}"
+        )
+    });
+    if ks.is_empty() {
+        (DEFAULT_MODULI.to_vec(), warning)
+    } else {
+        (ks, warning)
+    }
+}
+
 /// The moduli the mod-k stage tries: `RL_FILTER_MODK` (a comma- or
 /// space-separated list of integers ≥ 2, e.g. `RL_FILTER_MODK=4,7`) when
-/// set and non-empty, else `{2, 3, 5}`.
+/// set and non-empty, else `{2, 3, 5}`. Invalid tokens warn once on stderr
+/// instead of being silently dropped.
 pub fn modk_moduli() -> Vec<usize> {
     match std::env::var("RL_FILTER_MODK") {
         Ok(raw) => {
-            let ks: Vec<usize> = raw
-                .split(|c: char| c == ',' || c.is_whitespace())
-                .filter(|s| !s.is_empty())
-                .filter_map(|s| s.parse().ok())
-                .filter(|&k| k >= 2)
-                .collect();
-            if ks.is_empty() {
-                DEFAULT_MODULI.to_vec()
-            } else {
-                ks
+            let (ks, warning) = parse_moduli(&raw);
+            if let Some(msg) = warning {
+                rl_automata::knobs::warn_once("RL_FILTER_MODK", &msg);
             }
+            ks
         }
         Err(_) => DEFAULT_MODULI.to_vec(),
     }
 }
 
-/// Records one stage's outcome on the guard's metrics: a `hit`/`miss`
-/// count and the stage's wall-clock spend in microseconds.
+/// Records one stage's outcome: a `hit`/`miss` count on the guard's
+/// metrics, and the stage's wall-clock spend as a `filter/<stage>_us`
+/// histogram sample when a histogram registry is attached — so the ladder
+/// reports latency *percentiles*, not just a single elapsed total.
 fn note_stage(guard: &Guard, stage: &str, hit: bool, started: Instant) {
     if let Some(m) = guard.metrics() {
         let verdict = if hit { "hit" } else { "miss" };
         m.counter(&format!("filter/{stage}/{verdict}")).inc();
-        m.counter(&format!("filter/{stage}/elapsed_us"))
-            .add(started.elapsed().as_micros() as u64);
+    }
+    if let Some(h) = guard.histograms() {
+        h.hist(&format!("filter/{stage}_us"))
+            .record_elapsed_us(started);
     }
 }
 
@@ -213,5 +250,57 @@ mod tests {
         // Not a full env-var round trip (tests run in parallel; mutating
         // the process environment would race), just the default path.
         assert_eq!(modk_moduli(), vec![2, 3, 5]);
+    }
+
+    #[test]
+    fn parse_moduli_accepts_valid_lists_silently() {
+        assert_eq!(parse_moduli("4,7"), (vec![4, 7], None));
+        assert_eq!(parse_moduli("2 3  5"), (vec![2, 3, 5], None));
+        assert_eq!(parse_moduli(""), (vec![2, 3, 5], None));
+    }
+
+    #[test]
+    fn parse_moduli_warns_on_rejected_tokens() {
+        let (ks, warning) = parse_moduli("4,banana,1");
+        assert_eq!(ks, vec![4]);
+        let msg = warning.expect("partial rejection should warn");
+        assert!(msg.contains("RL_FILTER_MODK"), "names the knob: {msg}");
+        assert!(msg.contains("banana"), "names the rejected token: {msg}");
+
+        let (ks, warning) = parse_moduli("nope");
+        assert_eq!(ks, vec![2, 3, 5]);
+        let msg = warning.expect("fully invalid list should warn");
+        assert!(msg.contains("[2, 3, 5]"), "names the default: {msg}");
+
+        // Whitespace-only set value: nothing parsable, fall back loudly.
+        let (ks, warning) = parse_moduli("  ");
+        assert_eq!(ks, vec![2, 3, 5]);
+        assert!(warning.is_some());
+    }
+
+    #[test]
+    fn stage_latencies_land_in_histograms_not_counters() {
+        let ab = Alphabet::new(["a", "b"]).unwrap();
+        let any = prefix_nfa(&ab, 1, &[(0, "a", 0), (0, "b", 0)]);
+        let a_only = prefix_nfa(&ab, 1, &[(0, "a", 0)]);
+        let m = MetricsRegistry::new();
+        let h = rl_automata::HistogramRegistry::new();
+        let g = Guard::unlimited()
+            .with_metrics(m.clone())
+            .with_histograms(h.clone());
+        prefilter_inclusion(&any, &a_only, &g).unwrap();
+        prefilter_inclusion(&a_only, &any, &g).unwrap();
+        let snaps = h.snapshot();
+        let names: Vec<&str> = snaps.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.contains(&"filter/parikh_us"), "got {names:?}");
+        assert!(names.contains(&"filter/sim_us"), "got {names:?}");
+        for (name, snap) in &snaps {
+            assert!(snap.count > 0, "{name} recorded no samples");
+        }
+        // Latency totals must no longer leak into the deterministic
+        // counter namespace.
+        for (name, _) in m.counters() {
+            assert!(!name.ends_with("elapsed_us"), "unexpected counter {name}");
+        }
     }
 }

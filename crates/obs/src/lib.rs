@@ -52,7 +52,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod hist;
+mod journal;
+pub mod knobs;
 mod report;
+mod slo;
 mod stream;
 mod trace;
 
@@ -64,7 +68,18 @@ use std::time::{Duration, Instant};
 
 use rl_json::{FromJson, Json, JsonError, ObjBuilder, ToJson};
 
+pub use hist::{
+    hist_event_json, render_prometheus, Histogram, HistogramRegistry, HistogramSnapshot,
+    BUCKET_COUNT,
+};
+pub use journal::{
+    read_journal, render_journal, Journal, JournalSample, JournalWriter, DEFAULT_SEGMENT_BYTES,
+};
 pub use report::{ObsReport, SCHEMA_STREAM};
+pub use slo::{
+    evaluate as evaluate_slo, parse_baseline as parse_slo_baseline, SloBaseline, SloCeilings,
+    SLO_SCHEMA,
+};
 pub use stream::{EventRing, Heartbeat, StreamBus, StreamSubscription};
 pub use trace::{
     chrome_trace_json, folded_stacks, set_thread_track, thread_track, track_name, TraceEvent,
@@ -319,14 +334,30 @@ pub fn render_jsonl(
     jobs: Option<usize>,
     events: Option<&[TraceEvent]>,
 ) -> String {
+    render_jsonl_with_hists(snapshot, jobs, events, &[])
+}
+
+/// [`render_jsonl`] extended with histogram families: any non-empty `hists`
+/// slice upgrades the schema to `rl-obs/v3` and appends one `hist` line per
+/// family (sparse buckets plus count/sum/max) before the closing `totals`.
+/// With `hists` empty this is exactly [`render_jsonl`], so v1/v2 consumers
+/// of histogram-free runs are unaffected.
+pub fn render_jsonl_with_hists(
+    snapshot: &RegistrySnapshot,
+    jobs: Option<usize>,
+    events: Option<&[TraceEvent]>,
+    hists: &[(String, HistogramSnapshot)],
+) -> String {
     let records = &snapshot.records;
     let n_events = events.map_or(0, <[TraceEvent]>::len);
-    let mut lines = Vec::with_capacity(records.len() + n_events + 2);
+    let mut lines = Vec::with_capacity(records.len() + n_events + hists.len() + 2);
     let mut meta = ObjBuilder::new()
         .field("event", "meta")
         .field(
             "schema",
-            if events.is_some() {
+            if !hists.is_empty() {
+                "rl-obs/v3"
+            } else if events.is_some() {
                 "rl-obs/v2"
             } else {
                 "rl-obs/v1"
@@ -335,6 +366,9 @@ pub fn render_jsonl(
         .field("spans", records.len());
     if events.is_some() {
         meta = meta.field("events", n_events);
+    }
+    if !hists.is_empty() {
+        meta = meta.field("hists", hists.len());
     }
     meta = meta.field("elapsed_us", snapshot.elapsed.as_micros() as u64);
     if let Some(jobs) = jobs {
@@ -346,6 +380,9 @@ pub fn render_jsonl(
     }
     for e in events.unwrap_or_default() {
         lines.push(compact(&e.to_json()));
+    }
+    for (name, snap) in hists {
+        lines.push(compact(&hist_event_json(name, None, snap)));
     }
     let mut totals = ObjBuilder::new().field("event", "totals");
     for m in Metric::ALL {
@@ -629,7 +666,7 @@ fn compact(value: &Json) -> String {
     rl_json::to_string(value).unwrap_or_else(|_| "{}".to_owned())
 }
 
-fn format_duration(d: Duration) -> String {
+pub(crate) fn format_duration(d: Duration) -> String {
     let us = d.as_micros();
     if us < 1_000 {
         format!("{us}µs")

@@ -18,6 +18,7 @@ use std::time::Duration;
 
 use rl_json::{FromJson, Json, JsonError};
 
+use crate::hist::HistogramSnapshot;
 use crate::stream::Heartbeat;
 use crate::trace::{track_name, TraceEvent, TracePhase};
 use crate::{Metric, RegistrySnapshot, SpanRecord, METRIC_COUNT};
@@ -26,12 +27,12 @@ use crate::{Metric, RegistrySnapshot, SpanRecord, METRIC_COUNT};
 /// carry no `meta` header of their own.
 pub const SCHEMA_STREAM: &str = "rl-obs/stream";
 
-/// A parsed `rl-obs/v1` or `rl-obs/v2` JSONL file, or a captured
-/// `rlcheck serve` subscribe stream ([`SCHEMA_STREAM`]).
+/// A parsed `rl-obs/v1`, `rl-obs/v2`, or `rl-obs/v3` JSONL file, or a
+/// captured `rlcheck serve` subscribe stream ([`SCHEMA_STREAM`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ObsReport {
-    /// The schema tag from the `meta` line (`rl-obs/v1` or `rl-obs/v2`),
-    /// or [`SCHEMA_STREAM`] for a headerless captured subscribe stream.
+    /// The schema tag from the `meta` line (`rl-obs/v1`..`v3`), or
+    /// [`SCHEMA_STREAM`] for a headerless captured subscribe stream.
     pub schema: String,
     /// The resolved `--jobs` choice recorded in the `meta` line, if any.
     pub jobs: Option<usize>,
@@ -45,6 +46,12 @@ pub struct ObsReport {
     pub totals: [u64; METRIC_COUNT],
     /// Custom counter totals, in registration order.
     pub counters: Vec<(String, u64)>,
+    /// Histogram snapshots (`rl-obs/v3` files and captured streams):
+    /// `(job, family, snapshot)`, keyed by job and family with
+    /// latest-cumulative-wins semantics — stream `hist` events repeat a
+    /// job's growing snapshot, so replacing (not merging) is what yields
+    /// the final state.
+    pub hists: Vec<(Option<u64>, String, HistogramSnapshot)>,
     /// Heartbeat samples, in file order (captured streams; empty for
     /// ordinary v1/v2 files unless a future writer interleaves them).
     pub heartbeats: Vec<Heartbeat>,
@@ -93,6 +100,7 @@ impl ObsReport {
             events: Vec::new(),
             totals: [0; METRIC_COUNT],
             counters: Vec::new(),
+            hists: Vec::new(),
             heartbeats: Vec::new(),
             done: Vec::new(),
             dropped_events: 0,
@@ -101,9 +109,9 @@ impl ObsReport {
         };
         if head_event == "meta" {
             let schema = String::from_json(head.field("schema")?)?;
-            if schema != "rl-obs/v1" && schema != "rl-obs/v2" {
+            if !matches!(schema.as_str(), "rl-obs/v1" | "rl-obs/v2" | "rl-obs/v3") {
                 return Err(JsonError::custom(format!(
-                    "unsupported schema {schema:?} (expected rl-obs/v1 or rl-obs/v2)"
+                    "unsupported schema {schema:?} (expected rl-obs/v1, v2, or v3)"
                 )));
             }
             report.schema = schema;
@@ -113,7 +121,17 @@ impl ObsReport {
             };
             report.elapsed = Duration::from_micros(u64::from_json(head.field("elapsed_us")?)?);
             for line in lines {
-                report.absorb_line(&rl_json::parse(line)?)?;
+                // A file cut mid-record (the writer was killed mid-write)
+                // truncates here: everything before the cut still renders,
+                // and the missing-totals path below flags the report.
+                let value = match rl_json::parse(line) {
+                    Ok(v) => v,
+                    Err(_) => {
+                        report.truncated = true;
+                        break;
+                    }
+                };
+                report.absorb_line(&value)?;
             }
         } else if matches!(
             head_event.as_str(),
@@ -185,6 +203,22 @@ impl ObsReport {
             "dropped" => {
                 if let Some(v) = value.get("count") {
                     self.dropped_events += u64::from_json(v)?;
+                }
+            }
+            "hist" => {
+                let name = String::from_json(value.field("name")?)?;
+                let job = match value.get("job") {
+                    Some(v) => Some(u64::from_json(v)?),
+                    None => None,
+                };
+                let snap = HistogramSnapshot::from_json(value)?;
+                match self
+                    .hists
+                    .iter_mut()
+                    .find(|(j, n, _)| *j == job && *n == name)
+                {
+                    Some((_, _, s)) => *s = snap,
+                    None => self.hists.push((job, name, snap)),
                 }
             }
             "meta" => {}
@@ -285,6 +319,37 @@ impl ObsReport {
         }
         for (name, n) in named {
             let _ = writeln!(out, "  {name:<24} {n:>6} instant(s)");
+        }
+        out
+    }
+
+    /// A percentile table for the report's histogram families (`rl-obs/v3`
+    /// files and captured streams), or the empty string when the report
+    /// carries none.
+    pub fn hist_summary(&self) -> String {
+        if self.hists.is_empty() {
+            return String::new();
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<36} {:>8} {:>10} {:>10} {:>10} {:>10}",
+            "histogram", "count", "p50", "p90", "p99", "max"
+        );
+        for (job, name, snap) in &self.hists {
+            let label = match job {
+                Some(job) => format!("{name} (job {job})"),
+                None => name.clone(),
+            };
+            let _ = writeln!(
+                out,
+                "{label:<36} {:>8} {:>10} {:>10} {:>10} {:>10}",
+                snap.count,
+                snap.p50(),
+                snap.p90(),
+                snap.p99(),
+                snap.max,
+            );
         }
         out
     }
@@ -457,6 +522,52 @@ mod tests {
         );
         let clean = ObsReport::parse(&jsonl).unwrap();
         assert!(clean.unknown_note().is_empty());
+    }
+
+    #[test]
+    fn v3_round_trip_recovers_histograms() {
+        use crate::{render_jsonl_with_hists, Histogram};
+        let m = sample_registry();
+        let h = Histogram::new();
+        for v in [10u64, 20, 3_000] {
+            h.record(v);
+        }
+        let hists = vec![("filter/parikh_us".to_owned(), h.snapshot())];
+        let snap = m.snapshot();
+        let jsonl = render_jsonl_with_hists(&snap, Some(1), None, &hists);
+        assert!(jsonl.starts_with("{\"event\":\"meta\",\"schema\":\"rl-obs/v3\""));
+        let report = ObsReport::parse(&jsonl).unwrap();
+        assert_eq!(report.schema, "rl-obs/v3");
+        assert!(!report.truncated);
+        assert_eq!(report.hists.len(), 1);
+        assert_eq!(report.hists[0].0, None);
+        assert_eq!(report.hists[0].1, "filter/parikh_us");
+        assert_eq!(report.hists[0].2, hists[0].1);
+        let table = report.hist_summary();
+        assert!(table.contains("filter/parikh_us"), "{table}");
+        assert!(table.contains("p99"), "{table}");
+        // The deterministic phase table is untouched by hist lines.
+        assert_eq!(report.summary(), snap.summary());
+    }
+
+    // Satellite: a metrics file cut mid-record (writer killed mid-write)
+    // must degrade gracefully — render what survived, flag truncation.
+    #[test]
+    fn v2_file_cut_mid_record_degrades_gracefully() {
+        let m = sample_registry();
+        let tracer = Arc::new(Tracer::new());
+        m.set_tracer(tracer.clone());
+        {
+            let _s = m.enter("inclusion");
+        }
+        let jsonl = m.to_jsonl();
+        assert!(jsonl.contains("rl-obs/v2"));
+        // Cut in the middle of the last record, not at a line boundary.
+        let cut = jsonl.trim_end().rfind('\n').unwrap() + 10;
+        let report = ObsReport::parse(&jsonl[..cut]).unwrap();
+        assert!(report.truncated, "mid-record cut must flag truncation");
+        assert_eq!(report.total(Metric::States), 7);
+        assert!(!report.summary().is_empty());
     }
 
     #[test]

@@ -26,14 +26,25 @@
 //!     per-check isolation; outputs print in submission order and the
 //!     worst per-check exit code wins.
 //!
-//! rlcheck report <metrics.jsonl>
-//!     render a committed --metrics file (rl-obs/v1 or /v2) offline: the
-//!     phase table on stdout — byte-for-byte the --stats output of the run
-//!     that wrote it — and a per-track event digest on stderr. Also
-//!     accepts a captured `subscribe` stream (rlcheck top 2> file) and
-//!     renders its per-job heartbeat/completion digest.
+//! rlcheck report <metrics.jsonl> | --dir <journal-dir>
+//!     render a committed --metrics file (rl-obs/v1, /v2, or /v3 with
+//!     percentile tables) offline: the phase table on stdout —
+//!     byte-for-byte the --stats output of the run that wrote it — and a
+//!     per-track event digest on stderr. Also accepts a captured
+//!     `subscribe` stream (rlcheck top 2> file) and renders its per-job
+//!     heartbeat/completion digest. With --dir, renders the persistent
+//!     metrics journal a `serve --metrics-dir` daemon wrote: runs are
+//!     stitched across restarts and rotated segments, with percentile
+//!     columns per histogram family.
+//!
+//! rlcheck slo <baseline.json> --dir <journal-dir>
+//!     regression gate: compare the journal's merged percentiles against a
+//!     committed rl-slo/v1 baseline (per-family p50/p90/p99/max ceilings
+//!     plus a tolerance). Exit 0 within tolerance, exit 1 with one stderr
+//!     line per violation — CI gates on the exit code.
 //!
 //! rlcheck serve --socket <path> [--max-inflight-states <n>] [--queue-cap <n>]
+//!               [--metrics-dir <dir>]
 //!     long-running checking service on a Unix domain socket with a
 //!     line-delimited JSON protocol (submit/status/wait/cancel/stats/
 //!     subscribe/unsubscribe/shutdown), per-job panic isolation, admission
@@ -62,7 +73,8 @@
 //! --stats              per-phase profile (states, transitions, elapsed)
 //!                      printed to stderr after the verdict
 //! --metrics <file>     machine-readable JSONL trace written to <file>
-//!                      (schema rl-obs/v1; rl-obs/v2 with --trace-out)
+//!                      (schema rl-obs/v1; /v2 with --trace-out; /v3 when
+//!                      percentile histograms recorded samples)
 //! --trace-out <file>   event-level timeline: Chrome trace-event JSON
 //!                      (chrome://tracing, Perfetto), one track per worker,
 //!                      with pool/op-cache telemetry instants
@@ -116,6 +128,10 @@ use relative_liveness::check::{
     SystemSource,
 };
 use relative_liveness::prelude::*;
+use rl_obs::{
+    evaluate_slo, knobs, parse_slo_baseline, read_journal, render_journal, render_jsonl_with_hists,
+    HistogramRegistry, HistogramSnapshot,
+};
 
 fn fail(msg: impl std::fmt::Display) -> ExitCode {
     eprintln!("rlcheck: {msg}");
@@ -306,6 +322,12 @@ struct GuardSeed {
     cancel: CancelToken,
     lazy: bool,
     filters: bool,
+    /// Shared percentile registry. Unlike the counter registry (sharded
+    /// per job and absorbed in submission order for determinism), the
+    /// histogram registry is attached directly: records are lock-free
+    /// atomic increments and quantiles are order-independent, so jobs can
+    /// share one set of bucket arrays.
+    hists: Option<HistogramRegistry>,
 }
 
 /// Runs a batch of checks across a worker pool with per-check isolation:
@@ -322,6 +344,9 @@ fn cmd_batch(
     tracer: Option<&Arc<Tracer>>,
 ) -> ExitCode {
     let pool = Pool::with_tracer(threads, tracer.cloned());
+    if let Some(h) = &seed.hists {
+        pool.set_histograms(h.clone());
+    }
     let batch_start = std::time::Instant::now();
     let want_snapshots = registry.is_some();
 
@@ -335,6 +360,7 @@ fn cmd_batch(
             let cancel = seed.cancel.clone();
             let lazy = seed.lazy;
             let filters = seed.filters;
+            let hists = seed.hists.clone();
             let cache = shared_cache.clone();
             let tracer = tracer.cloned();
             let finished = Arc::clone(&finished);
@@ -364,6 +390,9 @@ fn cmd_batch(
                         r.set_tracer(t);
                     }
                     guard = guard.with_metrics(r.clone());
+                }
+                if let Some(h) = hists {
+                    guard = guard.with_histograms(h);
                 }
                 if let Some(cache) = cache {
                     guard = guard.with_op_cache(cache);
@@ -596,11 +625,76 @@ fn cmd_report(path: &str) -> Result<ExitCode, CheckError> {
             );
         }
     }
+    let hist_table = report.hist_summary();
+    if !hist_table.is_empty() {
+        print!("{hist_table}");
+    }
     let note = report.unknown_note();
     if !note.is_empty() {
         eprintln!("rlcheck: report: {note}");
     }
     Ok(ExitCode::SUCCESS)
+}
+
+/// The `report --dir` mode: renders the persistent metrics journal written
+/// by `rlcheck serve --metrics-dir`. Samples from every rotated segment are
+/// stitched into runs (a restart shows up as `uptime_ms` resetting), each
+/// run's final snapshot is merged, and the percentile table plus per-run
+/// time series go to stdout. Truncated tails, zero-length rotated segments,
+/// and foreign files in the directory degrade to a skipped-line count on
+/// stderr — never a parse failure, never a panic.
+fn cmd_report_dir(dir: &str) -> Result<ExitCode, CheckError> {
+    let journal = read_journal(std::path::Path::new(dir))
+        .map_err(|e| CheckError::Parse(format!("{dir}: {e}")))?;
+    print!("{}", render_journal(&journal));
+    if journal.skipped_lines > 0 {
+        eprintln!(
+            "rlcheck: report: {dir}: skipped {} unparsable line(s)",
+            journal.skipped_lines
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// The `slo` subcommand: the regression gate. Loads a committed rl-slo/v1
+/// baseline (percentile ceilings per histogram family, plus a tolerance),
+/// merges the journal the daemon wrote under `--metrics-dir`, and compares.
+/// Exit 0 when every observed percentile is within `ceiling × (1 +
+/// tolerance)`; exit 1 with one stderr line per violation otherwise, so CI
+/// can gate on it directly.
+fn cmd_slo(baseline_path: &str, dir: &str) -> Result<ExitCode, CheckError> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| CheckError::Parse(format!("{baseline_path}: {e}")))?;
+    let baseline = parse_slo_baseline(&text)
+        .map_err(|e| CheckError::Parse(format!("{baseline_path}: {e}")))?;
+    let journal = read_journal(std::path::Path::new(dir))
+        .map_err(|e| CheckError::Parse(format!("{dir}: {e}")))?;
+    let observed = journal.merged_hists();
+    if observed.is_empty() {
+        return Err(CheckError::Parse(format!(
+            "{dir}: journal holds no histogram samples to gate on"
+        )));
+    }
+    let violations = evaluate_slo(&baseline, &observed);
+    if violations.is_empty() {
+        println!(
+            "slo: ok ({} famil{} within tolerance {}%)",
+            baseline.families.len(),
+            if baseline.families.len() == 1 {
+                "y"
+            } else {
+                "ies"
+            },
+            baseline.tolerance_pct
+        );
+        Ok(ExitCode::SUCCESS)
+    } else {
+        for v in &violations {
+            eprintln!("slo: {v}");
+        }
+        eprintln!("slo: {} violation(s)", violations.len());
+        Ok(ExitCode::FAILURE)
+    }
 }
 
 /// Live progress heartbeats: a sampler thread that reads the guard's shared
@@ -617,10 +711,7 @@ struct ProgressMonitor {
 
 impl ProgressMonitor {
     fn start(probe: GuardProbe) -> ProgressMonitor {
-        let period = std::env::var("RL_PROGRESS_MS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(1_000u64);
+        let period = knobs::env_u64("RL_PROGRESS_MS", 1_000).max(1);
         let stop = Arc::new((Mutex::new(false), Condvar::new()));
         let shared = Arc::clone(&stop);
         let sampler_probe = probe.clone();
@@ -777,12 +868,12 @@ fn govern(body: impl FnOnce() -> Result<ExitCode, CheckError>) -> ExitCode {
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let usage = "usage: rlcheck <check|abstract|simplicity|fair|dot|batch|report|serve|top> \
+    let usage = "usage: rlcheck <check|abstract|simplicity|fair|dot|batch|report|serve|top|slo> \
                  <system-file>... [<formula>] [--keep a,b,c] [--steps N] \
                  [--timeout <secs>] [--max-states <n>] [--jobs <n>] \
                  [--manifest <file>] [--formula <f>] \
                  [--socket <path>] [--max-inflight-states <n>] [--queue-cap <n>] \
-                 [--job <id>] \
+                 [--job <id>] [--metrics-dir <dir>] [--dir <journal-dir>] \
                  [--stats] [--metrics <file>] [--trace-out <file>] \
                  [--flame-out <file>] [--progress] [--no-op-cache] \
                  [--no-lazy] [--no-filters] [--cache-bytes <n>]";
@@ -821,6 +912,9 @@ fn main() -> ExitCode {
         // record how the run was parallelized.
         reg.note_jobs(jobs);
     }
+    // Percentile telemetry rides the same opt-in: without a sink the guard's
+    // histogram hook stays `None` and the hot paths never call Instant::now.
+    let hist_registry = obs.wants_registry().then(HistogramRegistry::new);
     // The event tracer exists only under --trace-out: without it the
     // registry keeps its Rc/Cell hot path and the pool and cache skip the
     // recording branches entirely — tracing is strictly opt-in, and the
@@ -859,11 +953,20 @@ fn main() -> ExitCode {
     if let Some(reg) = &registry {
         guard = guard.with_metrics(reg.clone());
     }
+    if let Some(h) = &hist_registry {
+        guard = guard.with_histograms(h.clone());
+    }
     if let Some(cache) = &op_cache {
         guard = guard.with_op_cache(cache.clone());
+        if let Some(h) = &hist_registry {
+            cache.set_histograms(h.clone());
+        }
     }
     if let Some(pool) = &pool {
         guard = guard.with_pool(Arc::clone(pool));
+        if let Some(h) = &hist_registry {
+            pool.set_histograms(h.clone());
+        }
     }
     let monitor = obs.progress.then(|| ProgressMonitor::start(guard.probe()));
     let code = match cmd.as_str() {
@@ -903,6 +1006,9 @@ fn main() -> ExitCode {
             }
             let shared_cache =
                 (!no_op_cache).then(|| OpCache::with_limits(tracer.clone(), cache_bytes));
+            if let (Some(cache), Some(h)) = (&shared_cache, &hist_registry) {
+                cache.set_histograms(h.clone());
+            }
             cmd_batch(
                 checks,
                 jobs,
@@ -911,6 +1017,7 @@ fn main() -> ExitCode {
                     cancel: cancel.clone(),
                     lazy: !no_lazy,
                     filters: !no_filters,
+                    hists: hist_registry.clone(),
                 },
                 registry.as_ref(),
                 shared_cache,
@@ -943,6 +1050,10 @@ fn main() -> ExitCode {
                     },
                     Err(e) => return fail(format!("{e}\n{usage}")),
                 };
+                let metrics_dir = match extract_value_flag(&mut args, "--metrics-dir") {
+                    Ok(d) => d,
+                    Err(e) => return fail(format!("{e}\n{usage}")),
+                };
                 let config = relative_liveness::serve::ServeConfig {
                     socket,
                     threads: jobs,
@@ -953,6 +1064,7 @@ fn main() -> ExitCode {
                     tracer: tracer.clone(),
                     no_lazy,
                     no_filters,
+                    metrics_dir,
                 };
                 let shutdown = cancel.clone();
                 let reg = registry.clone();
@@ -988,10 +1100,30 @@ fn main() -> ExitCode {
                 fail("top requires Unix domain sockets and is not available on this platform")
             }
         }
-        "report" => match args.get(1) {
-            Some(path) => govern(|| cmd_report(path)),
-            None => fail("report needs <metrics.jsonl>"),
-        },
+        "report" => {
+            let dir = match extract_value_flag(&mut args, "--dir") {
+                Ok(d) => d,
+                Err(e) => return fail(format!("{e}\n{usage}")),
+            };
+            match (dir, args.get(1)) {
+                (Some(dir), None) => govern(move || cmd_report_dir(&dir)),
+                (None, Some(path)) => govern(|| cmd_report(path)),
+                (Some(_), Some(_)) => {
+                    fail("report takes either <metrics.jsonl> or --dir <journal-dir>, not both")
+                }
+                (None, None) => fail("report needs <metrics.jsonl> or --dir <journal-dir>"),
+            }
+        }
+        "slo" => {
+            let dir = match extract_value_flag(&mut args, "--dir") {
+                Ok(d) => d,
+                Err(e) => return fail(format!("{e}\n{usage}")),
+            };
+            match (args.get(1).cloned(), dir) {
+                (Some(baseline), Some(dir)) => govern(move || cmd_slo(&baseline, &dir)),
+                _ => fail("slo needs <baseline.json> --dir <journal-dir>"),
+            }
+        }
         "check" => match (args.get(1), args.get(2)) {
             (Some(path), Some(f)) => govern(|| cmd_check(path, f, &guard)),
             _ => fail(usage),
@@ -1036,7 +1168,13 @@ fn main() -> ExitCode {
     if sig::seen() {
         eprintln!("rlcheck: interrupted by signal; partial diagnostics follow");
     }
-    finish(code, &obs, registry.as_ref(), tracer.as_deref())
+    finish(
+        code,
+        &obs,
+        registry.as_ref(),
+        hist_registry.as_ref(),
+        tracer.as_deref(),
+    )
 }
 
 /// Flushes the observability sinks last, after every span has closed —
@@ -1052,18 +1190,30 @@ fn finish(
     code: ExitCode,
     obs: &ObsFlags,
     registry: Option<&MetricsRegistry>,
+    hists: Option<&HistogramRegistry>,
     tracer: Option<&Tracer>,
 ) -> ExitCode {
     let Some(reg) = registry else {
         return code;
     };
     let snapshot = reg.snapshot();
+    // One histogram snapshot feeds both sinks, mirroring the counter
+    // snapshot discipline: --stats and --metrics agree to the byte.
+    // Families that never recorded are dropped here so the file and the
+    // footer list the same rows.
+    let hist_snaps: Vec<(String, HistogramSnapshot)> = hists
+        .map(HistogramRegistry::snapshot)
+        .unwrap_or_default()
+        .into_iter()
+        .filter(|(_, snap)| snap.count > 0)
+        .collect();
     let events = tracer.map(Tracer::events);
     if obs.stats {
         eprint!("{}", snapshot.summary());
+        eprint!("{}", hist_table(&hist_snaps));
     }
     if let Some(path) = &obs.metrics {
-        let jsonl = render_jsonl(&snapshot, reg.jobs(), events.as_deref());
+        let jsonl = render_jsonl_with_hists(&snapshot, reg.jobs(), events.as_deref(), &hist_snaps);
         if let Err(e) = std::fs::write(path, jsonl) {
             return fail(format!("--metrics {path}: {e}"));
         }
@@ -1082,4 +1232,37 @@ fn finish(
         }
     }
     code
+}
+
+/// Renders the `--stats` percentile footer: one row per histogram family
+/// with a sample, in the same column layout `rlcheck report` uses for
+/// `rl-obs/v3` files, so the live footer and the offline report line up.
+/// Empty (no header) when nothing was recorded — percentiles are
+/// schedule-dependent, so they live below the deterministic counter table
+/// and never perturb it.
+fn hist_table(hists: &[(String, HistogramSnapshot)]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (name, snap) in hists {
+        if snap.count == 0 {
+            continue;
+        }
+        if out.is_empty() {
+            let _ = writeln!(
+                out,
+                "{:<36} {:>8} {:>10} {:>10} {:>10} {:>10}",
+                "histogram", "count", "p50", "p90", "p99", "max"
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{name:<36} {:>8} {:>10} {:>10} {:>10} {:>10}",
+            snap.count,
+            snap.p50(),
+            snap.p90(),
+            snap.p99(),
+            snap.max,
+        );
+    }
+    out
 }

@@ -8,8 +8,16 @@
 //!
 //! * **Wire protocol** — line-delimited JSON, one request object per line,
 //!   one reply object per line: `submit`, `status`, `wait`, `cancel`,
-//!   `stats`, `subscribe`, `unsubscribe`, `shutdown`. See the README for
-//!   examples.
+//!   `stats`, `metrics`, `subscribe`, `unsubscribe`, `shutdown`. See the
+//!   README for examples.
+//! * **Percentile telemetry** — a service-global [`HistogramRegistry`]
+//!   records queue wait, job wall time, admission latency, subscriber
+//!   write stalls, cache probe/lock-wait and pool steal/park latencies,
+//!   plus every job's filter-stage histograms (absorbed at completion).
+//!   The `metrics` verb exposes it as Prometheus text exposition (or
+//!   rl-obs/v3 JSONL), and `--metrics-dir` persists interval snapshots to
+//!   a rotating journal that `rlcheck report --dir` renders and
+//!   `rlcheck slo` gates on.
 //! * **Live streaming** — `subscribe` attaches this connection to the
 //!   telemetry plane: heartbeat events sampled from each running job's
 //!   [`GuardProbe`] atomics plus the job's tracer events, fanned out
@@ -56,7 +64,10 @@ use std::time::{Duration, Instant};
 use rl_automata::{fault, Budget, CancelToken, Guard, GuardProbe, OpCache, Pool};
 use rl_core::CheckError;
 use rl_json::{Json, ObjBuilder, ToJson};
-use rl_obs::{MetricsRegistry, RegistrySnapshot, StreamBus, StreamSubscription, Tracer};
+use rl_obs::{
+    hist_event_json, knobs, render_prometheus, HistogramRegistry, JournalSample, JournalWriter,
+    MetricsRegistry, RegistrySnapshot, StreamBus, StreamSubscription, Tracer,
+};
 
 use crate::check::{report_check, CheckSpec, SystemSource};
 
@@ -91,6 +102,11 @@ pub struct ServeConfig {
     /// ladder and always run the exact inclusion decider. A `submit` may
     /// also opt out per job with a `no_filters` field.
     pub no_filters: bool,
+    /// Directory of the persistent metrics journal (`--metrics-dir`):
+    /// the sampler appends interval snapshots of the service counters and
+    /// histograms to rotating JSONL segments that survive restarts and are
+    /// rendered by `rlcheck report --dir`.
+    pub metrics_dir: Option<String>,
 }
 
 /// The heartbeat period: connection reads time out at this cadence (which
@@ -131,11 +147,7 @@ fn result_ttl() -> Duration {
 /// (default one second) since both are the same "how fast do humans need
 /// progress" knob.
 fn progress_period() -> Duration {
-    let ms = std::env::var("RL_PROGRESS_MS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1_000u64);
-    Duration::from_millis(ms.max(1))
+    Duration::from_millis(knobs::env_u64("RL_PROGRESS_MS", 1_000).max(1))
 }
 
 /// Per-subscriber ring capacity (buffered event lines). Overflow drops the
@@ -143,11 +155,7 @@ fn progress_period() -> Duration {
 /// bounded memory per subscriber. `RL_SUBSCRIBER_RING` overrides, for
 /// tests (which shrink it to force drops deterministically).
 fn ring_capacity() -> usize {
-    std::env::var("RL_SUBSCRIBER_RING")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1_024usize)
-        .max(1)
+    knobs::env_u64("RL_SUBSCRIBER_RING", 1_024).max(1) as usize
 }
 
 /// Lifecycle of one submitted job.
@@ -200,6 +208,9 @@ struct JobRecord {
     weight: u64,
     /// Id of the submitting connection — disconnects cancel by this.
     conn: u64,
+    /// When the submit was accepted — start of the `serve/queue_wait_us`
+    /// clock, stopped when a worker picks the job up.
+    submitted_at: Instant,
     cancel: CancelToken,
     state: JobState,
     result: Option<JobResult>,
@@ -217,6 +228,9 @@ struct JobRecord {
 struct JobStream {
     probe: GuardProbe,
     tracer: Arc<Tracer>,
+    /// The job's own histogram registry (filter-stage latencies); the
+    /// sampler streams its cumulative snapshots as `hist` events.
+    hists: HistogramRegistry,
     /// Serializes sampler ticks against the completion flush so the final
     /// heartbeat and trace tail always precede the `done` record.
     publish: Mutex<()>,
@@ -253,6 +267,7 @@ struct VerbCounters {
     wait: u64,
     cancel: u64,
     stats: u64,
+    metrics: u64,
     subscribe: u64,
     unsubscribe: u64,
     shutdown: u64,
@@ -299,8 +314,21 @@ struct Core {
     no_filters: bool,
     /// The subscriber fan-out plane.
     bus: StreamBus,
+    /// Service-global percentile plane: queue wait, job wall time,
+    /// admission latency, subscriber write stalls, the shared cache's and
+    /// pool's latencies, plus every finished job's filter-stage histograms
+    /// (absorbed at completion). Exposed by the `metrics` verb and
+    /// journaled by the sampler.
+    hists: HistogramRegistry,
+    /// The persistent metrics journal (`--metrics-dir`), appended by the
+    /// sampler thread and once more at drain.
+    journal: Option<Mutex<JournalWriter>>,
     /// When the service started — the `stats` reply's `uptime_ms`.
     started: Instant,
+    /// Wall-clock start time stamped into every journal sample, so the
+    /// reader can tell two runs apart even when their uptimes never
+    /// overlap enough for the uptime-drop heuristic.
+    run_id: u64,
 }
 
 impl Core {
@@ -395,7 +423,7 @@ fn settle_locked(t: &mut Table, id: u64, mut result: JobResult) {
 /// Executes one job on a pool worker: builds the per-job guard, runs the
 /// shared check pipeline behind `catch_unwind`, and records the result.
 fn run_job(core: &Arc<Core>, id: u64) {
-    let (spec, budget, cancel, lazy, filters) = {
+    let (spec, budget, cancel, lazy, filters, submitted_at) = {
         let t = core.lock();
         let Some(e) = t.entries.get(&id) else {
             return;
@@ -406,8 +434,12 @@ fn run_job(core: &Arc<Core>, id: u64) {
             e.cancel.clone(),
             e.lazy,
             e.filters,
+            e.submitted_at,
         )
     };
+    core.hists
+        .hist("serve/queue_wait_us")
+        .record_elapsed_us(submitted_at);
     // The shard registry lives outside the unwind boundary so a panicking
     // job still ships its partial spans (closed-so-far) home. Every job
     // meters itself into a per-job registry and tracer unconditionally:
@@ -418,16 +450,22 @@ fn run_job(core: &Arc<Core>, id: u64) {
     let global_offset = core.tracer.as_ref().map(|t| t.now_us());
     reg.set_tracer(Arc::clone(&job_tracer));
     let was_cancelled = cancel.clone();
+    // The per-job histogram registry keeps this job's filter-stage latency
+    // percentiles separable on the stream; the whole shard is absorbed
+    // into the service-global registry once the job settles.
+    let job_hists = HistogramRegistry::new();
     let mut guard = Guard::with_cancel(budget, cancel)
         .with_lazy(lazy)
         .with_filters(filters)
-        .with_metrics(reg.clone());
+        .with_metrics(reg.clone())
+        .with_histograms(job_hists.clone());
     if let Some(c) = &core.cache {
         guard = guard.with_op_cache(c.clone());
     }
     let stream = Arc::new(JobStream {
         probe: guard.probe(),
         tracer: Arc::clone(&job_tracer),
+        hists: job_hists.clone(),
         publish: Mutex::new(()),
         finished: AtomicBool::new(false),
     });
@@ -437,6 +475,7 @@ fn run_job(core: &Arc<Core>, id: u64) {
             e.stream = Some(Arc::clone(&stream));
         }
     }
+    let wall_started = Instant::now();
     let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
         if fault::armed_value("job-panic") == Some(id) {
             panic!("injected panic (RL_FAULT=job-panic:{id})");
@@ -447,6 +486,9 @@ fn run_job(core: &Arc<Core>, id: u64) {
         let holds = matches!(code, 0 | 1).then(|| code == 0);
         (code, holds, out, err)
     }));
+    core.hists
+        .hist("serve/job_wall_us")
+        .record_elapsed_us(wall_started);
     let result = match outcome {
         Ok((code, holds, out, err)) => JobResult {
             code,
@@ -480,6 +522,9 @@ fn run_job(core: &Arc<Core>, id: u64) {
     if let Some((global, offset)) = core.tracer.as_ref().zip(global_offset) {
         global.absorb_events(offset, &job_tracer.events());
     }
+    // Fold the job's filter-stage histograms into the service-global
+    // registry so the `metrics` verb and the journal aggregate across jobs.
+    core.hists.absorb(&job_hists.snapshot());
     complete(core, id, result, was_cancelled.is_cancelled());
 }
 
@@ -526,8 +571,20 @@ fn publish_job_trace(core: &Core, id: u64, stream: &JobStream) {
     }
 }
 
+/// Streams the job's cumulative histogram snapshots as `hist` events.
+/// Snapshots repeat and grow tick over tick; consumers keep the latest per
+/// `(job, family)` (`rlcheck report`/`top` both do), so re-sending is
+/// idempotent rather than double-counting.
+fn publish_job_hists(core: &Core, id: u64, stream: &JobStream) {
+    for (name, snap) in stream.hists.snapshot() {
+        if snap.count > 0 {
+            publish_json(core, id, &hist_event_json(&name, Some(id), &snap));
+        }
+    }
+}
+
 /// One sampler tick for a running job: a heartbeat, then the fresh trace
-/// events.
+/// events, then the histogram snapshots.
 fn publish_job_tick(core: &Core, id: u64, stream: &JobStream) {
     let _order = stream
         .publish
@@ -538,6 +595,7 @@ fn publish_job_tick(core: &Core, id: u64, stream: &JobStream) {
     }
     publish_json(core, id, &job_heartbeat_json(core, id, stream));
     publish_job_trace(core, id, stream);
+    publish_job_hists(core, id, stream);
 }
 
 /// The completion flush: guarantees at least one heartbeat and the whole
@@ -550,6 +608,7 @@ fn publish_job_final(core: &Core, id: u64, stream: &JobStream, code: u8) {
         .unwrap_or_else(std::sync::PoisonError::into_inner);
     publish_json(core, id, &job_heartbeat_json(core, id, stream));
     publish_job_trace(core, id, stream);
+    publish_job_hists(core, id, stream);
     publish_json(core, id, &done_json(id, code));
     stream.finished.store(true, Ordering::Release);
 }
@@ -745,6 +804,7 @@ fn handle_request(
             "wait" => verbs.wait += 1,
             "cancel" => verbs.cancel += 1,
             "stats" => verbs.stats += 1,
+            "metrics" => verbs.metrics += 1,
             "subscribe" => verbs.subscribe += 1,
             "unsubscribe" => verbs.unsubscribe += 1,
             "shutdown" => verbs.shutdown += 1,
@@ -802,6 +862,10 @@ fn handle_request(
             }
         }
         "stats" => (stats_reply(core), Action::Continue),
+        "metrics" => (
+            metrics_reply(core, str_field(&v, "format").as_deref()),
+            Action::Continue,
+        ),
         "subscribe" => {
             let filter = match v.get("id") {
                 None => None,
@@ -869,6 +933,94 @@ fn handle_request(
     }
 }
 
+/// The live service counter totals as named values — the counter half of
+/// the `metrics` exposition and of every journal sample.
+fn service_counters(core: &Core) -> Vec<(String, u64)> {
+    let (c, inflight, queue_depth) = {
+        let t = core.lock();
+        (t.counters, t.inflight, t.queue.len() as u64)
+    };
+    let own = |name: &str, v: u64| (name.to_owned(), v);
+    let mut out = vec![
+        own("serve/submitted", c.submitted),
+        own("serve/admitted", c.admitted),
+        own("serve/queued", c.queued),
+        own("serve/rejected", c.rejected),
+        own("serve/completed", c.completed),
+        own("serve/panicked", c.panicked),
+        own("serve/cancelled", c.cancelled),
+        own("serve/inflight_states", inflight),
+        own("serve/peak_inflight_states", c.peak_inflight),
+        own("serve/queue_depth", queue_depth),
+        own("serve/subscribers", core.bus.subscriber_count() as u64),
+        own("serve/events_dropped", core.bus.dropped_events()),
+    ];
+    if let Some(cache) = &core.cache {
+        out.push(own("opcache/hits", cache.hits() as u64));
+        out.push(own("opcache/misses", cache.misses() as u64));
+        out.push(own("opcache/evictions", cache.evictions() as u64));
+        out.push(own("opcache/resident_bytes", cache.resident_bytes() as u64));
+    }
+    out
+}
+
+/// The `metrics` verb: the live counters and histograms, rendered as
+/// Prometheus text exposition (default) or as rl-obs/v3 `hist` JSONL
+/// lines (`"format":"jsonl"`), carried in the reply's `body` field.
+fn metrics_reply(core: &Arc<Core>, format: Option<&str>) -> Json {
+    let counters = service_counters(core);
+    let hists = core.hists.snapshot();
+    match format {
+        None | Some("prometheus") => ObjBuilder::new()
+            .field("ok", true)
+            .field("format", "prometheus")
+            .field("body", render_prometheus(&counters, &hists))
+            .build(),
+        Some("jsonl") => {
+            let mut body = String::new();
+            for (name, snap) in &hists {
+                if let Ok(line) = rl_json::to_string(&hist_event_json(name, None, snap)) {
+                    body.push_str(&line);
+                    body.push('\n');
+                }
+            }
+            ObjBuilder::new()
+                .field("ok", true)
+                .field("format", "jsonl")
+                .field("body", body)
+                .build()
+        }
+        Some(other) => error_reply(format!(
+            "metrics `format` {other:?} must be \"prometheus\" or \"jsonl\""
+        )),
+    }
+}
+
+/// Appends one interval snapshot of the service counters and histograms to
+/// the metrics journal (no-op without `--metrics-dir`). Write errors are
+/// reported on stderr but never disturb the service.
+fn journal_sample(core: &Core) {
+    let Some(journal) = &core.journal else {
+        return;
+    };
+    let ts_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_millis() as u64);
+    let sample = JournalSample {
+        ts_ms,
+        uptime_ms: core.started.elapsed().as_millis() as u64,
+        run_id: core.run_id,
+        counters: service_counters(core),
+        hists: core.hists.snapshot(),
+    };
+    let mut w = journal
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Err(e) = w.append(&sample) {
+        eprintln!("rlcheck: serve: metrics journal: {e}");
+    }
+}
+
 fn stats_reply(core: &Arc<Core>) -> Json {
     let (c, inflight, queue_depth, draining) = {
         let t = core.lock();
@@ -880,6 +1032,7 @@ fn stats_reply(core: &Arc<Core>) -> Json {
         .field("wait", c.verbs.wait)
         .field("cancel", c.verbs.cancel)
         .field("stats", c.verbs.stats)
+        .field("metrics", c.verbs.metrics)
         .field("subscribe", c.verbs.subscribe)
         .field("unsubscribe", c.verbs.unsubscribe)
         .field("shutdown", c.verbs.shutdown)
@@ -937,12 +1090,17 @@ fn handle_submit(core: &Arc<Core>, conn: u64, v: &Json) -> Json {
     let filters = !bool_field(v, "no_filters").unwrap_or(core.no_filters);
     let spec = CheckSpec { source, formula };
 
+    let admit_started = Instant::now();
     let (id, decision) = {
         let mut t = core.lock();
         t.counters.submitted += 1;
         let decision = admission_decision(&t, core, weight);
         if let Admission::Reject(reason) = &decision {
             t.counters.rejected += 1;
+            drop(t);
+            core.hists
+                .hist("serve/admission_us")
+                .record_elapsed_us(admit_started);
             return ObjBuilder::new()
                 .field("ok", false)
                 .field("status", "rejected")
@@ -960,6 +1118,7 @@ fn handle_submit(core: &Arc<Core>, conn: u64, v: &Json) -> Json {
                 filters,
                 weight,
                 conn,
+                submitted_at: Instant::now(),
                 cancel: CancelToken::new(),
                 state: JobState::Queued,
                 result: None,
@@ -979,6 +1138,9 @@ fn handle_submit(core: &Arc<Core>, conn: u64, v: &Json) -> Json {
         }
         (id, decision)
     };
+    core.hists
+        .hist("serve/admission_us")
+        .record_elapsed_us(admit_started);
     let status = match decision {
         Admission::Queue => "queued",
         _ => {
@@ -1031,7 +1193,7 @@ fn handle_conn(core: Arc<Core>, mut stream: UnixStream, conn: u64) {
                 break 'conn;
             }
         }
-        if !flush_subscription(&mut stream, &mut state) {
+        if !flush_subscription(&core, &mut stream, &mut state) {
             break 'conn;
         }
         match stream.read(&mut chunk) {
@@ -1053,7 +1215,7 @@ fn handle_conn(core: Arc<Core>, mut stream: UnixStream, conn: u64) {
                         .all(|e| e.state == JobState::Done)
                 {
                     // Flush whatever the settled jobs left, then close.
-                    let _ = flush_subscription(&mut stream, &mut state);
+                    let _ = flush_subscription(&core, &mut stream, &mut state);
                     break;
                 }
             }
@@ -1073,7 +1235,7 @@ fn handle_conn(core: Arc<Core>, mut stream: UnixStream, conn: u64) {
 /// lines oldest-first, then a `dropped` notice when backpressure discarded
 /// lines since the last report. Returns `false` when the connection should
 /// be severed (write failure, or the injected `serve-drop-sub` fault).
-fn flush_subscription(stream: &mut UnixStream, state: &mut ConnState) -> bool {
+fn flush_subscription(core: &Core, stream: &mut UnixStream, state: &mut ConnState) -> bool {
     let Some(sub) = &state.sub else {
         return true;
     };
@@ -1099,7 +1261,14 @@ fn flush_subscription(stream: &mut UnixStream, state: &mut ConnState) -> bool {
         // subscriber crash takes.
         return false;
     }
-    stream.write_all(payload.as_bytes()).is_ok()
+    // A slow subscriber shows up here as write-stall latency — the
+    // percentile witness that backpressure is on the socket, not the jobs.
+    let write_started = Instant::now();
+    let ok = stream.write_all(payload.as_bytes()).is_ok();
+    core.hists
+        .hist("serve/write_stall_us")
+        .record_elapsed_us(write_started);
+    ok
 }
 
 /// Runs the service until a `shutdown` request or the external `shutdown`
@@ -1146,6 +1315,16 @@ pub fn serve(
         .set_nonblocking(true)
         .map_err(|e| CheckError::Parse(format!("serve: {socket}: {e}")))?;
 
+    // Open the metrics journal before accepting work: a misconfigured
+    // `--metrics-dir` should fail the start, not silently drop telemetry.
+    let journal = match &config.metrics_dir {
+        Some(dir) => Some(Mutex::new(
+            JournalWriter::open(std::path::Path::new(dir), 0)
+                .map_err(|e| CheckError::Parse(format!("serve: metrics journal {dir}: {e}")))?,
+        )),
+        None => None,
+    };
+
     let core = Arc::new(Core {
         jobs: Mutex::new(Table {
             next_job: 1,
@@ -1167,8 +1346,19 @@ pub fn serve(
         no_lazy: config.no_lazy,
         no_filters: config.no_filters,
         bus: StreamBus::new(),
+        hists: HistogramRegistry::new(),
+        journal,
         started: Instant::now(),
+        run_id: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_millis() as u64),
     });
+    // The shared pool and cache record their scheduler/probe latencies
+    // into the same service-global registry.
+    core.pool.set_histograms(core.hists.clone());
+    if let Some(cache) = &core.cache {
+        cache.set_histograms(core.hists.clone());
+    }
 
     eprintln!(
         "rlcheck: serve: listening on {socket} ({} workers)",
@@ -1209,6 +1399,7 @@ pub fn serve(
                     for (id, stream) in running {
                         publish_job_tick(&core, id, &stream);
                     }
+                    journal_sample(&core);
                 }
             })
             .expect("spawning the sampler thread succeeds")
@@ -1323,6 +1514,10 @@ pub fn serve(
     for handle in conns {
         let _ = handle.join();
     }
+    // One final journal sample after every job settled, so short-lived
+    // daemons (and the last interval of long ones) are never lost — this
+    // is what lets `rlcheck report --dir` stitch runs across restarts.
+    journal_sample(&core);
     let _ = std::fs::remove_file(&socket);
 
     // Fold every job's metrics shard and the service counters into the

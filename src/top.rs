@@ -14,14 +14,14 @@
 //! normal exit; so does SIGINT via the shared cancel token.
 
 use std::collections::BTreeMap;
-use std::io::{ErrorKind, IsTerminal, Read, Write as IoWrite};
+use std::io::{BufRead, BufReader, ErrorKind, IsTerminal, Read, Write as IoWrite};
 use std::os::unix::net::UnixStream;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use rl_automata::CancelToken;
 use rl_core::CheckError;
 use rl_json::{FromJson, Json};
-use rl_obs::{Heartbeat, TraceEvent, TracePhase};
+use rl_obs::{Heartbeat, HistogramSnapshot, TraceEvent, TracePhase};
 
 /// One row of the live table: the latest observed state of a job.
 #[derive(Default)]
@@ -40,6 +40,10 @@ struct JobRow {
     /// The most recent algorithm instant (`lazy-*` / `filter-*`), shown
     /// beside the phase — "what the kernel just did" at one glance.
     note: String,
+    /// Latest cumulative histogram snapshot per family, from streamed
+    /// `hist` events. Each event replaces its family (snapshots are
+    /// cumulative, so latest-wins is idempotent under redelivery).
+    hists: Vec<(String, HistogramSnapshot)>,
     /// The exit code from the job's `done` record, once it settles.
     done: Option<u64>,
 }
@@ -69,6 +73,24 @@ impl JobRow {
             Some(code) => format!("done({code})"),
             None => "running".to_owned(),
         }
+    }
+
+    /// Merges the job's streamed histogram families into one distribution
+    /// (all families are microsecond latencies, so quantiles over the
+    /// union answer "how slow are this job's instrumented operations").
+    /// `None` until the first `hist` event with a sample arrives.
+    fn merged_hist(&self) -> Option<HistogramSnapshot> {
+        let mut merged: Option<HistogramSnapshot> = None;
+        for (_, snap) in &self.hists {
+            if snap.count == 0 {
+                continue;
+            }
+            match &mut merged {
+                Some(m) => m.merge(snap),
+                None => merged = Some(snap.clone()),
+            }
+        }
+        merged
     }
 }
 
@@ -139,6 +161,21 @@ impl TopView {
                 self.dirty = true;
                 Some(format!("job {job}: done code {code}"))
             }
+            "hist" => {
+                let job = u64_field(&value, "job")?;
+                let name = match value.get("name") {
+                    Some(Json::Str(s)) => s.clone(),
+                    _ => return None,
+                };
+                let snap = HistogramSnapshot::from_json(&value).ok()?;
+                let row = self.jobs.entry(job).or_default();
+                match row.hists.iter_mut().find(|(n, _)| *n == name) {
+                    Some((_, old)) => *old = snap,
+                    None => row.hists.push((name, snap)),
+                }
+                self.dirty = true;
+                None // percentiles render in the table, not as plain lines
+            }
             "dropped" => {
                 if let Some(n) = u64_field(&value, "count") {
                     self.dropped += n;
@@ -151,8 +188,9 @@ impl TopView {
         }
     }
 
-    /// The full-screen table (TTY mode).
-    fn render(&self, socket: &str) -> String {
+    /// The full-screen table (TTY mode). `daemon` is the latest `stats`
+    /// poll, rendered as a footer when available.
+    fn render(&self, socket: &str, daemon: Option<&DaemonStats>) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
         let _ = writeln!(
@@ -163,14 +201,24 @@ impl TopView {
         );
         let _ = writeln!(
             out,
-            "{:>5}  {:<9} {:>9} {:>12} {:>10} {:>9} {:>7} {:>7}  PHASE",
-            "JOB", "STATUS", "ELAPSED", "STATES", "RATE/S", "FRONTIER", "BUDGET%", "CACHE%"
+            "{:>5}  {:<9} {:>9} {:>12} {:>10} {:>9} {:>7} {:>7} {:>8} {:>8}  PHASE",
+            "JOB",
+            "STATUS",
+            "ELAPSED",
+            "STATES",
+            "RATE/S",
+            "FRONTIER",
+            "BUDGET%",
+            "CACHE%",
+            "P50US",
+            "P99US"
         );
         for (id, row) in &self.jobs {
             let hb = row.last.as_ref();
+            let merged = row.merged_hist();
             let _ = writeln!(
                 out,
-                "{:>5}  {:<9} {:>8.1}s {:>12} {:>10} {:>9} {:>7} {:>7}  {}",
+                "{:>5}  {:<9} {:>8.1}s {:>12} {:>10} {:>9} {:>7} {:>7} {:>8} {:>8}  {}",
                 id,
                 row.status(),
                 hb.map_or(0.0, |h| h.elapsed_us as f64 / 1e6),
@@ -181,6 +229,12 @@ impl TopView {
                     .map_or_else(|| "-".to_owned(), |p| p.to_string()),
                 row.cache_pct()
                     .map_or_else(|| "-".to_owned(), |p| p.to_string()),
+                merged
+                    .as_ref()
+                    .map_or_else(|| "-".to_owned(), |h| h.p50().to_string()),
+                merged
+                    .as_ref()
+                    .map_or_else(|| "-".to_owned(), |h| h.p99().to_string()),
                 if row.note.is_empty() {
                     row.phase.clone()
                 } else {
@@ -188,8 +242,56 @@ impl TopView {
                 }
             );
         }
+        if let Some(d) = daemon {
+            let _ = writeln!(out, "{}", d.footer());
+        }
         out
     }
+}
+
+/// Daemon-level gauges from the `stats` verb, polled on a side connection
+/// (the subscribe stream carries per-job events only).
+struct DaemonStats {
+    uptime_ms: u64,
+    subscribers: u64,
+    events_dropped: u64,
+}
+
+impl DaemonStats {
+    /// Parses a `stats` reply line; `None` when it is not an ok-reply.
+    fn parse(line: &str) -> Option<DaemonStats> {
+        let v = rl_json::parse(line).ok()?;
+        if v.get("ok") != Some(&Json::Bool(true)) {
+            return None;
+        }
+        Some(DaemonStats {
+            uptime_ms: u64_field(&v, "uptime_ms")?,
+            subscribers: u64_field(&v, "subscribers").unwrap_or(0),
+            events_dropped: u64_field(&v, "events_dropped").unwrap_or(0),
+        })
+    }
+
+    fn footer(&self) -> String {
+        format!(
+            "daemon: up {:.1}s, {} subscriber(s), {} event(s) dropped daemon-wide",
+            self.uptime_ms as f64 / 1e3,
+            self.subscribers,
+            self.events_dropped
+        )
+    }
+}
+
+/// One `stats` round-trip on a fresh connection. Any failure (daemon
+/// draining, timeout) degrades to `None`; the footer just keeps its last
+/// value.
+fn poll_stats(socket: &str) -> Option<DaemonStats> {
+    let mut stream = UnixStream::connect(socket).ok()?;
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    stream.write_all(b"{\"cmd\":\"stats\"}\n").ok()?;
+    let mut line = String::new();
+    BufReader::new(stream).read_line(&mut line).ok()?;
+    DaemonStats::parse(line.trim())
 }
 
 fn u64_field(v: &Json, key: &str) -> Option<u64> {
@@ -224,9 +326,20 @@ pub fn run_top(socket: &str, job: Option<u64>, cancel: &CancelToken) -> Result<u
     let mut acked = false;
     let mut buf: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 4096];
+    // Daemon-level stats ride a side connection, refreshed about once a
+    // second; a failed poll keeps the previous footer rather than blanking.
+    let mut daemon: Option<DaemonStats> = None;
+    let mut last_poll: Option<Instant> = None;
     loop {
         if cancel.is_cancelled() {
             break;
+        }
+        if last_poll.is_none_or(|t| t.elapsed() >= Duration::from_secs(1)) {
+            last_poll = Some(Instant::now());
+            if let Some(stats) = poll_stats(socket) {
+                daemon = Some(stats);
+                view.dirty = true;
+            }
         }
         while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
             let line_bytes: Vec<u8> = buf.drain(..=pos).collect();
@@ -255,7 +368,7 @@ pub fn run_top(socket: &str, job: Option<u64>, cancel: &CancelToken) -> Result<u
         if live && view.dirty {
             view.dirty = false;
             // Clear and redraw: home the cursor, wipe, print the table.
-            eprint!("\x1b[H\x1b[2J{}", view.render(socket));
+            eprint!("\x1b[H\x1b[2J{}", view.render(socket, daemon.as_ref()));
         }
         match stream.read(&mut chunk) {
             Ok(0) => break, // daemon drained: clean end of stream
@@ -266,7 +379,7 @@ pub fn run_top(socket: &str, job: Option<u64>, cancel: &CancelToken) -> Result<u
         }
     }
     if live {
-        eprint!("{}", view.render(socket));
+        eprint!("{}", view.render(socket, daemon.as_ref()));
     } else {
         let done = view.jobs.values().filter(|r| r.done.is_some()).count();
         eprintln!(
@@ -275,6 +388,9 @@ pub fn run_top(socket: &str, job: Option<u64>, cancel: &CancelToken) -> Result<u
             done,
             view.dropped
         );
+        if let Some(d) = &daemon {
+            eprintln!("rlcheck top: {}", d.footer());
+        }
     }
     Ok(0)
 }
@@ -308,9 +424,53 @@ mod tests {
         let done = view.take_line("{\"event\":\"done\",\"job\":1,\"code\":0}");
         assert_eq!(done.as_deref(), Some("job 1: done code 0"));
         assert_eq!(view.jobs[&1].status(), "done(0)");
-        let table = view.render("/tmp/x.sock");
+        let table = view.render("/tmp/x.sock", None);
         assert!(table.contains("done(0)"), "{table}");
         assert!(table.contains("determinize"), "{table}");
+    }
+
+    #[test]
+    fn hist_events_surface_percentile_columns() {
+        let mut view = TopView::default();
+        // Before any hist event: dashes in the percentile columns.
+        view.take_line("{\"event\":\"done\",\"job\":7,\"code\":0}");
+        assert!(view.render("s", None).contains('-'));
+        // A cumulative snapshot: 10 samples at exactly 4µs (buckets 0-7
+        // are exact, so p50 = p99 = 4).
+        let replaced = "{\"event\":\"hist\",\"job\":7,\"name\":\"filter/parikh_us\",\
+             \"count\":10,\"sum\":40,\"max\":4,\"buckets\":[[4,10]]}";
+        assert!(view.take_line(replaced).is_none(), "no plain line");
+        let row = view.jobs.get(&7).expect("row");
+        let merged = row.merged_hist().expect("merged hist");
+        assert_eq!((merged.p50(), merged.p99()), (4, 4));
+        // A newer snapshot for the same family replaces, never doubles.
+        view.take_line(replaced);
+        assert_eq!(view.jobs[&7].merged_hist().expect("hist").count, 10);
+        // A second family merges into the displayed distribution.
+        view.take_line(
+            "{\"event\":\"hist\",\"job\":7,\"name\":\"filter/sim_us\",\
+             \"count\":2,\"sum\":12,\"max\":6,\"buckets\":[[6,2]]}",
+        );
+        assert_eq!(view.jobs[&7].merged_hist().expect("hist").count, 12);
+        let table = view.render("s", None);
+        assert!(table.contains("P50US"), "{table}");
+    }
+
+    #[test]
+    fn daemon_stats_parse_and_footer() {
+        let stats = DaemonStats::parse(
+            "{\"ok\":true,\"uptime_ms\":2500,\"subscribers\":3,\"events_dropped\":9}",
+        )
+        .expect("parses ok reply");
+        assert_eq!(
+            stats.footer(),
+            "daemon: up 2.5s, 3 subscriber(s), 9 event(s) dropped daemon-wide"
+        );
+        assert!(DaemonStats::parse("{\"ok\":false,\"error\":\"x\"}").is_none());
+        assert!(DaemonStats::parse("not json").is_none());
+        // The footer rides the rendered table when stats are known.
+        let view = TopView::default();
+        assert!(view.render("s", Some(&stats)).contains("daemon: up 2.5s"));
     }
 
     #[test]
@@ -325,7 +485,7 @@ mod tests {
              \"cat\":\"kernel\",\"name\":\"filter-hit\",\"ts_us\":2,\
              \"arg\":{\"stage\":2}}",
         );
-        let table = view.render("/tmp/x.sock");
+        let table = view.render("/tmp/x.sock", None);
         assert!(table.contains("prefilter [filter-hit]"), "{table}");
         // Lazy pipeline instants surface the same way.
         view.take_line(
@@ -333,7 +493,7 @@ mod tests {
              \"cat\":\"kernel\",\"name\":\"lazy-prune\",\"ts_us\":3,\
              \"arg\":{\"count\":7}}",
         );
-        assert!(view.render("s").contains("prefilter [lazy-prune]"));
+        assert!(view.render("s", None).contains("prefilter [lazy-prune]"));
         // Other kernel instants (layer widths of eager constructions) are
         // not phase narration and stay out of the column.
         view.jobs.get_mut(&3).expect("row").note.clear();
@@ -341,7 +501,7 @@ mod tests {
             "{\"event\":\"trace\",\"job\":3,\"ph\":\"I\",\"track\":0,\
              \"cat\":\"kernel\",\"name\":\"determinize-layer\",\"ts_us\":4}",
         );
-        assert!(!view.render("s").contains("[determinize-layer]"));
+        assert!(!view.render("s", None).contains("[determinize-layer]"));
     }
 
     #[test]

@@ -325,7 +325,9 @@ fn metrics_flag_writes_parseable_jsonl_covering_the_pipeline() {
     assert_eq!(events.first().map(String::as_str), Some("meta"));
     assert_eq!(events.last().map(String::as_str), Some("totals"));
     let meta = rl_json::parse(text.lines().next().expect("meta line")).expect("meta parses");
-    assert_eq!(str_field(&meta, "schema"), "rl-obs/v1");
+    // A registry-backed run records percentile histograms (op cache probe
+    // latency at minimum), which upgrades the schema to v3.
+    assert_eq!(str_field(&meta, "schema"), "rl-obs/v3");
     // Every phase of the (lazy, default) check pipeline shows up as a
     // span path.
     for needle in [
@@ -856,8 +858,8 @@ fn report_renders_event_digest_for_v2_files() {
     assert_eq!(live.status.code(), Some(0));
     let text = std::fs::read_to_string(&metrics).expect("metrics written");
     assert!(
-        text.starts_with("{\"event\":\"meta\",\"schema\":\"rl-obs/v2\""),
-        "tracing upgrades the JSONL schema to v2: {}",
+        text.starts_with("{\"event\":\"meta\",\"schema\":\"rl-obs/v3\""),
+        "tracing plus histograms upgrade the JSONL schema: {}",
         text.lines().next().unwrap_or_default()
     );
     let report = rlcheck(&["report", metrics.to_str().expect("utf-8 path")]);
@@ -1279,4 +1281,162 @@ fn report_renders_captured_subscribe_streams() {
         "{out}"
     );
     assert!(out.contains("done code 0"), "{out}");
+}
+
+// ---------------------------------------------------------------------------
+// The percentile telemetry plane: --stats/--metrics histograms, the journal
+// reader, and the SLO gate's argument handling.
+
+#[test]
+fn stats_and_metrics_carry_percentile_histograms() {
+    let dir = std::env::temp_dir().join("rlcheck-hist-v3");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("metrics.jsonl");
+    let out = rlcheck(&[
+        "check",
+        "examples/systems/abp.ts",
+        "[]<>deliver",
+        "--stats",
+        "--metrics",
+        path.to_str().expect("utf-8 path"),
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    // The --stats footer grows a percentile table below the phase table.
+    let err = stderr(&out);
+    assert!(err.contains("histogram"), "percentile header: {err}");
+    assert!(err.contains("p99"), "{err}");
+    assert!(err.contains("opcache/probe_us"), "{err}");
+    // Recording histograms upgrades the JSONL schema to v3 with one `hist`
+    // line per recorded family.
+    let text = std::fs::read_to_string(&path).expect("metrics written");
+    assert!(
+        text.starts_with("{\"event\":\"meta\",\"schema\":\"rl-obs/v3\""),
+        "histograms upgrade the schema: {}",
+        text.lines().next().unwrap_or_default()
+    );
+    assert!(text.contains("\"event\":\"hist\""), "{text}");
+}
+
+#[test]
+fn report_tolerates_mid_record_truncation() {
+    // A daemon (or a run) dying mid-write leaves a metrics file cut inside
+    // a record; the offline reader must degrade, not panic.
+    let dir = std::env::temp_dir().join("rlcheck-report-truncated");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let metrics = dir.join("metrics.jsonl");
+    let trace = dir.join("trace.json");
+    let live = rlcheck(&[
+        "check",
+        "examples/systems/abp.ts",
+        "[]<>deliver",
+        "--metrics",
+        metrics.to_str().expect("utf-8 path"),
+        "--trace-out",
+        trace.to_str().expect("utf-8 path"),
+    ]);
+    assert_eq!(live.status.code(), Some(0));
+    let bytes = std::fs::read(&metrics).expect("metrics written");
+    assert!(
+        bytes.starts_with(b"{\"event\":\"meta\",\"schema\":\"rl-obs/v3\""),
+        "v3 file expected"
+    );
+    // Cut inside the final record (the totals line is last and long).
+    let cut = dir.join("cut.jsonl");
+    std::fs::write(&cut, &bytes[..bytes.len() - 10]).expect("truncated copy");
+    let report = rlcheck(&["report", cut.to_str().expect("utf-8 path")]);
+    assert_eq!(report.status.code(), Some(0), "truncation is not fatal");
+    assert!(
+        stdout(&report).contains("total"),
+        "totals reconstructed from spans: {}",
+        stdout(&report)
+    );
+    assert!(
+        stderr(&report).contains("truncated"),
+        "truncation noted on stderr: {}",
+        stderr(&report)
+    );
+}
+
+#[test]
+fn report_dir_tolerates_truncated_and_zero_length_segments() {
+    let dir = std::env::temp_dir().join("rlcheck-journal-degraded");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("journal dir");
+    // Segment 0: two good samples, then a line cut mid-record.
+    let sample = |ts: u64, up: u64, count: u64| {
+        format!(
+            "{{\"event\":\"sample\",\"ts_ms\":{ts},\"uptime_ms\":{up},\
+             \"counters\":{{\"serve/submitted\":1}},\
+             \"hists\":{{\"serve/job_wall_us\":{{\"count\":{count},\"sum\":300,\
+             \"max\":120,\"buckets\":[[30,{count}]]}}}}}}"
+        )
+    };
+    std::fs::write(
+        dir.join("metrics-000000.jsonl"),
+        format!(
+            "{}\n{}\n{}",
+            sample(1_000, 50, 2),
+            sample(2_000, 1_050, 3),
+            &sample(3_000, 2_050, 4)[..40] // the daemon died mid-write
+        ),
+    )
+    .expect("segment 0");
+    // Segment 1: rotated but never written (zero length).
+    std::fs::write(dir.join("metrics-000001.jsonl"), "").expect("segment 1");
+    // A foreign file in the directory is not a segment and is ignored.
+    std::fs::write(dir.join("README.txt"), "not a segment").expect("foreign file");
+
+    let out = rlcheck(&["report", "--dir", dir.to_str().expect("utf-8 path")]);
+    assert_eq!(out.status.code(), Some(0), "degraded journal is not fatal");
+    let text = stdout(&out);
+    assert!(text.contains("2 segments"), "{text}");
+    assert!(text.contains("2 samples"), "{text}");
+    assert!(text.contains("1 unparsable line(s) skipped"), "{text}");
+    assert!(text.contains("serve/job_wall_us"), "{text}");
+    assert!(
+        stderr(&out).contains("skipped 1 unparsable line(s)"),
+        "{}",
+        stderr(&out)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn report_and_slo_reject_bad_argument_combinations() {
+    // report: a positional file and --dir are mutually exclusive.
+    let out = rlcheck(&["report", "x.jsonl", "--dir", "/tmp"]);
+    assert_eq!(out.status.code(), Some(2));
+    // slo: both the baseline and --dir are required.
+    let out = rlcheck(&["slo"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = rlcheck(&["slo", "SLO_BASELINE.json"]);
+    assert_eq!(out.status.code(), Some(2));
+    // slo: a malformed baseline is an input error (2), not a gate failure.
+    let dir = std::env::temp_dir().join("rlcheck-slo-bad");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("dir");
+    let bad = dir.join("bad.json");
+    std::fs::write(&bad, "{\"schema\":\"rl-slo/v9\"}").expect("baseline");
+    let out = rlcheck(&[
+        "slo",
+        bad.to_str().expect("utf-8"),
+        "--dir",
+        dir.to_str().expect("utf-8"),
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    // slo: an empty journal cannot gate anything — input error, not a pass.
+    std::fs::write(&bad, "{\"schema\":\"rl-slo/v1\",\"families\":{}}").expect("baseline");
+    let out = rlcheck(&[
+        "slo",
+        bad.to_str().expect("utf-8"),
+        "--dir",
+        dir.to_str().expect("utf-8"),
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(
+        stderr(&out).contains("no histogram samples"),
+        "{}",
+        stderr(&out)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -996,3 +996,180 @@ fn injected_connection_drop_cancels_like_a_real_disconnect() {
     let st = b.stats();
     assert_eq!(int_field(&st, "cancelled"), 1);
 }
+
+// ---------------------------------------------------------------------------
+// The percentile telemetry plane: the `metrics` verb, the persistent
+// journal, and the SLO regression gate.
+
+/// Runs the `rlcheck` binary as a one-shot subcommand (report/slo) from the
+/// repository root; returns (stdout, stderr, exit code).
+fn run_rlcheck(args: &[&str]) -> (String, String, i32) {
+    let out = Command::new(env!("CARGO_BIN_EXE_rlcheck"))
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("rlcheck runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code().unwrap_or(-1),
+    )
+}
+
+#[test]
+fn metrics_verb_emits_prometheus_exposition_and_jsonl() {
+    let mut d = start_daemon("metrics", &["--jobs", "2"], &[]);
+    let mut c = connect(&d);
+    let r = c.request(&submit_line(&[
+        ("path", s("examples/systems/server.pn")),
+        ("formula", s("[]<>result")),
+    ]));
+    assert!(bool_field(&r, "ok"), "{r:?}");
+    c.wait_job(int_field(&r, "id"));
+
+    let m = c.request("{\"cmd\":\"metrics\"}");
+    assert!(bool_field(&m, "ok"), "{m:?}");
+    assert_eq!(str_field(&m, "format"), "prometheus");
+    let body = str_field(&m, "body");
+    assert!(body.contains("rl_serve_submitted_total 1"), "{body}");
+    // The acceptance families: queue wait, job wall time, filter-stage
+    // latency, op cache probe (plus admission latency) — each a well-formed
+    // histogram with cumulative buckets closed by +Inf.
+    for family in [
+        "rl_serve_queue_wait_us",
+        "rl_serve_job_wall_us",
+        "rl_serve_admission_us",
+        "rl_filter_parikh_us",
+        "rl_opcache_probe_us",
+    ] {
+        assert!(
+            body.contains(&format!("# TYPE {family} histogram")),
+            "missing family {family} in:\n{body}"
+        );
+        assert!(
+            body.contains(&format!("{family}_bucket{{le=\"+Inf\"}}")),
+            "{family} lacks the +Inf bucket:\n{body}"
+        );
+        assert!(body.contains(&format!("{family}_count")), "{body}");
+        assert!(body.contains(&format!("{family}_sum")), "{body}");
+    }
+
+    // The JSONL variant: one parseable `hist` event per family.
+    let j = c.request("{\"cmd\":\"metrics\",\"format\":\"jsonl\"}");
+    assert!(bool_field(&j, "ok"), "{j:?}");
+    let body = str_field(&j, "body");
+    let mut families = 0;
+    for line in body.lines() {
+        let v = rl_json::parse(line).unwrap_or_else(|e| panic!("bad hist line {line:?}: {e}"));
+        assert_eq!(str_field(&v, "event"), "hist");
+        assert!(int_field(&v, "count") >= 1, "{line}");
+        families += 1;
+    }
+    assert!(
+        families >= 4,
+        "expected >= 4 families, got {families}:\n{body}"
+    );
+
+    // Unknown formats are an error reply, not a disconnect.
+    let bad = c.request("{\"cmd\":\"metrics\",\"format\":\"xml\"}");
+    assert!(!bool_field(&bad, "ok"), "{bad:?}");
+
+    // The verb counts itself in the stats reply.
+    let st = c.stats();
+    let req = st.field("requests").expect("requests object");
+    assert_eq!(int_field(req, "metrics"), 3);
+
+    c.shutdown();
+    assert_eq!(d.wait_exit(), 0);
+}
+
+#[test]
+fn metrics_journal_survives_restart_and_gates_slo() {
+    let dir = scratch("journal", "d");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("journal dir");
+    let dir_s = dir.to_str().expect("utf8 path");
+
+    // Two daemon lifetimes over one journal directory: each run appends its
+    // own rotated segment and flushes a final sample at drain.
+    for round in 0..2 {
+        let mut d = start_daemon(
+            &format!("journal{round}"),
+            &["--metrics-dir", dir_s],
+            &[("RL_PROGRESS_MS", "40")],
+        );
+        let mut c = connect(&d);
+        let r = c.request(&submit_line(&[
+            ("path", s("examples/systems/server.pn")),
+            ("formula", s("[]<>result")),
+        ]));
+        assert!(bool_field(&r, "ok"), "{r:?}");
+        c.wait_job(int_field(&r, "id"));
+        c.shutdown();
+        assert_eq!(d.wait_exit(), 0, "stderr: {}", d.stderr_text());
+    }
+
+    // `report --dir` stitches both runs into one time series.
+    let (out, err, code) = run_rlcheck(&["report", "--dir", dir_s]);
+    assert_eq!(code, 0, "report --dir failed: {err}");
+    assert!(out.contains("2 runs"), "{out}");
+    assert!(out.contains("p50"), "{out}");
+    assert!(out.contains("serve/job_wall_us"), "{out}");
+    assert!(out.contains("time series: serve/queue_wait_us"), "{out}");
+
+    // The committed baseline passes against a healthy journal…
+    let (out, err, code) = run_rlcheck(&["slo", "SLO_BASELINE.json", "--dir", dir_s]);
+    assert_eq!(code, 0, "slo gate failed: {err}");
+    assert!(out.contains("slo: ok"), "{out}");
+    // …and an injected regression (0µs ceiling on job wall time, zero
+    // tolerance) exits 1 with the violating family named.
+    let tight = scratch("slo-tight", "json");
+    std::fs::write(
+        &tight,
+        "{\"schema\":\"rl-slo/v1\",\"tolerance_pct\":0,\
+         \"families\":{\"serve/job_wall_us\":{\"p99\":0}}}",
+    )
+    .expect("tight baseline");
+    let (_, err, code) = run_rlcheck(&["slo", tight.to_str().expect("utf8"), "--dir", dir_s]);
+    assert_eq!(code, 1, "tight gate must fail: {err}");
+    assert!(err.contains("serve/job_wall_us"), "{err}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_file(&tight);
+}
+
+#[test]
+fn misconfigured_knobs_warn_once_on_daemon_stderr() {
+    // Garbage in both env knobs: the daemon must say so (once each) and
+    // keep serving with the defaults rather than silently misbehaving.
+    let mut d = start_daemon(
+        "badknobs",
+        &[],
+        &[("RL_PROGRESS_MS", "1s"), ("RL_SUBSCRIBER_RING", "big")],
+    );
+    // A subscriber forces the ring-capacity knob to be read (it is parsed
+    // per subscription, deduped by the warn-once policy).
+    let mut sub = connect(&d);
+    let ack = sub.request("{\"cmd\":\"subscribe\",\"id\":\"*\"}");
+    assert!(bool_field(&ack, "ok"), "{ack:?}");
+    let mut c = connect(&d);
+    let r = c.request(&submit_line(&[
+        ("path", s("examples/systems/server.pn")),
+        ("formula", s("[]<>result")),
+    ]));
+    assert!(bool_field(&r, "ok"), "{r:?}");
+    c.wait_job(int_field(&r, "id"));
+    c.shutdown();
+    assert_eq!(d.wait_exit(), 0);
+    let err = d.stderr_text();
+    assert_eq!(
+        err.matches("warning: RL_PROGRESS_MS=\"1s\"").count(),
+        1,
+        "stderr: {err}"
+    );
+    assert_eq!(
+        err.matches("warning: RL_SUBSCRIBER_RING=\"big\"").count(),
+        1,
+        "stderr: {err}"
+    );
+}
